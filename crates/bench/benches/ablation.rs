@@ -1,0 +1,33 @@
+//! Bench: regenerates the §V-C small-file ablation and the union /
+//! move-tracking ablations, and measures the CTB-Locker runs they rely on.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cryptodrop_bench::{bench_config, bench_corpus};
+use cryptodrop_experiments::ablation::{
+    render, small_file_ablation, tracking_ablation, union_ablation,
+};
+use cryptodrop_malware::paper_sample_set;
+
+fn bench(c: &mut Criterion) {
+    let corpus = bench_corpus();
+    let config = bench_config(&corpus);
+
+    let small = small_file_ablation(&corpus, &config);
+    let samples: Vec<_> = paper_sample_set()
+        .into_iter()
+        .filter(|s| s.family == cryptodrop_malware::Family::TeslaCrypt && s.index < 2)
+        .collect();
+    let union = union_ablation(&corpus, &config, &samples, 1);
+    let tracking = tracking_ablation(&corpus, &config);
+    println!("\n{}", render(&small, &union, &tracking));
+
+    let mut group = c.benchmark_group("ablation");
+    group.sample_size(10);
+    group.bench_function("small_file/full_vs_filtered", |b| {
+        b.iter(|| small_file_ablation(&corpus, &config))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Bench: the §V-H per-operation filter overhead, measured two ways — the
+//! experiment harness's in-situ ledger, and Criterion micro-measurements
+//! of filtered vs unfiltered operation streams.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cryptodrop::{Config, CryptoDrop};
+use cryptodrop_bench::{bench_config, bench_corpus};
+use cryptodrop_experiments::perf;
+use cryptodrop_vfs::{OpenOptions, Vfs};
+
+fn bench(c: &mut Criterion) {
+    let corpus = bench_corpus();
+    let config = bench_config(&corpus);
+
+    println!("\n{}", perf::run(&corpus, &config).render());
+
+    let mut group = c.benchmark_group("engine_overhead");
+    group.sample_size(20);
+    for filtered in [false, true] {
+        let label = if filtered { "filtered" } else { "baseline" };
+        group.bench_function(format!("modify_cycle/{label}"), |b| {
+            b.iter_batched(
+                || {
+                    let mut fs = Vfs::new();
+                    corpus.stage_into(&mut fs).unwrap();
+                    if filtered {
+                        let (engine, _monitor) = CryptoDrop::new(Config::protecting(
+                            corpus.root().as_str(),
+                        ));
+                        fs.register_filter(Box::new(engine));
+                    }
+                    let pid = fs.spawn_process("bench.exe");
+                    (fs, pid)
+                },
+                |(mut fs, pid)| {
+                    // A read-modify-write-close cycle over 20 documents.
+                    for f in corpus.files().iter().take(20) {
+                        if f.read_only {
+                            continue;
+                        }
+                        let Ok(h) = fs.open(pid, &f.path, OpenOptions::modify()) else {
+                            continue;
+                        };
+                        let data = fs.read_to_end(pid, h).unwrap_or_default();
+                        let _ = fs.seek(pid, h, 0);
+                        let _ = fs.write(pid, h, &data);
+                        let _ = fs.close(pid, h);
+                    }
+                    fs
+                },
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Bench: regenerates Figures 3 and 5 from a representative sample sweep
+//! and measures the aggregation stages.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cryptodrop_bench::{bench_config, bench_corpus, representative_samples};
+use cryptodrop_experiments::fig3::Fig3;
+use cryptodrop_experiments::fig5::Fig5;
+use cryptodrop_experiments::runner::run_samples_parallel;
+
+fn bench(c: &mut Criterion) {
+    let corpus = bench_corpus();
+    let config = bench_config(&corpus);
+    let samples = representative_samples();
+    let results = run_samples_parallel(&corpus, &config, &samples, 1);
+
+    println!("\n{}", Fig3::from_results(&results).render());
+    println!("\n{}", Fig5::from_results(&results).render());
+
+    let mut group = c.benchmark_group("fig3_fig5");
+    group.bench_function("fig3/aggregate", |b| {
+        b.iter(|| Fig3::from_results(&results))
+    });
+    group.bench_function("fig5/aggregate", |b| {
+        b.iter(|| Fig5::from_results(&results))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

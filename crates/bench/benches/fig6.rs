@@ -1,0 +1,26 @@
+//! Bench: regenerates Figure 6 — the benign-application scores and the
+//! false-positive threshold sweep — and measures representative workloads.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cryptodrop_bench::{bench_config, bench_corpus};
+use cryptodrop_benign::{fig6_apps, BenignApp, Word};
+use cryptodrop_experiments::fig6::run;
+use cryptodrop_experiments::runner::run_app;
+
+fn bench(c: &mut Criterion) {
+    let corpus = bench_corpus();
+    let config = bench_config(&corpus);
+
+    let fig = run(&corpus, &config, &fig6_apps());
+    println!("\n{}", fig.render());
+
+    let mut group = c.benchmark_group("fig6");
+    group.sample_size(10);
+    group.bench_function("benign/word", |b| {
+        b.iter(|| run_app(&corpus, &config, &Word as &dyn BenignApp, 1))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Bench: the analysis primitives — Shannon entropy, sdhash vs CTPH
+//! digesting and comparison (the paper's similarity-scheme choice), type
+//! sniffing, and the simulation ciphers.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use cryptodrop_entropy::shannon_entropy;
+use cryptodrop_malware::cipher::{ChaCha20, Cipher, Rc4, XorCipher, XteaCbc};
+use cryptodrop_simhash::{CtphDigest, SdDigest};
+use cryptodrop_sniff::sniff;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let text = cryptodrop_corpus::gen::text::txt(&mut rng, 64 * 1024);
+    let pdf = cryptodrop_corpus::gen::office::pdf(&mut rng, 64 * 1024);
+
+    let mut group = c.benchmark_group("primitives");
+    group.throughput(Throughput::Bytes(text.len() as u64));
+    group.bench_function("entropy/64k_text", |b| b.iter(|| shannon_entropy(&text)));
+    group.bench_function("sniff/64k_pdf", |b| b.iter(|| sniff(&pdf)));
+    group.bench_function("sdhash/digest_64k", |b| b.iter(|| SdDigest::compute(&text)));
+    group.bench_function("ctph/digest_64k", |b| b.iter(|| CtphDigest::compute(&text)));
+
+    // The similarity-scheme ablation: comparison costs.
+    let sd_a = SdDigest::compute(&text).unwrap();
+    let sd_b = SdDigest::compute(&pdf).unwrap();
+    let ct_a = CtphDigest::compute(&text);
+    let ct_b = CtphDigest::compute(&pdf);
+    group.bench_function("sdhash/compare", |b| b.iter(|| sd_a.similarity(&sd_b)));
+    group.bench_function("ctph/compare", |b| b.iter(|| ct_a.similarity(&ct_b)));
+
+    // Simulation ciphers.
+    for (name, cipher) in [
+        ("chacha20", Box::new(ChaCha20::from_seed(1)) as Box<dyn Cipher>),
+        ("rc4", Box::new(Rc4::from_seed(1))),
+        ("xor256", Box::new(XorCipher::from_seed(1, 256))),
+        ("xtea_cbc", Box::new(XteaCbc::from_seed(1))),
+    ] {
+        group.bench_function(format!("cipher/{name}_64k"), |b| {
+            b.iter(|| cipher.encrypt(&text))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Bench: regenerates Table I — runs one representative sample per
+//! (family, class) against the corpus and reports the aggregated table.
+//!
+//! Run with `cargo bench -p cryptodrop-bench --bench table1`. The rendered
+//! table is printed once before measurement begins; the measured quantity
+//! is the per-sample detection run (stage + attack + detect).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cryptodrop_bench::{bench_config, bench_corpus, representative_samples};
+use cryptodrop_experiments::runner::{run_sample, run_samples_parallel};
+use cryptodrop_experiments::table1::Table1;
+
+fn bench(c: &mut Criterion) {
+    let corpus = bench_corpus();
+    let config = bench_config(&corpus);
+    let samples = representative_samples();
+
+    // Print the regenerated table once.
+    let results = run_samples_parallel(&corpus, &config, &samples, 1);
+    println!("\n{}", Table1::from_results(&results).render());
+
+    let mut group = c.benchmark_group("table1");
+    group.sample_size(10);
+    for family in ["TeslaCrypt", "CTB-Locker", "GPcode"] {
+        let sample = samples
+            .iter()
+            .find(|s| s.family.name() == family)
+            .expect("representative present")
+            .clone();
+        group.bench_function(format!("detect/{family}"), |b| {
+            b.iter(|| run_sample(&corpus, &config, &sample))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Shared fixtures for the Criterion benchmark suite.
+//!
+//! Every paper table and figure has a corresponding bench target (see the
+//! crate's `benches/` directory); this library provides the corpus and
+//! configuration fixtures they share so Criterion's measurement loops
+//! don't pay generation costs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use cryptodrop::Config;
+use cryptodrop_corpus::{Corpus, CorpusSpec};
+use cryptodrop_malware::{paper_sample_set, RansomwareSample};
+
+/// The corpus size used by the benchmark suite: large enough for the
+/// detection dynamics (small-file tail, type diversity, deep tree) while
+/// keeping Criterion iterations affordable.
+pub fn bench_corpus() -> Corpus {
+    Corpus::generate(&CorpusSpec::sized(800, 80))
+}
+
+/// The engine configuration matching [`bench_corpus`].
+pub fn bench_config(corpus: &Corpus) -> Config {
+    Config::protecting(corpus.root().as_str())
+}
+
+/// One representative sample per (family, class) — 25 samples covering
+/// every behaviour in Table I.
+pub fn representative_samples() -> Vec<RansomwareSample> {
+    paper_sample_set()
+        .into_iter()
+        .filter(|s| s.index == 0)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixtures_are_consistent() {
+        let corpus = bench_corpus();
+        assert_eq!(corpus.file_count(), 800);
+        let cfg = bench_config(&corpus);
+        assert!(cfg.is_protected(corpus.root()));
+        let reps = representative_samples();
+        assert_eq!(reps.len(), 25, "one per (family, class) pair");
+    }
+}

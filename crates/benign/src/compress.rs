@@ -1,0 +1,460 @@
+//! A real (if compact) general-purpose compressor: LZSS matching over a
+//! 4 KiB window followed by canonical Huffman coding of the token stream.
+//!
+//! The 7-zip workload needs *genuinely* compressed output — high-entropy
+//! bytes produced by reading the user's documents — because that workload
+//! is the paper's one true positive-adjacent false positive (§V-F/§V-G):
+//! "it reads a large number of disparate files and generates high entropy
+//! output (similar to ransomware)". A PRNG placeholder would get the
+//! entropy right but not the content-dependence, so this is the real
+//! algorithm, round-trip tested.
+
+/// LZSS parameters: 4 KiB window, 3..=66 byte matches.
+const WINDOW: usize = 4096;
+const MIN_MATCH: usize = 3;
+const MAX_MATCH: usize = 66;
+
+/// Token alphabet: 0..=255 literals, 256..=319 match lengths (3..=66).
+const LITERALS: usize = 256;
+const LENGTH_SYMBOLS: usize = MAX_MATCH - MIN_MATCH + 1;
+const ALPHABET: usize = LITERALS + LENGTH_SYMBOLS;
+
+/// Distance slots: deflate-style log2 buckets over 1..=4095.
+const DIST_SLOTS: usize = 12;
+
+/// The slot (log2 bucket) and extra-bit payload of a distance.
+fn dist_slot(dist: usize) -> (usize, u32, u8) {
+    debug_assert!((1..WINDOW).contains(&dist));
+    let slot = usize::BITS as usize - 1 - (dist.leading_zeros() as usize);
+    let extra_bits = slot as u8;
+    let extra = (dist - (1 << slot)) as u32;
+    (slot, extra, extra_bits)
+}
+
+/// Compresses `data`: LZSS tokenization, then Huffman coding of the token
+/// stream with a second Huffman table over distance slots (deflate-style),
+/// so the output carries no fixed-width structure.
+pub fn compress(data: &[u8]) -> Vec<u8> {
+    let tokens = lzss_tokenize(data);
+    // Symbol frequencies.
+    let mut freq = [0u64; ALPHABET];
+    let mut dist_freq = [0u64; DIST_SLOTS];
+    for t in &tokens {
+        match *t {
+            Token::Literal(b) => freq[b as usize] += 1,
+            Token::Match { len, dist } => {
+                freq[LITERALS + (len - MIN_MATCH)] += 1;
+                dist_freq[dist_slot(dist).0] += 1;
+            }
+        }
+    }
+    let lengths = huffman_code_lengths(&freq, 15);
+    let codes = canonical_codes(&lengths);
+    let dist_lengths = huffman_code_lengths(&dist_freq, 15);
+    let dist_codes = canonical_codes(&dist_lengths);
+
+    let mut out = Vec::with_capacity(data.len() / 2 + 64);
+    out.extend_from_slice(&(data.len() as u32).to_le_bytes());
+    out.extend_from_slice(&lengths);
+    out.extend_from_slice(&dist_lengths);
+    let mut bits = BitWriter::new(out);
+    for t in &tokens {
+        match *t {
+            Token::Literal(b) => {
+                let (code, len) = codes[b as usize];
+                bits.write(code, len);
+            }
+            Token::Match { len, dist } => {
+                let sym = LITERALS + (len - MIN_MATCH);
+                let (code, clen) = codes[sym];
+                bits.write(code, clen);
+                let (slot, extra, extra_bits) = dist_slot(dist);
+                let (dcode, dlen) = dist_codes[slot];
+                bits.write(dcode, dlen);
+                if extra_bits > 0 {
+                    bits.write(extra, extra_bits);
+                }
+            }
+        }
+    }
+    bits.finish()
+}
+
+/// Decompresses a buffer produced by [`compress`]. Returns `None` on
+/// malformed input.
+pub fn decompress(data: &[u8]) -> Option<Vec<u8>> {
+    if data.len() < 4 + ALPHABET + DIST_SLOTS {
+        return None;
+    }
+    let orig_len = u32::from_le_bytes([data[0], data[1], data[2], data[3]]) as usize;
+    let lengths: Vec<u8> = data[4..4 + ALPHABET].to_vec();
+    let dist_lengths: Vec<u8> = data[4 + ALPHABET..4 + ALPHABET + DIST_SLOTS].to_vec();
+    let decode = decode_table(&canonical_codes(&lengths));
+    let dist_decode = decode_table(&canonical_codes(&dist_lengths));
+    let mut bits = BitReader::new(&data[4 + ALPHABET + DIST_SLOTS..]);
+    let mut out: Vec<u8> = Vec::with_capacity(orig_len);
+    while out.len() < orig_len {
+        let sym = read_symbol(&mut bits, &decode)?;
+        if sym < LITERALS {
+            out.push(sym as u8);
+        } else {
+            let mlen = sym - LITERALS + MIN_MATCH;
+            let slot = read_symbol(&mut bits, &dist_decode)?;
+            let extra = if slot > 0 { bits.read(slot as u8)? } else { 0 };
+            let dist = (1usize << slot) + extra as usize;
+            if dist == 0 || dist > out.len() {
+                return None;
+            }
+            for _ in 0..mlen {
+                let b = out[out.len() - dist];
+                out.push(b);
+            }
+        }
+    }
+    Some(out)
+}
+
+/// Builds a `(len, code) -> symbol` lookup from a code table.
+fn decode_table(codes: &[(u32, u8)]) -> std::collections::HashMap<(u8, u32), usize> {
+    let mut decode = std::collections::HashMap::new();
+    for (sym, &(code, len)) in codes.iter().enumerate() {
+        if len > 0 {
+            decode.insert((len, code), sym);
+        }
+    }
+    decode
+}
+
+/// Reads one Huffman-coded symbol.
+fn read_symbol(
+    bits: &mut BitReader<'_>,
+    decode: &std::collections::HashMap<(u8, u32), usize>,
+) -> Option<usize> {
+    let mut code = 0u32;
+    let mut len = 0u8;
+    loop {
+        code = (code << 1) | bits.read_bit()? as u32;
+        len += 1;
+        if len > 15 {
+            return None;
+        }
+        if let Some(&s) = decode.get(&(len, code)) {
+            return Some(s);
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Token {
+    Literal(u8),
+    Match { len: usize, dist: usize },
+}
+
+/// Greedy LZSS with a hash-head accelerator.
+fn lzss_tokenize(data: &[u8]) -> Vec<Token> {
+    let mut tokens = Vec::with_capacity(data.len() / 2);
+    // head[h] = most recent position with hash h.
+    let mut head = vec![usize::MAX; 1 << 13];
+    let hash = |d: &[u8]| -> usize {
+        ((d[0] as usize) << 5 ^ (d[1] as usize) << 2 ^ (d[2] as usize)) & ((1 << 13) - 1)
+    };
+    let mut i = 0;
+    while i < data.len() {
+        let mut best_len = 0;
+        let mut best_dist = 0;
+        if i + MIN_MATCH <= data.len() {
+            let h = hash(&data[i..]);
+            let cand = head[h];
+            if cand != usize::MAX && i - cand < WINDOW && cand < i {
+                let dist = i - cand;
+                let mut l = 0;
+                let max = MAX_MATCH.min(data.len() - i);
+                while l < max && data[cand + l] == data[i + l] {
+                    l += 1;
+                }
+                if l >= MIN_MATCH {
+                    best_len = l;
+                    best_dist = dist;
+                }
+            }
+            head[h] = i;
+        }
+        if best_len >= MIN_MATCH {
+            tokens.push(Token::Match {
+                len: best_len,
+                dist: best_dist,
+            });
+            // Insert hash heads for skipped positions (cheap, improves ratio).
+            for j in i + 1..(i + best_len).min(data.len().saturating_sub(MIN_MATCH)) {
+                let h = hash(&data[j..]);
+                head[h] = j;
+            }
+            i += best_len;
+        } else {
+            tokens.push(Token::Literal(data[i]));
+            i += 1;
+        }
+    }
+    tokens
+}
+
+/// Package-merge-free Huffman code length computation (classic heap
+/// algorithm with a depth clamp + Kraft repair).
+fn huffman_code_lengths(freq: &[u64], max_len: u8) -> Vec<u8> {
+    let n = freq.len();
+    let mut lengths = vec![0u8; n];
+    let present: Vec<usize> = (0..n).filter(|&i| freq[i] > 0).collect();
+    match present.len() {
+        0 => return lengths,
+        1 => {
+            lengths[present[0]] = 1;
+            return lengths;
+        }
+        _ => {}
+    }
+    // Heap of (weight, node). Internal nodes get indices >= n.
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+    let mut heap: BinaryHeap<Reverse<(u64, usize)>> = BinaryHeap::new();
+    let mut parent = vec![usize::MAX; n + present.len()];
+    for &i in &present {
+        heap.push(Reverse((freq[i], i)));
+    }
+    let mut next = n;
+    while heap.len() > 1 {
+        let Reverse((w1, a)) = heap.pop().expect("len > 1");
+        let Reverse((w2, b)) = heap.pop().expect("len > 1");
+        parent[a] = next;
+        parent[b] = next;
+        heap.push(Reverse((w1 + w2, next)));
+        next += 1;
+    }
+    for &i in &present {
+        let mut depth = 0u8;
+        let mut node = i;
+        while parent[node] != usize::MAX {
+            node = parent[node];
+            depth += 1;
+        }
+        lengths[i] = depth.min(max_len);
+    }
+    // Repair Kraft inequality if the clamp oversubscribed it.
+    loop {
+        let kraft: u64 = lengths
+            .iter()
+            .filter(|&&l| l > 0)
+            .map(|&l| 1u64 << (max_len - l))
+            .sum();
+        if kraft <= 1u64 << max_len {
+            break;
+        }
+        // Demote the shallowest demotable symbol.
+        let i = (0..n)
+            .filter(|&i| lengths[i] > 0 && lengths[i] < max_len)
+            .min_by_key(|&i| lengths[i])
+            .expect("repairable");
+        lengths[i] += 1;
+    }
+    lengths
+}
+
+/// Canonical Huffman codes from code lengths: `(code, len)` per symbol.
+fn canonical_codes(lengths: &[u8]) -> Vec<(u32, u8)> {
+    let mut symbols: Vec<usize> = (0..lengths.len()).filter(|&i| lengths[i] > 0).collect();
+    symbols.sort_by_key(|&i| (lengths[i], i));
+    let mut codes = vec![(0u32, 0u8); lengths.len()];
+    let mut code = 0u32;
+    let mut prev_len = 0u8;
+    for &s in &symbols {
+        code <<= lengths[s] - prev_len;
+        codes[s] = (code, lengths[s]);
+        prev_len = lengths[s];
+        code += 1;
+    }
+    codes
+}
+
+struct BitWriter {
+    out: Vec<u8>,
+    acc: u64,
+    nbits: u8,
+}
+
+impl BitWriter {
+    fn new(out: Vec<u8>) -> Self {
+        Self {
+            out,
+            acc: 0,
+            nbits: 0,
+        }
+    }
+
+    fn write(&mut self, value: u32, bits: u8) {
+        self.acc = (self.acc << bits) | value as u64;
+        self.nbits += bits;
+        while self.nbits >= 8 {
+            self.nbits -= 8;
+            self.out.push((self.acc >> self.nbits) as u8);
+        }
+    }
+
+    fn finish(mut self) -> Vec<u8> {
+        if self.nbits > 0 {
+            self.out.push((self.acc << (8 - self.nbits)) as u8);
+        }
+        self.out
+    }
+}
+
+struct BitReader<'a> {
+    data: &'a [u8],
+    pos: usize,
+    bit: u8,
+}
+
+impl<'a> BitReader<'a> {
+    fn new(data: &'a [u8]) -> Self {
+        Self { data, pos: 0, bit: 0 }
+    }
+
+    fn read_bit(&mut self) -> Option<u8> {
+        let byte = *self.data.get(self.pos)?;
+        let b = (byte >> (7 - self.bit)) & 1;
+        self.bit += 1;
+        if self.bit == 8 {
+            self.bit = 0;
+            self.pos += 1;
+        }
+        Some(b)
+    }
+
+    fn read(&mut self, bits: u8) -> Option<u32> {
+        let mut v = 0u32;
+        for _ in 0..bits {
+            v = (v << 1) | self.read_bit()? as u32;
+        }
+        Some(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cryptodrop_entropy::shannon_entropy;
+
+    fn text(n: usize) -> Vec<u8> {
+        (0..)
+            .flat_map(|i| format!("the archive test sentence number {i} repeats itself\n").into_bytes())
+            .take(n)
+            .collect()
+    }
+
+    #[test]
+    fn round_trip_various_inputs() {
+        for data in [
+            Vec::new(),
+            b"a".to_vec(),
+            b"abcabcabcabc".to_vec(),
+            text(10_000),
+            vec![0u8; 5000],
+            (0..=255u8).cycle().take(3000).collect(),
+        ] {
+            let c = compress(&data);
+            assert_eq!(decompress(&c).as_deref(), Some(data.as_slice()));
+        }
+    }
+
+    #[test]
+    fn compresses_redundant_text() {
+        let data = text(32_768);
+        let c = compress(&data);
+        assert!(
+            c.len() < data.len() / 2,
+            "only {} -> {} bytes",
+            data.len(),
+            c.len()
+        );
+    }
+
+    #[test]
+    fn output_is_high_entropy_on_corpus_like_input() {
+        // The property the 7-zip false positive depends on: archiving a
+        // realistic documents folder (text mixed with already-compressed
+        // media) produces high-entropy output.
+        let mut data = text(40_000);
+        let mut s: u64 = 3;
+        data.extend((0..40_000).map(|_| {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            (s >> 32) as u8
+        }));
+        let c = compress(&data);
+        let body = &c[4 + ALPHABET + DIST_SLOTS..];
+        let e = shannon_entropy(body);
+        assert!(e > 7.3, "compressed stream entropy {e}");
+    }
+
+    #[test]
+    fn output_entropy_rises_even_on_pure_text() {
+        let data = text(65_536);
+        let c = compress(&data);
+        let body = &c[4 + ALPHABET + DIST_SLOTS..];
+        let e = shannon_entropy(body);
+        let input_e = shannon_entropy(&data);
+        assert!(e > input_e + 1.5, "entropy must rise sharply: {input_e} -> {e}");
+    }
+
+    #[test]
+    fn incompressible_input_grows_slightly_but_round_trips() {
+        let mut s: u64 = 7;
+        let data: Vec<u8> = (0..8192)
+            .map(|_| {
+                s ^= s << 13;
+                s ^= s >> 7;
+                s ^= s << 17;
+                (s >> 32) as u8
+            })
+            .collect();
+        let c = compress(&data);
+        assert_eq!(decompress(&c).unwrap(), data);
+        assert!(c.len() < data.len() + data.len() / 8 + ALPHABET + DIST_SLOTS + 16);
+    }
+
+    #[test]
+    fn decompress_rejects_garbage() {
+        assert!(decompress(b"").is_none());
+        assert!(decompress(&[0u8; 10]).is_none());
+    }
+
+    #[test]
+    fn huffman_degenerate_cases() {
+        // Single-symbol alphabet.
+        let mut freq = vec![0u64; ALPHABET];
+        freq[65] = 100;
+        let lengths = huffman_code_lengths(&freq, 15);
+        assert_eq!(lengths[65], 1);
+        assert!(lengths.iter().enumerate().all(|(i, &l)| i == 65 || l == 0));
+        // Empty alphabet.
+        let lengths = huffman_code_lengths(&vec![0u64; ALPHABET], 15);
+        assert!(lengths.iter().all(|&l| l == 0));
+    }
+
+    #[test]
+    fn kraft_inequality_holds() {
+        // Highly skewed frequencies force the depth clamp + repair path.
+        let mut freq = vec![0u64; ALPHABET];
+        for (i, f) in freq.iter_mut().enumerate() {
+            *f = 1u64 << (i % 40).min(39);
+        }
+        let max_len = 15u8;
+        let lengths = huffman_code_lengths(&freq, max_len);
+        let kraft: u64 = lengths
+            .iter()
+            .filter(|&&l| l > 0)
+            .map(|&l| 1u64 << (max_len - l))
+            .sum();
+        assert!(kraft <= 1 << max_len);
+        assert!(lengths.iter().all(|&l| l <= max_len));
+    }
+}

@@ -1,0 +1,185 @@
+//! Shared filesystem helpers for benign application workloads.
+//!
+//! All helpers drive ordinary process-attributed operations, so a
+//! registered CryptoDrop filter observes the workload exactly as it would
+//! a real application.
+
+use cryptodrop_vfs::{EntryKind, Handle, OpenOptions, ProcessId, Vfs, VfsResult, VPath};
+
+/// Finds up to `limit` files under `root` (breadth-first), optionally
+/// filtered to the given lowercase extensions.
+///
+/// # Errors
+///
+/// Propagates filesystem errors, including suspension.
+pub fn find_files(
+    fs: &mut Vfs,
+    pid: ProcessId,
+    root: &VPath,
+    exts: Option<&[&str]>,
+    limit: usize,
+) -> VfsResult<Vec<VPath>> {
+    let mut out = Vec::new();
+    let mut queue = std::collections::VecDeque::from([root.clone()]);
+    while let Some(dir) = queue.pop_front() {
+        if out.len() >= limit {
+            break;
+        }
+        let entries = fs.list_dir(pid, &dir)?;
+        for e in entries {
+            let p = dir.join(&e.name);
+            match e.kind {
+                EntryKind::File => {
+                    let keep = match exts {
+                        None => true,
+                        Some(xs) => p.extension().map(|x| xs.contains(&x.as_str())).unwrap_or(false),
+                    };
+                    if keep && out.len() < limit {
+                        out.push(p);
+                    }
+                }
+                EntryKind::Directory => queue.push_back(p),
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Reads a whole file through open/read/close in `chunk`-byte pieces and
+/// returns its content.
+///
+/// # Errors
+///
+/// Propagates filesystem errors, including suspension.
+pub fn read_whole(fs: &mut Vfs, pid: ProcessId, path: &VPath, chunk: usize) -> VfsResult<Vec<u8>> {
+    let h = fs.open(pid, path, OpenOptions::read())?;
+    let result = read_handle(fs, pid, h, chunk);
+    let close = fs.close(pid, h);
+    let data = result?;
+    close?;
+    Ok(data)
+}
+
+/// Reads everything remaining on a handle in `chunk`-byte pieces.
+///
+/// # Errors
+///
+/// Propagates filesystem errors, including suspension.
+pub fn read_handle(fs: &mut Vfs, pid: ProcessId, h: Handle, chunk: usize) -> VfsResult<Vec<u8>> {
+    let mut data = Vec::new();
+    loop {
+        let part = fs.read(pid, h, chunk.max(1))?;
+        if part.is_empty() {
+            return Ok(data);
+        }
+        data.extend_from_slice(&part);
+    }
+}
+
+/// Creates (or truncates) a file and writes `data` in `chunk`-byte pieces.
+///
+/// # Errors
+///
+/// Propagates filesystem errors, including suspension.
+pub fn write_new(
+    fs: &mut Vfs,
+    pid: ProcessId,
+    path: &VPath,
+    data: &[u8],
+    chunk: usize,
+) -> VfsResult<()> {
+    if let Some(parent) = path.parent() {
+        fs.create_dir_all(pid, &parent)?;
+    }
+    let h = fs.open(pid, path, OpenOptions::create())?;
+    let mut result = Ok(());
+    for part in data.chunks(chunk.max(1)) {
+        result = fs.write(pid, h, part).map(|_| ());
+        if result.is_err() {
+            break;
+        }
+    }
+    let close = fs.close(pid, h);
+    result?;
+    close
+}
+
+/// Rewrites an existing file in place (open for modify, overwrite from
+/// offset zero, truncate to the new length) — the `mogrify`-style edit.
+///
+/// # Errors
+///
+/// Propagates filesystem errors, including suspension.
+pub fn overwrite_in_place(
+    fs: &mut Vfs,
+    pid: ProcessId,
+    path: &VPath,
+    data: &[u8],
+    chunk: usize,
+) -> VfsResult<()> {
+    let h = fs.open(pid, path, OpenOptions::modify())?;
+    let mut result = fs.seek(pid, h, 0);
+    if result.is_ok() {
+        for part in data.chunks(chunk.max(1)) {
+            result = fs.write(pid, h, part).map(|_| ());
+            if result.is_err() {
+                break;
+            }
+        }
+    }
+    if result.is_ok() {
+        result = fs.truncate(pid, h, data.len() as u64);
+    }
+    let close = fs.close(pid, h);
+    result?;
+    close
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (Vfs, ProcessId, VPath) {
+        let mut fs = Vfs::new();
+        let pid = fs.spawn_process("helper-test.exe");
+        let root = VPath::new("/docs");
+        fs.admin_write_file(&root.join("a.txt"), b"alpha").unwrap();
+        fs.admin_write_file(&root.join("b.jpg"), b"\xFF\xD8\xFFjpeg").unwrap();
+        fs.admin_write_file(&root.join("sub/c.txt"), b"gamma").unwrap();
+        (fs, pid, root)
+    }
+
+    #[test]
+    fn find_files_with_filters_and_limits() {
+        let (mut fs, pid, root) = setup();
+        let all = find_files(&mut fs, pid, &root, None, 100).unwrap();
+        assert_eq!(all.len(), 3);
+        let txt = find_files(&mut fs, pid, &root, Some(&["txt"]), 100).unwrap();
+        assert_eq!(txt.len(), 2);
+        let one = find_files(&mut fs, pid, &root, None, 1).unwrap();
+        assert_eq!(one.len(), 1);
+    }
+
+    #[test]
+    fn read_whole_chunked() {
+        let (mut fs, pid, root) = setup();
+        let data = read_whole(&mut fs, pid, &root.join("a.txt"), 2).unwrap();
+        assert_eq!(data, b"alpha");
+    }
+
+    #[test]
+    fn write_new_creates_parents() {
+        let (mut fs, pid, root) = setup();
+        let p = root.join("deep/nested/file.bin");
+        write_new(&mut fs, pid, &p, &[1, 2, 3, 4, 5], 2).unwrap();
+        assert_eq!(fs.admin_read_file(&p).unwrap(), vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn overwrite_replaces_and_truncates() {
+        let (mut fs, pid, root) = setup();
+        let p = root.join("a.txt");
+        overwrite_in_place(&mut fs, pid, &p, b"xy", 1).unwrap();
+        assert_eq!(fs.admin_read_file(&p).unwrap(), b"xy");
+    }
+}

@@ -1,0 +1,41 @@
+//! Benign application workloads for the CryptoDrop false-positive study.
+//!
+//! The paper (§V-F) evaluates thirty common Windows applications on the
+//! same corpus-loaded machine used for the malware runs and finds exactly
+//! one false positive — 7-zip, which "reads a large number of disparate
+//! files and generates high entropy output (similar to ransomware)" — and,
+//! crucially, that *no benign application exhibits all three primary
+//! indicators* (the union property that makes fast ransomware detection
+//! safe).
+//!
+//! Five applications are modeled in procedural detail following the
+//! paper's §V-F scripts (their final scores appear in Fig. 6): Adobe
+//! Lightroom (107), ImageMagick (0), iTunes (16), Microsoft Word (0), and
+//! Microsoft Excel (150). 7-zip archives the documents folder through a
+//! real LZSS+Huffman compressor ([`compress::compress`]) so its output's entropy is earned, not
+//! synthesized. The remaining applications use behaviour profiles
+//! (scanners, note takers, downloaders, photo editors, office editors,
+//! outside-documents utilities).
+//!
+//! # Examples
+//!
+//! ```
+//! use cryptodrop_benign::paper_apps;
+//!
+//! let apps = paper_apps();
+//! assert_eq!(apps.len(), 30);
+//! assert!(apps.iter().any(|a| a.name() == "7-zip"));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod apps;
+pub mod compress;
+pub mod helpers;
+
+pub use apps::{
+    fig6_apps, paper_apps, BenignApp, Excel, ITunes, ImageMagick, Lightroom, Profile, ProfileApp,
+    SevenZip, Word,
+};
+pub use compress::{compress, decompress};

@@ -1,0 +1,190 @@
+//! Engine and scoring configuration.
+//!
+//! The paper parameterizes CryptoDrop with a *non-union detection threshold*
+//! of 200 (§V-A) and a suspicious entropy delta of 0.1 (§IV-C1); union
+//! indication "dramatically increases the current score of a process and
+//! lowers that process's detection threshold" (§V-B2). The remaining
+//! point values are implementation constants of the research prototype; the
+//! defaults here were calibrated so the evaluation harness reproduces the
+//! paper's headline shapes (see EXPERIMENTS.md).
+
+use cryptodrop_vfs::VPath;
+use serde::{Deserialize, Serialize};
+
+/// Reputation points and thresholds for the scoreboard (paper §IV-A/B).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScoreConfig {
+    /// Score at which a process is suspended without union indication
+    /// (200 in the paper's experiments, §V-A).
+    pub non_union_threshold: u32,
+    /// The lowered threshold once union indication has occurred.
+    pub union_threshold: u32,
+    /// One-time score bonus when all three primary indicators have fired.
+    pub union_bonus: u32,
+    /// Points per file whose sniffed type changed across a modification.
+    pub points_type_change: u32,
+    /// Points per file whose similarity to its pre-image collapsed.
+    pub points_similarity: u32,
+    /// Points per atomic write whose process-wide entropy delta exceeds
+    /// [`ScoreConfig::entropy_delta_threshold`].
+    pub points_entropy_delta: u32,
+    /// Points per protected-file deletion beyond the allowance.
+    pub points_deletion: u32,
+    /// Points each time the read-vs-written type gap crosses another
+    /// multiple of [`ScoreConfig::funnel_gap`].
+    pub points_funneling: u32,
+    /// `Δe = P_write − P_read` at or above this is suspicious (0.1 in the
+    /// paper, §IV-C1).
+    pub entropy_delta_threshold: f64,
+    /// sdhash scores at or below this count as "dissimilar" (the paper
+    /// expects near-zero scores for ciphertext, §III-B).
+    pub similarity_match_max: u32,
+    /// The similarity indicator abstains when the pre-image's own entropy
+    /// exceeds this (bits/byte): comparing two near-random blobs always
+    /// yields ~0 and would penalize benign rewrites of compressed formats.
+    pub similarity_max_source_entropy: f64,
+    /// Deletions of pre-existing protected files tolerated before scoring
+    /// begins (§III-D). Deletions of files the process itself created
+    /// (temp files) never score.
+    pub deletion_allowance: u32,
+    /// Write operations at or above this many bytes earn full
+    /// entropy-delta points; smaller writes earn proportionally fewer
+    /// (min 1). This keeps floods of tiny-file encryptions from
+    /// outpacing the indicators that need sdhash-digestible files.
+    pub entropy_full_weight_bytes: usize,
+    /// The read-minus-written distinct-type gap per funneling award
+    /// (§III-D: "the difference of these can be assigned a threshold").
+    pub funnel_gap: u32,
+    /// Enable the write-burst time-window indicator (future work in the
+    /// paper, §V-F; off by default — "monitoring any time window presents
+    /// an evasion opportunity").
+    pub burst_enabled: bool,
+    /// The burst window in simulated nanoseconds.
+    pub burst_window_nanos: u64,
+    /// Files modified within the window tolerated before burst scoring.
+    pub burst_threshold: u32,
+    /// Points per modified file beyond the burst threshold.
+    pub points_burst: u32,
+}
+
+impl Default for ScoreConfig {
+    fn default() -> Self {
+        Self {
+            non_union_threshold: 200,
+            union_threshold: 160,
+            union_bonus: 40,
+            points_type_change: 6,
+            points_similarity: 6,
+            points_entropy_delta: 3,
+            points_deletion: 15,
+            points_funneling: 15,
+            entropy_delta_threshold: 0.1,
+            similarity_match_max: 10,
+            similarity_max_source_entropy: 7.5,
+            deletion_allowance: 2,
+            funnel_gap: 5,
+            entropy_full_weight_bytes: 4096,
+            burst_enabled: false,
+            burst_window_nanos: 10_000_000_000, // 10 simulated seconds
+            burst_threshold: 30,
+            points_burst: 5,
+        }
+    }
+}
+
+/// Full engine configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Config {
+    /// The directories CryptoDrop protects (e.g. "My Documents").
+    /// Operations on files outside these directories are ignored unless
+    /// the file was moved out of a protected directory and is being
+    /// tracked (§III, Class B).
+    pub protected_dirs: Vec<VPath>,
+    /// Scoring parameters.
+    pub score: ScoreConfig,
+    /// Track files moved out of protected directories (Class B defense).
+    /// Disabled only by the ablation benchmarks.
+    pub track_moved_files: bool,
+    /// Enable union indication (disabled only by the ablation benchmarks).
+    pub union_enabled: bool,
+    /// Attribute operations to the issuing process's top-level ancestor,
+    /// so a sample that fans work out across child processes is scored
+    /// (and suspended) as one family — the paper's "suspends the
+    /// suspicious process (or family of processes)" (§IV).
+    pub aggregate_process_families: bool,
+    /// Dynamic scoring (future work in the paper, §V-C): when the
+    /// similarity indicator is structurally unavailable for a file (no
+    /// pre-image digest), the type-change points for that file are
+    /// doubled, compensating for the missing indicator.
+    pub dynamic_scoring: bool,
+    /// Maximum bytes of a file to similarity-digest per snapshot; larger
+    /// files are digested by prefix. Bounds per-operation analysis cost.
+    pub max_digest_bytes: usize,
+}
+
+impl Config {
+    /// A configuration protecting a single directory with default scoring.
+    pub fn protecting(dir: impl Into<VPath>) -> Self {
+        Self {
+            protected_dirs: vec![dir.into()],
+            score: ScoreConfig::default(),
+            track_moved_files: true,
+            union_enabled: true,
+            aggregate_process_families: true,
+            dynamic_scoring: false,
+            max_digest_bytes: 256 * 1024,
+        }
+    }
+
+    /// Returns `true` if `path` lies under a protected directory.
+    pub fn is_protected(&self, path: &VPath) -> bool {
+        self.protected_dirs.iter().any(|d| path.starts_with(d))
+    }
+
+    /// Replaces the scoring parameters (builder-style).
+    pub fn with_score(mut self, score: ScoreConfig) -> Self {
+        self.score = score;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_constants() {
+        let s = ScoreConfig::default();
+        assert_eq!(s.non_union_threshold, 200, "paper §V-A");
+        assert_eq!(s.entropy_delta_threshold, 0.1, "paper §IV-C1");
+        assert!(s.union_threshold < s.non_union_threshold);
+    }
+
+    #[test]
+    fn protected_dir_matching() {
+        let cfg = Config::protecting("/Users/victim/Documents");
+        assert!(cfg.is_protected(&VPath::new("/Users/victim/Documents/a/b.txt")));
+        assert!(cfg.is_protected(&VPath::new("/Users/victim/Documents")));
+        assert!(!cfg.is_protected(&VPath::new("/Users/victim/Downloads/x")));
+        assert!(!cfg.is_protected(&VPath::new("/Users/victim/DocumentsEvil/x")));
+    }
+
+    #[test]
+    fn multiple_protected_dirs() {
+        let mut cfg = Config::protecting("/docs");
+        cfg.protected_dirs.push(VPath::new("/desktop"));
+        assert!(cfg.is_protected(&VPath::new("/desktop/note.txt")));
+        assert!(cfg.is_protected(&VPath::new("/docs/x")));
+        assert!(!cfg.is_protected(&VPath::new("/other")));
+    }
+
+    #[test]
+    fn builder_with_score() {
+        let custom = ScoreConfig {
+            non_union_threshold: 50,
+            ..ScoreConfig::default()
+        };
+        let cfg = Config::protecting("/d").with_score(custom.clone());
+        assert_eq!(cfg.score, custom);
+    }
+}

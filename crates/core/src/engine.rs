@@ -1,0 +1,1091 @@
+//! The CryptoDrop analysis engine (paper §IV, Fig. 2).
+//!
+//! [`CryptoDrop`] implements the VFS [`FilterDriver`] interface — the
+//! analogue of the paper's kernel minifilter + analysis engine pair. It
+//! watches every operation against the protected directories (and against
+//! files *moved out* of them, defeating Class B laundering), maintains the
+//! per-process reputation scoreboard, and returns a suspension verdict when
+//! a process crosses its effective threshold.
+//!
+//! Because the filter is owned by the [`Vfs`](cryptodrop_vfs::Vfs) once
+//! registered, construction returns a paired [`Monitor`] handle sharing the
+//! engine's state, through which callers read scores, summaries, and
+//! detection reports — the "user notification" side of Fig. 2.
+
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+use cryptodrop_sniff::sniff;
+use cryptodrop_vfs::{
+    FileId, FilterDriver, FsOp, FsView, OpContext, OpOutcome, ProcessId, VPath, Verdict,
+};
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+use crate::config::Config;
+use crate::indicators::similarity::{self, SimilarityOutcome};
+use crate::indicators::type_change::{self, TypeChangeOutcome};
+use crate::indicators::{Indicator, IndicatorHit};
+use crate::state::{FileSnapshot, ProcessState, ProcessSummary};
+
+/// A detection: one process crossed its threshold and was suspended.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DetectionReport {
+    /// The offending process.
+    pub pid: ProcessId,
+    /// Its executable name.
+    pub process_name: String,
+    /// The score at detection time.
+    pub score: u32,
+    /// The threshold that was crossed (union-lowered if applicable).
+    pub threshold: u32,
+    /// Whether union indication had occurred (paper §V-B2 reports 93% of
+    /// samples with at least one union indication).
+    pub union_triggered: bool,
+    /// Pre-existing protected files lost before detection — the paper's
+    /// primary metric (§V-B1).
+    pub files_lost: u32,
+    /// Simulated detection time.
+    pub at_nanos: u64,
+    /// The primary indicators that had fired.
+    pub primaries_seen: Vec<Indicator>,
+}
+
+impl DetectionReport {
+    fn reason(&self) -> String {
+        format!(
+            "cryptodrop: score {} reached threshold {}{} after {} files lost",
+            self.score,
+            self.threshold,
+            if self.union_triggered {
+                " (union indication)"
+            } else {
+                ""
+            },
+            self.files_lost
+        )
+    }
+}
+
+#[derive(Debug, Default)]
+struct EngineState {
+    processes: HashMap<ProcessId, ProcessState>,
+    snap_by_id: HashMap<FileId, FileSnapshot>,
+    snap_by_path: HashMap<VPath, FileSnapshot>,
+    tracked_paths: HashMap<VPath, FileId>,
+    created_files: HashSet<FileId>,
+    detections: Vec<DetectionReport>,
+}
+
+/// The CryptoDrop filter driver. Register it on a
+/// [`Vfs`](cryptodrop_vfs::Vfs) and read results through the paired
+/// [`Monitor`].
+///
+/// # Examples
+///
+/// ```
+/// use cryptodrop::{Config, CryptoDrop};
+/// use cryptodrop_vfs::{Vfs, VPath};
+///
+/// let mut fs = Vfs::new();
+/// let docs = VPath::new("/docs");
+/// let (engine, monitor) = CryptoDrop::new(Config::protecting("/docs"));
+/// fs.register_filter(Box::new(engine));
+///
+/// let pid = fs.spawn_process("app.exe");
+/// fs.create_dir_all(pid, &docs).unwrap();
+/// fs.write_file(pid, &docs.join("note.txt"), b"benign note").unwrap();
+/// assert_eq!(monitor.score(pid), 0);
+/// assert!(monitor.detections().is_empty());
+/// ```
+pub struct CryptoDrop {
+    cfg: Arc<Config>,
+    state: Arc<Mutex<EngineState>>,
+}
+
+/// A shared read handle onto a [`CryptoDrop`] engine's state.
+#[derive(Clone)]
+pub struct Monitor {
+    cfg: Arc<Config>,
+    state: Arc<Mutex<EngineState>>,
+}
+
+impl CryptoDrop {
+    /// Creates an engine and its monitor handle.
+    pub fn new(config: Config) -> (CryptoDrop, Monitor) {
+        let cfg = Arc::new(config);
+        let state = Arc::new(Mutex::new(EngineState::default()));
+        (
+            CryptoDrop {
+                cfg: Arc::clone(&cfg),
+                state: Arc::clone(&state),
+            },
+            Monitor { cfg, state },
+        )
+    }
+}
+
+impl Monitor {
+    /// The engine configuration.
+    pub fn config(&self) -> &Config {
+        &self.cfg
+    }
+
+    /// The current reputation score of a process (0 if never seen).
+    pub fn score(&self, pid: ProcessId) -> u32 {
+        self.state
+            .lock()
+            .processes
+            .get(&pid)
+            .map_or(0, ProcessState::score)
+    }
+
+    /// The number of pre-existing protected files lost to a process.
+    pub fn files_lost(&self, pid: ProcessId) -> u32 {
+        self.state
+            .lock()
+            .processes
+            .get(&pid)
+            .map_or(0, ProcessState::files_lost)
+    }
+
+    /// A summary of one process's state, if the engine has seen it.
+    pub fn summary(&self, pid: ProcessId) -> Option<ProcessSummary> {
+        self.state
+            .lock()
+            .processes
+            .get(&pid)
+            .map(|p| p.summary(&self.cfg.score))
+    }
+
+    /// Summaries of every process the engine has seen.
+    pub fn summaries(&self) -> Vec<ProcessSummary> {
+        let st = self.state.lock();
+        let mut v: Vec<ProcessSummary> = st
+            .processes
+            .values()
+            .map(|p| p.summary(&self.cfg.score))
+            .collect();
+        v.sort_by_key(|s| s.pid);
+        v
+    }
+
+    /// All detections so far, in order.
+    pub fn detections(&self) -> Vec<DetectionReport> {
+        self.state.lock().detections.clone()
+    }
+
+    /// The detection report for one process, if it was detected.
+    ///
+    /// With [`Config::aggregate_process_families`] enabled (the default),
+    /// pass the *family root* pid — which is what
+    /// [`DetectionReport::pid`] carries.
+    pub fn detection_for(&self, pid: ProcessId) -> Option<DetectionReport> {
+        self.state
+            .lock()
+            .detections
+            .iter()
+            .find(|d| d.pid == pid)
+            .cloned()
+    }
+
+    /// The full indicator audit trail for one process (every hit with its
+    /// points and context), in firing order.
+    pub fn hits(&self, pid: ProcessId) -> Vec<crate::indicators::IndicatorHit> {
+        self.state
+            .lock()
+            .processes
+            .get(&pid)
+            .map(|p| p.hits().to_vec())
+            .unwrap_or_default()
+    }
+
+    /// The user reviewed a detection and chose to allow the activity
+    /// (paper §IV-A). The process (or family) is exempted from further
+    /// scoring and re-suspension; pair this with
+    /// [`Vfs::resume_process`](cryptodrop_vfs::Vfs::resume_process) on the
+    /// suspended pid(s) to actually unblock it.
+    ///
+    /// Returns `false` if the engine has never seen the pid.
+    pub fn permit(&self, pid: ProcessId) -> bool {
+        match self.state.lock().processes.get_mut(&pid) {
+            Some(st) => {
+                st.mark_permitted();
+                true
+            }
+            None => false,
+        }
+    }
+}
+
+impl std::fmt::Debug for CryptoDrop {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let st = self.state.lock();
+        f.debug_struct("CryptoDrop")
+            .field("processes", &st.processes.len())
+            .field("detections", &st.detections.len())
+            .finish()
+    }
+}
+
+impl EngineState {
+    fn process_mut<'a>(
+        processes: &'a mut HashMap<ProcessId, ProcessState>,
+        cfg: &Config,
+        pid: ProcessId,
+        name: &str,
+    ) -> &'a mut ProcessState {
+        processes
+            .entry(pid)
+            .or_insert_with(|| ProcessState::new(pid, name, &cfg.score))
+    }
+
+    /// Path is in scope: protected, or currently tracked after moving out
+    /// of a protected directory.
+    fn in_scope(&self, cfg: &Config, path: &VPath) -> bool {
+        cfg.is_protected(path) || self.tracked_paths.contains_key(path)
+    }
+}
+
+impl CryptoDrop {
+    /// Evaluates the two content-comparison indicators (type change and
+    /// similarity) of `current` against `snapshot`, awarding hits.
+    fn evaluate_content(
+        cfg: &Config,
+        st: &mut ProcessState,
+        snapshot: &FileSnapshot,
+        current: &[u8],
+        path: &VPath,
+        at_nanos: u64,
+    ) {
+        let window = &current[..current.len().min(cfg.max_digest_bytes)];
+        let sim_outcome = similarity::evaluate(
+            snapshot.digest.as_ref(),
+            snapshot.entropy,
+            window,
+            cfg.score.similarity_match_max,
+            cfg.score.similarity_max_source_entropy,
+        );
+        // Dynamic scoring (future work, §V-C): when the similarity
+        // indicator is structurally unavailable for this file — no
+        // pre-image digest exists (sub-512 B or featureless content) —
+        // the remaining content indicator is weighted up to compensate.
+        let type_points = if cfg.dynamic_scoring
+            && matches!(
+                sim_outcome,
+                SimilarityOutcome::Abstain(similarity::AbstainReason::NoPreImageDigest)
+            ) {
+            cfg.score.points_type_change * 2
+        } else {
+            cfg.score.points_type_change
+        };
+        let post_type = sniff(current);
+        if let TypeChangeOutcome::Changed { before, after } =
+            type_change::evaluate(snapshot.file_type, post_type)
+        {
+            st.award(
+                &cfg.score,
+                cfg.union_enabled,
+                IndicatorHit {
+                    indicator: Indicator::TypeChange,
+                    points: type_points,
+                    detail: format!("{} -> {} at {path}", before.description(), after.description()),
+                    at_nanos,
+                },
+            );
+        }
+        if let SimilarityOutcome::Dissimilar(score) = sim_outcome {
+            st.award(
+                &cfg.score,
+                cfg.union_enabled,
+                IndicatorHit {
+                    indicator: Indicator::Similarity,
+                    points: cfg.score.points_similarity,
+                    detail: format!("similarity {score}/100 at {path}"),
+                    at_nanos,
+                },
+            );
+        }
+    }
+
+    /// After awarding hits, checks the threshold and issues the verdict.
+    fn verdict_for(
+        cfg: &Config,
+        st: &mut ProcessState,
+        detections: &mut Vec<DetectionReport>,
+        at_nanos: u64,
+    ) -> Verdict {
+        if st.is_detected() || !st.over_threshold(&cfg.score) {
+            return Verdict::Allow;
+        }
+        st.mark_detected();
+        let report = DetectionReport {
+            pid: st.pid(),
+            process_name: st.name().to_string(),
+            score: st.score(),
+            threshold: st.effective_threshold(&cfg.score),
+            union_triggered: st.union_triggered(),
+            files_lost: st.files_lost(),
+            at_nanos,
+            primaries_seen: st.primaries_seen().collect(),
+        };
+        let reason = report.reason();
+        detections.push(report);
+        Verdict::Suspend { reason }
+    }
+}
+
+impl FilterDriver for CryptoDrop {
+    fn name(&self) -> &str {
+        "cryptodrop"
+    }
+
+    fn pre_op(&mut self, ctx: &OpContext<'_>, fs: &FsView<'_>) -> Verdict {
+        let cfg = &self.cfg;
+        let mut st = self.state.lock();
+        // Block members of an already-flagged (and not user-permitted)
+        // process family at the front edge of their next operation.
+        let key = if cfg.aggregate_process_families {
+            ctx.family_root
+        } else {
+            ctx.pid
+        };
+        if let Some(p) = st.processes.get(&key) {
+            if p.is_detected() && !p.is_permitted() {
+                return Verdict::Suspend {
+                    reason: "cryptodrop: process family previously flagged".to_string(),
+                };
+            }
+        }
+        match ctx.op {
+            // Snapshot a file that is about to be opened for writing —
+            // before any truncation destroys the original content.
+            FsOp::Open { path, options } if options.write
+                && st.in_scope(cfg, path) => {
+                    if let Ok(data) = fs.read_file(path) {
+                        if !data.is_empty() {
+                            st.snap_by_path
+                                .insert(path.clone(), FileSnapshot::capture(&data, cfg.max_digest_bytes));
+                        }
+                    }
+                }
+            // Snapshot a protected file about to be deleted, so a later
+            // move-over of an "independent" encrypted copy can still be
+            // linked to the original content (§V-B2's Class C analysis).
+            FsOp::Delete { path } if cfg.is_protected(path) => {
+                if let Ok(data) = fs.read_file(path) {
+                    if !data.is_empty() {
+                        st.snap_by_path
+                            .insert(path.clone(), FileSnapshot::capture(&data, cfg.max_digest_bytes));
+                    }
+                }
+            }
+            // Snapshot a protected rename destination about to be replaced.
+            FsOp::Rename { to, overwrite, .. } if overwrite && cfg.is_protected(to) => {
+                if let Ok(data) = fs.read_file(to) {
+                    if !data.is_empty() {
+                        st.snap_by_path
+                            .insert(to.clone(), FileSnapshot::capture(&data, cfg.max_digest_bytes));
+                    }
+                }
+            }
+            _ => {}
+        }
+        Verdict::Allow
+    }
+
+    fn post_op(&mut self, ctx: &OpContext<'_>, outcome: &OpOutcome<'_>, fs: &FsView<'_>) -> Verdict {
+        let cfg = Arc::clone(&self.cfg);
+        let mut guard = self.state.lock();
+        let state = &mut *guard;
+        let at = ctx.at_nanos;
+
+        // Reputation is tracked per process family when aggregation is on
+        // (the default): a sample fanning work out across children is
+        // scored — and stopped — as one unit (paper §IV).
+        let key = if cfg.aggregate_process_families {
+            ctx.family_root
+        } else {
+            ctx.pid
+        };
+
+        if let Some(p) = state.processes.get(&key) {
+            // The user explicitly allowed this activity: no further
+            // scoring or re-suspension (§IV-A).
+            if p.is_permitted() {
+                return Verdict::Allow;
+            }
+            // Already detected: block any family member that is still
+            // issuing operations (the issuer itself is normally already
+            // suspended by the VFS; siblings are caught here).
+            if p.is_detected() {
+                return Verdict::Suspend {
+                    reason: "cryptodrop: process family previously flagged".to_string(),
+                };
+            }
+        }
+
+        match (ctx.op, outcome) {
+            (FsOp::Open { path, .. }, OpOutcome::Open { file, created, .. }) => {
+                if *created {
+                    state.created_files.insert(*file);
+                }
+                if state.in_scope(&cfg, path) {
+                    if let Some(snap) = state.snap_by_path.get(path) {
+                        state.snap_by_id.insert(*file, snap.clone());
+                    }
+                }
+                Verdict::Allow
+            }
+
+            (FsOp::Read { path, offset, .. }, OpOutcome::Read { file, data }) => {
+                if !state.in_scope(&cfg, path) {
+                    return Verdict::Allow;
+                }
+                let st =
+                    EngineState::process_mut(&mut state.processes, &cfg, key, ctx.process_name);
+                st.entropy_mut().observe_read(data);
+                // Sample the file's type from its leading bytes exactly once
+                // per file for the funneling indicator.
+                if offset == 0 && !data.is_empty() && st.first_read(*file) {
+                    let levels = st.funnel_mut().record_read(sniff(data));
+                    if levels > 0 {
+                        let points = levels * cfg.score.points_funneling;
+                        st.award(
+                            &cfg.score,
+                            cfg.union_enabled,
+                            IndicatorHit {
+                                indicator: Indicator::Funneling,
+                                points,
+                                detail: format!("type funnel widened reading {path}"),
+                                at_nanos: at,
+                            },
+                        );
+                    }
+                }
+                CryptoDrop::verdict_for(&cfg, st, &mut state.detections, at)
+            }
+
+            (FsOp::Write { path, data, .. }, OpOutcome::Write { file, .. }) => {
+                if !state.in_scope(&cfg, path) {
+                    return Verdict::Allow;
+                }
+                let created = state.created_files.contains(file);
+                let st =
+                    EngineState::process_mut(&mut state.processes, &cfg, key, ctx.process_name);
+                if !created {
+                    st.record_loss(*file);
+                }
+                // The write-burst indicator (future work, §V-F): first
+                // modifications of distinct files within a sliding window.
+                if cfg.score.burst_enabled
+                    && st.first_modification(*file)
+                    && st.record_burst(at, cfg.score.burst_window_nanos, cfg.score.burst_threshold)
+                {
+                    st.award(
+                        &cfg.score,
+                        cfg.union_enabled,
+                        IndicatorHit {
+                            indicator: Indicator::WriteBurst,
+                            points: cfg.score.points_burst,
+                            detail: format!("modification burst at {path}"),
+                            at_nanos: at,
+                        },
+                    );
+                }
+                // (A zeroed point value disables the indicator entirely —
+                // the isolation study relies on this.)
+                if cfg.score.points_entropy_delta > 0 && st.entropy_mut().observe_write(data) {
+                    let delta = st.entropy().delta().unwrap_or_default();
+                    // Small writes earn proportionally fewer points: a
+                    // flood of tiny-file encryptions should not outpace
+                    // the content indicators (paper §V-C's small-file
+                    // dynamics).
+                    let scale = (data.len() as f64
+                        / cfg.score.entropy_full_weight_bytes.max(1) as f64)
+                        .min(1.0);
+                    let points =
+                        ((cfg.score.points_entropy_delta as f64 * scale).round() as u32).max(1);
+                    st.award(
+                        &cfg.score,
+                        cfg.union_enabled,
+                        IndicatorHit {
+                            indicator: Indicator::EntropyDelta,
+                            points,
+                            detail: format!("write/read entropy delta {delta:.3} at {path}"),
+                            at_nanos: at,
+                        },
+                    );
+                }
+                CryptoDrop::verdict_for(&cfg, st, &mut state.detections, at)
+            }
+
+            (FsOp::Truncate { path, .. }, OpOutcome::Truncate { file }) => {
+                if !state.in_scope(&cfg, path) {
+                    return Verdict::Allow;
+                }
+                let created = state.created_files.contains(file);
+                let st =
+                    EngineState::process_mut(&mut state.processes, &cfg, key, ctx.process_name);
+                if !created {
+                    st.record_loss(*file);
+                }
+                CryptoDrop::verdict_for(&cfg, st, &mut state.detections, at)
+            }
+
+            (FsOp::Close { path, modified }, OpOutcome::Close { file, .. }) => {
+                if !modified || !state.in_scope(&cfg, path) {
+                    return Verdict::Allow;
+                }
+                let Ok(current) = fs.read_file(path) else {
+                    return Verdict::Allow; // deleted before close
+                };
+                let snapshot = state.snap_by_id.get(file).cloned();
+                let st =
+                    EngineState::process_mut(&mut state.processes, &cfg, key, ctx.process_name);
+                // The funneling indicator sees the type this process wrote.
+                if !current.is_empty() {
+                    let levels = st.funnel_mut().record_written(sniff(&current));
+                    debug_assert_eq!(levels, 0, "writing types can only narrow the funnel");
+                }
+                if let Some(snap) = snapshot {
+                    CryptoDrop::evaluate_content(&cfg, st, &snap, &current, path, at);
+                }
+                let verdict = CryptoDrop::verdict_for(&cfg, st, &mut state.detections, at);
+                // The file's "previous version" is now what was just
+                // written; refresh both snapshot indices.
+                let fresh = FileSnapshot::capture(&current, cfg.max_digest_bytes);
+                state.snap_by_id.insert(*file, fresh.clone());
+                state.snap_by_path.insert(path.clone(), fresh);
+                verdict
+            }
+
+            (FsOp::Delete { path }, OpOutcome::Delete { file }) => {
+                if !cfg.is_protected(path) {
+                    return Verdict::Allow;
+                }
+                let created = state.created_files.contains(file);
+                state.snap_by_id.remove(file);
+                // snap_by_path is retained deliberately: a Class C sample
+                // may later drop its encrypted copy at this path.
+                let st =
+                    EngineState::process_mut(&mut state.processes, &cfg, key, ctx.process_name);
+                // Deleting one's own temporary files is routine (§III-D);
+                // only deletions of pre-existing user files count.
+                if !created {
+                    st.record_loss(*file);
+                    if st.deletions_mut().observe_delete() {
+                        st.award(
+                            &cfg.score,
+                            cfg.union_enabled,
+                            IndicatorHit {
+                                indicator: Indicator::Deletion,
+                                points: cfg.score.points_deletion,
+                                detail: format!("bulk deletion: {path}"),
+                                at_nanos: at,
+                            },
+                        );
+                    }
+                }
+                CryptoDrop::verdict_for(&cfg, st, &mut state.detections, at)
+            }
+
+            (
+                FsOp::Rename { from, to, .. },
+                OpOutcome::Rename { file, replaced },
+            ) => {
+                let from_protected = cfg.is_protected(from);
+                let to_protected = cfg.is_protected(to);
+                let was_tracked = state.tracked_paths.remove(from).is_some();
+                if !(from_protected || to_protected || was_tracked) {
+                    return Verdict::Allow;
+                }
+
+                let mut verdict = Verdict::Allow;
+                if to_protected {
+                    if let Some(replaced_id) = replaced {
+                        // The Class C link: an "independent" encrypted copy
+                        // moved over the original is compared against the
+                        // original's retained snapshot (paper §V-B2).
+                        let dest_snap = state.snap_by_path.get(to).cloned();
+                        let created = state.created_files.contains(replaced_id);
+                        let st = EngineState::process_mut(
+                            &mut state.processes,
+                            &cfg,
+                            ctx.pid,
+                            ctx.process_name,
+                        );
+                        if !created {
+                            st.record_loss(*replaced_id);
+                        }
+                        if let (Some(snap), Ok(current)) = (dest_snap, fs.read_file(to)) {
+                            CryptoDrop::evaluate_content(&cfg, st, &snap, &current, to, at);
+                        }
+                        verdict = CryptoDrop::verdict_for(&cfg, st, &mut state.detections, at);
+                    }
+                }
+
+                // The moved file's own snapshot follows it to the new path.
+                if let Some(snap) = state.snap_by_id.get(file).cloned() {
+                    state.snap_by_path.insert(to.clone(), snap);
+                } else if let Some(snap) = state.snap_by_path.remove(from) {
+                    state.snap_by_path.insert(to.clone(), snap);
+                }
+
+                // Track files leaving the protected directories (Class B).
+                if cfg.track_moved_files && !to_protected && (from_protected || was_tracked) {
+                    state.tracked_paths.insert(to.clone(), *file);
+                }
+                verdict
+            }
+
+            _ => Verdict::Allow,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cryptodrop_vfs::{OpenOptions, Vfs};
+
+    const DOCS: &str = "/Users/victim/Documents";
+
+    fn text_content(tag: u32, n: usize) -> Vec<u8> {
+        (0..)
+            .flat_map(|i| format!("file {tag} paragraph {i} with ordinary words\n").into_bytes())
+            .take(n)
+            .collect()
+    }
+
+    fn keystream(len: usize, seed: u64) -> Vec<u8> {
+        let mut s = seed | 1;
+        (0..len)
+            .map(|_| {
+                s ^= s << 13;
+                s ^= s >> 7;
+                s ^= s << 17;
+                (s >> 32) as u8
+            })
+            .collect()
+    }
+
+    fn encrypt(data: &[u8], seed: u64) -> Vec<u8> {
+        data.iter()
+            .zip(keystream(data.len(), seed))
+            .map(|(b, k)| b ^ k)
+            .collect()
+    }
+
+    /// Stages a small corpus and returns (vfs, monitor).
+    fn setup(files: usize) -> (Vfs, Monitor) {
+        let mut fs = Vfs::new();
+        let docs = VPath::new(DOCS);
+        for i in 0..files {
+            let path = docs.join(format!("dir{}/file{i}.txt", i % 3));
+            fs.admin_write_file(&path, &text_content(i as u32, 4096)).unwrap();
+        }
+        fs.admin_create_dir_all(&VPath::new("/tmp")).unwrap();
+        let (engine, monitor) = CryptoDrop::new(Config::protecting(DOCS));
+        fs.register_filter(Box::new(engine));
+        (fs, monitor)
+    }
+
+    /// Runs a Class A in-place encryption loop until suspended.
+    fn run_class_a(fs: &mut Vfs, pid: ProcessId) -> usize {
+        let docs = VPath::new(DOCS);
+        let mut encrypted = 0;
+        'outer: for i in 0..100 {
+            let path = docs.join(format!("dir{}/file{i}.txt", i % 3));
+            if fs.admin_metadata(&path).is_err() {
+                continue;
+            }
+            let h = match fs.open(pid, &path, OpenOptions::modify()) {
+                Ok(h) => h,
+                Err(_) => break 'outer,
+            };
+            let data = match fs.read_to_end(pid, h) {
+                Ok(d) => d,
+                Err(_) => break 'outer,
+            };
+            let ct = encrypt(&data, i as u64 + 1);
+            if fs.seek(pid, h, 0).is_err()
+                || fs.write(pid, h, &ct).is_err()
+                || fs.close(pid, h).is_err()
+            {
+                let _ = fs.close(pid, h);
+                break 'outer;
+            }
+            encrypted += 1;
+        }
+        encrypted
+    }
+
+    #[test]
+    fn class_a_ransomware_is_detected_with_few_files_lost() {
+        let (mut fs, monitor) = setup(60);
+        let pid = fs.spawn_process("teslacrypt.exe");
+        run_class_a(&mut fs, pid);
+        assert!(fs.is_suspended(pid), "ransomware must be suspended");
+        let report = monitor.detection_for(pid).expect("detection report");
+        assert!(report.union_triggered, "Class A trips all three primaries");
+        assert!(
+            report.files_lost <= 15,
+            "lost {} of 60 files",
+            report.files_lost
+        );
+        assert!(report.files_lost >= 1);
+        assert_eq!(report.threshold, monitor.config().score.union_threshold);
+        // The vast majority of the corpus survived.
+        let surviving = fs
+            .admin_files()
+            .filter(|(p, d)| p.as_str().ends_with(".txt") && d.starts_with(b"file"))
+            .count();
+        assert!(surviving >= 45, "only {surviving} files survived");
+    }
+
+    #[test]
+    fn benign_copy_is_not_detected() {
+        let (mut fs, monitor) = setup(40);
+        let pid = fs.spawn_process("backup.exe");
+        let docs = VPath::new(DOCS);
+        // Copy every document to a backup folder: reads text, writes the
+        // same text. No entropy delta, no type change on originals.
+        fs.create_dir_all(pid, &docs.join("backup")).unwrap();
+        for i in 0..40 {
+            let src = docs.join(format!("dir{}/file{i}.txt", i % 3));
+            let data = fs.read_file(pid, &src).unwrap();
+            fs.write_file(pid, &docs.join(format!("backup/file{i}.txt")), &data)
+                .unwrap();
+        }
+        assert!(!fs.is_suspended(pid));
+        assert_eq!(monitor.detections().len(), 0);
+        let score = monitor.score(pid);
+        assert!(
+            score < monitor.config().score.non_union_threshold / 2,
+            "benign copy scored {score}"
+        );
+    }
+
+    #[test]
+    fn class_b_move_out_and_back_is_tracked() {
+        let (mut fs, monitor) = setup(40);
+        let pid = fs.spawn_process("classb.exe");
+        let docs = VPath::new(DOCS);
+        let tmp = VPath::new("/tmp");
+        for i in 0..40 {
+            let src = docs.join(format!("dir{}/file{i}.txt", i % 3));
+            if fs.admin_metadata(&src).is_err() {
+                continue;
+            }
+            let staging = tmp.join(format!("work{i}.tmp"));
+            if fs.rename(pid, &src, &staging, false).is_err() {
+                break;
+            }
+            let h = match fs.open(pid, &staging, OpenOptions::modify()) {
+                Ok(h) => h,
+                Err(_) => break,
+            };
+            let data = fs.read_to_end(pid, h).unwrap_or_default();
+            let ct = encrypt(&data, 1000 + i as u64);
+            if fs.seek(pid, h, 0).is_err()
+                || fs.write(pid, h, &ct).is_err()
+                || fs.close(pid, h).is_err()
+            {
+                let _ = fs.close(pid, h);
+                break;
+            }
+            // Move back under a scrambled name.
+            let back = docs.join(format!("dir{}/LOCKED-{i}.xyz", i % 3));
+            if fs.rename(pid, &staging, &back, false).is_err() {
+                break;
+            }
+        }
+        assert!(fs.is_suspended(pid), "Class B must be caught via tracking");
+        let report = monitor.detection_for(pid).unwrap();
+        assert!(report.union_triggered);
+        assert!(report.files_lost <= 15, "lost {}", report.files_lost);
+    }
+
+    #[test]
+    fn class_c_rename_over_original_links_content() {
+        let (mut fs, monitor) = setup(40);
+        let pid = fs.spawn_process("classc.exe");
+        let docs = VPath::new(DOCS);
+        for i in 0..40 {
+            let src = docs.join(format!("dir{}/file{i}.txt", i % 3));
+            let Ok(data) = fs.read_file(pid, &src) else { break };
+            let enc_path = docs.join(format!("dir{}/file{i}.enc", i % 3));
+            if fs.write_file(pid, &enc_path, &encrypt(&data, 77 + i as u64)).is_err() {
+                break;
+            }
+            // Move the encrypted copy over the original.
+            if fs.rename(pid, &enc_path, &src, true).is_err() {
+                break;
+            }
+        }
+        assert!(fs.is_suspended(pid));
+        let report = monitor.detection_for(pid).unwrap();
+        assert!(
+            report.union_triggered,
+            "rename-over-original enables union linking (41/63 in the paper)"
+        );
+    }
+
+    #[test]
+    fn class_c_delete_variant_caught_without_union() {
+        let (mut fs, monitor) = setup(60);
+        let pid = fs.spawn_process("classc-del.exe");
+        let docs = VPath::new(DOCS);
+        for i in 0..60 {
+            let src = docs.join(format!("dir{}/file{i}.txt", i % 3));
+            let Ok(data) = fs.read_file(pid, &src) else { break };
+            let enc_path = docs.join(format!("dir{}/file{i}.zzz", i % 3));
+            if fs
+                .write_file(pid, &enc_path, &encrypt(&data, 555 + i as u64))
+                .is_err()
+            {
+                break;
+            }
+            if fs.delete(pid, &src).is_err() {
+                break;
+            }
+        }
+        assert!(fs.is_suspended(pid), "high-entropy writes + deletions add up");
+        let report = monitor.detection_for(pid).unwrap();
+        assert!(
+            !report.union_triggered,
+            "independent streams evade union (22/63 in the paper)"
+        );
+        // Deletion indicator must have contributed.
+        let summary = monitor.summary(pid).unwrap();
+        assert!(summary.hit_counts.contains_key(&Indicator::Deletion));
+        assert!(summary.hit_counts.contains_key(&Indicator::EntropyDelta));
+    }
+
+    #[test]
+    fn activity_outside_protected_dirs_is_ignored() {
+        let (mut fs, monitor) = setup(5);
+        let pid = fs.spawn_process("builder.exe");
+        fs.create_dir_all(pid, &VPath::new("/build")).unwrap();
+        // High-entropy writes galore, but outside the protected tree.
+        for i in 0..200 {
+            let path = VPath::new(format!("/build/obj{i}.bin"));
+            fs.write_file(pid, &path, &keystream(4096, i as u64 + 1)).unwrap();
+        }
+        assert_eq!(monitor.score(pid), 0);
+        assert!(monitor.summary(pid).is_none(), "never entered scope");
+    }
+
+    #[test]
+    fn per_process_isolation() {
+        let (mut fs, monitor) = setup(40);
+        let evil = fs.spawn_process("evil.exe");
+        let good = fs.spawn_process("word.exe");
+        let docs = VPath::new(DOCS);
+        // The benign process edits one file normally.
+        let note = docs.join("dir0/file0.txt");
+        let mut data = fs.read_file(good, &note).unwrap();
+        data.extend_from_slice(b"\nappended a paragraph\n");
+        fs.write_file(good, &note, &data).unwrap();
+        // The malicious process encrypts everything else.
+        run_class_a(&mut fs, evil);
+        assert!(fs.is_suspended(evil));
+        assert!(!fs.is_suspended(good));
+        assert!(monitor.detection_for(good).is_none());
+        assert!(monitor.score(good) < 30);
+    }
+
+    #[test]
+    fn detection_report_reason_mentions_score() {
+        let (mut fs, monitor) = setup(50);
+        let pid = fs.spawn_process("mal.exe");
+        run_class_a(&mut fs, pid);
+        let report = monitor.detection_for(pid).unwrap();
+        let reason = report.reason();
+        assert!(reason.contains("cryptodrop"));
+        assert!(reason.contains(&report.score.to_string()));
+        // The suspension record in the process table carries the reason.
+        let rec = fs.processes().get(pid).unwrap().suspension().unwrap().clone();
+        assert_eq!(rec.by, "cryptodrop");
+        assert!(rec.reason.contains("threshold"));
+    }
+
+    #[test]
+    fn repeated_benign_saves_accumulate_slowly() {
+        // An Excel-like pattern: modify and save the same document over and
+        // over. Consecutive-version snapshots mean each save is compared to
+        // the previous save, not the ancient original.
+        let (mut fs, monitor) = setup(3);
+        let pid = fs.spawn_process("excel.exe");
+        let path = VPath::new(DOCS).join("dir0/file0.txt");
+        for round in 0..20 {
+            let mut data = fs.read_file(pid, &path).unwrap();
+            data.extend_from_slice(format!("row {round} added\n").as_bytes());
+            let h = fs.open(pid, &path, OpenOptions::create()).unwrap();
+            fs.write(pid, h, &data).unwrap();
+            fs.close(pid, h).unwrap();
+        }
+        assert!(!fs.is_suspended(pid));
+        let score = monitor.score(pid);
+        assert!(score < 100, "incremental saves scored {score}");
+    }
+
+    #[test]
+    fn process_family_fanout_is_aggregated() {
+        // A dropper fans encryption out across children; per-child scores
+        // would stay under threshold, but the family is scored as one.
+        let (mut fs, monitor) = setup(60);
+        let parent = fs.spawn_process("dropper.exe");
+        let workers: Vec<_> = (0..3)
+            .map(|i| fs.spawn_child_process(parent, format!("worker{i}.exe")))
+            .collect();
+        let docs = VPath::new(DOCS);
+        'outer: for i in 0..60 {
+            let pid = workers[i % workers.len()];
+            let path = docs.join(format!("dir{}/file{i}.txt", i % 3));
+            if fs.admin_metadata(&path).is_err() {
+                continue;
+            }
+            let h = match fs.open(pid, &path, OpenOptions::modify()) {
+                Ok(h) => h,
+                Err(_) => break 'outer,
+            };
+            let data = fs.read_to_end(pid, h).unwrap_or_default();
+            let ct = encrypt(&data, i as u64 + 9);
+            if fs.seek(pid, h, 0).is_err()
+                || fs.write(pid, h, &ct).is_err()
+                || fs.close(pid, h).is_err()
+            {
+                let _ = fs.close(pid, h);
+                break 'outer;
+            }
+        }
+        // The family root carries the detection...
+        let report = monitor.detection_for(parent).expect("family detected");
+        assert!(report.files_lost <= 20, "lost {}", report.files_lost);
+        // ...and every worker is blocked (directly or via family check).
+        for w in workers {
+            assert!(
+                fs.write_file(w, &docs.join("dir0/poke.txt"), b"x").is_err(),
+                "{w} still active"
+            );
+        }
+    }
+
+    #[test]
+    fn user_permit_allows_continuation() {
+        // §IV-A: the user reviews the alert and allows the process (the
+        // 7-zip scenario). After permit + resume, the process finishes
+        // without being re-flagged.
+        let (mut fs, monitor) = setup(60);
+        let pid = fs.spawn_process("archiver.exe");
+        run_class_a(&mut fs, pid);
+        let report = monitor.detection_for(pid).expect("initially flagged");
+        assert!(fs.is_suspended(pid));
+
+        assert!(monitor.permit(report.pid));
+        assert!(fs.resume_process(pid));
+
+        // The process continues over the rest of the corpus unhindered.
+        let encrypted_more = run_class_a(&mut fs, pid);
+        assert!(encrypted_more > 0, "continued after permit");
+        assert!(!fs.is_suspended(pid), "not re-suspended");
+        assert_eq!(monitor.detections().len(), 1, "no second report");
+    }
+
+    #[test]
+    fn dynamic_scoring_speeds_small_file_detection() {
+        // Future work from §V-C: boost the type-change indicator when the
+        // similarity indicator is structurally unavailable (sub-512 B
+        // files have no sdhash digest).
+        let stage = |cfg: Config| -> u32 {
+            let mut fs = Vfs::new();
+            let docs = VPath::new(DOCS);
+            for i in 0..80 {
+                // All tiny: below the sdhash minimum.
+                fs.admin_write_file(
+                    &docs.join(format!("notes/n{i}.txt")),
+                    format!("tiny note {i} with a few words").as_bytes(),
+                )
+                .unwrap();
+            }
+            let (engine, monitor) = CryptoDrop::new(cfg);
+            fs.register_filter(Box::new(engine));
+            let pid = fs.spawn_process("tinycrypt.exe");
+            for i in 0..80 {
+                let path = docs.join(format!("notes/n{i}.txt"));
+                let Ok(h) = fs.open(pid, &path, OpenOptions::modify()) else {
+                    break;
+                };
+                let data = fs.read_to_end(pid, h).unwrap_or_default();
+                let ct = encrypt(&data, i as u64 + 3);
+                let _ = fs.seek(pid, h, 0);
+                let _ = fs.write(pid, h, &ct);
+                let _ = fs.close(pid, h);
+            }
+            monitor.files_lost(pid)
+        };
+        let base = Config::protecting(DOCS);
+        let mut dynamic = base.clone();
+        dynamic.dynamic_scoring = true;
+        let without = stage(base);
+        let with = stage(dynamic);
+        assert!(
+            with < without,
+            "dynamic scoring must cut tiny-file losses: {with} vs {without}"
+        );
+    }
+
+    #[test]
+    fn write_burst_indicator_fires_without_think_time() {
+        let run = |think: bool| -> (bool, u32) {
+            let (mut fs, monitor) = setup(40);
+            let mut cfg = Config::protecting(DOCS);
+            cfg.score.burst_enabled = true;
+            cfg.score.burst_threshold = 5;
+            // Swap in a burst-enabled engine.
+            let _ = fs.take_filters();
+            let (engine, monitor2) = CryptoDrop::new(cfg);
+            fs.register_filter(Box::new(engine));
+            drop(monitor);
+            let pid = fs.spawn_process("writer.exe");
+            let docs = VPath::new(DOCS);
+            for i in 0..30 {
+                let path = docs.join(format!("dir{}/file{i}.txt", i % 3));
+                if fs.admin_metadata(&path).is_err() {
+                    continue;
+                }
+                // Benign-shaped writes: same text back (no entropy delta,
+                // no type change) so only the burst indicator can score.
+                let Ok(data) = fs.read_file(pid, &path) else { break };
+                if fs.write_file(pid, &path, &data).is_err() {
+                    break;
+                }
+                if think {
+                    fs.advance_clock(30_000_000_000); // 30 s think time
+                }
+            }
+            let summary = monitor2.summary(pid).expect("seen");
+            let fired = summary.hit_counts.contains_key(&Indicator::WriteBurst);
+            (fired, summary.score)
+        };
+        let (burst_fast, _) = run(false);
+        let (burst_slow, slow_score) = run(true);
+        assert!(burst_fast, "flat-out modification bursts must score");
+        assert!(!burst_slow, "think-time paced edits must not (score {slow_score})");
+    }
+
+    #[test]
+    fn monitor_summaries_sorted_and_complete() {
+        let (mut fs, monitor) = setup(10);
+        let a = fs.spawn_process("a.exe");
+        let b = fs.spawn_process("b.exe");
+        let docs = VPath::new(DOCS);
+        fs.read_file(a, &docs.join("dir0/file0.txt")).unwrap();
+        fs.read_file(b, &docs.join("dir1/file1.txt")).unwrap();
+        let summaries = monitor.summaries();
+        assert_eq!(summaries.len(), 2);
+        assert!(summaries[0].pid < summaries[1].pid);
+    }
+}

@@ -1,0 +1,86 @@
+//! Secondary indicator: bulk deletion (paper §III-D).
+//!
+//! "Deletion is a basic filesystem operation and is not generally
+//! suspicious ... However, the deletion of many files from a user's
+//! documents may indicate malicious activity." Class C ransomware deletes
+//! the original after writing an independent encrypted copy; "early
+//! detection of this type of malware depends on capturing this operation."
+
+use serde::{Deserialize, Serialize};
+
+/// Counts protected-file deletions per process, scoring each deletion
+/// beyond an allowance.
+///
+/// # Examples
+///
+/// ```
+/// use cryptodrop::indicators::deletion::DeletionTracker;
+///
+/// let mut t = DeletionTracker::new(3);
+/// assert!(!t.observe_delete()); // ordinary temp-file cleanup
+/// assert!(!t.observe_delete());
+/// assert!(!t.observe_delete());
+/// assert!(t.observe_delete(), "the fourth deletion starts scoring");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DeletionTracker {
+    allowance: u32,
+    deletions: u32,
+}
+
+impl DeletionTracker {
+    /// Creates a tracker tolerating `allowance` deletions before scoring.
+    pub fn new(allowance: u32) -> Self {
+        Self {
+            allowance,
+            deletions: 0,
+        }
+    }
+
+    /// Records a deletion; returns `true` when this deletion scores
+    /// (i.e. it exceeded the allowance).
+    pub fn observe_delete(&mut self) -> bool {
+        self.deletions += 1;
+        self.deletions > self.allowance
+    }
+
+    /// Total deletions observed.
+    pub fn deletions(&self) -> u32 {
+        self.deletions
+    }
+
+    /// Deletions beyond the allowance (the scoring count).
+    pub fn scored_deletions(&self) -> u32 {
+        self.deletions.saturating_sub(self.allowance)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allowance_is_respected() {
+        let mut t = DeletionTracker::new(2);
+        assert!(!t.observe_delete());
+        assert!(!t.observe_delete());
+        assert!(t.observe_delete());
+        assert!(t.observe_delete());
+        assert_eq!(t.deletions(), 4);
+        assert_eq!(t.scored_deletions(), 2);
+    }
+
+    #[test]
+    fn zero_allowance_scores_immediately() {
+        let mut t = DeletionTracker::new(0);
+        assert!(t.observe_delete());
+        assert_eq!(t.scored_deletions(), 1);
+    }
+
+    #[test]
+    fn no_deletions_scores_nothing() {
+        let t = DeletionTracker::new(3);
+        assert_eq!(t.deletions(), 0);
+        assert_eq!(t.scored_deletions(), 0);
+    }
+}

@@ -1,0 +1,178 @@
+//! Primary indicator 3: Shannon-entropy delta (paper §III-C, §IV-C1).
+//!
+//! Per process, a weighted mean of read entropies and a weighted mean of
+//! write entropies are maintained; after each operation (once both
+//! directions have been observed) the delta `Δe = P_write − P_read` is
+//! evaluated against the 0.1 threshold. The check is "stateless with
+//! regard to the previous or future state of a file and occurs for every
+//! atomic read or write operation where the threshold is exceeded".
+
+use cryptodrop_entropy::{shannon_entropy, EntropyDelta};
+use serde::{Deserialize, Serialize};
+
+/// The per-process entropy-delta tracker.
+///
+/// # Examples
+///
+/// ```
+/// use cryptodrop::indicators::entropy_delta::EntropyDeltaTracker;
+///
+/// let mut t = EntropyDeltaTracker::new(0.1);
+/// t.observe_read(b"plain english text read from a document file");
+/// // A ciphertext-like write: every byte value occurs once.
+/// let ciphertext: Vec<u8> = (0..=255u8).map(|b| b.wrapping_mul(193)).collect();
+/// let fired = t.observe_write(&ciphertext);
+/// assert!(fired, "high-entropy write after low-entropy read");
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EntropyDeltaTracker {
+    delta: EntropyDelta,
+    threshold: f64,
+}
+
+impl EntropyDeltaTracker {
+    /// Creates a tracker with the given suspicion threshold (0.1 in the
+    /// paper).
+    pub fn new(threshold: f64) -> Self {
+        Self {
+            delta: EntropyDelta::new(),
+            threshold,
+        }
+    }
+
+    /// Folds in a read operation's payload.
+    pub fn observe_read(&mut self, data: &[u8]) {
+        self.delta
+            .record_read(shannon_entropy(data), data.len() as u64);
+    }
+
+    /// Folds in a write operation's payload and returns `true` when the
+    /// post-update delta is at or above the threshold (the indicator
+    /// fires on this operation).
+    pub fn observe_write(&mut self, data: &[u8]) -> bool {
+        self.delta
+            .record_write(shannon_entropy(data), data.len() as u64);
+        self.is_suspicious()
+    }
+
+    /// The current delta, if both directions have been observed.
+    pub fn delta(&self) -> Option<f64> {
+        self.delta.delta()
+    }
+
+    /// Whether the current state satisfies `Δe ≥ threshold`.
+    pub fn is_suspicious(&self) -> bool {
+        self.delta.delta_exceeds(self.threshold)
+    }
+
+    /// The read-side weighted mean (`P_read`).
+    pub fn read_mean(&self) -> Option<f64> {
+        self.delta.read_mean()
+    }
+
+    /// The write-side weighted mean (`P_write`).
+    pub fn write_mean(&self) -> Option<f64> {
+        self.delta.write_mean()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn high_entropy(n: usize) -> Vec<u8> {
+        let mut s: u64 = 0xfeed;
+        (0..n)
+            .map(|_| {
+                s ^= s << 13;
+                s ^= s >> 7;
+                s ^= s << 17;
+                (s >> 32) as u8
+            })
+            .collect()
+    }
+
+    fn text(n: usize) -> Vec<u8> {
+        b"ordinary prose with ordinary letter frequencies. "
+            .iter()
+            .cycle()
+            .take(n)
+            .copied()
+            .collect()
+    }
+
+    #[test]
+    fn needs_both_directions() {
+        let mut t = EntropyDeltaTracker::new(0.1);
+        assert!(!t.observe_write(&high_entropy(4096)), "no read yet");
+        assert_eq!(t.delta(), None);
+        t.observe_read(&text(4096));
+        assert!(t.is_suspicious(), "now both directions are present");
+    }
+
+    #[test]
+    fn encryption_pattern_fires_per_write() {
+        let mut t = EntropyDeltaTracker::new(0.1);
+        t.observe_read(&text(8192));
+        assert!(t.observe_write(&high_entropy(8192)));
+        assert!(t.observe_write(&high_entropy(8192)), "fires on every op");
+    }
+
+    #[test]
+    fn benign_copy_does_not_fire() {
+        // Reading and writing the same kind of data: delta ~ 0.
+        let mut t = EntropyDeltaTracker::new(0.1);
+        t.observe_read(&text(8192));
+        assert!(!t.observe_write(&text(8192)));
+    }
+
+    #[test]
+    fn compressed_source_fires_weakly_but_fires() {
+        // Reading ~7.8-entropy data and writing ~8.0: small delta, but the
+        // 0.1 threshold "provides resolution for detecting the small
+        // entropy increase for compressed files" (§IV-C1).
+        let mut t = EntropyDeltaTracker::new(0.1);
+        // Mildly structured high-entropy read: random bytes with every 16th
+        // byte zero, entropy ≈ 7.6.
+        let mut read = high_entropy(16384);
+        for b in read.iter_mut().step_by(12) {
+            *b = 0;
+        }
+        t.observe_read(&read);
+        let fired = t.observe_write(&high_entropy(16384));
+        let d = t.delta().unwrap();
+        assert!(d > 0.1 && d < 1.0, "delta = {d}");
+        assert!(fired);
+    }
+
+    #[test]
+    fn ransom_notes_do_not_mask_encryption() {
+        // §IV-C1's motivating case: low-entropy note writes between
+        // encrypted writes must not pull the write mean below threshold.
+        let mut t = EntropyDeltaTracker::new(0.1);
+        t.observe_read(&text(65536));
+        t.observe_write(&high_entropy(65536));
+        for _ in 0..50 {
+            t.observe_write(&text(300)); // ransom note per directory
+        }
+        assert!(t.is_suspicious(), "delta = {:?}", t.delta());
+    }
+
+    #[test]
+    fn reverse_direction_never_fires() {
+        // Decompression-like: read high entropy, write text.
+        let mut t = EntropyDeltaTracker::new(0.1);
+        t.observe_read(&high_entropy(8192));
+        assert!(!t.observe_write(&text(8192)));
+        assert_eq!(t.delta(), Some(0.0), "clamped at zero");
+    }
+
+    #[test]
+    fn means_are_exposed() {
+        let mut t = EntropyDeltaTracker::new(0.1);
+        t.observe_read(&text(4096));
+        t.observe_write(&high_entropy(4096));
+        assert!(t.read_mean().unwrap() < 5.0);
+        assert!(t.write_mean().unwrap() > 7.5);
+    }
+}

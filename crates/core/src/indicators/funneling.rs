@@ -1,0 +1,179 @@
+//! Secondary indicator: file-type funneling (paper §III-D).
+//!
+//! "File type funneling occurs when an application reads an unusually
+//! disparate number of files as it writes. ... By tracking the number of
+//! file types a process has read and written, the difference of these can
+//! be assigned a threshold before considering it suspicious."
+//!
+//! A word processor embedding pictures reads a handful of types and writes
+//! one — below threshold. Ransomware reads *every* type in the corpus and
+//! writes only unrecognizable data — far above it.
+
+use std::collections::BTreeSet;
+
+use cryptodrop_sniff::FileType;
+use serde::{Deserialize, Serialize};
+
+/// Tracks the distinct file types a process has read and written.
+///
+/// Awards fire each time the `read − written` gap crosses another multiple
+/// of the configured gap, so a process that keeps funneling keeps scoring.
+///
+/// # Examples
+///
+/// ```
+/// use cryptodrop::indicators::funneling::FunnelTracker;
+/// use cryptodrop_sniff::FileType;
+///
+/// let mut t = FunnelTracker::new(3);
+/// t.record_written(FileType::Data);
+/// assert_eq!(t.record_read(FileType::Pdf), 0);
+/// assert_eq!(t.record_read(FileType::Docx), 0);
+/// assert_eq!(t.record_read(FileType::Jpeg), 0);
+/// // Fourth distinct type read: gap = 4 - 1 = 3 crosses the threshold.
+/// assert_eq!(t.record_read(FileType::Mp3), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct FunnelTracker {
+    gap: u32,
+    types_read: BTreeSet<FileType>,
+    types_written: BTreeSet<FileType>,
+    levels_awarded: u32,
+}
+
+impl FunnelTracker {
+    /// Creates a tracker with the given gap threshold.
+    pub fn new(gap: u32) -> Self {
+        Self {
+            gap: gap.max(1),
+            ..Self::default()
+        }
+    }
+
+    /// Records a type read; returns how many *new* award levels this
+    /// crossing unlocked (usually 0 or 1).
+    pub fn record_read(&mut self, t: FileType) -> u32 {
+        self.types_read.insert(t);
+        self.take_new_levels()
+    }
+
+    /// Records a type written; returns newly unlocked award levels
+    /// (writing types can only shrink the gap, so this returns 0, but the
+    /// symmetric API keeps call sites uniform).
+    pub fn record_written(&mut self, t: FileType) -> u32 {
+        self.types_written.insert(t);
+        self.take_new_levels()
+    }
+
+    /// The current `read − written` distinct-type gap.
+    pub fn gap(&self) -> u32 {
+        (self.types_read.len() as u32).saturating_sub(self.types_written.len() as u32)
+    }
+
+    /// The distinct types read so far.
+    pub fn types_read(&self) -> usize {
+        self.types_read.len()
+    }
+
+    /// The distinct types written so far.
+    pub fn types_written(&self) -> usize {
+        self.types_written.len()
+    }
+
+    fn take_new_levels(&mut self) -> u32 {
+        let level = self.gap() / self.gap;
+        let new = level.saturating_sub(self.levels_awarded);
+        self.levels_awarded = self.levels_awarded.max(level);
+        new
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn types(n: usize) -> Vec<FileType> {
+        use FileType as T;
+        vec![
+            T::Pdf,
+            T::Docx,
+            T::Xlsx,
+            T::Pptx,
+            T::Jpeg,
+            T::Png,
+            T::Gif,
+            T::Mp3,
+            T::Wav,
+            T::Html,
+            T::Xml,
+            T::Csv,
+            T::Utf8Text,
+            T::Rtf,
+            T::Zip,
+            T::OleCompound,
+        ][..n]
+            .to_vec()
+    }
+
+    #[test]
+    fn word_processor_stays_quiet() {
+        // Reads a few embedded media types, writes documents: gap 3 < 5.
+        let mut t = FunnelTracker::new(5);
+        let mut awards = 0;
+        awards += t.record_written(FileType::Docx);
+        for ty in [FileType::Jpeg, FileType::Png, FileType::Mp3, FileType::Docx] {
+            awards += t.record_read(ty);
+        }
+        assert_eq!(awards, 0);
+        assert_eq!(t.gap(), 3);
+    }
+
+    #[test]
+    fn ransomware_funnels_repeatedly() {
+        // Reads every corpus type, writes only Data.
+        let mut t = FunnelTracker::new(5);
+        let mut awards = 0;
+        awards += t.record_written(FileType::Data);
+        for ty in types(16) {
+            awards += t.record_read(ty);
+        }
+        // gap = 16 - 1 = 15 -> levels 1, 2 and 3 crossed.
+        assert_eq!(awards, 3);
+        assert_eq!(t.gap(), 15);
+        assert_eq!(t.types_read(), 16);
+        assert_eq!(t.types_written(), 1);
+    }
+
+    #[test]
+    fn duplicate_types_do_not_inflate() {
+        let mut t = FunnelTracker::new(2);
+        let mut awards = 0;
+        for _ in 0..100 {
+            awards += t.record_read(FileType::Pdf);
+        }
+        assert_eq!(awards, 0);
+        assert_eq!(t.gap(), 1);
+    }
+
+    #[test]
+    fn writing_more_types_shrinks_gap() {
+        let mut t = FunnelTracker::new(3);
+        for ty in types(6) {
+            t.record_read(ty);
+        }
+        assert_eq!(t.gap(), 6);
+        t.record_written(FileType::Pdf);
+        t.record_written(FileType::Docx);
+        assert_eq!(t.gap(), 4);
+        // Levels already awarded are not re-awarded when the gap re-crosses.
+        let again = t.record_read(FileType::Flac);
+        assert_eq!(t.gap(), 5);
+        assert_eq!(again, 0, "level 1 was already awarded at gap 6");
+    }
+
+    #[test]
+    fn zero_gap_config_is_clamped() {
+        let t = FunnelTracker::new(0);
+        assert_eq!(t.gap, 1, "gap of 0 would divide by zero");
+    }
+}

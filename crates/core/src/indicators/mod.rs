@@ -1,0 +1,128 @@
+//! The ransomware indicators (paper §III).
+//!
+//! Three *primary* indicators each measure an aspect of a file's
+//! transformation from usable to unusable:
+//!
+//! 1. [`type_change`] — the file's magic-number type changed across a
+//!    modification (§III-A);
+//! 2. [`similarity`] — the file's similarity digest no longer matches its
+//!    pre-image (§III-B);
+//! 3. [`entropy_delta`] — the process writes measurably higher-entropy data
+//!    than it reads (§III-C, §IV-C1).
+//!
+//! Two *secondary* indicators fill the gaps (§III-D): bulk [`deletion`] of
+//! protected files (Class C ransomware) and file-type [`funneling`] (many
+//! types read, few written). The occurrence of **all three primary
+//! indicators** in one process is the *union indication* (§III-E) that lets
+//! CryptoDrop act fast with few false positives.
+
+pub mod deletion;
+pub mod entropy_delta;
+pub mod funneling;
+pub mod similarity;
+pub mod type_change;
+
+use serde::{Deserialize, Serialize};
+
+/// Identifies one of CryptoDrop's indicators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Indicator {
+    /// Primary: sniffed file type changed across a modification.
+    TypeChange,
+    /// Primary: similarity digest collapsed across a modification.
+    Similarity,
+    /// Primary: write entropy exceeds read entropy by the threshold.
+    EntropyDelta,
+    /// Secondary: bulk deletion of protected files.
+    Deletion,
+    /// Secondary: many file types read while few are written.
+    Funneling,
+    /// Secondary (future-work, §V-F): many files modified within a short
+    /// time window. Off by default — "research into time window
+    /// parameterization may lead to another primary indicator in future
+    /// versions of CryptoDrop".
+    WriteBurst,
+}
+
+impl Indicator {
+    /// All indicators, primaries first.
+    pub const ALL: [Indicator; 6] = [
+        Indicator::TypeChange,
+        Indicator::Similarity,
+        Indicator::EntropyDelta,
+        Indicator::Deletion,
+        Indicator::Funneling,
+        Indicator::WriteBurst,
+    ];
+
+    /// The three primary indicators whose union triggers fast detection.
+    pub const PRIMARY: [Indicator; 3] = [
+        Indicator::TypeChange,
+        Indicator::Similarity,
+        Indicator::EntropyDelta,
+    ];
+
+    /// Returns `true` for the primary indicators.
+    pub fn is_primary(self) -> bool {
+        matches!(
+            self,
+            Indicator::TypeChange | Indicator::Similarity | Indicator::EntropyDelta
+        )
+    }
+
+    /// A short stable name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Indicator::TypeChange => "type-change",
+            Indicator::Similarity => "similarity",
+            Indicator::EntropyDelta => "entropy-delta",
+            Indicator::Deletion => "deletion",
+            Indicator::Funneling => "funneling",
+            Indicator::WriteBurst => "write-burst",
+        }
+    }
+}
+
+impl std::fmt::Display for Indicator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One indicator firing, with the points it contributed.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IndicatorHit {
+    /// Which indicator fired.
+    pub indicator: Indicator,
+    /// Reputation points awarded.
+    pub points: u32,
+    /// Human-readable context (file, scores) for the audit trail.
+    pub detail: String,
+    /// Simulated timestamp of the triggering operation.
+    pub at_nanos: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primary_classification() {
+        assert!(Indicator::TypeChange.is_primary());
+        assert!(Indicator::Similarity.is_primary());
+        assert!(Indicator::EntropyDelta.is_primary());
+        assert!(!Indicator::Deletion.is_primary());
+        assert!(!Indicator::Funneling.is_primary());
+        assert!(!Indicator::WriteBurst.is_primary());
+        assert_eq!(Indicator::PRIMARY.len(), 3);
+        assert!(Indicator::PRIMARY.iter().all(|i| i.is_primary()));
+    }
+
+    #[test]
+    fn names_are_distinct() {
+        use std::collections::HashSet;
+        let names: HashSet<&str> = Indicator::ALL.iter().map(|i| i.name()).collect();
+        assert_eq!(names.len(), Indicator::ALL.len());
+        assert_eq!(Indicator::Funneling.to_string(), "funneling");
+    }
+}

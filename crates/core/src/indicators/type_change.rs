@@ -1,0 +1,90 @@
+//! Primary indicator 1: file type changes (paper §III-A).
+//!
+//! "Since files generally retain their file type and formatting over the
+//! course of their existence, bulk modification of such data should be
+//! considered suspicious." The indicator compares the magic-number type
+//! of a file before and after it is written.
+
+use cryptodrop_sniff::FileType;
+
+/// The outcome of a before/after type comparison.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TypeChangeOutcome {
+    /// The type is unchanged — no suspicion.
+    Unchanged(FileType),
+    /// The type changed. A single change "does not automatically imply
+    /// malicious actions" (a format upgrade, §III-A), so this contributes
+    /// points rather than an immediate verdict.
+    Changed {
+        /// Type before the modification.
+        before: FileType,
+        /// Type after the modification.
+        after: FileType,
+    },
+}
+
+impl TypeChangeOutcome {
+    /// Returns `true` when the indicator fired.
+    pub fn fired(&self) -> bool {
+        matches!(self, TypeChangeOutcome::Changed { .. })
+    }
+}
+
+/// Compares the sniffed types of a file before and after modification.
+///
+/// Transitions *to* [`FileType::Empty`] are not flagged: truncation to
+/// zero length is routine (editors truncate before rewriting), and the
+/// rewrite that follows is evaluated on its own.
+pub fn evaluate(before: FileType, after: FileType) -> TypeChangeOutcome {
+    if before == after || after == FileType::Empty {
+        TypeChangeOutcome::Unchanged(after)
+    } else {
+        TypeChangeOutcome::Changed { before, after }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unchanged_types_do_not_fire() {
+        assert!(!evaluate(FileType::Pdf, FileType::Pdf).fired());
+        assert!(!evaluate(FileType::Docx, FileType::Docx).fired());
+        assert!(!evaluate(FileType::Data, FileType::Data).fired());
+    }
+
+    #[test]
+    fn encryption_transition_fires() {
+        // The signature ransomware transition: structured -> data.
+        let out = evaluate(FileType::Pdf, FileType::Data);
+        assert!(out.fired());
+        assert_eq!(
+            out,
+            TypeChangeOutcome::Changed {
+                before: FileType::Pdf,
+                after: FileType::Data
+            }
+        );
+    }
+
+    #[test]
+    fn format_upgrade_also_fires_once() {
+        // A benign format change (§III-A's software-upgrade example) fires
+        // too — that is why a single change only contributes points.
+        assert!(evaluate(FileType::OleCompound, FileType::Docx).fired());
+    }
+
+    #[test]
+    fn truncation_to_empty_is_tolerated() {
+        assert!(!evaluate(FileType::Docx, FileType::Empty).fired());
+    }
+
+    #[test]
+    fn growth_from_empty_fires() {
+        // An empty file gaining unrecognizable content is a change; new
+        // files never get a snapshot, so this only applies to pre-existing
+        // zero-length files, which are rare and quickly outweighed.
+        assert!(evaluate(FileType::Empty, FileType::Data).fired());
+    }
+}

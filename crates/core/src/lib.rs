@@ -1,0 +1,88 @@
+//! # CryptoDrop — early-warning ransomware detection on user data
+//!
+//! A reproduction of *"CryptoLock (and Drop It): Stopping Ransomware
+//! Attacks on User Data"* (Scaife, Carter, Traynor, Butler — ICDCS 2016).
+//!
+//! CryptoDrop is "the first ransomware detection system that monitors user
+//! data for changes that may indicate transformation rather than attempting
+//! to identify ransomware by inspecting its execution". It interposes on
+//! filesystem operations against the user's protected documents and scores
+//! each process on a set of behaviour indicators:
+//!
+//! * **Primary indicators** (§III): [file type
+//!   changes](indicators::type_change), [similarity
+//!   collapse](indicators::similarity), and [write-over-read entropy
+//!   deltas](indicators::entropy_delta).
+//! * **Secondary indicators** (§III-D): [bulk deletion](indicators::deletion)
+//!   and [file-type funneling](indicators::funneling).
+//! * **Union indication** (§III-E): a process that trips all three primary
+//!   indicators gets a score bonus and a lowered threshold — in the paper's
+//!   evaluation no benign program ever tripped all three, while 93% of
+//!   ransomware samples did.
+//!
+//! When a process's reputation score crosses its effective threshold, the
+//! engine suspends it ("drops it"), bounding the victim's data loss — a
+//! median of 10 of 5,099 files across the paper's 492 live samples.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use cryptodrop::{Config, CryptoDrop};
+//! use cryptodrop_vfs::{OpenOptions, Vfs, VPath};
+//!
+//! // A filesystem with protected user documents.
+//! let mut fs = Vfs::new();
+//! let docs = VPath::new("/Users/victim/Documents");
+//! for i in 0..50 {
+//!     let body: Vec<u8> = (0..150u32)
+//!         .flat_map(|l| format!("file {i} line {l}: quarterly figures\n").into_bytes())
+//!         .collect();
+//!     fs.admin_write_file(&docs.join(format!("report-{i}.txt")), &body).unwrap();
+//! }
+//!
+//! // Arm CryptoDrop.
+//! let (engine, monitor) = CryptoDrop::new(Config::protecting(docs.as_str()));
+//! fs.register_filter(Box::new(engine));
+//!
+//! // A ransomware-like process encrypts documents in place...
+//! let pid = fs.spawn_process("cryptolocker.exe");
+//! for i in 0..50 {
+//!     let path = docs.join(format!("report-{i}.txt"));
+//!     let Ok(h) = fs.open(pid, &path, OpenOptions::modify()) else { break };
+//!     let Ok(data) = fs.read_to_end(pid, h) else { break };
+//!     let ct: Vec<u8> = data
+//!         .iter()
+//!         .enumerate()
+//!         .map(|(j, b)| b ^ (j as u8).wrapping_mul(197).wrapping_add(91))
+//!         .collect();
+//!     if fs.seek(pid, h, 0).is_err() || fs.write(pid, h, &ct).is_err() {
+//!         let _ = fs.close(pid, h);
+//!         break;
+//!     }
+//!     if fs.close(pid, h).is_err() {
+//!         break;
+//!     }
+//! }
+//!
+//! // ...and is suspended after losing only a handful of files.
+//! let report = monitor.detections().pop().expect("detected");
+//! assert!(report.files_lost < 15);
+//! assert!(fs.is_suspended(pid));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod baseline;
+pub mod config;
+pub mod engine;
+pub mod indicators;
+pub mod state;
+
+pub use baseline::{
+    BaselineAlert, EntropyOnlyDetector, EntropyOnlyHandle, IntegrityHandle, IntegrityMonitor,
+};
+pub use config::{Config, ScoreConfig};
+pub use engine::{CryptoDrop, DetectionReport, Monitor};
+pub use indicators::{Indicator, IndicatorHit};
+pub use state::{FileSnapshot, ProcessState, ProcessSummary};

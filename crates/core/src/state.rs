@@ -1,0 +1,437 @@
+//! Per-process reputation state and per-file snapshots.
+//!
+//! CryptoDrop maintains "a reputation score threshold for all processes"
+//! (paper §IV-B) and tracks per-file state — type and similarity digest of
+//! the previous version — so indicators can compare before/after even when
+//! "the state of the file must be carefully tracked each time a file is
+//! moved" (§III).
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use cryptodrop_entropy::shannon_entropy;
+use cryptodrop_simhash::SdDigest;
+use cryptodrop_sniff::{sniff, FileType};
+use cryptodrop_vfs::{FileId, ProcessId};
+use serde::{Deserialize, Serialize};
+
+use crate::config::ScoreConfig;
+use crate::indicators::deletion::DeletionTracker;
+use crate::indicators::entropy_delta::EntropyDeltaTracker;
+use crate::indicators::funneling::FunnelTracker;
+use crate::indicators::{Indicator, IndicatorHit};
+
+/// A snapshot of one file version: everything the indicators need to
+/// compare against a later version.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FileSnapshot {
+    /// The sniffed type of the content.
+    pub file_type: FileType,
+    /// The sdhash digest, if the content is digestible (≥ 512 bytes and
+    /// featureful).
+    pub digest: Option<SdDigest>,
+    /// Whole-content Shannon entropy, bits/byte.
+    pub entropy: f64,
+    /// Content length in bytes.
+    pub len: u64,
+}
+
+impl FileSnapshot {
+    /// Captures a snapshot from file content, digesting at most
+    /// `max_digest_bytes` (a prefix digest bounds per-operation cost on
+    /// huge files while remaining comparable against other prefix digests).
+    pub fn capture(data: &[u8], max_digest_bytes: usize) -> Self {
+        let window = &data[..data.len().min(max_digest_bytes)];
+        Self {
+            file_type: sniff(data),
+            digest: SdDigest::compute(window),
+            entropy: shannon_entropy(window),
+            len: data.len() as u64,
+        }
+    }
+}
+
+/// The evolving reputation state of one monitored process.
+#[derive(Debug, Clone)]
+pub struct ProcessState {
+    pid: ProcessId,
+    name: String,
+    score: u32,
+    entropy: EntropyDeltaTracker,
+    funnel: FunnelTracker,
+    deletions: DeletionTracker,
+    primaries: BTreeSet<Indicator>,
+    union_triggered: bool,
+    union_at_nanos: Option<u64>,
+    hits: Vec<IndicatorHit>,
+    lost: BTreeSet<FileId>,
+    first_reads_seen: BTreeSet<FileId>,
+    modified_files: BTreeSet<FileId>,
+    burst_times: VecDeque<u64>,
+    detected: bool,
+    permitted: bool,
+}
+
+impl ProcessState {
+    /// Creates fresh state for a process.
+    pub fn new(pid: ProcessId, name: &str, cfg: &ScoreConfig) -> Self {
+        Self {
+            pid,
+            name: name.to_string(),
+            score: 0,
+            entropy: EntropyDeltaTracker::new(cfg.entropy_delta_threshold),
+            funnel: FunnelTracker::new(cfg.funnel_gap),
+            deletions: DeletionTracker::new(cfg.deletion_allowance),
+            primaries: BTreeSet::new(),
+            union_triggered: false,
+            union_at_nanos: None,
+            hits: Vec::new(),
+            lost: BTreeSet::new(),
+            first_reads_seen: BTreeSet::new(),
+            modified_files: BTreeSet::new(),
+            burst_times: VecDeque::new(),
+            detected: false,
+            permitted: false,
+        }
+    }
+
+    /// Awards an indicator hit: adds its points, tracks primaries, and
+    /// applies the one-time union bonus when all three primaries have been
+    /// seen (paper §III-E, §V-B2).
+    pub fn award(&mut self, cfg: &ScoreConfig, union_enabled: bool, hit: IndicatorHit) {
+        self.score += hit.points;
+        if hit.indicator.is_primary() {
+            self.primaries.insert(hit.indicator);
+        }
+        let at_nanos = hit.at_nanos;
+        self.hits.push(hit);
+        if union_enabled
+            && !self.union_triggered
+            && Indicator::PRIMARY.iter().all(|p| self.primaries.contains(p))
+        {
+            self.union_triggered = true;
+            self.union_at_nanos = Some(at_nanos);
+            self.score += cfg.union_bonus;
+        }
+    }
+
+    /// The detection threshold currently applying to this process: the
+    /// lowered union threshold once union indication has occurred.
+    pub fn effective_threshold(&self, cfg: &ScoreConfig) -> u32 {
+        if self.union_triggered {
+            cfg.union_threshold
+        } else {
+            cfg.non_union_threshold
+        }
+    }
+
+    /// Whether the score has reached the effective threshold.
+    pub fn over_threshold(&self, cfg: &ScoreConfig) -> bool {
+        self.score >= self.effective_threshold(cfg)
+    }
+
+    /// Records that a pre-existing protected file's content was destroyed
+    /// (modified, deleted, or replaced) by this process. Returns `true`
+    /// the first time a given file is recorded.
+    pub fn record_loss(&mut self, file: FileId) -> bool {
+        self.lost.insert(file)
+    }
+
+    /// Marks the first modification of a file by this process, returning
+    /// `true` exactly once per file (the write-burst indicator's unit of
+    /// account).
+    pub fn first_modification(&mut self, file: FileId) -> bool {
+        self.modified_files.insert(file)
+    }
+
+    /// Slides a first-modification timestamp into the burst window and
+    /// returns `true` when the modification count within the window
+    /// exceeds `threshold` (this modification scores).
+    pub fn record_burst(&mut self, at_nanos: u64, window_nanos: u64, threshold: u32) -> bool {
+        self.burst_times.push_back(at_nanos);
+        while let Some(&front) = self.burst_times.front() {
+            if at_nanos.saturating_sub(front) > window_nanos {
+                self.burst_times.pop_front();
+            } else {
+                break;
+            }
+        }
+        self.burst_times.len() as u32 > threshold
+    }
+
+    /// Marks the process as user-permitted: the user reviewed a detection
+    /// and allowed the activity (paper §IV-A: the engine "requests
+    /// permission from the user to allow the process to continue"). A
+    /// permitted process is no longer scored or re-suspended.
+    pub fn mark_permitted(&mut self) {
+        self.permitted = true;
+    }
+
+    /// Whether the user permitted this process to continue.
+    pub fn is_permitted(&self) -> bool {
+        self.permitted
+    }
+
+    /// Marks the first read of a file, returning `true` exactly once per
+    /// file (used to sample the funneling indicator's read types).
+    pub fn first_read(&mut self, file: FileId) -> bool {
+        self.first_reads_seen.insert(file)
+    }
+
+    /// Marks the process as detected (suspension verdict issued).
+    pub fn mark_detected(&mut self) {
+        self.detected = true;
+    }
+
+    /// Whether a detection verdict has been issued.
+    pub fn is_detected(&self) -> bool {
+        self.detected
+    }
+
+    /// The process id.
+    pub fn pid(&self) -> ProcessId {
+        self.pid
+    }
+
+    /// The process name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The current reputation score.
+    pub fn score(&self) -> u32 {
+        self.score
+    }
+
+    /// Whether union indication has occurred.
+    pub fn union_triggered(&self) -> bool {
+        self.union_triggered
+    }
+
+    /// The number of pre-existing files lost to this process.
+    pub fn files_lost(&self) -> u32 {
+        self.lost.len() as u32
+    }
+
+    /// Mutable access to the entropy-delta tracker.
+    pub fn entropy_mut(&mut self) -> &mut EntropyDeltaTracker {
+        &mut self.entropy
+    }
+
+    /// The entropy-delta tracker.
+    pub fn entropy(&self) -> &EntropyDeltaTracker {
+        &self.entropy
+    }
+
+    /// Mutable access to the funneling tracker.
+    pub fn funnel_mut(&mut self) -> &mut FunnelTracker {
+        &mut self.funnel
+    }
+
+    /// Mutable access to the deletion tracker.
+    pub fn deletions_mut(&mut self) -> &mut DeletionTracker {
+        &mut self.deletions
+    }
+
+    /// The full hit audit trail.
+    pub fn hits(&self) -> &[IndicatorHit] {
+        &self.hits
+    }
+
+    /// The primary indicators seen so far.
+    pub fn primaries_seen(&self) -> impl Iterator<Item = Indicator> + '_ {
+        self.primaries.iter().copied()
+    }
+
+    /// Builds an externally consumable summary.
+    pub fn summary(&self, cfg: &ScoreConfig) -> ProcessSummary {
+        let mut hit_counts = BTreeMap::new();
+        let mut hit_points = BTreeMap::new();
+        for h in &self.hits {
+            *hit_counts.entry(h.indicator).or_insert(0u32) += 1;
+            *hit_points.entry(h.indicator).or_insert(0u32) += h.points;
+        }
+        ProcessSummary {
+            pid: self.pid,
+            name: self.name.clone(),
+            score: self.score,
+            threshold: self.effective_threshold(cfg),
+            detected: self.detected,
+            union_triggered: self.union_triggered,
+            union_at_nanos: self.union_at_nanos,
+            primaries_seen: self.primaries.iter().copied().collect(),
+            files_lost: self.files_lost(),
+            hit_counts,
+            hit_points,
+        }
+    }
+}
+
+/// A point-in-time summary of one process's reputation state, as exposed
+/// by [`Monitor`](crate::engine::Monitor).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProcessSummary {
+    /// The process id.
+    pub pid: ProcessId,
+    /// The process name.
+    pub name: String,
+    /// Current reputation score.
+    pub score: u32,
+    /// The threshold currently applying (lowered after union indication).
+    pub threshold: u32,
+    /// Whether a detection verdict has been issued.
+    pub detected: bool,
+    /// Whether union indication has occurred.
+    pub union_triggered: bool,
+    /// Simulated time of union indication, if it occurred.
+    pub union_at_nanos: Option<u64>,
+    /// The primary indicators seen at least once.
+    pub primaries_seen: Vec<Indicator>,
+    /// The number of pre-existing protected files lost.
+    pub files_lost: u32,
+    /// Hit counts per indicator.
+    pub hit_counts: BTreeMap<Indicator, u32>,
+    /// Points per indicator.
+    pub hit_points: BTreeMap<Indicator, u32>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hit(indicator: Indicator, points: u32) -> IndicatorHit {
+        IndicatorHit {
+            indicator,
+            points,
+            detail: String::new(),
+            at_nanos: 7,
+        }
+    }
+
+    fn state(cfg: &ScoreConfig) -> ProcessState {
+        ProcessState::new(ProcessId(1), "x.exe", cfg)
+    }
+
+    #[test]
+    fn scores_accumulate() {
+        let cfg = ScoreConfig::default();
+        let mut s = state(&cfg);
+        s.award(&cfg, true, hit(Indicator::Deletion, 2));
+        s.award(&cfg, true, hit(Indicator::Deletion, 2));
+        assert_eq!(s.score(), 4);
+        assert!(!s.union_triggered());
+        assert_eq!(s.hits().len(), 2);
+    }
+
+    #[test]
+    fn union_bonus_applied_exactly_once() {
+        let cfg = ScoreConfig::default();
+        let mut s = state(&cfg);
+        s.award(&cfg, true, hit(Indicator::TypeChange, 10));
+        s.award(&cfg, true, hit(Indicator::Similarity, 10));
+        assert!(!s.union_triggered());
+        s.award(&cfg, true, hit(Indicator::EntropyDelta, 3));
+        assert!(s.union_triggered());
+        assert_eq!(s.score(), 23 + cfg.union_bonus);
+        // No second bonus.
+        s.award(&cfg, true, hit(Indicator::TypeChange, 10));
+        assert_eq!(s.score(), 33 + cfg.union_bonus);
+    }
+
+    #[test]
+    fn union_lowers_threshold() {
+        let cfg = ScoreConfig::default();
+        let mut s = state(&cfg);
+        assert_eq!(s.effective_threshold(&cfg), cfg.non_union_threshold);
+        for i in Indicator::PRIMARY {
+            s.award(&cfg, true, hit(i, 1));
+        }
+        assert_eq!(s.effective_threshold(&cfg), cfg.union_threshold);
+    }
+
+    #[test]
+    fn union_can_be_disabled() {
+        let cfg = ScoreConfig::default();
+        let mut s = state(&cfg);
+        for i in Indicator::PRIMARY {
+            s.award(&cfg, false, hit(i, 1));
+        }
+        assert!(!s.union_triggered());
+        assert_eq!(s.score(), 3);
+        assert_eq!(s.effective_threshold(&cfg), cfg.non_union_threshold);
+    }
+
+    #[test]
+    fn secondary_indicators_never_trigger_union() {
+        let cfg = ScoreConfig::default();
+        let mut s = state(&cfg);
+        for _ in 0..100 {
+            s.award(&cfg, true, hit(Indicator::Deletion, 2));
+            s.award(&cfg, true, hit(Indicator::Funneling, 15));
+        }
+        assert!(!s.union_triggered());
+    }
+
+    #[test]
+    fn loss_tracking_is_set_semantics() {
+        let cfg = ScoreConfig::default();
+        let mut s = state(&cfg);
+        s.record_loss(FileId(1));
+        s.record_loss(FileId(1));
+        s.record_loss(FileId(2));
+        assert_eq!(s.files_lost(), 2);
+    }
+
+    #[test]
+    fn first_read_fires_once_per_file() {
+        let cfg = ScoreConfig::default();
+        let mut s = state(&cfg);
+        assert!(s.first_read(FileId(9)));
+        assert!(!s.first_read(FileId(9)));
+        assert!(s.first_read(FileId(10)));
+    }
+
+    #[test]
+    fn summary_reflects_state() {
+        let cfg = ScoreConfig::default();
+        let mut s = state(&cfg);
+        s.award(&cfg, true, hit(Indicator::TypeChange, 10));
+        s.award(&cfg, true, hit(Indicator::TypeChange, 10));
+        s.record_loss(FileId(5));
+        let sum = s.summary(&cfg);
+        assert_eq!(sum.score, 20);
+        assert_eq!(sum.hit_counts[&Indicator::TypeChange], 2);
+        assert_eq!(sum.hit_points[&Indicator::TypeChange], 20);
+        assert_eq!(sum.files_lost, 1);
+        assert_eq!(sum.primaries_seen, vec![Indicator::TypeChange]);
+        assert!(!sum.detected);
+    }
+
+    #[test]
+    fn snapshot_capture_properties() {
+        let text: Vec<u8> = (0..200u32)
+            .flat_map(|i| format!("line {i} of the original document\n").into_bytes())
+            .collect();
+        let snap = FileSnapshot::capture(&text, 1 << 20);
+        assert_eq!(snap.file_type, FileType::Utf8Text);
+        assert!(snap.digest.is_some());
+        assert!(snap.entropy > 3.0 && snap.entropy < 5.5);
+        assert_eq!(snap.len, text.len() as u64);
+
+        let tiny = FileSnapshot::capture(b"small", 1 << 20);
+        assert!(tiny.digest.is_none(), "sub-512B files have no digest");
+    }
+
+    #[test]
+    fn snapshot_respects_digest_cap() {
+        let big: Vec<u8> = (0..64 * 1024u32)
+            .flat_map(|i| format!("{i:04x}").into_bytes())
+            .collect();
+        let capped = FileSnapshot::capture(&big, 1024);
+        let full = FileSnapshot::capture(&big, usize::MAX);
+        assert_eq!(capped.len, big.len() as u64, "len is of the full content");
+        // The capped digest covers only the prefix and is smaller.
+        assert!(
+            capped.digest.as_ref().unwrap().features() < full.digest.as_ref().unwrap().features()
+        );
+    }
+}

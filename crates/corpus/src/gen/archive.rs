@@ -1,0 +1,67 @@
+//! Archive generators: plain ZIP and gzip (the odd archive found in real
+//! user document directories).
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use super::{compressed_payload, random_bytes};
+
+/// A plain ZIP archive (not an OOXML/ODF container).
+pub fn zip(rng: &mut StdRng, size: usize) -> Vec<u8> {
+    let mut v = Vec::with_capacity(size + 128);
+    let mut i = 0;
+    while v.len() + 64 < size {
+        let name = format!("backup/item-{i}.dat");
+        v.extend_from_slice(&[b'P', b'K', 0x03, 0x04]);
+        v.extend_from_slice(&[0x14, 0x00, 0x00, 0x00, 0x08, 0x00]);
+        v.extend_from_slice(&random_bytes(rng, 16));
+        v.extend_from_slice(&(name.len() as u16).to_le_bytes());
+        v.extend_from_slice(&0u16.to_le_bytes());
+        v.extend_from_slice(name.as_bytes());
+        let n = rng.gen_range(512..4096).min(size.saturating_sub(v.len()).max(16));
+        v.extend_from_slice(&compressed_payload(rng, n));
+        i += 1;
+    }
+    v.extend_from_slice(&[b'P', b'K', 0x05, 0x06]);
+    v.extend_from_slice(&[0u8; 18]);
+    v
+}
+
+/// A gzip stream.
+pub fn gzip(rng: &mut StdRng, size: usize) -> Vec<u8> {
+    let mut v = Vec::with_capacity(size);
+    v.extend_from_slice(&[0x1F, 0x8B, 0x08, 0x00]); // magic + deflate + flags
+    v.extend_from_slice(&random_bytes(rng, 4)); // mtime
+    v.extend_from_slice(&[0x00, 0x03]); // xfl + os=unix
+    v.extend_from_slice(&compressed_payload(rng, size.saturating_sub(18)));
+    v.extend_from_slice(&random_bytes(rng, 8)); // crc + isize
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cryptodrop_sniff::{sniff, FileType};
+    use rand::SeedableRng;
+
+    #[test]
+    fn sniffed_types_match() {
+        let mut r = StdRng::seed_from_u64(9);
+        assert_eq!(sniff(&zip(&mut r, 16384)), FileType::Zip);
+        assert_eq!(sniff(&gzip(&mut r, 16384)), FileType::Gzip);
+    }
+
+    #[test]
+    fn zip_is_not_mistaken_for_ooxml() {
+        let mut r = StdRng::seed_from_u64(10);
+        let data = zip(&mut r, 32768);
+        assert_eq!(sniff(&data), FileType::Zip, "no OOXML member names present");
+    }
+
+    #[test]
+    fn entropy_is_high() {
+        let mut r = StdRng::seed_from_u64(11);
+        assert!(cryptodrop_entropy::shannon_entropy(&zip(&mut r, 32768)) > 7.5);
+        assert!(cryptodrop_entropy::shannon_entropy(&gzip(&mut r, 32768)) > 7.6);
+    }
+}

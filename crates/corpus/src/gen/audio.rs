@@ -1,0 +1,77 @@
+//! Audio generators: MP3 and WAV (the Coldwell audio-comparison corpus
+//! analogue the paper mixes into its document set).
+
+use rand::rngs::StdRng;
+
+use super::{compressed_payload, waveform_payload};
+
+/// An MP3: ID3v2 tag + compressed frames (entropy ≈ 7.9).
+pub fn mp3(rng: &mut StdRng, size: usize) -> Vec<u8> {
+    let mut v = Vec::with_capacity(size + 64);
+    v.extend_from_slice(b"ID3\x04\x00\x00");
+    // Tag size (syncsafe) then a title frame.
+    let title = b"TIT2\x00\x00\x00\x10\x00\x00\x03audio sample";
+    v.extend_from_slice(&[0, 0, 0, title.len() as u8]);
+    v.extend_from_slice(title);
+    while v.len() < size {
+        // An MPEG frame header then frame payload.
+        v.extend_from_slice(&[0xFF, 0xFB, 0x90, 0x00]);
+        let n = 417.min(size.saturating_sub(v.len()).max(1));
+        v.extend_from_slice(&compressed_payload(rng, n));
+    }
+    v.truncate(size.max(32));
+    v
+}
+
+/// A RIFF/WAVE with PCM-like medium-entropy samples.
+pub fn wav(rng: &mut StdRng, size: usize) -> Vec<u8> {
+    let body = size.saturating_sub(44);
+    let mut v = Vec::with_capacity(size + 8);
+    v.extend_from_slice(b"RIFF");
+    v.extend_from_slice(&((36 + body) as u32).to_le_bytes());
+    v.extend_from_slice(b"WAVE");
+    v.extend_from_slice(b"fmt ");
+    v.extend_from_slice(&16u32.to_le_bytes());
+    v.extend_from_slice(&[1, 0, 1, 0]); // PCM mono
+    v.extend_from_slice(&44100u32.to_le_bytes());
+    v.extend_from_slice(&44100u32.to_le_bytes());
+    v.extend_from_slice(&[1, 0, 8, 0]);
+    v.extend_from_slice(b"data");
+    v.extend_from_slice(&(body as u32).to_le_bytes());
+    v.extend_from_slice(&waveform_payload(rng, body));
+    let _ = rng;
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cryptodrop_entropy::shannon_entropy;
+    use cryptodrop_sniff::{sniff, FileType};
+    use rand::SeedableRng;
+
+    #[test]
+    fn sniffed_types_match() {
+        let mut r = StdRng::seed_from_u64(5);
+        assert_eq!(sniff(&mp3(&mut r, 8192)), FileType::Mp3);
+        assert_eq!(sniff(&wav(&mut r, 8192)), FileType::Wav);
+    }
+
+    #[test]
+    fn entropy_profiles() {
+        let mut r = StdRng::seed_from_u64(6);
+        assert!(shannon_entropy(&mp3(&mut r, 32768)) > 7.5, "mp3 is compressed");
+        let w = shannon_entropy(&wav(&mut r, 32768));
+        assert!(w > 4.0 && w < 7.2, "wav is PCM, entropy {w}");
+    }
+
+    #[test]
+    fn sizes_near_target() {
+        let mut r = StdRng::seed_from_u64(7);
+        for target in [1024usize, 16384] {
+            assert!(mp3(&mut r, target).len() <= target + 64);
+            let n = wav(&mut r, target).len();
+            assert!(n >= target - 64 && n <= target + 64);
+        }
+    }
+}

@@ -1,0 +1,138 @@
+//! Image generators: JPEG, PNG, GIF, BMP.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use super::{compressed_payload, random_bytes, waveform_payload};
+
+/// A JPEG: SOI + APP0/JFIF + quantization tables + an entropy-coded body.
+pub fn jpeg(rng: &mut StdRng, size: usize) -> Vec<u8> {
+    let mut v = Vec::with_capacity(size + 64);
+    v.extend_from_slice(&[0xFF, 0xD8, 0xFF, 0xE0]); // SOI + APP0
+    v.extend_from_slice(&[0x00, 0x10]); // APP0 length
+    v.extend_from_slice(b"JFIF\0");
+    v.extend_from_slice(&[0x01, 0x02, 0x00, 0x00, 0x48, 0x00, 0x48, 0x00, 0x00]);
+    // DQT marker + table.
+    v.extend_from_slice(&[0xFF, 0xDB, 0x00, 0x43, 0x00]);
+    v.extend_from_slice(&random_bytes(rng, 64));
+    // SOS then the entropy-coded scan (high-entropy, no 0xFF bytes to keep
+    // the structure marker-clean, as real scans byte-stuff them).
+    v.extend_from_slice(&[0xFF, 0xDA, 0x00, 0x0C]);
+    let body = size.saturating_sub(v.len() + 2);
+    for _ in 0..body {
+        v.push(rng.gen_range(0..=0xFE));
+    }
+    v.extend_from_slice(&[0xFF, 0xD9]); // EOI
+    v
+}
+
+/// A PNG: signature + IHDR + IDAT (deflate-like) + IEND.
+pub fn png(rng: &mut StdRng, size: usize) -> Vec<u8> {
+    let mut v = Vec::with_capacity(size + 64);
+    v.extend_from_slice(&[0x89, b'P', b'N', b'G', 0x0D, 0x0A, 0x1A, 0x0A]);
+    // IHDR chunk.
+    v.extend_from_slice(&13u32.to_be_bytes());
+    v.extend_from_slice(b"IHDR");
+    let w: u32 = rng.gen_range(64..2048);
+    let h: u32 = rng.gen_range(64..2048);
+    v.extend_from_slice(&w.to_be_bytes());
+    v.extend_from_slice(&h.to_be_bytes());
+    v.extend_from_slice(&[8, 6, 0, 0, 0]); // bit depth + color type RGBA
+    v.extend_from_slice(&random_bytes(rng, 4)); // crc
+    // One big IDAT chunk.
+    let body = size.saturating_sub(v.len() + 24).max(16);
+    v.extend_from_slice(&(body as u32).to_be_bytes());
+    v.extend_from_slice(b"IDAT");
+    v.extend_from_slice(&compressed_payload(rng, body));
+    v.extend_from_slice(&random_bytes(rng, 4)); // crc
+    // IEND.
+    v.extend_from_slice(&0u32.to_be_bytes());
+    v.extend_from_slice(b"IEND");
+    v.extend_from_slice(&random_bytes(rng, 4));
+    v
+}
+
+/// A GIF89a: header + LZW-ish medium-high entropy body.
+pub fn gif(rng: &mut StdRng, size: usize) -> Vec<u8> {
+    let mut v = Vec::with_capacity(size + 32);
+    v.extend_from_slice(b"GIF89a");
+    let w: u16 = rng.gen_range(16..1024);
+    let h: u16 = rng.gen_range(16..1024);
+    v.extend_from_slice(&w.to_le_bytes());
+    v.extend_from_slice(&h.to_le_bytes());
+    v.extend_from_slice(&[0xF7, 0x00, 0x00]); // GCT flags
+    v.extend_from_slice(&random_bytes(rng, 256 * 3)); // palette
+    let body = size.saturating_sub(v.len() + 1);
+    v.extend_from_slice(&compressed_payload(rng, body));
+    v.push(0x3B); // trailer
+    v
+}
+
+/// A BMP: header + uncompressed gradient-ish pixels (low entropy).
+pub fn bmp(rng: &mut StdRng, size: usize) -> Vec<u8> {
+    let mut v = Vec::with_capacity(size + 64);
+    v.extend_from_slice(b"BM");
+    v.extend_from_slice(&(size as u32).to_le_bytes());
+    v.extend_from_slice(&[0u8; 4]);
+    v.extend_from_slice(&54u32.to_le_bytes()); // pixel offset
+    v.extend_from_slice(&40u32.to_le_bytes()); // DIB header size
+    let w: u32 = rng.gen_range(16..512);
+    v.extend_from_slice(&w.to_le_bytes());
+    v.extend_from_slice(&w.to_le_bytes());
+    v.extend_from_slice(&[1, 0, 24, 0]);
+    v.extend_from_slice(&[0u8; 24]);
+    let body = size.saturating_sub(v.len());
+    v.extend_from_slice(&waveform_payload(rng, body));
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cryptodrop_entropy::shannon_entropy;
+    use cryptodrop_sniff::{sniff, FileType};
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(31)
+    }
+
+    #[test]
+    fn sniffed_types_match() {
+        let mut r = rng();
+        assert_eq!(sniff(&jpeg(&mut r, 8192)), FileType::Jpeg);
+        assert_eq!(sniff(&png(&mut r, 8192)), FileType::Png);
+        assert_eq!(sniff(&gif(&mut r, 8192)), FileType::Gif);
+        assert_eq!(sniff(&bmp(&mut r, 8192)), FileType::Bmp);
+    }
+
+    #[test]
+    fn entropy_profiles() {
+        let mut r = rng();
+        assert!(shannon_entropy(&jpeg(&mut r, 32768)) > 7.7, "jpeg is compressed");
+        assert!(shannon_entropy(&png(&mut r, 32768)) > 7.5, "png is compressed");
+        let b = shannon_entropy(&bmp(&mut r, 32768));
+        assert!(b < 7.0, "bmp is raw pixels, entropy {b}");
+    }
+
+    #[test]
+    fn sizes_near_target() {
+        let mut r = rng();
+        for target in [1024usize, 8192, 65536] {
+            for f in [jpeg, png, gif, bmp] {
+                let n = f(&mut r, target).len();
+                assert!(n >= target / 2 && n <= target + 2048, "got {n} for {target}");
+            }
+        }
+    }
+
+    #[test]
+    fn jpeg_scan_has_no_stray_markers() {
+        let mut r = rng();
+        let img = jpeg(&mut r, 16384);
+        // After the SOS header, no 0xFF until the final EOI.
+        let sos = img.windows(2).position(|w| w == [0xFF, 0xDA]).unwrap();
+        let scan = &img[sos + 4..img.len() - 2];
+        assert!(!scan.contains(&0xFF));
+    }
+}

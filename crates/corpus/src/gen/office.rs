@@ -1,0 +1,233 @@
+//! Office-document generators: OOXML (docx/xlsx/pptx), OpenDocument (odt),
+//! legacy OLE (.doc), and PDF.
+//!
+//! The OOXML/ODF generators emit ZIP-container structure — local file
+//! headers with the member names the sniffer (and `file`) key on — wrapping
+//! deflate-like high-entropy payloads, so the whole-file entropy lands
+//! where real compressed documents live (≈ 7.8–7.95 bits/byte). PDF mixes
+//! text objects with compressed streams, landing lower (≈ 6.5–7.4), which
+//! is exactly why the similarity indicator still applies to PDFs but not to
+//! OOXML (see the engine's `similarity_max_source_entropy`).
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use super::{compressed_payload, random_bytes};
+use crate::english::EnglishGenerator;
+
+/// A fake ZIP local-file-header entry: signature, filler fields, name,
+/// then a "compressed" payload.
+fn zip_member(rng: &mut StdRng, name: &str, payload_len: usize) -> Vec<u8> {
+    let mut v = Vec::with_capacity(30 + name.len() + payload_len);
+    v.extend_from_slice(&[b'P', b'K', 0x03, 0x04]); // local file header
+    v.extend_from_slice(&[0x14, 0x00, 0x00, 0x00, 0x08, 0x00]); // version/flags/method=deflate
+    v.extend_from_slice(&random_bytes(rng, 4)); // dos time/date
+    v.extend_from_slice(&random_bytes(rng, 12)); // crc + sizes
+    v.extend_from_slice(&(name.len() as u16).to_le_bytes());
+    v.extend_from_slice(&0u16.to_le_bytes()); // extra len
+    v.extend_from_slice(name.as_bytes());
+    v.extend_from_slice(&compressed_payload(rng, payload_len));
+    v
+}
+
+fn ooxml(rng: &mut StdRng, size: usize, members: &[&str]) -> Vec<u8> {
+    let mut v = Vec::with_capacity(size + 512);
+    v.extend(zip_member(rng, "[Content_Types].xml", 200));
+    v.extend(zip_member(rng, "_rels/.rels", 150));
+    let body = size.saturating_sub(v.len()).max(64);
+    let per = (body / members.len()).max(64);
+    for name in members {
+        v.extend(zip_member(rng, name, per));
+    }
+    // End-of-central-directory marker for flavour.
+    v.extend_from_slice(&[b'P', b'K', 0x05, 0x06]);
+    v.extend_from_slice(&[0u8; 18]);
+    v
+}
+
+/// A Microsoft Word 2007+ document.
+pub fn docx(rng: &mut StdRng, size: usize) -> Vec<u8> {
+    ooxml(
+        rng,
+        size,
+        &[
+            "word/document.xml",
+            "word/styles.xml",
+            "word/fontTable.xml",
+            "docProps/core.xml",
+        ],
+    )
+}
+
+/// A Microsoft Excel 2007+ workbook.
+pub fn xlsx(rng: &mut StdRng, size: usize) -> Vec<u8> {
+    ooxml(
+        rng,
+        size,
+        &[
+            "xl/workbook.xml",
+            "xl/worksheets/sheet1.xml",
+            "xl/sharedStrings.xml",
+            "docProps/core.xml",
+        ],
+    )
+}
+
+/// A Microsoft PowerPoint 2007+ deck.
+pub fn pptx(rng: &mut StdRng, size: usize) -> Vec<u8> {
+    ooxml(
+        rng,
+        size,
+        &[
+            "ppt/presentation.xml",
+            "ppt/slides/slide1.xml",
+            "ppt/slides/slide2.xml",
+            "ppt/media/image1.png",
+        ],
+    )
+}
+
+/// An OpenDocument Text file.
+pub fn odt(rng: &mut StdRng, size: usize) -> Vec<u8> {
+    let mut v = Vec::with_capacity(size + 256);
+    // ODF requires an uncompressed leading `mimetype` member.
+    v.extend_from_slice(&[b'P', b'K', 0x03, 0x04]);
+    v.extend_from_slice(&[0x14, 0x00, 0x00, 0x00, 0x00, 0x00]); // stored
+    v.extend_from_slice(&[0u8; 16]);
+    let mime = "mimetypeapplication/vnd.oasis.opendocument.text";
+    v.extend_from_slice(&(8u16).to_le_bytes());
+    v.extend_from_slice(&0u16.to_le_bytes());
+    v.extend_from_slice(mime.as_bytes());
+    let body = size.saturating_sub(v.len()).max(64);
+    v.extend(zip_member(rng, "content.xml", body / 2));
+    v.extend(zip_member(rng, "styles.xml", body / 2));
+    v
+}
+
+/// A legacy OLE Compound File (.doc): CFB header + FAT-ish sectors mixing
+/// text and binary tables (entropy ≈ 5–6.8).
+pub fn doc(rng: &mut StdRng, size: usize) -> Vec<u8> {
+    let mut v = Vec::with_capacity(size + 512);
+    v.extend_from_slice(&[0xD0, 0xCF, 0x11, 0xE0, 0xA1, 0xB1, 0x1A, 0xE1]);
+    v.extend_from_slice(&[0u8; 16]); // clsid
+    v.extend_from_slice(&random_bytes(rng, 488)); // rest of the 512B header
+    let mut gen = EnglishGenerator::new();
+    while v.len() < size {
+        if rng.gen_bool(0.6) {
+            // A text sector: the document body is stored as UTF-16LE.
+            let text = gen.paragraph(rng);
+            for c in text.encode_utf16() {
+                v.extend_from_slice(&c.to_le_bytes());
+            }
+        } else {
+            // A formatting/table sector.
+            v.extend_from_slice(&random_bytes(rng, 512));
+        }
+    }
+    v.truncate(size.max(520));
+    v
+}
+
+/// A PDF document: header, text objects, and FlateDecode streams.
+pub fn pdf(rng: &mut StdRng, size: usize) -> Vec<u8> {
+    let mut gen = EnglishGenerator::new();
+    let mut v = Vec::with_capacity(size + 512);
+    v.extend_from_slice(b"%PDF-1.5\n%\xE2\xE3\xCF\xD3\n");
+    let mut obj = 1;
+    while v.len() < size {
+        if rng.gen_bool(0.75) {
+            // A content text object.
+            let text = gen.paragraph(rng);
+            v.extend_from_slice(
+                format!(
+                    "{obj} 0 obj\n<< /Type /Page >>\nBT /F1 11 Tf 72 720 Td ({text}) Tj ET\nendobj\n"
+                )
+                .as_bytes(),
+            );
+        } else {
+            // A compressed stream object.
+            let n = rng.gen_range(400..1400).min(size.saturating_sub(v.len()).max(64));
+            v.extend_from_slice(
+                format!("{obj} 0 obj\n<< /Filter /FlateDecode /Length {n} >>\nstream\n").as_bytes(),
+            );
+            v.extend_from_slice(&compressed_payload(rng, n));
+            v.extend_from_slice(b"\nendstream\nendobj\n");
+        }
+        obj += 1;
+    }
+    v.extend_from_slice(b"trailer\n<< /Root 1 0 R >>\n%%EOF\n");
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cryptodrop_entropy::shannon_entropy;
+    use cryptodrop_sniff::{sniff, FileType};
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(77)
+    }
+
+    #[test]
+    fn sniffed_types_match() {
+        let mut r = rng();
+        assert_eq!(sniff(&docx(&mut r, 20000)), FileType::Docx);
+        assert_eq!(sniff(&xlsx(&mut r, 20000)), FileType::Xlsx);
+        assert_eq!(sniff(&pptx(&mut r, 20000)), FileType::Pptx);
+        assert_eq!(sniff(&odt(&mut r, 20000)), FileType::Odt);
+        assert_eq!(sniff(&doc(&mut r, 20000)), FileType::OleCompound);
+        assert_eq!(sniff(&pdf(&mut r, 20000)), FileType::Pdf);
+    }
+
+    #[test]
+    fn ooxml_entropy_is_compressed_range() {
+        let mut r = rng();
+        for f in [docx, xlsx, pptx, odt] {
+            let e = shannon_entropy(&f(&mut r, 32768));
+            assert!(e > 7.5, "OOXML entropy {e} too low");
+        }
+    }
+
+    #[test]
+    fn pdf_entropy_is_mixed_range() {
+        let mut r = rng();
+        let e = shannon_entropy(&pdf(&mut r, 65536));
+        assert!(
+            e > 5.8 && e < 7.5,
+            "PDF entropy {e} must sit below the similarity abstention cutoff"
+        );
+    }
+
+    #[test]
+    fn doc_entropy_is_mixed() {
+        let mut r = rng();
+        let e = shannon_entropy(&doc(&mut r, 32768));
+        assert!(e > 3.5 && e < 7.5, "doc entropy {e}");
+    }
+
+    #[test]
+    fn sizes_are_near_target() {
+        let mut r = rng();
+        for target in [2048usize, 16384, 65536] {
+            for f in [docx, xlsx, pptx, odt, doc, pdf] {
+                let n = f(&mut r, target).len();
+                assert!(
+                    n >= target / 2 && n <= target + 4096,
+                    "target {target}, got {n}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pdfs_are_similarity_digestible() {
+        // The similarity indicator must work on PDFs (paper: TeslaCrypt's
+        // first encrypted file was a PDF, and union indication fired).
+        let mut r = rng();
+        let a = pdf(&mut r, 16384);
+        let d = cryptodrop_simhash::SdDigest::compute(&a);
+        assert!(d.is_some());
+    }
+}

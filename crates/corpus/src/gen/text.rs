@@ -1,0 +1,190 @@
+//! Text-family generators: plain text, Markdown, CSV, HTML, XML, JSON,
+//! RTF, and log files.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::english::EnglishGenerator;
+
+/// Plain `.txt` content of roughly `size` bytes.
+pub fn txt(rng: &mut StdRng, size: usize) -> Vec<u8> {
+    EnglishGenerator::new().text_of_len(rng, size).into_bytes()
+}
+
+/// Markdown with headings, lists, and emphasis.
+pub fn markdown(rng: &mut StdRng, size: usize) -> Vec<u8> {
+    let mut gen = EnglishGenerator::new();
+    let mut out = String::with_capacity(size + 256);
+    out.push_str(&format!("# {}\n\n", gen.title(rng)));
+    while out.len() < size {
+        match rng.gen_range(0..4) {
+            0 => out.push_str(&format!("## {}\n\n", gen.title(rng))),
+            1 => {
+                for _ in 0..rng.gen_range(2..5) {
+                    out.push_str(&format!("- {}\n", gen.sentence(rng)));
+                }
+                out.push('\n');
+            }
+            2 => out.push_str(&format!("*{}*\n\n", gen.sentence(rng))),
+            _ => {
+                out.push_str(&gen.paragraph(rng));
+                out.push_str("\n\n");
+            }
+        }
+    }
+    out.into_bytes()
+}
+
+/// CSV with a header row and consistent numeric/text columns.
+pub fn csv(rng: &mut StdRng, size: usize) -> Vec<u8> {
+    let mut out = String::with_capacity(size + 128);
+    out.push_str("id,date,department,amount,approved,notes\n");
+    let mut gen = EnglishGenerator::new();
+    let mut id = 1000;
+    while out.len() < size {
+        out.push_str(&format!(
+            "{},2015-{:02}-{:02},{},{}.{:02},{},{}\n",
+            id,
+            rng.gen_range(1..=12),
+            rng.gen_range(1..=28),
+            ["sales", "ops", "hr", "it", "legal"][rng.gen_range(0..5)],
+            rng.gen_range(10..99999),
+            rng.gen_range(0..100),
+            if rng.gen_bool(0.8) { "yes" } else { "no" },
+            gen.title(rng).to_lowercase(),
+        ));
+        id += 1;
+    }
+    out.into_bytes()
+}
+
+/// An HTML page.
+pub fn html(rng: &mut StdRng, size: usize) -> Vec<u8> {
+    let mut gen = EnglishGenerator::new();
+    let title = gen.title(rng);
+    let mut out = format!(
+        "<!DOCTYPE html>\n<html lang=\"en\">\n<head><meta charset=\"utf-8\"><title>{title}</title></head>\n<body>\n<h1>{title}</h1>\n"
+    );
+    while out.len() < size.saturating_sub(16) {
+        out.push_str(&format!("<p>{}</p>\n", gen.paragraph(rng)));
+    }
+    out.push_str("</body>\n</html>\n");
+    out.into_bytes()
+}
+
+/// An XML document.
+pub fn xml(rng: &mut StdRng, size: usize) -> Vec<u8> {
+    let mut gen = EnglishGenerator::new();
+    let mut out = String::from("<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n<records>\n");
+    let mut id = 0;
+    while out.len() < size.saturating_sub(12) {
+        out.push_str(&format!(
+            "  <record id=\"{id}\"><title>{}</title><body>{}</body></record>\n",
+            gen.title(rng),
+            gen.sentence(rng)
+        ));
+        id += 1;
+    }
+    out.push_str("</records>\n");
+    out.into_bytes()
+}
+
+/// A JSON document (array of objects).
+pub fn json(rng: &mut StdRng, size: usize) -> Vec<u8> {
+    let mut gen = EnglishGenerator::new();
+    let mut items = Vec::new();
+    let mut len = 2;
+    let mut id = 0;
+    while len < size {
+        let item = format!(
+            "{{\"id\": {id}, \"name\": \"{}\", \"value\": {}, \"note\": \"{}\"}}",
+            gen.title(rng),
+            rng.gen_range(0..100000),
+            gen.sentence(rng).replace('"', "'"),
+        );
+        len += item.len() + 2;
+        items.push(item);
+        id += 1;
+    }
+    format!("[\n  {}\n]\n", items.join(",\n  ")).into_bytes()
+}
+
+/// An RTF document.
+pub fn rtf(rng: &mut StdRng, size: usize) -> Vec<u8> {
+    let mut gen = EnglishGenerator::new();
+    let mut out = String::from("{\\rtf1\\ansi\\deff0 {\\fonttbl {\\f0 Times New Roman;}}\n");
+    while out.len() < size.saturating_sub(2) {
+        out.push_str(&format!("\\par {}\n", gen.paragraph(rng)));
+    }
+    out.push('}');
+    out.into_bytes()
+}
+
+/// An application log file.
+pub fn log(rng: &mut StdRng, size: usize) -> Vec<u8> {
+    let mut gen = EnglishGenerator::new();
+    let mut out = String::with_capacity(size + 128);
+    let mut t = 0u64;
+    while out.len() < size {
+        t += rng.gen_range(1..90);
+        out.push_str(&format!(
+            "2015-11-{:02}T{:02}:{:02}:{:02} [{}] {}\n",
+            rng.gen_range(1..29),
+            (t / 3600) % 24,
+            (t / 60) % 60,
+            t % 60,
+            ["INFO", "WARN", "DEBUG", "ERROR"][rng.gen_range(0..4)],
+            gen.sentence(rng),
+        ));
+    }
+    out.into_bytes()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cryptodrop_sniff::{sniff, FileType};
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(1234)
+    }
+
+    #[test]
+    fn sniffed_types_match() {
+        let mut r = rng();
+        assert_eq!(sniff(&txt(&mut r, 2000)), FileType::Utf8Text);
+        assert_eq!(sniff(&csv(&mut r, 2000)), FileType::Csv);
+        assert_eq!(sniff(&html(&mut r, 2000)), FileType::Html);
+        assert_eq!(sniff(&xml(&mut r, 2000)), FileType::Xml);
+        assert_eq!(sniff(&json(&mut r, 2000)), FileType::Json);
+        assert_eq!(sniff(&rtf(&mut r, 2000)), FileType::Rtf);
+        assert_eq!(sniff(&log(&mut r, 2000)), FileType::Utf8Text);
+        // Markdown has no magic; classifies as text.
+        assert_eq!(sniff(&markdown(&mut r, 2000)), FileType::Utf8Text);
+    }
+
+    #[test]
+    fn sizes_are_near_target() {
+        let mut r = rng();
+        for target in [600usize, 2048, 16384] {
+            for f in [txt, markdown, csv, html, xml, json, rtf, log] {
+                let data = f(&mut r, target);
+                assert!(
+                    data.len() >= target / 2 && data.len() < target + 1024,
+                    "target {target}, got {}",
+                    data.len()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn text_entropy_is_textual() {
+        let mut r = rng();
+        for f in [txt, markdown, csv, html, xml, json, rtf, log] {
+            let e = cryptodrop_entropy::shannon_entropy(&f(&mut r, 8192));
+            assert!(e > 3.0 && e < 5.5, "entropy {e}");
+        }
+    }
+}

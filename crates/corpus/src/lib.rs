@@ -1,0 +1,47 @@
+//! Synthetic user-document corpus generation.
+//!
+//! The paper's evaluation (§V-A) runs every ransomware sample against a
+//! corpus of **5,099 files spread over a nested tree of 511 directories**,
+//! assembled from the Govdocs1 threads, an OOXML document set, the OPF
+//! format corpus, and the Coldwell audio files, proportioned to match
+//! measured user document directories. Those corpora cannot be shipped
+//! here, so this crate generates an *indicator-faithful* synthetic
+//! equivalent (see DESIGN.md §1 for the substitution argument):
+//!
+//! * every file carries correct **magic numbers** for its declared type,
+//! * every format matches its real-world **entropy profile** (English text
+//!   ≈ 4.2 bits/byte, OOXML/JPEG/MP3 ≈ 7.8–7.95, PDF a 6.5–7.4 mixture,
+//!   BMP/WAV mid-range),
+//! * a deliberate **sub-512-byte population** of text files exists, the
+//!   population whose missing sdhash digests drive the paper's §V-C
+//!   CTB-Locker analysis,
+//! * a small fraction of files is **read-only**, reproducing the §V-C
+//!   GPcode observation.
+//!
+//! Generation is deterministic per [`CorpusSpec`]: experiments are
+//! reproducible, and a single generated [`Corpus`] template is staged into
+//! a fresh [`Vfs`](cryptodrop_vfs::Vfs) per sample run.
+//!
+//! # Examples
+//!
+//! ```
+//! use cryptodrop_corpus::{Corpus, CorpusSpec};
+//!
+//! // The paper-scale corpus (5,099 files / 511 dirs) — or a smaller one:
+//! let corpus = Corpus::generate(&CorpusSpec::sized(250, 30));
+//! assert_eq!(corpus.file_count(), 250);
+//! assert!(corpus.total_bytes() > 1_000_000);
+//! // The §V-C sub-512B tail exists at paper scale (~25-30 of 5,099 files).
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod corpus;
+pub mod english;
+pub mod gen;
+pub mod spec;
+pub mod tree;
+
+pub use corpus::{Corpus, CorpusFile};
+pub use spec::{CorpusSpec, GeneratorKind, TypeSpec};

@@ -1,0 +1,282 @@
+//! The corpus specification: file-type mix and size model.
+//!
+//! The paper (§V-A) built its 5,099-file / 511-directory corpus from the
+//! Govdocs1 threads, an OOXML set, the OPF format corpus, and the Coldwell
+//! audio files, proportioned to match measured user document directories
+//! (Hicks et al., the paper's ref. 22). [`CorpusSpec::paper`] reproduces that shape:
+//! productivity documents dominate, images and audio are present, and a
+//! meaningful population of sub-512-byte text files exists (the population
+//! that drives the CTB-Locker/sdhash interaction in §V-C).
+
+use cryptodrop_vfs::VPath;
+use rand::rngs::StdRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::gen;
+
+/// Which synthesizer produces a file's content.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum GeneratorKind {
+    /// Plain text.
+    Txt,
+    /// Markdown.
+    Markdown,
+    /// CSV.
+    Csv,
+    /// HTML.
+    Html,
+    /// XML.
+    Xml,
+    /// JSON.
+    Json,
+    /// RTF.
+    Rtf,
+    /// Log file.
+    Log,
+    /// Word 2007+.
+    Docx,
+    /// Excel 2007+.
+    Xlsx,
+    /// PowerPoint 2007+.
+    Pptx,
+    /// OpenDocument Text.
+    Odt,
+    /// Legacy Word (OLE).
+    Doc,
+    /// PDF.
+    Pdf,
+    /// JPEG image.
+    Jpeg,
+    /// PNG image.
+    Png,
+    /// GIF image.
+    Gif,
+    /// BMP image.
+    Bmp,
+    /// MP3 audio.
+    Mp3,
+    /// WAV audio.
+    Wav,
+    /// Plain ZIP archive.
+    Zip,
+    /// gzip stream.
+    Gzip,
+}
+
+impl GeneratorKind {
+    /// Synthesizes content of approximately `size` bytes.
+    pub fn generate(self, rng: &mut StdRng, size: usize) -> Vec<u8> {
+        match self {
+            GeneratorKind::Txt => gen::text::txt(rng, size),
+            GeneratorKind::Markdown => gen::text::markdown(rng, size),
+            GeneratorKind::Csv => gen::text::csv(rng, size),
+            GeneratorKind::Html => gen::text::html(rng, size),
+            GeneratorKind::Xml => gen::text::xml(rng, size),
+            GeneratorKind::Json => gen::text::json(rng, size),
+            GeneratorKind::Rtf => gen::text::rtf(rng, size),
+            GeneratorKind::Log => gen::text::log(rng, size),
+            GeneratorKind::Docx => gen::office::docx(rng, size),
+            GeneratorKind::Xlsx => gen::office::xlsx(rng, size),
+            GeneratorKind::Pptx => gen::office::pptx(rng, size),
+            GeneratorKind::Odt => gen::office::odt(rng, size),
+            GeneratorKind::Doc => gen::office::doc(rng, size),
+            GeneratorKind::Pdf => gen::office::pdf(rng, size),
+            GeneratorKind::Jpeg => gen::image::jpeg(rng, size),
+            GeneratorKind::Png => gen::image::png(rng, size),
+            GeneratorKind::Gif => gen::image::gif(rng, size),
+            GeneratorKind::Bmp => gen::image::bmp(rng, size),
+            GeneratorKind::Mp3 => gen::audio::mp3(rng, size),
+            GeneratorKind::Wav => gen::audio::wav(rng, size),
+            GeneratorKind::Zip => gen::archive::zip(rng, size),
+            GeneratorKind::Gzip => gen::archive::gzip(rng, size),
+        }
+    }
+}
+
+/// One entry in the type mix.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TypeSpec {
+    /// The file extension (no dot).
+    pub extension: String,
+    /// Relative weight in the mix (weights need not sum to 1).
+    pub weight: f64,
+    /// The median file size, bytes.
+    pub median_size: usize,
+    /// Log-normal spread (σ of ln size).
+    pub sigma: f64,
+    /// Which synthesizer to use.
+    pub generator: GeneratorKind,
+}
+
+impl TypeSpec {
+    fn new(
+        extension: &str,
+        weight: f64,
+        median_size: usize,
+        sigma: f64,
+        generator: GeneratorKind,
+    ) -> Self {
+        Self {
+            extension: extension.to_string(),
+            weight,
+            median_size,
+            sigma,
+            generator,
+        }
+    }
+
+    /// Samples a size from the log-normal model, clamped to
+    /// `[64, 262144]` bytes to bound corpus memory.
+    pub fn sample_size(&self, rng: &mut StdRng) -> usize {
+        // Box-Muller standard normal from two uniforms.
+        let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+        let u2: f64 = rng.gen_range(0.0..1.0);
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        let size = self.median_size as f64 * (self.sigma * z).exp();
+        size.clamp(64.0, 262_144.0) as usize
+    }
+}
+
+/// The full corpus specification.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CorpusSpec {
+    /// PRNG seed; the corpus is a pure function of the spec.
+    pub seed: u64,
+    /// Total number of files (5,099 in the paper).
+    pub total_files: usize,
+    /// Total number of directories including the root (511 in the paper).
+    pub total_dirs: usize,
+    /// The root path (the user's documents folder).
+    pub root: VPath,
+    /// The fraction of files marked read-only (reproduces §V-C's GPcode
+    /// observation that "some of our test files were marked read-only").
+    pub read_only_fraction: f64,
+    /// The type mix.
+    pub mix: Vec<TypeSpec>,
+}
+
+impl CorpusSpec {
+    /// The paper-scale corpus: 5,099 files over 511 directories with a
+    /// user-documents type mix.
+    pub fn paper() -> Self {
+        Self::sized(5_099, 511)
+    }
+
+    /// A smaller corpus with the same mix, for tests.
+    pub fn sized(total_files: usize, total_dirs: usize) -> Self {
+        Self {
+            seed: 0x9D0C5,
+            total_files,
+            total_dirs,
+            root: VPath::new("/Users/victim/Documents"),
+            read_only_fraction: 0.02,
+            mix: Self::default_mix(),
+        }
+    }
+
+    /// The default user-documents type mix, approximating the paper's
+    /// corpus proportions.
+    pub fn default_mix() -> Vec<TypeSpec> {
+        use GeneratorKind as G;
+        vec![
+            // Productivity documents dominate user document folders.
+            TypeSpec::new("doc", 0.09, 22_000, 0.9, G::Doc),
+            TypeSpec::new("docx", 0.10, 18_000, 0.9, G::Docx),
+            TypeSpec::new("pdf", 0.12, 28_000, 1.0, G::Pdf),
+            TypeSpec::new("xlsx", 0.07, 14_000, 0.9, G::Xlsx),
+            TypeSpec::new("pptx", 0.04, 45_000, 0.8, G::Pptx),
+            TypeSpec::new("odt", 0.03, 15_000, 0.8, G::Odt),
+            TypeSpec::new("rtf", 0.02, 9_000, 0.9, G::Rtf),
+            // Plain and structured text, with a deliberate small-file tail.
+            TypeSpec::new("txt", 0.09, 2_000, 0.8, G::Txt),
+            TypeSpec::new("md", 0.03, 1_400, 0.6, G::Markdown),
+            TypeSpec::new("csv", 0.04, 4_500, 1.1, G::Csv),
+            TypeSpec::new("html", 0.04, 6_000, 0.9, G::Html),
+            TypeSpec::new("xml", 0.03, 4_000, 1.0, G::Xml),
+            TypeSpec::new("json", 0.02, 2_500, 1.1, G::Json),
+            TypeSpec::new("log", 0.02, 8_000, 1.2, G::Log),
+            // Media.
+            TypeSpec::new("jpg", 0.10, 24_000, 0.8, G::Jpeg),
+            TypeSpec::new("png", 0.04, 12_000, 0.9, G::Png),
+            TypeSpec::new("gif", 0.02, 6_000, 0.9, G::Gif),
+            TypeSpec::new("bmp", 0.01, 30_000, 0.6, G::Bmp),
+            TypeSpec::new("mp3", 0.04, 48_000, 0.7, G::Mp3),
+            TypeSpec::new("wav", 0.02, 40_000, 0.7, G::Wav),
+            // The odd archive.
+            TypeSpec::new("zip", 0.02, 30_000, 1.0, G::Zip),
+            TypeSpec::new("gz", 0.01, 15_000, 1.0, G::Gzip),
+        ]
+    }
+
+    /// Picks a type from the mix by weight.
+    pub fn pick_type<'a>(&'a self, rng: &mut StdRng) -> &'a TypeSpec {
+        let total: f64 = self.mix.iter().map(|t| t.weight).sum();
+        let mut roll = rng.gen_range(0.0..total);
+        for t in &self.mix {
+            if roll < t.weight {
+                return t;
+            }
+            roll -= t.weight;
+        }
+        self.mix.last().expect("mix is non-empty")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn paper_spec_dimensions() {
+        let s = CorpusSpec::paper();
+        assert_eq!(s.total_files, 5_099);
+        assert_eq!(s.total_dirs, 511);
+        assert!(!s.mix.is_empty());
+        let total_weight: f64 = s.mix.iter().map(|t| t.weight).sum();
+        assert!((total_weight - 1.0).abs() < 0.02, "weights ≈ 1, got {total_weight}");
+    }
+
+    #[test]
+    fn size_sampling_is_clamped_and_centered() {
+        let spec = TypeSpec::new("txt", 1.0, 2_000, 1.2, GeneratorKind::Txt);
+        let mut rng = StdRng::seed_from_u64(3);
+        let sizes: Vec<usize> = (0..2000).map(|_| spec.sample_size(&mut rng)).collect();
+        assert!(sizes.iter().all(|&s| (64..=262_144).contains(&s)));
+        let mut sorted = sizes.clone();
+        sorted.sort_unstable();
+        let median = sorted[sorted.len() / 2];
+        assert!(
+            (1_200..=3_200).contains(&median),
+            "median {median} should be near 2000"
+        );
+        // The small-file tail exists (the §V-C population).
+        let tiny = sizes.iter().filter(|&&s| s < 512).count();
+        assert!(tiny > 50, "expected a sub-512B tail, got {tiny}");
+    }
+
+    #[test]
+    fn pick_type_respects_weights() {
+        let spec = CorpusSpec::paper();
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut pdf = 0;
+        let n = 10_000;
+        for _ in 0..n {
+            if spec.pick_type(&mut rng).extension == "pdf" {
+                pdf += 1;
+            }
+        }
+        let frac = pdf as f64 / n as f64;
+        assert!((0.10..=0.20).contains(&frac), "pdf fraction {frac}");
+    }
+
+    #[test]
+    fn all_generators_produce_content() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for t in CorpusSpec::default_mix() {
+            let data = t.generator.generate(&mut rng, 4096);
+            assert!(!data.is_empty(), "{}", t.extension);
+        }
+    }
+}

@@ -1,0 +1,118 @@
+//! Nested directory-tree generation.
+//!
+//! The paper's corpus spreads 5,099 files over "a nested directory tree
+//! with 511 total directories". Figure 4 draws that tree rooted at the
+//! documents folder; families traverse it in visibly different orders, so
+//! the tree must have real depth and branching rather than being flat.
+
+use cryptodrop_vfs::VPath;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+const DIR_NAMES: &[&str] = &[
+    "projects", "archive", "finance", "reports", "photos", "music", "taxes", "clients",
+    "personal", "work", "travel", "receipts", "contracts", "presentations", "drafts", "old",
+    "backup", "shared", "family", "school", "research", "invoices", "meetings", "notes",
+    "templates", "exports", "scans", "letters", "budgets", "plans",
+];
+
+/// Maximum directory nesting below the root.
+pub const MAX_DEPTH: usize = 6;
+
+/// Generates `total_dirs` directory paths (including the root itself),
+/// forming a random tree of bounded depth.
+///
+/// # Panics
+///
+/// Panics if `total_dirs` is zero (the root always exists).
+pub fn generate_tree(rng: &mut StdRng, root: &VPath, total_dirs: usize) -> Vec<VPath> {
+    assert!(total_dirs >= 1, "the root itself counts as a directory");
+    let mut dirs: Vec<VPath> = vec![root.clone()];
+    let mut counter = 0usize;
+    while dirs.len() < total_dirs {
+        // Bias parent selection toward shallower directories so the tree
+        // branches out rather than degenerating into a chain.
+        let idx = rng.gen_range(0..dirs.len()).min(rng.gen_range(0..dirs.len()));
+        let parent = dirs[idx].clone();
+        if parent.depth() >= root.depth() + MAX_DEPTH {
+            continue;
+        }
+        let base = DIR_NAMES[rng.gen_range(0..DIR_NAMES.len())];
+        let name = if rng.gen_bool(0.5) {
+            format!("{base}-{counter}")
+        } else {
+            format!("{base} {}", rng.gen_range(2001..2016))
+        };
+        counter += 1;
+        let child = parent.join(&name);
+        if !dirs.contains(&child) {
+            dirs.push(child);
+        }
+    }
+    dirs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn root() -> VPath {
+        VPath::new("/docs")
+    }
+
+    #[test]
+    fn generates_exact_count_including_root() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let dirs = generate_tree(&mut rng, &root(), 511);
+        assert_eq!(dirs.len(), 511);
+        assert_eq!(dirs[0], root());
+    }
+
+    #[test]
+    fn all_dirs_are_under_root_and_unique() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let dirs = generate_tree(&mut rng, &root(), 200);
+        let set: std::collections::HashSet<_> = dirs.iter().collect();
+        assert_eq!(set.len(), dirs.len());
+        assert!(dirs.iter().all(|d| d.starts_with(&root())));
+    }
+
+    #[test]
+    fn parents_always_present() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let dirs = generate_tree(&mut rng, &root(), 300);
+        let set: std::collections::HashSet<_> = dirs.iter().cloned().collect();
+        for d in &dirs {
+            if d != &root() {
+                assert!(set.contains(&d.parent().unwrap()), "orphan {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn depth_is_bounded_and_tree_is_nested() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let dirs = generate_tree(&mut rng, &root(), 511);
+        let rd = root().depth();
+        let max = dirs.iter().map(VPath::depth).max().unwrap();
+        assert!(max <= rd + MAX_DEPTH);
+        assert!(max >= rd + 3, "tree should actually nest, max depth {max}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(5);
+        let mut b = StdRng::seed_from_u64(5);
+        assert_eq!(
+            generate_tree(&mut a, &root(), 100),
+            generate_tree(&mut b, &root(), 100)
+        );
+    }
+
+    #[test]
+    fn single_dir_is_just_root() {
+        let mut rng = StdRng::seed_from_u64(6);
+        assert_eq!(generate_tree(&mut rng, &root(), 1), vec![root()]);
+    }
+}

@@ -1,0 +1,54 @@
+//! Shannon-entropy measurement primitives for the CryptoDrop reproduction.
+//!
+//! CryptoDrop's third primary indicator ("Shannon Entropy", paper §III-C)
+//! measures the byte-level entropy of every atomic read and write a process
+//! performs against protected user documents, and maintains a *weighted
+//! arithmetic mean* of those measurements per direction (read vs. write).
+//! When the write-side mean exceeds the read-side mean by at least `0.1`
+//! bits/byte, the operation is flagged as suspicious (paper §IV-C1).
+//!
+//! This crate provides:
+//!
+//! * [`shannon`] — byte histograms and exact Shannon entropy in bits/byte,
+//! * [`weighted`] — the paper's weighted running mean with
+//!   `w = 0.125 · ⌊e⌉ · b`,
+//! * [`stream`] — incremental entropy over chunked data,
+//! * [`stats`] — auxiliary randomness statistics (chi-square uniformity,
+//!   serial correlation) used by tests and by the similarity-digest crate to
+//!   validate that simulated ciphertext is statistically ciphertext-like.
+//!
+//! # Examples
+//!
+//! ```
+//! use cryptodrop_entropy::{shannon_entropy, WeightedEntropyMean};
+//!
+//! let text = b"the quick brown fox jumps over the lazy dog";
+//! let e = shannon_entropy(text);
+//! assert!(e > 3.0 && e < 5.0, "English text sits around 4 bits/byte");
+//!
+//! let mut writes = WeightedEntropyMean::new();
+//! writes.update(7.9, 4096); // a large, high-entropy write
+//! writes.update(1.2, 64);   // a tiny ransom-note-like write
+//! // The small low-entropy write barely moves the mean:
+//! assert!(writes.mean().unwrap() > 7.5);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod shannon;
+pub mod stats;
+pub mod stream;
+pub mod weighted;
+
+pub use shannon::{shannon_entropy, ByteHistogram};
+pub use stats::{chi_square_uniformity, serial_correlation, RandomnessReport};
+pub use stream::StreamEntropy;
+pub use weighted::{EntropyDelta, WeightedEntropyMean};
+
+/// The maximum possible Shannon entropy of byte-valued data, in bits/byte.
+pub const MAX_ENTROPY: f64 = 8.0;
+
+/// The paper's suspicious write-minus-read entropy-delta threshold
+/// (`Δe ≥ 0.1`, paper §IV-C1).
+pub const SUSPICIOUS_DELTA: f64 = 0.1;

@@ -1,0 +1,305 @@
+//! Exact Shannon entropy of byte arrays.
+//!
+//! The paper (§III-C) defines the entropy of an array of bytes as
+//!
+//! ```text
+//!         255
+//!     e =  Σ  P(Bi) · log2(1 / P(Bi)),    P(Bi) = Fi / total_bytes
+//!         i=0
+//! ```
+//!
+//! where `Fi` is the number of occurrences of byte value `i`. The result
+//! ranges from `0` (a single repeated byte value) to `8` (a perfectly even
+//! distribution), and ciphertext is expected to approach the upper bound.
+
+use serde::{Deserialize, Serialize};
+
+/// A 256-bucket histogram of byte values supporting incremental updates.
+///
+/// The histogram is the reusable core behind both one-shot
+/// [`shannon_entropy`] and the incremental [`StreamEntropy`] measurer: adding
+/// or removing bytes is `O(n)` in the bytes touched, and entropy evaluation
+/// is `O(256)`.
+///
+/// [`StreamEntropy`]: crate::stream::StreamEntropy
+///
+/// # Examples
+///
+/// ```
+/// use cryptodrop_entropy::ByteHistogram;
+///
+/// let mut h = ByteHistogram::new();
+/// h.add(b"aaaa");
+/// assert_eq!(h.entropy(), 0.0);
+/// h.add(b"bbbb");
+/// assert_eq!(h.entropy(), 1.0); // two equiprobable symbols = 1 bit
+/// ```
+#[derive(Clone, Serialize, Deserialize)]
+pub struct ByteHistogram {
+    counts: Vec<u64>,
+    total: u64,
+}
+
+impl ByteHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self {
+            counts: vec![0; 256],
+            total: 0,
+        }
+    }
+
+    /// Builds a histogram from a byte slice in one shot.
+    pub fn from_bytes(bytes: &[u8]) -> Self {
+        let mut h = Self::new();
+        h.add(bytes);
+        h
+    }
+
+    /// Adds every byte of `bytes` to the histogram.
+    pub fn add(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.counts[b as usize] += 1;
+        }
+        self.total += bytes.len() as u64;
+    }
+
+    /// Adds a single byte to the histogram.
+    pub fn add_byte(&mut self, byte: u8) {
+        self.counts[byte as usize] += 1;
+        self.total += 1;
+    }
+
+    /// Removes every byte of `bytes` from the histogram.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a byte is removed more times than it was added; the
+    /// histogram would otherwise silently hold a corrupt distribution.
+    pub fn remove(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            let c = &mut self.counts[b as usize];
+            assert!(*c > 0, "removed byte {b:#04x} more times than added");
+            *c -= 1;
+        }
+        self.total -= bytes.len() as u64;
+    }
+
+    /// The total number of bytes currently accounted for.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// The number of occurrences of byte value `value`.
+    pub fn count(&self, value: u8) -> u64 {
+        self.counts[value as usize]
+    }
+
+    /// The number of distinct byte values present.
+    pub fn distinct(&self) -> usize {
+        self.counts.iter().filter(|&&c| c > 0).count()
+    }
+
+    /// Returns `true` if no bytes have been added.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// The Shannon entropy of the histogram's distribution in bits/byte.
+    ///
+    /// Returns `0.0` for an empty histogram, matching the convention that an
+    /// empty write carries no information (and the paper's weighting assigns
+    /// it zero weight anyway).
+    pub fn entropy(&self) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let total = self.total as f64;
+        let mut e = 0.0;
+        for &c in &self.counts {
+            if c == 0 {
+                continue;
+            }
+            let p = c as f64 / total;
+            e -= p * p.log2();
+        }
+        // Clamp tiny negative rounding residue (e.g. single-symbol input).
+        e.max(0.0)
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &ByteHistogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += *b;
+        }
+        self.total += other.total;
+    }
+}
+
+impl Default for ByteHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for ByteHistogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ByteHistogram")
+            .field("total", &self.total)
+            .field("distinct", &self.distinct())
+            .field("entropy", &self.entropy())
+            .finish()
+    }
+}
+
+impl PartialEq for ByteHistogram {
+    fn eq(&self, other: &Self) -> bool {
+        self.total == other.total && self.counts == other.counts
+    }
+}
+
+impl Eq for ByteHistogram {}
+
+impl<'a> FromIterator<&'a u8> for ByteHistogram {
+    fn from_iter<I: IntoIterator<Item = &'a u8>>(iter: I) -> Self {
+        let mut h = ByteHistogram::new();
+        for &b in iter {
+            h.add_byte(b);
+        }
+        h
+    }
+}
+
+impl Extend<u8> for ByteHistogram {
+    fn extend<I: IntoIterator<Item = u8>>(&mut self, iter: I) {
+        for b in iter {
+            self.add_byte(b);
+        }
+    }
+}
+
+/// Computes the Shannon entropy of `bytes` in bits/byte (paper §III-C).
+///
+/// Returns a value in `[0, 8]`; `0.0` for empty input.
+///
+/// # Examples
+///
+/// ```
+/// use cryptodrop_entropy::shannon_entropy;
+///
+/// assert_eq!(shannon_entropy(&[0u8; 128]), 0.0);
+/// let all: Vec<u8> = (0..=255).collect();
+/// assert!((shannon_entropy(&all) - 8.0).abs() < 1e-12);
+/// ```
+pub fn shannon_entropy(bytes: &[u8]) -> f64 {
+    ByteHistogram::from_bytes(bytes).entropy()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_input_is_zero() {
+        assert_eq!(shannon_entropy(&[]), 0.0);
+        assert!(ByteHistogram::new().is_empty());
+    }
+
+    #[test]
+    fn single_symbol_is_zero() {
+        assert_eq!(shannon_entropy(&[0x41; 1000]), 0.0);
+    }
+
+    #[test]
+    fn two_equiprobable_symbols_is_one_bit() {
+        let mut data = vec![0u8; 512];
+        data.extend(vec![255u8; 512]);
+        assert!((shannon_entropy(&data) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uniform_bytes_hit_upper_bound() {
+        let data: Vec<u8> = (0..=255u8).cycle().take(4096).collect();
+        assert!((shannon_entropy(&data) - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn four_symbols_is_two_bits() {
+        let data: Vec<u8> = [1u8, 2, 3, 4].iter().cycle().take(400).copied().collect();
+        assert!((shannon_entropy(&data) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn english_text_is_mid_range() {
+        let text = b"It was the best of times, it was the worst of times, it was \
+                     the age of wisdom, it was the age of foolishness.";
+        let e = shannon_entropy(text);
+        assert!(e > 3.0 && e < 5.0, "got {e}");
+    }
+
+    #[test]
+    fn histogram_incremental_matches_oneshot() {
+        let a = b"hello ";
+        let b = b"world";
+        let mut h = ByteHistogram::new();
+        h.add(a);
+        h.add(b);
+        let mut joined = a.to_vec();
+        joined.extend_from_slice(b);
+        assert_eq!(h.entropy(), shannon_entropy(&joined));
+        assert_eq!(h.total(), joined.len() as u64);
+    }
+
+    #[test]
+    fn histogram_remove_restores_state() {
+        let base = b"the quick brown fox";
+        let extra = b"0123456789abcdef";
+        let mut h = ByteHistogram::from_bytes(base);
+        let before = h.entropy();
+        h.add(extra);
+        h.remove(extra);
+        assert_eq!(h.entropy(), before);
+        assert_eq!(h, ByteHistogram::from_bytes(base));
+    }
+
+    #[test]
+    #[should_panic(expected = "more times than added")]
+    fn histogram_over_remove_panics() {
+        let mut h = ByteHistogram::from_bytes(b"abc");
+        h.remove(b"abcd");
+    }
+
+    #[test]
+    fn histogram_merge_matches_concat() {
+        let mut h1 = ByteHistogram::from_bytes(b"foo bar baz");
+        let h2 = ByteHistogram::from_bytes(b"quux");
+        h1.merge(&h2);
+        assert_eq!(h1, ByteHistogram::from_bytes(b"foo bar bazquux"));
+    }
+
+    #[test]
+    fn histogram_counts_and_distinct() {
+        let h = ByteHistogram::from_bytes(b"aabbbc");
+        assert_eq!(h.count(b'a'), 2);
+        assert_eq!(h.count(b'b'), 3);
+        assert_eq!(h.count(b'c'), 1);
+        assert_eq!(h.count(b'z'), 0);
+        assert_eq!(h.distinct(), 3);
+    }
+
+    #[test]
+    fn histogram_from_iterator_and_extend() {
+        let bytes = b"hello";
+        let h: ByteHistogram = bytes.iter().collect();
+        assert_eq!(h, ByteHistogram::from_bytes(bytes));
+        let mut h2 = ByteHistogram::new();
+        h2.extend(bytes.iter().copied());
+        assert_eq!(h2, h);
+    }
+
+    #[test]
+    fn debug_is_nonempty() {
+        let h = ByteHistogram::new();
+        assert!(!format!("{h:?}").is_empty());
+    }
+}

@@ -1,0 +1,225 @@
+//! Auxiliary randomness statistics.
+//!
+//! Shannon entropy alone cannot distinguish ciphertext from, say, a byte
+//! sequence that cycles `0..=255` — both score 8.0 bits/byte. These extra
+//! statistics (chi-square uniformity and lag-1 serial correlation, the same
+//! measures popularized by the classic `ent` tool) are used by the test
+//! suite and by the malware simulator's self-checks to validate that the
+//! in-repo ciphers produce output that is *statistically* ciphertext-like,
+//! which is what the paper's indicators implicitly assume.
+
+use serde::{Deserialize, Serialize};
+
+use crate::shannon::ByteHistogram;
+use crate::shannon_entropy;
+
+/// The chi-square statistic of `bytes` against the uniform distribution over
+/// the 256 byte values.
+///
+/// For genuinely uniform random data the statistic concentrates around the
+/// degrees of freedom (255); strongly structured data produces far larger
+/// values. Returns `0.0` for empty input.
+///
+/// # Examples
+///
+/// ```
+/// use cryptodrop_entropy::chi_square_uniformity;
+///
+/// let structured = vec![7u8; 4096];
+/// assert!(chi_square_uniformity(&structured) > 100_000.0);
+/// ```
+pub fn chi_square_uniformity(bytes: &[u8]) -> f64 {
+    if bytes.is_empty() {
+        return 0.0;
+    }
+    let h = ByteHistogram::from_bytes(bytes);
+    let expected = bytes.len() as f64 / 256.0;
+    (0u16..=255)
+        .map(|v| {
+            let observed = h.count(v as u8) as f64;
+            let d = observed - expected;
+            d * d / expected
+        })
+        .sum()
+}
+
+/// The lag-1 serial correlation coefficient of `bytes`, in `[-1, 1]`.
+///
+/// Random data yields values near `0`; monotone or repetitive data yields
+/// values near `±1`. Returns `0.0` for inputs shorter than 2 bytes or with
+/// zero variance.
+///
+/// # Examples
+///
+/// ```
+/// use cryptodrop_entropy::serial_correlation;
+///
+/// let ramp: Vec<u8> = (0u8..=255).collect();
+/// assert!(serial_correlation(&ramp) > 0.9, "a ramp is highly self-correlated");
+/// ```
+pub fn serial_correlation(bytes: &[u8]) -> f64 {
+    let n = bytes.len();
+    if n < 2 {
+        return 0.0;
+    }
+    // Circular lag-1 correlation, as in `ent`.
+    let nf = n as f64;
+    let mut sum_x = 0.0;
+    let mut sum_x2 = 0.0;
+    let mut sum_xy = 0.0;
+    for i in 0..n {
+        let x = bytes[i] as f64;
+        let y = bytes[(i + 1) % n] as f64;
+        sum_x += x;
+        sum_x2 += x * x;
+        sum_xy += x * y;
+    }
+    let num = nf * sum_xy - sum_x * sum_x;
+    let den = nf * sum_x2 - sum_x * sum_x;
+    if den == 0.0 {
+        0.0
+    } else {
+        (num / den).clamp(-1.0, 1.0)
+    }
+}
+
+/// A bundle of randomness measurements over one buffer.
+///
+/// # Examples
+///
+/// ```
+/// use cryptodrop_entropy::RandomnessReport;
+///
+/// let r = RandomnessReport::measure(b"aaaaaaaaaaaaaaaa");
+/// assert_eq!(r.entropy, 0.0);
+/// assert!(!r.looks_random());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RandomnessReport {
+    /// Shannon entropy in bits/byte.
+    pub entropy: f64,
+    /// Chi-square statistic vs. the uniform byte distribution.
+    pub chi_square: f64,
+    /// Lag-1 serial correlation coefficient.
+    pub serial_correlation: f64,
+    /// Number of bytes measured.
+    pub len: usize,
+}
+
+impl RandomnessReport {
+    /// Measures all statistics over `bytes`.
+    pub fn measure(bytes: &[u8]) -> Self {
+        Self {
+            entropy: shannon_entropy(bytes),
+            chi_square: chi_square_uniformity(bytes),
+            serial_correlation: serial_correlation(bytes),
+            len: bytes.len(),
+        }
+    }
+
+    /// A loose composite judgement: does this buffer plausibly look like
+    /// ciphertext / random data?
+    ///
+    /// Requires near-maximal entropy, a chi-square statistic within a broad
+    /// band around the 255 degrees of freedom, and near-zero serial
+    /// correlation. Intended for test assertions, not detection — the
+    /// detector proper uses the paper's indicators.
+    pub fn looks_random(&self) -> bool {
+        self.len >= 1024
+            && self.entropy > 7.8
+            && self.chi_square < 512.0
+            && self.serial_correlation.abs() < 0.05
+    }
+}
+
+impl std::fmt::Display for RandomnessReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "entropy={:.4} b/B, chi2={:.1}, serial={:.4}, n={}",
+            self.entropy, self.chi_square, self.serial_correlation, self.len
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A tiny deterministic xorshift so the tests need no external PRNG.
+    fn pseudo_random(n: usize) -> Vec<u8> {
+        let mut s: u64 = 0x9e3779b97f4a7c15;
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            out.push((s >> 32) as u8);
+        }
+        out
+    }
+
+    #[test]
+    fn chi_square_of_uniform_cycle_is_zero() {
+        let data: Vec<u8> = (0u8..=255).cycle().take(25600).collect();
+        assert_eq!(chi_square_uniformity(&data), 0.0);
+    }
+
+    #[test]
+    fn chi_square_of_constant_is_huge() {
+        assert!(chi_square_uniformity(&[0u8; 2560]) > 100_000.0);
+    }
+
+    #[test]
+    fn chi_square_of_random_is_near_dof() {
+        let data = pseudo_random(65536);
+        let chi = chi_square_uniformity(&data);
+        assert!(chi > 100.0 && chi < 512.0, "chi = {chi}");
+    }
+
+    #[test]
+    fn serial_correlation_of_ramp_is_high() {
+        let ramp: Vec<u8> = (0u8..=255).cycle().take(4096).collect();
+        assert!(serial_correlation(&ramp) > 0.95);
+    }
+
+    #[test]
+    fn serial_correlation_of_random_is_low() {
+        let data = pseudo_random(65536);
+        assert!(serial_correlation(&data).abs() < 0.02);
+    }
+
+    #[test]
+    fn serial_correlation_degenerate_inputs() {
+        assert_eq!(serial_correlation(&[]), 0.0);
+        assert_eq!(serial_correlation(&[1]), 0.0);
+        assert_eq!(serial_correlation(&[5; 100]), 0.0, "zero variance");
+    }
+
+    #[test]
+    fn report_random_vs_text() {
+        let random = RandomnessReport::measure(&pseudo_random(16384));
+        assert!(random.looks_random(), "{random}");
+
+        let text: Vec<u8> = b"all work and no play makes jack a dull boy. "
+            .iter()
+            .cycle()
+            .take(16384)
+            .copied()
+            .collect();
+        let text_report = RandomnessReport::measure(&text);
+        assert!(!text_report.looks_random(), "{text_report}");
+    }
+
+    #[test]
+    fn report_short_buffers_never_look_random() {
+        let r = RandomnessReport::measure(&pseudo_random(512));
+        assert!(!r.looks_random());
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let r = RandomnessReport::measure(b"x");
+        assert!(!r.to_string().is_empty());
+    }
+}

@@ -1,0 +1,125 @@
+//! Incremental entropy over chunked data.
+//!
+//! The VFS delivers file contents to the analysis engine in whatever chunk
+//! sizes the monitored process chose for its I/O. [`StreamEntropy`] lets the
+//! engine fold chunks in as they arrive and query the entropy of everything
+//! seen so far without buffering the data itself — only the 256-bucket
+//! histogram is retained.
+
+use serde::{Deserialize, Serialize};
+
+use crate::shannon::ByteHistogram;
+
+/// Incrementally measures the Shannon entropy of a byte stream.
+///
+/// # Examples
+///
+/// ```
+/// use cryptodrop_entropy::{shannon_entropy, StreamEntropy};
+///
+/// let mut s = StreamEntropy::new();
+/// s.push(b"hello ");
+/// s.push(b"world");
+/// assert_eq!(s.entropy(), shannon_entropy(b"hello world"));
+/// assert_eq!(s.bytes_seen(), 11);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct StreamEntropy {
+    histogram: ByteHistogram,
+    chunks: u64,
+}
+
+impl StreamEntropy {
+    /// Creates an empty stream measurer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Folds a chunk into the stream.
+    pub fn push(&mut self, chunk: &[u8]) {
+        self.histogram.add(chunk);
+        self.chunks += 1;
+    }
+
+    /// The entropy of all bytes pushed so far, in bits/byte.
+    pub fn entropy(&self) -> f64 {
+        self.histogram.entropy()
+    }
+
+    /// Total bytes pushed so far.
+    pub fn bytes_seen(&self) -> u64 {
+        self.histogram.total()
+    }
+
+    /// Total chunks pushed so far.
+    pub fn chunks_seen(&self) -> u64 {
+        self.chunks
+    }
+
+    /// Returns a view of the underlying histogram.
+    pub fn histogram(&self) -> &ByteHistogram {
+        &self.histogram
+    }
+
+    /// Resets the measurer to its initial state, retaining no history.
+    pub fn reset(&mut self) {
+        *self = Self::default();
+    }
+
+    /// Consumes the measurer and returns the accumulated histogram.
+    pub fn into_histogram(self) -> ByteHistogram {
+        self.histogram
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shannon_entropy;
+
+    #[test]
+    fn chunked_equals_oneshot() {
+        let data: Vec<u8> = (0u8..=255).cycle().take(1000).collect();
+        let mut s = StreamEntropy::new();
+        for chunk in data.chunks(7) {
+            s.push(chunk);
+        }
+        assert_eq!(s.entropy(), shannon_entropy(&data));
+        assert_eq!(s.bytes_seen(), 1000);
+        assert_eq!(s.chunks_seen(), 1000_u64.div_ceil(7));
+    }
+
+    #[test]
+    fn empty_stream_is_zero() {
+        let s = StreamEntropy::new();
+        assert_eq!(s.entropy(), 0.0);
+        assert_eq!(s.bytes_seen(), 0);
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut s = StreamEntropy::new();
+        s.push(b"abcdef");
+        s.reset();
+        assert_eq!(s, StreamEntropy::new());
+    }
+
+    #[test]
+    fn into_histogram_round_trip() {
+        let mut s = StreamEntropy::new();
+        s.push(b"xyzzy");
+        let h = s.into_histogram();
+        assert_eq!(h.total(), 5);
+        assert_eq!(h.count(b'z'), 2);
+    }
+
+    #[test]
+    fn empty_chunks_count_but_do_not_change_entropy() {
+        let mut s = StreamEntropy::new();
+        s.push(b"data");
+        let e = s.entropy();
+        s.push(b"");
+        assert_eq!(s.entropy(), e);
+        assert_eq!(s.chunks_seen(), 2);
+    }
+}

@@ -1,0 +1,287 @@
+//! The paper's weighted arithmetic mean of per-operation entropies.
+//!
+//! Ransomware often writes small, low-entropy ransom notes into every
+//! directory it visits. A plain average of per-operation entropies would let
+//! those writes drag the write-side mean down and mask the encryption
+//! activity. The paper (§IV-C1) therefore weights each measurement by
+//!
+//! ```text
+//!     w = 0.125 · ⌊e⌉ · b
+//! ```
+//!
+//! where `b` is the number of bytes in the operation and `⌊e⌉` is the
+//! operation's entropy rounded to the nearest integer; the constant `0.125 =
+//! 1/8` normalizes `0.125 · ⌊e⌉` into `[0, 1]`. Low-entropy and small
+//! operations thus contribute little to the mean.
+
+use serde::{Deserialize, Serialize};
+
+use crate::SUSPICIOUS_DELTA;
+
+/// A weighted running mean of per-operation entropy measurements
+/// (paper §IV-C1).
+///
+/// One instance tracks one direction (reads or writes) for one process. Use
+/// [`EntropyDelta`] to pair the two directions and evaluate the paper's
+/// `Δe = P_write − P_read ≥ 0.1` condition.
+///
+/// # Examples
+///
+/// ```
+/// use cryptodrop_entropy::WeightedEntropyMean;
+///
+/// let mut m = WeightedEntropyMean::new();
+/// assert!(m.mean().is_none(), "no observations yet");
+/// m.update(7.8, 64 * 1024); // bulk ciphertext write
+/// m.update(0.9, 200);       // ransom note
+/// assert!(m.mean().unwrap() > 7.5, "note barely moves the mean");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct WeightedEntropyMean {
+    weighted_sum: f64,
+    weight_total: f64,
+    observations: u64,
+}
+
+impl WeightedEntropyMean {
+    /// Creates a mean with no observations.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The paper's weight for one operation: `w = 0.125 · ⌊e⌉ · b`.
+    ///
+    /// `entropy` must lie in `[0, 8]`; values outside are clamped. An
+    /// operation of zero bytes, or one whose entropy rounds to zero, carries
+    /// zero weight and therefore does not move the mean.
+    pub fn weight(entropy: f64, bytes: u64) -> f64 {
+        let e = entropy.clamp(0.0, 8.0);
+        0.125 * e.round() * bytes as f64
+    }
+
+    /// Folds one operation's entropy measurement into the mean.
+    pub fn update(&mut self, entropy: f64, bytes: u64) {
+        let w = Self::weight(entropy, bytes);
+        self.weighted_sum += w * entropy.clamp(0.0, 8.0);
+        self.weight_total += w;
+        self.observations += 1;
+    }
+
+    /// The current weighted mean, or `None` until at least one observation
+    /// with nonzero weight has arrived.
+    pub fn mean(&self) -> Option<f64> {
+        (self.weight_total > 0.0).then(|| self.weighted_sum / self.weight_total)
+    }
+
+    /// The number of operations folded in (including zero-weight ones).
+    pub fn observations(&self) -> u64 {
+        self.observations
+    }
+
+    /// Returns `true` if at least one operation has been observed, even if
+    /// all observations carried zero weight.
+    pub fn has_observations(&self) -> bool {
+        self.observations > 0
+    }
+}
+
+/// Pairs the read- and write-side weighted means for one process and
+/// evaluates the paper's entropy-delta condition (§IV-C1).
+///
+/// The delta is only defined once the process "has performed at least one
+/// read and one write"; until then [`EntropyDelta::delta`] returns `None`.
+/// The comparison is *stateless with regard to the previous or future state
+/// of a file*: it is evaluated after every update.
+///
+/// # Examples
+///
+/// ```
+/// use cryptodrop_entropy::EntropyDelta;
+///
+/// let mut d = EntropyDelta::new();
+/// d.record_read(4.1, 8192);   // reads a text document
+/// d.record_write(7.9, 8192);  // writes ciphertext
+/// assert!(d.is_suspicious());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct EntropyDelta {
+    reads: WeightedEntropyMean,
+    writes: WeightedEntropyMean,
+}
+
+impl EntropyDelta {
+    /// Creates a tracker with no observations.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a read operation of `bytes` bytes with the given entropy.
+    pub fn record_read(&mut self, entropy: f64, bytes: u64) {
+        self.reads.update(entropy, bytes);
+    }
+
+    /// Records a write operation of `bytes` bytes with the given entropy.
+    pub fn record_write(&mut self, entropy: f64, bytes: u64) {
+        self.writes.update(entropy, bytes);
+    }
+
+    /// The read-side weighted mean.
+    pub fn read_mean(&self) -> Option<f64> {
+        self.reads.mean()
+    }
+
+    /// The write-side weighted mean.
+    pub fn write_mean(&self) -> Option<f64> {
+        self.writes.mean()
+    }
+
+    /// `Δe = max(P_write − P_read, 0)`, or `None` until both a read and a
+    /// write with nonzero weight have been observed (paper: "if a process
+    /// has performed at least one read and one write").
+    pub fn delta(&self) -> Option<f64> {
+        match (self.reads.mean(), self.writes.mean()) {
+            (Some(r), Some(w)) => Some((w - r).max(0.0)),
+            _ => None,
+        }
+    }
+
+    /// Evaluates the paper's suspicion condition `Δe ≥ 0.1`.
+    pub fn is_suspicious(&self) -> bool {
+        self.delta_exceeds(SUSPICIOUS_DELTA)
+    }
+
+    /// Evaluates `Δe ≥ threshold` for a caller-chosen threshold.
+    pub fn delta_exceeds(&self, threshold: f64) -> bool {
+        self.delta().is_some_and(|d| d >= threshold)
+    }
+
+    /// Total read operations observed.
+    pub fn read_observations(&self) -> u64 {
+        self.reads.observations()
+    }
+
+    /// Total write operations observed.
+    pub fn write_observations(&self) -> u64 {
+        self.writes.observations()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weight_formula_matches_paper() {
+        // w = 0.125 * round(e) * b
+        assert_eq!(WeightedEntropyMean::weight(8.0, 100), 100.0);
+        assert_eq!(WeightedEntropyMean::weight(4.0, 100), 50.0);
+        assert_eq!(WeightedEntropyMean::weight(0.3, 100), 0.0); // rounds to 0
+        assert_eq!(WeightedEntropyMean::weight(7.6, 10), 10.0); // rounds to 8
+        assert_eq!(WeightedEntropyMean::weight(5.0, 0), 0.0);
+    }
+
+    #[test]
+    fn weight_clamps_out_of_range_entropy() {
+        assert_eq!(WeightedEntropyMean::weight(9.5, 8), 8.0);
+        assert_eq!(WeightedEntropyMean::weight(-1.0, 8), 0.0);
+    }
+
+    #[test]
+    fn empty_mean_is_none() {
+        assert_eq!(WeightedEntropyMean::new().mean(), None);
+    }
+
+    #[test]
+    fn zero_weight_observations_do_not_define_mean() {
+        let mut m = WeightedEntropyMean::new();
+        m.update(0.2, 1_000_000); // rounds to 0 -> zero weight
+        assert_eq!(m.mean(), None);
+        assert_eq!(m.observations(), 1);
+        assert!(m.has_observations());
+    }
+
+    #[test]
+    fn single_observation_mean_is_its_entropy() {
+        let mut m = WeightedEntropyMean::new();
+        m.update(6.25, 512);
+        let got = m.mean().unwrap();
+        assert!((got - 6.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ransom_note_does_not_drag_mean_down() {
+        // The motivating scenario from §IV-C1: small low-entropy note writes
+        // must not over-influence the mean.
+        let mut m = WeightedEntropyMean::new();
+        for _ in 0..10 {
+            m.update(7.9, 256 * 1024); // encrypted file bodies
+        }
+        for _ in 0..100 {
+            m.update(1.4, 300); // ransom notes in every directory
+        }
+        assert!(m.mean().unwrap() > 7.8, "mean = {:?}", m.mean());
+
+        // Contrast with an unweighted mean which would collapse:
+        let unweighted = (10.0 * 7.9 + 100.0 * 1.4) / 110.0;
+        assert!(unweighted < 2.0);
+    }
+
+    #[test]
+    fn delta_requires_both_directions() {
+        let mut d = EntropyDelta::new();
+        assert_eq!(d.delta(), None);
+        d.record_read(4.0, 1024);
+        assert_eq!(d.delta(), None);
+        d.record_write(7.9, 1024);
+        assert!(d.delta().is_some());
+    }
+
+    #[test]
+    fn delta_is_clamped_to_non_negative() {
+        let mut d = EntropyDelta::new();
+        d.record_read(7.9, 1024); // reads already-compressed data
+        d.record_write(4.0, 1024);
+        assert_eq!(d.delta(), Some(0.0));
+        assert!(!d.is_suspicious());
+    }
+
+    #[test]
+    fn encryption_of_text_is_suspicious() {
+        let mut d = EntropyDelta::new();
+        d.record_read(4.2, 8192);
+        d.record_write(7.97, 8192);
+        assert!(d.is_suspicious());
+        assert!(d.delta().unwrap() > 3.0);
+    }
+
+    #[test]
+    fn compressed_source_gives_small_but_detectable_delta() {
+        // Paper §III/§V-D: .docx/.pdf sources are already high-entropy, so
+        // the delta is small — the 0.1 threshold is chosen to still resolve it.
+        let mut d = EntropyDelta::new();
+        d.record_read(7.82, 65536);
+        d.record_write(7.98, 65536);
+        let delta = d.delta().unwrap();
+        assert!(delta > 0.1 && delta < 0.5, "delta = {delta}");
+        assert!(d.is_suspicious());
+    }
+
+    #[test]
+    fn custom_threshold() {
+        let mut d = EntropyDelta::new();
+        d.record_read(7.0, 100);
+        d.record_write(7.3, 100);
+        assert!(d.delta_exceeds(0.2));
+        assert!(!d.delta_exceeds(0.5));
+    }
+
+    #[test]
+    fn observation_counters() {
+        let mut d = EntropyDelta::new();
+        d.record_read(4.0, 10);
+        d.record_read(4.0, 10);
+        d.record_write(5.0, 10);
+        assert_eq!(d.read_observations(), 2);
+        assert_eq!(d.write_observations(), 1);
+    }
+}

@@ -1,0 +1,113 @@
+//! Property-based tests for the entropy crate's core invariants.
+
+use cryptodrop_entropy::{
+    chi_square_uniformity, serial_correlation, shannon_entropy, ByteHistogram, EntropyDelta,
+    StreamEntropy, WeightedEntropyMean,
+};
+use proptest::prelude::*;
+
+proptest! {
+    /// Entropy is always within [0, 8].
+    #[test]
+    fn entropy_bounds(data in proptest::collection::vec(any::<u8>(), 0..4096)) {
+        let e = shannon_entropy(&data);
+        prop_assert!((0.0..=8.0).contains(&e), "entropy {e} out of bounds");
+    }
+
+    /// Entropy is invariant under permutation of the input bytes.
+    #[test]
+    fn entropy_permutation_invariant(mut data in proptest::collection::vec(any::<u8>(), 1..2048)) {
+        let before = shannon_entropy(&data);
+        data.reverse();
+        prop_assert_eq!(before, shannon_entropy(&data));
+        data.sort_unstable();
+        prop_assert_eq!(before, shannon_entropy(&data));
+    }
+
+    /// Entropy is invariant under a bijective byte substitution (XOR mask).
+    #[test]
+    fn entropy_substitution_invariant(
+        data in proptest::collection::vec(any::<u8>(), 1..2048),
+        mask in any::<u8>(),
+    ) {
+        let masked: Vec<u8> = data.iter().map(|b| b ^ mask).collect();
+        let d = (shannon_entropy(&data) - shannon_entropy(&masked)).abs();
+        prop_assert!(d < 1e-9);
+    }
+
+    /// Duplicating the data does not change its entropy.
+    #[test]
+    fn entropy_scale_invariant(data in proptest::collection::vec(any::<u8>(), 1..1024)) {
+        let mut doubled = data.clone();
+        doubled.extend_from_slice(&data);
+        let d = (shannon_entropy(&data) - shannon_entropy(&doubled)).abs();
+        prop_assert!(d < 1e-9);
+    }
+
+    /// A histogram built incrementally chunk-by-chunk matches one-shot.
+    #[test]
+    fn histogram_chunking(data in proptest::collection::vec(any::<u8>(), 0..2048), chunk in 1usize..64) {
+        let mut s = StreamEntropy::new();
+        for c in data.chunks(chunk) {
+            s.push(c);
+        }
+        prop_assert_eq!(s.entropy(), shannon_entropy(&data));
+        prop_assert_eq!(s.bytes_seen(), data.len() as u64);
+    }
+
+    /// add followed by remove is an identity on the histogram.
+    #[test]
+    fn histogram_add_remove_identity(
+        base in proptest::collection::vec(any::<u8>(), 0..1024),
+        extra in proptest::collection::vec(any::<u8>(), 0..1024),
+    ) {
+        let mut h = ByteHistogram::from_bytes(&base);
+        h.add(&extra);
+        h.remove(&extra);
+        prop_assert_eq!(h, ByteHistogram::from_bytes(&base));
+    }
+
+    /// The weighted mean always lies within the span of its observations.
+    #[test]
+    fn weighted_mean_in_span(obs in proptest::collection::vec((0.0f64..8.0, 1u64..1_000_000), 1..64)) {
+        let mut m = WeightedEntropyMean::new();
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for &(e, b) in &obs {
+            m.update(e, b);
+            if WeightedEntropyMean::weight(e, b) > 0.0 {
+                lo = lo.min(e);
+                hi = hi.max(e);
+            }
+        }
+        if let Some(mean) = m.mean() {
+            prop_assert!(mean >= lo - 1e-9 && mean <= hi + 1e-9, "{mean} not in [{lo}, {hi}]");
+        }
+    }
+
+    /// The delta is never negative and never defined before both directions
+    /// have nonzero-weight observations.
+    #[test]
+    fn delta_nonnegative(ops in proptest::collection::vec((any::<bool>(), 0.0f64..8.0, 0u64..100_000), 0..64)) {
+        let mut d = EntropyDelta::new();
+        for &(is_read, e, b) in &ops {
+            if is_read {
+                d.record_read(e, b);
+            } else {
+                d.record_write(e, b);
+            }
+            if let Some(delta) = d.delta() {
+                prop_assert!(delta >= 0.0);
+                prop_assert!(delta <= 8.0 + 1e-9);
+            }
+        }
+    }
+
+    /// Chi-square is non-negative; serial correlation lies in [-1, 1].
+    #[test]
+    fn stats_bounds(data in proptest::collection::vec(any::<u8>(), 0..4096)) {
+        prop_assert!(chi_square_uniformity(&data) >= 0.0);
+        let sc = serial_correlation(&data);
+        prop_assert!((-1.0..=1.0).contains(&sc));
+    }
+}

@@ -1,0 +1,281 @@
+//! Ablation experiments.
+//!
+//! 1. **Small-file removal (§V-C)**: the paper reran a CTB-Locker sample
+//!    on a corpus with all sub-512-byte files removed and losses fell from
+//!    29 to 7 — because sdhash cannot digest tiny files, the similarity
+//!    indicator (and with it union indication) was unavailable while the
+//!    sample chewed through the small-file tail.
+//! 2. **Union indication disabled**: quantifies §V-B2's claim that union
+//!    indication "is critical to accelerating these detections".
+//! 3. **Move tracking disabled**: quantifies §III's requirement that "the
+//!    state of the file must be carefully tracked each time a file is
+//!    moved" — without it, Class B samples encrypt out of sight.
+
+use cryptodrop::Config;
+use cryptodrop_corpus::Corpus;
+use cryptodrop_malware::{paper_sample_set, BehaviorClass, Family, RansomwareSample};
+use serde::{Deserialize, Serialize};
+
+use crate::report::median;
+use crate::runner::{run_sample, run_samples_parallel};
+
+/// Results of the §V-C small-file ablation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SmallFileAblation {
+    /// Files lost on the full corpus (the paper: 29).
+    pub full_corpus_files_lost: u32,
+    /// Whether union indication occurred on the full corpus.
+    pub full_corpus_union: bool,
+    /// Files lost with sub-512-byte files removed (the paper: 7).
+    pub filtered_files_lost: u32,
+    /// Whether union indication occurred on the filtered corpus.
+    pub filtered_union: bool,
+    /// How many files the filter removed.
+    pub small_files_removed: usize,
+}
+
+/// Runs the CTB-Locker small-file ablation.
+pub fn small_file_ablation(corpus: &Corpus, config: &Config) -> SmallFileAblation {
+    let sample = ctb_sample();
+    let full = run_sample(corpus, config, &sample);
+    let filtered_corpus = corpus.without_small_files(512);
+    let filtered = run_sample(&filtered_corpus, config, &sample);
+    SmallFileAblation {
+        full_corpus_files_lost: full.files_lost,
+        full_corpus_union: full.union_triggered,
+        filtered_files_lost: filtered.files_lost,
+        filtered_union: filtered.union_triggered,
+        small_files_removed: corpus.file_count() - filtered_corpus.file_count(),
+    }
+}
+
+fn ctb_sample() -> RansomwareSample {
+    paper_sample_set()
+        .into_iter()
+        .find(|s| s.family == Family::CtbLocker && s.class == BehaviorClass::B)
+        .expect("CTB-Locker has Class B samples")
+}
+
+/// Results of the union-indication ablation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct UnionAblation {
+    /// Median files lost with union indication on.
+    pub with_union_median: f64,
+    /// Median files lost with union indication off.
+    pub without_union_median: f64,
+    /// Detection rate with union off (all samples should still be caught
+    /// by the non-union threshold, as the paper's 22 evading Class C
+    /// samples were).
+    pub without_union_detection_rate: f64,
+}
+
+/// Runs a sample subset with and without union indication.
+pub fn union_ablation(
+    corpus: &Corpus,
+    config: &Config,
+    samples: &[RansomwareSample],
+    threads: usize,
+) -> UnionAblation {
+    let with = run_samples_parallel(corpus, config, samples, threads);
+    let mut no_union_cfg = config.clone();
+    no_union_cfg.union_enabled = false;
+    let without = run_samples_parallel(corpus, &no_union_cfg, samples, threads);
+    let with_losses: Vec<u32> = with.iter().map(|r| r.files_lost).collect();
+    let without_losses: Vec<u32> = without.iter().map(|r| r.files_lost).collect();
+    UnionAblation {
+        with_union_median: median(&with_losses).unwrap_or(0.0),
+        without_union_median: median(&without_losses).unwrap_or(0.0),
+        without_union_detection_rate: without.iter().filter(|r| r.detected).count() as f64
+            / without.len().max(1) as f64,
+    }
+}
+
+/// Results of the dynamic-scoring ablation (the paper's §V-C future-work
+/// proposal, implemented behind [`Config::dynamic_scoring`]).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DynamicScoringAblation {
+    /// CTB-Locker files lost with dynamic scoring off (the default).
+    pub without_files_lost: u32,
+    /// CTB-Locker files lost with dynamic scoring on.
+    pub with_files_lost: u32,
+}
+
+/// Runs the CTB-Locker representative with and without dynamic scoring.
+/// The effect concentrates where the similarity indicator is unavailable
+/// (the sub-512 B tail), which is exactly the paper's motivating case.
+pub fn dynamic_scoring_ablation(corpus: &Corpus, config: &Config) -> DynamicScoringAblation {
+    let sample = ctb_sample();
+    let without = run_sample(corpus, config, &sample);
+    let mut dynamic = config.clone();
+    dynamic.dynamic_scoring = true;
+    let with = run_sample(corpus, &dynamic, &sample);
+    DynamicScoringAblation {
+        without_files_lost: without.files_lost,
+        with_files_lost: with.files_lost,
+    }
+}
+
+/// Results of the move-tracking ablation.
+///
+/// The damage metric here is the sample's *ground-truth* destroyed-file
+/// count, not the engine's view: with tracking disabled the engine is
+/// blind to the out-of-tree encryption, which is exactly the failure the
+/// ablation demonstrates.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrackingAblation {
+    /// Files actually destroyed by a Class B sample with tracking on.
+    pub with_tracking_files_destroyed: u32,
+    /// Whether it was detected with tracking on.
+    pub with_tracking_detected: bool,
+    /// Files actually destroyed with tracking off.
+    pub without_tracking_files_destroyed: u32,
+    /// Whether it was detected with tracking off.
+    pub without_tracking_detected: bool,
+}
+
+/// Runs a Class B sample with and without moved-file tracking.
+pub fn tracking_ablation(corpus: &Corpus, config: &Config) -> TrackingAblation {
+    let sample = ctb_sample();
+    let with = run_sample(corpus, config, &sample);
+    let mut no_tracking = config.clone();
+    no_tracking.track_moved_files = false;
+    let without = run_sample(corpus, &no_tracking, &sample);
+    TrackingAblation {
+        with_tracking_files_destroyed: with.files_attacked,
+        with_tracking_detected: with.detected,
+        without_tracking_files_destroyed: without.files_attacked,
+        without_tracking_detected: without.detected,
+    }
+}
+
+/// Renders all the ablations.
+pub fn render(
+    small: &SmallFileAblation,
+    union: &UnionAblation,
+    tracking: &TrackingAblation,
+) -> String {
+    format!(
+        "Ablations\n\n\
+         §V-C small-file removal (CTB-Locker):\n\
+         \x20 full corpus:      {} files lost (union: {})   [paper: 29]\n\
+         \x20 sub-512B removed: {} files lost (union: {})   [paper: 7]\n\
+         \x20 ({} small files were removed)\n\n\
+         Union indication:\n\
+         \x20 median files lost with union:    {:.1}\n\
+         \x20 median files lost without union: {:.1}\n\
+         \x20 detection rate without union:    {:.0}%\n\n\
+         Moved-file (Class B) tracking:\n\
+         \x20 with tracking:    {} files destroyed, detected: {}\n\
+         \x20 without tracking: {} files destroyed, detected: {}\n",
+        small.full_corpus_files_lost,
+        small.full_corpus_union,
+        small.filtered_files_lost,
+        small.filtered_union,
+        small.small_files_removed,
+        union.with_union_median,
+        union.without_union_median,
+        100.0 * union.without_union_detection_rate,
+        tracking.with_tracking_files_destroyed,
+        tracking.with_tracking_detected,
+        tracking.without_tracking_files_destroyed,
+        tracking.without_tracking_detected,
+    )
+}
+
+/// Renders the dynamic-scoring ablation.
+pub fn render_dynamic(d: &DynamicScoringAblation) -> String {
+    format!(
+        "Dynamic scoring (§V-C future work, implemented):\n\
+         \x20 CTB-Locker files lost without: {}\n\
+         \x20 CTB-Locker files lost with:    {}\n",
+        d.without_files_lost, d.with_files_lost
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cryptodrop_corpus::CorpusSpec;
+
+    fn corpus() -> Corpus {
+        Corpus::generate(&CorpusSpec::sized(500, 50))
+    }
+
+    /// A corpus with an exaggerated sub-512B text tail, so the ablation
+    /// effect is visible at test scale (at paper scale the default mix
+    /// already carries ~25-30 tiny files).
+    fn tiny_heavy_corpus() -> Corpus {
+        let mut spec = CorpusSpec::sized(500, 50);
+        for t in &mut spec.mix {
+            if t.extension == "txt" || t.extension == "md" {
+                t.median_size = 600;
+                t.sigma = 1.1;
+            }
+        }
+        Corpus::generate(&spec)
+    }
+
+    #[test]
+    fn small_file_removal_speeds_detection() {
+        let corpus = tiny_heavy_corpus();
+        let config = Config::protecting(corpus.root().as_str());
+        let a = small_file_ablation(&corpus, &config);
+        assert!(a.small_files_removed > 0, "the corpus has a small-file tail");
+        assert!(
+            a.filtered_files_lost < a.full_corpus_files_lost,
+            "removing tiny files must speed detection: {} -> {}",
+            a.full_corpus_files_lost,
+            a.filtered_files_lost
+        );
+    }
+
+    #[test]
+    fn union_accelerates_detection() {
+        let corpus = corpus();
+        let config = Config::protecting(corpus.root().as_str());
+        let samples: Vec<RansomwareSample> = paper_sample_set()
+            .into_iter()
+            .filter(|s| s.family == Family::TeslaCrypt)
+            .take(4)
+            .collect();
+        let a = union_ablation(&corpus, &config, &samples, 2);
+        assert!(
+            a.with_union_median <= a.without_union_median,
+            "union must not slow detection: {} vs {}",
+            a.with_union_median,
+            a.without_union_median
+        );
+        assert!(a.without_union_detection_rate > 0.99, "still 100% detection");
+    }
+
+    #[test]
+    fn dynamic_scoring_never_slows_detection() {
+        let corpus = tiny_heavy_corpus();
+        let config = Config::protecting(corpus.root().as_str());
+        let d = dynamic_scoring_ablation(&corpus, &config);
+        assert!(
+            d.with_files_lost <= d.without_files_lost,
+            "dynamic scoring must not slow detection: {} vs {}",
+            d.with_files_lost,
+            d.without_files_lost
+        );
+    }
+
+    #[test]
+    fn class_b_needs_move_tracking() {
+        let corpus = corpus();
+        let config = Config::protecting(corpus.root().as_str());
+        let a = tracking_ablation(&corpus, &config);
+        assert!(a.with_tracking_detected);
+        assert!(
+            !a.without_tracking_detected,
+            "untracked Class B escapes detection entirely"
+        );
+        assert!(
+            a.without_tracking_files_destroyed > a.with_tracking_files_destroyed,
+            "untracked Class B must do more damage: {} vs {}",
+            a.without_tracking_files_destroyed,
+            a.with_tracking_files_destroyed
+        );
+    }
+}

@@ -1,0 +1,31 @@
+//! Runs the §V-C small-file ablation plus the union-indication and
+//! move-tracking ablations.
+//!
+//! Usage: `ablation [--quick]`
+
+use cryptodrop_experiments::ablation::{
+    dynamic_scoring_ablation, render, render_dynamic, small_file_ablation, tracking_ablation,
+    union_ablation,
+};
+use cryptodrop_experiments::{write_json, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    let corpus = scale.corpus();
+    let config = scale.config();
+    let small = small_file_ablation(&corpus, &config);
+    let samples: Vec<_> = scale
+        .samples()
+        .into_iter()
+        .filter(|s| s.index < 4)
+        .collect();
+    let union = union_ablation(&corpus, &config, &samples, scale.threads);
+    let tracking = tracking_ablation(&corpus, &config);
+    let dynamic = dynamic_scoring_ablation(&corpus, &config);
+    println!("{}", render(&small, &union, &tracking));
+    println!("{}", render_dynamic(&dynamic));
+    write_json("ablation_small_file", &small);
+    write_json("ablation_union", &union);
+    write_json("ablation_tracking", &tracking);
+    write_json("ablation_dynamic_scoring", &dynamic);
+}

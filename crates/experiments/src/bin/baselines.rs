@@ -1,0 +1,25 @@
+//! Compares CryptoDrop against the §II baseline detectors.
+//!
+//! Usage: `baselines [--quick]`
+
+use cryptodrop_benign::{fig6_apps, paper_apps};
+use cryptodrop_experiments::baselines::run;
+use cryptodrop_experiments::{write_json, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    let all = std::env::args().any(|a| a == "--all-apps");
+    let corpus = scale.corpus();
+    let config = scale.config();
+    // One representative sample per (family, class).
+    let samples: Vec<_> = scale.samples().into_iter().filter(|s| s.index == 0).collect();
+    let apps = if all { paper_apps() } else { fig6_apps() };
+    eprintln!(
+        "comparing 3 detectors over {} samples and {} apps...",
+        samples.len(),
+        apps.len()
+    );
+    let cmp = run(&corpus, &config, &samples, &apps);
+    println!("{}", cmp.render());
+    write_json("baselines", &cmp);
+}

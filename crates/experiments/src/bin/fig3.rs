@@ -1,0 +1,18 @@
+//! Reproduces Figure 3 (cumulative files-lost distribution).
+//!
+//! Usage: `fig3 [--quick]`
+
+use cryptodrop_experiments::fig3::Fig3;
+use cryptodrop_experiments::runner::run_samples_parallel;
+use cryptodrop_experiments::{write_json, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    let corpus = scale.corpus();
+    let config = scale.config();
+    let samples = scale.samples();
+    let results = run_samples_parallel(&corpus, &config, &samples, scale.threads);
+    let fig = Fig3::from_results(&results);
+    println!("{}", fig.render());
+    write_json("fig3", &fig);
+}

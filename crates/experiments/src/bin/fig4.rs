@@ -1,0 +1,15 @@
+//! Reproduces Figure 4 (per-family traversal footprints).
+//!
+//! Usage: `fig4 [--quick]`
+
+use cryptodrop_experiments::fig4::{run, FIG4_FAMILIES};
+use cryptodrop_experiments::{write_json, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    let corpus = scale.corpus();
+    let config = scale.config();
+    let fig = run(&corpus, &config, &FIG4_FAMILIES);
+    println!("{}", fig.render());
+    write_json("fig4", &fig);
+}

@@ -1,0 +1,18 @@
+//! Reproduces Figure 5 (extension access frequencies).
+//!
+//! Usage: `fig5 [--quick]`
+
+use cryptodrop_experiments::fig5::Fig5;
+use cryptodrop_experiments::runner::run_samples_parallel;
+use cryptodrop_experiments::{write_json, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    let corpus = scale.corpus();
+    let config = scale.config();
+    let samples = scale.samples();
+    let results = run_samples_parallel(&corpus, &config, &samples, scale.threads);
+    let fig = Fig5::from_results(&results);
+    println!("{}", fig.render());
+    write_json("fig5", &fig);
+}

@@ -1,0 +1,19 @@
+//! Reproduces Figure 6 and §V-F (benign scores + FP threshold sweep).
+//!
+//! Usage: `fig6 [--quick] [--all-apps]`
+
+use cryptodrop_benign::{fig6_apps, paper_apps};
+use cryptodrop_experiments::fig6::run;
+use cryptodrop_experiments::{write_json, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    let all = std::env::args().any(|a| a == "--all-apps");
+    let corpus = scale.corpus();
+    let config = scale.config();
+    let apps = if all { paper_apps() } else { fig6_apps() };
+    eprintln!("running {} benign applications...", apps.len());
+    let fig = run(&corpus, &config, &apps);
+    println!("{}", fig.render());
+    write_json(if all { "fig6_all_apps" } else { "fig6" }, &fig);
+}

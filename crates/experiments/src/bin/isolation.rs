@@ -1,0 +1,17 @@
+//! Runs the §III indicators-in-isolation study.
+//!
+//! Usage: `isolation [--quick]`
+
+use cryptodrop_benign::fig6_apps;
+use cryptodrop_experiments::isolation::run;
+use cryptodrop_experiments::{write_json, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    let corpus = scale.corpus();
+    let config = scale.config();
+    let samples: Vec<_> = scale.samples().into_iter().filter(|s| s.index == 0).collect();
+    let study = run(&corpus, &config, &samples, &fig6_apps(), scale.threads);
+    println!("{}", study.render());
+    write_json("isolation", &study);
+}

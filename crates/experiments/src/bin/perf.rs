@@ -1,0 +1,15 @@
+//! Reproduces the §V-H per-operation latency table.
+//!
+//! Usage: `perf [--quick]`
+
+use cryptodrop_experiments::perf::run;
+use cryptodrop_experiments::{write_json, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    let corpus = scale.corpus();
+    let config = scale.config();
+    let table = run(&corpus, &config);
+    println!("{}", table.render());
+    write_json("perf", &table);
+}

@@ -1,0 +1,26 @@
+//! Sweeps the detection threshold and tabulates the loss/noise trade-off
+//! behind the paper's choice of 200.
+//!
+//! Usage: `roc [--quick]`
+
+use cryptodrop_benign::fig6_apps;
+use cryptodrop_experiments::roc::run;
+use cryptodrop_experiments::{write_json, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    let corpus = scale.corpus();
+    let config = scale.config();
+    let samples: Vec<_> = scale.samples().into_iter().filter(|s| s.index == 0).collect();
+    let thresholds = [50, 100, 150, 200, 250, 300, 400];
+    let study = run(
+        &corpus,
+        &config,
+        &samples,
+        &fig6_apps(),
+        &thresholds,
+        scale.threads,
+    );
+    println!("{}", study.render());
+    write_json("roc", &study);
+}

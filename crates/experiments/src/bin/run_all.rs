@@ -1,0 +1,90 @@
+//! Runs every experiment in sequence (Table I, Figs. 3-6, ablations,
+//! §V-H performance) and prints the full report.
+//!
+//! Usage: `run-all [--quick]`
+
+use cryptodrop_benign::{fig6_apps, paper_apps};
+use cryptodrop_experiments::{ablation, fig3, fig4, fig5, fig6, perf, table1};
+use cryptodrop_experiments::runner::run_samples_parallel;
+use cryptodrop_experiments::{write_json, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    let all_apps = std::env::args().any(|a| a == "--all-apps");
+    let corpus = scale.corpus();
+    let config = scale.config();
+    let samples = scale.samples();
+
+    eprintln!(
+        "corpus: {} files / {} dirs ({} MiB); samples: {}; threads: {}",
+        corpus.file_count(),
+        corpus.dir_count(),
+        corpus.total_bytes() / (1024 * 1024),
+        samples.len(),
+        scale.threads
+    );
+
+    let t0 = std::time::Instant::now();
+    let results = run_samples_parallel(&corpus, &config, &samples, scale.threads);
+    eprintln!("sample runs finished in {:.1}s", t0.elapsed().as_secs_f64());
+
+    let table = table1::Table1::from_results(&results);
+    println!("{}\n", table.render());
+    write_json("table1", &table);
+    write_json("sample_results", &results);
+
+    let f3 = fig3::Fig3::from_results(&results);
+    println!("{}\n", f3.render());
+    write_json("fig3", &f3);
+
+    let f4 = fig4::run(&corpus, &config, &fig4::FIG4_FAMILIES);
+    println!("{}\n", f4.render());
+    write_json("fig4", &f4);
+
+    let f5 = fig5::Fig5::from_results(&results);
+    println!("{}\n", f5.render());
+    write_json("fig5", &f5);
+
+    let apps = if all_apps { paper_apps() } else { fig6_apps() };
+    let f6 = fig6::run(&corpus, &config, &apps);
+    println!("{}\n", f6.render());
+    write_json("fig6", &f6);
+
+    let small = ablation::small_file_ablation(&corpus, &config);
+    let ab_samples: Vec<_> = samples.iter().filter(|s| s.index < 4).cloned().collect();
+    let union = ablation::union_ablation(&corpus, &config, &ab_samples, scale.threads);
+    let tracking = ablation::tracking_ablation(&corpus, &config);
+    let dynamic = ablation::dynamic_scoring_ablation(&corpus, &config);
+    println!("{}\n", ablation::render(&small, &union, &tracking));
+    println!("{}\n", ablation::render_dynamic(&dynamic));
+    write_json("ablation_small_file", &small);
+    write_json("ablation_union", &union);
+    write_json("ablation_tracking", &tracking);
+    write_json("ablation_dynamic_scoring", &dynamic);
+
+    let p = perf::run(&corpus, &config);
+    println!("{}", p.render());
+    write_json("perf", &p);
+
+    let reps: Vec<_> = samples.iter().filter(|s| s.index == 0).cloned().collect();
+    let cmp = cryptodrop_experiments::baselines::run(&corpus, &config, &reps, &fig6_apps());
+    println!("\n{}", cmp.render());
+    write_json("baselines", &cmp);
+
+    let iso = cryptodrop_experiments::isolation::run(&corpus, &config, &reps, &fig6_apps(), scale.threads);
+    println!("\n{}", iso.render());
+    write_json("isolation", &iso);
+
+    let roc = cryptodrop_experiments::roc::run(
+        &corpus,
+        &config,
+        &reps,
+        &fig6_apps(),
+        &[50, 100, 150, 200, 250, 300, 400],
+        scale.threads,
+    );
+    println!("\n{}", roc.render());
+    write_json("roc", &roc);
+
+    eprintln!("total wall time {:.1}s", t0.elapsed().as_secs_f64());
+}

@@ -1,0 +1,26 @@
+//! Reproduces Table I (and the §V-B2 union audit).
+//!
+//! Usage: `table1 [--quick]`
+
+use cryptodrop_experiments::runner::run_samples_parallel;
+use cryptodrop_experiments::table1::Table1;
+use cryptodrop_experiments::{write_json, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    let corpus = scale.corpus();
+    let config = scale.config();
+    let samples = scale.samples();
+    eprintln!(
+        "running {} samples against {} files / {} dirs on {} threads...",
+        samples.len(),
+        corpus.file_count(),
+        corpus.dir_count(),
+        scale.threads
+    );
+    let results = run_samples_parallel(&corpus, &config, &samples, scale.threads);
+    let table = Table1::from_results(&results);
+    println!("{}", table.render());
+    write_json("table1", &table);
+    write_json("sample_results", &results);
+}

@@ -1,0 +1,135 @@
+//! Figure 3: the cumulative distribution of files lost before detection.
+//!
+//! "The median number of files lost before detection was 10, and
+//! CryptoDrop detected all 492 samples with 33 or fewer files lost."
+
+use serde::{Deserialize, Serialize};
+
+use crate::report::{bar, median};
+use crate::runner::SampleResult;
+
+/// One point of the cumulative curve.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CdfPoint {
+    /// Files lost.
+    pub files_lost: u32,
+    /// Percentage of samples detected at or below this loss.
+    pub cumulative_percent: f64,
+}
+
+/// The reproduced Figure 3.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig3 {
+    /// The cumulative curve, ascending in files lost.
+    pub points: Vec<CdfPoint>,
+    /// Median files lost.
+    pub median_files_lost: f64,
+    /// Maximum files lost.
+    pub max_files_lost: u32,
+    /// Samples with zero files lost (the paper: "as few as zero").
+    pub zero_loss_samples: usize,
+}
+
+impl Fig3 {
+    /// Builds the cumulative curve from per-sample results.
+    pub fn from_results(results: &[SampleResult]) -> Fig3 {
+        let mut losses: Vec<u32> = results.iter().map(|r| r.files_lost).collect();
+        losses.sort_unstable();
+        let n = losses.len().max(1);
+        let mut points = Vec::new();
+        let mut i = 0;
+        while i < losses.len() {
+            let v = losses[i];
+            // Advance to the last sample with this loss.
+            while i + 1 < losses.len() && losses[i + 1] == v {
+                i += 1;
+            }
+            points.push(CdfPoint {
+                files_lost: v,
+                cumulative_percent: 100.0 * (i + 1) as f64 / n as f64,
+            });
+            i += 1;
+        }
+        Fig3 {
+            median_files_lost: median(&losses).unwrap_or(0.0),
+            max_files_lost: losses.last().copied().unwrap_or(0),
+            zero_loss_samples: losses.iter().filter(|&&l| l == 0).count(),
+            points,
+        }
+    }
+
+    /// Renders an ASCII version of the cumulative plot.
+    pub fn render(&self) -> String {
+        let mut out = String::from(
+            "Figure 3 — cumulative % of samples detected by number of files lost\n\n",
+        );
+        for p in &self.points {
+            out.push_str(&format!(
+                "  ≤{:>3} files  {:>5.1}%  |{}|\n",
+                p.files_lost,
+                p.cumulative_percent,
+                bar(p.cumulative_percent / 100.0, 50),
+            ));
+        }
+        out.push_str(&format!(
+            "\nMedian: {:.1} files (paper: 10); all samples ≤ {} files (paper: 33); \
+             {} samples with zero loss (paper: \"as few as zero\")\n",
+            self.median_files_lost, self.max_files_lost, self.zero_loss_samples
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cryptodrop_malware::BehaviorClass;
+    use std::collections::BTreeSet;
+
+    fn result(lost: u32) -> SampleResult {
+        SampleResult {
+            id: 0,
+            family: "X".into(),
+            class: BehaviorClass::A,
+            detected: true,
+            files_lost: lost,
+            score: 0,
+            union_triggered: false,
+            read_only_skipped: 0,
+            completed: false,
+            files_attacked: lost,
+            extensions_accessed: BTreeSet::new(),
+            dirs_touched: BTreeSet::new(),
+        }
+    }
+
+    #[test]
+    fn cdf_is_monotone_and_ends_at_100() {
+        let results: Vec<SampleResult> = [0u32, 3, 3, 5, 10, 10, 10, 33].iter().map(|&l| result(l)).collect();
+        let fig = Fig3::from_results(&results);
+        assert_eq!(fig.points.first().unwrap().files_lost, 0);
+        assert_eq!(fig.points.last().unwrap().files_lost, 33);
+        assert!((fig.points.last().unwrap().cumulative_percent - 100.0).abs() < 1e-9);
+        let pcts: Vec<f64> = fig.points.iter().map(|p| p.cumulative_percent).collect();
+        assert!(pcts.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(fig.zero_loss_samples, 1);
+        assert_eq!(fig.max_files_lost, 33);
+        assert_eq!(fig.median_files_lost, 7.5);
+    }
+
+    #[test]
+    fn duplicate_losses_collapse_to_one_point() {
+        let results: Vec<SampleResult> = [4u32, 4, 4].iter().map(|&l| result(l)).collect();
+        let fig = Fig3::from_results(&results);
+        assert_eq!(fig.points.len(), 1);
+        assert_eq!(fig.points[0].cumulative_percent, 100.0);
+    }
+
+    #[test]
+    fn render_shows_median_line() {
+        let fig = Fig3::from_results(&[result(10)]);
+        let out = fig.render();
+        assert!(out.contains("Median"));
+        assert!(out.contains("≤ 10 files") || out.contains("10 files"));
+    }
+}

@@ -1,0 +1,157 @@
+//! Figure 6 and §V-F: benign-application scores and the false-positive
+//! threshold sweep.
+//!
+//! The paper runs thirty applications and finds one false positive (7-zip)
+//! at the experiment threshold of 200; Fig. 6 plots, for five applications,
+//! how many false positives *would* have occurred at varying non-union
+//! thresholds (final scores: Lightroom 107, ImageMagick 0, iTunes 16,
+//! Word 0, Excel 150).
+
+use cryptodrop::{Config, ScoreConfig};
+use cryptodrop_benign::BenignApp;
+use cryptodrop_corpus::Corpus;
+use serde::{Deserialize, Serialize};
+
+use crate::report::TextTable;
+use crate::runner::{run_app, AppResult};
+
+/// The paper's final scores for the five Fig. 6 applications.
+pub const PAPER_SCORES: [(&str, u32); 5] = [
+    ("Adobe Lightroom", 107),
+    ("ImageMagick", 0),
+    ("iTunes", 16),
+    ("Microsoft Word", 0),
+    ("Microsoft Excel", 150),
+];
+
+/// One (threshold, false positives) sweep point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SweepPoint {
+    /// The non-union threshold.
+    pub threshold: u32,
+    /// Applications whose final score reaches it.
+    pub false_positives: usize,
+}
+
+/// The reproduced Figure 6 + §V-F results.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig6 {
+    /// Final score per application (run to completion, no suspension).
+    pub scores: Vec<AppResult>,
+    /// False positives at each swept threshold.
+    pub sweep: Vec<SweepPoint>,
+    /// Applications that would be flagged at the paper's threshold of 200.
+    pub flagged_at_200: Vec<String>,
+    /// Whether any application tripped union indication (the paper:
+    /// none did).
+    pub any_union: bool,
+}
+
+/// Runs the given applications to completion (detection disabled via an
+/// unreachable threshold) and computes the threshold sweep.
+pub fn run(corpus: &Corpus, base: &Config, apps: &[Box<dyn BenignApp>]) -> Fig6 {
+    // Let every workload finish so final scores are comparable; the sweep
+    // then derives FP counts for any threshold.
+    let unbounded = Config {
+        score: ScoreConfig {
+            non_union_threshold: u32::MAX,
+            union_threshold: u32::MAX,
+            ..base.score.clone()
+        },
+        ..base.clone()
+    };
+    let scores: Vec<AppResult> = apps
+        .iter()
+        .enumerate()
+        .map(|(i, app)| run_app(corpus, &unbounded, app.as_ref(), 0xF16 + i as u64))
+        .collect();
+
+    let sweep: Vec<SweepPoint> = (0..=400)
+        .step_by(25)
+        .map(|threshold| SweepPoint {
+            threshold,
+            false_positives: scores
+                .iter()
+                .filter(|r| threshold > 0 && r.score >= threshold)
+                .count(),
+        })
+        .collect();
+
+    Fig6 {
+        flagged_at_200: scores
+            .iter()
+            .filter(|r| r.score >= base.score.non_union_threshold)
+            .map(|r| r.name.clone())
+            .collect(),
+        any_union: scores.iter().any(|r| r.union_triggered),
+        scores,
+        sweep,
+    }
+}
+
+impl Fig6 {
+    /// Renders the score table and the sweep.
+    pub fn render(&self) -> String {
+        let mut t = TextTable::new(["Application", "Score", "Paper score", "Union?"]);
+        for r in &self.scores {
+            let paper = PAPER_SCORES
+                .iter()
+                .find(|(n, _)| *n == r.name)
+                .map(|(_, s)| s.to_string())
+                .unwrap_or_else(|| "-".to_string());
+            t.row([
+                r.name.clone(),
+                r.score.to_string(),
+                paper,
+                if r.union_triggered { "yes" } else { "no" }.to_string(),
+            ]);
+        }
+        let mut out = String::from("Figure 6 / §V-F — benign application scores\n\n");
+        out.push_str(&t.render());
+        out.push_str("\nFalse positives vs non-union threshold:\n");
+        for p in &self.sweep {
+            out.push_str(&format!(
+                "  threshold {:>3}: {} false positive(s)\n",
+                p.threshold, p.false_positives
+            ));
+        }
+        out.push_str(&format!(
+            "\nFlagged at the paper's threshold (200): {:?} (paper: only 7-zip)\n",
+            self.flagged_at_200
+        ));
+        out.push_str(&format!(
+            "Union indication among benign apps: {} (paper: none)\n",
+            if self.any_union { "OCCURRED" } else { "none" }
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cryptodrop_corpus::CorpusSpec;
+
+    #[test]
+    fn word_and_imagemagick_score_near_zero() {
+        let corpus = Corpus::generate(&CorpusSpec::sized(120, 15));
+        let config = Config::protecting(corpus.root().as_str());
+        let apps: Vec<Box<dyn BenignApp>> = vec![
+            Box::new(cryptodrop_benign::Word),
+            Box::new(cryptodrop_benign::ImageMagick { photo_count: 25 }),
+        ];
+        let fig = run(&corpus, &config, &apps);
+        assert_eq!(fig.scores.len(), 2);
+        for r in &fig.scores {
+            assert!(r.completed, "{} did not finish", r.name);
+            assert!(r.score < 40, "{} scored {}", r.name, r.score);
+            assert!(!r.union_triggered);
+        }
+        assert!(fig.flagged_at_200.is_empty());
+        assert!(!fig.any_union);
+        // Sweep is monotone non-increasing.
+        let fps: Vec<usize> = fig.sweep.iter().map(|p| p.false_positives).collect();
+        assert!(fps.windows(2).all(|w| w[0] >= w[1]));
+        assert!(fig.render().contains("threshold 200"));
+    }
+}

@@ -1,0 +1,138 @@
+//! Plain-text table rendering and small statistics helpers shared by the
+//! experiment reports.
+
+/// An aligned plain-text table.
+#[derive(Debug, Clone, Default)]
+pub struct TextTable {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>>(headers: impl IntoIterator<Item = S>) -> Self {
+        Self {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (missing cells render empty; extra cells are kept).
+    pub fn row<S: Into<String>>(&mut self, cells: impl IntoIterator<Item = S>) -> &mut Self {
+        self.rows.push(cells.into_iter().map(Into::into).collect());
+        self
+    }
+
+    /// Renders the table with padded columns and a header rule.
+    pub fn render(&self) -> String {
+        let cols = self
+            .rows
+            .iter()
+            .map(Vec::len)
+            .chain([self.headers.len()])
+            .max()
+            .unwrap_or(0);
+        let mut widths = vec![0usize; cols];
+        for (i, h) in self.headers.iter().enumerate() {
+            widths[i] = widths[i].max(h.chars().count());
+        }
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.chars().count());
+            }
+        }
+        let fmt_row = |cells: &[String]| -> String {
+            let mut line = String::new();
+            for (i, w) in widths.iter().enumerate() {
+                let cell = cells.get(i).map(String::as_str).unwrap_or("");
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                line.push_str(cell);
+                line.extend(std::iter::repeat_n(' ', w.saturating_sub(cell.chars().count())));
+            }
+            line.trim_end().to_string()
+        };
+        let mut out = String::new();
+        out.push_str(&fmt_row(&self.headers));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * widths.len().saturating_sub(1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// The median of a set of values (mean of the two central values for even
+/// counts), or `None` for an empty set.
+pub fn median(values: &[u32]) -> Option<f64> {
+    if values.is_empty() {
+        return None;
+    }
+    let mut v = values.to_vec();
+    v.sort_unstable();
+    let n = v.len();
+    Some(if n % 2 == 1 {
+        v[n / 2] as f64
+    } else {
+        (v[n / 2 - 1] as f64 + v[n / 2] as f64) / 2.0
+    })
+}
+
+/// A unicode bar of proportional length for ASCII charts.
+pub fn bar(fraction: f64, width: usize) -> String {
+    let filled = (fraction.clamp(0.0, 1.0) * width as f64).round() as usize;
+    let mut s = "#".repeat(filled);
+    s.extend(std::iter::repeat_n('.', width - filled.min(width)));
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_alignment() {
+        let mut t = TextTable::new(["name", "count"]);
+        t.row(["alpha", "1"]);
+        t.row(["b", "22222"]);
+        let r = t.render();
+        let lines: Vec<&str> = r.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[1].chars().all(|c| c == '-'));
+        // Columns align: "count" column starts at the same offset.
+        let col = lines[0].find("count").unwrap();
+        assert_eq!(lines[2].find('1').unwrap(), col);
+        assert_eq!(lines[3].find('2').unwrap(), col);
+    }
+
+    #[test]
+    fn table_handles_ragged_rows() {
+        let mut t = TextTable::new(["a"]);
+        t.row(["x", "extra"]);
+        t.row::<&str>([]);
+        let r = t.render();
+        assert!(r.contains("extra"));
+    }
+
+    #[test]
+    fn median_odd_even_empty() {
+        assert_eq!(median(&[5]), Some(5.0));
+        assert_eq!(median(&[1, 3, 2]), Some(2.0));
+        assert_eq!(median(&[1, 2, 3, 4]), Some(2.5));
+        assert_eq!(median(&[]), None);
+        assert_eq!(median(&[10, 0, 10, 0]), Some(5.0));
+    }
+
+    #[test]
+    fn bar_widths() {
+        assert_eq!(bar(0.0, 10), "..........");
+        assert_eq!(bar(1.0, 10), "##########");
+        assert_eq!(bar(0.5, 10), "#####.....");
+        assert_eq!(bar(2.0, 4), "####", "clamped");
+    }
+}

@@ -1,0 +1,236 @@
+//! Table I: the per-family breakdown of detected samples and median files
+//! lost, plus the §V-B2 union-indication audit.
+
+use std::collections::BTreeMap;
+
+use cryptodrop_malware::{BehaviorClass, Family};
+use serde::{Deserialize, Serialize};
+
+use crate::report::{median, TextTable};
+use crate::runner::SampleResult;
+
+/// One family's row in Table I.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FamilyRow {
+    /// Family display name.
+    pub family: String,
+    /// Class A samples.
+    pub class_a: usize,
+    /// Class B samples.
+    pub class_b: usize,
+    /// Class C samples.
+    pub class_c: usize,
+    /// Total samples.
+    pub total: usize,
+    /// Share of the whole sample set, percent.
+    pub percent: f64,
+    /// Measured median files lost.
+    pub median_files_lost: f64,
+    /// The paper's reported median, for side-by-side comparison.
+    pub paper_median: f64,
+    /// Samples with at least one union indication.
+    pub union_samples: usize,
+}
+
+/// The reproduced Table I plus the §V-B2 statistics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table1 {
+    /// Per-family rows, Table I order.
+    pub rows: Vec<FamilyRow>,
+    /// Total samples run.
+    pub total_samples: usize,
+    /// Samples detected (the paper: all 492 — a 100% true positive rate).
+    pub detected_samples: usize,
+    /// Overall median files lost (the paper: 10).
+    pub overall_median_files_lost: f64,
+    /// Maximum files lost by any sample (the paper: 33).
+    pub max_files_lost: u32,
+    /// Samples with ≥1 union indication (the paper: 457, 93%).
+    pub union_samples: usize,
+    /// Class C samples whose union indication fired via move-over-original
+    /// linking (the paper: 41 of 63).
+    pub class_c_union: usize,
+    /// Class C samples that evaded union indication (the paper: 22) ...
+    pub class_c_nonunion: usize,
+    /// ... and their median files lost (the paper: 6).
+    pub class_c_nonunion_median: f64,
+    /// Per-class sample counts (A, B, C).
+    pub class_totals: (usize, usize, usize),
+}
+
+impl Table1 {
+    /// Aggregates raw per-sample results into the table.
+    pub fn from_results(results: &[SampleResult]) -> Table1 {
+        let mut by_family: BTreeMap<&str, Vec<&SampleResult>> = BTreeMap::new();
+        for r in results {
+            by_family.entry(&r.family).or_default().push(r);
+        }
+        // Keep Table I's family order.
+        let mut rows = Vec::new();
+        for f in Family::ALL {
+            let Some(group) = by_family.get(f.name()) else {
+                continue;
+            };
+            let losses: Vec<u32> = group.iter().map(|r| r.files_lost).collect();
+            rows.push(FamilyRow {
+                family: f.name().to_string(),
+                class_a: group.iter().filter(|r| r.class == BehaviorClass::A).count(),
+                class_b: group.iter().filter(|r| r.class == BehaviorClass::B).count(),
+                class_c: group.iter().filter(|r| r.class == BehaviorClass::C).count(),
+                total: group.len(),
+                percent: 100.0 * group.len() as f64 / results.len() as f64,
+                median_files_lost: median(&losses).unwrap_or(0.0),
+                paper_median: f.paper_median_files_lost(),
+                union_samples: group.iter().filter(|r| r.union_triggered).count(),
+            });
+        }
+        let all_losses: Vec<u32> = results.iter().map(|r| r.files_lost).collect();
+        let class_c: Vec<&SampleResult> = results
+            .iter()
+            .filter(|r| r.class == BehaviorClass::C)
+            .collect();
+        let c_union = class_c.iter().filter(|r| r.union_triggered).count();
+        let c_nonunion_losses: Vec<u32> = class_c
+            .iter()
+            .filter(|r| !r.union_triggered)
+            .map(|r| r.files_lost)
+            .collect();
+        Table1 {
+            rows,
+            total_samples: results.len(),
+            detected_samples: results.iter().filter(|r| r.detected).count(),
+            overall_median_files_lost: median(&all_losses).unwrap_or(0.0),
+            max_files_lost: all_losses.iter().copied().max().unwrap_or(0),
+            union_samples: results.iter().filter(|r| r.union_triggered).count(),
+            class_c_union: c_union,
+            class_c_nonunion: class_c.len() - c_union,
+            class_c_nonunion_median: median(&c_nonunion_losses).unwrap_or(0.0),
+            class_totals: (
+                results.iter().filter(|r| r.class == BehaviorClass::A).count(),
+                results.iter().filter(|r| r.class == BehaviorClass::B).count(),
+                class_c.len(),
+            ),
+        }
+    }
+
+    /// Renders the table plus the audit lines, paper values alongside.
+    pub fn render(&self) -> String {
+        let mut t = TextTable::new([
+            "Family",
+            "# Class A",
+            "# Class B",
+            "# Class C",
+            "Total",
+            "Median FL",
+            "Paper FL",
+            "Union",
+        ]);
+        for r in &self.rows {
+            t.row([
+                r.family.clone(),
+                nz(r.class_a),
+                nz(r.class_b),
+                nz(r.class_c),
+                format!("{} ({:.2}%)", r.total, r.percent),
+                format!("{:.1}", r.median_files_lost),
+                format!("{:.1}", r.paper_median),
+                format!("{}/{}", r.union_samples, r.total),
+            ]);
+        }
+        let (a, b, c) = self.class_totals;
+        let mut out = String::from("Table I — samples detected per family and class\n\n");
+        out.push_str(&t.render());
+        out.push_str(&format!(
+            "\nTotals: {} samples (A: {}, B: {}, C: {}); detected {} ({:.1}% TPR; paper: 100%)\n",
+            self.total_samples,
+            a,
+            b,
+            c,
+            self.detected_samples,
+            100.0 * self.detected_samples as f64 / self.total_samples.max(1) as f64,
+        ));
+        out.push_str(&format!(
+            "Overall median files lost: {:.1} (paper: 10); max: {} (paper: 33)\n",
+            self.overall_median_files_lost, self.max_files_lost
+        ));
+        out.push_str(&format!(
+            "Union indication: {}/{} samples ({:.0}%; paper: 457/492 = 93%)\n",
+            self.union_samples,
+            self.total_samples,
+            100.0 * self.union_samples as f64 / self.total_samples.max(1) as f64
+        ));
+        out.push_str(&format!(
+            "Class C: {} union via move-over-original (paper: 41), {} evaded union (paper: 22) \
+             with median loss {:.1} (paper: 6)\n",
+            self.class_c_union, self.class_c_nonunion, self.class_c_nonunion_median
+        ));
+        out
+    }
+}
+
+fn nz(n: usize) -> String {
+    if n == 0 {
+        String::new()
+    } else {
+        n.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    fn result(family: &str, class: BehaviorClass, lost: u32, union: bool) -> SampleResult {
+        SampleResult {
+            id: 0,
+            family: family.to_string(),
+            class,
+            detected: true,
+            files_lost: lost,
+            score: 200,
+            union_triggered: union,
+            read_only_skipped: 0,
+            completed: false,
+            files_attacked: lost,
+            extensions_accessed: BTreeSet::new(),
+            dirs_touched: BTreeSet::new(),
+        }
+    }
+
+    #[test]
+    fn aggregation_and_medians() {
+        let results = vec![
+            result("TeslaCrypt", BehaviorClass::A, 8, true),
+            result("TeslaCrypt", BehaviorClass::A, 12, true),
+            result("TeslaCrypt", BehaviorClass::C, 4, false),
+            result("Xorist", BehaviorClass::A, 3, true),
+        ];
+        let t = Table1::from_results(&results);
+        assert_eq!(t.total_samples, 4);
+        assert_eq!(t.detected_samples, 4);
+        assert_eq!(t.class_totals, (3, 0, 1));
+        assert_eq!(t.union_samples, 3);
+        assert_eq!(t.class_c_union, 0);
+        assert_eq!(t.class_c_nonunion, 1);
+        let tesla = t.rows.iter().find(|r| r.family == "TeslaCrypt").unwrap();
+        assert_eq!(tesla.total, 3);
+        assert_eq!(tesla.median_files_lost, 8.0);
+        assert_eq!(tesla.class_a, 2);
+        assert_eq!(tesla.class_c, 1);
+        // Rows keep Table I order: TeslaCrypt before Xorist.
+        let idx_t = t.rows.iter().position(|r| r.family == "TeslaCrypt").unwrap();
+        let idx_x = t.rows.iter().position(|r| r.family == "Xorist").unwrap();
+        assert!(idx_t < idx_x);
+    }
+
+    #[test]
+    fn render_contains_key_lines() {
+        let results = vec![result("GPcode", BehaviorClass::A, 20, true)];
+        let out = Table1::from_results(&results).render();
+        assert!(out.contains("GPcode"));
+        assert!(out.contains("Median FL"));
+        assert!(out.contains("paper: 100%"));
+        assert!(out.contains("Union indication"));
+    }
+}

@@ -1,0 +1,238 @@
+//! The 2048-bit Bloom filters that make up an sdhash digest.
+
+use serde::{Deserialize, Serialize};
+
+/// Filter size in bits (256 bytes), as in sdhash.
+pub const FILTER_BITS: usize = 2048;
+/// Filter size in bytes.
+pub const FILTER_BYTES: usize = FILTER_BITS / 8;
+/// Number of index bits taken from each hash word (2^11 = 2048).
+const INDEX_BITS: u32 = 11;
+/// Number of bits set per inserted feature (one per SHA-1 word).
+pub const HASHES_PER_FEATURE: usize = 5;
+/// Maximum features per filter before a new filter is started, as in
+/// sdhash.
+pub const MAX_FEATURES_PER_FILTER: usize = 160;
+
+/// A 2048-bit Bloom filter holding up to
+/// [`MAX_FEATURES_PER_FILTER`] similarity features.
+///
+/// # Examples
+///
+/// ```
+/// use cryptodrop_simhash::bloom::BloomFilter;
+/// use cryptodrop_simhash::hash::sha1_words;
+///
+/// let mut f = BloomFilter::new();
+/// f.insert(&sha1_words(b"some 64-byte feature...."));
+/// assert_eq!(f.features(), 1);
+/// assert!(f.set_bits() >= 1 && f.set_bits() <= 5);
+/// ```
+#[derive(Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BloomFilter {
+    bits: Vec<u64>, // FILTER_BITS / 64 words
+    features: u16,
+}
+
+impl BloomFilter {
+    /// Creates an empty filter.
+    pub fn new() -> Self {
+        Self {
+            bits: vec![0u64; FILTER_BITS / 64],
+            features: 0,
+        }
+    }
+
+    /// Inserts a feature from its five hash words, setting one bit per word.
+    pub fn insert(&mut self, words: &[u32; HASHES_PER_FEATURE]) {
+        for &w in words {
+            let idx = (w & ((1 << INDEX_BITS) - 1)) as usize;
+            self.bits[idx / 64] |= 1u64 << (idx % 64);
+        }
+        self.features = self.features.saturating_add(1);
+    }
+
+    /// The number of features inserted.
+    pub fn features(&self) -> usize {
+        self.features as usize
+    }
+
+    /// Returns `true` when the filter has reached its feature capacity.
+    pub fn is_full(&self) -> bool {
+        self.features() >= MAX_FEATURES_PER_FILTER
+    }
+
+    /// The number of set bits.
+    pub fn set_bits(&self) -> u32 {
+        self.bits.iter().map(|w| w.count_ones()).sum()
+    }
+
+    /// The number of bits set in both `self` and `other`.
+    pub fn common_bits(&self, other: &BloomFilter) -> u32 {
+        self.bits
+            .iter()
+            .zip(&other.bits)
+            .map(|(a, b)| (a & b).count_ones())
+            .sum()
+    }
+
+    /// Estimates the similarity of two filters on a 0–100 scale.
+    ///
+    /// Following sdhash's filter scoring: the observed overlap is compared
+    /// against the expected *chance* overlap of two independent filters
+    /// with the same bit densities; only overlap beyond a cutoff above
+    /// chance counts, scaled by the maximum possible overlap.
+    pub fn score(&self, other: &BloomFilter) -> u32 {
+        let n1 = self.set_bits() as f64;
+        let n2 = other.set_bits() as f64;
+        if n1 == 0.0 || n2 == 0.0 {
+            return 0;
+        }
+        let common = self.common_bits(other) as f64;
+        let expected_chance = n1 * n2 / FILTER_BITS as f64;
+        let max_common = n1.min(n2);
+        // Cutoff: chance overlap plus a guard band, so random filters score
+        // 0 rather than small positive values. The band is the larger of
+        // 30% of the headroom (sdhash's proportional cut) and six standard
+        // deviations of the chance-overlap distribution — the latter keeps
+        // sparse filters, whose proportional band is small in absolute
+        // bits, from scoring on statistical flukes.
+        let p = (n1.max(n2) / FILTER_BITS as f64).min(1.0);
+        let sigma = (max_common * p * (1.0 - p)).sqrt();
+        let band = (0.3 * (max_common - expected_chance)).max(6.0 * sigma);
+        let cutoff = expected_chance + band;
+        if common <= cutoff || max_common <= cutoff {
+            return 0;
+        }
+        let score = 100.0 * (common - cutoff) / (max_common - cutoff);
+        score.round().clamp(0.0, 100.0) as u32
+    }
+}
+
+impl Default for BloomFilter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for BloomFilter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BloomFilter")
+            .field("features", &self.features)
+            .field("set_bits", &self.set_bits())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hash::sha1_words;
+
+    fn feature(i: u64) -> [u32; 5] {
+        sha1_words(&i.to_le_bytes())
+    }
+
+    #[test]
+    fn empty_filter() {
+        let f = BloomFilter::new();
+        assert_eq!(f.features(), 0);
+        assert_eq!(f.set_bits(), 0);
+        assert!(!f.is_full());
+        assert_eq!(f.score(&BloomFilter::new()), 0);
+    }
+
+    #[test]
+    fn insert_sets_at_most_five_bits() {
+        let mut f = BloomFilter::new();
+        f.insert(&feature(1));
+        assert!(f.set_bits() >= 1 && f.set_bits() <= 5);
+        assert_eq!(f.features(), 1);
+    }
+
+    #[test]
+    fn capacity() {
+        let mut f = BloomFilter::new();
+        for i in 0..MAX_FEATURES_PER_FILTER as u64 {
+            f.insert(&feature(i));
+        }
+        assert!(f.is_full());
+    }
+
+    #[test]
+    fn identical_filters_score_100() {
+        let mut f = BloomFilter::new();
+        for i in 0..64u64 {
+            f.insert(&feature(i));
+        }
+        assert_eq!(f.score(&f.clone()), 100);
+    }
+
+    #[test]
+    fn disjoint_filters_score_0() {
+        let mut a = BloomFilter::new();
+        let mut b = BloomFilter::new();
+        for i in 0..80u64 {
+            a.insert(&feature(i));
+            b.insert(&feature(i + 10_000));
+        }
+        assert_eq!(a.score(&b), 0, "independent feature sets look random");
+    }
+
+    #[test]
+    fn partial_overlap_scores_between() {
+        let mut a = BloomFilter::new();
+        let mut b = BloomFilter::new();
+        for i in 0..100u64 {
+            a.insert(&feature(i));
+        }
+        for i in 50..150u64 {
+            b.insert(&feature(i));
+        }
+        let s = a.score(&b);
+        assert!(s > 0 && s < 100, "half overlap scored {s}");
+    }
+
+    #[test]
+    fn score_is_symmetric() {
+        let mut a = BloomFilter::new();
+        let mut b = BloomFilter::new();
+        for i in 0..90u64 {
+            a.insert(&feature(i));
+        }
+        for i in 30..160u64 {
+            b.insert(&feature(i));
+        }
+        assert_eq!(a.score(&b), b.score(&a));
+    }
+
+    #[test]
+    fn more_overlap_scores_higher() {
+        let mut base = BloomFilter::new();
+        for i in 0..100u64 {
+            base.insert(&feature(i));
+        }
+        let mut prev = 0;
+        for shared in [20u64, 50, 80, 100] {
+            let mut other = BloomFilter::new();
+            for i in 0..shared {
+                other.insert(&feature(i));
+            }
+            for i in shared..100 {
+                other.insert(&feature(i + 50_000));
+            }
+            let s = base.score(&other);
+            assert!(s >= prev, "monotonicity violated at {shared}: {s} < {prev}");
+            prev = s;
+        }
+        assert_eq!(prev, 100);
+    }
+
+    #[test]
+    fn debug_shows_counts() {
+        let mut f = BloomFilter::new();
+        f.insert(&feature(9));
+        let dbg = format!("{f:?}");
+        assert!(dbg.contains("features"));
+    }
+}

@@ -1,0 +1,300 @@
+//! Context-triggered piecewise hashing (an ssdeep-style digest).
+//!
+//! The paper cites Kornblum's CTPH alongside sdhash as the family of
+//! "similarity-preserving hash functions" its similarity indicator builds
+//! on (§III-B, refs 27 and 40), and selected sdhash. This module provides
+//! the CTPH alternative so the benchmark suite can compare the two schemes
+//! (the `primitives` bench's similarity ablation).
+//!
+//! A CTPH signature is a short base64 string: the input is split at
+//! content-defined trigger points chosen by a rolling hash, each piece is
+//! hashed, and each piece hash contributes one character. Signatures at two
+//! adjacent block sizes are kept so that inputs of different lengths remain
+//! comparable.
+
+use serde::{Deserialize, Serialize};
+
+use crate::hash::{fnv1a, RollingHash};
+
+/// Target signature length in characters, as in ssdeep.
+const SPAMSUM_LENGTH: usize = 64;
+/// The minimum block size.
+const MIN_BLOCKSIZE: u64 = 3;
+/// Base64 alphabet for signature characters.
+const B64: &[u8; 64] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+/// Two signatures must share a common substring of this length to score at
+/// all (ssdeep's anti-coincidence guard).
+const MIN_COMMON_SUBSTRING: usize = 7;
+
+/// A context-triggered piecewise hash of one input.
+///
+/// # Examples
+///
+/// ```
+/// use cryptodrop_simhash::CtphDigest;
+///
+/// let doc: Vec<u8> = (0..200u32)
+///     .flat_map(|i| format!("line {i} of a long document\n").into_bytes())
+///     .collect();
+/// let d = CtphDigest::compute(&doc);
+/// assert_eq!(d.similarity(&d), 100);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CtphDigest {
+    blocksize: u64,
+    sig1: String,
+    sig2: String,
+}
+
+impl CtphDigest {
+    /// Computes the digest of `data`.
+    ///
+    /// Unlike [`SdDigest`](crate::SdDigest), CTPH produces a digest for any
+    /// input, though very short inputs yield short, weak signatures.
+    pub fn compute(data: &[u8]) -> CtphDigest {
+        let mut blocksize = initial_blocksize(data.len());
+        loop {
+            let (sig1, sig2) = signatures(data, blocksize);
+            // ssdeep retries at a smaller block size when the signature
+            // comes out too short to be meaningful.
+            if sig1.len() < SPAMSUM_LENGTH / 2 && blocksize > MIN_BLOCKSIZE {
+                blocksize /= 2;
+                continue;
+            }
+            return CtphDigest {
+                blocksize,
+                sig1,
+                sig2,
+            };
+        }
+    }
+
+    /// The block size the signature was computed at.
+    pub fn blocksize(&self) -> u64 {
+        self.blocksize
+    }
+
+    /// The primary signature string (for display and tests).
+    pub fn signature(&self) -> String {
+        format!("{}:{}:{}", self.blocksize, self.sig1, self.sig2)
+    }
+
+    /// The similarity of two digests, 0–100.
+    ///
+    /// Digests are comparable when their block sizes are equal or adjacent
+    /// (one is double the other); incomparable digests score 0.
+    pub fn similarity(&self, other: &CtphDigest) -> u32 {
+        let (b1, b2) = (self.blocksize, other.blocksize);
+        if b1 == b2 {
+            let s1 = score_strings(&self.sig1, &other.sig1, b1);
+            let s2 = score_strings(&self.sig2, &other.sig2, b1 * 2);
+            s1.max(s2)
+        } else if b1 == b2 * 2 {
+            score_strings(&self.sig1, &other.sig2, b1)
+        } else if b2 == b1 * 2 {
+            score_strings(&self.sig2, &other.sig1, b2)
+        } else {
+            0
+        }
+    }
+}
+
+/// The smallest block size `3 · 2^i` whose expected signature length fits
+/// in [`SPAMSUM_LENGTH`].
+fn initial_blocksize(len: usize) -> u64 {
+    let mut b = MIN_BLOCKSIZE;
+    while (b as usize) * SPAMSUM_LENGTH < len {
+        b *= 2;
+    }
+    b
+}
+
+/// Generates the two signatures (block size `b` and `2b`) in one pass.
+fn signatures(data: &[u8], blocksize: u64) -> (String, String) {
+    let mut roll = RollingHash::new();
+    let mut piece1: u64 = 0x28021967; // spamsum's HASH_INIT flavour
+    let mut piece2: u64 = 0x28021967;
+    let mut sig1 = Vec::new();
+    let mut sig2 = Vec::new();
+    for &byte in data {
+        let r = roll.roll(byte) as u64;
+        piece1 = piece1.wrapping_mul(0x01000193) ^ byte as u64;
+        piece2 = piece2.wrapping_mul(0x01000193) ^ byte as u64;
+        if r % blocksize == blocksize - 1
+            && sig1.len() < SPAMSUM_LENGTH - 1 {
+                sig1.push(B64[(piece1 % 64) as usize]);
+                piece1 = 0x28021967;
+            }
+        if r % (blocksize * 2) == blocksize * 2 - 1 && sig2.len() < SPAMSUM_LENGTH / 2 - 1 {
+            sig2.push(B64[(piece2 % 64) as usize]);
+            piece2 = 0x28021967;
+        }
+    }
+    // Trailing piece, as in spamsum, captures the final partial block.
+    if !data.is_empty() {
+        sig1.push(B64[(fnv1a(&piece1.to_le_bytes()) % 64) as usize]);
+        sig2.push(B64[(fnv1a(&piece2.to_le_bytes()) % 64) as usize]);
+    }
+    (
+        String::from_utf8(sig1).expect("base64 alphabet"),
+        String::from_utf8(sig2).expect("base64 alphabet"),
+    )
+}
+
+/// Scores two signature strings at a given block size, ssdeep-style.
+fn score_strings(s1: &str, s2: &str, blocksize: u64) -> u32 {
+    if s1.is_empty() || s2.is_empty() {
+        return 0;
+    }
+    if !has_common_substring(s1.as_bytes(), s2.as_bytes(), MIN_COMMON_SUBSTRING) {
+        return 0;
+    }
+    let e = edit_distance(s1.as_bytes(), s2.as_bytes()) as u64;
+    let l1 = s1.len() as u64;
+    let l2 = s2.len() as u64;
+    // Scale the edit distance to the signature length, then invert into a
+    // 0..=100 match score.
+    let scaled = e * SPAMSUM_LENGTH as u64 / (l1 + l2);
+    let scaled = (scaled * 100) / SPAMSUM_LENGTH as u64;
+    let mut score = 100u64.saturating_sub(scaled);
+    // Cap scores for small block sizes to avoid over-claiming on tiny
+    // inputs (ssdeep's blocksize guard).
+    let cap = blocksize / MIN_BLOCKSIZE * l1.min(l2);
+    if score > cap {
+        score = cap;
+    }
+    score.min(100) as u32
+}
+
+/// Whether the inputs share any substring of length `n`.
+fn has_common_substring(a: &[u8], b: &[u8], n: usize) -> bool {
+    if a.len() < n || b.len() < n {
+        return false;
+    }
+    // Signatures are ≤ 64 chars; the quadratic scan is fine.
+    a.windows(n).any(|w| b.windows(n).any(|v| v == w))
+}
+
+/// Classic Levenshtein distance with substitution cost 2 (insert/delete 1),
+/// matching spamsum's weighting.
+fn edit_distance(a: &[u8], b: &[u8]) -> usize {
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut cur = vec![0usize; b.len() + 1];
+    for (i, &ca) in a.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, &cb) in b.iter().enumerate() {
+            let sub = prev[j] + if ca == cb { 0 } else { 2 };
+            cur[j + 1] = sub.min(prev[j + 1] + 1).min(cur[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[b.len()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn text(n: usize) -> Vec<u8> {
+        let para = b"Context triggered piecewise hashes split the input at \
+                     rolling-hash trigger points so local changes only perturb \
+                     nearby signature characters. ";
+        para.iter().cycle().take(n).copied().collect()
+    }
+
+    fn random_bytes(n: usize, seed: u64) -> Vec<u8> {
+        let mut s = seed | 1;
+        (0..n)
+            .map(|_| {
+                s ^= s << 13;
+                s ^= s >> 7;
+                s ^= s << 17;
+                (s >> 32) as u8
+            })
+            .collect()
+    }
+
+    #[test]
+    fn self_similarity_is_100() {
+        let d = CtphDigest::compute(&text(10_000));
+        assert_eq!(d.similarity(&d), 100);
+    }
+
+    #[test]
+    fn empty_input_has_empty_but_valid_digest() {
+        let d = CtphDigest::compute(b"");
+        assert_eq!(d.blocksize(), MIN_BLOCKSIZE);
+        assert_eq!(d.similarity(&d), 0, "nothing in common with nothing");
+    }
+
+    #[test]
+    fn random_vs_random_is_low() {
+        let a = CtphDigest::compute(&random_bytes(16_384, 1));
+        let b = CtphDigest::compute(&random_bytes(16_384, 2));
+        assert!(a.similarity(&b) <= 20, "got {}", a.similarity(&b));
+    }
+
+    #[test]
+    fn encryption_destroys_ctph_similarity() {
+        let plain = text(16_384);
+        let key = random_bytes(plain.len(), 77);
+        let cipher: Vec<u8> = plain.iter().zip(&key).map(|(p, k)| p ^ k).collect();
+        let a = CtphDigest::compute(&plain);
+        let b = CtphDigest::compute(&cipher);
+        assert!(a.similarity(&b) <= 20, "got {}", a.similarity(&b));
+    }
+
+    #[test]
+    fn local_edit_keeps_similarity() {
+        let base = text(16_384);
+        let mut edited = base.clone();
+        for byte in edited.iter_mut().skip(8000).take(64) {
+            *byte = b'#';
+        }
+        let a = CtphDigest::compute(&base);
+        let b = CtphDigest::compute(&edited);
+        assert!(a.similarity(&b) >= 40, "got {}", a.similarity(&b));
+    }
+
+    #[test]
+    fn signature_format() {
+        let d = CtphDigest::compute(&text(5000));
+        let sig = d.signature();
+        let parts: Vec<&str> = sig.split(':').collect();
+        assert_eq!(parts.len(), 3);
+        assert_eq!(parts[0], d.blocksize().to_string());
+        assert!(!parts[1].is_empty());
+    }
+
+    #[test]
+    fn incompatible_blocksizes_score_zero() {
+        let small = CtphDigest::compute(&text(1000));
+        let huge = CtphDigest::compute(&text(4_000_000));
+        assert!(huge.blocksize() > small.blocksize() * 2);
+        assert_eq!(small.similarity(&huge), 0);
+    }
+
+    #[test]
+    fn edit_distance_basics() {
+        assert_eq!(edit_distance(b"", b""), 0);
+        assert_eq!(edit_distance(b"abc", b"abc"), 0);
+        assert_eq!(edit_distance(b"abc", b""), 3);
+        assert_eq!(edit_distance(b"", b"ab"), 2);
+        assert_eq!(edit_distance(b"abc", b"abd"), 2, "substitution costs 2");
+        assert_eq!(edit_distance(b"abc", b"abcd"), 1);
+    }
+
+    #[test]
+    fn common_substring_guard() {
+        assert!(has_common_substring(b"abcdefghij", b"xxabcdefgxx", 7));
+        assert!(!has_common_substring(b"abcdefghij", b"klmnopqrst", 7));
+        assert!(!has_common_substring(b"short", b"short", 7));
+    }
+
+    #[test]
+    fn blocksize_grows_with_input() {
+        assert_eq!(initial_blocksize(0), MIN_BLOCKSIZE);
+        assert_eq!(initial_blocksize(192), MIN_BLOCKSIZE);
+        assert!(initial_blocksize(1_000_000) > 1000);
+    }
+}

@@ -1,0 +1,85 @@
+//! Similarity-preserving hashes for the CryptoDrop similarity indicator.
+//!
+//! CryptoDrop's second primary indicator (paper §III-B) measures how
+//! *dissimilar* a file has become after modification: "strong encryption
+//! should produce output that provides no information about the plaintext
+//! content", so comparing the similarity digest of a file's previous
+//! version against its new version should yield a near-zero score when
+//! ransomware has transformed it, and a high score under ordinary edits.
+//!
+//! Two digest schemes are provided:
+//!
+//! * [`SdDigest`] — the sdhash scheme the paper selected (Roussev 2010):
+//!   entropy-ranked 64-byte features packed into Bloom filters, scored
+//!   0–100. Crucially, inputs under 512 bytes produce **no digest**, the
+//!   limitation the paper's §V-C small-file analysis hinges on.
+//! * [`CtphDigest`] — Kornblum's context-triggered piecewise hashing
+//!   (ssdeep), provided for the similarity-scheme ablation benchmarks.
+//!
+//! # Examples
+//!
+//! ```
+//! use cryptodrop_simhash::SdDigest;
+//!
+//! let report: Vec<u8> = (0..300u32)
+//!     .flat_map(|i| format!("row {i}: revenue stable, costs declining\n").into_bytes())
+//!     .collect();
+//!
+//! let before = SdDigest::compute(&report).unwrap();
+//!
+//! // An ordinary edit keeps the digests similar...
+//! let mut edited = report.clone();
+//! edited.extend_from_slice(b"appendix: updated figures\n");
+//! let after_edit = SdDigest::compute(&edited).unwrap();
+//! assert!(before.similarity(&after_edit) > 50);
+//!
+//! // ...while "encryption" (here a keyed byte scramble) zeroes it out.
+//! let encrypted: Vec<u8> = report
+//!     .iter()
+//!     .enumerate()
+//!     .map(|(i, b)| b ^ (i as u8).wrapping_mul(151).wrapping_add(43))
+//!     .collect();
+//! let after_enc = SdDigest::compute(&encrypted).unwrap();
+//! assert!(before.similarity(&after_enc) <= 10);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bloom;
+pub mod ctph;
+pub mod hash;
+pub mod sdhash;
+
+pub use bloom::BloomFilter;
+pub use ctph::CtphDigest;
+pub use sdhash::{SdDigest, FEATURE_SIZE, MIN_FILE_SIZE};
+
+/// Convenience: the sdhash similarity of two buffers, or `None` when either
+/// side is too small (or too featureless) to digest — the exact condition
+/// under which CryptoDrop's similarity indicator must abstain.
+pub fn sdhash_similarity(before: &[u8], after: &[u8]) -> Option<u32> {
+    let a = SdDigest::compute(before)?;
+    let b = SdDigest::compute(after)?;
+    Some(a.similarity(&b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn convenience_fn_abstains_on_small_inputs() {
+        assert!(sdhash_similarity(b"tiny", b"also tiny").is_none());
+        let big = vec![b'x'; 1024]; // constant: no features either
+        assert!(sdhash_similarity(&big, &big).is_none());
+    }
+
+    #[test]
+    fn convenience_fn_scores_real_content() {
+        let doc: Vec<u8> = (0..200u32)
+            .flat_map(|i| format!("clause {i} of the agreement\n").into_bytes())
+            .collect();
+        assert_eq!(sdhash_similarity(&doc, &doc), Some(100));
+    }
+}

@@ -1,0 +1,87 @@
+//! Property-based tests for the similarity digests.
+
+use cryptodrop_simhash::{sdhash_similarity, CtphDigest, SdDigest, MIN_FILE_SIZE};
+use proptest::prelude::*;
+
+/// Structured, compressible content: repeated phrases with a numeric
+/// counter, like real documents.
+fn structured(seed: u8, n: usize) -> Vec<u8> {
+    (0..)
+        .flat_map(|i| format!("record {i} tagged {seed} with stable contents here\n").into_bytes())
+        .take(n)
+        .collect()
+}
+
+proptest! {
+    /// Digest computation never panics and small inputs always abstain.
+    #[test]
+    fn total_and_min_size(data in proptest::collection::vec(any::<u8>(), 0..2048)) {
+        let d = SdDigest::compute(&data);
+        if data.len() < MIN_FILE_SIZE {
+            prop_assert!(d.is_none());
+        }
+        let _ = CtphDigest::compute(&data);
+    }
+
+    /// Self-similarity is 100 whenever a digest exists.
+    #[test]
+    fn sd_self_similarity(seed in any::<u8>(), n in 512usize..8192) {
+        let data = structured(seed, n);
+        if let Some(d) = SdDigest::compute(&data) {
+            prop_assert_eq!(d.similarity(&d), 100);
+        }
+        let c = CtphDigest::compute(&data);
+        prop_assert_eq!(c.similarity(&c), 100);
+    }
+
+    /// Similarity is symmetric.
+    #[test]
+    fn sd_symmetry(a in any::<u8>(), b in any::<u8>(), n in 1024usize..4096) {
+        let da = SdDigest::compute(&structured(a, n));
+        let db = SdDigest::compute(&structured(b, n));
+        if let (Some(da), Some(db)) = (da, db) {
+            prop_assert_eq!(da.similarity(&db), db.similarity(&da));
+        }
+    }
+
+    /// Scores always lie in 0..=100.
+    #[test]
+    fn scores_bounded(
+        a in proptest::collection::vec(any::<u8>(), 512..4096),
+        b in proptest::collection::vec(any::<u8>(), 512..4096),
+    ) {
+        if let Some(s) = sdhash_similarity(&a, &b) {
+            prop_assert!(s <= 100);
+        }
+        let ca = CtphDigest::compute(&a);
+        let cb = CtphDigest::compute(&b);
+        prop_assert!(ca.similarity(&cb) <= 100);
+    }
+
+    /// Stream-encrypting structured content always collapses sdhash
+    /// similarity to near zero — the invariant the detector relies on.
+    #[test]
+    fn encryption_collapses_similarity(seed in any::<u8>(), key in 1u64.., n in 2048usize..8192) {
+        let plain = structured(seed, n);
+        let mut s = key | 1;
+        let cipher: Vec<u8> = plain
+            .iter()
+            .map(|b| {
+                s ^= s << 13;
+                s ^= s >> 7;
+                s ^= s << 17;
+                b ^ (s >> 32) as u8
+            })
+            .collect();
+        if let Some(score) = sdhash_similarity(&plain, &cipher) {
+            prop_assert!(score <= 15, "ciphertext scored {score}");
+        }
+    }
+
+    /// Digesting is deterministic.
+    #[test]
+    fn deterministic(data in proptest::collection::vec(any::<u8>(), 512..4096)) {
+        prop_assert_eq!(SdDigest::compute(&data), SdDigest::compute(&data));
+        prop_assert_eq!(CtphDigest::compute(&data), CtphDigest::compute(&data));
+    }
+}

@@ -1,0 +1,81 @@
+//! Content-based file-type identification (a `libmagic` analogue).
+//!
+//! CryptoDrop's first primary indicator, *file type changes* (paper §III-A),
+//! tracks a file's type "both before and after a file is written" using the
+//! `file` utility's magic-number approach. This crate reimplements the
+//! relevant slice of that capability:
+//!
+//! * a [`magic`] signature database covering the formats that dominate user
+//!   document directories (office documents, images, audio, archives,
+//!   executables),
+//! * ZIP-container introspection to distinguish `.docx`/`.xlsx`/`.pptx` and
+//!   OpenDocument files from plain archives,
+//! * [`text`] heuristics for encodings and structured text (HTML, XML,
+//!   JSON, CSV, base64),
+//! * a `data` fallback for unrecognized bytes — which is where encrypted
+//!   content lands, making the *type change to `Data`* signal that the
+//!   indicator keys on.
+//!
+//! # Examples
+//!
+//! ```
+//! use cryptodrop_sniff::{sniff, FileType};
+//!
+//! assert_eq!(sniff(b"%PDF-1.5 ..."), FileType::Pdf);
+//! assert_eq!(sniff(b"plain notes\n"), FileType::Utf8Text);
+//! // Ciphertext has no recognizable structure:
+//! let ciphertext = [0x9f, 0x02, 0xe1, 0x77, 0x5b, 0xc8, 0x01, 0xfe];
+//! assert_eq!(sniff(&ciphertext), FileType::Data);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod magic;
+pub mod text;
+pub mod types;
+
+pub use magic::{match_magic, Signature, SIGNATURES};
+pub use text::classify_text;
+pub use types::{FileCategory, FileType};
+
+/// Identifies the type of `bytes` from content alone.
+///
+/// Binary magic signatures are consulted first, then text heuristics;
+/// unrecognized content is classified as [`FileType::Data`] and empty input
+/// as [`FileType::Empty`].
+pub fn sniff(bytes: &[u8]) -> FileType {
+    match match_magic(bytes) {
+        Some(t) => t,
+        None => classify_text(bytes),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dispatch_order_binary_before_text() {
+        // "%PDF-" is printable text, but the magic signature must win.
+        assert_eq!(sniff(b"%PDF-1.4\n%plain looking"), FileType::Pdf);
+        // RTF too.
+        assert_eq!(sniff(b"{\\rtf1 hello}"), FileType::Rtf);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert_eq!(sniff(b""), FileType::Empty);
+    }
+
+    #[test]
+    fn type_change_scenario_encryption() {
+        // The core indicator scenario: a recognizable document becomes
+        // unrecognizable after "encryption" (here, a byte inversion that
+        // destroys the magic bytes).
+        let original = b"%PDF-1.5 content of a pdf".to_vec();
+        let encrypted: Vec<u8> = original.iter().map(|b| !b).collect();
+        assert_eq!(sniff(&original), FileType::Pdf);
+        assert_eq!(sniff(&encrypted), FileType::Data);
+    }
+}

@@ -1,0 +1,336 @@
+//! The file-type taxonomy.
+
+use serde::{Deserialize, Serialize};
+
+/// A broad category of file content, used by the corpus model and by the
+/// file-type-funneling indicator's coarse statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum FileCategory {
+    /// Word-processing and page-layout documents.
+    Document,
+    /// Spreadsheets.
+    Spreadsheet,
+    /// Slide decks.
+    Presentation,
+    /// Raster images.
+    Image,
+    /// Audio files.
+    Audio,
+    /// Video containers.
+    Video,
+    /// Compressed archives.
+    Archive,
+    /// Executables and libraries.
+    Executable,
+    /// Plain and structured text.
+    Text,
+    /// Databases.
+    Database,
+    /// Anything else, including unrecognized binary data.
+    Other,
+}
+
+/// The file type as determined from content ("magic numbers"), analogous to
+/// the `file` utility's classification the paper uses for its file-type
+/// indicator (§III-A).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum FileType {
+    // Documents
+    /// Adobe PDF.
+    Pdf,
+    /// Microsoft Word 2007+ (OOXML).
+    Docx,
+    /// Microsoft Excel 2007+ (OOXML).
+    Xlsx,
+    /// Microsoft PowerPoint 2007+ (OOXML).
+    Pptx,
+    /// OpenDocument Text.
+    Odt,
+    /// OpenDocument Spreadsheet.
+    Ods,
+    /// OpenDocument Presentation.
+    Odp,
+    /// Legacy Microsoft Office (OLE Compound File: .doc/.xls/.ppt).
+    OleCompound,
+    /// Rich Text Format.
+    Rtf,
+    // Images
+    /// JPEG image.
+    Jpeg,
+    /// PNG image.
+    Png,
+    /// GIF image.
+    Gif,
+    /// Windows bitmap.
+    Bmp,
+    /// TIFF image.
+    Tiff,
+    /// Windows icon.
+    Ico,
+    /// WebP image.
+    WebP,
+    // Audio / video
+    /// MP3 audio.
+    Mp3,
+    /// RIFF/WAVE audio.
+    Wav,
+    /// Ogg container.
+    Ogg,
+    /// FLAC audio.
+    Flac,
+    /// Standard MIDI.
+    Midi,
+    /// MP4 container.
+    Mp4,
+    /// RIFF/AVI video.
+    Avi,
+    // Archives
+    /// ZIP archive (not recognized as an OOXML/ODF container).
+    Zip,
+    /// gzip compressed data.
+    Gzip,
+    /// 7-Zip archive.
+    SevenZip,
+    /// RAR archive.
+    Rar,
+    // Executables
+    /// Windows PE executable.
+    Pe,
+    /// ELF executable.
+    Elf,
+    /// Windows shortcut (.lnk).
+    Lnk,
+    // Databases
+    /// SQLite 3 database.
+    Sqlite,
+    // Text family (content heuristics, no magic bytes)
+    /// HTML document.
+    Html,
+    /// XML document.
+    Xml,
+    /// JSON data.
+    Json,
+    /// Comma-separated values.
+    Csv,
+    /// UTF-8 (or ASCII) text.
+    Utf8Text,
+    /// UTF-16 text (with byte-order mark).
+    Utf16Text,
+    /// Base64-encoded text.
+    Base64Text,
+    // Fallbacks
+    /// Zero-length file.
+    Empty,
+    /// Unrecognized binary data — what `file` prints as "data". Encrypted
+    /// content lands here.
+    Data,
+}
+
+impl FileType {
+    /// The broad category of this type.
+    pub fn category(self) -> FileCategory {
+        use FileCategory as C;
+        use FileType as T;
+        match self {
+            T::Pdf | T::Docx | T::Odt | T::OleCompound | T::Rtf => C::Document,
+            T::Xlsx | T::Ods => C::Spreadsheet,
+            T::Pptx | T::Odp => C::Presentation,
+            T::Jpeg | T::Png | T::Gif | T::Bmp | T::Tiff | T::Ico | T::WebP => C::Image,
+            T::Mp3 | T::Wav | T::Ogg | T::Flac | T::Midi => C::Audio,
+            T::Mp4 | T::Avi => C::Video,
+            T::Zip | T::Gzip | T::SevenZip | T::Rar => C::Archive,
+            T::Pe | T::Elf | T::Lnk => C::Executable,
+            T::Sqlite => C::Database,
+            T::Html | T::Xml | T::Json | T::Csv | T::Utf8Text | T::Utf16Text | T::Base64Text => {
+                C::Text
+            }
+            T::Empty | T::Data => C::Other,
+        }
+    }
+
+    /// A human-readable description in the style of the `file` utility.
+    pub fn description(self) -> &'static str {
+        use FileType as T;
+        match self {
+            T::Pdf => "PDF document",
+            T::Docx => "Microsoft Word 2007+",
+            T::Xlsx => "Microsoft Excel 2007+",
+            T::Pptx => "Microsoft PowerPoint 2007+",
+            T::Odt => "OpenDocument Text",
+            T::Ods => "OpenDocument Spreadsheet",
+            T::Odp => "OpenDocument Presentation",
+            T::OleCompound => "Composite Document File V2 Document",
+            T::Rtf => "Rich Text Format data",
+            T::Jpeg => "JPEG image data",
+            T::Png => "PNG image data",
+            T::Gif => "GIF image data",
+            T::Bmp => "PC bitmap",
+            T::Tiff => "TIFF image data",
+            T::Ico => "MS Windows icon resource",
+            T::WebP => "RIFF (little-endian) data, Web/P image",
+            T::Mp3 => "Audio file with ID3 / MPEG ADTS layer III",
+            T::Wav => "RIFF (little-endian) data, WAVE audio",
+            T::Ogg => "Ogg data",
+            T::Flac => "FLAC audio bitstream data",
+            T::Midi => "Standard MIDI data",
+            T::Mp4 => "ISO Media, MP4 v2",
+            T::Avi => "RIFF (little-endian) data, AVI",
+            T::Zip => "Zip archive data",
+            T::Gzip => "gzip compressed data",
+            T::SevenZip => "7-zip archive data",
+            T::Rar => "RAR archive data",
+            T::Pe => "PE32 executable (console) Intel 80386, for MS Windows",
+            T::Elf => "ELF executable",
+            T::Lnk => "MS Windows shortcut",
+            T::Sqlite => "SQLite 3.x database",
+            T::Html => "HTML document, UTF-8 Unicode text",
+            T::Xml => "XML 1.0 document, UTF-8 Unicode text",
+            T::Json => "JSON data",
+            T::Csv => "CSV text",
+            T::Utf8Text => "UTF-8 Unicode text",
+            T::Utf16Text => "Unicode text, UTF-16",
+            T::Base64Text => "ASCII text (base64 encoded)",
+            T::Empty => "empty",
+            T::Data => "data",
+        }
+    }
+
+    /// The conventional file extension for this type, if one exists.
+    pub fn canonical_extension(self) -> Option<&'static str> {
+        use FileType as T;
+        Some(match self {
+            T::Pdf => "pdf",
+            T::Docx => "docx",
+            T::Xlsx => "xlsx",
+            T::Pptx => "pptx",
+            T::Odt => "odt",
+            T::Ods => "ods",
+            T::Odp => "odp",
+            T::OleCompound => "doc",
+            T::Rtf => "rtf",
+            T::Jpeg => "jpg",
+            T::Png => "png",
+            T::Gif => "gif",
+            T::Bmp => "bmp",
+            T::Tiff => "tiff",
+            T::Ico => "ico",
+            T::WebP => "webp",
+            T::Mp3 => "mp3",
+            T::Wav => "wav",
+            T::Ogg => "ogg",
+            T::Flac => "flac",
+            T::Midi => "mid",
+            T::Mp4 => "mp4",
+            T::Avi => "avi",
+            T::Zip => "zip",
+            T::Gzip => "gz",
+            T::SevenZip => "7z",
+            T::Rar => "rar",
+            T::Pe => "exe",
+            T::Elf => None?,
+            T::Lnk => "lnk",
+            T::Sqlite => "db",
+            T::Html => "html",
+            T::Xml => "xml",
+            T::Json => "json",
+            T::Csv => "csv",
+            T::Utf8Text => "txt",
+            T::Utf16Text => "txt",
+            T::Base64Text => "txt",
+            T::Empty | T::Data => None?,
+        })
+    }
+
+    /// Returns `true` for formats whose bodies are already compressed and
+    /// therefore high-entropy (the paper's §V-D observation that the top
+    /// attacked formats "represent compressed, high-entropy files").
+    pub fn is_high_entropy_format(self) -> bool {
+        use FileType as T;
+        matches!(
+            self,
+            T::Docx
+                | T::Xlsx
+                | T::Pptx
+                | T::Odt
+                | T::Ods
+                | T::Odp
+                | T::Jpeg
+                | T::Png
+                | T::WebP
+                | T::Mp3
+                | T::Ogg
+                | T::Flac
+                | T::Mp4
+                | T::Zip
+                | T::Gzip
+                | T::SevenZip
+                | T::Rar
+                | T::Pdf
+        )
+    }
+}
+
+impl std::fmt::Display for FileType {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.description())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn categories_are_sensible() {
+        assert_eq!(FileType::Pdf.category(), FileCategory::Document);
+        assert_eq!(FileType::Xlsx.category(), FileCategory::Spreadsheet);
+        assert_eq!(FileType::Pptx.category(), FileCategory::Presentation);
+        assert_eq!(FileType::Jpeg.category(), FileCategory::Image);
+        assert_eq!(FileType::Mp3.category(), FileCategory::Audio);
+        assert_eq!(FileType::Zip.category(), FileCategory::Archive);
+        assert_eq!(FileType::Data.category(), FileCategory::Other);
+        assert_eq!(FileType::Csv.category(), FileCategory::Text);
+    }
+
+    #[test]
+    fn descriptions_nonempty_and_distinctive() {
+        use std::collections::HashSet;
+        let all = [
+            FileType::Pdf,
+            FileType::Docx,
+            FileType::Xlsx,
+            FileType::Pptx,
+            FileType::Jpeg,
+            FileType::Png,
+            FileType::Mp3,
+            FileType::Zip,
+            FileType::Data,
+            FileType::Empty,
+        ];
+        let set: HashSet<&str> = all.iter().map(|t| t.description()).collect();
+        assert_eq!(set.len(), all.len(), "descriptions must be distinct");
+    }
+
+    #[test]
+    fn high_entropy_formats() {
+        assert!(FileType::Docx.is_high_entropy_format());
+        assert!(FileType::Pdf.is_high_entropy_format());
+        assert!(FileType::Jpeg.is_high_entropy_format());
+        assert!(!FileType::Utf8Text.is_high_entropy_format());
+        assert!(!FileType::Bmp.is_high_entropy_format());
+        assert!(!FileType::Wav.is_high_entropy_format());
+    }
+
+    #[test]
+    fn canonical_extensions() {
+        assert_eq!(FileType::Docx.canonical_extension(), Some("docx"));
+        assert_eq!(FileType::Data.canonical_extension(), None);
+        assert_eq!(FileType::Empty.canonical_extension(), None);
+    }
+
+    #[test]
+    fn display_matches_description() {
+        assert_eq!(FileType::Pdf.to_string(), FileType::Pdf.description());
+    }
+}

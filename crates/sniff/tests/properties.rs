@@ -1,0 +1,89 @@
+//! Property-based tests for the sniffer.
+
+use cryptodrop_sniff::{sniff, FileType};
+use proptest::prelude::*;
+
+/// A deterministic keystream for "encrypting" buffers in tests.
+fn keystream(len: usize, seed: u64) -> Vec<u8> {
+    let mut s = seed | 1;
+    (0..len)
+        .map(|_| {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            (s >> 24) as u8
+        })
+        .collect()
+}
+
+proptest! {
+    /// Sniffing never panics on arbitrary input.
+    #[test]
+    fn total_on_arbitrary_bytes(data in proptest::collection::vec(any::<u8>(), 0..8192)) {
+        let _ = sniff(&data);
+    }
+
+    /// Sniffing is deterministic.
+    #[test]
+    fn deterministic(data in proptest::collection::vec(any::<u8>(), 0..4096)) {
+        prop_assert_eq!(sniff(&data), sniff(&data));
+    }
+
+    /// Stream-encrypting any file with a recognized *structured* type
+    /// (magic-number formats) almost surely changes its sniffed type —
+    /// the heart of the file-type-change indicator. We assert the weaker,
+    /// always-true form: the ciphertext never keeps a structured magic type
+    /// unless the keystream happens to preserve the magic bytes, which the
+    /// filter below excludes.
+    #[test]
+    fn encryption_destroys_magic(seed in 1u64.., body in proptest::collection::vec(any::<u8>(), 16..2048)) {
+        let mut pdf = b"%PDF-1.5\n".to_vec();
+        pdf.extend_from_slice(&body);
+        prop_assert_eq!(sniff(&pdf), FileType::Pdf);
+        let ks = keystream(pdf.len(), seed);
+        let ct: Vec<u8> = pdf.iter().zip(&ks).map(|(b, k)| b ^ k).collect();
+        // Exclude the (astronomically unlikely, but possible for tiny
+        // keystream coincidences) case of a preserved prefix.
+        prop_assume!(&ct[..5] != b"%PDF-");
+        prop_assert_ne!(sniff(&ct), FileType::Pdf);
+    }
+
+    /// ASCII alphanumeric prose (no structure) classifies as a text type,
+    /// never as binary data.
+    #[test]
+    fn printable_ascii_is_text(words in proptest::collection::vec("[a-z]{1,10}", 1..64)) {
+        let text = words.join(" ");
+        let t = sniff(text.as_bytes());
+        prop_assert!(
+            matches!(t, FileType::Utf8Text | FileType::Base64Text),
+            "got {t:?} for {text:?}"
+        );
+    }
+
+    /// Prefixing a valid magic signature always yields that signature's
+    /// type family (ZIP may refine into a document type, never anything
+    /// else).
+    #[test]
+    fn magic_prefix_wins(tail in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let mut png = vec![0x89, b'P', b'N', b'G', 0x0D, 0x0A, 0x1A, 0x0A];
+        png.extend_from_slice(&tail);
+        prop_assert_eq!(sniff(&png), FileType::Png);
+
+        let mut zip = vec![b'P', b'K', 0x03, 0x04];
+        zip.extend_from_slice(&tail);
+        let t = sniff(&zip);
+        prop_assert!(
+            matches!(
+                t,
+                FileType::Zip
+                    | FileType::Docx
+                    | FileType::Xlsx
+                    | FileType::Pptx
+                    | FileType::Odt
+                    | FileType::Ods
+                    | FileType::Odp
+            ),
+            "zip container refined to {t:?}"
+        );
+    }
+}

@@ -1,0 +1,110 @@
+//! Error types for virtual filesystem operations.
+
+use std::error::Error;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::path::VPath;
+use crate::process::ProcessId;
+
+/// The error type returned by all fallible [`Vfs`](crate::Vfs) operations.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum VfsError {
+    /// The path does not exist.
+    NotFound(VPath),
+    /// The destination already exists and overwriting was not requested.
+    AlreadyExists(VPath),
+    /// A file was found where a directory was required.
+    NotADirectory(VPath),
+    /// A directory was found where a file was required.
+    IsADirectory(VPath),
+    /// The directory is not empty and recursive removal was not requested.
+    DirectoryNotEmpty(VPath),
+    /// The file is marked read-only and the operation would modify it.
+    ReadOnly(VPath),
+    /// A filter driver denied the operation.
+    AccessDenied {
+        /// The path the denied operation targeted.
+        path: VPath,
+        /// The name of the filter that issued the denial.
+        filter: String,
+    },
+    /// The issuing process has been suspended (e.g. by a detection verdict)
+    /// and may no longer perform filesystem operations.
+    ProcessSuspended(ProcessId),
+    /// The process id is not registered in the process table.
+    UnknownProcess(ProcessId),
+    /// The handle is closed, belongs to another process, or never existed.
+    InvalidHandle,
+    /// The handle was opened without write access.
+    NotWritable,
+    /// A path component was invalid (e.g. renaming the root).
+    InvalidPath(VPath),
+}
+
+impl fmt::Display for VfsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VfsError::NotFound(p) => write!(f, "no such file or directory: {p}"),
+            VfsError::AlreadyExists(p) => write!(f, "already exists: {p}"),
+            VfsError::NotADirectory(p) => write!(f, "not a directory: {p}"),
+            VfsError::IsADirectory(p) => write!(f, "is a directory: {p}"),
+            VfsError::DirectoryNotEmpty(p) => write!(f, "directory not empty: {p}"),
+            VfsError::ReadOnly(p) => write!(f, "file is read-only: {p}"),
+            VfsError::AccessDenied { path, filter } => {
+                write!(f, "access to {path} denied by filter {filter:?}")
+            }
+            VfsError::ProcessSuspended(pid) => {
+                write!(f, "process {pid} is suspended and cannot access the filesystem")
+            }
+            VfsError::UnknownProcess(pid) => write!(f, "unknown process: {pid}"),
+            VfsError::InvalidHandle => write!(f, "invalid or closed file handle"),
+            VfsError::NotWritable => write!(f, "handle was not opened for writing"),
+            VfsError::InvalidPath(p) => write!(f, "invalid path for this operation: {p}"),
+        }
+    }
+}
+
+impl Error for VfsError {}
+
+/// Convenience alias for `Result<T, VfsError>`.
+pub type VfsResult<T> = Result<T, VfsError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_nonempty() {
+        let cases: Vec<VfsError> = vec![
+            VfsError::NotFound(VPath::new("/x")),
+            VfsError::AlreadyExists(VPath::new("/x")),
+            VfsError::NotADirectory(VPath::new("/x")),
+            VfsError::IsADirectory(VPath::new("/x")),
+            VfsError::DirectoryNotEmpty(VPath::new("/x")),
+            VfsError::ReadOnly(VPath::new("/x")),
+            VfsError::AccessDenied {
+                path: VPath::new("/x"),
+                filter: "cryptodrop".into(),
+            },
+            VfsError::ProcessSuspended(ProcessId(3)),
+            VfsError::UnknownProcess(ProcessId(9)),
+            VfsError::InvalidHandle,
+            VfsError::NotWritable,
+            VfsError::InvalidPath(VPath::root()),
+        ];
+        for e in cases {
+            let msg = e.to_string();
+            assert!(!msg.is_empty());
+            assert!(msg.chars().next().unwrap().is_lowercase(), "{msg}");
+            assert!(!msg.ends_with('.'), "{msg}");
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<VfsError>();
+    }
+}

@@ -1,0 +1,270 @@
+//! The operation trace log.
+//!
+//! The evaluation harness reconstructs the paper's Figures 4 (directory
+//! traversal footprints) and 5 (file-extension access frequencies) from the
+//! sequence of operations each sample performed before detection. The VFS
+//! records a compact event per completed operation; payload bytes are *not*
+//! retained, only their sizes.
+
+use serde::{Deserialize, Serialize};
+
+use crate::node::FileId;
+use crate::path::VPath;
+use crate::process::ProcessId;
+
+/// What happened in one completed operation.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EventDetail {
+    /// A file was opened.
+    Open {
+        /// Target path.
+        path: VPath,
+        /// The opened file id.
+        file: FileId,
+        /// Whether the open created the file.
+        created: bool,
+        /// Whether the open requested write access.
+        write: bool,
+    },
+    /// Data was read from a file.
+    Read {
+        /// Target path.
+        path: VPath,
+        /// Bytes read.
+        bytes: u64,
+    },
+    /// Data was written to a file.
+    Write {
+        /// Target path.
+        path: VPath,
+        /// Bytes written.
+        bytes: u64,
+    },
+    /// A handle was closed.
+    Close {
+        /// Target path.
+        path: VPath,
+        /// Whether the handle modified the file.
+        modified: bool,
+    },
+    /// A file was deleted.
+    Delete {
+        /// Target path.
+        path: VPath,
+    },
+    /// A file was renamed or moved.
+    Rename {
+        /// Source path.
+        from: VPath,
+        /// Destination path.
+        to: VPath,
+        /// Whether an existing destination file was replaced.
+        replaced: bool,
+    },
+    /// A directory was listed.
+    ReadDir {
+        /// Target path.
+        path: VPath,
+    },
+    /// A file attribute changed.
+    SetAttr {
+        /// Target path.
+        path: VPath,
+        /// New read-only state.
+        read_only: bool,
+    },
+    /// A process was suspended by a filter verdict.
+    Suspended {
+        /// The filter that suspended the process.
+        by: String,
+        /// The recorded reason.
+        reason: String,
+    },
+}
+
+/// One entry in the trace log.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Event {
+    /// Simulated timestamp, nanoseconds.
+    pub at_nanos: u64,
+    /// The process that performed (or suffered) the event.
+    pub pid: ProcessId,
+    /// The event payload.
+    pub detail: EventDetail,
+}
+
+impl Event {
+    /// The path an event primarily concerns, if any (the *source* path for
+    /// renames, `None` for suspension events).
+    pub fn path(&self) -> Option<&VPath> {
+        match &self.detail {
+            EventDetail::Open { path, .. }
+            | EventDetail::Read { path, .. }
+            | EventDetail::Write { path, .. }
+            | EventDetail::Close { path, .. }
+            | EventDetail::Delete { path }
+            | EventDetail::ReadDir { path }
+            | EventDetail::SetAttr { path, .. } => Some(path),
+            EventDetail::Rename { from, .. } => Some(from),
+            EventDetail::Suspended { .. } => None,
+        }
+    }
+
+    /// Returns `true` for events that touch file *data* (open, read, write,
+    /// close-with-modification, delete, rename) as opposed to pure metadata.
+    pub fn touches_data(&self) -> bool {
+        matches!(
+            self.detail,
+            EventDetail::Open { .. }
+                | EventDetail::Read { .. }
+                | EventDetail::Write { .. }
+                | EventDetail::Close { modified: true, .. }
+                | EventDetail::Delete { .. }
+                | EventDetail::Rename { .. }
+        )
+    }
+}
+
+/// A bounded, append-only trace of filesystem events.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EventLog {
+    events: Vec<Event>,
+    enabled: bool,
+}
+
+impl EventLog {
+    /// Creates an enabled, empty log.
+    pub fn new() -> Self {
+        Self {
+            events: Vec::new(),
+            enabled: true,
+        }
+    }
+
+    /// Enables or disables recording (disabling saves memory in long
+    /// benchmark runs that do not consume the trace).
+    pub fn set_enabled(&mut self, enabled: bool) {
+        self.enabled = enabled;
+    }
+
+    /// Whether recording is enabled.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Appends an event if recording is enabled.
+    pub fn push(&mut self, event: Event) {
+        if self.enabled {
+            self.events.push(event);
+        }
+    }
+
+    /// All recorded events, in order.
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// The number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Returns `true` if nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Clears the log, keeping the enabled state.
+    pub fn clear(&mut self) {
+        self.events.clear();
+    }
+
+    /// Iterates over events issued by one process.
+    pub fn by_process(&self, pid: ProcessId) -> impl Iterator<Item = &Event> {
+        self.events.iter().filter(move |e| e.pid == pid)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(pid: u32, detail: EventDetail) -> Event {
+        Event {
+            at_nanos: 0,
+            pid: ProcessId(pid),
+            detail,
+        }
+    }
+
+    #[test]
+    fn log_records_in_order_when_enabled() {
+        let mut log = EventLog::new();
+        log.push(ev(1, EventDetail::Delete { path: VPath::new("/a") }));
+        log.push(ev(2, EventDetail::Delete { path: VPath::new("/b") }));
+        assert_eq!(log.len(), 2);
+        assert_eq!(log.events()[0].pid, ProcessId(1));
+        assert_eq!(log.by_process(ProcessId(2)).count(), 1);
+    }
+
+    #[test]
+    fn disabled_log_drops_events() {
+        let mut log = EventLog::new();
+        log.set_enabled(false);
+        assert!(!log.is_enabled());
+        log.push(ev(1, EventDetail::Delete { path: VPath::new("/a") }));
+        assert!(log.is_empty());
+    }
+
+    #[test]
+    fn event_path_extraction() {
+        let e = ev(
+            1,
+            EventDetail::Rename {
+                from: VPath::new("/src"),
+                to: VPath::new("/dst"),
+                replaced: false,
+            },
+        );
+        assert_eq!(e.path().unwrap().as_str(), "/src");
+        let s = ev(
+            1,
+            EventDetail::Suspended {
+                by: "cryptodrop".into(),
+                reason: "threshold".into(),
+            },
+        );
+        assert_eq!(s.path(), None);
+    }
+
+    #[test]
+    fn touches_data_classification() {
+        assert!(ev(1, EventDetail::Write { path: VPath::new("/a"), bytes: 1 }).touches_data());
+        assert!(!ev(1, EventDetail::ReadDir { path: VPath::new("/a") }).touches_data());
+        assert!(!ev(
+            1,
+            EventDetail::Close {
+                path: VPath::new("/a"),
+                modified: false
+            }
+        )
+        .touches_data());
+        assert!(ev(
+            1,
+            EventDetail::Close {
+                path: VPath::new("/a"),
+                modified: true
+            }
+        )
+        .touches_data());
+    }
+
+    #[test]
+    fn clear_keeps_enabled_state() {
+        let mut log = EventLog::new();
+        log.push(ev(1, EventDetail::Delete { path: VPath::new("/a") }));
+        log.clear();
+        assert!(log.is_empty());
+        assert!(log.is_enabled());
+    }
+}

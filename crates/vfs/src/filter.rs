@@ -1,0 +1,159 @@
+//! The filter-driver interposition interface.
+//!
+//! This is the analogue of the Windows filesystem minifilter stack that
+//! CryptoDrop instruments (paper Fig. 2): registered drivers see every
+//! operation before it is applied (`pre_op`) and after it completes
+//! (`post_op`), can read file data out-of-band through the [`FsView`]
+//! ("CryptoDrop ... reads the file using the kernel code", §V-H), and can
+//! return allow/deny/suspend verdicts. As in the paper, "the ordering of
+//! the filesystem filter drivers ... does not affect our system" — filters
+//! are called in registration order and each sees the same operation.
+
+use crate::node::Metadata;
+use crate::ops::{OpContext, OpOutcome};
+use crate::path::VPath;
+use crate::{Vfs, VfsError};
+
+/// A filter driver's decision about an operation.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub enum Verdict {
+    /// Let the operation proceed.
+    #[default]
+    Allow,
+    /// Block this single operation (`pre_op` only; ignored in `post_op`,
+    /// where the operation has already been applied).
+    Deny,
+    /// Suspend the requesting process (and its descendants). In `pre_op`
+    /// the triggering operation is also blocked; in `post_op` the triggering
+    /// operation has completed but all subsequent operations fail with
+    /// [`VfsError::ProcessSuspended`].
+    Suspend {
+        /// Human-readable reason recorded in the process table (e.g. the
+        /// detection report summary).
+        reason: String,
+    },
+}
+
+/// A read-only, filter-privileged view of the filesystem.
+///
+/// Filters use this to inspect file contents and metadata outside the
+/// monitored process's own I/O — e.g. to snapshot a file before a write or
+/// to measure the final content at close time. Access through the view is
+/// not itself filtered and is not attributed to any process.
+#[derive(Debug, Clone, Copy)]
+pub struct FsView<'a> {
+    vfs: &'a Vfs,
+}
+
+impl<'a> FsView<'a> {
+    pub(crate) fn new(vfs: &'a Vfs) -> Self {
+        Self { vfs }
+    }
+
+    /// Reads a file's entire current content.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VfsError::NotFound`] if the path does not name a file, and
+    /// [`VfsError::IsADirectory`] if it names a directory.
+    pub fn read_file(&self, path: &VPath) -> Result<Vec<u8>, VfsError> {
+        self.vfs.admin_read_file(path)
+    }
+
+    /// Returns a file or directory's metadata.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VfsError::NotFound`] if the path does not exist.
+    pub fn metadata(&self, path: &VPath) -> Result<Metadata, VfsError> {
+        self.vfs.admin_metadata(path)
+    }
+
+    /// Returns `true` if the path names an existing file or directory.
+    pub fn exists(&self, path: &VPath) -> bool {
+        self.vfs.admin_metadata(path).is_ok()
+    }
+
+    /// The file's length in bytes, if it exists and is a file.
+    pub fn file_len(&self, path: &VPath) -> Option<u64> {
+        self.vfs
+            .admin_metadata(path)
+            .ok()
+            .filter(Metadata::is_file)
+            .map(|m| m.len)
+    }
+}
+
+/// A filesystem filter driver (Windows minifilter analogue).
+///
+/// The default implementations allow everything, so a filter only interested
+/// in observing completed operations can implement `post_op` alone.
+///
+/// # Examples
+///
+/// ```
+/// use cryptodrop_vfs::{FilterDriver, FsView, OpContext, OpOutcome, Verdict};
+///
+/// /// Counts write operations, like a toy activity monitor.
+/// struct WriteCounter {
+///     writes: u64,
+/// }
+///
+/// impl FilterDriver for WriteCounter {
+///     fn name(&self) -> &str {
+///         "write-counter"
+///     }
+///
+///     fn post_op(&mut self, _ctx: &OpContext<'_>, outcome: &OpOutcome<'_>, _fs: &FsView<'_>) -> Verdict {
+///         if let OpOutcome::Write { .. } = outcome {
+///             self.writes += 1;
+///         }
+///         Verdict::Allow
+///     }
+/// }
+/// ```
+pub trait FilterDriver: Send {
+    /// A short, stable name for the filter (used in denial errors and
+    /// suspension records).
+    fn name(&self) -> &str;
+
+    /// Called before an operation is applied. Returning [`Verdict::Deny`]
+    /// blocks the operation; [`Verdict::Suspend`] suspends the process and
+    /// blocks the operation.
+    fn pre_op(&mut self, ctx: &OpContext<'_>, fs: &FsView<'_>) -> Verdict {
+        let _ = (ctx, fs);
+        Verdict::Allow
+    }
+
+    /// Called after an operation has been applied. Returning
+    /// [`Verdict::Suspend`] suspends the process; [`Verdict::Deny`] is
+    /// ignored (the operation already happened).
+    fn post_op(&mut self, ctx: &OpContext<'_>, outcome: &OpOutcome<'_>, fs: &FsView<'_>) -> Verdict {
+        let _ = (ctx, outcome, fs);
+        Verdict::Allow
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_verdict_is_allow() {
+        assert_eq!(Verdict::default(), Verdict::Allow);
+    }
+
+    #[test]
+    fn filter_default_methods_allow() {
+        struct Passive;
+        impl FilterDriver for Passive {
+            fn name(&self) -> &str {
+                "passive"
+            }
+        }
+        // Smoke-test via a real Vfs in crate-level tests; here just ensure
+        // the trait object is constructible and Send.
+        fn assert_send<T: Send>(_: T) {}
+        assert_send(Box::new(Passive) as Box<dyn FilterDriver>);
+    }
+}

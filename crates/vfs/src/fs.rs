@@ -1,0 +1,1755 @@
+//! The virtual filesystem.
+//!
+//! [`Vfs`] is an in-memory filesystem with NTFS-flavoured semantics: stable
+//! file identities across renames, read-only attributes, per-process
+//! attribution of every operation, and a minifilter-style interposition
+//! stack ([`FilterDriver`]) that sees each operation before and after it is
+//! applied. It is the substrate on which the CryptoDrop engine, the corpus
+//! generator, the ransomware simulator, and the benign workloads all run.
+
+use std::collections::{BTreeMap, HashMap};
+use std::time::Instant;
+
+use crate::clock::{LatencyLedger, OpKind, SimClock};
+use crate::error::{VfsError, VfsResult};
+use crate::events::{Event, EventDetail, EventLog};
+use crate::filter::{FilterDriver, FsView, Verdict};
+use crate::node::{DirEntry, EntryKind, FileId, FileNode, Metadata};
+use crate::ops::{FsOp, OpContext, OpOutcome, OpenOptions};
+use crate::path::VPath;
+use crate::process::{ProcessId, ProcessTable, SuspensionRecord};
+
+/// An open file handle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Handle(u64);
+
+#[derive(Debug)]
+struct OpenHandle {
+    pid: ProcessId,
+    file: FileId,
+    cursor: u64,
+    writable: bool,
+    modified: bool,
+    /// Path at open time, kept for close events if the file is deleted.
+    opened_path: VPath,
+}
+
+/// The in-memory virtual filesystem. See the [crate-level docs](crate) for
+/// an overview and a worked example.
+pub struct Vfs {
+    files: HashMap<VPath, FileNode>,
+    dir_children: HashMap<VPath, BTreeMap<String, EntryKind>>,
+    file_paths: HashMap<FileId, VPath>,
+    handles: HashMap<u64, OpenHandle>,
+    next_file_id: u64,
+    next_handle_id: u64,
+    processes: ProcessTable,
+    filters: Vec<Box<dyn FilterDriver>>,
+    clock: SimClock,
+    ledger: LatencyLedger,
+    log: EventLog,
+}
+
+impl Default for Vfs {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for Vfs {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Vfs")
+            .field("files", &self.files.len())
+            .field("dirs", &self.dir_children.len())
+            .field("handles", &self.handles.len())
+            .field("processes", &self.processes.len())
+            .field("filters", &self.filters.len())
+            .finish()
+    }
+}
+
+impl Vfs {
+    /// Creates an empty filesystem containing only the root directory.
+    pub fn new() -> Self {
+        let mut dir_children = HashMap::new();
+        dir_children.insert(VPath::root(), BTreeMap::new());
+        Self {
+            files: HashMap::new(),
+            dir_children,
+            file_paths: HashMap::new(),
+            handles: HashMap::new(),
+            next_file_id: 1,
+            next_handle_id: 1,
+            processes: ProcessTable::new(),
+            filters: Vec::new(),
+            clock: SimClock::new(),
+            ledger: LatencyLedger::new(),
+            log: EventLog::new(),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Processes and filters
+    // ------------------------------------------------------------------
+
+    /// Registers a new top-level process.
+    pub fn spawn_process(&mut self, name: impl Into<String>) -> ProcessId {
+        self.processes.spawn(name)
+    }
+
+    /// Registers a child process of `parent`.
+    pub fn spawn_child_process(
+        &mut self,
+        parent: ProcessId,
+        name: impl Into<String>,
+    ) -> ProcessId {
+        self.processes.spawn_child(parent, name)
+    }
+
+    /// Read access to the process table.
+    pub fn processes(&self) -> &ProcessTable {
+        &self.processes
+    }
+
+    /// Returns `true` if `pid` (or an ancestor) is suspended.
+    pub fn is_suspended(&self, pid: ProcessId) -> bool {
+        self.processes.is_suspended(pid)
+    }
+
+    /// Lifts a suspension, as when the user allows a flagged process to
+    /// continue. Returns `false` for unknown pids.
+    pub fn resume_process(&mut self, pid: ProcessId) -> bool {
+        self.processes.resume(pid)
+    }
+
+    /// Registers a filter driver at the end of the filter stack.
+    pub fn register_filter(&mut self, filter: Box<dyn FilterDriver>) {
+        self.filters.push(filter);
+    }
+
+    /// Removes and returns all registered filters.
+    pub fn take_filters(&mut self) -> Vec<Box<dyn FilterDriver>> {
+        std::mem::take(&mut self.filters)
+    }
+
+    /// The simulated clock.
+    pub fn clock(&self) -> SimClock {
+        self.clock
+    }
+
+    /// Advances the simulated clock, modeling wall-clock time passing
+    /// between operations (user think time, rendering, network waits).
+    /// Benign workloads use this; ransomware runs flat out.
+    pub fn advance_clock(&mut self, nanos: u64) {
+        self.clock.advance(nanos);
+    }
+
+    /// The filter-overhead latency ledger.
+    pub fn latency_ledger(&self) -> &LatencyLedger {
+        &self.ledger
+    }
+
+    /// Clears the latency ledger.
+    pub fn reset_latency_ledger(&mut self) {
+        self.ledger.reset();
+    }
+
+    /// The operation trace log.
+    pub fn event_log(&self) -> &EventLog {
+        &self.log
+    }
+
+    /// Mutable access to the trace log (to disable or clear it).
+    pub fn event_log_mut(&mut self) -> &mut EventLog {
+        &mut self.log
+    }
+
+    // ------------------------------------------------------------------
+    // Filtered operations (attributed to a process)
+    // ------------------------------------------------------------------
+
+    /// Opens a file.
+    ///
+    /// # Errors
+    ///
+    /// * [`VfsError::NotFound`] — the file (or its parent directory) does
+    ///   not exist and `create` was not requested.
+    /// * [`VfsError::AlreadyExists`] — `create_new` was requested and the
+    ///   path exists.
+    /// * [`VfsError::IsADirectory`] — the path names a directory.
+    /// * [`VfsError::ReadOnly`] — write access to a read-only file.
+    /// * [`VfsError::AccessDenied`] / [`VfsError::ProcessSuspended`] — a
+    ///   filter denied the operation or the process is suspended.
+    pub fn open(&mut self, pid: ProcessId, path: &VPath, options: OpenOptions) -> VfsResult<Handle> {
+        self.check_process(pid)?;
+        let exists = match self.node_kind(path) {
+            Some(EntryKind::Directory) => return Err(VfsError::IsADirectory(path.clone())),
+            Some(EntryKind::File) => true,
+            None => false,
+        };
+        if exists && options.create_new {
+            return Err(VfsError::AlreadyExists(path.clone()));
+        }
+        if !exists {
+            if !options.create {
+                return Err(VfsError::NotFound(path.clone()));
+            }
+            let parent = path.parent().ok_or_else(|| VfsError::InvalidPath(path.clone()))?;
+            match self.dir_children.get(&parent) {
+                Some(_) => {}
+                None => {
+                    return if self.files.contains_key(&parent) {
+                        Err(VfsError::NotADirectory(parent))
+                    } else {
+                        Err(VfsError::NotFound(parent))
+                    }
+                }
+            }
+        }
+        if exists && options.write && self.files[path].read_only {
+            return Err(VfsError::ReadOnly(path.clone()));
+        }
+
+        let op = FsOp::Open { path, options };
+        let mut overhead = 0u64;
+        let pre = self.run_pre(pid, &op, &mut overhead);
+        self.finish_op(OpKind::Open, overhead);
+        pre?;
+
+        // Apply.
+        let created = !exists;
+        let now = self.clock.now_nanos();
+        if created {
+            let id = FileId(self.next_file_id);
+            self.next_file_id += 1;
+            let parent = path.parent().expect("checked above");
+            self.dir_children
+                .get_mut(&parent)
+                .expect("checked above")
+                .insert(path.file_name().unwrap().to_string(), EntryKind::File);
+            self.files.insert(
+                path.clone(),
+                FileNode {
+                    id,
+                    data: Vec::new(),
+                    read_only: false,
+                    created_at_nanos: now,
+                    modified_at_nanos: now,
+                },
+            );
+            self.file_paths.insert(id, path.clone());
+        }
+        let truncated = exists && options.truncate && options.write;
+        let file_id = {
+            let node = self.files.get_mut(path).expect("file exists by now");
+            if truncated {
+                node.data.clear();
+                node.modified_at_nanos = now;
+            }
+            node.id
+        };
+        let handle_id = self.next_handle_id;
+        self.next_handle_id += 1;
+        self.handles.insert(
+            handle_id,
+            OpenHandle {
+                pid,
+                file: file_id,
+                cursor: 0,
+                writable: options.write,
+                // A truncating open has already modified the file.
+                modified: truncated,
+                opened_path: path.clone(),
+            },
+        );
+
+        let outcome = OpOutcome::Open {
+            file: file_id,
+            created,
+            truncated,
+        };
+        let mut overhead = 0u64;
+        self.run_post(pid, &op, &outcome, &mut overhead);
+        self.ledger_add(OpKind::Open, overhead);
+        self.record(
+            pid,
+            EventDetail::Open {
+                path: path.clone(),
+                file: file_id,
+                created,
+                write: options.write,
+            },
+        );
+        Ok(Handle(handle_id))
+    }
+
+    /// Reads up to `len` bytes from the handle's cursor, advancing it.
+    ///
+    /// Returns fewer bytes (possibly zero) at end of file.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VfsError::InvalidHandle`] if the handle is closed, belongs
+    /// to another process, or its file has been deleted, plus the filter
+    /// and suspension errors described on [`Vfs::open`].
+    pub fn read(&mut self, pid: ProcessId, handle: Handle, len: usize) -> VfsResult<Vec<u8>> {
+        self.check_process(pid)?;
+        let (file_id, cursor) = self.handle_info(pid, handle)?;
+        let path = self.path_of(file_id)?;
+
+        let op = FsOp::Read {
+            path: &path,
+            offset: cursor,
+            len,
+        };
+        let mut overhead = 0u64;
+        let pre = self.run_pre(pid, &op, &mut overhead);
+        self.finish_op(OpKind::Read, overhead);
+        pre?;
+
+        let node = self.files.get(&path).expect("path resolved from live id");
+        let start = (cursor as usize).min(node.data.len());
+        let end = (start + len).min(node.data.len());
+        let data = node.data[start..end].to_vec();
+        if let Some(h) = self.handles.get_mut(&handle.0) {
+            h.cursor = end as u64;
+        }
+
+        let outcome = OpOutcome::Read {
+            file: file_id,
+            data: &data,
+        };
+        let mut overhead = 0u64;
+        self.run_post(pid, &op, &outcome, &mut overhead);
+        self.ledger_add(OpKind::Read, overhead);
+        self.record(
+            pid,
+            EventDetail::Read {
+                path,
+                bytes: data.len() as u64,
+            },
+        );
+        Ok(data)
+    }
+
+    /// Reads from the cursor to the end of the file.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Vfs::read`].
+    pub fn read_to_end(&mut self, pid: ProcessId, handle: Handle) -> VfsResult<Vec<u8>> {
+        let (file_id, cursor) = self.handle_info(pid, handle)?;
+        let path = self.path_of(file_id)?;
+        let remaining = self.files[&path].data.len().saturating_sub(cursor as usize);
+        self.read(pid, handle, remaining)
+    }
+
+    /// Writes `data` at the handle's cursor, extending the file as needed,
+    /// and advances the cursor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VfsError::NotWritable`] if the handle was opened without
+    /// write access, plus the errors described on [`Vfs::read`].
+    pub fn write(&mut self, pid: ProcessId, handle: Handle, data: &[u8]) -> VfsResult<usize> {
+        self.check_process(pid)?;
+        let (file_id, cursor) = self.handle_info(pid, handle)?;
+        if !self.handles[&handle.0].writable {
+            return Err(VfsError::NotWritable);
+        }
+        let path = self.path_of(file_id)?;
+
+        let op = FsOp::Write {
+            path: &path,
+            offset: cursor,
+            data,
+        };
+        let mut overhead = 0u64;
+        let pre = self.run_pre(pid, &op, &mut overhead);
+        self.finish_op(OpKind::Write, overhead);
+        pre?;
+
+        let now = self.clock.now_nanos();
+        {
+            let node = self.files.get_mut(&path).expect("path resolved from live id");
+            let start = cursor as usize;
+            if node.data.len() < start {
+                node.data.resize(start, 0);
+            }
+            let overlap = (node.data.len() - start).min(data.len());
+            node.data[start..start + overlap].copy_from_slice(&data[..overlap]);
+            node.data.extend_from_slice(&data[overlap..]);
+            node.modified_at_nanos = now;
+        }
+        {
+            let h = self.handles.get_mut(&handle.0).expect("validated");
+            h.cursor = cursor + data.len() as u64;
+            h.modified = true;
+        }
+
+        let outcome = OpOutcome::Write {
+            file: file_id,
+            written: data.len(),
+        };
+        let mut overhead = 0u64;
+        self.run_post(pid, &op, &outcome, &mut overhead);
+        self.ledger_add(OpKind::Write, overhead);
+        self.record(
+            pid,
+            EventDetail::Write {
+                path,
+                bytes: data.len() as u64,
+            },
+        );
+        Ok(data.len())
+    }
+
+    /// Truncates (or zero-extends) the file to `len` bytes.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Vfs::write`].
+    pub fn truncate(&mut self, pid: ProcessId, handle: Handle, len: u64) -> VfsResult<()> {
+        self.check_process(pid)?;
+        let (file_id, _) = self.handle_info(pid, handle)?;
+        if !self.handles[&handle.0].writable {
+            return Err(VfsError::NotWritable);
+        }
+        let path = self.path_of(file_id)?;
+
+        let op = FsOp::Truncate { path: &path, len };
+        let mut overhead = 0u64;
+        let pre = self.run_pre(pid, &op, &mut overhead);
+        self.finish_op(OpKind::Write, overhead);
+        pre?;
+
+        let now = self.clock.now_nanos();
+        {
+            let node = self.files.get_mut(&path).expect("path resolved from live id");
+            node.data.resize(len as usize, 0);
+            node.modified_at_nanos = now;
+        }
+        self.handles.get_mut(&handle.0).expect("validated").modified = true;
+
+        let outcome = OpOutcome::Truncate { file: file_id };
+        let mut overhead = 0u64;
+        self.run_post(pid, &op, &outcome, &mut overhead);
+        self.ledger_add(OpKind::Write, overhead);
+        Ok(())
+    }
+
+    /// Repositions the handle's cursor. Seeking past end of file is allowed;
+    /// a later write will zero-fill the gap.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VfsError::InvalidHandle`] for closed/foreign handles.
+    pub fn seek(&mut self, pid: ProcessId, handle: Handle, pos: u64) -> VfsResult<()> {
+        self.check_process(pid)?;
+        self.handle_info(pid, handle)?;
+        self.handles.get_mut(&handle.0).expect("validated").cursor = pos;
+        Ok(())
+    }
+
+    /// Closes a handle.
+    ///
+    /// Close always succeeds for a valid handle, even if the underlying
+    /// file has been deleted or the process was suspended after opening it
+    /// (a suspended process may release resources but not touch data).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VfsError::InvalidHandle`] for closed/foreign handles.
+    pub fn close(&mut self, pid: ProcessId, handle: Handle) -> VfsResult<()> {
+        let h = match self.handles.get(&handle.0) {
+            Some(h) if h.pid == pid => h,
+            _ => return Err(VfsError::InvalidHandle),
+        };
+        let file_id = h.file;
+        let modified = h.modified;
+        let path = self
+            .file_paths
+            .get(&file_id)
+            .cloned()
+            .unwrap_or_else(|| h.opened_path.clone());
+
+        let op = FsOp::Close {
+            path: &path,
+            modified,
+        };
+        // Close is never denied: run pre for observability but ignore
+        // deny/suspend verdicts from it.
+        let mut overhead = 0u64;
+        let _ = self.run_pre(pid, &op, &mut overhead);
+        self.finish_op(OpKind::Close, overhead);
+
+        self.handles.remove(&handle.0);
+
+        let outcome = OpOutcome::Close {
+            file: file_id,
+            modified,
+        };
+        let mut overhead = 0u64;
+        self.run_post(pid, &op, &outcome, &mut overhead);
+        self.ledger_add(OpKind::Close, overhead);
+        self.record(pid, EventDetail::Close { path, modified });
+        Ok(())
+    }
+
+    /// Deletes a file.
+    ///
+    /// # Errors
+    ///
+    /// * [`VfsError::NotFound`] — no such file.
+    /// * [`VfsError::IsADirectory`] — the path names a directory (use
+    ///   [`Vfs::remove_dir`]).
+    /// * [`VfsError::ReadOnly`] — the file's read-only attribute is set
+    ///   (this is what defeats the weak Class C sample in paper §V-C).
+    /// * Filter and suspension errors as on [`Vfs::open`].
+    pub fn delete(&mut self, pid: ProcessId, path: &VPath) -> VfsResult<()> {
+        self.check_process(pid)?;
+        match self.node_kind(path) {
+            None => return Err(VfsError::NotFound(path.clone())),
+            Some(EntryKind::Directory) => return Err(VfsError::IsADirectory(path.clone())),
+            Some(EntryKind::File) => {}
+        }
+        if self.files[path].read_only {
+            return Err(VfsError::ReadOnly(path.clone()));
+        }
+
+        let op = FsOp::Delete { path };
+        let mut overhead = 0u64;
+        let pre = self.run_pre(pid, &op, &mut overhead);
+        self.finish_op(OpKind::Delete, overhead);
+        pre?;
+
+        let node = self.files.remove(path).expect("checked above");
+        self.file_paths.remove(&node.id);
+        self.unlink_entry(path);
+
+        let outcome = OpOutcome::Delete { file: node.id };
+        let mut overhead = 0u64;
+        self.run_post(pid, &op, &outcome, &mut overhead);
+        self.ledger_add(OpKind::Delete, overhead);
+        self.record(pid, EventDetail::Delete { path: path.clone() });
+        Ok(())
+    }
+
+    /// Renames or moves a file, optionally replacing an existing
+    /// destination file.
+    ///
+    /// The file keeps its [`FileId`] across the move; open handles remain
+    /// valid. Directories cannot be renamed (a simplification — the
+    /// simulated workloads never need it).
+    ///
+    /// # Errors
+    ///
+    /// * [`VfsError::NotFound`] — source missing, or destination parent
+    ///   missing.
+    /// * [`VfsError::IsADirectory`] — source or existing destination is a
+    ///   directory.
+    /// * [`VfsError::AlreadyExists`] — destination exists and `overwrite`
+    ///   is `false`.
+    /// * [`VfsError::ReadOnly`] — source, or a destination that would be
+    ///   replaced, is read-only.
+    /// * [`VfsError::InvalidPath`] — source and destination are equal.
+    /// * Filter and suspension errors as on [`Vfs::open`].
+    pub fn rename(
+        &mut self,
+        pid: ProcessId,
+        from: &VPath,
+        to: &VPath,
+        overwrite: bool,
+    ) -> VfsResult<()> {
+        self.check_process(pid)?;
+        if from == to {
+            return Err(VfsError::InvalidPath(to.clone()));
+        }
+        match self.node_kind(from) {
+            None => return Err(VfsError::NotFound(from.clone())),
+            Some(EntryKind::Directory) => return Err(VfsError::IsADirectory(from.clone())),
+            Some(EntryKind::File) => {}
+        }
+        if self.files[from].read_only {
+            return Err(VfsError::ReadOnly(from.clone()));
+        }
+        let dest_kind = self.node_kind(to);
+        match dest_kind {
+            Some(EntryKind::Directory) => return Err(VfsError::IsADirectory(to.clone())),
+            Some(EntryKind::File) if !overwrite => {
+                return Err(VfsError::AlreadyExists(to.clone()))
+            }
+            Some(EntryKind::File) if self.files[to].read_only => {
+                return Err(VfsError::ReadOnly(to.clone()))
+            }
+            _ => {}
+        }
+        let to_parent = to.parent().ok_or_else(|| VfsError::InvalidPath(to.clone()))?;
+        if !self.dir_children.contains_key(&to_parent) {
+            return Err(VfsError::NotFound(to_parent));
+        }
+
+        let op = FsOp::Rename {
+            from,
+            to,
+            overwrite,
+        };
+        let mut overhead = 0u64;
+        let pre = self.run_pre(pid, &op, &mut overhead);
+        self.finish_op(OpKind::Rename, overhead);
+        pre?;
+
+        // Remove a replaced destination.
+        let replaced = if dest_kind == Some(EntryKind::File) {
+            let old = self.files.remove(to).expect("checked above");
+            self.file_paths.remove(&old.id);
+            self.unlink_entry(to);
+            Some(old.id)
+        } else {
+            None
+        };
+
+        let node = self.files.remove(from).expect("checked above");
+        let file_id = node.id;
+        self.unlink_entry(from);
+        self.dir_children
+            .get_mut(&to_parent)
+            .expect("checked above")
+            .insert(to.file_name().unwrap().to_string(), EntryKind::File);
+        self.files.insert(to.clone(), node);
+        self.file_paths.insert(file_id, to.clone());
+
+        let outcome = OpOutcome::Rename {
+            file: file_id,
+            replaced,
+        };
+        let mut overhead = 0u64;
+        self.run_post(pid, &op, &outcome, &mut overhead);
+        self.ledger_add(OpKind::Rename, overhead);
+        self.record(
+            pid,
+            EventDetail::Rename {
+                from: from.clone(),
+                to: to.clone(),
+                replaced: replaced.is_some(),
+            },
+        );
+        Ok(())
+    }
+
+    /// Lists a directory's entries, sorted by name.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VfsError::NotFound`] / [`VfsError::NotADirectory`] for
+    /// missing or non-directory paths, plus filter and suspension errors.
+    pub fn list_dir(&mut self, pid: ProcessId, path: &VPath) -> VfsResult<Vec<DirEntry>> {
+        self.check_process(pid)?;
+        if !self.dir_children.contains_key(path) {
+            return if self.files.contains_key(path) {
+                Err(VfsError::NotADirectory(path.clone()))
+            } else {
+                Err(VfsError::NotFound(path.clone()))
+            };
+        }
+
+        let op = FsOp::ReadDir { path };
+        let mut overhead = 0u64;
+        let pre = self.run_pre(pid, &op, &mut overhead);
+        self.finish_op(OpKind::ReadDir, overhead);
+        pre?;
+
+        let entries: Vec<DirEntry> = self.dir_children[path]
+            .iter()
+            .map(|(name, kind)| {
+                let child = path.join(name);
+                let (len, file) = match kind {
+                    EntryKind::File => {
+                        let node = &self.files[&child];
+                        (node.data.len() as u64, Some(node.id))
+                    }
+                    EntryKind::Directory => (0, None),
+                };
+                DirEntry {
+                    name: name.clone(),
+                    kind: *kind,
+                    len,
+                    file,
+                }
+            })
+            .collect();
+
+        let outcome = OpOutcome::ReadDir {
+            entries: entries.len(),
+        };
+        let mut overhead = 0u64;
+        self.run_post(pid, &op, &outcome, &mut overhead);
+        self.ledger_add(OpKind::ReadDir, overhead);
+        self.record(pid, EventDetail::ReadDir { path: path.clone() });
+        Ok(entries)
+    }
+
+    /// Queries a file or directory's metadata (unfiltered, like a cheap
+    /// attribute query that minifilter-based products typically pass
+    /// through).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VfsError::NotFound`] for missing paths and suspension
+    /// errors for suspended processes.
+    pub fn metadata(&mut self, pid: ProcessId, path: &VPath) -> VfsResult<Metadata> {
+        self.check_process(pid)?;
+        self.clock.charge(OpKind::Metadata);
+        self.admin_metadata(path)
+    }
+
+    /// Sets or clears a file's read-only attribute.
+    ///
+    /// # Errors
+    ///
+    /// [`VfsError::NotFound`] / [`VfsError::IsADirectory`] for missing or
+    /// directory paths, plus filter and suspension errors.
+    pub fn set_read_only(
+        &mut self,
+        pid: ProcessId,
+        path: &VPath,
+        read_only: bool,
+    ) -> VfsResult<()> {
+        self.check_process(pid)?;
+        match self.node_kind(path) {
+            None => return Err(VfsError::NotFound(path.clone())),
+            Some(EntryKind::Directory) => return Err(VfsError::IsADirectory(path.clone())),
+            Some(EntryKind::File) => {}
+        }
+
+        let op = FsOp::SetAttr { path, read_only };
+        let mut overhead = 0u64;
+        let pre = self.run_pre(pid, &op, &mut overhead);
+        self.finish_op(OpKind::Metadata, overhead);
+        pre?;
+
+        self.files.get_mut(path).expect("checked above").read_only = read_only;
+
+        let outcome = OpOutcome::SetAttr;
+        let mut overhead = 0u64;
+        self.run_post(pid, &op, &outcome, &mut overhead);
+        self.ledger_add(OpKind::Metadata, overhead);
+        self.record(
+            pid,
+            EventDetail::SetAttr {
+                path: path.clone(),
+                read_only,
+            },
+        );
+        Ok(())
+    }
+
+    /// Creates a single directory.
+    ///
+    /// # Errors
+    ///
+    /// [`VfsError::AlreadyExists`] if the path exists,
+    /// [`VfsError::NotFound`] if the parent is missing, plus suspension
+    /// errors. Directory creation is not filtered (CryptoDrop only watches
+    /// file data).
+    pub fn create_dir(&mut self, pid: ProcessId, path: &VPath) -> VfsResult<()> {
+        self.check_process(pid)?;
+        self.clock.charge(OpKind::Metadata);
+        self.admin_create_dir(path)
+    }
+
+    /// Creates a directory and any missing ancestors.
+    ///
+    /// # Errors
+    ///
+    /// [`VfsError::NotADirectory`] if a file blocks the chain, plus
+    /// suspension errors.
+    pub fn create_dir_all(&mut self, pid: ProcessId, path: &VPath) -> VfsResult<()> {
+        self.check_process(pid)?;
+        self.clock.charge(OpKind::Metadata);
+        self.admin_create_dir_all(path)
+    }
+
+    /// Removes an empty directory.
+    ///
+    /// # Errors
+    ///
+    /// [`VfsError::DirectoryNotEmpty`] if it has children,
+    /// [`VfsError::NotFound`] / [`VfsError::NotADirectory`] for missing or
+    /// file paths, [`VfsError::InvalidPath`] for the root, plus suspension
+    /// errors.
+    pub fn remove_dir(&mut self, pid: ProcessId, path: &VPath) -> VfsResult<()> {
+        self.check_process(pid)?;
+        self.clock.charge(OpKind::Metadata);
+        if path.is_root() {
+            return Err(VfsError::InvalidPath(path.clone()));
+        }
+        match self.dir_children.get(path) {
+            None => {
+                return if self.files.contains_key(path) {
+                    Err(VfsError::NotADirectory(path.clone()))
+                } else {
+                    Err(VfsError::NotFound(path.clone()))
+                }
+            }
+            Some(children) if !children.is_empty() => {
+                return Err(VfsError::DirectoryNotEmpty(path.clone()))
+            }
+            Some(_) => {}
+        }
+        self.dir_children.remove(path);
+        self.unlink_entry(path);
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Convenience composites
+    // ------------------------------------------------------------------
+
+    /// Reads an entire file through the normal open/read/close sequence,
+    /// generating the same operation stream a real application would.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Vfs::open`] and [`Vfs::read`].
+    pub fn read_file(&mut self, pid: ProcessId, path: &VPath) -> VfsResult<Vec<u8>> {
+        let h = self.open(pid, path, OpenOptions::read())?;
+        let result = self.read_to_end(pid, h);
+        // Close even if the read failed mid-way.
+        let _ = self.close(pid, h);
+        result
+    }
+
+    /// Writes an entire file (create-or-truncate) through the normal
+    /// open/write/close sequence.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Vfs::open`] and [`Vfs::write`].
+    pub fn write_file(&mut self, pid: ProcessId, path: &VPath, data: &[u8]) -> VfsResult<()> {
+        let h = self.open(pid, path, OpenOptions::create())?;
+        let result = self.write(pid, h, data).map(|_| ());
+        let close = self.close(pid, h);
+        result.and(close)
+    }
+
+    // ------------------------------------------------------------------
+    // Administrative (unfiltered, unattributed) access
+    // ------------------------------------------------------------------
+
+    /// Reads a file without filter interposition (used by filters
+    /// themselves via [`FsView`], and by test/corpus tooling).
+    ///
+    /// # Errors
+    ///
+    /// [`VfsError::NotFound`] / [`VfsError::IsADirectory`].
+    pub fn admin_read_file(&self, path: &VPath) -> VfsResult<Vec<u8>> {
+        match self.node_kind(path) {
+            Some(EntryKind::File) => Ok(self.files[path].data.clone()),
+            Some(EntryKind::Directory) => Err(VfsError::IsADirectory(path.clone())),
+            None => Err(VfsError::NotFound(path.clone())),
+        }
+    }
+
+    /// Writes a file without filter interposition, creating parent
+    /// directories as needed. Used to stage the corpus before an
+    /// experiment.
+    ///
+    /// # Errors
+    ///
+    /// [`VfsError::IsADirectory`] if the path names a directory,
+    /// [`VfsError::NotADirectory`] if a file blocks the parent chain.
+    pub fn admin_write_file(&mut self, path: &VPath, data: &[u8]) -> VfsResult<()> {
+        if self.dir_children.contains_key(path) {
+            return Err(VfsError::IsADirectory(path.clone()));
+        }
+        let parent = path.parent().ok_or_else(|| VfsError::InvalidPath(path.clone()))?;
+        self.admin_create_dir_all(&parent)?;
+        let now = self.clock.now_nanos();
+        match self.files.get_mut(path) {
+            Some(node) => {
+                node.data = data.to_vec();
+                node.modified_at_nanos = now;
+            }
+            None => {
+                let id = FileId(self.next_file_id);
+                self.next_file_id += 1;
+                self.dir_children
+                    .get_mut(&parent)
+                    .expect("just created")
+                    .insert(path.file_name().unwrap().to_string(), EntryKind::File);
+                self.files.insert(
+                    path.clone(),
+                    FileNode {
+                        id,
+                        data: data.to_vec(),
+                        read_only: false,
+                        created_at_nanos: now,
+                        modified_at_nanos: now,
+                    },
+                );
+                self.file_paths.insert(id, path.clone());
+            }
+        }
+        Ok(())
+    }
+
+    /// Deletes a file without filter interposition, ignoring the read-only
+    /// attribute. Used by corpus staging.
+    ///
+    /// # Errors
+    ///
+    /// [`VfsError::NotFound`] / [`VfsError::IsADirectory`].
+    pub fn admin_delete_file(&mut self, path: &VPath) -> VfsResult<()> {
+        match self.node_kind(path) {
+            None => return Err(VfsError::NotFound(path.clone())),
+            Some(EntryKind::Directory) => return Err(VfsError::IsADirectory(path.clone())),
+            Some(EntryKind::File) => {}
+        }
+        let node = self.files.remove(path).expect("checked above");
+        self.file_paths.remove(&node.id);
+        self.unlink_entry(path);
+        Ok(())
+    }
+
+    /// Creates one directory without filter interposition.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Vfs::create_dir`].
+    pub fn admin_create_dir(&mut self, path: &VPath) -> VfsResult<()> {
+        if self.node_kind(path).is_some() {
+            return Err(VfsError::AlreadyExists(path.clone()));
+        }
+        let parent = path.parent().ok_or_else(|| VfsError::InvalidPath(path.clone()))?;
+        if !self.dir_children.contains_key(&parent) {
+            return if self.files.contains_key(&parent) {
+                Err(VfsError::NotADirectory(parent))
+            } else {
+                Err(VfsError::NotFound(parent))
+            };
+        }
+        self.dir_children
+            .get_mut(&parent)
+            .expect("checked above")
+            .insert(path.file_name().unwrap().to_string(), EntryKind::Directory);
+        self.dir_children.insert(path.clone(), BTreeMap::new());
+        Ok(())
+    }
+
+    /// Creates a directory chain without filter interposition.
+    ///
+    /// # Errors
+    ///
+    /// [`VfsError::NotADirectory`] if a file blocks the chain.
+    pub fn admin_create_dir_all(&mut self, path: &VPath) -> VfsResult<()> {
+        if self.dir_children.contains_key(path) {
+            return Ok(());
+        }
+        if self.files.contains_key(path) {
+            return Err(VfsError::NotADirectory(path.clone()));
+        }
+        if let Some(parent) = path.parent() {
+            self.admin_create_dir_all(&parent)?;
+        }
+        self.admin_create_dir(path)
+    }
+
+    /// Sets a file's read-only attribute without filter interposition.
+    ///
+    /// # Errors
+    ///
+    /// [`VfsError::NotFound`] / [`VfsError::IsADirectory`].
+    pub fn admin_set_read_only(&mut self, path: &VPath, read_only: bool) -> VfsResult<()> {
+        match self.node_kind(path) {
+            Some(EntryKind::File) => {
+                self.files.get_mut(path).expect("checked").read_only = read_only;
+                Ok(())
+            }
+            Some(EntryKind::Directory) => Err(VfsError::IsADirectory(path.clone())),
+            None => Err(VfsError::NotFound(path.clone())),
+        }
+    }
+
+    /// Metadata without filter interposition.
+    ///
+    /// # Errors
+    ///
+    /// [`VfsError::NotFound`] for missing paths.
+    pub fn admin_metadata(&self, path: &VPath) -> VfsResult<Metadata> {
+        if let Some(node) = self.files.get(path) {
+            return Ok(Metadata {
+                kind: EntryKind::File,
+                len: node.data.len() as u64,
+                read_only: node.read_only,
+                file: Some(node.id),
+                created_at_nanos: node.created_at_nanos,
+                modified_at_nanos: node.modified_at_nanos,
+            });
+        }
+        if self.dir_children.contains_key(path) {
+            return Ok(Metadata {
+                kind: EntryKind::Directory,
+                len: 0,
+                read_only: false,
+                file: None,
+                created_at_nanos: 0,
+                modified_at_nanos: 0,
+            });
+        }
+        Err(VfsError::NotFound(path.clone()))
+    }
+
+    /// Iterates over all files as `(path, content)` pairs, in arbitrary
+    /// order. Used by experiment verification ("we verified the SHA-256
+    /// hashes of the documents", paper §V-A analogue).
+    pub fn admin_files(&self) -> impl Iterator<Item = (&VPath, &[u8])> {
+        self.files.iter().map(|(p, n)| (p, n.data.as_slice()))
+    }
+
+    /// Iterates over all directory paths, in arbitrary order.
+    pub fn admin_dirs(&self) -> impl Iterator<Item = &VPath> {
+        self.dir_children.keys()
+    }
+
+    /// The number of files in the filesystem.
+    pub fn file_count(&self) -> usize {
+        self.files.len()
+    }
+
+    /// The number of directories, including the root.
+    pub fn dir_count(&self) -> usize {
+        self.dir_children.len()
+    }
+
+    /// The total bytes stored across all files.
+    pub fn total_bytes(&self) -> u64 {
+        self.files.values().map(|n| n.data.len() as u64).sum()
+    }
+
+    // ------------------------------------------------------------------
+    // Internals
+    // ------------------------------------------------------------------
+
+    fn check_process(&self, pid: ProcessId) -> VfsResult<()> {
+        if self.processes.get(pid).is_none() {
+            return Err(VfsError::UnknownProcess(pid));
+        }
+        if self.processes.is_suspended(pid) {
+            return Err(VfsError::ProcessSuspended(pid));
+        }
+        Ok(())
+    }
+
+    fn node_kind(&self, path: &VPath) -> Option<EntryKind> {
+        if self.files.contains_key(path) {
+            Some(EntryKind::File)
+        } else if self.dir_children.contains_key(path) {
+            Some(EntryKind::Directory)
+        } else {
+            None
+        }
+    }
+
+    fn handle_info(&self, pid: ProcessId, handle: Handle) -> VfsResult<(FileId, u64)> {
+        match self.handles.get(&handle.0) {
+            Some(h) if h.pid == pid => Ok((h.file, h.cursor)),
+            _ => Err(VfsError::InvalidHandle),
+        }
+    }
+
+    fn path_of(&self, file: FileId) -> VfsResult<VPath> {
+        self.file_paths
+            .get(&file)
+            .cloned()
+            .ok_or(VfsError::InvalidHandle)
+    }
+
+    fn unlink_entry(&mut self, path: &VPath) {
+        if let (Some(parent), Some(name)) = (path.parent(), path.file_name()) {
+            if let Some(children) = self.dir_children.get_mut(&parent) {
+                children.remove(name);
+            }
+        }
+    }
+
+    fn record(&mut self, pid: ProcessId, detail: EventDetail) {
+        let at_nanos = self.clock.now_nanos();
+        self.log.push(Event {
+            at_nanos,
+            pid,
+            detail,
+        });
+    }
+
+    fn finish_op(&mut self, kind: OpKind, pre_overhead: u64) {
+        self.clock.charge(kind);
+        self.clock.advance(pre_overhead);
+    }
+
+    fn ledger_add(&mut self, kind: OpKind, post_overhead: u64) {
+        self.clock.advance(post_overhead);
+        self.ledger.record(kind, post_overhead);
+    }
+
+    fn run_pre(&mut self, pid: ProcessId, op: &FsOp<'_>, overhead: &mut u64) -> VfsResult<()> {
+        if self.filters.is_empty() {
+            return Ok(());
+        }
+        let name = self
+            .processes
+            .get(pid)
+            .map(|r| r.name().to_string())
+            .unwrap_or_default();
+        let ctx = OpContext {
+            pid,
+            family_root: self.processes.root_of(pid),
+            process_name: &name,
+            op: *op,
+            at_nanos: self.clock.now_nanos(),
+        };
+        let mut filters = std::mem::take(&mut self.filters);
+        let started = Instant::now();
+        let mut result = Ok(());
+        for f in filters.iter_mut() {
+            match f.pre_op(&ctx, &FsView::new(self)) {
+                Verdict::Allow => {}
+                Verdict::Deny => {
+                    result = Err(VfsError::AccessDenied {
+                        path: op.path().clone(),
+                        filter: f.name().to_string(),
+                    });
+                    break;
+                }
+                Verdict::Suspend { reason } => {
+                    let by = f.name().to_string();
+                    self.apply_suspension(pid, by, reason);
+                    result = Err(VfsError::ProcessSuspended(pid));
+                    break;
+                }
+            }
+        }
+        *overhead += started.elapsed().as_nanos() as u64;
+        self.filters = filters;
+        result
+    }
+
+    fn run_post(
+        &mut self,
+        pid: ProcessId,
+        op: &FsOp<'_>,
+        outcome: &OpOutcome<'_>,
+        overhead: &mut u64,
+    ) {
+        if self.filters.is_empty() {
+            return;
+        }
+        let name = self
+            .processes
+            .get(pid)
+            .map(|r| r.name().to_string())
+            .unwrap_or_default();
+        let ctx = OpContext {
+            pid,
+            family_root: self.processes.root_of(pid),
+            process_name: &name,
+            op: *op,
+            at_nanos: self.clock.now_nanos(),
+        };
+        let mut filters = std::mem::take(&mut self.filters);
+        let started = Instant::now();
+        let mut suspend: Option<(String, String)> = None;
+        for f in filters.iter_mut() {
+            match f.post_op(&ctx, outcome, &FsView::new(self)) {
+                Verdict::Allow | Verdict::Deny => {}
+                Verdict::Suspend { reason } => {
+                    suspend = Some((f.name().to_string(), reason));
+                    break;
+                }
+            }
+        }
+        *overhead += started.elapsed().as_nanos() as u64;
+        self.filters = filters;
+        if let Some((by, reason)) = suspend {
+            self.apply_suspension(pid, by, reason);
+        }
+    }
+
+    fn apply_suspension(&mut self, pid: ProcessId, by: String, reason: String) {
+        if self.processes.get(pid).is_some_and(|r| r.is_suspended()) {
+            return; // already suspended: keep the original record and event
+        }
+        let at_nanos = self.clock.now_nanos();
+        self.processes.suspend(
+            pid,
+            SuspensionRecord {
+                by: by.clone(),
+                reason: reason.clone(),
+                at_nanos,
+            },
+        );
+        self.log.push(Event {
+            at_nanos,
+            pid,
+            detail: EventDetail::Suspended { by, reason },
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fresh() -> (Vfs, ProcessId) {
+        let mut fs = Vfs::new();
+        let pid = fs.spawn_process("test.exe");
+        (fs, pid)
+    }
+
+    fn p(s: &str) -> VPath {
+        VPath::new(s)
+    }
+
+    #[test]
+    fn create_write_read_round_trip() {
+        let (mut fs, pid) = fresh();
+        fs.create_dir_all(pid, &p("/docs")).unwrap();
+        fs.write_file(pid, &p("/docs/a.txt"), b"hello world").unwrap();
+        assert_eq!(fs.read_file(pid, &p("/docs/a.txt")).unwrap(), b"hello world");
+        assert_eq!(fs.file_count(), 1);
+        assert_eq!(fs.total_bytes(), 11);
+    }
+
+    #[test]
+    fn open_missing_without_create_fails() {
+        let (mut fs, pid) = fresh();
+        let err = fs.open(pid, &p("/nope.txt"), OpenOptions::read()).unwrap_err();
+        assert_eq!(err, VfsError::NotFound(p("/nope.txt")));
+    }
+
+    #[test]
+    fn open_create_in_missing_parent_fails() {
+        let (mut fs, pid) = fresh();
+        let err = fs
+            .open(pid, &p("/no/dir/x.txt"), OpenOptions::create())
+            .unwrap_err();
+        assert!(matches!(err, VfsError::NotFound(_)));
+    }
+
+    #[test]
+    fn create_new_on_existing_fails() {
+        let (mut fs, pid) = fresh();
+        fs.write_file(pid, &p("/a.txt"), b"x").unwrap();
+        let err = fs
+            .open(pid, &p("/a.txt"), OpenOptions::create_new())
+            .unwrap_err();
+        assert_eq!(err, VfsError::AlreadyExists(p("/a.txt")));
+    }
+
+    #[test]
+    fn open_directory_fails() {
+        let (mut fs, pid) = fresh();
+        fs.create_dir(pid, &p("/d")).unwrap();
+        let err = fs.open(pid, &p("/d"), OpenOptions::read()).unwrap_err();
+        assert_eq!(err, VfsError::IsADirectory(p("/d")));
+    }
+
+    #[test]
+    fn truncating_open_clears_content_and_marks_modified() {
+        let (mut fs, pid) = fresh();
+        fs.write_file(pid, &p("/a.txt"), b"original").unwrap();
+        let h = fs.open(pid, &p("/a.txt"), OpenOptions::create()).unwrap();
+        fs.close(pid, h).unwrap();
+        assert_eq!(fs.admin_read_file(&p("/a.txt")).unwrap(), b"");
+        // The close event should carry modified=true (the truncation).
+        let modified_close = fs.event_log().events().iter().any(|e| {
+            matches!(&e.detail, EventDetail::Close { modified: true, path } if path == &p("/a.txt"))
+        });
+        assert!(modified_close);
+    }
+
+    #[test]
+    fn partial_reads_and_cursor() {
+        let (mut fs, pid) = fresh();
+        fs.write_file(pid, &p("/a.bin"), b"0123456789").unwrap();
+        let h = fs.open(pid, &p("/a.bin"), OpenOptions::read()).unwrap();
+        assert_eq!(fs.read(pid, h, 4).unwrap(), b"0123");
+        assert_eq!(fs.read(pid, h, 4).unwrap(), b"4567");
+        assert_eq!(fs.read(pid, h, 4).unwrap(), b"89");
+        assert_eq!(fs.read(pid, h, 4).unwrap(), b"");
+        fs.seek(pid, h, 2).unwrap();
+        assert_eq!(fs.read_to_end(pid, h).unwrap(), b"23456789");
+        fs.close(pid, h).unwrap();
+    }
+
+    #[test]
+    fn write_at_offset_and_extension() {
+        let (mut fs, pid) = fresh();
+        fs.write_file(pid, &p("/a.bin"), b"aaaaaaaa").unwrap();
+        let h = fs.open(pid, &p("/a.bin"), OpenOptions::modify()).unwrap();
+        fs.seek(pid, h, 4).unwrap();
+        fs.write(pid, h, b"BBBBBB").unwrap();
+        fs.close(pid, h).unwrap();
+        assert_eq!(fs.admin_read_file(&p("/a.bin")).unwrap(), b"aaaaBBBBBB");
+    }
+
+    #[test]
+    fn write_past_end_zero_fills() {
+        let (mut fs, pid) = fresh();
+        let h = fs.open(pid, &p("/a.bin"), OpenOptions::create()).unwrap();
+        fs.seek(pid, h, 4).unwrap();
+        fs.write(pid, h, b"xy").unwrap();
+        fs.close(pid, h).unwrap();
+        assert_eq!(fs.admin_read_file(&p("/a.bin")).unwrap(), b"\0\0\0\0xy");
+    }
+
+    #[test]
+    fn read_only_blocks_write_open_delete_and_rename() {
+        let (mut fs, pid) = fresh();
+        fs.write_file(pid, &p("/a.txt"), b"keep me").unwrap();
+        fs.set_read_only(pid, &p("/a.txt"), true).unwrap();
+        assert!(matches!(
+            fs.open(pid, &p("/a.txt"), OpenOptions::modify()),
+            Err(VfsError::ReadOnly(_))
+        ));
+        assert!(matches!(fs.delete(pid, &p("/a.txt")), Err(VfsError::ReadOnly(_))));
+        assert!(matches!(
+            fs.rename(pid, &p("/a.txt"), &p("/b.txt"), false),
+            Err(VfsError::ReadOnly(_))
+        ));
+        // Reading still works.
+        assert_eq!(fs.read_file(pid, &p("/a.txt")).unwrap(), b"keep me");
+        // Clearing the attribute restores write access.
+        fs.set_read_only(pid, &p("/a.txt"), false).unwrap();
+        assert!(fs.open(pid, &p("/a.txt"), OpenOptions::modify()).is_ok());
+    }
+
+    #[test]
+    fn handle_not_writable() {
+        let (mut fs, pid) = fresh();
+        fs.write_file(pid, &p("/a.txt"), b"x").unwrap();
+        let h = fs.open(pid, &p("/a.txt"), OpenOptions::read()).unwrap();
+        assert_eq!(fs.write(pid, h, b"y").unwrap_err(), VfsError::NotWritable);
+        assert_eq!(fs.truncate(pid, h, 0).unwrap_err(), VfsError::NotWritable);
+    }
+
+    #[test]
+    fn foreign_and_closed_handles_are_invalid() {
+        let (mut fs, pid) = fresh();
+        let other = fs.spawn_process("other.exe");
+        fs.write_file(pid, &p("/a.txt"), b"x").unwrap();
+        let h = fs.open(pid, &p("/a.txt"), OpenOptions::read()).unwrap();
+        assert_eq!(fs.read(other, h, 1).unwrap_err(), VfsError::InvalidHandle);
+        fs.close(pid, h).unwrap();
+        assert_eq!(fs.read(pid, h, 1).unwrap_err(), VfsError::InvalidHandle);
+        assert_eq!(fs.close(pid, h).unwrap_err(), VfsError::InvalidHandle);
+    }
+
+    #[test]
+    fn delete_and_handle_dangling() {
+        let (mut fs, pid) = fresh();
+        fs.write_file(pid, &p("/a.txt"), b"x").unwrap();
+        let h = fs.open(pid, &p("/a.txt"), OpenOptions::read()).unwrap();
+        fs.delete(pid, &p("/a.txt")).unwrap();
+        assert_eq!(fs.file_count(), 0);
+        assert_eq!(fs.read(pid, h, 1).unwrap_err(), VfsError::InvalidHandle);
+        // Close of a handle to a deleted file still succeeds.
+        fs.close(pid, h).unwrap();
+    }
+
+    #[test]
+    fn delete_errors() {
+        let (mut fs, pid) = fresh();
+        assert!(matches!(fs.delete(pid, &p("/nope")), Err(VfsError::NotFound(_))));
+        fs.create_dir(pid, &p("/d")).unwrap();
+        assert!(matches!(fs.delete(pid, &p("/d")), Err(VfsError::IsADirectory(_))));
+    }
+
+    #[test]
+    fn rename_keeps_file_id_and_handles() {
+        let (mut fs, pid) = fresh();
+        fs.create_dir(pid, &p("/tmp")).unwrap();
+        fs.write_file(pid, &p("/a.txt"), b"content").unwrap();
+        let id_before = fs.admin_metadata(&p("/a.txt")).unwrap().file;
+        let h = fs.open(pid, &p("/a.txt"), OpenOptions::read()).unwrap();
+        fs.rename(pid, &p("/a.txt"), &p("/tmp/b.dat"), false).unwrap();
+        assert!(fs.admin_metadata(&p("/a.txt")).is_err());
+        assert_eq!(fs.admin_metadata(&p("/tmp/b.dat")).unwrap().file, id_before);
+        // The open handle follows the file.
+        assert_eq!(fs.read_to_end(pid, h).unwrap(), b"content");
+        fs.close(pid, h).unwrap();
+    }
+
+    #[test]
+    fn rename_overwrite_semantics() {
+        let (mut fs, pid) = fresh();
+        fs.write_file(pid, &p("/new.enc"), b"ciphertext").unwrap();
+        fs.write_file(pid, &p("/orig.doc"), b"plaintext").unwrap();
+        let orig_id = fs.admin_metadata(&p("/orig.doc")).unwrap().file;
+        assert!(matches!(
+            fs.rename(pid, &p("/new.enc"), &p("/orig.doc"), false),
+            Err(VfsError::AlreadyExists(_))
+        ));
+        fs.rename(pid, &p("/new.enc"), &p("/orig.doc"), true).unwrap();
+        assert_eq!(fs.admin_read_file(&p("/orig.doc")).unwrap(), b"ciphertext");
+        assert_eq!(fs.file_count(), 1);
+        // The replacing file's id is retained; the replaced file is gone.
+        let new_id = fs.admin_metadata(&p("/orig.doc")).unwrap().file;
+        assert_ne!(new_id, orig_id);
+        // The event records the replacement.
+        let replaced = fs
+            .event_log()
+            .events()
+            .iter()
+            .any(|e| matches!(e.detail, EventDetail::Rename { replaced: true, .. }));
+        assert!(replaced);
+    }
+
+    #[test]
+    fn rename_misc_errors() {
+        let (mut fs, pid) = fresh();
+        fs.write_file(pid, &p("/a"), b"x").unwrap();
+        fs.create_dir(pid, &p("/d")).unwrap();
+        assert!(matches!(
+            fs.rename(pid, &p("/missing"), &p("/b"), false),
+            Err(VfsError::NotFound(_))
+        ));
+        assert!(matches!(
+            fs.rename(pid, &p("/d"), &p("/b"), false),
+            Err(VfsError::IsADirectory(_))
+        ));
+        assert!(matches!(
+            fs.rename(pid, &p("/a"), &p("/d"), true),
+            Err(VfsError::IsADirectory(_))
+        ));
+        assert!(matches!(
+            fs.rename(pid, &p("/a"), &p("/no/dir/b"), false),
+            Err(VfsError::NotFound(_))
+        ));
+        assert!(matches!(
+            fs.rename(pid, &p("/a"), &p("/a"), false),
+            Err(VfsError::InvalidPath(_))
+        ));
+    }
+
+    #[test]
+    fn list_dir_sorted_with_metadata() {
+        let (mut fs, pid) = fresh();
+        fs.create_dir_all(pid, &p("/docs/sub")).unwrap();
+        fs.write_file(pid, &p("/docs/b.txt"), b"bb").unwrap();
+        fs.write_file(pid, &p("/docs/a.txt"), b"a").unwrap();
+        let entries = fs.list_dir(pid, &p("/docs")).unwrap();
+        let names: Vec<_> = entries.iter().map(|e| e.name.as_str()).collect();
+        assert_eq!(names, vec!["a.txt", "b.txt", "sub"]);
+        assert_eq!(entries[0].len, 1);
+        assert_eq!(entries[1].len, 2);
+        assert_eq!(entries[2].kind, EntryKind::Directory);
+        assert!(entries[0].file.is_some());
+        assert!(entries[2].file.is_none());
+    }
+
+    #[test]
+    fn list_dir_errors() {
+        let (mut fs, pid) = fresh();
+        fs.write_file(pid, &p("/f"), b"").unwrap();
+        assert!(matches!(fs.list_dir(pid, &p("/f")), Err(VfsError::NotADirectory(_))));
+        assert!(matches!(fs.list_dir(pid, &p("/x")), Err(VfsError::NotFound(_))));
+    }
+
+    #[test]
+    fn dir_creation_and_removal() {
+        let (mut fs, pid) = fresh();
+        fs.create_dir_all(pid, &p("/a/b/c")).unwrap();
+        assert_eq!(fs.dir_count(), 4); // root + a + b + c
+        assert!(matches!(
+            fs.create_dir(pid, &p("/a/b")),
+            Err(VfsError::AlreadyExists(_))
+        ));
+        assert!(matches!(
+            fs.create_dir(pid, &p("/x/y")),
+            Err(VfsError::NotFound(_))
+        ));
+        assert!(matches!(
+            fs.remove_dir(pid, &p("/a/b")),
+            Err(VfsError::DirectoryNotEmpty(_))
+        ));
+        fs.remove_dir(pid, &p("/a/b/c")).unwrap();
+        fs.remove_dir(pid, &p("/a/b")).unwrap();
+        assert!(matches!(
+            fs.remove_dir(pid, &VPath::root()),
+            Err(VfsError::InvalidPath(_))
+        ));
+        fs.write_file(pid, &p("/file"), b"").unwrap();
+        assert!(matches!(
+            fs.remove_dir(pid, &p("/file")),
+            Err(VfsError::NotADirectory(_))
+        ));
+        assert!(matches!(
+            fs.create_dir_all(pid, &p("/file/sub")),
+            Err(VfsError::NotADirectory(_))
+        ));
+    }
+
+    #[test]
+    fn unknown_process_rejected() {
+        let mut fs = Vfs::new();
+        let ghost = ProcessId(42);
+        assert_eq!(
+            fs.read_file(ghost, &p("/x")).unwrap_err(),
+            VfsError::UnknownProcess(ghost)
+        );
+    }
+
+    #[test]
+    fn suspended_process_cannot_operate() {
+        let (mut fs, pid) = fresh();
+        fs.write_file(pid, &p("/a.txt"), b"x").unwrap();
+        fs.processes.suspend(
+            pid,
+            SuspensionRecord {
+                by: "test".into(),
+                reason: "test".into(),
+                at_nanos: 0,
+            },
+        );
+        assert_eq!(
+            fs.read_file(pid, &p("/a.txt")).unwrap_err(),
+            VfsError::ProcessSuspended(pid)
+        );
+        fs.resume_process(pid);
+        assert!(fs.read_file(pid, &p("/a.txt")).is_ok());
+    }
+
+    #[test]
+    fn events_are_recorded_in_order() {
+        let (mut fs, pid) = fresh();
+        fs.write_file(pid, &p("/a.txt"), b"abc").unwrap();
+        fs.read_file(pid, &p("/a.txt")).unwrap();
+        fs.delete(pid, &p("/a.txt")).unwrap();
+        let kinds: Vec<&'static str> = fs
+            .event_log()
+            .events()
+            .iter()
+            .map(|e| match e.detail {
+                EventDetail::Open { .. } => "open",
+                EventDetail::Read { .. } => "read",
+                EventDetail::Write { .. } => "write",
+                EventDetail::Close { .. } => "close",
+                EventDetail::Delete { .. } => "delete",
+                _ => "other",
+            })
+            .collect();
+        assert_eq!(
+            kinds,
+            vec!["open", "write", "close", "open", "read", "close", "delete"]
+        );
+        // Timestamps are monotonically non-decreasing.
+        let times: Vec<u64> = fs.event_log().events().iter().map(|e| e.at_nanos).collect();
+        assert!(times.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    // ------------------------------------------------------------------
+    // Filter integration
+    // ------------------------------------------------------------------
+
+    /// Denies every write to paths containing "protected".
+    struct DenyProtectedWrites;
+    impl FilterDriver for DenyProtectedWrites {
+        fn name(&self) -> &str {
+            "deny-protected"
+        }
+        fn pre_op(&mut self, ctx: &OpContext<'_>, _fs: &FsView<'_>) -> Verdict {
+            match ctx.op {
+                FsOp::Write { path, .. } if path.as_str().contains("protected") => Verdict::Deny,
+                _ => Verdict::Allow,
+            }
+        }
+    }
+
+    #[test]
+    fn filter_can_deny_writes() {
+        let (mut fs, pid) = fresh();
+        fs.create_dir(pid, &p("/protected")).unwrap();
+        fs.register_filter(Box::new(DenyProtectedWrites));
+        fs.write_file(pid, &p("/ok.txt"), b"fine").unwrap();
+        let err = fs.write_file(pid, &p("/protected/x.txt"), b"no").unwrap_err();
+        assert!(matches!(err, VfsError::AccessDenied { .. }));
+        // The open created the file but the write was denied.
+        assert_eq!(fs.admin_read_file(&p("/protected/x.txt")).unwrap(), b"");
+    }
+
+    /// Suspends a process after observing `limit` completed writes.
+    struct WriteQuota {
+        limit: u32,
+        seen: u32,
+    }
+    impl FilterDriver for WriteQuota {
+        fn name(&self) -> &str {
+            "write-quota"
+        }
+        fn post_op(
+            &mut self,
+            _ctx: &OpContext<'_>,
+            outcome: &OpOutcome<'_>,
+            _fs: &FsView<'_>,
+        ) -> Verdict {
+            if let OpOutcome::Write { .. } = outcome {
+                self.seen += 1;
+                if self.seen >= self.limit {
+                    return Verdict::Suspend {
+                        reason: format!("write quota of {} exceeded", self.limit),
+                    };
+                }
+            }
+            Verdict::Allow
+        }
+    }
+
+    #[test]
+    fn post_op_suspension_blocks_subsequent_ops() {
+        let (mut fs, pid) = fresh();
+        fs.register_filter(Box::new(WriteQuota { limit: 2, seen: 0 }));
+        fs.write_file(pid, &p("/a"), b"1").unwrap();
+        // Second write triggers suspension, but the triggering op completed.
+        let h = fs.open(pid, &p("/b"), OpenOptions::create()).unwrap();
+        fs.write(pid, h, b"2").unwrap();
+        assert!(fs.is_suspended(pid));
+        assert_eq!(fs.admin_read_file(&p("/b")).unwrap(), b"2");
+        // All further data ops fail...
+        assert_eq!(
+            fs.write(pid, h, b"more").unwrap_err(),
+            VfsError::ProcessSuspended(pid)
+        );
+        // ...but close still releases the handle.
+        fs.close(pid, h).unwrap();
+        // The suspension is visible in the event log.
+        assert!(fs
+            .event_log()
+            .events()
+            .iter()
+            .any(|e| matches!(e.detail, EventDetail::Suspended { .. })));
+        // Other processes are unaffected.
+        let other = fs.spawn_process("other.exe");
+        fs.write_file(other, &p("/c"), b"3").unwrap();
+    }
+
+    /// Reads the pre-image of every write via the FsView.
+    struct SnapshotProbe {
+        snapshots: Vec<(VPath, Vec<u8>)>,
+    }
+    impl FilterDriver for SnapshotProbe {
+        fn name(&self) -> &str {
+            "snapshot-probe"
+        }
+        fn pre_op(&mut self, ctx: &OpContext<'_>, fs: &FsView<'_>) -> Verdict {
+            if let FsOp::Write { path, .. } = ctx.op {
+                if let Ok(data) = fs.read_file(path) {
+                    self.snapshots.push((path.clone(), data));
+                }
+            }
+            Verdict::Allow
+        }
+    }
+
+    #[test]
+    fn filters_can_snapshot_pre_images() {
+        let (mut fs, pid) = fresh();
+        fs.write_file(pid, &p("/doc.txt"), b"ORIGINAL").unwrap();
+        fs.register_filter(Box::new(SnapshotProbe { snapshots: vec![] }));
+        let h = fs.open(pid, &p("/doc.txt"), OpenOptions::modify()).unwrap();
+        fs.write(pid, h, b"ENCRYPTED!").unwrap();
+        fs.close(pid, h).unwrap();
+        let filters = fs.take_filters();
+        // Recover the probe and check it saw the pre-image.
+        // (Downcasting is not available on FilterDriver; instead assert via
+        // the ledger that the filter ran.)
+        assert_eq!(filters.len(), 1);
+        assert!(fs.latency_ledger().stat(OpKind::Write).is_some());
+        assert_eq!(fs.admin_read_file(&p("/doc.txt")).unwrap(), b"ENCRYPTED!");
+    }
+
+    #[test]
+    fn truncating_open_lets_pre_op_see_original_content() {
+        // Critical for the detector: the pre-open snapshot must happen
+        // before truncation destroys the original content.
+        struct PreOpenCapture {
+            captured: Option<Vec<u8>>,
+        }
+        impl FilterDriver for PreOpenCapture {
+            fn name(&self) -> &str {
+                "pre-open-capture"
+            }
+            fn pre_op(&mut self, ctx: &OpContext<'_>, fs: &FsView<'_>) -> Verdict {
+                if let FsOp::Open { path, options } = ctx.op {
+                    if options.write {
+                        self.captured = fs.read_file(path).ok();
+                    }
+                }
+                Verdict::Allow
+            }
+            fn post_op(
+                &mut self,
+                ctx: &OpContext<'_>,
+                _outcome: &OpOutcome<'_>,
+                fs: &FsView<'_>,
+            ) -> Verdict {
+                if let FsOp::Open { path, .. } = ctx.op {
+                    // After a truncating open, the file is empty even though
+                    // pre_op saw the original bytes.
+                    assert_eq!(fs.read_file(path).unwrap(), b"");
+                    assert_eq!(self.captured.as_deref(), Some(b"SECRET".as_slice()));
+                }
+                Verdict::Allow
+            }
+        }
+        let (mut fs, pid) = fresh();
+        fs.write_file(pid, &p("/x.txt"), b"SECRET").unwrap();
+        fs.register_filter(Box::new(PreOpenCapture { captured: None }));
+        let h = fs.open(pid, &p("/x.txt"), OpenOptions::create()).unwrap();
+        fs.close(pid, h).unwrap();
+    }
+
+    #[test]
+    fn latency_ledger_counts_filtered_ops() {
+        struct Nop;
+        impl FilterDriver for Nop {
+            fn name(&self) -> &str {
+                "nop"
+            }
+        }
+        let (mut fs, pid) = fresh();
+        fs.register_filter(Box::new(Nop));
+        fs.write_file(pid, &p("/a"), b"data").unwrap();
+        fs.read_file(pid, &p("/a")).unwrap();
+        let ledger = fs.latency_ledger();
+        assert_eq!(ledger.stat(OpKind::Open).unwrap().count, 2);
+        assert_eq!(ledger.stat(OpKind::Write).unwrap().count, 1);
+        assert_eq!(ledger.stat(OpKind::Read).unwrap().count, 1);
+        assert_eq!(ledger.stat(OpKind::Close).unwrap().count, 2);
+    }
+
+    #[test]
+    fn admin_helpers_bypass_filters() {
+        let (mut fs, _pid) = fresh();
+        fs.register_filter(Box::new(DenyProtectedWrites));
+        fs.admin_write_file(&p("/protected/x.txt"), b"staged").unwrap();
+        assert_eq!(fs.admin_read_file(&p("/protected/x.txt")).unwrap(), b"staged");
+        assert!(fs.event_log().is_empty(), "admin ops leave no events");
+        fs.admin_set_read_only(&p("/protected/x.txt"), true).unwrap();
+        assert!(fs.admin_metadata(&p("/protected/x.txt")).unwrap().read_only);
+        fs.admin_delete_file(&p("/protected/x.txt")).unwrap();
+        assert_eq!(fs.file_count(), 0);
+    }
+
+    #[test]
+    fn admin_iteration() {
+        let (mut fs, _) = fresh();
+        fs.admin_write_file(&p("/a/1.txt"), b"one").unwrap();
+        fs.admin_write_file(&p("/a/b/2.txt"), b"two").unwrap();
+        assert_eq!(fs.file_count(), 2);
+        assert_eq!(fs.dir_count(), 3); // /, /a, /a/b
+        let total: u64 = fs.admin_files().map(|(_, d)| d.len() as u64).sum();
+        assert_eq!(total, fs.total_bytes());
+        assert_eq!(fs.admin_dirs().count(), 3);
+    }
+}

@@ -1,0 +1,67 @@
+//! An in-memory virtual filesystem with minifilter-style interposition.
+//!
+//! This crate is the substrate on which the CryptoDrop reproduction runs.
+//! It stands in for the Windows NTFS volume plus the kernel filesystem
+//! filter driver that the paper instruments (paper §IV-C, Fig. 2):
+//!
+//! * [`Vfs`] — an NTFS-flavoured in-memory filesystem: stable [`FileId`]
+//!   identities across renames, read-only attributes, open handles with
+//!   cursors, and per-process attribution of every operation.
+//! * [`FilterDriver`] — the interposition trait. Registered filters observe
+//!   every operation before ([`FilterDriver::pre_op`]) and after
+//!   ([`FilterDriver::post_op`]) it is applied, may read file data
+//!   out-of-band through [`FsView`], and return [`Verdict`]s that can deny
+//!   an operation or suspend the requesting process.
+//! * [`ProcessTable`] — simulated processes, including family suspension.
+//! * [`SimClock`] / [`LatencyLedger`] — deterministic timestamps and
+//!   filter-overhead accounting for the paper's §V-H performance table.
+//! * [`EventLog`] — a compact trace of completed operations, used by the
+//!   evaluation harness to reconstruct traversal footprints (Fig. 4) and
+//!   extension access frequencies (Fig. 5).
+//!
+//! # Example
+//!
+//! ```
+//! use cryptodrop_vfs::{OpenOptions, Vfs, VPath};
+//!
+//! # fn main() -> Result<(), cryptodrop_vfs::VfsError> {
+//! let mut fs = Vfs::new();
+//! let pid = fs.spawn_process("notepad.exe");
+//! let docs = VPath::new("/Users/victim/Documents");
+//! fs.create_dir_all(pid, &docs)?;
+//!
+//! let path = docs.join("notes.txt");
+//! fs.write_file(pid, &path, b"meeting at noon")?;
+//! assert_eq!(fs.read_file(pid, &path)?, b"meeting at noon");
+//!
+//! // Files keep their identity across moves, as on NTFS.
+//! let moved = docs.join("archive.txt");
+//! let id = fs.metadata(pid, &path)?.file;
+//! fs.rename(pid, &path, &moved, false)?;
+//! assert_eq!(fs.metadata(pid, &moved)?.file, id);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod clock;
+mod error;
+mod events;
+mod filter;
+mod fs;
+mod node;
+mod ops;
+mod path;
+mod process;
+
+pub use clock::{LatencyLedger, LatencyStat, OpKind, SimClock};
+pub use error::{VfsError, VfsResult};
+pub use events::{Event, EventDetail, EventLog};
+pub use filter::{FilterDriver, FsView, Verdict};
+pub use fs::{Handle, Vfs};
+pub use node::{DirEntry, EntryKind, FileId, Metadata};
+pub use ops::{FsOp, OpContext, OpOutcome, OpenOptions};
+pub use path::VPath;
+pub use process::{ProcessId, ProcessRecord, ProcessTable, SuspensionRecord};

@@ -1,0 +1,115 @@
+//! File nodes, identities, and metadata.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A stable file identity, analogous to an NTFS file reference number.
+///
+/// A file keeps its [`FileId`] across renames and moves, which is what lets
+/// the detector "carefully track the state of the file each time a file is
+/// moved" (paper §III, Class B discussion). A new file — even one created at
+/// a path where another file used to live — receives a fresh id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct FileId(pub u64);
+
+impl fmt::Display for FileId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "fid:{}", self.0)
+    }
+}
+
+/// The kind of a directory entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum EntryKind {
+    /// A regular file.
+    File,
+    /// A directory.
+    Directory,
+}
+
+/// A single directory entry as returned by directory listings.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DirEntry {
+    /// The entry's name within its parent directory.
+    pub name: String,
+    /// Whether the entry is a file or a directory.
+    pub kind: EntryKind,
+    /// File size in bytes (0 for directories).
+    pub len: u64,
+    /// The stable file id (`None` for directories).
+    pub file: Option<FileId>,
+}
+
+/// Metadata for one file or directory.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Metadata {
+    /// Whether the node is a file or directory.
+    pub kind: EntryKind,
+    /// File size in bytes (0 for directories).
+    pub len: u64,
+    /// The read-only attribute (always `false` for directories).
+    pub read_only: bool,
+    /// The stable file id (`None` for directories).
+    pub file: Option<FileId>,
+    /// Simulated creation time, nanoseconds.
+    pub created_at_nanos: u64,
+    /// Simulated last-modification time, nanoseconds.
+    pub modified_at_nanos: u64,
+}
+
+impl Metadata {
+    /// Returns `true` if the node is a regular file.
+    pub fn is_file(&self) -> bool {
+        self.kind == EntryKind::File
+    }
+
+    /// Returns `true` if the node is a directory.
+    pub fn is_dir(&self) -> bool {
+        self.kind == EntryKind::Directory
+    }
+}
+
+/// The in-memory representation of one regular file.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub(crate) struct FileNode {
+    pub id: FileId,
+    pub data: Vec<u8>,
+    pub read_only: bool,
+    pub created_at_nanos: u64,
+    pub modified_at_nanos: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn file_id_display() {
+        assert_eq!(FileId(17).to_string(), "fid:17");
+    }
+
+    #[test]
+    fn metadata_kind_helpers() {
+        let m = Metadata {
+            kind: EntryKind::File,
+            len: 10,
+            read_only: false,
+            file: Some(FileId(1)),
+            created_at_nanos: 0,
+            modified_at_nanos: 0,
+        };
+        assert!(m.is_file());
+        assert!(!m.is_dir());
+        let d = Metadata {
+            kind: EntryKind::Directory,
+            len: 0,
+            read_only: false,
+            file: None,
+            created_at_nanos: 0,
+            modified_at_nanos: 0,
+        };
+        assert!(d.is_dir());
+        assert!(!d.is_file());
+    }
+}

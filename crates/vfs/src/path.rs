@@ -1,0 +1,309 @@
+//! Virtual, platform-independent paths.
+//!
+//! The virtual filesystem uses its own path type rather than
+//! [`std::path::Path`] so that simulated Windows-style document trees behave
+//! identically on every host platform. Paths are absolute, `/`-separated,
+//! and normalized on construction (`.` and empty segments removed, `..`
+//! resolved, trailing slashes stripped).
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A normalized, absolute path inside the virtual filesystem.
+///
+/// # Examples
+///
+/// ```
+/// use cryptodrop_vfs::VPath;
+///
+/// let docs = VPath::new("/Users/victim/Documents");
+/// let file = docs.join("taxes/2015.xlsx");
+/// assert_eq!(file.as_str(), "/Users/victim/Documents/taxes/2015.xlsx");
+/// assert_eq!(file.file_name(), Some("2015.xlsx"));
+/// assert_eq!(file.extension().as_deref(), Some("xlsx"));
+/// assert!(file.starts_with(&docs));
+/// ```
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct VPath {
+    inner: String,
+}
+
+impl VPath {
+    /// The filesystem root, `/`.
+    pub fn root() -> Self {
+        Self { inner: "/".into() }
+    }
+
+    /// Creates a normalized path from a string.
+    ///
+    /// Relative inputs are interpreted as relative to the root. Both `/` and
+    /// `\` are accepted as separators (the simulated workloads model Windows
+    /// applications). `..` segments that would escape the root are clamped
+    /// at the root.
+    pub fn new(raw: impl AsRef<str>) -> Self {
+        let raw = raw.as_ref();
+        let mut parts: Vec<&str> = Vec::new();
+        for seg in raw.split(['/', '\\']) {
+            match seg {
+                "" | "." => {}
+                ".." => {
+                    parts.pop();
+                }
+                s => parts.push(s),
+            }
+        }
+        if parts.is_empty() {
+            return Self::root();
+        }
+        let mut inner = String::with_capacity(raw.len() + 1);
+        for p in &parts {
+            inner.push('/');
+            inner.push_str(p);
+        }
+        Self { inner }
+    }
+
+    /// The path as a string slice, always beginning with `/`.
+    pub fn as_str(&self) -> &str {
+        &self.inner
+    }
+
+    /// Returns `true` for the filesystem root.
+    pub fn is_root(&self) -> bool {
+        self.inner == "/"
+    }
+
+    /// The final component, or `None` for the root.
+    pub fn file_name(&self) -> Option<&str> {
+        if self.is_root() {
+            None
+        } else {
+            self.inner.rsplit('/').next()
+        }
+    }
+
+    /// The lowercase extension of the final component (without the dot), or
+    /// `None` if there is no dot or the path is the root.
+    ///
+    /// The extension is lowercased because the simulated environment models
+    /// Windows, where `.TXT` and `.txt` are the same format, and because the
+    /// evaluation (paper Fig. 5) aggregates by extension.
+    pub fn extension(&self) -> Option<String> {
+        let name = self.file_name()?;
+        let (stem, ext) = name.rsplit_once('.')?;
+        if stem.is_empty() || ext.is_empty() {
+            None
+        } else {
+            Some(ext.to_ascii_lowercase())
+        }
+    }
+
+    /// The parent directory, or `None` for the root.
+    pub fn parent(&self) -> Option<VPath> {
+        if self.is_root() {
+            return None;
+        }
+        match self.inner.rfind('/') {
+            Some(0) => Some(VPath::root()),
+            Some(i) => Some(VPath {
+                inner: self.inner[..i].to_string(),
+            }),
+            None => None,
+        }
+    }
+
+    /// Appends a (possibly multi-segment) relative path.
+    pub fn join(&self, rel: impl AsRef<str>) -> VPath {
+        if self.is_root() {
+            VPath::new(rel)
+        } else {
+            VPath::new(format!("{}/{}", self.inner, rel.as_ref()))
+        }
+    }
+
+    /// Iterates over the path components from the root down.
+    pub fn components(&self) -> impl Iterator<Item = &str> {
+        self.inner.split('/').filter(|s| !s.is_empty())
+    }
+
+    /// The number of components (the root has depth 0).
+    pub fn depth(&self) -> usize {
+        self.components().count()
+    }
+
+    /// Returns `true` if `self` equals `ancestor` or lies beneath it.
+    pub fn starts_with(&self, ancestor: &VPath) -> bool {
+        if ancestor.is_root() {
+            return true;
+        }
+        self.inner == ancestor.inner
+            || (self.inner.len() > ancestor.inner.len()
+                && self.inner.starts_with(&ancestor.inner)
+                && self.inner.as_bytes()[ancestor.inner.len()] == b'/')
+    }
+
+    /// Strips `ancestor` from the front, returning the remaining relative
+    /// part, or `None` if `self` is not beneath `ancestor`.
+    pub fn strip_prefix(&self, ancestor: &VPath) -> Option<&str> {
+        if !self.starts_with(ancestor) {
+            return None;
+        }
+        if ancestor.is_root() {
+            return Some(self.inner.trim_start_matches('/'));
+        }
+        if self.inner == ancestor.inner {
+            return Some("");
+        }
+        Some(&self.inner[ancestor.inner.len() + 1..])
+    }
+
+    /// Replaces the final component's name, keeping the same parent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called on the root.
+    pub fn with_file_name(&self, name: &str) -> VPath {
+        let parent = self.parent().expect("with_file_name on root path");
+        parent.join(name)
+    }
+
+    /// Appends a suffix to the final component (e.g. a ransomware extension
+    /// like `.encrypted`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if called on the root.
+    pub fn with_appended_suffix(&self, suffix: &str) -> VPath {
+        let name = self.file_name().expect("with_appended_suffix on root path");
+        self.with_file_name(&format!("{name}{suffix}"))
+    }
+}
+
+impl fmt::Display for VPath {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.inner)
+    }
+}
+
+impl fmt::Debug for VPath {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "VPath({})", self.inner)
+    }
+}
+
+impl From<&str> for VPath {
+    fn from(s: &str) -> Self {
+        VPath::new(s)
+    }
+}
+
+impl From<String> for VPath {
+    fn from(s: String) -> Self {
+        VPath::new(s)
+    }
+}
+
+impl AsRef<str> for VPath {
+    fn as_ref(&self) -> &str {
+        self.as_str()
+    }
+}
+
+impl Default for VPath {
+    fn default() -> Self {
+        Self::root()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalization() {
+        assert_eq!(VPath::new("a/b/c").as_str(), "/a/b/c");
+        assert_eq!(VPath::new("/a//b/./c/").as_str(), "/a/b/c");
+        assert_eq!(VPath::new("/a/b/../c").as_str(), "/a/c");
+        assert_eq!(VPath::new("/../..").as_str(), "/");
+        assert_eq!(VPath::new("").as_str(), "/");
+        assert_eq!(VPath::new("C:\\Users\\victim").as_str(), "/C:/Users/victim");
+    }
+
+    #[test]
+    fn file_name_and_extension() {
+        let p = VPath::new("/docs/report.final.DOCX");
+        assert_eq!(p.file_name(), Some("report.final.DOCX"));
+        assert_eq!(p.extension(), Some("docx".to_string()));
+        assert_eq!(VPath::new("/docs/README").extension(), None);
+        assert_eq!(VPath::new("/docs/.hidden").extension(), None);
+        assert_eq!(VPath::new("/docs/ends.").extension(), None);
+        assert_eq!(VPath::root().file_name(), None);
+    }
+
+    #[test]
+    fn parent_chain() {
+        let p = VPath::new("/a/b/c");
+        assert_eq!(p.parent().unwrap().as_str(), "/a/b");
+        assert_eq!(p.parent().unwrap().parent().unwrap().as_str(), "/a");
+        assert_eq!(
+            p.parent().unwrap().parent().unwrap().parent().unwrap(),
+            VPath::root()
+        );
+        assert_eq!(VPath::root().parent(), None);
+    }
+
+    #[test]
+    fn join_and_components() {
+        let docs = VPath::new("/Users/v/Documents");
+        assert_eq!(docs.join("a/b.txt").as_str(), "/Users/v/Documents/a/b.txt");
+        assert_eq!(VPath::root().join("x").as_str(), "/x");
+        let comps: Vec<_> = docs.components().collect();
+        assert_eq!(comps, vec!["Users", "v", "Documents"]);
+        assert_eq!(docs.depth(), 3);
+        assert_eq!(VPath::root().depth(), 0);
+    }
+
+    #[test]
+    fn prefix_relations() {
+        let docs = VPath::new("/docs");
+        let file = VPath::new("/docs/a/b.txt");
+        let other = VPath::new("/docsx/a");
+        assert!(file.starts_with(&docs));
+        assert!(docs.starts_with(&docs));
+        assert!(!other.starts_with(&docs), "no partial-component matches");
+        assert!(file.starts_with(&VPath::root()));
+        assert_eq!(file.strip_prefix(&docs), Some("a/b.txt"));
+        assert_eq!(docs.strip_prefix(&docs), Some(""));
+        assert_eq!(other.strip_prefix(&docs), None);
+        assert_eq!(file.strip_prefix(&VPath::root()), Some("docs/a/b.txt"));
+    }
+
+    #[test]
+    fn renaming_helpers() {
+        let p = VPath::new("/docs/report.docx");
+        assert_eq!(p.with_file_name("x.tmp").as_str(), "/docs/x.tmp");
+        assert_eq!(
+            p.with_appended_suffix(".encrypted").as_str(),
+            "/docs/report.docx.encrypted"
+        );
+    }
+
+    #[test]
+    fn display_and_conversions() {
+        let p: VPath = "/a/b".into();
+        assert_eq!(p.to_string(), "/a/b");
+        assert_eq!(format!("{p:?}"), "VPath(/a/b)");
+        let q: VPath = String::from("a/b").into();
+        assert_eq!(p, q);
+        assert_eq!(p.as_ref(), "/a/b");
+    }
+
+    #[test]
+    fn ordering_is_lexicographic() {
+        let mut v = [VPath::new("/b"), VPath::new("/a/z"), VPath::new("/a")];
+        v.sort();
+        let strs: Vec<_> = v.iter().map(|p| p.as_str().to_string()).collect();
+        assert_eq!(strs, vec!["/a", "/a/z", "/b"]);
+    }
+}

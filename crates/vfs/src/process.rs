@@ -1,0 +1,301 @@
+//! The simulated process table.
+//!
+//! Every filesystem operation in the virtual filesystem is attributed to a
+//! process, exactly as a Windows minifilter sees the requestor process of
+//! each IRP. CryptoDrop's reputation scores are *per process* (paper §IV-A),
+//! and its enforcement action is suspending the offending process ("pauses
+//! disk accesses for the flagged process").
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A process identifier in the simulated system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ProcessId(pub u32);
+
+impl fmt::Display for ProcessId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pid:{}", self.0)
+    }
+}
+
+/// Why a process was suspended.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SuspensionRecord {
+    /// The filter (or external actor) that requested the suspension.
+    pub by: String,
+    /// Human-readable reason, e.g. the detection report summary.
+    pub reason: String,
+    /// Simulated timestamp (nanoseconds) at which suspension occurred.
+    pub at_nanos: u64,
+}
+
+/// One registered process.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProcessRecord {
+    id: ProcessId,
+    name: String,
+    parent: Option<ProcessId>,
+    suspension: Option<SuspensionRecord>,
+}
+
+impl ProcessRecord {
+    /// The process id.
+    pub fn id(&self) -> ProcessId {
+        self.id
+    }
+
+    /// The executable name the process registered with.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The parent process, if the process was spawned by another simulated
+    /// process (used to suspend "a process or family of processes",
+    /// paper §IV).
+    pub fn parent(&self) -> Option<ProcessId> {
+        self.parent
+    }
+
+    /// Whether the process is currently suspended.
+    pub fn is_suspended(&self) -> bool {
+        self.suspension.is_some()
+    }
+
+    /// The suspension record, if suspended.
+    pub fn suspension(&self) -> Option<&SuspensionRecord> {
+        self.suspension.as_ref()
+    }
+}
+
+/// The table of simulated processes.
+///
+/// # Examples
+///
+/// ```
+/// use cryptodrop_vfs::ProcessTable;
+///
+/// let mut table = ProcessTable::new();
+/// let pid = table.spawn("malware.exe");
+/// assert_eq!(table.get(pid).unwrap().name(), "malware.exe");
+/// assert!(!table.is_suspended(pid));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProcessTable {
+    records: Vec<ProcessRecord>,
+}
+
+impl ProcessTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a new top-level process and returns its id.
+    pub fn spawn(&mut self, name: impl Into<String>) -> ProcessId {
+        self.spawn_inner(name.into(), None)
+    }
+
+    /// Registers a child of `parent` and returns its id.
+    pub fn spawn_child(&mut self, parent: ProcessId, name: impl Into<String>) -> ProcessId {
+        self.spawn_inner(name.into(), Some(parent))
+    }
+
+    fn spawn_inner(&mut self, name: String, parent: Option<ProcessId>) -> ProcessId {
+        let id = ProcessId(self.records.len() as u32 + 1);
+        self.records.push(ProcessRecord {
+            id,
+            name,
+            parent,
+            suspension: None,
+        });
+        id
+    }
+
+    /// Looks up a process record.
+    pub fn get(&self, pid: ProcessId) -> Option<&ProcessRecord> {
+        let idx = pid.0.checked_sub(1)? as usize;
+        self.records.get(idx)
+    }
+
+    /// Returns `true` if the process or any of its ancestors is suspended
+    /// (suspension applies to the process family, paper §IV).
+    pub fn is_suspended(&self, pid: ProcessId) -> bool {
+        let mut cur = Some(pid);
+        let mut hops = 0;
+        while let Some(p) = cur {
+            let Some(rec) = self.get(p) else { return false };
+            if rec.is_suspended() {
+                return true;
+            }
+            cur = rec.parent();
+            hops += 1;
+            if hops > self.records.len() {
+                return false; // defensive: cycle in parent links
+            }
+        }
+        false
+    }
+
+    /// The top-level ancestor of a process (itself if it has no parent).
+    /// Returns `pid` unchanged when the pid is unknown.
+    pub fn root_of(&self, pid: ProcessId) -> ProcessId {
+        let mut cur = pid;
+        let mut hops = 0;
+        while let Some(rec) = self.get(cur) {
+            match rec.parent() {
+                Some(p) => cur = p,
+                None => return cur,
+            }
+            hops += 1;
+            if hops > self.records.len() {
+                return cur; // defensive: cycle in parent links
+            }
+        }
+        cur
+    }
+
+    /// Suspends a process. Idempotent: a second suspension keeps the first
+    /// record.
+    ///
+    /// Returns `false` if the pid is unknown.
+    pub fn suspend(&mut self, pid: ProcessId, record: SuspensionRecord) -> bool {
+        let Some(idx) = pid.0.checked_sub(1).map(|i| i as usize) else {
+            return false;
+        };
+        match self.records.get_mut(idx) {
+            Some(rec) => {
+                if rec.suspension.is_none() {
+                    rec.suspension = Some(record);
+                }
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Lifts a suspension (the user clicked "allow" in the CryptoDrop
+    /// notification). Returns `false` if the pid is unknown.
+    pub fn resume(&mut self, pid: ProcessId) -> bool {
+        let Some(idx) = pid.0.checked_sub(1).map(|i| i as usize) else {
+            return false;
+        };
+        match self.records.get_mut(idx) {
+            Some(rec) => {
+                rec.suspension = None;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Iterates over all registered processes.
+    pub fn iter(&self) -> impl Iterator<Item = &ProcessRecord> {
+        self.records.iter()
+    }
+
+    /// The number of registered processes.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Returns `true` if no process has been registered.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(by: &str) -> SuspensionRecord {
+        SuspensionRecord {
+            by: by.into(),
+            reason: "score exceeded threshold".into(),
+            at_nanos: 42,
+        }
+    }
+
+    #[test]
+    fn spawn_assigns_unique_ids() {
+        let mut t = ProcessTable::new();
+        let a = t.spawn("a.exe");
+        let b = t.spawn("b.exe");
+        assert_ne!(a, b);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.get(a).unwrap().name(), "a.exe");
+        assert_eq!(t.get(b).unwrap().name(), "b.exe");
+    }
+
+    #[test]
+    fn unknown_pid_lookups() {
+        let t = ProcessTable::new();
+        assert!(t.get(ProcessId(1)).is_none());
+        assert!(t.get(ProcessId(0)).is_none());
+        assert!(!t.is_suspended(ProcessId(7)));
+    }
+
+    #[test]
+    fn suspend_and_resume() {
+        let mut t = ProcessTable::new();
+        let pid = t.spawn("ransom.exe");
+        assert!(t.suspend(pid, record("cryptodrop")));
+        assert!(t.is_suspended(pid));
+        assert_eq!(t.get(pid).unwrap().suspension().unwrap().by, "cryptodrop");
+        assert!(t.resume(pid));
+        assert!(!t.is_suspended(pid));
+    }
+
+    #[test]
+    fn suspend_is_idempotent_keeping_first_record() {
+        let mut t = ProcessTable::new();
+        let pid = t.spawn("x.exe");
+        t.suspend(pid, record("first"));
+        t.suspend(pid, record("second"));
+        assert_eq!(t.get(pid).unwrap().suspension().unwrap().by, "first");
+    }
+
+    #[test]
+    fn family_suspension_propagates_to_children() {
+        let mut t = ProcessTable::new();
+        let parent = t.spawn("dropper.exe");
+        let child = t.spawn_child(parent, "payload.exe");
+        let grandchild = t.spawn_child(child, "worker.exe");
+        assert!(!t.is_suspended(grandchild));
+        t.suspend(parent, record("cryptodrop"));
+        assert!(t.is_suspended(child));
+        assert!(t.is_suspended(grandchild));
+        // Suspending a child does not affect the parent.
+        t.resume(parent);
+        t.suspend(child, record("cryptodrop"));
+        assert!(!t.is_suspended(parent));
+        assert!(t.is_suspended(grandchild));
+    }
+
+    #[test]
+    fn suspend_unknown_pid_returns_false() {
+        let mut t = ProcessTable::new();
+        assert!(!t.suspend(ProcessId(99), record("x")));
+        assert!(!t.resume(ProcessId(99)));
+        assert!(!t.suspend(ProcessId(0), record("x")));
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(ProcessId(5).to_string(), "pid:5");
+    }
+
+    #[test]
+    fn root_of_follows_ancestry() {
+        let mut t = ProcessTable::new();
+        let a = t.spawn("root.exe");
+        let b = t.spawn_child(a, "mid.exe");
+        let c = t.spawn_child(b, "leaf.exe");
+        assert_eq!(t.root_of(c), a);
+        assert_eq!(t.root_of(b), a);
+        assert_eq!(t.root_of(a), a);
+        assert_eq!(t.root_of(ProcessId(99)), ProcessId(99), "unknown pids pass through");
+    }
+}

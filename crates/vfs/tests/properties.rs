@@ -1,0 +1,150 @@
+//! Property-based tests for VFS invariants.
+
+use cryptodrop_vfs::{OpenOptions, Vfs, VPath};
+use proptest::prelude::*;
+
+/// A strategy for path-safe file/directory names.
+fn name_strategy() -> impl Strategy<Value = String> {
+    "[a-zA-Z0-9_][a-zA-Z0-9_.-]{0,12}"
+        .prop_filter("no dot-only names", |s| s != "." && s != "..")
+}
+
+/// A strategy for short relative paths of 1..=4 components.
+fn rel_path_strategy() -> impl Strategy<Value = String> {
+    proptest::collection::vec(name_strategy(), 1..4).prop_map(|v| v.join("/"))
+}
+
+proptest! {
+    /// Path normalization is idempotent.
+    #[test]
+    fn path_normalization_idempotent(raw in "[a-zA-Z0-9_./\\\\-]{0,40}") {
+        let once = VPath::new(&raw);
+        let twice = VPath::new(once.as_str());
+        prop_assert_eq!(once, twice);
+    }
+
+    /// parent().join(file_name()) reconstructs any non-root path.
+    #[test]
+    fn path_parent_join_round_trip(rel in rel_path_strategy()) {
+        let p = VPath::new(&rel);
+        if !p.is_root() {
+            let parent = p.parent().unwrap();
+            let name = p.file_name().unwrap().to_string();
+            prop_assert_eq!(parent.join(name), p);
+        }
+    }
+
+    /// Whatever is written is read back identically, through the full
+    /// open/write/close + open/read/close operation sequence.
+    #[test]
+    fn write_read_round_trip(
+        rel in rel_path_strategy(),
+        data in proptest::collection::vec(any::<u8>(), 0..2048),
+    ) {
+        let mut fs = Vfs::new();
+        let pid = fs.spawn_process("prop.exe");
+        let path = VPath::new(format!("/docs/{rel}"));
+        if let Some(parent) = path.parent() {
+            fs.create_dir_all(pid, &parent).unwrap();
+        }
+        fs.write_file(pid, &path, &data).unwrap();
+        prop_assert_eq!(fs.read_file(pid, &path).unwrap(), data);
+    }
+
+    /// Chunked writes equal one-shot writes.
+    #[test]
+    fn chunked_write_equals_oneshot(
+        data in proptest::collection::vec(any::<u8>(), 1..4096),
+        chunk in 1usize..257,
+    ) {
+        let mut fs = Vfs::new();
+        let pid = fs.spawn_process("prop.exe");
+        let path = VPath::new("/f.bin");
+        let h = fs.open(pid, &path, OpenOptions::create()).unwrap();
+        for c in data.chunks(chunk) {
+            fs.write(pid, h, c).unwrap();
+        }
+        fs.close(pid, h).unwrap();
+        prop_assert_eq!(fs.admin_read_file(&path).unwrap(), data);
+    }
+
+    /// Renames preserve content and identity over arbitrary move chains —
+    /// the Class B laundering scenario.
+    #[test]
+    fn rename_chain_preserves_content_and_id(
+        names in proptest::collection::vec(name_strategy(), 1..8),
+        data in proptest::collection::vec(any::<u8>(), 0..256),
+    ) {
+        let mut fs = Vfs::new();
+        let pid = fs.spawn_process("prop.exe");
+        fs.create_dir_all(pid, &VPath::new("/docs")).unwrap();
+        fs.create_dir_all(pid, &VPath::new("/tmp")).unwrap();
+        let mut cur = VPath::new("/docs/original.dat");
+        fs.write_file(pid, &cur, &data).unwrap();
+        let id = fs.metadata(pid, &cur).unwrap().file;
+        for (i, name) in names.iter().enumerate() {
+            let dir = if i % 2 == 0 { "/tmp" } else { "/docs" };
+            let next = VPath::new(format!("{dir}/{name}-{i}"));
+            fs.rename(pid, &cur, &next, true).unwrap();
+            cur = next;
+        }
+        prop_assert_eq!(fs.metadata(pid, &cur).unwrap().file, id);
+        prop_assert_eq!(fs.admin_read_file(&cur).unwrap(), data);
+        prop_assert_eq!(fs.file_count(), 1);
+    }
+
+    /// The accounting invariants hold under a random operation mix:
+    /// file_count matches admin iteration, total_bytes matches summed
+    /// lengths.
+    #[test]
+    fn accounting_invariants(ops in proptest::collection::vec(
+        (0u8..4, name_strategy(), proptest::collection::vec(any::<u8>(), 0..64)),
+        0..64,
+    )) {
+        let mut fs = Vfs::new();
+        let pid = fs.spawn_process("prop.exe");
+        fs.create_dir_all(pid, &VPath::new("/d")).unwrap();
+        for (op, name, data) in &ops {
+            let path = VPath::new(format!("/d/{name}"));
+            match op {
+                0 | 1 => {
+                    let _ = fs.write_file(pid, &path, data);
+                }
+                2 => {
+                    let _ = fs.delete(pid, &path);
+                }
+                _ => {
+                    let to = VPath::new(format!("/d/renamed-{name}"));
+                    let _ = fs.rename(pid, &path, &to, true);
+                }
+            }
+        }
+        let files: Vec<_> = fs.admin_files().collect();
+        prop_assert_eq!(files.len(), fs.file_count());
+        let sum: u64 = files.iter().map(|(_, d)| d.len() as u64).sum();
+        prop_assert_eq!(sum, fs.total_bytes());
+        // Every file's metadata resolves and ids are unique.
+        let mut ids = std::collections::HashSet::new();
+        for (p, _) in files {
+            let m = fs.admin_metadata(p).unwrap();
+            prop_assert!(ids.insert(m.file.unwrap()));
+        }
+    }
+
+    /// Event timestamps are monotone non-decreasing regardless of op mix.
+    #[test]
+    fn event_timestamps_monotone(ops in proptest::collection::vec((any::<bool>(), name_strategy()), 0..32)) {
+        let mut fs = Vfs::new();
+        let pid = fs.spawn_process("prop.exe");
+        for (write, name) in &ops {
+            let path = VPath::new(format!("/{name}"));
+            if *write {
+                let _ = fs.write_file(pid, &path, b"x");
+            } else {
+                let _ = fs.read_file(pid, &path);
+            }
+        }
+        let times: Vec<u64> = fs.event_log().events().iter().map(|e| e.at_nanos).collect();
+        prop_assert!(times.windows(2).all(|w| w[0] <= w[1]));
+    }
+}

@@ -1,0 +1,20 @@
+//! Run the thirty benign applications of the paper's false-positive study
+//! and print their final reputation scores.
+//!
+//! Run with: `cargo run --release --example benign_workloads`
+
+use cryptodrop_benign::paper_apps;
+use cryptodrop_corpus::{Corpus, CorpusSpec};
+use cryptodrop_experiments::fig6;
+
+fn main() {
+    let corpus = Corpus::generate(&CorpusSpec::sized(800, 80));
+    let config = cryptodrop::Config::protecting(corpus.root().as_str());
+    println!(
+        "running {} applications against {} documents...\n",
+        paper_apps().len(),
+        corpus.file_count()
+    );
+    let fig = fig6::run(&corpus, &config, &paper_apps());
+    println!("{}", fig.render());
+}

@@ -1,0 +1,58 @@
+//! Watch a reputation score build in real time: encrypt documents one at a
+//! time and print the scoreboard after each file until CryptoDrop pulls
+//! the trigger.
+//!
+//! Run with: `cargo run --example live_monitor`
+
+use cryptodrop::{Config, CryptoDrop};
+use cryptodrop_corpus::{Corpus, CorpusSpec};
+use cryptodrop_malware::cipher::{ChaCha20, Cipher};
+use cryptodrop_vfs::{OpenOptions, Vfs};
+
+fn main() {
+    let corpus = Corpus::generate(&CorpusSpec::sized(400, 40));
+    let mut fs = Vfs::new();
+    corpus.stage_into(&mut fs).expect("fresh filesystem");
+    let (engine, monitor) = CryptoDrop::new(Config::protecting(corpus.root().as_str()));
+    fs.register_filter(Box::new(engine));
+
+    let pid = fs.spawn_process("slowransom.exe");
+    let cipher = ChaCha20::from_seed(2024);
+
+    println!("file                                        score  thresh  primaries");
+    println!("--------------------------------------------------------------------");
+    for f in corpus.files() {
+        if f.read_only {
+            continue;
+        }
+        // One Class A encryption: open, read, overwrite, close.
+        let Ok(h) = fs.open(pid, &f.path, OpenOptions::modify()) else {
+            break; // suspended
+        };
+        let plain = fs.read_to_end(pid, h).unwrap_or_default();
+        let ct = cipher.encrypt(&plain);
+        let stopped = fs.seek(pid, h, 0).is_err() || fs.write(pid, h, &ct).is_err();
+        let _ = fs.close(pid, h);
+
+        if let Some(s) = monitor.summary(pid) {
+            let name = f.path.file_name().unwrap_or("?");
+            let primaries: Vec<&str> = s.primaries_seen.iter().map(|i| i.name()).collect();
+            println!(
+                "{:<42} {:>6}  {:>6}  {}",
+                &name[..name.len().min(42)],
+                s.score,
+                s.threshold,
+                primaries.join("+")
+            );
+        }
+        if stopped || fs.is_suspended(pid) {
+            break;
+        }
+    }
+
+    let report = monitor.detection_for(pid).expect("detection fired");
+    println!(
+        "\nSUSPENDED after {} files lost (score {} ≥ threshold {}, union: {})",
+        report.files_lost, report.score, report.threshold, report.union_triggered
+    );
+}

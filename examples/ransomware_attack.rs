@@ -1,0 +1,72 @@
+//! Run any of the 14 ransomware families against a corpus and inspect the
+//! indicator audit trail.
+//!
+//! Run with: `cargo run --example ransomware_attack -- CTB-Locker`
+//! (default family: GPcode)
+
+use cryptodrop::{Config, CryptoDrop};
+use cryptodrop_corpus::{Corpus, CorpusSpec};
+use cryptodrop_malware::{paper_sample_set, Family};
+use cryptodrop_vfs::Vfs;
+
+/// The pid the engine keyed this process's state under (the family root
+/// when aggregation is on — here the process has no parent, so itself).
+fn report_pid(_monitor: &cryptodrop::Monitor, pid: cryptodrop_vfs::ProcessId) -> cryptodrop_vfs::ProcessId {
+    pid
+}
+
+fn main() {
+    let wanted = std::env::args().nth(1).unwrap_or_else(|| "GPcode".into());
+    let Some(family) = Family::ALL.iter().copied().find(|f| f.name() == wanted) else {
+        eprintln!("unknown family {wanted:?}; choose one of:");
+        for f in Family::ALL {
+            eprintln!("  {}", f.name());
+        }
+        std::process::exit(1);
+    };
+
+    let corpus = Corpus::generate(&CorpusSpec::sized(1200, 120));
+    let mut fs = Vfs::new();
+    corpus.stage_into(&mut fs).expect("fresh filesystem");
+    let (engine, monitor) = CryptoDrop::new(Config::protecting(corpus.root().as_str()));
+    fs.register_filter(Box::new(engine));
+
+    let sample = paper_sample_set()
+        .into_iter()
+        .find(|s| s.family == family)
+        .expect("every family has samples");
+    println!(
+        "{} — paper median files lost: {}",
+        sample.describe(),
+        family.paper_median_files_lost()
+    );
+
+    let pid = fs.spawn_process(sample.process_name());
+    let outcome = sample.run(&mut fs, pid, corpus.root());
+
+    let summary = monitor.summary(pid).expect("the sample touched documents");
+    println!("\nfinal score: {} / threshold {}", summary.score, summary.threshold);
+    println!("union indication: {}", summary.union_triggered);
+    println!("files lost: {}", summary.files_lost);
+    println!("read-only files the sample could not destroy: {}", outcome.read_only_skipped);
+    println!("\nindicator audit:");
+    for (indicator, count) in &summary.hit_counts {
+        println!(
+            "  {:<14} {:>4} hits, {:>4} points",
+            indicator.name(),
+            count,
+            summary.hit_points[indicator]
+        );
+    }
+    println!("\nlast indicator hits:");
+    let hits = monitor.hits(report_pid(&monitor, pid));
+    for h in hits.iter().rev().take(8).rev() {
+        println!("  +{:>3} {:<14} {}", h.points, h.indicator.name(), h.detail);
+    }
+    if fs.is_suspended(pid) {
+        let record = fs.processes().get(pid).unwrap().suspension().unwrap().clone();
+        println!("\nsuspended by {:?}: {}", record.by, record.reason);
+    } else {
+        println!("\nNOT SUSPENDED — the sample ran to completion");
+    }
+}

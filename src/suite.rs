@@ -1,0 +1,51 @@
+//! The `cryptodrop-suite` umbrella: re-exports the workspace crates so the
+//! repository-level examples and integration tests have a single import
+//! surface, plus a couple of one-call conveniences for users who just want
+//! to see the system run.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use cryptodrop;
+pub use cryptodrop_benign as benign;
+pub use cryptodrop_corpus as corpus;
+pub use cryptodrop_entropy as entropy;
+pub use cryptodrop_experiments as experiments;
+pub use cryptodrop_malware as malware;
+pub use cryptodrop_simhash as simhash;
+pub use cryptodrop_sniff as sniff;
+pub use cryptodrop_vfs as vfs;
+
+use cryptodrop::{Config, CryptoDrop, DetectionReport};
+use cryptodrop_corpus::{Corpus, CorpusSpec};
+use cryptodrop_malware::RansomwareSample;
+use cryptodrop_vfs::Vfs;
+
+/// Stages a corpus of `files` documents, arms CryptoDrop, runs `sample`,
+/// and returns the detection report (or `None` if the sample finished
+/// undetected — which the test suite asserts never happens).
+///
+/// This is the one-call version of the quickstart example.
+pub fn demo_detection(files: usize, sample: &RansomwareSample) -> Option<DetectionReport> {
+    let corpus = Corpus::generate(&CorpusSpec::sized(files, (files / 10).max(2)));
+    let mut fs = Vfs::new();
+    corpus.stage_into(&mut fs).expect("fresh filesystem");
+    let (engine, monitor) = CryptoDrop::new(Config::protecting(corpus.root().as_str()));
+    fs.register_filter(Box::new(engine));
+    let pid = fs.spawn_process(sample.process_name());
+    sample.run(&mut fs, pid, corpus.root());
+    monitor.detection_for(pid)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cryptodrop_malware::paper_sample_set;
+
+    #[test]
+    fn demo_detects_a_sample() {
+        let sample = &paper_sample_set()[0];
+        let report = demo_detection(200, sample).expect("detected");
+        assert!(report.files_lost < 50);
+    }
+}

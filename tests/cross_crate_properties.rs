@@ -1,0 +1,71 @@
+//! Cross-crate property tests: detection invariants under randomized
+//! corpora and sample choices. Case counts are small because each case
+//! stages a corpus and runs a full attack.
+
+use cryptodrop::{Config, CryptoDrop};
+use cryptodrop_corpus::{Corpus, CorpusSpec};
+use cryptodrop_malware::paper_sample_set;
+use cryptodrop_vfs::Vfs;
+use proptest::prelude::*;
+
+fn corpus_with_seed(seed: u64) -> Corpus {
+    let mut spec = CorpusSpec::sized(250, 30);
+    spec.seed = seed;
+    Corpus::generate(&spec)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 8,
+        ..ProptestConfig::default()
+    })]
+
+    /// Any sample from the paper set is detected on any corpus seed, and
+    /// the loss stays bounded.
+    #[test]
+    fn any_sample_any_corpus_is_detected(seed in 0u64..1000, pick in 0usize..492) {
+        let corpus = corpus_with_seed(seed);
+        let config = Config::protecting(corpus.root().as_str());
+        let sample = &paper_sample_set()[pick];
+
+        let mut fs = Vfs::new();
+        corpus.stage_into(&mut fs).unwrap();
+        let (engine, monitor) = CryptoDrop::new(config);
+        fs.register_filter(Box::new(engine));
+        let pid = fs.spawn_process(sample.process_name());
+        let outcome = sample.run(&mut fs, pid, corpus.root());
+
+        // Samples that target extensions absent from a small corpus may
+        // legitimately finish without touching anything.
+        if outcome.files_attacked > 0 || outcome.suspended {
+            prop_assert!(fs.is_suspended(pid), "{} evaded detection", sample.describe());
+            let report = monitor.detection_for(pid).expect("report exists");
+            prop_assert!(
+                report.files_lost <= 60,
+                "{} lost {} files",
+                sample.describe(),
+                report.files_lost
+            );
+        }
+    }
+
+    /// A benign process copying documents is never flagged, on any seed.
+    #[test]
+    fn benign_copy_never_flagged(seed in 0u64..1000) {
+        let corpus = corpus_with_seed(seed);
+        let config = Config::protecting(corpus.root().as_str());
+        let mut fs = Vfs::new();
+        corpus.stage_into(&mut fs).unwrap();
+        let (engine, monitor) = CryptoDrop::new(config);
+        fs.register_filter(Box::new(engine));
+        let pid = fs.spawn_process("backup.exe");
+        let backup_dir = corpus.root().join("backup");
+        fs.create_dir_all(pid, &backup_dir).unwrap();
+        for (i, f) in corpus.files().iter().take(60).enumerate() {
+            let data = fs.read_file(pid, &f.path).unwrap();
+            fs.write_file(pid, &backup_dir.join(format!("copy-{i}")), &data).unwrap();
+        }
+        prop_assert!(!fs.is_suspended(pid));
+        prop_assert!(monitor.score(pid) < 200, "score {}", monitor.score(pid));
+    }
+}

@@ -1,0 +1,137 @@
+//! Reduced-scale assertions of the paper's quantitative claims — the same
+//! aggregations the full experiment binaries run at paper scale, checked
+//! here at CI scale with correspondingly looser bounds.
+
+use cryptodrop_experiments::ablation::small_file_ablation;
+use cryptodrop_experiments::fig3::Fig3;
+use cryptodrop_experiments::fig5::Fig5;
+use cryptodrop_experiments::runner::run_samples_parallel;
+use cryptodrop_experiments::table1::Table1;
+use cryptodrop_experiments::Scale;
+use cryptodrop_malware::BehaviorClass;
+
+/// One shared quick-scale sweep reused across the assertions (runs are
+/// deterministic, so computing it once is sound).
+fn quick_table() -> (Table1, Vec<cryptodrop_experiments::runner::SampleResult>) {
+    let scale = Scale::quick();
+    let corpus = scale.corpus();
+    let config = scale.config();
+    let samples = scale.samples();
+    let results = run_samples_parallel(&corpus, &config, &samples, scale.threads);
+    (Table1::from_results(&results), results)
+}
+
+#[test]
+fn headline_claims_hold_at_reduced_scale() {
+    let (table, results) = quick_table();
+
+    // 100% true positive rate (the paper's headline).
+    assert_eq!(
+        table.detected_samples, table.total_samples,
+        "every sample must be detected"
+    );
+
+    // Median files lost in the paper's band (10 of 5,099; allow 3-15 at
+    // reduced scale).
+    assert!(
+        (3.0..=15.0).contains(&table.overall_median_files_lost),
+        "median files lost {} out of band",
+        table.overall_median_files_lost
+    );
+
+    // All samples within a bounded loss (paper: 33).
+    assert!(
+        table.max_files_lost <= 60,
+        "max files lost {}",
+        table.max_files_lost
+    );
+
+    // The union majority (paper: 93%; the quick scale over-weights the
+    // rare union-less families, so the bound is loose).
+    let union_rate = table.union_samples as f64 / table.total_samples as f64;
+    assert!(union_rate > 0.5, "union rate {union_rate:.2}");
+
+    // Class ordering: Xorist fast, CTB-Locker slow (Fig. 4 narrative).
+    let median_of = |family: &str| {
+        table
+            .rows
+            .iter()
+            .find(|r| r.family == family)
+            .map(|r| r.median_files_lost)
+            .unwrap_or(f64::NAN)
+    };
+    assert!(
+        median_of("Xorist") < median_of("CTB-Locker"),
+        "Xorist {} vs CTB-Locker {}",
+        median_of("Xorist"),
+        median_of("CTB-Locker")
+    );
+    assert!(
+        median_of("Xorist") < median_of("GPcode"),
+        "text-first families detect fastest"
+    );
+
+    // Fig. 3: the CDF reaches 100% and is monotone.
+    let fig3 = Fig3::from_results(&results);
+    assert!((fig3.points.last().unwrap().cumulative_percent - 100.0).abs() < 1e-9);
+    let pcts: Vec<f64> = fig3.points.iter().map(|p| p.cumulative_percent).collect();
+    assert!(pcts.windows(2).all(|w| w[0] < w[1]));
+}
+
+#[test]
+fn class_c_union_split_shape() {
+    let (table, _) = quick_table();
+    // The move-over-original samples union; the delete variants evade it
+    // (paper §V-B2: 41 vs 22). At quick scale both groups are present.
+    assert!(table.class_c_union > 0, "some Class C samples union");
+    assert!(table.class_c_nonunion > 0, "some Class C samples evade union");
+}
+
+#[test]
+fn productivity_formats_lead_fig5() {
+    let (_, results) = quick_table();
+    let fig5 = Fig5::from_results(&results);
+    let top6 = fig5.top(6);
+    let productivity = ["pdf", "odt", "docx", "pptx", "doc", "xlsx", "rtf"];
+    let hits = top6.iter().filter(|e| productivity.contains(e)).count();
+    assert!(
+        hits >= 3,
+        "productivity formats should lead Fig. 5, got {top6:?}"
+    );
+}
+
+#[test]
+fn small_file_ablation_reproduces_v_c() {
+    // §V-C: removing sub-512B files cut CTB-Locker's loss from 29 to 7.
+    let scale = Scale::quick();
+    // Use a corpus with a fattened small-file tail so the effect is
+    // visible at 600 files.
+    let mut spec = scale.corpus_spec.clone();
+    for t in &mut spec.mix {
+        if t.extension == "txt" || t.extension == "md" {
+            t.median_size = 700;
+            t.sigma = 1.0;
+        }
+    }
+    let corpus = cryptodrop_corpus::Corpus::generate(&spec);
+    let config = scale.config();
+    let ab = small_file_ablation(&corpus, &config);
+    assert!(ab.small_files_removed > 0);
+    assert!(
+        ab.filtered_files_lost < ab.full_corpus_files_lost,
+        "removing the tail must speed detection: {} -> {}",
+        ab.full_corpus_files_lost,
+        ab.filtered_files_lost
+    );
+}
+
+#[test]
+fn class_composition_is_faithful_at_full_scale() {
+    // The sample *set* composition is exact even when runs are reduced.
+    let full = Scale::paper().samples();
+    assert_eq!(full.len(), 492);
+    let count = |c: BehaviorClass| full.iter().filter(|s| s.class == c).count();
+    assert_eq!(count(BehaviorClass::A), 282);
+    assert_eq!(count(BehaviorClass::B), 147);
+    assert_eq!(count(BehaviorClass::C), 63);
+}

@@ -1,0 +1,126 @@
+//! Robustness property tests: the armed filesystem must never panic, and
+//! the engine's accounting must stay coherent, under arbitrary operation
+//! storms from multiple processes.
+
+use cryptodrop::{Config, CryptoDrop};
+use cryptodrop_vfs::{OpenOptions, ProcessId, Vfs, VPath};
+use proptest::prelude::*;
+
+/// A randomized operation a fuzzing process may issue.
+#[derive(Debug, Clone)]
+enum FuzzOp {
+    Write { file: u8, payload: Vec<u8> },
+    Read { file: u8 },
+    Delete { file: u8 },
+    Rename { from: u8, to: u8 },
+    MoveOut { file: u8 },
+    List,
+    SetReadOnly { file: u8, value: bool },
+    OpenWriteAbandon { file: u8 },
+    Spawn,
+}
+
+fn fuzz_op_strategy() -> impl Strategy<Value = FuzzOp> {
+    prop_oneof![
+        (any::<u8>(), proptest::collection::vec(any::<u8>(), 0..600))
+            .prop_map(|(file, payload)| FuzzOp::Write { file, payload }),
+        any::<u8>().prop_map(|file| FuzzOp::Read { file }),
+        any::<u8>().prop_map(|file| FuzzOp::Delete { file }),
+        (any::<u8>(), any::<u8>()).prop_map(|(from, to)| FuzzOp::Rename { from, to }),
+        any::<u8>().prop_map(|file| FuzzOp::MoveOut { file }),
+        Just(FuzzOp::List),
+        (any::<u8>(), any::<bool>()).prop_map(|(file, value)| FuzzOp::SetReadOnly { file, value }),
+        any::<u8>().prop_map(|file| FuzzOp::OpenWriteAbandon { file }),
+        Just(FuzzOp::Spawn),
+    ]
+}
+
+fn path_for(docs: &VPath, file: u8) -> VPath {
+    docs.join(format!("d{}/f{}.dat", file % 4, file % 32))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 24,
+        ..ProptestConfig::default()
+    })]
+
+    /// No operation storm panics the armed filesystem, and the invariants
+    /// hold afterwards: suspension is sticky, accounting is consistent,
+    /// and unsuspended processes can still operate.
+    #[test]
+    fn op_storm_never_panics(ops in proptest::collection::vec(fuzz_op_strategy(), 0..120)) {
+        let mut fs = Vfs::new();
+        let docs = VPath::new("/docs");
+        for i in 0..12u8 {
+            fs.admin_write_file(
+                &path_for(&docs, i),
+                format!("seed file {i} with some plain text content").as_bytes(),
+            ).unwrap();
+        }
+        fs.admin_create_dir_all(&VPath::new("/outside")).unwrap();
+        let (engine, monitor) = CryptoDrop::new(Config::protecting("/docs"));
+        fs.register_filter(Box::new(engine));
+
+        let mut pids: Vec<ProcessId> = vec![fs.spawn_process("fuzz0.exe")];
+        let mut turn = 0usize;
+        for op in &ops {
+            turn += 1;
+            let pid = pids[turn % pids.len()];
+            match op {
+                FuzzOp::Write { file, payload } => {
+                    let _ = fs.write_file(pid, &path_for(&docs, *file), payload);
+                }
+                FuzzOp::Read { file } => {
+                    let _ = fs.read_file(pid, &path_for(&docs, *file));
+                }
+                FuzzOp::Delete { file } => {
+                    let _ = fs.delete(pid, &path_for(&docs, *file));
+                }
+                FuzzOp::Rename { from, to } => {
+                    let _ = fs.rename(pid, &path_for(&docs, *from), &path_for(&docs, *to), true);
+                }
+                FuzzOp::MoveOut { file } => {
+                    let out = VPath::new(format!("/outside/o{file}.dat"));
+                    let _ = fs.rename(pid, &path_for(&docs, *file), &out, true);
+                }
+                FuzzOp::List => {
+                    let _ = fs.list_dir(pid, &docs);
+                }
+                FuzzOp::SetReadOnly { file, value } => {
+                    let _ = fs.set_read_only(pid, &path_for(&docs, *file), *value);
+                }
+                FuzzOp::OpenWriteAbandon { file } => {
+                    // Open for write and close without writing.
+                    if let Ok(h) = fs.open(pid, &path_for(&docs, *file), OpenOptions::modify()) {
+                        let _ = fs.close(pid, h);
+                    }
+                }
+                FuzzOp::Spawn => {
+                    if pids.len() < 4 {
+                        let parent = pids[0];
+                        pids.push(fs.spawn_child_process(parent, format!("fuzz{}.exe", pids.len())));
+                    }
+                }
+            }
+        }
+
+        // Invariants after the storm:
+        // 1. Accounting coherence.
+        let files: Vec<_> = fs.admin_files().collect();
+        prop_assert_eq!(files.len(), fs.file_count());
+        let sum: u64 = files.iter().map(|(_, d)| d.len() as u64).sum();
+        prop_assert_eq!(sum, fs.total_bytes());
+        // 2. Every detection the monitor reports corresponds to a
+        //    suspended process (or family member), and scores are at or
+        //    past their thresholds.
+        for report in monitor.detections() {
+            prop_assert!(report.score >= report.threshold);
+        }
+        // 3. A fresh, unrelated process can always operate.
+        let fresh = fs.spawn_process("fresh.exe");
+        fs.create_dir_all(fresh, &VPath::new("/fresh")).unwrap();
+        fs.write_file(fresh, &VPath::new("/fresh/ok.txt"), b"fine").unwrap();
+        prop_assert!(!fs.is_suspended(fresh));
+    }
+}
