@@ -120,6 +120,16 @@ pub struct Config {
     /// Maximum bytes of a file to similarity-digest per snapshot; larger
     /// files are digested by prefix. Bounds per-operation analysis cost.
     pub max_digest_bytes: usize,
+    /// Maximum number of path-keyed snapshots the engine retains. The
+    /// path index must survive deletes (the Class C link compares a
+    /// replacement against the deleted original's snapshot), so it only
+    /// shrinks by eviction; this cap bounds its memory. Eviction is
+    /// least-recently-used. The default is far above every paper
+    /// experiment's working set (thousands of paths), so results are
+    /// unaffected unless deliberately lowered; an evicted path merely
+    /// degrades to the no-pre-image abstain the paper already models for
+    /// never-seen files. `0` means unbounded.
+    pub snapshot_cache_capacity: usize,
 }
 
 impl Config {
@@ -133,6 +143,7 @@ impl Config {
             aggregate_process_families: true,
             dynamic_scoring: false,
             max_digest_bytes: 256 * 1024,
+            snapshot_cache_capacity: 1 << 16,
         }
     }
 

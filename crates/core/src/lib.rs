@@ -83,6 +83,6 @@ pub use baseline::{
     BaselineAlert, EntropyOnlyDetector, EntropyOnlyHandle, IntegrityHandle, IntegrityMonitor,
 };
 pub use config::{Config, ScoreConfig};
-pub use engine::{CryptoDrop, DetectionReport, Monitor};
+pub use engine::{CacheStats, CryptoDrop, DetectionReport, Monitor};
 pub use indicators::{Indicator, IndicatorHit};
 pub use state::{FileSnapshot, ProcessState, ProcessSummary};

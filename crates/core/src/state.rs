@@ -8,8 +8,8 @@
 
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
-use cryptodrop_entropy::shannon_entropy;
-use cryptodrop_simhash::SdDigest;
+use cryptodrop_entropy::ByteHistogram;
+use cryptodrop_simhash::{content_fingerprint, SdDigest};
 use cryptodrop_sniff::{sniff, FileType};
 use cryptodrop_vfs::{FileId, ProcessId};
 use serde::{Deserialize, Serialize};
@@ -33,6 +33,12 @@ pub struct FileSnapshot {
     pub entropy: f64,
     /// Content length in bytes.
     pub len: u64,
+    /// 64-bit fingerprint of the **full** content
+    /// ([`content_fingerprint`]): the snapshot cache's identity key.
+    /// Equal fingerprints mean the content is unchanged (modulo a 2⁻⁶⁴
+    /// collision) and the snapshot can be reused without recomputing the
+    /// digest, sniff, or entropy.
+    pub fingerprint: u64,
 }
 
 impl FileSnapshot {
@@ -40,12 +46,50 @@ impl FileSnapshot {
     /// `max_digest_bytes` (a prefix digest bounds per-operation cost on
     /// huge files while remaining comparable against other prefix digests).
     pub fn capture(data: &[u8], max_digest_bytes: usize) -> Self {
+        Self::capture_reusing(data, max_digest_bytes, None, None)
+    }
+
+    /// Captures a snapshot, reusing analysis products the caller already
+    /// computed over the same content.
+    ///
+    /// * `file_type` — the sniffed type of the *full* content, if already
+    ///   sniffed (the engine's close path sniffs once and shares the
+    ///   result between the funneling indicator, the type-change
+    ///   indicator, and this refresh).
+    /// * `digest` — the sdhash digest of the content's
+    ///   `max_digest_bytes` prefix, if already computed: `Some(None)`
+    ///   records "computed, content undigestible" and also skips the
+    ///   recompute. The similarity indicator digests exactly this window,
+    ///   so its post-image digest is directly reusable here.
+    ///
+    /// Produces a value identical to [`FileSnapshot::capture`] as long as
+    /// the reused pieces were computed over the same bytes.
+    pub fn capture_reusing(
+        data: &[u8],
+        max_digest_bytes: usize,
+        file_type: Option<FileType>,
+        digest: Option<Option<SdDigest>>,
+    ) -> Self {
         let window = &data[..data.len().min(max_digest_bytes)];
+        // Entropy and fingerprint fuse into one pass when the digest
+        // window spans the whole content (the overwhelmingly common
+        // case); oversized files pay one extra pass for the full-content
+        // fingerprint.
+        let (entropy, fingerprint) = if window.len() == data.len() {
+            let (hist, fp) = ByteHistogram::from_bytes_with_fingerprint(window);
+            (hist.entropy(), fp)
+        } else {
+            (
+                ByteHistogram::from_bytes(window).entropy(),
+                content_fingerprint(data),
+            )
+        };
         Self {
-            file_type: sniff(data),
-            digest: SdDigest::compute(window),
-            entropy: shannon_entropy(window),
+            file_type: file_type.unwrap_or_else(|| sniff(data)),
+            digest: digest.unwrap_or_else(|| SdDigest::compute(window)),
+            entropy,
             len: data.len() as u64,
+            fingerprint,
         }
     }
 }
@@ -419,6 +463,47 @@ mod tests {
 
         let tiny = FileSnapshot::capture(b"small", 1 << 20);
         assert!(tiny.digest.is_none(), "sub-512B files have no digest");
+    }
+
+    #[test]
+    fn snapshot_fingerprint_tracks_content() {
+        let a = FileSnapshot::capture(b"content version one, long enough", 1 << 20);
+        let b = FileSnapshot::capture(b"content version two, long enough", 1 << 20);
+        let a2 = FileSnapshot::capture(b"content version one, long enough", 1 << 20);
+        assert_ne!(a.fingerprint, b.fingerprint);
+        assert_eq!(a, a2, "capture is deterministic, fingerprint included");
+        // The fingerprint covers the full content even when the digest
+        // window is capped: a change beyond the window must invalidate.
+        let long: Vec<u8> = (0..4096u32).flat_map(|i| format!("{i:03} ").into_bytes()).collect();
+        let mut tail_changed = long.clone();
+        let n = tail_changed.len();
+        tail_changed[n - 1] ^= 0x55;
+        let capped = FileSnapshot::capture(&long, 1024);
+        let capped_changed = FileSnapshot::capture(&tail_changed, 1024);
+        assert_ne!(capped.fingerprint, capped_changed.fingerprint);
+        assert_eq!(capped.fingerprint, content_fingerprint(&long));
+    }
+
+    #[test]
+    fn capture_reusing_matches_plain_capture() {
+        let text: Vec<u8> = (0..300u32)
+            .flat_map(|i| format!("reused-analysis line {i}\n").into_bytes())
+            .collect();
+        let plain = FileSnapshot::capture(&text, 1 << 20);
+        let window = &text[..];
+        let reused = FileSnapshot::capture_reusing(
+            &text,
+            1 << 20,
+            Some(sniff(&text)),
+            Some(SdDigest::compute(window)),
+        );
+        assert_eq!(plain, reused);
+        // Reusing a "computed, undigestible" result is also faithful.
+        let tiny = b"sub-512B";
+        assert_eq!(
+            FileSnapshot::capture(tiny, 1 << 20),
+            FileSnapshot::capture_reusing(tiny, 1 << 20, None, Some(None)),
+        );
     }
 
     #[test]

@@ -1,0 +1,201 @@
+//! Multi-process stress test for the sharded engine.
+//!
+//! Eight process families interleave operations from eight OS threads,
+//! each driving its own [`Vfs`] namespace against forks of one shared
+//! engine. The sharded scoreboard must produce exactly the detections,
+//! scores, and summaries that a serial replay of the same workloads
+//! produces — concurrency is an implementation detail, never visible in
+//! the results.
+
+use cryptodrop::{Config, CryptoDrop, DetectionReport, Monitor};
+use cryptodrop_vfs::{OpenOptions, ProcessId, VPath, Vfs};
+
+const FAMILIES: usize = 8;
+const FILES_PER_FAMILY: usize = 30;
+
+fn docs_dir(i: usize) -> VPath {
+    VPath::new(format!("/Users/victim/Documents{i}"))
+}
+
+/// One config protecting every family's directory.
+fn config() -> Config {
+    let mut cfg = Config::protecting(docs_dir(0));
+    for i in 1..FAMILIES {
+        cfg.protected_dirs.push(docs_dir(i));
+    }
+    cfg
+}
+
+fn text_content(tag: u64, n: usize) -> Vec<u8> {
+    (0..)
+        .flat_map(|i| format!("family {tag} paragraph {i} with ordinary words\n").into_bytes())
+        .take(n)
+        .collect()
+}
+
+fn encrypt(data: &[u8], seed: u64) -> Vec<u8> {
+    let mut s = seed | 1;
+    data.iter()
+        .map(|b| {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            b ^ (s >> 32) as u8
+        })
+        .collect()
+}
+
+/// Runs family `i`'s whole workload on its own namespaced Vfs against a
+/// fork of the shared engine. Even families run a Class A in-place
+/// encryption loop; odd families run a benign copy loop. Returns the
+/// family's pid and whether it ended up suspended.
+fn run_family(i: usize, engine: CryptoDrop) -> (ProcessId, bool) {
+    let mut fs = Vfs::with_namespace(i as u32 + 1);
+    let docs = docs_dir(i);
+    for f in 0..FILES_PER_FAMILY {
+        fs.admin_write_file(
+            &docs.join(format!("file{f}.txt")),
+            &text_content(i as u64, 4096),
+        )
+        .unwrap();
+    }
+    fs.register_filter(Box::new(engine));
+    let pid = fs.spawn_process(format!("proc{i}.exe"));
+    if i % 2 == 0 {
+        // Class A: read, encrypt in place, close — until suspended.
+        for f in 0..FILES_PER_FAMILY {
+            let path = docs.join(format!("file{f}.txt"));
+            let Ok(h) = fs.open(pid, &path, OpenOptions::modify()) else {
+                break;
+            };
+            let Ok(data) = fs.read_to_end(pid, h) else {
+                break;
+            };
+            let ct = encrypt(&data, (i * FILES_PER_FAMILY + f) as u64 + 1);
+            if fs.seek(pid, h, 0).is_err()
+                || fs.write(pid, h, &ct).is_err()
+                || fs.close(pid, h).is_err()
+            {
+                let _ = fs.close(pid, h);
+                break;
+            }
+        }
+    } else {
+        // Benign: copy every document unchanged into a backup folder,
+        // then re-save each original in place (an editor's no-op save —
+        // this is the snapshot cache's hit path).
+        fs.create_dir_all(pid, &docs.join("backup")).unwrap();
+        for f in 0..FILES_PER_FAMILY {
+            let src = docs.join(format!("file{f}.txt"));
+            let data = fs.read_file(pid, &src).unwrap();
+            fs.write_file(pid, &docs.join(format!("backup/copy{f}.txt")), &data)
+                .unwrap();
+            let h = fs.open(pid, &src, OpenOptions::modify()).unwrap();
+            fs.write(pid, h, &data).unwrap();
+            fs.close(pid, h).unwrap();
+        }
+    }
+    (pid, fs.is_suspended(pid))
+}
+
+/// Runs all families — concurrently or serially — over one fresh engine
+/// and returns the monitor plus per-family (pid, suspended) outcomes.
+fn run_all(concurrent: bool) -> (Monitor, Vec<(ProcessId, bool)>) {
+    let (engine, monitor) = CryptoDrop::new(config());
+    let outcomes = if concurrent {
+        let engine = &engine;
+        crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = (0..FAMILIES)
+                .map(|i| scope.spawn(move |_| run_family(i, engine.fork())))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("family worker must not panic"))
+                .collect::<Vec<_>>()
+        })
+        .expect("scope must not panic")
+    } else {
+        (0..FAMILIES).map(|i| run_family(i, engine.fork())).collect()
+    };
+    (monitor, outcomes)
+}
+
+/// Detections sorted by pid with timestamps zeroed: the Vfs charges the
+/// *measured* (wall-clock) filter overhead onto its simulated clock, so
+/// `at_nanos` legitimately varies run to run; everything else must not.
+fn sorted_detections(m: &Monitor) -> Vec<DetectionReport> {
+    let mut d = m.detections();
+    d.sort_by_key(|r| r.pid);
+    for r in &mut d {
+        r.at_nanos = 0;
+    }
+    d
+}
+
+#[test]
+fn sharded_engine_matches_serial_replay() {
+    let (par_monitor, par_outcomes) = run_all(true);
+    let (ser_monitor, ser_outcomes) = run_all(false);
+
+    // Same suspension outcomes: every even (ransomware) family caught,
+    // every odd (benign) family untouched.
+    assert_eq!(par_outcomes, ser_outcomes);
+    for (i, (_, suspended)) in par_outcomes.iter().enumerate() {
+        assert_eq!(
+            *suspended,
+            i % 2 == 0,
+            "family {i} suspension mismatch (ransomware iff even)"
+        );
+    }
+
+    // Identical detection reports (sorted by pid: cross-family completion
+    // order is the only thing concurrency may reorder).
+    let par = sorted_detections(&par_monitor);
+    let ser = sorted_detections(&ser_monitor);
+    assert_eq!(par, ser, "detection reports must be interleaving-invariant");
+    assert_eq!(par.len(), FAMILIES / 2);
+
+    // Identical scoreboard state and indicator audit trails (timestamps
+    // excluded for the same reason as above).
+    let neutralize = |mut summaries: Vec<cryptodrop::ProcessSummary>| {
+        for s in &mut summaries {
+            s.union_at_nanos = s.union_at_nanos.map(|_| 0);
+        }
+        summaries
+    };
+    assert_eq!(
+        neutralize(par_monitor.summaries()),
+        neutralize(ser_monitor.summaries())
+    );
+    for (pid, _) in &par_outcomes {
+        assert_eq!(par_monitor.score(*pid), ser_monitor.score(*pid));
+        assert_eq!(par_monitor.files_lost(*pid), ser_monitor.files_lost(*pid));
+        let strip = |hits: Vec<cryptodrop::IndicatorHit>| {
+            hits.into_iter()
+                .map(|h| (h.indicator, h.points, h.detail))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(
+            strip(par_monitor.hits(*pid)),
+            strip(ser_monitor.hits(*pid))
+        );
+    }
+
+    // Cache effectiveness is also interleaving-invariant: the same
+    // refreshes hit and miss regardless of thread schedule.
+    let p = par_monitor.cache_stats();
+    let s = ser_monitor.cache_stats();
+    assert_eq!((p.hits, p.misses), (s.hits, s.misses));
+    assert!(p.hits > 0, "benign identical copies must produce cache hits");
+}
+
+#[test]
+fn namespaced_vfs_instances_do_not_collide() {
+    // Distinct namespaces hand out disjoint pid and file-id ranges, so
+    // one engine's per-file bookkeeping cannot alias across filesystems.
+    let a = Vfs::with_namespace(1).spawn_process("a.exe");
+    let b = Vfs::with_namespace(2).spawn_process("b.exe");
+    assert_ne!(a, b);
+    assert_eq!(a, ProcessId((1 << 20) + 1));
+    assert_eq!(b, ProcessId((2 << 20) + 1));
+}

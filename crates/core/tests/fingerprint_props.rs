@@ -1,0 +1,112 @@
+//! Property tests for the snapshot-cache content fingerprint.
+//!
+//! The engine's zero-recompute path is only sound if the fingerprint
+//! never treats changed content as unchanged in practice. These
+//! properties pin the invariants the cache relies on: size alone never
+//! produces a collision between distinct contents, every crate computes
+//! the same fingerprint, and the engine recomputes whenever bytes
+//! actually changed.
+
+use cryptodrop::{Config, CryptoDrop, FileSnapshot};
+use cryptodrop_entropy::ByteHistogram;
+use cryptodrop_simhash::content_fingerprint;
+use cryptodrop_vfs::{OpenOptions, VPath, Vfs};
+use proptest::prelude::*;
+
+proptest! {
+    /// Distinct contents of the *same size* fingerprint differently —
+    /// size is folded in but never stands in for the bytes.
+    #[test]
+    fn same_size_distinct_contents_distinct_fingerprints(
+        a in proptest::collection::vec(any::<u8>(), 128usize..129),
+        b in proptest::collection::vec(any::<u8>(), 128usize..129),
+    ) {
+        prop_assume!(a != b);
+        prop_assert_ne!(content_fingerprint(&a), content_fingerprint(&b));
+    }
+
+    /// The fused histogram+fingerprint pass agrees with the canonical
+    /// fingerprint bit for bit (the two crates keep constants in
+    /// lockstep; this is the cross-crate check).
+    #[test]
+    fn fused_pass_agrees_with_canonical_fingerprint(
+        data in proptest::collection::vec(any::<u8>(), 0..4096),
+    ) {
+        let (hist, fp) = ByteHistogram::from_bytes_with_fingerprint(&data);
+        prop_assert_eq!(fp, content_fingerprint(&data));
+        prop_assert_eq!(hist, ByteHistogram::from_bytes(&data));
+    }
+
+    /// A snapshot's fingerprint is the canonical fingerprint of the FULL
+    /// content, and any single-bit mutation changes it — so a cache hit
+    /// can never skip a changed file.
+    #[test]
+    fn single_bit_mutation_invalidates_snapshot(
+        data in proptest::collection::vec(any::<u8>(), 1..2048),
+        idx in any::<u16>(),
+        bit in 0u32..8,
+    ) {
+        let snap = FileSnapshot::capture(&data, 256 * 1024);
+        prop_assert_eq!(snap.fingerprint, content_fingerprint(&data));
+        let mut mutated = data.clone();
+        let i = (idx as usize) % mutated.len();
+        mutated[i] ^= 1 << bit;
+        prop_assert_ne!(content_fingerprint(&mutated), snap.fingerprint);
+    }
+
+    /// The fingerprint covers bytes beyond the digest window: mutating
+    /// only the tail (outside `max_digest_bytes`) still invalidates.
+    #[test]
+    fn tail_mutation_beyond_digest_window_invalidates(
+        head in proptest::collection::vec(any::<u8>(), 64..256),
+        tail_byte in any::<u8>(),
+    ) {
+        let window = 64usize;
+        let snap = FileSnapshot::capture(&head, window);
+        let mut grown = head.clone();
+        grown.push(tail_byte);
+        // The appended tail must invalidate even though the digest
+        // window itself is unchanged.
+        prop_assert_ne!(content_fingerprint(&grown), snap.fingerprint);
+    }
+}
+
+/// Engine-level invariant: a close that wrote different bytes is always a
+/// cache miss (full recompute); a close that wrote identical bytes is a
+/// hit. The hit path never swallows a change.
+#[test]
+fn engine_cache_hit_never_skips_a_changed_file() {
+    for changed in [false, true] {
+        let mut fs = Vfs::new();
+        let docs = VPath::new("/docs");
+        let path = docs.join("a.txt");
+        let content: Vec<u8> = (0..)
+            .flat_map(|i| format!("paragraph {i} of a perfectly normal file\n").into_bytes())
+            .take(4096)
+            .collect();
+        fs.admin_write_file(&path, &content).unwrap();
+        let (engine, monitor) = CryptoDrop::new(Config::protecting("/docs"));
+        fs.register_filter(Box::new(engine));
+        let pid = fs.spawn_process("editor.exe");
+
+        let h = fs.open(pid, &path, OpenOptions::modify()).unwrap();
+        let mut data = fs.read_to_end(pid, h).unwrap();
+        if changed {
+            data[0] ^= 0x01;
+        }
+        fs.seek(pid, h, 0).unwrap();
+        fs.write(pid, h, &data).unwrap();
+        fs.close(pid, h).unwrap();
+
+        let stats = monitor.cache_stats();
+        if changed {
+            // pre_op capture and close-time refresh both recompute.
+            assert_eq!(stats.hits, 0, "changed content must never hit: {stats:?}");
+            assert_eq!(stats.misses, 2, "{stats:?}");
+        } else {
+            // pre_op capture misses (first sighting); the close hits.
+            assert_eq!(stats.hits, 1, "{stats:?}");
+            assert_eq!(stats.misses, 1, "{stats:?}");
+        }
+    }
+}

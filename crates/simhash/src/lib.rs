@@ -48,11 +48,13 @@
 
 pub mod bloom;
 pub mod ctph;
+pub mod fingerprint;
 pub mod hash;
 pub mod sdhash;
 
 pub use bloom::BloomFilter;
 pub use ctph::CtphDigest;
+pub use fingerprint::content_fingerprint;
 pub use sdhash::{SdDigest, FEATURE_SIZE, MIN_FILE_SIZE};
 
 /// Convenience: the sdhash similarity of two buffers, or `None` when either

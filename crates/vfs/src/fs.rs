@@ -88,6 +88,21 @@ impl Vfs {
         }
     }
 
+    /// Creates an empty filesystem whose process ids and file ids are
+    /// drawn from a disjoint per-namespace range, so several `Vfs`
+    /// instances — one per thread — can drive one shared filter driver
+    /// (e.g. a forked `CryptoDrop` engine) without id collisions.
+    ///
+    /// Namespace 0 is identical to [`Vfs::new`].
+    pub fn with_namespace(namespace: u32) -> Self {
+        let mut fs = Self::new();
+        // 2^32 file ids and 2^20 pids per namespace are far beyond any
+        // simulated workload.
+        fs.next_file_id = (u64::from(namespace) << 32) | 1;
+        fs.processes = ProcessTable::with_base(namespace << 20);
+        fs
+    }
+
     // ------------------------------------------------------------------
     // Processes and filters
     // ------------------------------------------------------------------

@@ -84,12 +84,29 @@ impl ProcessRecord {
 #[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ProcessTable {
     records: Vec<ProcessRecord>,
+    /// Pid-space offset: spawned pids start at `base + 1`. Tables with
+    /// disjoint bases (see [`ProcessTable::with_base`]) hand out disjoint
+    /// pid ranges, so several [`Vfs`](crate::Vfs) instances can feed one
+    /// shared filter driver without pid collisions.
+    base: u32,
 }
 
 impl ProcessTable {
     /// Creates an empty table.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Creates an empty table whose pids start at `base + 1` instead of 1.
+    pub fn with_base(base: u32) -> Self {
+        Self {
+            records: Vec::new(),
+            base,
+        }
+    }
+
+    fn index(&self, pid: ProcessId) -> Option<usize> {
+        pid.0.checked_sub(self.base + 1).map(|i| i as usize)
     }
 
     /// Registers a new top-level process and returns its id.
@@ -103,7 +120,7 @@ impl ProcessTable {
     }
 
     fn spawn_inner(&mut self, name: String, parent: Option<ProcessId>) -> ProcessId {
-        let id = ProcessId(self.records.len() as u32 + 1);
+        let id = ProcessId(self.base + self.records.len() as u32 + 1);
         self.records.push(ProcessRecord {
             id,
             name,
@@ -115,8 +132,7 @@ impl ProcessTable {
 
     /// Looks up a process record.
     pub fn get(&self, pid: ProcessId) -> Option<&ProcessRecord> {
-        let idx = pid.0.checked_sub(1)? as usize;
-        self.records.get(idx)
+        self.records.get(self.index(pid)?)
     }
 
     /// Returns `true` if the process or any of its ancestors is suspended
@@ -161,7 +177,7 @@ impl ProcessTable {
     ///
     /// Returns `false` if the pid is unknown.
     pub fn suspend(&mut self, pid: ProcessId, record: SuspensionRecord) -> bool {
-        let Some(idx) = pid.0.checked_sub(1).map(|i| i as usize) else {
+        let Some(idx) = self.index(pid) else {
             return false;
         };
         match self.records.get_mut(idx) {
@@ -178,7 +194,7 @@ impl ProcessTable {
     /// Lifts a suspension (the user clicked "allow" in the CryptoDrop
     /// notification). Returns `false` if the pid is unknown.
     pub fn resume(&mut self, pid: ProcessId) -> bool {
-        let Some(idx) = pid.0.checked_sub(1).map(|i| i as usize) else {
+        let Some(idx) = self.index(pid) else {
             return false;
         };
         match self.records.get_mut(idx) {
@@ -285,6 +301,24 @@ mod tests {
     #[test]
     fn display_format() {
         assert_eq!(ProcessId(5).to_string(), "pid:5");
+    }
+
+    #[test]
+    fn based_table_hands_out_offset_pids() {
+        let mut t = ProcessTable::with_base(1 << 20);
+        let a = t.spawn("a.exe");
+        let b = t.spawn_child(a, "b.exe");
+        assert_eq!(a, ProcessId((1 << 20) + 1));
+        assert_eq!(b, ProcessId((1 << 20) + 2));
+        assert_eq!(t.get(a).unwrap().name(), "a.exe");
+        assert_eq!(t.root_of(b), a);
+        // Pids below the base resolve to nothing (they belong to another
+        // namespace's table).
+        assert!(t.get(ProcessId(1)).is_none());
+        assert!(!t.suspend(ProcessId(1), record("x")));
+        assert!(!t.resume(ProcessId(1)));
+        assert!(t.suspend(a, record("cryptodrop")));
+        assert!(t.is_suspended(b));
     }
 
     #[test]

@@ -1,0 +1,292 @@
+//! Offline stand-in for `criterion`: the API subset this workspace uses,
+//! backed by a simple wall-clock measurement loop.
+//!
+//! Supported surface: `Criterion`, `benchmark_group` + `sample_size` +
+//! `throughput` + `bench_function` + `finish`, `Bencher::iter` /
+//! `iter_batched`, `BatchSize`, `Throughput`, `black_box`, and the
+//! `criterion_group!` / `criterion_main!` macros. The binary accepts and
+//! ignores unknown flags, honours `--test` (each routine runs once, no
+//! measurement — used by CI smoke runs), and treats bare arguments as
+//! substring filters on `group/benchmark` ids.
+
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting a
+/// benchmarked computation.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// How `iter_batched` amortizes setup cost. The stub times each batch
+/// individually regardless of the hint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs (one setup per timed call).
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// Declared workload size, used to report throughput.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Top-level benchmark driver: holds CLI-derived run mode and filters.
+pub struct Criterion {
+    test_mode: bool,
+    filters: Vec<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            test_mode: false,
+            filters: Vec::new(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Builds a `Criterion` from the process's command-line arguments.
+    pub fn from_args() -> Self {
+        let mut c = Self::default();
+        for arg in std::env::args().skip(1) {
+            if arg == "--test" {
+                c.test_mode = true;
+            } else if !arg.starts_with('-') {
+                c.filters.push(arg);
+            }
+            // All other flags (--bench, --noplot, ...) are accepted and
+            // ignored.
+        }
+        c
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 100,
+            throughput: None,
+        }
+    }
+
+    /// Runs any deferred reporting (the stub reports inline; no-op).
+    pub fn final_summary(&mut self) {}
+}
+
+/// A named group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples collected per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Declares per-iteration workload size for throughput reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Defines and immediately runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = format!("{}/{}", self.name, id.into());
+        let filters = &self.criterion.filters;
+        if !filters.is_empty() && !filters.iter().any(|s| id.contains(s.as_str())) {
+            return self;
+        }
+        let mut bencher = Bencher {
+            test_mode: self.criterion.test_mode,
+            sample_size: self.sample_size,
+            samples: Vec::new(),
+        };
+        f(&mut bencher);
+        bencher.report(&id, self.throughput);
+        self
+    }
+
+    /// Ends the group (reporting is inline; no-op).
+    pub fn finish(&mut self) {}
+}
+
+/// Passed to each benchmark closure; measures the routine it is given.
+pub struct Bencher {
+    test_mode: bool,
+    sample_size: usize,
+    samples: Vec<Duration>,
+}
+
+/// Per-benchmark wall-clock budget (excluding calibration), so unfiltered
+/// full-suite runs stay bounded.
+const TIME_BUDGET: Duration = Duration::from_secs(3);
+
+impl Bencher {
+    /// Measures a routine called in a loop.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.test_mode {
+            black_box(routine());
+            return;
+        }
+        // Calibrate: pick an inner iteration count so one sample takes
+        // at least ~1ms, bounding timer-resolution error.
+        let start = Instant::now();
+        black_box(routine());
+        let once = start.elapsed().max(Duration::from_nanos(1));
+        let inner = (Duration::from_millis(1).as_nanos() / once.as_nanos()).clamp(1, 1_000_000)
+            as u64;
+
+        let budget_start = Instant::now();
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            for _ in 0..inner {
+                black_box(routine());
+            }
+            self.samples.push(t.elapsed() / inner as u32);
+            if budget_start.elapsed() > TIME_BUDGET {
+                break;
+            }
+        }
+    }
+
+    /// Measures a routine over fresh inputs; `setup` runs untimed.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        if self.test_mode {
+            black_box(routine(setup()));
+            return;
+        }
+        let budget_start = Instant::now();
+        for _ in 0..self.sample_size {
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input));
+            self.samples.push(t.elapsed());
+            if budget_start.elapsed() > TIME_BUDGET {
+                break;
+            }
+        }
+    }
+
+    fn report(&self, id: &str, throughput: Option<Throughput>) {
+        if self.test_mode {
+            println!("test {id} ... ok");
+            return;
+        }
+        if self.samples.is_empty() {
+            return;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_unstable();
+        let median = sorted[sorted.len() / 2];
+        let mean = sorted.iter().sum::<Duration>() / sorted.len() as u32;
+        let extra = match throughput {
+            Some(Throughput::Bytes(bytes)) => {
+                let secs = median.as_secs_f64().max(1e-12);
+                format!(
+                    "  thrpt: {:>10.3} MiB/s",
+                    bytes as f64 / secs / (1024.0 * 1024.0)
+                )
+            }
+            Some(Throughput::Elements(n)) => {
+                let secs = median.as_secs_f64().max(1e-12);
+                format!("  thrpt: {:>10.0} elem/s", n as f64 / secs)
+            }
+            None => String::new(),
+        };
+        println!(
+            "{id:<48} time: [median {:>12?}  mean {:>12?}  n={}]{extra}",
+            median,
+            mean,
+            sorted.len()
+        );
+    }
+}
+
+/// Collects benchmark functions into a runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Emits `main` for a `harness = false` benchmark binary.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut criterion = $crate::Criterion::from_args();
+            $($group(&mut criterion);)+
+            criterion.final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_routine() {
+        let mut c = Criterion {
+            test_mode: true,
+            filters: Vec::new(),
+        };
+        let mut ran = 0u32;
+        {
+            let mut group = c.benchmark_group("g");
+            group.sample_size(10);
+            group.bench_function("one", |b| b.iter(|| ran += 1));
+            group.finish();
+        }
+        assert_eq!(ran, 1, "--test mode runs each routine exactly once");
+    }
+
+    #[test]
+    fn filters_skip_nonmatching() {
+        let mut c = Criterion {
+            test_mode: true,
+            filters: vec!["other".into()],
+        };
+        let mut ran = false;
+        c.benchmark_group("g").bench_function("one", |b| {
+            b.iter(|| ran = true)
+        });
+        assert!(!ran);
+    }
+
+    #[test]
+    fn iter_batched_times_each_batch() {
+        let mut b = Bencher {
+            test_mode: false,
+            sample_size: 5,
+            samples: Vec::new(),
+        };
+        b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::LargeInput);
+        assert_eq!(b.samples.len(), 5);
+    }
+}

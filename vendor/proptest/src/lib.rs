@@ -1,0 +1,275 @@
+//! Offline stand-in for `proptest`: the subset this workspace uses.
+//!
+//! Supports the `proptest!` test macro (with optional
+//! `#![proptest_config(...)]`), `prop_assert!`/`prop_assert_eq!`/
+//! `prop_assert_ne!`/`prop_assume!`, `prop_oneof!`, `Just`, `any::<T>()`,
+//! integer/float range strategies (including open `lo..` ranges),
+//! regex-subset string strategies (`"[a-z]{1,10}"` style),
+//! `proptest::collection::vec`, tuple strategies, and
+//! `Strategy::prop_map`/`prop_filter`/`boxed`.
+//!
+//! Differences from real proptest: no shrinking (a failing case reports
+//! its seed instead of a minimal input), no persistence of regression
+//! files, and a default of 64 cases per property.
+
+pub mod strategy;
+pub mod test_runner;
+
+/// `proptest::collection`: strategies for collections.
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+
+    /// An inclusive size bound for generated collections.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl SizeRange {
+        fn sample(&self, rng: &mut TestRng) -> usize {
+            rng.rng.gen_range(self.lo..=self.hi)
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            Self { lo: n, hi: n }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            Self {
+                lo: r.start,
+                hi: r.end - 1,
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            Self {
+                lo: *r.start(),
+                hi: *r.end(),
+            }
+        }
+    }
+
+    /// Strategy producing `Vec`s whose elements come from `element`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Creates a strategy for vectors of `element` with length in `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.size.sample(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// `proptest::arbitrary`: canonical strategies per type.
+pub mod arbitrary {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+
+    /// Types with a canonical generation strategy.
+    pub trait Arbitrary: Sized {
+        /// Draws an arbitrary value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> Self {
+                    rng.rng.gen()
+                }
+            }
+        )*};
+    }
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.rng.gen()
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.rng.gen()
+        }
+    }
+
+    impl Arbitrary for char {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            // Stay below the surrogate range so every draw is valid.
+            char::from_u32(rng.rng.gen_range(0u32..0xD800)).expect("below surrogates")
+        }
+    }
+
+    /// Strategy returned by [`any`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any<T> {
+        _marker: std::marker::PhantomData<T>,
+    }
+
+    /// The canonical strategy for `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any {
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+}
+
+/// The common import surface: `use proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+}
+
+// ---------------------------------------------------------------------------
+// Macros
+// ---------------------------------------------------------------------------
+
+/// Defines property tests. Each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` running `cases` seeded iterations.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($pat:pat in $strategy:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __cfg = $cfg;
+            $crate::test_runner::run_cases(&__cfg, stringify!($name), |__rng| {
+                let ($($pat,)+) =
+                    ($($crate::strategy::Strategy::generate(&($strategy), __rng),)+);
+                let __out: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                __out
+            });
+        }
+        $crate::__proptest_impl!{ ($cfg) $($rest)* }
+    };
+}
+
+/// Fails the current case (with an optional formatted message).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Fails the current case unless the two values are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(*__l == *__r) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!(
+                    "assertion failed: `{} == {}`\n  left: `{:?}`\n right: `{:?}`",
+                    stringify!($left), stringify!($right), __l, __r,
+                ),
+            ));
+        }
+    }};
+}
+
+/// Fails the current case unless the two values differ.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if *__l == *__r {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!(
+                    "assertion failed: `{} != {}`\n  both: `{:?}`",
+                    stringify!($left), stringify!($right), __l,
+                ),
+            ));
+        }
+    }};
+}
+
+/// Rejects the current case (does not count toward the case total).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                stringify!($cond),
+            ));
+        }
+    };
+}
+
+/// Uniformly picks one of several strategies with the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strategy:expr),+ $(,)?) => {
+        $crate::strategy::one_of(vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($strategy))),+
+        ])
+    };
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::one_of(vec![
+            $((1u32, $crate::strategy::Strategy::boxed($strategy))),+
+        ])
+    };
+}

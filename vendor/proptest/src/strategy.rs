@@ -1,0 +1,422 @@
+//! Strategies: composable generators of test-case inputs.
+
+use std::rc::Rc;
+
+use rand::Rng;
+
+use crate::test_runner::TestRng;
+
+/// A generator of values for property tests.
+///
+/// Unlike real proptest there is no value tree / shrinking: `generate`
+/// draws a single concrete value.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> MapStrategy<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        MapStrategy { inner: self, f }
+    }
+
+    /// Discards generated values failing `pred`, retrying (bounded).
+    fn prop_filter<F>(self, reason: impl Into<String>, pred: F) -> FilterStrategy<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        FilterStrategy {
+            inner: self,
+            reason: reason.into(),
+            pred,
+        }
+    }
+
+    /// Type-erases the strategy so heterogeneous strategies of one value
+    /// type can be mixed (e.g. by [`one_of`]).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy {
+            gen: Rc::new(move |rng| self.generate(rng)),
+        }
+    }
+}
+
+/// A type-erased strategy.
+pub struct BoxedStrategy<V> {
+    gen: Rc<dyn Fn(&mut TestRng) -> V>,
+}
+
+impl<V> Clone for BoxedStrategy<V> {
+    fn clone(&self) -> Self {
+        Self {
+            gen: Rc::clone(&self.gen),
+        }
+    }
+}
+
+impl<V> Strategy for BoxedStrategy<V> {
+    type Value = V;
+
+    fn generate(&self, rng: &mut TestRng) -> V {
+        (self.gen)(rng)
+    }
+}
+
+/// Always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct MapStrategy<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for MapStrategy<S, F> {
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+#[derive(Debug, Clone)]
+pub struct FilterStrategy<S, F> {
+    inner: S,
+    reason: String,
+    pred: F,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for FilterStrategy<S, F> {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..1000 {
+            let candidate = self.inner.generate(rng);
+            if (self.pred)(&candidate) {
+                return candidate;
+            }
+        }
+        panic!("prop_filter exhausted 1000 attempts: {}", self.reason);
+    }
+}
+
+/// Weighted union of type-erased strategies; built by `prop_oneof!`.
+pub struct OneOf<V> {
+    arms: Vec<(u32, BoxedStrategy<V>)>,
+    total_weight: u64,
+}
+
+/// Creates a weighted union of strategies.
+pub fn one_of<V>(arms: Vec<(u32, BoxedStrategy<V>)>) -> OneOf<V> {
+    assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+    let total_weight = arms.iter().map(|(w, _)| u64::from(*w)).sum::<u64>();
+    assert!(total_weight > 0, "prop_oneof! needs positive total weight");
+    OneOf { arms, total_weight }
+}
+
+impl<V> Strategy for OneOf<V> {
+    type Value = V;
+
+    fn generate(&self, rng: &mut TestRng) -> V {
+        let mut pick = rng.rng.gen_range(0..self.total_weight);
+        for (weight, strategy) in &self.arms {
+            let weight = u64::from(*weight);
+            if pick < weight {
+                return strategy.generate(rng);
+            }
+            pick -= weight;
+        }
+        unreachable!("pick < total_weight")
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Range strategies
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for std::ops::RangeFrom<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.rng.gen_range(self.start..=<$t>::MAX)
+            }
+        }
+    )*};
+}
+impl_int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for std::ops::Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        rng.rng.gen_range(self.clone())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Tuple strategies
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_tuple_strategy {
+    ($(($($n:tt $s:ident),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$n.generate(rng),)+)
+            }
+        }
+    )*};
+}
+impl_tuple_strategy! {
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+    (0 A, 1 B, 2 C, 3 D, 4 E)
+    (0 A, 1 B, 2 C, 3 D, 4 E, 5 F)
+}
+
+// ---------------------------------------------------------------------------
+// Regex-subset string strategies
+// ---------------------------------------------------------------------------
+
+/// A `&str` is a strategy generating strings matching it as a regex.
+///
+/// Supported subset: literal characters, `\`-escapes, character classes
+/// `[a-z_.-]` (ranges and literals; a trailing `-` is literal), and the
+/// quantifiers `{n}`, `{m,n}`, `*` (0..=8), `+` (1..=8), `?`. This covers
+/// every pattern the workspace's tests use.
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let atoms = parse_pattern(self);
+        let mut out = String::new();
+        for atom in &atoms {
+            let n = rng.rng.gen_range(atom.min..=atom.max);
+            for _ in 0..n {
+                match &atom.kind {
+                    AtomKind::Literal(c) => out.push(*c),
+                    AtomKind::Class(set) => {
+                        out.push(set[rng.rng.gen_range(0..set.len())]);
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+enum AtomKind {
+    Literal(char),
+    Class(Vec<char>),
+}
+
+struct Atom {
+    kind: AtomKind,
+    min: usize,
+    max: usize,
+}
+
+fn parse_pattern(pattern: &str) -> Vec<Atom> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut atoms = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let kind = match chars[i] {
+            '[' => {
+                let (set, next) = parse_class(&chars, i + 1, pattern);
+                i = next;
+                AtomKind::Class(set)
+            }
+            '\\' => {
+                i += 1;
+                let c = *chars
+                    .get(i)
+                    .unwrap_or_else(|| panic!("dangling escape in pattern {pattern:?}"));
+                i += 1;
+                AtomKind::Literal(c)
+            }
+            '.' => {
+                // Any printable ASCII character.
+                i += 1;
+                AtomKind::Class((0x20u8..0x7F).map(char::from).collect())
+            }
+            c => {
+                assert!(
+                    !"()|^$".contains(c),
+                    "unsupported regex feature {c:?} in pattern {pattern:?}"
+                );
+                i += 1;
+                AtomKind::Literal(c)
+            }
+        };
+        let (min, max, next) = parse_quantifier(&chars, i, pattern);
+        i = next;
+        atoms.push(Atom { kind, min, max });
+    }
+    atoms
+}
+
+/// Parses a `[...]` class body starting at `i`; returns (set, index past `]`).
+fn parse_class(chars: &[char], mut i: usize, pattern: &str) -> (Vec<char>, usize) {
+    let mut set = Vec::new();
+    while i < chars.len() && chars[i] != ']' {
+        let c = if chars[i] == '\\' {
+            i += 1;
+            *chars
+                .get(i)
+                .unwrap_or_else(|| panic!("dangling escape in class in {pattern:?}"))
+        } else {
+            chars[i]
+        };
+        // A range like `a-z` needs a `-` that is neither first after an
+        // escape nor the final character before `]`.
+        if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+            let hi = chars[i + 2];
+            assert!(c <= hi, "inverted class range {c}-{hi} in {pattern:?}");
+            for code in (c as u32)..=(hi as u32) {
+                if let Some(ch) = char::from_u32(code) {
+                    set.push(ch);
+                }
+            }
+            i += 3;
+        } else {
+            set.push(c);
+            i += 1;
+        }
+    }
+    assert!(i < chars.len(), "unterminated class in pattern {pattern:?}");
+    assert!(!set.is_empty(), "empty class in pattern {pattern:?}");
+    (set, i + 1)
+}
+
+/// Parses an optional quantifier at `i`; returns (min, max, next index).
+fn parse_quantifier(chars: &[char], i: usize, pattern: &str) -> (usize, usize, usize) {
+    match chars.get(i) {
+        Some('{') => {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == '}')
+                .map(|off| i + off)
+                .unwrap_or_else(|| panic!("unterminated quantifier in {pattern:?}"));
+            let body: String = chars[i + 1..close].iter().collect();
+            let (min, max) = match body.split_once(',') {
+                Some((lo, hi)) => (
+                    lo.trim().parse().expect("quantifier lower bound"),
+                    hi.trim().parse().expect("quantifier upper bound"),
+                ),
+                None => {
+                    let n = body.trim().parse().expect("exact quantifier");
+                    (n, n)
+                }
+            };
+            assert!(min <= max, "inverted quantifier in {pattern:?}");
+            (min, max, close + 1)
+        }
+        Some('*') => (0, 8, i + 1),
+        Some('+') => (1, 8, i + 1),
+        Some('?') => (0, 1, i + 1),
+        _ => (1, 1, i),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn just_and_map_and_filter() {
+        let mut rng = TestRng::new(1);
+        let s = Just(21).prop_map(|x| x * 2);
+        assert_eq!(s.generate(&mut rng), 42);
+        let evens = (0u32..100).prop_filter("even", |x| x % 2 == 0);
+        for _ in 0..50 {
+            assert_eq!(evens.generate(&mut rng) % 2, 0);
+        }
+    }
+
+    #[test]
+    fn ranges_and_tuples() {
+        let mut rng = TestRng::new(2);
+        for _ in 0..100 {
+            let v = (1u64.., 0usize..5).generate(&mut rng);
+            assert!(v.0 >= 1);
+            assert!(v.1 < 5);
+        }
+    }
+
+    #[test]
+    fn one_of_covers_arms() {
+        let mut rng = TestRng::new(3);
+        let s = crate::prop_oneof![Just(1u8), Just(2u8), Just(3u8)];
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            seen[s.generate(&mut rng) as usize] = true;
+        }
+        assert!(seen[1] && seen[2] && seen[3]);
+    }
+
+    #[test]
+    fn regex_subset_patterns() {
+        let mut rng = TestRng::new(4);
+        for _ in 0..200 {
+            let s = "[a-z]{1,10}".generate(&mut rng);
+            assert!((1..=10).contains(&s.len()));
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+
+            let p = "[a-zA-Z0-9_./\\-]{0,40}".generate(&mut rng);
+            assert!(p.len() <= 40);
+            assert!(p
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || "_./\\-".contains(c)));
+
+            let n = "[a-zA-Z0-9_][a-zA-Z0-9_.-]{0,12}".generate(&mut rng);
+            assert!(!n.is_empty() && n.len() <= 13);
+        }
+    }
+
+    #[test]
+    fn vec_strategy_sizes() {
+        let mut rng = TestRng::new(5);
+        let s = crate::collection::vec(crate::arbitrary::any::<u8>(), 2..6);
+        for _ in 0..100 {
+            let v = s.generate(&mut rng);
+            assert!((2..=5).contains(&v.len()));
+        }
+    }
+}

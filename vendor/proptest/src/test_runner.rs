@@ -1,0 +1,190 @@
+//! Test execution: seeded RNG, configuration, and the case loop.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Seeded RNG handed to strategies. Wraps the workspace's deterministic
+/// [`StdRng`]; the field is `pub` so strategies in this crate can draw
+/// from it directly.
+pub struct TestRng {
+    /// The underlying seeded generator.
+    pub rng: StdRng,
+}
+
+impl TestRng {
+    /// Creates a generator for one test case.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+}
+
+/// Per-property configuration, constructed with struct-update syntax:
+/// `ProptestConfig { cases: 24, ..ProptestConfig::default() }`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful cases required for the property to pass.
+    pub cases: u32,
+    /// Total rejections (`prop_assume!` / `prop_filter`) tolerated across
+    /// the whole run before the test aborts.
+    pub max_global_rejects: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self {
+            cases: 64,
+            max_global_rejects: 4096,
+        }
+    }
+}
+
+/// Why a test case did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// The property was violated.
+    Fail(String),
+    /// The inputs were rejected by an assumption; try another case.
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// A failure with the given message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        Self::Fail(msg.into())
+    }
+
+    /// A rejection with the given reason.
+    pub fn reject(reason: impl Into<String>) -> Self {
+        Self::Reject(reason.into())
+    }
+}
+
+/// FNV-1a hash of the test name, mixed into per-case seeds so distinct
+/// properties draw distinct streams.
+fn fnv64(s: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in s.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Runs `f` until `cfg.cases` cases pass. Each attempt gets a fresh,
+/// deterministically seeded RNG; the seed is reported on failure so a
+/// case can be re-run (no shrinking in this stub).
+pub fn run_cases<F>(cfg: &ProptestConfig, name: &str, mut f: F)
+where
+    F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+{
+    let base = fnv64(name);
+    let mut passed = 0u32;
+    let mut rejects = 0u32;
+    let mut attempt = 0u64;
+    while passed < cfg.cases {
+        let seed = base ^ attempt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        attempt += 1;
+        let mut rng = TestRng::new(seed);
+        match f(&mut rng) {
+            Ok(()) => passed += 1,
+            Err(TestCaseError::Reject(reason)) => {
+                rejects += 1;
+                if rejects > cfg.max_global_rejects {
+                    panic!(
+                        "proptest `{name}`: too many rejected cases \
+                         ({rejects}); last reason: {reason}"
+                    );
+                }
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!(
+                    "proptest `{name}` failed after {passed} passing case(s) \
+                     (case seed {seed:#018x}):\n{msg}"
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs_requested_cases() {
+        let mut n = 0u32;
+        run_cases(
+            &ProptestConfig {
+                cases: 17,
+                ..ProptestConfig::default()
+            },
+            "runs_requested_cases",
+            |_| {
+                n += 1;
+                Ok(())
+            },
+        );
+        assert_eq!(n, 17);
+    }
+
+    #[test]
+    fn rejects_do_not_count() {
+        let mut attempts = 0u32;
+        run_cases(
+            &ProptestConfig {
+                cases: 5,
+                ..ProptestConfig::default()
+            },
+            "rejects_do_not_count",
+            |_| {
+                attempts += 1;
+                if attempts % 2 == 0 {
+                    Err(TestCaseError::reject("even attempt"))
+                } else {
+                    Ok(())
+                }
+            },
+        );
+        assert!(attempts > 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn failure_panics() {
+        run_cases(&ProptestConfig::default(), "failure_panics", |_| {
+            Err(TestCaseError::fail("boom"))
+        });
+    }
+
+    #[test]
+    fn same_name_same_stream() {
+        use rand::Rng;
+        let mut a = Vec::new();
+        run_cases(
+            &ProptestConfig {
+                cases: 3,
+                ..ProptestConfig::default()
+            },
+            "stream",
+            |rng| {
+                a.push(rng.rng.gen::<u64>());
+                Ok(())
+            },
+        );
+        let mut b = Vec::new();
+        run_cases(
+            &ProptestConfig {
+                cases: 3,
+                ..ProptestConfig::default()
+            },
+            "stream",
+            |rng| {
+                b.push(rng.rng.gen::<u64>());
+                Ok(())
+            },
+        );
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,263 @@
+//! Offline stand-in for `serde`: the subset this workspace uses.
+//!
+//! The workspace only ever derives `Serialize`/`Deserialize` and feeds
+//! values to `serde_json::to_string_pretty`, so instead of serde's
+//! visitor-based data model this stub uses a concrete tree: [`Serialize`]
+//! converts a value to a [`ser::Value`], which `serde_json` renders.
+//! [`Deserialize`] is a marker trait (derived, never exercised).
+//!
+//! The JSON shape conventions of real serde are preserved: structs become
+//! maps, newtype structs collapse to their inner value, unit enum variants
+//! become strings, and data-carrying variants are externally tagged.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Serialization data model.
+pub mod ser {
+    /// A serialized value tree: exactly the JSON data model.
+    #[derive(Debug, Clone, PartialEq)]
+    pub enum Value {
+        /// JSON `null`.
+        Null,
+        /// JSON boolean.
+        Bool(bool),
+        /// JSON signed integer.
+        Int(i64),
+        /// JSON unsigned integer.
+        UInt(u64),
+        /// JSON number (floating point).
+        Float(f64),
+        /// JSON string.
+        String(String),
+        /// JSON array.
+        Array(Vec<Value>),
+        /// JSON object, in insertion order.
+        Map(Vec<(String, Value)>),
+    }
+
+    impl Value {
+        /// Converts a value used as a map key into its JSON object-key
+        /// string, mirroring serde_json (strings stay, integers stringify).
+        pub fn into_key(self) -> String {
+            match self {
+                Value::String(s) => s,
+                Value::UInt(u) => u.to_string(),
+                Value::Int(i) => i.to_string(),
+                Value::Bool(b) => b.to_string(),
+                other => panic!("unsupported JSON map key: {other:?}"),
+            }
+        }
+    }
+}
+
+use ser::Value;
+
+/// A type that can be converted into the serialization data model.
+pub trait Serialize {
+    /// Converts `self` into a [`Value`] tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Marker for derived deserialization support (never exercised by this
+/// workspace; retained so `derive(Deserialize)` and trait bounds compile).
+pub trait Deserialize {}
+
+macro_rules! impl_ser_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::UInt(*self as u64) }
+        }
+        impl Deserialize for $t {}
+    )*};
+}
+impl_ser_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_ser_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::Int(*self as i64) }
+        }
+        impl Deserialize for $t {}
+    )*};
+}
+impl_ser_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Float(f64::from(*self))
+    }
+}
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Deserialize for f32 {}
+impl Deserialize for f64 {}
+impl Deserialize for bool {}
+impl Deserialize for char {}
+impl Deserialize for String {}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        self.as_slice().to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        self.as_slice().to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {}
+
+macro_rules! impl_ser_tuple {
+    ($(($($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$n.to_value()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {}
+    )*};
+}
+impl_ser_tuple! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+}
+
+impl<T: Serialize> Serialize for std::collections::BTreeSet<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for std::collections::BTreeSet<T> {}
+
+impl<T: Serialize> Serialize for std::collections::HashSet<T> {
+    fn to_value(&self) -> Value {
+        // Deterministic output: sort the rendered elements (std HashSet
+        // iteration order is randomized between processes).
+        let mut items: Vec<Value> = self.iter().map(Serialize::to_value).collect();
+        items.sort_by(|a, b| format!("{a:?}").cmp(&format!("{b:?}")));
+        Value::Array(items)
+    }
+}
+
+impl<T: Deserialize> Deserialize for std::collections::HashSet<T> {}
+
+impl<K: Serialize, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        Value::Map(
+            self.iter()
+                .map(|(k, v)| (k.to_value().into_key(), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<K: Deserialize, V: Deserialize> Deserialize for std::collections::BTreeMap<K, V> {}
+
+impl<K: Serialize, V: Serialize> Serialize for std::collections::HashMap<K, V> {
+    fn to_value(&self) -> Value {
+        // Sort by rendered key for deterministic output (std HashMap
+        // iteration order is randomized between processes).
+        let mut entries: Vec<(String, Value)> = self
+            .iter()
+            .map(|(k, v)| (k.to_value().into_key(), v.to_value()))
+            .collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Map(entries)
+    }
+}
+
+impl<K: Deserialize, V: Deserialize> Deserialize for std::collections::HashMap<K, V> {}
+
+#[cfg(test)]
+mod tests {
+    use super::ser::Value;
+    use super::Serialize;
+
+    #[test]
+    fn scalars() {
+        assert_eq!(3u32.to_value(), Value::UInt(3));
+        assert_eq!((-3i32).to_value(), Value::Int(-3));
+        assert_eq!(true.to_value(), Value::Bool(true));
+        assert_eq!("hi".to_value(), Value::String("hi".into()));
+    }
+
+    #[test]
+    fn containers() {
+        assert_eq!(
+            vec![1u8, 2].to_value(),
+            Value::Array(vec![Value::UInt(1), Value::UInt(2)])
+        );
+        assert_eq!(Option::<u8>::None.to_value(), Value::Null);
+        let mut m = std::collections::BTreeMap::new();
+        m.insert("a".to_string(), 1u8);
+        assert_eq!(
+            m.to_value(),
+            Value::Map(vec![("a".into(), Value::UInt(1))])
+        );
+    }
+}

@@ -1,0 +1,315 @@
+//! Offline stand-in for `serde_derive`: derives the stub `serde` traits.
+//!
+//! Parses the item declaration directly from the proc-macro token stream
+//! (no `syn`/`quote`), supporting the shapes this workspace uses:
+//! non-generic named structs, tuple/newtype structs, unit structs, and
+//! enums with unit / tuple / named-field variants. `#[serde(...)]`
+//! attributes are not supported and the workspace does not use them.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Parsed shape of the deriving item.
+enum Item {
+    /// `struct S { a: T, b: U }`
+    NamedStruct { name: String, fields: Vec<String> },
+    /// `struct S(T, U);` — arity recorded, names are positional.
+    TupleStruct { name: String, arity: usize },
+    /// `struct S;`
+    UnitStruct { name: String },
+    /// `enum E { ... }`
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+/// Parsed shape of one enum variant.
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+/// Derives `serde::Serialize` by emitting a `to_value` tree builder.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = match &item {
+        Item::NamedStruct { name, fields } => {
+            let entries = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), \
+                         ::serde::Serialize::to_value(&self.{f}))"
+                    )
+                })
+                .collect::<Vec<_>>()
+                .join(", ");
+            impl_serialize(
+                name,
+                &format!("::serde::ser::Value::Map(::std::vec![{entries}])"),
+            )
+        }
+        Item::TupleStruct { name, arity: 1 } => {
+            // Newtype structs collapse to the inner value, as in serde.
+            impl_serialize(name, "::serde::Serialize::to_value(&self.0)")
+        }
+        Item::TupleStruct { name, arity } => {
+            let entries = (0..*arity)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            impl_serialize(
+                name,
+                &format!("::serde::ser::Value::Array(::std::vec![{entries}])"),
+            )
+        }
+        Item::UnitStruct { name } => impl_serialize(name, "::serde::ser::Value::Null"),
+        Item::Enum { name, variants } => {
+            let arms = variants
+                .iter()
+                .map(|v| enum_arm(name, v))
+                .collect::<Vec<_>>()
+                .join("\n");
+            impl_serialize(name, &format!("match self {{\n{arms}\n}}"))
+        }
+    };
+    code.parse().expect("derived Serialize impl parses")
+}
+
+/// Derives the marker trait `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let name = match parse_item(input) {
+        Item::NamedStruct { name, .. }
+        | Item::TupleStruct { name, .. }
+        | Item::UnitStruct { name }
+        | Item::Enum { name, .. } => name,
+    };
+    format!("impl ::serde::Deserialize for {name} {{}}")
+        .parse()
+        .expect("derived Deserialize impl parses")
+}
+
+fn impl_serialize(name: &str, body: &str) -> String {
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::ser::Value {{\n{body}\n}}\n}}"
+    )
+}
+
+/// One `match` arm serializing a variant in serde's externally tagged form.
+fn enum_arm(enum_name: &str, v: &Variant) -> String {
+    let vname = &v.name;
+    match &v.shape {
+        VariantShape::Unit => format!(
+            "{enum_name}::{vname} => \
+             ::serde::ser::Value::String(::std::string::String::from(\"{vname}\")),"
+        ),
+        VariantShape::Tuple(1) => format!(
+            "{enum_name}::{vname}(__f0) => ::serde::ser::Value::Map(::std::vec![(\
+             ::std::string::String::from(\"{vname}\"), \
+             ::serde::Serialize::to_value(__f0))]),"
+        ),
+        VariantShape::Tuple(n) => {
+            let binds = (0..*n)
+                .map(|i| format!("__f{i}"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            let elems = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(__f{i})"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!(
+                "{enum_name}::{vname}({binds}) => ::serde::ser::Value::Map(::std::vec![(\
+                 ::std::string::String::from(\"{vname}\"), \
+                 ::serde::ser::Value::Array(::std::vec![{elems}]))]),"
+            )
+        }
+        VariantShape::Named(fields) => {
+            let binds = fields.join(", ");
+            let entries = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), \
+                         ::serde::Serialize::to_value({f}))"
+                    )
+                })
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!(
+                "{enum_name}::{vname} {{ {binds} }} => ::serde::ser::Value::Map(::std::vec![(\
+                 ::std::string::String::from(\"{vname}\"), \
+                 ::serde::ser::Value::Map(::std::vec![{entries}]))]),"
+            )
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Token-stream parsing
+// ---------------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut tokens = input.into_iter().peekable();
+    skip_attributes(&mut tokens);
+    skip_visibility(&mut tokens);
+
+    let keyword = expect_ident(&mut tokens);
+    let name = expect_ident(&mut tokens);
+    if matches!(tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("stub serde_derive does not support generic types ({name})");
+    }
+
+    match keyword.as_str() {
+        "struct" => match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item::NamedStruct {
+                name,
+                fields: parse_named_fields(g.stream()),
+            },
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Item::TupleStruct {
+                    name,
+                    arity: count_tuple_fields(g.stream()),
+                }
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Item::UnitStruct { name },
+            other => panic!("unexpected token after `struct {name}`: {other:?}"),
+        },
+        "enum" => match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item::Enum {
+                name,
+                variants: parse_variants(g.stream()),
+            },
+            other => panic!("unexpected token after `enum {name}`: {other:?}"),
+        },
+        other => panic!("stub serde_derive supports struct/enum, got `{other}`"),
+    }
+}
+
+type Tokens = std::iter::Peekable<proc_macro::token_stream::IntoIter>;
+
+/// Skips `#[...]` attributes (including doc comments).
+fn skip_attributes(tokens: &mut Tokens) {
+    while matches!(tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        tokens.next();
+        tokens.next(); // the bracketed attribute group
+    }
+}
+
+/// Skips `pub`, `pub(crate)`, `pub(in ...)`.
+fn skip_visibility(tokens: &mut Tokens) {
+    if matches!(tokens.peek(), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        tokens.next();
+        if matches!(
+            tokens.peek(),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+        ) {
+            tokens.next();
+        }
+    }
+}
+
+fn expect_ident(tokens: &mut Tokens) -> String {
+    match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected identifier, got {other:?}"),
+    }
+}
+
+/// Skips tokens until a top-level `,` (angle-bracket depth 0) or the end.
+/// Used to discard field types and variant discriminants, which the
+/// derive does not need. `->` inside the skipped tokens is handled by
+/// not counting a `>` that immediately follows a `-`.
+fn skip_until_comma(tokens: &mut Tokens) {
+    let mut angle_depth = 0usize;
+    let mut prev_minus = false;
+    while let Some(tt) = tokens.peek() {
+        if let TokenTree::Punct(p) = tt {
+            match p.as_char() {
+                ',' if angle_depth == 0 => return,
+                '<' => angle_depth += 1,
+                '>' if !prev_minus => angle_depth = angle_depth.saturating_sub(1),
+                _ => {}
+            }
+            prev_minus = p.as_char() == '-';
+        } else {
+            prev_minus = false;
+        }
+        tokens.next();
+    }
+}
+
+/// Parses `a: T, b: U, ...` into field names.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let mut tokens = stream.into_iter().peekable();
+    let mut fields = Vec::new();
+    loop {
+        skip_attributes(&mut tokens);
+        if tokens.peek().is_none() {
+            break;
+        }
+        skip_visibility(&mut tokens);
+        fields.push(expect_ident(&mut tokens));
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("expected `:` after field name, got {other:?}"),
+        }
+        skip_until_comma(&mut tokens);
+        tokens.next(); // consume the comma, if any
+    }
+    fields
+}
+
+/// Counts comma-separated fields of a tuple struct / tuple variant.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut tokens = stream.into_iter().peekable();
+    let mut count = 0usize;
+    loop {
+        skip_attributes(&mut tokens);
+        if tokens.peek().is_none() {
+            break;
+        }
+        skip_visibility(&mut tokens);
+        count += 1;
+        skip_until_comma(&mut tokens);
+        tokens.next();
+    }
+    count
+}
+
+/// Parses enum variants: `Name`, `Name(T, ...)`, `Name { f: T, ... }`,
+/// each optionally followed by a `= discriminant`.
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut tokens = stream.into_iter().peekable();
+    let mut variants = Vec::new();
+    loop {
+        skip_attributes(&mut tokens);
+        if tokens.peek().is_none() {
+            break;
+        }
+        let name = expect_ident(&mut tokens);
+        let shape = match tokens.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g.stream());
+                tokens.next();
+                VariantShape::Tuple(n)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                tokens.next();
+                VariantShape::Named(fields)
+            }
+            _ => VariantShape::Unit,
+        };
+        // Skip an explicit discriminant (`= expr`) and the trailing comma.
+        skip_until_comma(&mut tokens);
+        tokens.next();
+        variants.push(Variant { name, shape });
+    }
+    variants
+}
