@@ -130,6 +130,18 @@ pub struct Config {
     /// degrades to the no-pre-image abstain the paper already models for
     /// never-seen files. `0` means unbounded.
     pub snapshot_cache_capacity: usize,
+    /// Separate bound for **pinned** path snapshots: snapshots of deleted
+    /// protected files are excluded from the LRU cap above (the Class C
+    /// delete-then-drop link depends on them surviving unrelated cache
+    /// pressure) and budgeted here instead, oldest-first. `0` means
+    /// unbounded.
+    pub pinned_snapshot_budget: usize,
+    /// Reuse resident snapshots when a file's 64-bit content fingerprint
+    /// is unchanged (skipping the sniff/digest/entropy recompute). On by
+    /// default; disabling forces a full recompute on every refresh —
+    /// byte-for-byte the reference behavior, used by tests to prove the
+    /// cache never changes a verdict.
+    pub fingerprint_cache: bool,
 }
 
 impl Config {
@@ -144,6 +156,8 @@ impl Config {
             dynamic_scoring: false,
             max_digest_bytes: 256 * 1024,
             snapshot_cache_capacity: 1 << 16,
+            pinned_snapshot_budget: 1 << 12,
+            fingerprint_cache: true,
         }
     }
 

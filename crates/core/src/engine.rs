@@ -27,8 +27,9 @@ use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use cryptodrop_simhash::content_fingerprint;
+use cryptodrop_simhash::{content_fingerprint, SdDigest};
 use cryptodrop_sniff::{sniff, FileType};
+use cryptodrop_telemetry::{Counter, Histogram, JournalKind, Telemetry};
 use cryptodrop_vfs::{
     FileId, FilterDriver, FsOp, FsView, OpContext, OpOutcome, ProcessId, VPath, Verdict,
 };
@@ -91,10 +92,18 @@ pub struct CacheStats {
     /// prior snapshot existed).
     pub misses: u64,
     /// Path-keyed snapshots evicted to honour
-    /// [`Config::snapshot_cache_capacity`].
+    /// [`Config::snapshot_cache_capacity`] (or, for pinned post-delete
+    /// snapshots, [`Config::pinned_snapshot_budget`]).
     pub evictions: u64,
     /// Path-keyed snapshots currently resident.
     pub resident: u64,
+    /// Resident snapshots that are pinned (post-delete retentions,
+    /// excluded from the LRU cap).
+    pub pinned: u64,
+    /// Times the fingerprint-cache hit path found its snapshot missing
+    /// and degraded to a recompute instead of panicking. Always 0 in a
+    /// healthy engine.
+    pub anomalies: u64,
 }
 
 /// Shard fan-out. 16 shards keeps the fixed arrays tiny while making
@@ -138,20 +147,29 @@ impl FamilyShard {
     }
 }
 
-/// A path-keyed snapshot plus its last-touched tick (LRU bookkeeping).
+/// A path-keyed snapshot plus its last-touched tick (LRU bookkeeping) and
+/// its pin state (pinned entries are exempt from the LRU cap).
 #[derive(Debug)]
 struct PathEntry {
     snap: FileSnapshot,
     tick: u64,
+    pinned: bool,
 }
 
 /// One shard of the path-keyed indices: previous-version snapshots (which
 /// deliberately survive deletes, enabling the Class C link) and the
 /// tracked-path set for files moved out of protected directories.
+///
+/// Post-delete snapshots are **pinned**: they are exactly the entries the
+/// Class C delete-then-drop link depends on, so they are excluded from
+/// the ordinary LRU cap and budgeted separately
+/// ([`Config::pinned_snapshot_budget`]). `pinned_count` is maintained
+/// incrementally so cap checks stay O(1) on the insert path.
 #[derive(Debug, Default)]
 struct PathShard {
     snapshots: HashMap<VPath, PathEntry>,
     tracked: HashMap<VPath, FileId>,
+    pinned_count: usize,
 }
 
 impl PathShard {
@@ -163,22 +181,74 @@ impl PathShard {
         })
     }
 
-    /// Inserts (or replaces) a snapshot and enforces the per-shard
-    /// capacity by evicting least-recently-touched entries. Returns the
-    /// number of evictions performed.
+    /// Removes a snapshot entry, maintaining the pin count.
+    fn remove_snapshot(&mut self, path: &VPath) -> Option<FileSnapshot> {
+        self.snapshots.remove(path).map(|e| {
+            if e.pinned {
+                self.pinned_count -= 1;
+            }
+            e.snap
+        })
+    }
+
+    /// Evicts the least-recently-touched entry matching `pinned`,
+    /// returning whether one existed.
+    fn evict_oldest(&mut self, pinned: bool) -> bool {
+        let Some(oldest) = self
+            .snapshots
+            .iter()
+            .filter(|(_, e)| e.pinned == pinned)
+            .min_by_key(|(_, e)| e.tick)
+            .map(|(p, _)| p.clone())
+        else {
+            return false;
+        };
+        self.remove_snapshot(&oldest);
+        true
+    }
+
+    /// Inserts (or replaces) a snapshot — fresh content makes the path
+    /// live again, so a replaced entry loses any pin — and enforces the
+    /// per-shard capacity by evicting least-recently-touched *unpinned*
+    /// entries. Returns the number of evictions performed.
     fn insert_snapshot(&mut self, path: VPath, snap: FileSnapshot, tick: u64, cap: usize) -> u64 {
-        self.snapshots.insert(path, PathEntry { snap, tick });
+        let replaced = self.snapshots.insert(
+            path,
+            PathEntry {
+                snap,
+                tick,
+                pinned: false,
+            },
+        );
+        if replaced.is_some_and(|e| e.pinned) {
+            self.pinned_count -= 1;
+        }
         let mut evicted = 0u64;
-        while self.snapshots.len() > cap {
-            let Some(oldest) = self
-                .snapshots
-                .iter()
-                .min_by_key(|(_, e)| e.tick)
-                .map(|(p, _)| p.clone())
-            else {
+        while self.snapshots.len() - self.pinned_count > cap {
+            if !self.evict_oldest(false) {
                 break;
-            };
-            self.snapshots.remove(&oldest);
+            }
+            evicted += 1;
+        }
+        evicted
+    }
+
+    /// Pins the snapshot at `path` (no-op if absent or already pinned)
+    /// and enforces the per-shard pinned budget, evicting the oldest
+    /// pinned entries. Returns the number of evictions performed.
+    fn pin(&mut self, path: &VPath, pinned_cap: usize) -> u64 {
+        match self.snapshots.get_mut(path) {
+            Some(e) if !e.pinned => {
+                e.pinned = true;
+                self.pinned_count += 1;
+            }
+            _ => return 0,
+        }
+        let mut evicted = 0u64;
+        while self.pinned_count > pinned_cap {
+            if !self.evict_oldest(true) {
+                break;
+            }
             evicted += 1;
         }
         evicted
@@ -193,6 +263,38 @@ struct FileShard {
     created: HashSet<FileId>,
 }
 
+/// Telemetry handles the engine resolves once at construction, so the
+/// per-operation cost when telemetry is enabled is an atomic bump — not a
+/// registry lookup — and exactly one branch when it is disabled.
+struct EngineMetrics {
+    /// Per-indicator evaluation latency (measured wall-clock nanoseconds),
+    /// indexed by the indicator's position in [`Indicator::ALL`] (which
+    /// matches its discriminant).
+    eval_ns: [Histogram; Indicator::ALL.len()],
+    /// Per-indicator fire counts, same indexing.
+    fires: [Counter; Indicator::ALL.len()],
+    /// Suspension verdicts issued.
+    detections: Counter,
+}
+
+impl EngineMetrics {
+    fn new(t: &Telemetry) -> Self {
+        debug_assert!(Indicator::ALL
+            .iter()
+            .enumerate()
+            .all(|(i, ind)| *ind as usize == i));
+        Self {
+            eval_ns: std::array::from_fn(|i| {
+                t.histogram(&format!("engine.eval.{}.ns", Indicator::ALL[i].name()))
+            }),
+            fires: std::array::from_fn(|i| {
+                t.counter(&format!("engine.indicator.{}.fires", Indicator::ALL[i].name()))
+            }),
+            detections: t.counter("engine.detections"),
+        }
+    }
+}
+
 /// The sharded engine state shared by [`CryptoDrop`] and [`Monitor`]
 /// (and by every fork of the engine).
 struct EngineShared {
@@ -205,10 +307,16 @@ struct EngineShared {
     cache_hits: AtomicU64,
     cache_misses: AtomicU64,
     cache_evictions: AtomicU64,
+    /// Times the unchanged-close fast path found its snapshot missing and
+    /// degraded to a recompute. Always 0 in a healthy engine.
+    cache_anomalies: AtomicU64,
+    telemetry: Telemetry,
+    metrics: EngineMetrics,
 }
 
-impl Default for EngineShared {
-    fn default() -> Self {
+impl EngineShared {
+    fn new(telemetry: Telemetry) -> Self {
+        let metrics = EngineMetrics::new(&telemetry);
         Self {
             families: std::array::from_fn(|_| Mutex::new(FamilyShard::default())),
             paths: std::array::from_fn(|_| Mutex::new(PathShard::default())),
@@ -218,6 +326,9 @@ impl Default for EngineShared {
             cache_hits: AtomicU64::new(0),
             cache_misses: AtomicU64::new(0),
             cache_evictions: AtomicU64::new(0),
+            cache_anomalies: AtomicU64::new(0),
+            telemetry,
+            metrics,
         }
     }
 }
@@ -246,15 +357,19 @@ impl EngineShared {
     }
 
     fn cache_stats(&self) -> CacheStats {
+        let (mut resident, mut pinned) = (0u64, 0u64);
+        for shard in &self.paths {
+            let s = shard.lock();
+            resident += s.snapshots.len() as u64;
+            pinned += s.pinned_count as u64;
+        }
         CacheStats {
             hits: self.cache_hits.load(Ordering::Relaxed),
             misses: self.cache_misses.load(Ordering::Relaxed),
             evictions: self.cache_evictions.load(Ordering::Relaxed),
-            resident: self
-                .paths
-                .iter()
-                .map(|s| s.lock().snapshots.len() as u64)
-                .sum(),
+            resident,
+            pinned,
+            anomalies: self.cache_anomalies.load(Ordering::Relaxed),
         }
     }
 }
@@ -294,10 +409,23 @@ pub struct Monitor {
 }
 
 impl CryptoDrop {
-    /// Creates an engine and its monitor handle.
+    /// Creates an engine and its monitor handle, with telemetry disabled
+    /// (the observability hooks cost one predicted-false branch each).
     pub fn new(config: Config) -> (CryptoDrop, Monitor) {
+        Self::new_with_telemetry(config, Telemetry::disabled())
+    }
+
+    /// Creates an engine wired to a [`Telemetry`] handle. When the handle
+    /// is enabled, the engine records per-indicator evaluation timings and
+    /// fire counts into its metric registry and journals every indicator
+    /// contribution, suspension, and cache anomaly — the raw material for
+    /// [`Monitor::audit_trail`] and the experiment telemetry summaries.
+    /// Share the same handle with `cryptodrop_vfs::Vfs::set_telemetry` to
+    /// interleave the filter's op/verdict events with the engine's on one
+    /// timeline.
+    pub fn new_with_telemetry(config: Config, telemetry: Telemetry) -> (CryptoDrop, Monitor) {
         let cfg = Arc::new(config);
-        let shared = Arc::new(EngineShared::default());
+        let shared = Arc::new(EngineShared::new(telemetry));
         (
             CryptoDrop {
                 cfg: Arc::clone(&cfg),
@@ -323,6 +451,15 @@ impl CryptoDrop {
     /// [`Config::snapshot_cache_capacity`] (0 = unbounded).
     fn shard_cap(&self) -> usize {
         match self.cfg.snapshot_cache_capacity {
+            0 => usize::MAX,
+            n => n.div_ceil(SHARDS).max(1),
+        }
+    }
+
+    /// The per-shard pinned-snapshot budget implied by
+    /// [`Config::pinned_snapshot_budget`] (0 = unbounded).
+    fn pinned_shard_cap(&self) -> usize {
+        match self.cfg.pinned_snapshot_budget {
             0 => usize::MAX,
             n => n.div_ceil(SHARDS).max(1),
         }
@@ -437,6 +574,30 @@ impl Monitor {
         self.shared.cache_stats()
     }
 
+    /// The telemetry handle the engine was constructed with (a disabled
+    /// stub unless [`CryptoDrop::new_with_telemetry`] was used).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.shared.telemetry
+    }
+
+    /// Reconstructs the full detection audit trail for one process: every
+    /// indicator that fired, in order, with its measured value, threshold,
+    /// points, simulated timestamp, and the running score it produced —
+    /// the explanation behind a suspension (paper §IV-A). Returns `None`
+    /// if the engine has never seen the pid.
+    ///
+    /// With [`Config::aggregate_process_families`] enabled (the default),
+    /// pass the family root pid, as carried by [`DetectionReport::pid`].
+    pub fn audit_trail(&self, pid: ProcessId) -> Option<crate::audit::AuditTrail> {
+        let suspended_at = self.detection_for(pid).map(|d| d.at_nanos);
+        self.shared
+            .family_shard(pid)
+            .lock()
+            .processes
+            .get(&pid)
+            .map(|st| crate::audit::AuditTrail::rebuild(st, &self.cfg, suspended_at))
+    }
+
     /// The user reviewed a detection and chose to allow the activity
     /// (paper §IV-A). The process (or family) is exempted from further
     /// scoring and re-suspension; pair this with
@@ -476,7 +637,43 @@ impl std::fmt::Debug for CryptoDrop {
     }
 }
 
+/// What the zero-recompute close gate found for the file being closed.
+enum CloseCache {
+    /// Content changed (or the shortcut is off): ordinary recompute.
+    Changed,
+    /// Fingerprint-unchanged and the resident snapshot is present:
+    /// reuse it outright.
+    Unchanged(FileSnapshot),
+    /// Fingerprint-unchanged but the resident snapshot is gone — torn
+    /// cache state that degrades to a recompute plus an anomaly count.
+    Torn,
+}
+
 impl CryptoDrop {
+    /// Routes an indicator hit through the scoreboard, first journaling
+    /// the contribution (indicator, measured value, threshold, points,
+    /// path) and bumping its fire counter when telemetry is enabled.
+    fn award(&self, st: &mut ProcessState, path: &VPath, hit: IndicatorHit) {
+        if self.shared.telemetry.is_enabled() {
+            self.shared.metrics.fires[hit.indicator as usize].inc();
+            self.shared
+                .telemetry
+                .journal_event(hit.at_nanos, st.pid().0, || JournalKind::Indicator {
+                    indicator: hit.indicator.name().to_string(),
+                    value: hit.value,
+                    threshold: hit.threshold,
+                    points: hit.points,
+                    path: path.as_str().to_string(),
+                });
+        }
+        st.award(&self.cfg.score, self.cfg.union_enabled, hit);
+    }
+
+    /// The evaluation-latency histogram for one indicator.
+    fn eval_timer(&self, indicator: Indicator) -> &Histogram {
+        &self.shared.metrics.eval_ns[indicator as usize]
+    }
+
     /// Evaluates the two content-comparison indicators (type change and
     /// similarity) of `current` against `snapshot`, awarding hits.
     ///
@@ -485,7 +682,7 @@ impl CryptoDrop {
     /// refresh). Returns what the similarity pass learned about the
     /// post-image's digest so the refresh can reuse it.
     fn evaluate_content(
-        cfg: &Config,
+        &self,
         st: &mut ProcessState,
         snapshot: &FileSnapshot,
         current: &[u8],
@@ -493,7 +690,9 @@ impl CryptoDrop {
         path: &VPath,
         at_nanos: u64,
     ) -> PostImageDigest {
+        let cfg = &self.cfg;
         let window = &current[..current.len().min(cfg.max_digest_bytes)];
+        let timer = self.shared.telemetry.start_timer();
         let (sim_outcome, post_digest) = similarity::evaluate_full(
             snapshot.digest.as_ref(),
             snapshot.entropy,
@@ -501,6 +700,7 @@ impl CryptoDrop {
             cfg.score.similarity_match_max,
             cfg.score.similarity_max_source_entropy,
         );
+        self.eval_timer(Indicator::Similarity).record_elapsed(timer);
         // Dynamic scoring (future work, §V-C): when the similarity
         // indicator is structurally unavailable for this file — no
         // pre-image digest exists (sub-512 B or featureless content) —
@@ -514,33 +714,79 @@ impl CryptoDrop {
         } else {
             cfg.score.points_type_change
         };
-        if let TypeChangeOutcome::Changed { before, after } =
-            type_change::evaluate(snapshot.file_type, post_type)
-        {
-            st.award(
-                &cfg.score,
-                cfg.union_enabled,
+        let timer = self.shared.telemetry.start_timer();
+        let type_outcome = type_change::evaluate(snapshot.file_type, post_type);
+        self.eval_timer(Indicator::TypeChange).record_elapsed(timer);
+        if let TypeChangeOutcome::Changed { before, after } = type_outcome {
+            self.award(
+                st,
+                path,
                 IndicatorHit {
                     indicator: Indicator::TypeChange,
                     points: type_points,
+                    value: 1.0,
+                    threshold: 1.0,
                     detail: format!("{} -> {} at {path}", before.description(), after.description()),
                     at_nanos,
                 },
             );
         }
         if let SimilarityOutcome::Dissimilar(score) = sim_outcome {
-            st.award(
-                &cfg.score,
-                cfg.union_enabled,
+            self.award(
+                st,
+                path,
                 IndicatorHit {
                     indicator: Indicator::Similarity,
                     points: cfg.score.points_similarity,
+                    value: f64::from(score),
+                    threshold: f64::from(cfg.score.similarity_match_max),
                     detail: format!("similarity {score}/100 at {path}"),
                     at_nanos,
                 },
             );
         }
         post_digest
+    }
+
+    /// Resolves the post-close "previous version" snapshot.
+    ///
+    /// The unchanged fast path reuses the resident snapshot. A
+    /// [`CloseCache::Torn`] state — the unchanged gate matched but the
+    /// snapshot is gone, which should be impossible but must not take
+    /// down the filter — is counted and journaled as a cache anomaly and
+    /// degrades to the ordinary miss-path recompute.
+    fn resolve_close_snapshot(
+        &self,
+        cached: CloseCache,
+        current: &[u8],
+        post_type: FileType,
+        reusable_digest: Option<Option<SdDigest>>,
+        at_nanos: u64,
+        pid: ProcessId,
+    ) -> FileSnapshot {
+        match cached {
+            CloseCache::Unchanged(snap) => {
+                self.shared.cache_hits.fetch_add(1, Ordering::Relaxed);
+                return snap;
+            }
+            CloseCache::Torn => {
+                self.shared.cache_anomalies.fetch_add(1, Ordering::Relaxed);
+                self.shared
+                    .telemetry
+                    .journal_event(at_nanos, pid.0, || JournalKind::CacheAnomaly {
+                        context: "close: unchanged fast path found no resident snapshot"
+                            .to_string(),
+                    });
+            }
+            CloseCache::Changed => {}
+        }
+        self.shared.cache_misses.fetch_add(1, Ordering::Relaxed);
+        FileSnapshot::capture_reusing(
+            current,
+            self.cfg.max_digest_bytes,
+            Some(post_type),
+            reusable_digest,
+        )
     }
 
     /// After awarding hits, checks the threshold and issues the verdict.
@@ -564,6 +810,9 @@ impl CryptoDrop {
         };
         let reason = report.reason();
         self.shared.detections.lock().push(report);
+        if self.shared.telemetry.is_enabled() {
+            self.shared.metrics.detections.inc();
+        }
         Verdict::Suspend { reason }
     }
 
@@ -581,11 +830,13 @@ impl CryptoDrop {
         let fp = content_fingerprint(&data);
         let tick = self.shared.next_tick();
         let shard = self.shared.path_shard(path);
-        if let Some(entry) = shard.lock().snapshots.get_mut(path) {
-            if entry.snap.fingerprint == fp {
-                entry.tick = tick;
-                self.shared.cache_hits.fetch_add(1, Ordering::Relaxed);
-                return;
+        if self.cfg.fingerprint_cache {
+            if let Some(entry) = shard.lock().snapshots.get_mut(path) {
+                if entry.snap.fingerprint == fp {
+                    entry.tick = tick;
+                    self.shared.cache_hits.fetch_add(1, Ordering::Relaxed);
+                    return;
+                }
             }
         }
         let snap = FileSnapshot::capture(&data, self.cfg.max_digest_bytes);
@@ -707,15 +958,20 @@ impl FilterDriver for CryptoDrop {
                 // Sample the file's type from its leading bytes exactly once
                 // per file for the funneling indicator.
                 if offset == 0 && !data.is_empty() && st.first_read(*file) {
+                    let timer = self.shared.telemetry.start_timer();
                     let levels = st.funnel_mut().record_read(sniff(data));
+                    self.eval_timer(Indicator::Funneling).record_elapsed(timer);
                     if levels > 0 {
                         let points = levels * cfg.score.points_funneling;
-                        st.award(
-                            &cfg.score,
-                            cfg.union_enabled,
+                        let gap = st.funnel().gap();
+                        self.award(
+                            st,
+                            path,
                             IndicatorHit {
                                 indicator: Indicator::Funneling,
                                 points,
+                                value: f64::from(gap),
+                                threshold: f64::from(cfg.score.funnel_gap),
                                 detail: format!("type funnel widened reading {path}"),
                                 at_nanos: at,
                             },
@@ -737,44 +993,57 @@ impl FilterDriver for CryptoDrop {
                 }
                 // The write-burst indicator (future work, §V-F): first
                 // modifications of distinct files within a sliding window.
-                if cfg.score.burst_enabled
-                    && st.first_modification(*file)
-                    && st.record_burst(at, cfg.score.burst_window_nanos, cfg.score.burst_threshold)
-                {
-                    st.award(
-                        &cfg.score,
-                        cfg.union_enabled,
-                        IndicatorHit {
-                            indicator: Indicator::WriteBurst,
-                            points: cfg.score.points_burst,
-                            detail: format!("modification burst at {path}"),
-                            at_nanos: at,
-                        },
-                    );
+                if cfg.score.burst_enabled && st.first_modification(*file) {
+                    let timer = self.shared.telemetry.start_timer();
+                    let burst =
+                        st.record_burst(at, cfg.score.burst_window_nanos, cfg.score.burst_threshold);
+                    self.eval_timer(Indicator::WriteBurst).record_elapsed(timer);
+                    if burst {
+                        let in_window = st.burst_window_len();
+                        self.award(
+                            st,
+                            path,
+                            IndicatorHit {
+                                indicator: Indicator::WriteBurst,
+                                points: cfg.score.points_burst,
+                                value: in_window as f64,
+                                threshold: f64::from(cfg.score.burst_threshold),
+                                detail: format!("modification burst at {path}"),
+                                at_nanos: at,
+                            },
+                        );
+                    }
                 }
                 // (A zeroed point value disables the indicator entirely —
                 // the isolation study relies on this.)
-                if cfg.score.points_entropy_delta > 0 && st.entropy_mut().observe_write(data) {
-                    let delta = st.entropy().delta().unwrap_or_default();
-                    // Small writes earn proportionally fewer points: a
-                    // flood of tiny-file encryptions should not outpace
-                    // the content indicators (paper §V-C's small-file
-                    // dynamics).
-                    let scale = (data.len() as f64
-                        / cfg.score.entropy_full_weight_bytes.max(1) as f64)
-                        .min(1.0);
-                    let points =
-                        ((cfg.score.points_entropy_delta as f64 * scale).round() as u32).max(1);
-                    st.award(
-                        &cfg.score,
-                        cfg.union_enabled,
-                        IndicatorHit {
-                            indicator: Indicator::EntropyDelta,
-                            points,
-                            detail: format!("write/read entropy delta {delta:.3} at {path}"),
-                            at_nanos: at,
-                        },
-                    );
+                if cfg.score.points_entropy_delta > 0 {
+                    let timer = self.shared.telemetry.start_timer();
+                    let fired = st.entropy_mut().observe_write(data);
+                    self.eval_timer(Indicator::EntropyDelta).record_elapsed(timer);
+                    if fired {
+                        let delta = st.entropy().delta().unwrap_or_default();
+                        // Small writes earn proportionally fewer points: a
+                        // flood of tiny-file encryptions should not outpace
+                        // the content indicators (paper §V-C's small-file
+                        // dynamics).
+                        let scale = (data.len() as f64
+                            / cfg.score.entropy_full_weight_bytes.max(1) as f64)
+                            .min(1.0);
+                        let points =
+                            ((cfg.score.points_entropy_delta as f64 * scale).round() as u32).max(1);
+                        self.award(
+                            st,
+                            path,
+                            IndicatorHit {
+                                indicator: Indicator::EntropyDelta,
+                                points,
+                                value: delta,
+                                threshold: cfg.score.entropy_delta_threshold,
+                                detail: format!("write/read entropy delta {delta:.3} at {path}"),
+                                at_nanos: at,
+                            },
+                        );
+                    }
                 }
                 self.verdict_for(st, at)
             }
@@ -817,7 +1086,8 @@ impl FilterDriver for CryptoDrop {
                 // `similarity_match_max >= 100` configuration would count
                 // even self-similarity as dissimilar, so it disables the
                 // shortcut.
-                let unchanged = cfg.score.similarity_match_max < 100
+                let unchanged = cfg.fingerprint_cache
+                    && cfg.score.similarity_match_max < 100
                     && snapshot
                         .as_ref()
                         .is_some_and(|s| s.fingerprint == content_fingerprint(&current));
@@ -834,10 +1104,9 @@ impl FilterDriver for CryptoDrop {
                     }
                     if !unchanged {
                         if let Some(snap) = &snapshot {
-                            reusable_digest = CryptoDrop::evaluate_content(
-                                &cfg, st, snap, &current, post_type, path, at,
-                            )
-                            .into_reusable();
+                            reusable_digest = self
+                                .evaluate_content(st, snap, &current, post_type, path, at)
+                                .into_reusable();
                         }
                     }
                     self.verdict_for(st, at)
@@ -847,18 +1116,22 @@ impl FilterDriver for CryptoDrop {
                 // content reuses the existing snapshot outright; changed
                 // content reuses the sniff and the similarity pass's
                 // post-image digest instead of recomputing them.
-                let fresh = if unchanged {
-                    self.shared.cache_hits.fetch_add(1, Ordering::Relaxed);
-                    snapshot.expect("unchanged implies a snapshot")
+                let cached = if unchanged {
+                    match snapshot {
+                        Some(snap) => CloseCache::Unchanged(snap),
+                        None => CloseCache::Torn,
+                    }
                 } else {
-                    self.shared.cache_misses.fetch_add(1, Ordering::Relaxed);
-                    FileSnapshot::capture_reusing(
-                        &current,
-                        cfg.max_digest_bytes,
-                        Some(post_type),
-                        reusable_digest,
-                    )
+                    CloseCache::Changed
                 };
+                let fresh = self.resolve_close_snapshot(
+                    cached,
+                    &current,
+                    post_type,
+                    reusable_digest,
+                    at,
+                    key,
+                );
                 self.shared
                     .file_shard(*file)
                     .lock()
@@ -891,19 +1164,38 @@ impl FilterDriver for CryptoDrop {
                     // this path.
                     fsh.created.contains(file)
                 };
+                // Pin the retained snapshot: the Class C link must survive
+                // unrelated cache pressure, so post-delete snapshots leave
+                // the LRU population and move to the pinned budget.
+                let evicted = self
+                    .shared
+                    .path_shard(path)
+                    .lock()
+                    .pin(path, self.pinned_shard_cap());
+                if evicted > 0 {
+                    self.shared
+                        .cache_evictions
+                        .fetch_add(evicted, Ordering::Relaxed);
+                }
                 let mut fam = self.shared.family_shard(key).lock();
                 let st = FamilyShard::process_mut(&mut fam.processes, &cfg, key, ctx.process_name);
                 // Deleting one's own temporary files is routine (§III-D);
                 // only deletions of pre-existing user files count.
                 if !created {
                     st.record_loss(*file);
-                    if st.deletions_mut().observe_delete() {
-                        st.award(
-                            &cfg.score,
-                            cfg.union_enabled,
+                    let timer = self.shared.telemetry.start_timer();
+                    let scored = st.deletions_mut().observe_delete();
+                    self.eval_timer(Indicator::Deletion).record_elapsed(timer);
+                    if scored {
+                        let count = st.deletions().deletions();
+                        self.award(
+                            st,
+                            path,
                             IndicatorHit {
                                 indicator: Indicator::Deletion,
                                 points: cfg.score.points_deletion,
+                                value: f64::from(count),
+                                threshold: f64::from(cfg.score.deletion_allowance),
                                 detail: format!("bulk deletion: {path}"),
                                 at_nanos: at,
                             },
@@ -958,21 +1250,17 @@ impl FilterDriver for CryptoDrop {
                             st.record_loss(*replaced_id);
                         }
                         if let (Some(snap), Ok(current)) = (dest_snap, fs.read_file(to)) {
-                            CryptoDrop::evaluate_content(
-                                &cfg,
-                                st,
-                                &snap,
-                                &current,
-                                sniff(&current),
-                                to,
-                                at,
-                            );
+                            self.evaluate_content(st, &snap, &current, sniff(&current), to, at);
                         }
                         verdict = self.verdict_for(st, at);
                     }
                 }
 
                 // The moved file's own snapshot follows it to the new path.
+                // Whatever path-keyed history `from` held is consumed
+                // either way: the file is gone from that path, and a stale
+                // entry left behind would be served as the pre-image of an
+                // unrelated file that later lands at `from`.
                 let moved_snap = self
                     .shared
                     .file_shard(*file)
@@ -980,16 +1268,8 @@ impl FilterDriver for CryptoDrop {
                     .snapshots
                     .get(file)
                     .cloned();
-                let follow = match moved_snap {
-                    Some(snap) => Some(snap),
-                    None => self
-                        .shared
-                        .path_shard(from)
-                        .lock()
-                        .snapshots
-                        .remove(from)
-                        .map(|e| e.snap),
-                };
+                let from_snap = self.shared.path_shard(from).lock().remove_snapshot(from);
+                let follow = moved_snap.or(from_snap);
                 if let Some(snap) = follow {
                     let tick = self.shared.next_tick();
                     let evicted = self.shared.path_shard(to).lock().insert_snapshot(
@@ -1571,5 +1851,357 @@ mod tests {
         };
         assert_eq!(via_fork, monitor.detections());
         assert_eq!(via_fork.len(), 1);
+    }
+
+    #[test]
+    fn close_snapshot_resolver_survives_missing_snapshot() {
+        // The unchanged-close fast path once did
+        // `snapshot.expect("unchanged implies a snapshot")`: torn cache
+        // state (snapshot evicted between the gate and the resolve) would
+        // panic inside the filter. The resolver must degrade to a
+        // recompute and count the anomaly instead.
+        let (engine, monitor) = CryptoDrop::new(Config::protecting(DOCS));
+        let current = text_content(1, 4096);
+        let post_type = sniff(&current);
+        let resolved = engine.resolve_close_snapshot(
+            CloseCache::Torn, // unchanged gate matched, snapshot gone
+            &current,
+            post_type,
+            None,
+            42,
+            ProcessId(9),
+        );
+        assert_eq!(
+            resolved,
+            FileSnapshot::capture(&current, engine.cfg.max_digest_bytes),
+            "anomaly path must recompute a faithful snapshot"
+        );
+        let stats = monitor.cache_stats();
+        assert_eq!(stats.anomalies, 1, "{stats:?}");
+        assert_eq!(stats.hits, 0, "{stats:?}");
+        assert_eq!(stats.misses, 1, "{stats:?}");
+        // The healthy paths stay anomaly-free.
+        let healthy = engine.resolve_close_snapshot(
+            CloseCache::Unchanged(resolved.clone()),
+            &current,
+            post_type,
+            None,
+            43,
+            ProcessId(9),
+        );
+        assert_eq!(healthy, resolved);
+        assert_eq!(monitor.cache_stats().anomalies, 1);
+        assert_eq!(monitor.cache_stats().hits, 1);
+    }
+
+    #[test]
+    fn retained_post_delete_snapshot_survives_lru_pressure() {
+        // The Class C link: a deleted original's snapshot must survive
+        // unrelated cache pressure so a later drop at the same path can be
+        // compared against the original content. Before pinning, the
+        // post-delete snapshot was ordinary LRU population and any burst
+        // of benign activity evicted it.
+        let mut fs = Vfs::new();
+        let docs = VPath::new(DOCS);
+        let target = docs.join("target.txt");
+        let original = text_content(7, 4096);
+        fs.admin_write_file(&target, &original).unwrap();
+        let mut cfg = Config::protecting(DOCS);
+        cfg.snapshot_cache_capacity = 2; // per-shard cap of 1
+        let (engine, monitor) = CryptoDrop::new(cfg);
+        fs.register_filter(Box::new(engine));
+
+        let pid = fs.spawn_process("classc-slow.exe");
+        // One deletion: within the allowance, so no score yet — but the
+        // engine retains (and must pin) the original's snapshot.
+        fs.delete(pid, &target).unwrap();
+        assert_eq!(monitor.cache_stats().pinned, 1);
+        // Unrelated benign churn floods every path shard far past the cap.
+        for i in 0..64 {
+            fs.write_file(pid, &docs.join(format!("cover{i}.txt")), &text_content(i, 2048))
+                .unwrap();
+        }
+        let stats = monitor.cache_stats();
+        assert!(stats.evictions > 0, "cover churn must evict: {stats:?}");
+        assert_eq!(stats.pinned, 1, "the retained snapshot must survive: {stats:?}");
+        // The drop: an "independent" encrypted copy lands at the deleted
+        // original's path.
+        fs.write_file(pid, &target, &encrypt(&original, 31)).unwrap();
+        let hits = monitor.hits(pid);
+        assert!(
+            hits.iter().any(|h| h.indicator == Indicator::Similarity),
+            "drop must be linked to the deleted original: {hits:?}"
+        );
+        assert!(
+            hits.iter().any(|h| h.indicator == Indicator::TypeChange),
+            "type change vs the deleted original must fire: {hits:?}"
+        );
+    }
+
+    #[test]
+    fn pinned_snapshots_respect_their_own_budget() {
+        let mut fs = Vfs::new();
+        let docs = VPath::new(DOCS);
+        for i in 0..64 {
+            fs.admin_write_file(&docs.join(format!("f{i}.txt")), &text_content(i, 2048))
+                .unwrap();
+        }
+        let mut cfg = Config::protecting(DOCS);
+        cfg.snapshot_cache_capacity = 16;
+        cfg.pinned_snapshot_budget = 16; // per-shard budget of 1
+        let (engine, monitor) = CryptoDrop::new(cfg);
+        fs.register_filter(Box::new(engine));
+        let pid = fs.spawn_process("wiper.exe");
+        for i in 0..64 {
+            if fs.delete(pid, &docs.join(format!("f{i}.txt"))).is_err() {
+                break; // suspended for bulk deletion — the budget already filled
+            }
+        }
+        let stats = monitor.cache_stats();
+        assert!(stats.pinned >= 1, "{stats:?}");
+        assert!(stats.pinned <= 16, "pinned budget must bound retention: {stats:?}");
+        assert!(stats.resident <= 32, "{stats:?}");
+    }
+
+    #[test]
+    fn class_c_detection_survives_tiny_snapshot_cache() {
+        // Invariant guard: the rename-over Class C flow keeps detecting
+        // even under a pathologically small cache.
+        let mut fs = Vfs::new();
+        let docs = VPath::new(DOCS);
+        for i in 0..40 {
+            fs.admin_write_file(
+                &docs.join(format!("dir{}/file{i}.txt", i % 3)),
+                &text_content(i, 4096),
+            )
+            .unwrap();
+        }
+        let mut cfg = Config::protecting(DOCS);
+        cfg.snapshot_cache_capacity = 2;
+        let (engine, monitor) = CryptoDrop::new(cfg);
+        fs.register_filter(Box::new(engine));
+        let pid = fs.spawn_process("classc.exe");
+        for i in 0..40 {
+            let src = docs.join(format!("dir{}/file{i}.txt", i % 3));
+            let Ok(data) = fs.read_file(pid, &src) else { break };
+            let enc_path = docs.join(format!("dir{}/file{i}.enc", i % 3));
+            if fs.write_file(pid, &enc_path, &encrypt(&data, 77 + i as u64)).is_err() {
+                break;
+            }
+            if fs.rename(pid, &enc_path, &src, true).is_err() {
+                break;
+            }
+        }
+        assert!(fs.is_suspended(pid));
+        let report = monitor.detection_for(pid).unwrap();
+        assert!(report.union_triggered, "cache pressure must not break the link");
+    }
+
+    /// Strips an [`IndicatorHit`] to its deterministic parts (timestamps
+    /// carry measured filter overhead and vary run to run).
+    fn stripped(hits: Vec<IndicatorHit>) -> Vec<(Indicator, u32, String)> {
+        hits.into_iter().map(|h| (h.indicator, h.points, h.detail)).collect()
+    }
+
+    #[test]
+    fn rename_out_and_back_verdict_matches_cache_disabled_replay() {
+        // A file is warmed (fingerprint-cached) at its original path,
+        // renamed out of the tree, encrypted there, and renamed back to
+        // the *same* original path. The fingerprint cache must never serve
+        // the stale pre-move snapshot: the verdict and the full hit trail
+        // must be byte-identical to a replay with the cache disabled.
+        let run = |fingerprint_cache: bool| {
+            let mut fs = Vfs::new();
+            let docs = VPath::new(DOCS);
+            for i in 0..24 {
+                fs.admin_write_file(
+                    &docs.join(format!("dir{}/file{i}.txt", i % 3)),
+                    &text_content(i, 4096),
+                )
+                .unwrap();
+            }
+            fs.admin_create_dir_all(&VPath::new("/tmp")).unwrap();
+            let mut cfg = Config::protecting(DOCS);
+            cfg.fingerprint_cache = fingerprint_cache;
+            let (engine, monitor) = CryptoDrop::new(cfg);
+            fs.register_filter(Box::new(engine));
+            let pid = fs.spawn_process("outandback.exe");
+            let tmp = VPath::new("/tmp");
+            'outer: for i in 0..24 {
+                let src = docs.join(format!("dir{}/file{i}.txt", i % 3));
+                if fs.admin_metadata(&src).is_err() {
+                    continue;
+                }
+                // Warm the caches: an unchanged rewrite at the original path.
+                let Ok(h) = fs.open(pid, &src, OpenOptions::modify()) else {
+                    break 'outer;
+                };
+                let data = fs.read_to_end(pid, h).unwrap_or_default();
+                if fs.seek(pid, h, 0).is_err()
+                    || fs.write(pid, h, &data).is_err()
+                    || fs.close(pid, h).is_err()
+                {
+                    let _ = fs.close(pid, h);
+                    break 'outer;
+                }
+                // Out of the tree, encrypt there, and back to the same path.
+                let staging = tmp.join(format!("s{i}.tmp"));
+                if fs.rename(pid, &src, &staging, false).is_err() {
+                    break 'outer;
+                }
+                let Ok(h) = fs.open(pid, &staging, OpenOptions::modify()) else {
+                    break 'outer;
+                };
+                let ct = encrypt(&data, 400 + i as u64);
+                if fs.seek(pid, h, 0).is_err()
+                    || fs.write(pid, h, &ct).is_err()
+                    || fs.close(pid, h).is_err()
+                {
+                    let _ = fs.close(pid, h);
+                    break 'outer;
+                }
+                if fs.rename(pid, &staging, &src, false).is_err() {
+                    break 'outer;
+                }
+            }
+            (
+                monitor.score(pid),
+                fs.is_suspended(pid),
+                monitor.detection_for(pid).map(|d| (d.score, d.union_triggered, d.files_lost)),
+                stripped(monitor.hits(pid)),
+            )
+        };
+        let cached = run(true);
+        let reference = run(false);
+        assert_eq!(
+            cached, reference,
+            "fingerprint cache must be invisible to verdicts"
+        );
+        assert!(cached.1, "the out-and-back encryptor must still be caught");
+    }
+
+    #[test]
+    fn vacated_path_serves_no_stale_preimage() {
+        // Renaming a warmed file out of the tree consumes its path-keyed
+        // history. A *different* file later created at the vacated path
+        // must not inherit the old file's snapshot as its pre-image.
+        let (mut fs, monitor) = setup(8);
+        let docs = VPath::new(DOCS);
+        let pid = fs.spawn_process("organizer.exe");
+        let src = docs.join("dir0/file0.txt");
+        // Warm the file-id snapshot so the rename has one to follow.
+        let h = fs.open(pid, &src, OpenOptions::modify()).unwrap();
+        let data = fs.read_to_end(pid, h).unwrap();
+        fs.seek(pid, h, 0).unwrap();
+        fs.write(pid, h, &data).unwrap();
+        fs.close(pid, h).unwrap();
+        fs.rename(pid, &src, &VPath::new("/tmp/archived.txt"), false).unwrap();
+        // Fresh, unrelated high-entropy content lands at the vacated path
+        // (e.g. a downloaded archive). With a stale pre-image this would
+        // fire type-change/similarity against content it never replaced.
+        fs.write_file(pid, &src, &keystream(4096, 5)).unwrap();
+        let hits = monitor.hits(pid);
+        assert!(
+            !hits
+                .iter()
+                .any(|h| matches!(h.indicator, Indicator::TypeChange | Indicator::Similarity)),
+            "no content comparison without a true pre-image: {hits:?}"
+        );
+    }
+
+    #[test]
+    fn audit_trail_reconstructs_indicator_timeline() {
+        // End-to-end observability: engine + VFS share one telemetry
+        // handle; after a detection the audit trail explains it and the
+        // journal carries the op -> indicator -> suspension journey.
+        let telemetry = cryptodrop_telemetry::Telemetry::new(1 << 16);
+        let mut fs = Vfs::new();
+        fs.set_telemetry(telemetry.clone());
+        let docs = VPath::new(DOCS);
+        for i in 0..60 {
+            fs.admin_write_file(
+                &docs.join(format!("dir{}/file{i}.txt", i % 3)),
+                &text_content(i as u32, 4096),
+            )
+            .unwrap();
+        }
+        let (engine, monitor) =
+            CryptoDrop::new_with_telemetry(Config::protecting(DOCS), telemetry.clone());
+        fs.register_filter(Box::new(engine));
+        let pid = fs.spawn_process("locky.exe");
+        run_class_a(&mut fs, pid);
+        assert!(fs.is_suspended(pid));
+
+        let trail = monitor.audit_trail(pid).expect("seen process");
+        assert!(trail.detected);
+        assert!(trail.suspended_at_nanos.is_some());
+        assert!(!trail.entries.is_empty());
+        assert_eq!(trail.entries.last().unwrap().score_after, trail.score);
+        assert_eq!(trail.entries.len(), monitor.hits(pid).len());
+        // Every entry names its indicator and carries a timeline position.
+        let mut last_at = 0;
+        for e in &trail.entries {
+            assert!(!e.indicator_name.is_empty());
+            assert!(e.threshold >= 0.0);
+            assert!(e.at_nanos >= last_at, "entries must be in firing order");
+            last_at = e.at_nanos;
+        }
+        assert!(trail.union_triggered);
+        let rendered = trail.render();
+        assert!(rendered.contains("locky.exe"));
+        assert!(rendered.contains("SUSPENDED"));
+
+        // The journal interleaves filter and engine events for this pid.
+        let events = telemetry.journal().events_for(pid.0);
+        let indicator_events = events
+            .iter()
+            .filter(|e| matches!(e.kind, cryptodrop_telemetry::JournalKind::Indicator { .. }))
+            .count();
+        assert_eq!(indicator_events, trail.entries.len());
+        assert!(events
+            .iter()
+            .any(|e| matches!(e.kind, cryptodrop_telemetry::JournalKind::Op { .. })));
+        assert!(events
+            .iter()
+            .any(|e| matches!(e.kind, cryptodrop_telemetry::JournalKind::Suspension { .. })));
+
+        // Metrics: fires match the trail, eval timings were recorded, and
+        // the detection was counted.
+        let snap = telemetry.metrics().snapshot();
+        let fired: u64 = snap
+            .counters
+            .iter()
+            .filter(|(k, _)| k.starts_with("engine.indicator."))
+            .map(|(_, v)| *v)
+            .sum();
+        assert_eq!(fired, trail.entries.len() as u64);
+        assert_eq!(snap.counters.get("engine.detections"), Some(&1));
+        let sim_evals = snap
+            .histograms
+            .get("engine.eval.similarity.ns")
+            .expect("similarity eval histogram");
+        assert!(sim_evals.count > 0);
+    }
+
+    #[test]
+    fn disabled_telemetry_keeps_journal_and_metrics_empty() {
+        let (mut fs, monitor) = setup(40);
+        let pid = fs.spawn_process("quiet.exe");
+        run_class_a(&mut fs, pid);
+        assert!(fs.is_suspended(pid));
+        let t = monitor.telemetry();
+        assert!(!t.is_enabled());
+        assert!(t.journal().is_empty(), "disabled telemetry must not journal");
+        let snap = t.metrics().snapshot();
+        assert!(
+            snap.counters.values().all(|v| *v == 0),
+            "disabled telemetry must not count: {snap:?}"
+        );
+        assert!(snap.histograms.values().all(|h| h.count == 0));
+        // The audit trail still works: it reads the scoreboard, not the
+        // journal.
+        let trail = monitor.audit_trail(pid).expect("trail without telemetry");
+        assert!(trail.detected);
+        assert!(!trail.entries.is_empty());
     }
 }

@@ -90,12 +90,18 @@ impl std::fmt::Display for Indicator {
 }
 
 /// One indicator firing, with the points it contributed.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct IndicatorHit {
     /// Which indicator fired.
     pub indicator: Indicator,
     /// Reputation points awarded.
     pub points: u32,
+    /// The measured value that tripped the indicator, in that indicator's
+    /// own unit (entropy delta in bits/byte, similarity score, deletion
+    /// count, funnel gap, burst count; boolean indicators use 1.0).
+    pub value: f64,
+    /// The threshold the value was compared against, same unit.
+    pub threshold: f64,
     /// Human-readable context (file, scores) for the audit trail.
     pub detail: String,
     /// Simulated timestamp of the triggering operation.

@@ -73,16 +73,19 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod audit;
 pub mod baseline;
 pub mod config;
 pub mod engine;
 pub mod indicators;
 pub mod state;
 
+pub use audit::{AuditEntry, AuditTrail};
 pub use baseline::{
     BaselineAlert, EntropyOnlyDetector, EntropyOnlyHandle, IntegrityHandle, IntegrityMonitor,
 };
 pub use config::{Config, ScoreConfig};
+pub use cryptodrop_telemetry::Telemetry;
 pub use engine::{CacheStats, CryptoDrop, DetectionReport, Monitor};
 pub use indicators::{Indicator, IndicatorHit};
 pub use state::{FileSnapshot, ProcessState, ProcessSummary};

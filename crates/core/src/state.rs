@@ -271,9 +271,24 @@ impl ProcessState {
         &mut self.funnel
     }
 
+    /// The funneling tracker.
+    pub fn funnel(&self) -> &FunnelTracker {
+        &self.funnel
+    }
+
     /// Mutable access to the deletion tracker.
     pub fn deletions_mut(&mut self) -> &mut DeletionTracker {
         &mut self.deletions
+    }
+
+    /// The deletion tracker.
+    pub fn deletions(&self) -> &DeletionTracker {
+        &self.deletions
+    }
+
+    /// First-modification timestamps currently inside the burst window.
+    pub fn burst_window_len(&self) -> usize {
+        self.burst_times.len()
     }
 
     /// The full hit audit trail.
@@ -346,6 +361,8 @@ mod tests {
         IndicatorHit {
             indicator,
             points,
+            value: 1.0,
+            threshold: 1.0,
             detail: String::new(),
             at_nanos: 7,
         }

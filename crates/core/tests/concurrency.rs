@@ -61,7 +61,7 @@ fn run_family(i: usize, engine: CryptoDrop) -> (ProcessId, bool) {
     }
     fs.register_filter(Box::new(engine));
     let pid = fs.spawn_process(format!("proc{i}.exe"));
-    if i % 2 == 0 {
+    if i.is_multiple_of(2) {
         // Class A: read, encrypt in place, close — until suspended.
         for f in 0..FILES_PER_FAMILY {
             let path = docs.join(format!("file{f}.txt"));

@@ -75,6 +75,10 @@ fn main() {
     println!("\n{}", iso.render());
     write_json("isolation", &iso);
 
+    let tel = cryptodrop_experiments::telemetry::run(&corpus, &config, &reps);
+    println!("\n{}", tel.render());
+    write_json("telemetry", &tel);
+
     let roc = cryptodrop_experiments::roc::run(
         &corpus,
         &config,

@@ -13,6 +13,7 @@
 //! | [`baselines`] | CryptoDrop vs §II baselines (Tripwire-style integrity, entropy-only) |
 //! | [`isolation`] | §III indicators-in-isolation study |
 //! | [`roc`] | the threshold operating curve behind the paper's 200 (§V-A/§V-F) |
+//! | [`telemetry`] | instrumented runs: metric/journal harvests + detection audit trails |
 //!
 //! Each experiment runs at a [`Scale`]: [`Scale::paper`] uses the full
 //! 5,099-file corpus and all 492 samples; [`Scale::quick`] shrinks both
@@ -33,6 +34,7 @@ pub mod roc;
 pub mod report;
 pub mod runner;
 pub mod table1;
+pub mod telemetry;
 
 use cryptodrop::Config;
 use cryptodrop_corpus::{Corpus, CorpusSpec};

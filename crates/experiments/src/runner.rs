@@ -3,7 +3,7 @@
 
 use std::collections::BTreeSet;
 
-use cryptodrop::{Config, CryptoDrop};
+use cryptodrop::{Config, CryptoDrop, Telemetry};
 use cryptodrop_benign::BenignApp;
 use cryptodrop_corpus::Corpus;
 use cryptodrop_malware::{BehaviorClass, RansomwareSample};
@@ -47,11 +47,28 @@ pub struct SampleResult {
 
 /// Runs one sample against a freshly staged corpus with CryptoDrop armed.
 pub fn run_sample(corpus: &Corpus, config: &Config, sample: &RansomwareSample) -> SampleResult {
+    run_sample_with_telemetry(corpus, config, sample, Telemetry::disabled()).0
+}
+
+/// [`run_sample`] with a caller-supplied telemetry sink shared between the
+/// VFS and the engine, returning the run's harvested
+/// [`RunTelemetry`](crate::telemetry::RunTelemetry) alongside the result.
+///
+/// Instrumentation is inert: the [`SampleResult`] is identical whether the
+/// sink is enabled, disabled, or absent (`telemetry::instrumentation_is_inert`
+/// guards this).
+pub fn run_sample_with_telemetry(
+    corpus: &Corpus,
+    config: &Config,
+    sample: &RansomwareSample,
+    telemetry: Telemetry,
+) -> (SampleResult, crate::telemetry::RunTelemetry) {
     let mut fs = Vfs::new();
     corpus
         .stage_into(&mut fs)
         .expect("staging a generated corpus into an empty filesystem cannot fail");
-    let (engine, monitor) = CryptoDrop::new(config.clone());
+    fs.set_telemetry(telemetry.clone());
+    let (engine, monitor) = CryptoDrop::new_with_telemetry(config.clone(), telemetry.clone());
     fs.register_filter(Box::new(engine));
     let pid = fs.spawn_process(sample.process_name());
 
@@ -62,7 +79,7 @@ pub fn run_sample(corpus: &Corpus, config: &Config, sample: &RansomwareSample) -
     let report = monitor.detection_for(pid);
     let (extensions_accessed, dirs_touched) = trace_stats(&fs, corpus.root());
 
-    SampleResult {
+    let result = SampleResult {
         id: sample.id,
         family: sample.family.name().to_string(),
         class: sample.class,
@@ -79,7 +96,9 @@ pub fn run_sample(corpus: &Corpus, config: &Config, sample: &RansomwareSample) -
         files_attacked: outcome.files_attacked,
         extensions_accessed,
         dirs_touched,
-    }
+    };
+    let harvest = crate::telemetry::RunTelemetry::collect(&telemetry, &monitor, pid);
+    (result, harvest)
 }
 
 /// Extracts the Fig. 4 / Fig. 5 statistics from the event trace: the

@@ -1,0 +1,254 @@
+//! The bounded ring-buffer event journal.
+//!
+//! Every instrumented layer pushes [`JournalEvent`]s describing one
+//! operation's journey: the operation itself, each filter's pre/post
+//! verdict, the indicator contributions it earned, and the final
+//! suspension. Events carry a global sequence number so the per-shard
+//! rings can be merged back into one totally ordered timeline; when a ring
+//! overflows its bounded capacity the oldest events are dropped and
+//! counted, never blocking the writer.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+/// Ring shards. Writers pick a shard from the event's sequence number, so
+/// bursts spread across locks instead of serializing on one.
+const JOURNAL_SHARDS: usize = 8;
+
+/// What a [`JournalEvent`] describes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum JournalKind {
+    /// A filesystem operation completed.
+    Op {
+        /// Operation name (`open`, `write`, `close`, ...).
+        op: String,
+        /// Primary path the operation targeted.
+        path: String,
+    },
+    /// One filter's pre-operation verdict.
+    FilterPre {
+        /// Filter name.
+        filter: String,
+        /// Operation name.
+        op: String,
+        /// Verdict: `allow`, `deny`, or `suspend`.
+        verdict: String,
+    },
+    /// One filter's post-operation verdict.
+    FilterPost {
+        /// Filter name.
+        filter: String,
+        /// Operation name.
+        op: String,
+        /// Verdict: `allow`, `deny`, or `suspend`.
+        verdict: String,
+    },
+    /// An indicator fired and contributed points.
+    Indicator {
+        /// Indicator name (`type-change`, `similarity`, ...).
+        indicator: String,
+        /// The measured value that crossed the threshold.
+        value: f64,
+        /// The threshold it was compared against.
+        threshold: f64,
+        /// Reputation points awarded.
+        points: u32,
+        /// The path that triggered the indicator.
+        path: String,
+    },
+    /// A process was suspended.
+    Suspension {
+        /// The filter that suspended it.
+        filter: String,
+        /// The suspension reason.
+        reason: String,
+    },
+    /// The engine recovered from an inconsistent cache state.
+    CacheAnomaly {
+        /// What was inconsistent.
+        context: String,
+    },
+    /// A free-form marker (experiment phases, harness annotations).
+    Note {
+        /// Marker name.
+        name: String,
+        /// Marker detail.
+        detail: String,
+    },
+}
+
+/// One journal entry.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JournalEvent {
+    /// Global sequence number (total order across shards).
+    pub seq: u64,
+    /// Simulated timestamp (nanoseconds) of the underlying operation.
+    pub at_nanos: u64,
+    /// The process the event concerns.
+    pub pid: u32,
+    /// The event payload.
+    pub kind: JournalKind,
+}
+
+/// The sharded, bounded journal. See the [module docs](self).
+#[derive(Debug)]
+pub struct Journal {
+    shards: [Mutex<VecDeque<JournalEvent>>; JOURNAL_SHARDS],
+    seq: AtomicU64,
+    per_shard_capacity: usize,
+    dropped: AtomicU64,
+}
+
+impl Journal {
+    /// A journal retaining at most `capacity` events (rounded up to a
+    /// multiple of the shard count; 0 keeps nothing but still counts
+    /// drops).
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            shards: std::array::from_fn(|_| Mutex::new(VecDeque::new())),
+            seq: AtomicU64::new(0),
+            per_shard_capacity: capacity.div_ceil(JOURNAL_SHARDS),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// Appends an event, evicting the shard's oldest entry if the ring is
+    /// full. Returns the event's sequence number.
+    pub fn push(&self, at_nanos: u64, pid: u32, kind: JournalKind) -> u64 {
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        let event = JournalEvent {
+            seq,
+            at_nanos,
+            pid,
+            kind,
+        };
+        let mut ring = self.shards[(seq % JOURNAL_SHARDS as u64) as usize].lock();
+        if ring.len() >= self.per_shard_capacity {
+            if ring.pop_front().is_some() {
+                self.dropped.fetch_add(1, Ordering::Relaxed);
+            }
+            if self.per_shard_capacity == 0 {
+                self.dropped.fetch_add(1, Ordering::Relaxed);
+                return seq;
+            }
+        }
+        ring.push_back(event);
+        seq
+    }
+
+    /// Every retained event, merged across shards into sequence order.
+    pub fn events(&self) -> Vec<JournalEvent> {
+        let mut all: Vec<JournalEvent> = self
+            .shards
+            .iter()
+            .flat_map(|s| s.lock().iter().cloned().collect::<Vec<_>>())
+            .collect();
+        all.sort_by_key(|e| e.seq);
+        all
+    }
+
+    /// Retained events concerning one pid, in sequence order.
+    pub fn events_for(&self, pid: u32) -> Vec<JournalEvent> {
+        let mut v = self.events();
+        v.retain(|e| e.pid == pid);
+        v
+    }
+
+    /// Number of events currently retained.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().len()).sum()
+    }
+
+    /// Whether no events are retained.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total events ever pushed (including dropped ones).
+    pub fn total_pushed(&self) -> u64 {
+        self.seq.load(Ordering::Relaxed)
+    }
+
+    /// Events dropped to honour the capacity bound.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Renders the retained timeline as JSON Lines (one event per line,
+    /// sequence order) — the journal's export format.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for e in self.events() {
+            if let Ok(line) = serde_json::to_string(&e) {
+                out.push_str(&line);
+                out.push('\n');
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn note(name: &str) -> JournalKind {
+        JournalKind::Note {
+            name: name.to_string(),
+            detail: String::new(),
+        }
+    }
+
+    #[test]
+    fn events_merge_in_sequence_order() {
+        let j = Journal::with_capacity(1024);
+        for i in 0..100 {
+            j.push(i, 7, note(&format!("e{i}")));
+        }
+        let events = j.events();
+        assert_eq!(events.len(), 100);
+        assert!(events.windows(2).all(|w| w[0].seq < w[1].seq));
+        assert_eq!(j.total_pushed(), 100);
+        assert_eq!(j.dropped(), 0);
+    }
+
+    #[test]
+    fn overflow_drops_oldest_and_counts() {
+        let j = Journal::with_capacity(16); // 2 per shard
+        for i in 0..64 {
+            j.push(i, 1, note("x"));
+        }
+        assert_eq!(j.len(), 16);
+        assert_eq!(j.dropped(), 48);
+        // What survives is the newest tail of each shard.
+        let min_seq = j.events().first().unwrap().seq;
+        assert!(min_seq >= 32, "oldest events must be gone, min={min_seq}");
+    }
+
+    #[test]
+    fn pid_filter_and_jsonl_shape() {
+        let j = Journal::with_capacity(64);
+        j.push(5, 1, note("a"));
+        j.push(6, 2, note("b"));
+        j.push(7, 1, note("c"));
+        assert_eq!(j.events_for(1).len(), 2);
+        let jsonl = j.to_jsonl();
+        assert_eq!(jsonl.lines().count(), 3);
+        assert!(jsonl.lines().all(|l| l.starts_with('{') && l.ends_with('}')));
+        assert!(jsonl.contains("\"Note\""));
+    }
+
+    #[test]
+    fn zero_capacity_counts_but_keeps_nothing() {
+        let j = Journal::with_capacity(0);
+        for i in 0..10 {
+            j.push(i, 1, note("x"));
+        }
+        assert!(j.is_empty());
+        assert_eq!(j.dropped(), 10);
+        assert_eq!(j.total_pushed(), 10);
+    }
+}

@@ -10,6 +10,8 @@
 use std::collections::{BTreeMap, HashMap};
 use std::time::Instant;
 
+use cryptodrop_telemetry::{JournalKind, Telemetry};
+
 use crate::clock::{LatencyLedger, OpKind, SimClock};
 use crate::error::{VfsError, VfsResult};
 use crate::events::{Event, EventDetail, EventLog};
@@ -48,6 +50,7 @@ pub struct Vfs {
     clock: SimClock,
     ledger: LatencyLedger,
     log: EventLog,
+    telemetry: Telemetry,
 }
 
 impl Default for Vfs {
@@ -85,6 +88,7 @@ impl Vfs {
             clock: SimClock::new(),
             ledger: LatencyLedger::new(),
             log: EventLog::new(),
+            telemetry: Telemetry::disabled(),
         }
     }
 
@@ -145,6 +149,20 @@ impl Vfs {
     /// Removes and returns all registered filters.
     pub fn take_filters(&mut self) -> Vec<Box<dyn FilterDriver>> {
         std::mem::take(&mut self.filters)
+    }
+
+    /// Attaches a telemetry sink: when enabled, every operation's journey
+    /// (op → per-filter pre/post verdicts → suspension) is journaled.
+    /// Share the same handle with the registered filter drivers (e.g. the
+    /// CryptoDrop engine) to interleave their events — indicator
+    /// contributions, cache anomalies — into one ordered timeline.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
+    }
+
+    /// The attached telemetry sink (a disabled one by default).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
     }
 
     /// The simulated clock.
@@ -1127,7 +1145,15 @@ impl Vfs {
         let started = Instant::now();
         let mut result = Ok(());
         for f in filters.iter_mut() {
-            match f.pre_op(&ctx, &FsView::new(self)) {
+            let verdict = f.pre_op(&ctx, &FsView::new(self));
+            self.telemetry.journal_event(ctx.at_nanos, pid.0, || {
+                JournalKind::FilterPre {
+                    filter: f.name().to_string(),
+                    op: op.name().to_string(),
+                    verdict: verdict_label(&verdict).to_string(),
+                }
+            });
+            match verdict {
                 Verdict::Allow => {}
                 Verdict::Deny => {
                     result = Err(VfsError::AccessDenied {
@@ -1171,15 +1197,31 @@ impl Vfs {
             op: *op,
             at_nanos: self.clock.now_nanos(),
         };
+        self.telemetry.journal_event(ctx.at_nanos, pid.0, || JournalKind::Op {
+            op: op.name().to_string(),
+            path: op.path().as_str().to_string(),
+        });
         let mut filters = std::mem::take(&mut self.filters);
         let started = Instant::now();
+        // Every filter observes every completed operation — a Suspend from
+        // one must not hide the op from the rest, or per-filter state (and
+        // therefore verdicts) would depend on registration order,
+        // contradicting the stack's ordering-invariance contract (see
+        // `filter` module docs). All suspending filters are journaled; the
+        // *first* one wins the suspension record.
         let mut suspend: Option<(String, String)> = None;
         for f in filters.iter_mut() {
-            match f.post_op(&ctx, outcome, &FsView::new(self)) {
-                Verdict::Allow | Verdict::Deny => {}
-                Verdict::Suspend { reason } => {
+            let verdict = f.post_op(&ctx, outcome, &FsView::new(self));
+            self.telemetry.journal_event(ctx.at_nanos, pid.0, || {
+                JournalKind::FilterPost {
+                    filter: f.name().to_string(),
+                    op: op.name().to_string(),
+                    verdict: verdict_label(&verdict).to_string(),
+                }
+            });
+            if let Verdict::Suspend { reason } = verdict {
+                if suspend.is_none() {
                     suspend = Some((f.name().to_string(), reason));
-                    break;
                 }
             }
         }
@@ -1195,6 +1237,10 @@ impl Vfs {
             return; // already suspended: keep the original record and event
         }
         let at_nanos = self.clock.now_nanos();
+        self.telemetry.journal_event(at_nanos, pid.0, || JournalKind::Suspension {
+            filter: by.clone(),
+            reason: reason.clone(),
+        });
         self.processes.suspend(
             pid,
             SuspensionRecord {
@@ -1208,6 +1254,15 @@ impl Vfs {
             pid,
             detail: EventDetail::Suspended { by, reason },
         });
+    }
+}
+
+/// The journal's stable lowercase label for a verdict.
+fn verdict_label(v: &Verdict) -> &'static str {
+    match v {
+        Verdict::Allow => "allow",
+        Verdict::Deny => "deny",
+        Verdict::Suspend { .. } => "suspend",
     }
 }
 
@@ -1766,5 +1821,115 @@ mod tests {
         let total: u64 = fs.admin_files().map(|(_, d)| d.len() as u64).sum();
         assert_eq!(total, fs.total_bytes());
         assert_eq!(fs.admin_dirs().count(), 3);
+    }
+
+    /// A `WriteQuota` with a name and an externally observable op count.
+    struct CountingQuota {
+        name: &'static str,
+        limit: u32,
+        observed: std::sync::Arc<std::sync::atomic::AtomicU32>,
+    }
+    impl FilterDriver for CountingQuota {
+        fn name(&self) -> &str {
+            self.name
+        }
+        fn post_op(
+            &mut self,
+            _ctx: &OpContext<'_>,
+            outcome: &OpOutcome<'_>,
+            _fs: &FsView<'_>,
+        ) -> Verdict {
+            if let OpOutcome::Write { .. } = outcome {
+                let seen = self
+                    .observed
+                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+                    + 1;
+                if seen >= self.limit {
+                    return Verdict::Suspend {
+                        reason: format!("{}: write quota exceeded", self.name),
+                    };
+                }
+            }
+            Verdict::Allow
+        }
+    }
+
+    #[test]
+    fn post_op_sweep_reaches_every_filter_and_first_suspend_wins() {
+        // Regression: a Suspend used to break the post_op sweep, hiding
+        // the operation from later filters — their state (and therefore
+        // their verdicts) depended on registration order, contradicting
+        // the stack's ordering-invariance contract (`filter` module docs).
+        use std::sync::atomic::{AtomicU32, Ordering};
+        use std::sync::Arc;
+
+        let run = |first_is_a: bool| {
+            let (mut fs, pid) = fresh();
+            fs.set_telemetry(cryptodrop_telemetry::Telemetry::new(4096));
+            let a_seen = Arc::new(AtomicU32::new(0));
+            let b_seen = Arc::new(AtomicU32::new(0));
+            let a = Box::new(CountingQuota {
+                name: "quota-a",
+                limit: 2,
+                observed: Arc::clone(&a_seen),
+            });
+            let b = Box::new(CountingQuota {
+                name: "quota-b",
+                limit: 2,
+                observed: Arc::clone(&b_seen),
+            });
+            if first_is_a {
+                fs.register_filter(a);
+                fs.register_filter(b);
+            } else {
+                fs.register_filter(b);
+                fs.register_filter(a);
+            }
+            fs.write_file(pid, &p("/one.txt"), b"1").unwrap();
+            fs.write_file(pid, &p("/two.txt"), b"2").unwrap();
+            assert!(fs.is_suspended(pid));
+            let by = fs
+                .processes()
+                .get(pid)
+                .unwrap()
+                .suspension()
+                .unwrap()
+                .by
+                .clone();
+            let suspending: Vec<String> = fs
+                .telemetry()
+                .journal()
+                .events_for(pid.0)
+                .into_iter()
+                .filter_map(|e| match e.kind {
+                    JournalKind::FilterPost { filter, verdict, .. } if verdict == "suspend" => {
+                        Some(filter)
+                    }
+                    _ => None,
+                })
+                .collect();
+            (
+                a_seen.load(Ordering::Relaxed),
+                b_seen.load(Ordering::Relaxed),
+                by,
+                suspending,
+            )
+        };
+
+        let (a1, b1, by1, suspending1) = run(true);
+        let (a2, b2, by2, suspending2) = run(false);
+        // Every filter observed both completed writes in both orders.
+        assert_eq!((a1, b1), (2, 2), "second-registered filter missed ops");
+        assert_eq!((a2, b2), (2, 2), "second-registered filter missed ops");
+        // The *first* suspending filter in stack order wins the record...
+        assert_eq!(by1, "quota-a");
+        assert_eq!(by2, "quota-b");
+        // ...and the journal records *every* suspending filter either way.
+        let mut s1 = suspending1;
+        let mut s2 = suspending2;
+        s1.sort();
+        s2.sort();
+        assert_eq!(s1, vec!["quota-a".to_string(), "quota-b".to_string()]);
+        assert_eq!(s1, s2);
     }
 }

@@ -144,6 +144,21 @@ impl FsOp<'_> {
         }
     }
 
+    /// A short stable lowercase name for logs and telemetry.
+    pub fn name(&self) -> &'static str {
+        match self {
+            FsOp::Open { .. } => "open",
+            FsOp::Read { .. } => "read",
+            FsOp::Write { .. } => "write",
+            FsOp::Truncate { .. } => "truncate",
+            FsOp::Close { .. } => "close",
+            FsOp::Delete { .. } => "delete",
+            FsOp::Rename { .. } => "rename",
+            FsOp::ReadDir { .. } => "readdir",
+            FsOp::SetAttr { .. } => "setattr",
+        }
+    }
+
     /// The primary path the operation targets (the source for renames).
     pub fn path(&self) -> &VPath {
         match self {
