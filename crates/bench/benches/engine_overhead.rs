@@ -11,7 +11,7 @@
 use std::time::Instant;
 
 use criterion::{criterion_group, Criterion};
-use cryptodrop::{CacheStats, Config, CryptoDrop, Monitor};
+use cryptodrop::{CacheStats, Config, CryptoDrop};
 use cryptodrop_bench::{bench_config, bench_corpus};
 use cryptodrop_corpus::Corpus;
 use cryptodrop_experiments::perf;
@@ -70,9 +70,11 @@ fn bench(c: &mut Criterion) {
                 || {
                     let mut fs = staged_vfs(&corpus, 0);
                     if filtered {
-                        let (engine, _monitor) =
-                            CryptoDrop::new(Config::protecting(corpus.root().as_str()));
-                        fs.register_filter(Box::new(engine));
+                        let session = CryptoDrop::builder()
+                            .protecting(corpus.root().as_str())
+                            .build()
+                            .expect("valid config");
+                        fs.register_filter(Box::new(session.fork()));
                     }
                     let pid = fs.spawn_process("bench.exe");
                     (fs, pid)
@@ -96,8 +98,11 @@ criterion_group!(benches, bench);
 fn measure_cycle_ns(corpus: &Corpus, filtered: bool, churn: bool, iters: u32) -> f64 {
     let mut fs = staged_vfs(corpus, 0);
     if filtered {
-        let (engine, _monitor) = CryptoDrop::new(Config::protecting(corpus.root().as_str()));
-        fs.register_filter(Box::new(engine));
+        let session = CryptoDrop::builder()
+            .protecting(corpus.root().as_str())
+            .build()
+            .expect("valid config");
+        fs.register_filter(Box::new(session.fork()));
     }
     let pid = fs.spawn_process("bench.exe");
     modify_cycle(&mut fs, pid, corpus, churn, 0); // warm-up
@@ -112,14 +117,16 @@ fn measure_cycle_ns(corpus: &Corpus, filtered: bool, churn: bool, iters: u32) ->
 /// namespace, all driving forks of one shared engine. Returns cycles per
 /// second (aggregate) and the engine's cache counters.
 fn measure_throughput(corpus: &Corpus, threads: u32, iters: u32) -> (f64, CacheStats) {
-    let (engine, monitor): (CryptoDrop, Monitor) =
-        CryptoDrop::new(Config::protecting(corpus.root().as_str()));
+    let session = CryptoDrop::builder()
+        .protecting(corpus.root().as_str())
+        .build()
+        .expect("valid config");
     // Staging happens behind a barrier so only the cycling is timed; the
     // scope joins every worker before returning, closing the interval.
     let barrier = std::sync::Barrier::new(threads as usize + 1);
     let started = crossbeam::thread::scope(|scope| {
         for t in 0..threads {
-            let engine = engine.fork();
+            let engine = session.fork();
             let corpus = &corpus;
             let barrier = &barrier;
             scope.spawn(move |_| {
@@ -138,7 +145,7 @@ fn measure_throughput(corpus: &Corpus, threads: u32, iters: u32) -> (f64, CacheS
     .expect("writer threads must not panic");
     let secs = started.elapsed().as_secs_f64();
     let cycles = f64::from(threads) * f64::from(iters);
-    (cycles / secs.max(1e-9), monitor.cache_stats())
+    (cycles / secs.max(1e-9), session.cache_stats())
 }
 
 fn main() {

@@ -1,0 +1,269 @@
+//! Bench: the async batched analysis pipeline vs the PR 1 inline sharded
+//! engine, measured as multi-process throughput (N concurrent writer
+//! processes driving forks of one shared `Session`, one `Vfs` namespace
+//! per thread) plus a producer-visible burst-absorption probe.
+//!
+//! Three engine modes are swept:
+//!
+//! * **inline** — the PR 1 baseline: every indicator evaluation runs on
+//!   the calling thread inside the VFS callback.
+//! * **sync** — the pipeline under [`Backpressure::Sync`]: analysis hops
+//!   to a worker but the producer blocks on the verdict slot, so this
+//!   measures pure pipeline plumbing cost at identical semantics.
+//! * **degrade** — [`Backpressure::DegradeToInline`]: the producer never
+//!   waits; full analysis overlaps with the producer's next operations
+//!   and a full queue degrades the producer to inline processing.
+//!
+//! The burst probe times the *producer-visible* cost of a write burst
+//! under `degrade` with a deep queue — the latency a real application
+//! thread would see while workers absorb the analysis — then times the
+//! drain separately.
+//!
+//! Numbers are reported, not asserted: this container is frequently
+//! single-core, where overlap cannot show a wall-clock win. Machine-
+//! readable results go to `BENCH_pipeline.json` at the workspace root;
+//! `--test` (the CI smoke mode) scales every loop to a single iteration.
+
+use std::time::Instant;
+
+use criterion::{criterion_group, Criterion};
+use cryptodrop::{Backpressure, CryptoDrop, PipelineConfig, PipelineStats, Session};
+use cryptodrop_bench::bench_corpus;
+use cryptodrop_corpus::Corpus;
+use cryptodrop_vfs::{OpenOptions, ProcessId, Vfs};
+
+/// Which engine variant a measurement drives.
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Inline,
+    Sync,
+    Degrade,
+}
+
+impl Mode {
+    fn label(self) -> &'static str {
+        match self {
+            Mode::Inline => "inline",
+            Mode::Sync => "sync",
+            Mode::Degrade => "degrade",
+        }
+    }
+
+    fn pipeline(self) -> Option<PipelineConfig> {
+        match self {
+            Mode::Inline => None,
+            Mode::Sync => Some(PipelineConfig {
+                backpressure: Backpressure::Sync,
+                ..PipelineConfig::default()
+            }),
+            Mode::Degrade => Some(PipelineConfig {
+                backpressure: Backpressure::DegradeToInline,
+                ..PipelineConfig::default()
+            }),
+        }
+    }
+}
+
+fn build_session(corpus: &Corpus, mode: Mode) -> Session {
+    let mut builder = CryptoDrop::builder().protecting(corpus.root().as_str());
+    if let Some(pipeline) = mode.pipeline() {
+        builder = builder.pipeline_config(pipeline);
+    }
+    builder.build().expect("valid config")
+}
+
+/// One read-modify-write-close cycle over up to 20 corpus documents —
+/// the same steady-state editor-save workload as `engine_overhead`.
+fn modify_cycle(fs: &mut Vfs, pid: ProcessId, corpus: &Corpus) {
+    for f in corpus.files().iter().take(20) {
+        if f.read_only {
+            continue;
+        }
+        let Ok(h) = fs.open(pid, &f.path, OpenOptions::modify()) else {
+            continue;
+        };
+        let data = fs.read_to_end(pid, h).unwrap_or_default();
+        let _ = fs.seek(pid, h, 0);
+        let _ = fs.write(pid, h, &data);
+        let _ = fs.close(pid, h);
+    }
+}
+
+fn staged_vfs(corpus: &Corpus, namespace: u32) -> Vfs {
+    let mut fs = if namespace == 0 {
+        Vfs::new()
+    } else {
+        Vfs::with_namespace(namespace)
+    };
+    corpus.stage_into(&mut fs).unwrap();
+    fs
+}
+
+fn bench(c: &mut Criterion) {
+    let corpus = bench_corpus();
+
+    let mut group = c.benchmark_group("pipeline");
+    group.sample_size(10);
+    for mode in [Mode::Inline, Mode::Sync, Mode::Degrade] {
+        group.bench_function(format!("modify_cycle/{}", mode.label()), |b| {
+            b.iter_batched(
+                || {
+                    let session = build_session(&corpus, mode);
+                    let mut fs = staged_vfs(&corpus, 0);
+                    fs.register_filter(Box::new(session.fork()));
+                    let pid = fs.spawn_process("bench.exe");
+                    (session, fs, pid)
+                },
+                |(session, mut fs, pid)| {
+                    modify_cycle(&mut fs, pid, &corpus);
+                    session.drain();
+                    (session, fs)
+                },
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+
+/// `threads` concurrent writer processes, each on its own `Vfs`
+/// namespace, all driving forks of one shared session. The interval
+/// closes only after `Session::drain`, so every mode is charged for
+/// *completed* analysis, not just enqueued work. Returns aggregate
+/// cycles per second and the pipeline counters.
+fn measure_throughput(
+    corpus: &Corpus,
+    mode: Mode,
+    threads: u32,
+    iters: u32,
+) -> (f64, PipelineStats) {
+    let session = build_session(corpus, mode);
+    let barrier = std::sync::Barrier::new(threads as usize + 1);
+    let started = crossbeam::thread::scope(|scope| {
+        for t in 0..threads {
+            let engine = session.fork();
+            let corpus = &corpus;
+            let barrier = &barrier;
+            scope.spawn(move |_| {
+                let mut fs = staged_vfs(corpus, t + 1);
+                fs.register_filter(Box::new(engine));
+                let pid = fs.spawn_process(format!("writer{t}.exe"));
+                barrier.wait();
+                for _ in 0..iters {
+                    modify_cycle(&mut fs, pid, corpus);
+                }
+            });
+        }
+        barrier.wait();
+        Instant::now()
+    })
+    .expect("writer threads must not panic");
+    session.drain();
+    let secs = started.elapsed().as_secs_f64();
+    let stats = session.pipeline_stats();
+    assert_eq!(
+        stats.enqueued, stats.processed,
+        "drain must leave no queued records behind"
+    );
+    let cycles = f64::from(threads) * f64::from(iters);
+    (cycles / secs.max(1e-9), stats)
+}
+
+/// Producer-visible burst cost: one writer fires `iters` modify cycles
+/// under `DegradeToInline` with a deep queue, so (with spare cores) the
+/// producer returns as soon as records are enqueued. Returns the
+/// producer-visible ns/cycle, the trailing drain time in ms, and the
+/// pipeline counters after the drain.
+fn measure_burst(corpus: &Corpus, mode: Mode, iters: u32) -> (f64, f64, PipelineStats) {
+    let session = match mode {
+        Mode::Degrade => CryptoDrop::builder()
+            .protecting(corpus.root().as_str())
+            .pipeline_config(PipelineConfig {
+                backpressure: Backpressure::DegradeToInline,
+                capacity: 4096,
+                ..PipelineConfig::default()
+            })
+            .build()
+            .expect("valid config"),
+        _ => build_session(corpus, mode),
+    };
+    let mut fs = staged_vfs(corpus, 0);
+    fs.register_filter(Box::new(session.fork()));
+    let pid = fs.spawn_process("burst.exe");
+    modify_cycle(&mut fs, pid, corpus); // warm-up
+    session.drain();
+    let started = Instant::now();
+    for _ in 0..iters {
+        modify_cycle(&mut fs, pid, corpus);
+    }
+    let producer_ns = started.elapsed().as_nanos() as f64 / f64::from(iters.max(1));
+    let drain_started = Instant::now();
+    session.drain();
+    let drain_ms = drain_started.elapsed().as_secs_f64() * 1e3;
+    (producer_ns, drain_ms, session.pipeline_stats())
+}
+
+fn main() {
+    let test_mode = std::env::args().any(|a| a == "--test");
+    let mut criterion = Criterion::from_args();
+    benches(&mut criterion);
+    criterion.final_summary();
+
+    let corpus = bench_corpus();
+    let throughput_iters = if test_mode { 1 } else { 20 };
+    let burst_iters = if test_mode { 1 } else { 30 };
+
+    let mut throughput_json = Vec::new();
+    for threads in [1u32, 2, 4, 8] {
+        let mut fields = vec![format!("\"threads\": {threads}")];
+        let mut line = format!("multi_process_throughput/{threads}:");
+        for mode in [Mode::Inline, Mode::Sync, Mode::Degrade] {
+            let (cps, stats) = measure_throughput(&corpus, mode, threads, throughput_iters);
+            line.push_str(&format!(" {} {cps:.0} cycles/s", mode.label()));
+            fields.push(format!("\"{}_cycles_per_sec\": {cps:.1}", mode.label()));
+            if mode == Mode::Degrade {
+                line.push_str(&format!(
+                    " ({} enqueued / {} degraded / {} batches)",
+                    stats.enqueued, stats.degraded, stats.batches
+                ));
+                fields.push(format!("\"degrade_degraded\": {}", stats.degraded));
+                fields.push(format!("\"degrade_batches\": {}", stats.batches));
+            }
+        }
+        println!("{line}");
+        throughput_json.push(format!("    {{ {} }}", fields.join(", ")));
+    }
+
+    let (inline_ns, _, _) = measure_burst(&corpus, Mode::Inline, burst_iters);
+    let (burst_ns, drain_ms, stats) = measure_burst(&corpus, Mode::Degrade, burst_iters);
+    println!(
+        "burst_absorption: inline {inline_ns:.0} ns/cycle, degrade producer-visible \
+         {burst_ns:.0} ns/cycle ({:.2}x), drain {drain_ms:.2} ms, \
+         {} enqueued / {} processed / {} degraded",
+        inline_ns / burst_ns.max(1.0),
+        stats.enqueued,
+        stats.processed,
+        stats.degraded
+    );
+
+    let json = format!(
+        "{{\n  \"bench\": \"pipeline\",\n  \"test_mode\": {test_mode},\n  \
+         \"multi_process_throughput\": [\n{}\n  ],\n  \
+         \"burst_absorption\": {{\n    \
+         \"inline_ns_per_cycle\": {inline_ns:.1},\n    \
+         \"degrade_producer_ns_per_cycle\": {burst_ns:.1},\n    \
+         \"producer_speedup\": {:.2},\n    \
+         \"drain_ms\": {drain_ms:.2},\n    \
+         \"enqueued\": {},\n    \"processed\": {},\n    \"degraded\": {}\n  }}\n}}\n",
+        throughput_json.join(",\n"),
+        inline_ns / burst_ns.max(1.0),
+        stats.enqueued,
+        stats.processed,
+        stats.degraded
+    );
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pipeline.json");
+    std::fs::write(out, &json).expect("write BENCH_pipeline.json");
+    println!("wrote {out}");
+}

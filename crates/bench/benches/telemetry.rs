@@ -72,17 +72,21 @@ fn staged(corpus: &Corpus, mode: Mode) -> (Vfs, ProcessId) {
     match mode {
         Mode::Unfiltered => {}
         Mode::FilteredDisabled => {
-            let (engine, _monitor) = CryptoDrop::new(Config::protecting(corpus.root().as_str()));
-            fs.register_filter(Box::new(engine));
+            let session = CryptoDrop::builder()
+                .protecting(corpus.root().as_str())
+                .build()
+                .expect("valid config");
+            fs.register_filter(Box::new(session.fork()));
         }
         Mode::FilteredEnabled => {
             let telemetry = Telemetry::new(cryptodrop_telemetry::DEFAULT_JOURNAL_CAPACITY);
             fs.set_telemetry(telemetry.clone());
-            let (engine, _monitor) = CryptoDrop::new_with_telemetry(
-                Config::protecting(corpus.root().as_str()),
-                telemetry,
-            );
-            fs.register_filter(Box::new(engine));
+            let session = CryptoDrop::builder()
+                .protecting(corpus.root().as_str())
+                .telemetry(telemetry)
+                .build()
+                .expect("valid config");
+            fs.register_filter(Box::new(session.fork()));
         }
     }
     let pid = fs.spawn_process("bench.exe");

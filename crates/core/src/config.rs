@@ -93,6 +93,16 @@ impl Default for ScoreConfig {
 }
 
 /// Full engine configuration.
+///
+/// Fields stay public so experiment harnesses can tweak individual knobs
+/// and serialized configs round-trip, but **avoid bare field-struct
+/// construction** (`Config { ... }`) in new code: it bypasses validation
+/// and breaks whenever a field is added. Start from
+/// [`Config::protecting`] (or deserialize), adjust fields, and hand the
+/// result to [`CryptoDrop::builder`](crate::CryptoDrop::builder) — the
+/// builder's [`build`](crate::SessionBuilder::build) step validates the
+/// whole configuration into a typed [`ConfigError`](crate::ConfigError)
+/// instead of misbehaving at detection time.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Config {
     /// The directories CryptoDrop protects (e.g. "My Documents").

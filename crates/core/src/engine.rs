@@ -23,6 +23,7 @@
 //! sniff/sdhash/entropy recompute entirely; see `DESIGN.md` ("Engine
 //! concurrency & caching") for the shard layout and cache invariants.
 
+use std::borrow::Cow;
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -40,7 +41,13 @@ use crate::config::Config;
 use crate::indicators::similarity::{self, PostImageDigest, SimilarityOutcome};
 use crate::indicators::type_change::{self, TypeChangeOutcome};
 use crate::indicators::{Indicator, IndicatorHit};
+use crate::pipeline::PipelineShared;
+use crate::record::{OpRecord, RecordBody};
 use crate::state::{FileSnapshot, ProcessState, ProcessSummary};
+
+/// The suspension reason issued when a member of an already-flagged (and
+/// not user-permitted) process family keeps issuing operations.
+const FAMILY_FLAGGED: &str = "cryptodrop: process family previously flagged";
 
 /// A detection: one process crossed its threshold and was suspended.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -66,7 +73,9 @@ pub struct DetectionReport {
 }
 
 impl DetectionReport {
-    fn reason(&self) -> String {
+    /// The human-readable suspension reason delivered to the VFS (and
+    /// recorded in the process table's suspension record).
+    pub fn reason(&self) -> String {
         format!(
             "cryptodrop: score {} reached threshold {}{} after {} files lost",
             self.score,
@@ -374,10 +383,10 @@ impl EngineShared {
     }
 }
 
-/// The CryptoDrop filter driver. Register it on a
-/// [`Vfs`](cryptodrop_vfs::Vfs) and read results through the paired
-/// [`Monitor`]. [`CryptoDrop::fork`] yields additional drivers over the
-/// same scoreboard for multi-threaded, multi-`Vfs` deployments.
+/// The CryptoDrop filter driver. Build a [`Session`](crate::Session) with
+/// [`CryptoDrop::builder`], register [`Session::fork`](crate::Session::fork)
+/// drivers on [`Vfs`](cryptodrop_vfs::Vfs) instances, and read results
+/// through the session's [`Monitor`] view.
 ///
 /// # Examples
 ///
@@ -387,18 +396,24 @@ impl EngineShared {
 ///
 /// let mut fs = Vfs::new();
 /// let docs = VPath::new("/docs");
-/// let (engine, monitor) = CryptoDrop::new(Config::protecting("/docs"));
-/// fs.register_filter(Box::new(engine));
+/// let session = CryptoDrop::builder()
+///     .protecting("/docs")
+///     .build()
+///     .expect("valid config");
+/// fs.register_filter(Box::new(session.fork()));
 ///
 /// let pid = fs.spawn_process("app.exe");
 /// fs.create_dir_all(pid, &docs).unwrap();
 /// fs.write_file(pid, &docs.join("note.txt"), b"benign note").unwrap();
-/// assert_eq!(monitor.score(pid), 0);
-/// assert!(monitor.detections().is_empty());
+/// assert_eq!(session.score(pid), 0);
+/// assert!(session.detections().is_empty());
 /// ```
 pub struct CryptoDrop {
     cfg: Arc<Config>,
     shared: Arc<EngineShared>,
+    /// When attached, in-scope records are enqueued to the analysis
+    /// pipeline instead of being processed inline.
+    pipeline: Option<Arc<PipelineShared>>,
 }
 
 /// A shared read handle onto a [`CryptoDrop`] engine's state.
@@ -409,10 +424,22 @@ pub struct Monitor {
 }
 
 impl CryptoDrop {
+    /// Starts building a [`Session`](crate::Session): the one entry point
+    /// for configuring, validating, and running a detector — inline or
+    /// pipelined. Subsumes the deprecated `new`/`new_with_telemetry`/
+    /// `fork`/`fork_engine` constructors.
+    pub fn builder() -> crate::session::SessionBuilder {
+        crate::session::SessionBuilder::new()
+    }
+
     /// Creates an engine and its monitor handle, with telemetry disabled
     /// (the observability hooks cost one predicted-false branch each).
+    #[deprecated(
+        note = "use `CryptoDrop::builder()....build()` for a validated Session; \
+                register `Session::fork()` and read through the session's Monitor view"
+    )]
     pub fn new(config: Config) -> (CryptoDrop, Monitor) {
-        Self::new_with_telemetry(config, Telemetry::disabled())
+        Self::with_telemetry_inner(config, Telemetry::disabled())
     }
 
     /// Creates an engine wired to a [`Telemetry`] handle. When the handle
@@ -423,13 +450,26 @@ impl CryptoDrop {
     /// Share the same handle with `cryptodrop_vfs::Vfs::set_telemetry` to
     /// interleave the filter's op/verdict events with the engine's on one
     /// timeline.
+    #[deprecated(
+        note = "use `CryptoDrop::builder().telemetry(..)....build()` for a validated Session"
+    )]
     pub fn new_with_telemetry(config: Config, telemetry: Telemetry) -> (CryptoDrop, Monitor) {
+        Self::with_telemetry_inner(config, telemetry)
+    }
+
+    /// The non-deprecated construction path behind both the builder and
+    /// the legacy shims. Does **not** validate `config`; the builder does.
+    pub(crate) fn with_telemetry_inner(
+        config: Config,
+        telemetry: Telemetry,
+    ) -> (CryptoDrop, Monitor) {
         let cfg = Arc::new(config);
         let shared = Arc::new(EngineShared::new(telemetry));
         (
             CryptoDrop {
                 cfg: Arc::clone(&cfg),
                 shared: Arc::clone(&shared),
+                pipeline: None,
             },
             Monitor { cfg, shared },
         )
@@ -440,11 +480,32 @@ impl CryptoDrop {
     /// [`Vfs`](cryptodrop_vfs::Vfs) instances — one per thread — to share
     /// one engine across concurrent filesystems; unrelated process
     /// families never contend on a lock (they hash to distinct shards).
+    #[deprecated(note = "use `Session::fork()`; forks made there also carry the pipeline handle")]
     pub fn fork(&self) -> CryptoDrop {
+        self.fork_inner()
+    }
+
+    pub(crate) fn fork_inner(&self) -> CryptoDrop {
         CryptoDrop {
             cfg: Arc::clone(&self.cfg),
             shared: Arc::clone(&self.shared),
+            pipeline: self.pipeline.clone(),
         }
+    }
+
+    /// A fork with no pipeline attachment: worker threads and
+    /// post-shutdown degradation process records directly.
+    pub(crate) fn detached_fork(&self) -> CryptoDrop {
+        CryptoDrop {
+            cfg: Arc::clone(&self.cfg),
+            shared: Arc::clone(&self.shared),
+            pipeline: None,
+        }
+    }
+
+    /// Attaches the analysis pipeline this driver submits records to.
+    pub(crate) fn attach_pipeline(&mut self, pipeline: Arc<PipelineShared>) {
+        self.pipeline = Some(pipeline);
     }
 
     /// The per-shard snapshot capacity implied by
@@ -468,7 +529,7 @@ impl CryptoDrop {
 
 impl Clone for CryptoDrop {
     fn clone(&self) -> Self {
-        self.fork()
+        self.fork_inner()
     }
 }
 
@@ -480,11 +541,17 @@ impl Monitor {
 
     /// Creates a filter driver over this monitor's engine state, for
     /// registering the same engine on further
-    /// [`Vfs`](cryptodrop_vfs::Vfs) instances (see [`CryptoDrop::fork`]).
+    /// [`Vfs`](cryptodrop_vfs::Vfs) instances.
+    ///
+    /// Forks made here never carry a pipeline attachment — they process
+    /// inline even when the session is pipelined, which silently forfeits
+    /// the pipeline's benefits. Prefer [`Session::fork`](crate::Session::fork).
+    #[deprecated(note = "use `Session::fork()`; forks made there also carry the pipeline handle")]
     pub fn fork_engine(&self) -> CryptoDrop {
         CryptoDrop {
             cfg: Arc::clone(&self.cfg),
             shared: Arc::clone(&self.shared),
+            pipeline: None,
         }
     }
 
@@ -816,18 +883,12 @@ impl CryptoDrop {
         Verdict::Suspend { reason }
     }
 
-    /// Refreshes the path-keyed snapshot of `path` from its current
-    /// content. An unchanged content fingerprint reuses the resident
-    /// snapshot (no sniff/digest/entropy recompute); the expensive
-    /// capture runs without any shard lock held.
-    fn refresh_path_snapshot(&self, path: &VPath, fs: &FsView<'_>) {
-        let Ok(data) = fs.read_file(path) else {
-            return;
-        };
-        if data.is_empty() {
-            return;
-        }
-        let fp = content_fingerprint(&data);
+    /// Refreshes the path-keyed snapshot of `path` from `data` (its
+    /// content at capture time). An unchanged content fingerprint reuses
+    /// the resident snapshot (no sniff/digest/entropy recompute); the
+    /// expensive capture runs without any shard lock held.
+    fn apply_refresh(&self, path: &VPath, data: &[u8]) {
+        let fp = content_fingerprint(data);
         let tick = self.shared.next_tick();
         let shard = self.shared.path_shard(path);
         if self.cfg.fingerprint_cache {
@@ -839,7 +900,7 @@ impl CryptoDrop {
                 }
             }
         }
-        let snap = FileSnapshot::capture(&data, self.cfg.max_digest_bytes);
+        let snap = FileSnapshot::capture(data, self.cfg.max_digest_bytes);
         self.shared.cache_misses.fetch_add(1, Ordering::Relaxed);
         let evicted = shard
             .lock()
@@ -850,114 +911,256 @@ impl CryptoDrop {
                 .fetch_add(evicted, Ordering::Relaxed);
         }
     }
-}
 
-impl FilterDriver for CryptoDrop {
-    fn name(&self) -> &str {
-        "cryptodrop"
-    }
-
-    fn pre_op(&mut self, ctx: &OpContext<'_>, fs: &FsView<'_>) -> Verdict {
-        let cfg = &self.cfg;
-        // Block members of an already-flagged (and not user-permitted)
-        // process family at the front edge of their next operation.
-        let key = if cfg.aggregate_process_families {
-            ctx.family_root
-        } else {
-            ctx.pid
-        };
-        if let Some(p) = self.shared.family_shard(key).lock().processes.get(&key) {
-            if p.is_detected() && !p.is_permitted() {
-                return Verdict::Suspend {
-                    reason: "cryptodrop: process family previously flagged".to_string(),
-                };
-            }
-        }
-        match ctx.op {
-            // Snapshot a file that is about to be opened for writing —
-            // before any truncation destroys the original content.
-            FsOp::Open { path, options }
-                if options.write && self.shared.in_scope(cfg, path) =>
-            {
-                self.refresh_path_snapshot(path, fs);
-            }
-            // Snapshot a protected file about to be deleted, so a later
-            // move-over of an "independent" encrypted copy can still be
-            // linked to the original content (§V-B2's Class C analysis).
-            FsOp::Delete { path } if cfg.is_protected(path) => {
-                self.refresh_path_snapshot(path, fs);
-            }
-            // Snapshot a protected rename destination about to be replaced.
-            FsOp::Rename { to, overwrite, .. } if overwrite && cfg.is_protected(to) => {
-                self.refresh_path_snapshot(to, fs);
-            }
-            _ => {}
-        }
-        Verdict::Allow
-    }
-
-    fn post_op(&mut self, ctx: &OpContext<'_>, outcome: &OpOutcome<'_>, fs: &FsView<'_>) -> Verdict {
-        let cfg = Arc::clone(&self.cfg);
-        let at = ctx.at_nanos;
-
-        // Reputation is tracked per process family when aggregation is on
-        // (the default): a sample fanning work out across children is
-        // scored — and stopped — as one unit (paper §IV).
-        let key = if cfg.aggregate_process_families {
-            ctx.family_root
-        } else {
-            ctx.pid
-        };
-
-        if let Some(p) = self.shared.family_shard(key).lock().processes.get(&key) {
+    /// The verdict-critical family gate, run inline on every operation:
+    /// `Some(Allow)` for a user-permitted family, `Some(Suspend)` for an
+    /// already-detected one, `None` when analysis should proceed.
+    fn family_gate(&self, key: ProcessId) -> Option<Verdict> {
+        let fam = self.shared.family_shard(key).lock();
+        let p = fam.processes.get(&key)?;
+        if p.is_permitted() {
             // The user explicitly allowed this activity: no further
             // scoring or re-suspension (§IV-A).
-            if p.is_permitted() {
-                return Verdict::Allow;
-            }
+            Some(Verdict::Allow)
+        } else if p.is_detected() {
             // Already detected: block any family member that is still
             // issuing operations (the issuer itself is normally already
             // suspended by the VFS; siblings are caught here).
-            if p.is_detected() {
-                return Verdict::Suspend {
-                    reason: "cryptodrop: process family previously flagged".to_string(),
-                };
-            }
+            Some(Verdict::Suspend {
+                reason: FAMILY_FLAGGED.to_string(),
+            })
+        } else {
+            None
         }
+    }
 
-        match (ctx.op, outcome) {
+    /// The scoring key for an operation context: the family root when
+    /// family aggregation is on (the default), otherwise the issuing pid.
+    fn scoring_key(&self, ctx: &OpContext<'_>) -> ProcessId {
+        if self.cfg.aggregate_process_families {
+            ctx.family_root
+        } else {
+            ctx.pid
+        }
+    }
+
+    /// Builds a pre-operation snapshot-refresh record, capturing the
+    /// path's current (pre-mutation) content. `None` when the path is
+    /// unreadable or empty — nothing to snapshot.
+    fn build_refresh<'a>(
+        &self,
+        key: ProcessId,
+        ctx: &OpContext<'a>,
+        path: &'a VPath,
+        fs: &FsView<'_>,
+    ) -> Option<OpRecord<'a>> {
+        let Ok(data) = fs.read_file(path) else {
+            return None;
+        };
+        if data.is_empty() {
+            return None;
+        }
+        Some(OpRecord {
+            key,
+            issuer: ctx.pid,
+            process_name: Cow::Borrowed(ctx.process_name),
+            at_nanos: ctx.at_nanos,
+            body: RecordBody::Refresh {
+                path: Cow::Borrowed(path),
+                data,
+            },
+        })
+    }
+
+    /// The fast-path half of post-operation handling: scope checks and
+    /// enqueue-side bookkeeping (the created-file set and the Class B
+    /// tracked set, which the *next* operation's scope checks must already
+    /// see), plus content capture for analyses that need bytes. Returns
+    /// the analysis record, or `None` when the operation is out of scope.
+    fn build_post_record<'a>(
+        &self,
+        key: ProcessId,
+        ctx: &OpContext<'a>,
+        outcome: &OpOutcome<'a>,
+        fs: &FsView<'_>,
+    ) -> Option<OpRecord<'a>> {
+        let cfg = &self.cfg;
+        let body = match (ctx.op, outcome) {
             (FsOp::Open { path, .. }, OpOutcome::Open { file, created, .. }) => {
                 if *created {
                     self.shared.file_shard(*file).lock().created.insert(*file);
                 }
-                if self.shared.in_scope(&cfg, path) {
-                    let tick = self.shared.next_tick();
-                    let snap = self
-                        .shared
-                        .path_shard(path)
+                if !self.shared.in_scope(cfg, path) {
+                    return None;
+                }
+                RecordBody::Open {
+                    path: Cow::Borrowed(path),
+                    file: *file,
+                }
+            }
+
+            (FsOp::Read { path, offset, .. }, OpOutcome::Read { file, data }) => {
+                if !self.shared.in_scope(cfg, path) {
+                    return None;
+                }
+                RecordBody::Read {
+                    path: Cow::Borrowed(path),
+                    file: *file,
+                    offset,
+                    data: Cow::Borrowed(data),
+                }
+            }
+
+            (FsOp::Write { path, data, .. }, OpOutcome::Write { file, .. }) => {
+                if !self.shared.in_scope(cfg, path) {
+                    return None;
+                }
+                RecordBody::Write {
+                    path: Cow::Borrowed(path),
+                    file: *file,
+                    data: Cow::Borrowed(data),
+                }
+            }
+
+            (FsOp::Truncate { path, .. }, OpOutcome::Truncate { file }) => {
+                if !self.shared.in_scope(cfg, path) {
+                    return None;
+                }
+                RecordBody::Truncate { file: *file }
+            }
+
+            (FsOp::Close { path, modified }, OpOutcome::Close { file, .. }) => {
+                if !modified || !self.shared.in_scope(cfg, path) {
+                    return None;
+                }
+                let Ok(current) = fs.read_file(path) else {
+                    return None; // deleted before close
+                };
+                RecordBody::Close {
+                    path: Cow::Borrowed(path),
+                    file: *file,
+                    current,
+                }
+            }
+
+            (FsOp::Delete { path }, OpOutcome::Delete { file }) => {
+                if !cfg.is_protected(path) {
+                    return None;
+                }
+                RecordBody::Delete {
+                    path: Cow::Borrowed(path),
+                    file: *file,
+                }
+            }
+
+            (FsOp::Rename { from, to, .. }, OpOutcome::Rename { file, replaced }) => {
+                let from_protected = cfg.is_protected(from);
+                let to_protected = cfg.is_protected(to);
+                let was_tracked = self
+                    .shared
+                    .path_shard(from)
+                    .lock()
+                    .tracked
+                    .remove(from)
+                    .is_some();
+                if !(from_protected || to_protected || was_tracked) {
+                    return None;
+                }
+                // The Class C link needs the destination's post-move
+                // content; capture it now so the analysis never reads the
+                // filesystem.
+                let dest_current = if to_protected && replaced.is_some() {
+                    fs.read_file(to).ok()
+                } else {
+                    None
+                };
+                // Track files leaving the protected directories (Class B).
+                // This is fast-path bookkeeping: the very next operation's
+                // scope check must already see the tracked path.
+                if cfg.track_moved_files && !to_protected && (from_protected || was_tracked) {
+                    self.shared
+                        .path_shard(to)
                         .lock()
-                        .get_snapshot(path, tick);
-                    if let Some(snap) = snap {
-                        self.shared
-                            .file_shard(*file)
-                            .lock()
-                            .snapshots
-                            .insert(*file, snap);
-                    }
+                        .tracked
+                        .insert(to.clone(), *file);
+                }
+                RecordBody::Rename {
+                    from: Cow::Borrowed(from),
+                    to: Cow::Borrowed(to),
+                    file: *file,
+                    replaced: *replaced,
+                    to_protected,
+                    dest_current,
+                }
+            }
+
+            _ => return None,
+        };
+        Some(OpRecord {
+            key,
+            issuer: ctx.pid,
+            process_name: Cow::Borrowed(ctx.process_name),
+            at_nanos: ctx.at_nanos,
+            body,
+        })
+    }
+
+    /// The analysis body: consumes one record, runs the indicators, awards
+    /// scores, and returns the verdict. A pure function of the record
+    /// stream over the sharded state — it never touches the filesystem, so
+    /// it runs identically inline or on a pipeline worker thread.
+    pub(crate) fn process_record(&self, rec: &OpRecord<'_>) -> Verdict {
+        let cfg = &self.cfg;
+        let at = rec.at_nanos;
+        let key = rec.key;
+
+        if let RecordBody::Refresh { path, data } = &rec.body {
+            // Refreshes are not gated: a permitted family keeps its
+            // snapshots fresh for other processes' pre-images.
+            self.apply_refresh(path.as_ref(), data);
+            return Verdict::Allow;
+        }
+        // Re-run the family gate: a queued record may be processed after
+        // its family was detected (or permitted) by an earlier record.
+        if let Some(v) = self.family_gate(key) {
+            return v;
+        }
+
+        match &rec.body {
+            RecordBody::Refresh { .. } => Verdict::Allow, // handled above
+
+            RecordBody::Open { path, file } => {
+                let path = path.as_ref();
+                let tick = self.shared.next_tick();
+                let snap = self
+                    .shared
+                    .path_shard(path)
+                    .lock()
+                    .get_snapshot(path, tick);
+                if let Some(snap) = snap {
+                    self.shared
+                        .file_shard(*file)
+                        .lock()
+                        .snapshots
+                        .insert(*file, snap);
                 }
                 Verdict::Allow
             }
 
-            (FsOp::Read { path, offset, .. }, OpOutcome::Read { file, data }) => {
-                if !self.shared.in_scope(&cfg, path) {
-                    return Verdict::Allow;
-                }
+            RecordBody::Read {
+                path,
+                file,
+                offset,
+                data,
+            } => {
+                let path = path.as_ref();
                 let mut fam = self.shared.family_shard(key).lock();
-                let st = FamilyShard::process_mut(&mut fam.processes, &cfg, key, ctx.process_name);
+                let st =
+                    FamilyShard::process_mut(&mut fam.processes, cfg, key, &rec.process_name);
                 st.entropy_mut().observe_read(data);
                 // Sample the file's type from its leading bytes exactly once
                 // per file for the funneling indicator.
-                if offset == 0 && !data.is_empty() && st.first_read(*file) {
+                if *offset == 0 && !data.is_empty() && st.first_read(*file) {
                     let timer = self.shared.telemetry.start_timer();
                     let levels = st.funnel_mut().record_read(sniff(data));
                     self.eval_timer(Indicator::Funneling).record_elapsed(timer);
@@ -981,13 +1184,12 @@ impl FilterDriver for CryptoDrop {
                 self.verdict_for(st, at)
             }
 
-            (FsOp::Write { path, data, .. }, OpOutcome::Write { file, .. }) => {
-                if !self.shared.in_scope(&cfg, path) {
-                    return Verdict::Allow;
-                }
+            RecordBody::Write { path, file, data } => {
+                let path = path.as_ref();
                 let created = self.shared.file_shard(*file).lock().created.contains(file);
                 let mut fam = self.shared.family_shard(key).lock();
-                let st = FamilyShard::process_mut(&mut fam.processes, &cfg, key, ctx.process_name);
+                let st =
+                    FamilyShard::process_mut(&mut fam.processes, cfg, key, &rec.process_name);
                 if !created {
                     st.record_loss(*file);
                 }
@@ -1048,26 +1250,23 @@ impl FilterDriver for CryptoDrop {
                 self.verdict_for(st, at)
             }
 
-            (FsOp::Truncate { path, .. }, OpOutcome::Truncate { file }) => {
-                if !self.shared.in_scope(&cfg, path) {
-                    return Verdict::Allow;
-                }
+            RecordBody::Truncate { file } => {
                 let created = self.shared.file_shard(*file).lock().created.contains(file);
                 let mut fam = self.shared.family_shard(key).lock();
-                let st = FamilyShard::process_mut(&mut fam.processes, &cfg, key, ctx.process_name);
+                let st =
+                    FamilyShard::process_mut(&mut fam.processes, cfg, key, &rec.process_name);
                 if !created {
                     st.record_loss(*file);
                 }
                 self.verdict_for(st, at)
             }
 
-            (FsOp::Close { path, modified }, OpOutcome::Close { file, .. }) => {
-                if !modified || !self.shared.in_scope(&cfg, path) {
-                    return Verdict::Allow;
-                }
-                let Ok(current) = fs.read_file(path) else {
-                    return Verdict::Allow; // deleted before close
-                };
+            RecordBody::Close {
+                path,
+                file,
+                current,
+            } => {
+                let path = path.as_ref();
                 let snapshot = self
                     .shared
                     .file_shard(*file)
@@ -1077,7 +1276,7 @@ impl FilterDriver for CryptoDrop {
                     .cloned();
                 // One sniff of the final content, shared by the funneling
                 // indicator, the type-change indicator, and the refresh.
-                let post_type = sniff(&current);
+                let post_type = sniff(current);
                 // Zero-recompute gate: a close that wrote back exactly the
                 // bytes the pre-image snapshot describes cannot fire the
                 // content indicators (same type; self-similarity is 100),
@@ -1090,12 +1289,12 @@ impl FilterDriver for CryptoDrop {
                     && cfg.score.similarity_match_max < 100
                     && snapshot
                         .as_ref()
-                        .is_some_and(|s| s.fingerprint == content_fingerprint(&current));
+                        .is_some_and(|s| s.fingerprint == content_fingerprint(current));
                 let mut reusable_digest = None;
                 let verdict = {
                     let mut fam = self.shared.family_shard(key).lock();
                     let st =
-                        FamilyShard::process_mut(&mut fam.processes, &cfg, key, ctx.process_name);
+                        FamilyShard::process_mut(&mut fam.processes, cfg, key, &rec.process_name);
                     // The funneling indicator sees the type this process
                     // wrote.
                     if !current.is_empty() {
@@ -1105,7 +1304,7 @@ impl FilterDriver for CryptoDrop {
                     if !unchanged {
                         if let Some(snap) = &snapshot {
                             reusable_digest = self
-                                .evaluate_content(st, snap, &current, post_type, path, at)
+                                .evaluate_content(st, snap, current, post_type, path, at)
                                 .into_reusable();
                         }
                     }
@@ -1126,7 +1325,7 @@ impl FilterDriver for CryptoDrop {
                 };
                 let fresh = self.resolve_close_snapshot(
                     cached,
-                    &current,
+                    current,
                     post_type,
                     reusable_digest,
                     at,
@@ -1152,10 +1351,8 @@ impl FilterDriver for CryptoDrop {
                 verdict
             }
 
-            (FsOp::Delete { path }, OpOutcome::Delete { file }) => {
-                if !cfg.is_protected(path) {
-                    return Verdict::Allow;
-                }
+            RecordBody::Delete { path, file } => {
+                let path = path.as_ref();
                 let created = {
                     let mut fsh = self.shared.file_shard(*file).lock();
                     fsh.snapshots.remove(file);
@@ -1178,7 +1375,8 @@ impl FilterDriver for CryptoDrop {
                         .fetch_add(evicted, Ordering::Relaxed);
                 }
                 let mut fam = self.shared.family_shard(key).lock();
-                let st = FamilyShard::process_mut(&mut fam.processes, &cfg, key, ctx.process_name);
+                let st =
+                    FamilyShard::process_mut(&mut fam.processes, cfg, key, &rec.process_name);
                 // Deleting one's own temporary files is routine (§III-D);
                 // only deletions of pre-existing user files count.
                 if !created {
@@ -1205,22 +1403,18 @@ impl FilterDriver for CryptoDrop {
                 self.verdict_for(st, at)
             }
 
-            (FsOp::Rename { from, to, .. }, OpOutcome::Rename { file, replaced }) => {
-                let from_protected = cfg.is_protected(from);
-                let to_protected = cfg.is_protected(to);
-                let was_tracked = self
-                    .shared
-                    .path_shard(from)
-                    .lock()
-                    .tracked
-                    .remove(from)
-                    .is_some();
-                if !(from_protected || to_protected || was_tracked) {
-                    return Verdict::Allow;
-                }
-
+            RecordBody::Rename {
+                from,
+                to,
+                file,
+                replaced,
+                to_protected,
+                dest_current,
+            } => {
+                let from = from.as_ref();
+                let to = to.as_ref();
                 let mut verdict = Verdict::Allow;
-                if to_protected {
+                if *to_protected {
                     if let Some(replaced_id) = replaced {
                         // The Class C link: an "independent" encrypted copy
                         // moved over the original is compared against the
@@ -1239,18 +1433,18 @@ impl FilterDriver for CryptoDrop {
                             .lock()
                             .created
                             .contains(replaced_id);
-                        let mut fam = self.shared.family_shard(ctx.pid).lock();
+                        let mut fam = self.shared.family_shard(rec.issuer).lock();
                         let st = FamilyShard::process_mut(
                             &mut fam.processes,
-                            &cfg,
-                            ctx.pid,
-                            ctx.process_name,
+                            cfg,
+                            rec.issuer,
+                            &rec.process_name,
                         );
                         if !created {
                             st.record_loss(*replaced_id);
                         }
-                        if let (Some(snap), Ok(current)) = (dest_snap, fs.read_file(to)) {
-                            self.evaluate_content(st, &snap, &current, sniff(&current), to, at);
+                        if let (Some(snap), Some(current)) = (dest_snap, dest_current.as_ref()) {
+                            self.evaluate_content(st, &snap, current, sniff(current), to, at);
                         }
                         verdict = self.verdict_for(st, at);
                     }
@@ -1284,24 +1478,86 @@ impl FilterDriver for CryptoDrop {
                             .fetch_add(evicted, Ordering::Relaxed);
                     }
                 }
-
-                // Track files leaving the protected directories (Class B).
-                if cfg.track_moved_files && !to_protected && (from_protected || was_tracked) {
-                    self.shared
-                        .path_shard(to)
-                        .lock()
-                        .tracked
-                        .insert(to.clone(), *file);
-                }
                 verdict
             }
+        }
+    }
 
-            _ => Verdict::Allow,
+    /// Routes a built record to the pipeline (when attached and running)
+    /// or processes it inline. `wait` requests per-record completion
+    /// waiting, honoured only under `Backpressure::Sync` — that mode's
+    /// contract is byte-identical behavior to the inline engine, so both
+    /// refreshes and post-operation records wait there, while
+    /// `DegradeToInline` never waits for either.
+    fn dispatch(&self, rec: OpRecord<'_>, wait: bool) -> Verdict {
+        match &self.pipeline {
+            Some(p) => p.submit(self, rec, wait),
+            None => self.process_record(&rec),
         }
     }
 }
 
+impl FilterDriver for CryptoDrop {
+    fn name(&self) -> &str {
+        "cryptodrop"
+    }
+
+    fn pre_op(&mut self, ctx: &OpContext<'_>, fs: &FsView<'_>) -> Verdict {
+        let cfg = &self.cfg;
+        // Block members of an already-flagged (and not user-permitted)
+        // process family at the front edge of their next operation.
+        let key = self.scoring_key(ctx);
+        if let Some(p) = self.shared.family_shard(key).lock().processes.get(&key) {
+            if p.is_detected() && !p.is_permitted() {
+                return Verdict::Suspend {
+                    reason: FAMILY_FLAGGED.to_string(),
+                };
+            }
+        }
+        let refresh = match ctx.op {
+            // Snapshot a file that is about to be opened for writing —
+            // before any truncation destroys the original content.
+            FsOp::Open { path, options } if options.write && self.shared.in_scope(cfg, path) => {
+                Some(path)
+            }
+            // Snapshot a protected file about to be deleted, so a later
+            // move-over of an "independent" encrypted copy can still be
+            // linked to the original content (§V-B2's Class C analysis).
+            FsOp::Delete { path } if cfg.is_protected(path) => Some(path),
+            // Snapshot a protected rename destination about to be replaced.
+            FsOp::Rename { to, overwrite, .. } if overwrite && cfg.is_protected(to) => Some(to),
+            _ => None,
+        };
+        if let Some(path) = refresh {
+            if let Some(rec) = self.build_refresh(key, ctx, path, fs) {
+                // `wait` keeps `Backpressure::Sync` inline-equivalent even
+                // when another family touches the same path next: the
+                // snapshot is refreshed before this pre-op returns.
+                let _ = self.dispatch(rec, true);
+            }
+        }
+        Verdict::Allow
+    }
+
+    fn post_op(&mut self, ctx: &OpContext<'_>, outcome: &OpOutcome<'_>, fs: &FsView<'_>) -> Verdict {
+        // Reputation is tracked per process family when aggregation is on
+        // (the default): a sample fanning work out across children is
+        // scored — and stopped — as one unit (paper §IV).
+        let key = self.scoring_key(ctx);
+        if let Some(v) = self.family_gate(key) {
+            return v;
+        }
+        let Some(rec) = self.build_post_record(key, ctx, outcome, fs) else {
+            return Verdict::Allow;
+        };
+        self.dispatch(rec, true)
+    }
+}
+
 #[cfg(test)]
+// The deprecated constructors stay exercised here until they are removed:
+// these tests double as the legacy-shim regression suite.
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use cryptodrop_vfs::{OpenOptions, Vfs};

@@ -27,7 +27,7 @@
 //! ## Quick start
 //!
 //! ```
-//! use cryptodrop::{Config, CryptoDrop};
+//! use cryptodrop::CryptoDrop;
 //! use cryptodrop_vfs::{OpenOptions, Vfs, VPath};
 //!
 //! // A filesystem with protected user documents.
@@ -40,9 +40,12 @@
 //!     fs.admin_write_file(&docs.join(format!("report-{i}.txt")), &body).unwrap();
 //! }
 //!
-//! // Arm CryptoDrop.
-//! let (engine, monitor) = CryptoDrop::new(Config::protecting(docs.as_str()));
-//! fs.register_filter(Box::new(engine));
+//! // Arm CryptoDrop: build a validated Session, register a fork.
+//! let session = CryptoDrop::builder()
+//!     .protecting(docs.as_str())
+//!     .build()
+//!     .expect("valid config");
+//! fs.register_filter(Box::new(session.fork()));
 //!
 //! // A ransomware-like process encrypts documents in place...
 //! let pid = fs.spawn_process("cryptolocker.exe");
@@ -65,7 +68,7 @@
 //! }
 //!
 //! // ...and is suspended after losing only a handful of files.
-//! let report = monitor.detections().pop().expect("detected");
+//! let report = session.detections().pop().expect("detected");
 //! assert!(report.files_lost < 15);
 //! assert!(fs.is_suspended(pid));
 //! ```
@@ -78,6 +81,9 @@ pub mod baseline;
 pub mod config;
 pub mod engine;
 pub mod indicators;
+pub mod pipeline;
+mod record;
+pub mod session;
 pub mod state;
 
 pub use audit::{AuditEntry, AuditTrail};
@@ -88,4 +94,16 @@ pub use config::{Config, ScoreConfig};
 pub use cryptodrop_telemetry::Telemetry;
 pub use engine::{CacheStats, CryptoDrop, DetectionReport, Monitor};
 pub use indicators::{Indicator, IndicatorHit};
+pub use pipeline::{Backpressure, PipelineConfig, PipelineStats};
+pub use session::{ConfigError, Session, SessionBuilder};
 pub use state::{FileSnapshot, ProcessState, ProcessSummary};
+
+/// Everything a typical embedding needs, in one import:
+/// `use cryptodrop::prelude::*;`.
+pub mod prelude {
+    pub use crate::config::{Config, ScoreConfig};
+    pub use crate::engine::{CryptoDrop, DetectionReport, Monitor};
+    pub use crate::pipeline::{Backpressure, PipelineConfig, PipelineStats};
+    pub use crate::session::{ConfigError, Session, SessionBuilder};
+    pub use cryptodrop_telemetry::Telemetry;
+}

@@ -1,0 +1,426 @@
+//! The asynchronous batched analysis pipeline (ROADMAP: "sharding,
+//! batching, async").
+//!
+//! Interposition callbacks stay on the verdict-critical fast path (family
+//! gate, scope checks, content capture) and hand the heavy indicator work
+//! — sniff, sdhash, entropy, score awards — to this pipeline as
+//! [`OpRecord`](crate::record::OpRecord)s. Records are distributed over
+//! bounded per-shard FIFO queues keyed by process family (matching the
+//! engine's lock shards), so one family's records are always processed in
+//! order while unrelated families flow in parallel. A worker pool drains
+//! per-shard batches and publishes results back through the engine's
+//! sharded state, keeping `Monitor` reads lock-cheap.
+//!
+//! Backpressure on a full shard queue is explicit policy, not an accident
+//! — see [`Backpressure`]. Queue depth, batch size, drain latency, and
+//! degradation events are exported through the telemetry registry
+//! (`pipeline.*` metrics) and mirrored in the always-on
+//! [`PipelineStats`] counters.
+//!
+//! The pipeline's blocking primitives are `std::sync` mutexes and condvars
+//! (the vendored `parking_lot` stand-in has no condvar).
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+use cryptodrop_telemetry::{Counter, Gauge, Histogram, JournalKind, Telemetry};
+use cryptodrop_vfs::Verdict;
+
+use crate::engine::CryptoDrop;
+use crate::record::OpRecord;
+
+/// What happens when a record arrives at a full shard queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Backpressure {
+    /// Block the producer until the worker makes room, and wait for each
+    /// post-operation record's verdict before returning it to the VFS.
+    /// Verdict-equivalent to the inline engine: every operation sees
+    /// exactly the verdict the analysis produces, at the same point in
+    /// the operation stream. The default.
+    #[default]
+    Sync,
+    /// Never block and never drop: post-operation submissions return
+    /// `Allow` immediately (a crossing lands on the family's next
+    /// operation via the inline family gate), and a full shard queue makes
+    /// the *producer* drain it and process its own record inline —
+    /// graceful degradation under sustained overload, counted in
+    /// [`PipelineStats::degraded`] and journaled when telemetry is on.
+    DegradeToInline,
+}
+
+/// Sizing and policy for the analysis pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PipelineConfig {
+    /// Number of queue shards. Records shard by process family, so this
+    /// bounds cross-family processing parallelism. Default 8.
+    pub shards: usize,
+    /// Bound on each shard queue, in records. Default 256.
+    pub capacity: usize,
+    /// Worker threads draining the shards (shard `s` belongs to worker
+    /// `s % workers`). Default 2.
+    pub workers: usize,
+    /// Most records a worker takes from one shard per drain. Default 32.
+    pub max_batch: usize,
+    /// Full-queue policy. Default [`Backpressure::Sync`].
+    pub backpressure: Backpressure,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        Self {
+            shards: 8,
+            capacity: 256,
+            workers: 2,
+            max_batch: 32,
+            backpressure: Backpressure::Sync,
+        }
+    }
+}
+
+/// Point-in-time pipeline counters, available whether or not telemetry is
+/// enabled. Read via [`Session::pipeline_stats`](crate::Session::pipeline_stats).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PipelineStats {
+    /// Records accepted onto a shard queue.
+    pub enqueued: u64,
+    /// Queued records whose analysis completed (excludes records processed
+    /// inline through degradation, which never enter a queue).
+    pub processed: u64,
+    /// Full-queue degradations: submissions that drained the shard and ran
+    /// inline under [`Backpressure::DegradeToInline`].
+    pub degraded: u64,
+    /// Batches drained (by workers or by degrading producers).
+    pub batches: u64,
+}
+
+/// A record in flight, with the completion slot the `Sync`-mode producer
+/// is blocked on (`None` under `DegradeToInline`).
+struct Queued {
+    rec: OpRecord<'static>,
+    slot: Option<Arc<VerdictSlot>>,
+}
+
+/// One-shot verdict hand-off from the worker to a waiting producer.
+#[derive(Default)]
+struct VerdictSlot {
+    verdict: Mutex<Option<Verdict>>,
+    ready: Condvar,
+}
+
+impl VerdictSlot {
+    fn put(&self, v: Verdict) {
+        let mut g = self.verdict.lock().expect("verdict slot poisoned");
+        *g = Some(v);
+        self.ready.notify_all();
+    }
+
+    fn wait(&self) -> Verdict {
+        let mut g = self.verdict.lock().expect("verdict slot poisoned");
+        loop {
+            match g.take() {
+                Some(v) => return v,
+                None => g = self.ready.wait(g).expect("verdict slot poisoned"),
+            }
+        }
+    }
+}
+
+/// One bounded FIFO shard.
+struct ShardQueue {
+    q: Mutex<VecDeque<Queued>>,
+    /// Signalled when the worker makes room (Sync producers wait here).
+    not_full: Condvar,
+    /// Held across batch processing, by the worker or by a degrading
+    /// producer — guarantees a shard's records are never reordered even
+    /// when a producer drains it.
+    drain: Mutex<()>,
+    enqueued: AtomicU64,
+    processed: AtomicU64,
+}
+
+impl ShardQueue {
+    fn new() -> Self {
+        Self {
+            q: Mutex::new(VecDeque::new()),
+            not_full: Condvar::new(),
+            drain: Mutex::new(()),
+            enqueued: AtomicU64::new(0),
+            processed: AtomicU64::new(0),
+        }
+    }
+}
+
+/// Telemetry handles resolved once at pipeline construction.
+struct PipelineMetrics {
+    enqueued: Counter,
+    processed: Counter,
+    degraded: Counter,
+    depth: Gauge,
+    batch_size: Histogram,
+    drain_ns: Histogram,
+}
+
+impl PipelineMetrics {
+    fn new(t: &Telemetry) -> Self {
+        Self {
+            enqueued: t.counter("pipeline.enqueued"),
+            processed: t.counter("pipeline.processed"),
+            degraded: t.counter("pipeline.degraded"),
+            depth: t.gauge("pipeline.queue.depth"),
+            batch_size: t.histogram("pipeline.batch.size"),
+            drain_ns: t.histogram("pipeline.drain.ns"),
+        }
+    }
+}
+
+/// The pipeline state shared by producers (filter forks), workers, and the
+/// owning [`Session`](crate::Session).
+pub(crate) struct PipelineShared {
+    cfg: PipelineConfig,
+    shards: Vec<ShardQueue>,
+    shutdown: AtomicBool,
+    /// Work-available sequence + condvar: producers bump it after every
+    /// enqueue; workers re-scan instead of sleeping whenever it moved.
+    work_seq: Mutex<u64>,
+    work_ready: Condvar,
+    degraded: AtomicU64,
+    batches: AtomicU64,
+    metrics: PipelineMetrics,
+    telemetry: Telemetry,
+}
+
+impl PipelineShared {
+    pub(crate) fn new(cfg: PipelineConfig, telemetry: Telemetry) -> Self {
+        let metrics = PipelineMetrics::new(&telemetry);
+        Self {
+            shards: (0..cfg.shards.max(1)).map(|_| ShardQueue::new()).collect(),
+            cfg,
+            shutdown: AtomicBool::new(false),
+            work_seq: Mutex::new(0),
+            work_ready: Condvar::new(),
+            degraded: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            metrics,
+            telemetry,
+        }
+    }
+
+    pub(crate) fn config(&self) -> &PipelineConfig {
+        &self.cfg
+    }
+
+    /// Same Fibonacci spread as the engine's lock shards, folded onto the
+    /// queue shard count — one family always lands on one queue.
+    fn shard_for(&self, key: cryptodrop_vfs::ProcessId) -> usize {
+        (u64::from(key.0).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize % self.shards.len()
+    }
+
+    fn signal_work(&self) {
+        let mut g = self.work_seq.lock().expect("work signal poisoned");
+        *g = g.wrapping_add(1);
+        drop(g);
+        self.work_ready.notify_all();
+    }
+
+    fn note_enqueued(&self, shard: &ShardQueue, depth: usize) {
+        shard.enqueued.fetch_add(1, Ordering::Relaxed);
+        if self.telemetry.is_enabled() {
+            self.metrics.enqueued.inc();
+            self.metrics.depth.set(depth as i64);
+        }
+    }
+
+    /// Submits one record. `wait` requests per-record completion waiting,
+    /// honoured only under `Backpressure::Sync` (whose contract is
+    /// byte-identical behavior to the inline engine);
+    /// `DegradeToInline` ignores it and never blocks.
+    pub(crate) fn submit(&self, engine: &CryptoDrop, rec: OpRecord<'_>, wait: bool) -> Verdict {
+        if self.shutdown.load(Ordering::Acquire) {
+            // The owning Session is gone: degrade to inline processing.
+            return engine.process_record(&rec);
+        }
+        let shard = &self.shards[self.shard_for(rec.key)];
+        match self.cfg.backpressure {
+            Backpressure::Sync => {
+                let mut q = shard.q.lock().expect("shard queue poisoned");
+                while q.len() >= self.cfg.capacity {
+                    if self.shutdown.load(Ordering::Acquire) {
+                        drop(q);
+                        return engine.process_record(&rec);
+                    }
+                    q = shard.not_full.wait(q).expect("shard queue poisoned");
+                }
+                let slot = if wait {
+                    Some(Arc::new(VerdictSlot::default()))
+                } else {
+                    None
+                };
+                q.push_back(Queued {
+                    rec: rec.into_owned(),
+                    slot: slot.clone(),
+                });
+                let depth = q.len();
+                drop(q);
+                self.note_enqueued(shard, depth);
+                self.signal_work();
+                match slot {
+                    Some(slot) => slot.wait(),
+                    None => Verdict::Allow,
+                }
+            }
+            Backpressure::DegradeToInline => {
+                {
+                    let mut q = shard.q.lock().expect("shard queue poisoned");
+                    if q.len() < self.cfg.capacity {
+                        q.push_back(Queued {
+                            rec: rec.into_owned(),
+                            slot: None,
+                        });
+                        let depth = q.len();
+                        drop(q);
+                        self.note_enqueued(shard, depth);
+                        self.signal_work();
+                        return Verdict::Allow;
+                    }
+                }
+                // Shard saturated: the producer degrades. Take the drain
+                // lock so inline processing cannot reorder against the
+                // worker's in-flight batch, empty the shard first (FIFO),
+                // then process the new record directly from its borrowed
+                // form — nothing is ever dropped and nothing is copied.
+                self.degraded.fetch_add(1, Ordering::Relaxed);
+                if self.telemetry.is_enabled() {
+                    self.metrics.degraded.inc();
+                    let shard_idx = self.shard_for(rec.key) as u64;
+                    self.telemetry
+                        .journal_event(rec.at_nanos, rec.key.0, || JournalKind::Backpressure {
+                            shard: shard_idx,
+                            queued: self.cfg.capacity as u64,
+                        });
+                }
+                let _drain = shard.drain.lock().expect("drain lock poisoned");
+                self.drain_shard(engine, shard);
+                engine.process_record(&rec)
+            }
+        }
+    }
+
+    /// Empties one shard in max-batch chunks, processing every record and
+    /// completing its slot. Caller must hold the shard's drain lock.
+    /// Returns the number of records processed.
+    fn drain_shard(&self, engine: &CryptoDrop, shard: &ShardQueue) -> usize {
+        let mut total = 0usize;
+        loop {
+            let batch: Vec<Queued> = {
+                let mut q = shard.q.lock().expect("shard queue poisoned");
+                let n = q.len().min(self.cfg.max_batch.max(1));
+                if n == 0 {
+                    break;
+                }
+                q.drain(..n).collect()
+            };
+            shard.not_full.notify_all();
+            let timer = self.telemetry.start_timer();
+            for item in &batch {
+                let v = engine.process_record(&item.rec);
+                if let Some(slot) = &item.slot {
+                    slot.put(v);
+                }
+            }
+            let n = batch.len() as u64;
+            shard.processed.fetch_add(n, Ordering::Relaxed);
+            self.batches.fetch_add(1, Ordering::Relaxed);
+            if self.telemetry.is_enabled() {
+                self.metrics.processed.add(n);
+                self.metrics.batch_size.record(n);
+                self.metrics.drain_ns.record_elapsed(timer);
+            }
+            total += n as usize;
+        }
+        total
+    }
+
+    /// One worker's main loop: round-robin over its owned shards, sleeping
+    /// on the work signal only when every owned shard is dry. Exits after
+    /// shutdown once its shards are empty (drain-first shutdown: every
+    /// queued record is processed, every waiting producer released).
+    pub(crate) fn worker_loop(&self, engine: &CryptoDrop, worker_idx: usize, workers: usize) {
+        let owns = |i: usize| i % workers.max(1) == worker_idx;
+        loop {
+            let seen = *self.work_seq.lock().expect("work signal poisoned");
+            let mut did = 0usize;
+            for (i, shard) in self.shards.iter().enumerate() {
+                if !owns(i) {
+                    continue;
+                }
+                let _drain = shard.drain.lock().expect("drain lock poisoned");
+                did += self.drain_shard(engine, shard);
+            }
+            if did > 0 {
+                continue;
+            }
+            if self.shutdown.load(Ordering::Acquire) {
+                let empty = self
+                    .shards
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| owns(*i))
+                    .all(|(_, s)| s.q.lock().expect("shard queue poisoned").is_empty());
+                if empty {
+                    break;
+                }
+                continue;
+            }
+            let g = self.work_seq.lock().expect("work signal poisoned");
+            if *g == seen {
+                // Timeout is a missed-wakeup safety net only; producers
+                // bump the sequence before notifying, so a signal between
+                // the scan and this check is never lost.
+                let _ = self
+                    .work_ready
+                    .wait_timeout(g, Duration::from_millis(5))
+                    .expect("work signal poisoned");
+            }
+        }
+    }
+
+    /// Blocks until every record enqueued so far has been processed.
+    pub(crate) fn quiesce(&self) {
+        loop {
+            let settled = self.shards.iter().all(|s| {
+                s.q.lock().expect("shard queue poisoned").is_empty()
+                    && s.enqueued.load(Ordering::Acquire) == s.processed.load(Ordering::Acquire)
+            });
+            if settled {
+                return;
+            }
+            std::thread::sleep(Duration::from_micros(100));
+        }
+    }
+
+    /// Initiates drain-first shutdown: workers finish their queues, then
+    /// exit; later submissions process inline.
+    pub(crate) fn begin_shutdown(&self) {
+        self.shutdown.store(true, Ordering::Release);
+        self.signal_work();
+        for shard in &self.shards {
+            shard.not_full.notify_all();
+        }
+    }
+
+    pub(crate) fn stats(&self) -> PipelineStats {
+        let (mut enqueued, mut processed) = (0u64, 0u64);
+        for s in &self.shards {
+            enqueued += s.enqueued.load(Ordering::Relaxed);
+            processed += s.processed.load(Ordering::Relaxed);
+        }
+        PipelineStats {
+            enqueued,
+            processed,
+            degraded: self.degraded.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+        }
+    }
+}

@@ -1,0 +1,567 @@
+//! The unified `Session` detector API.
+//!
+//! [`CryptoDrop::builder`] → [`SessionBuilder`] → [`Session`] is the one
+//! entry point for configuring, validating, and running a detector. It
+//! subsumes the deprecated `CryptoDrop::new` / `new_with_telemetry` /
+//! `fork` / `Monitor::fork_engine` constructors: the builder validates the
+//! configuration up front (returning a typed [`ConfigError`] instead of
+//! silently accepting a detector that can never fire), and the session
+//! decides — by configuration, not by call site — whether analysis runs
+//! inline in the filter callbacks or on the async batched
+//! [pipeline](crate::pipeline).
+//!
+//! ```
+//! use cryptodrop::CryptoDrop;
+//! use cryptodrop_vfs::{VPath, Vfs};
+//!
+//! let session = CryptoDrop::builder()
+//!     .protecting("/docs")
+//!     .build()
+//!     .expect("valid config");
+//!
+//! let mut fs = Vfs::new();
+//! fs.register_filter(Box::new(session.fork()));
+//! let pid = fs.spawn_process("app.exe");
+//! fs.create_dir_all(pid, &VPath::new("/docs")).unwrap();
+//! fs.write_file(pid, &VPath::new("/docs/a.txt"), b"hi").unwrap();
+//! session.drain();
+//! assert_eq!(session.score(pid), 0);
+//! ```
+
+use std::fmt;
+use std::ops::Deref;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use cryptodrop_telemetry::Telemetry;
+use cryptodrop_vfs::{VPath, Vfs};
+
+use crate::config::{Config, ScoreConfig};
+use crate::engine::{CryptoDrop, Monitor};
+use crate::pipeline::{PipelineConfig, PipelineShared, PipelineStats};
+
+/// Why a [`SessionBuilder`] rejected its configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ConfigError {
+    /// No protected directories: the detector would never score anything.
+    NoProtectedDirs,
+    /// A detection threshold of zero would suspend every process on its
+    /// first operation. Carries the offending field name.
+    ZeroThreshold(&'static str),
+    /// `union_threshold` must not exceed `non_union_threshold` — union
+    /// indication *lowers* the threshold (paper §V-B2).
+    UnionThresholdAboveBase {
+        /// The configured `union_threshold`.
+        union: u32,
+        /// The configured `non_union_threshold`.
+        non_union: u32,
+    },
+    /// A bounded snapshot cache smaller than the pinned budget could never
+    /// honour the pin guarantee.
+    SnapshotCacheBelowPinnedBudget {
+        /// The configured `snapshot_cache_capacity`.
+        capacity: usize,
+        /// The configured `pinned_snapshot_budget`.
+        budget: usize,
+    },
+    /// `max_digest_bytes` of zero disables the similarity indicator for
+    /// every file.
+    ZeroMaxDigestBytes,
+    /// A pipeline sizing parameter was zero. Carries the field name.
+    ZeroPipelineParam(&'static str),
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::NoProtectedDirs => {
+                write!(f, "no protected directories: the detector would never score")
+            }
+            Self::ZeroThreshold(which) => {
+                write!(f, "{which} must be nonzero (zero suspends every process)")
+            }
+            Self::UnionThresholdAboveBase { union, non_union } => write!(
+                f,
+                "union_threshold ({union}) must not exceed non_union_threshold \
+                 ({non_union}): union indication lowers the threshold"
+            ),
+            Self::SnapshotCacheBelowPinnedBudget { capacity, budget } => write!(
+                f,
+                "snapshot_cache_capacity ({capacity}) is below \
+                 pinned_snapshot_budget ({budget}): the pin guarantee cannot hold"
+            ),
+            Self::ZeroMaxDigestBytes => {
+                write!(f, "max_digest_bytes must be nonzero to digest any file")
+            }
+            Self::ZeroPipelineParam(which) => {
+                write!(f, "pipeline {which} must be nonzero")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Validates an engine configuration — the checks behind
+/// [`SessionBuilder::build`], shared with tests.
+pub(crate) fn validate(config: &Config) -> Result<(), ConfigError> {
+    if config.protected_dirs.is_empty() {
+        return Err(ConfigError::NoProtectedDirs);
+    }
+    let s = &config.score;
+    if s.non_union_threshold == 0 {
+        return Err(ConfigError::ZeroThreshold("non_union_threshold"));
+    }
+    if s.union_threshold == 0 {
+        return Err(ConfigError::ZeroThreshold("union_threshold"));
+    }
+    if s.union_threshold > s.non_union_threshold {
+        return Err(ConfigError::UnionThresholdAboveBase {
+            union: s.union_threshold,
+            non_union: s.non_union_threshold,
+        });
+    }
+    if config.snapshot_cache_capacity != 0
+        && config.pinned_snapshot_budget != 0
+        && config.snapshot_cache_capacity < config.pinned_snapshot_budget
+    {
+        return Err(ConfigError::SnapshotCacheBelowPinnedBudget {
+            capacity: config.snapshot_cache_capacity,
+            budget: config.pinned_snapshot_budget,
+        });
+    }
+    if config.max_digest_bytes == 0 {
+        return Err(ConfigError::ZeroMaxDigestBytes);
+    }
+    Ok(())
+}
+
+fn validate_pipeline(cfg: &PipelineConfig) -> Result<(), ConfigError> {
+    if cfg.shards == 0 {
+        return Err(ConfigError::ZeroPipelineParam("shards"));
+    }
+    if cfg.capacity == 0 {
+        return Err(ConfigError::ZeroPipelineParam("capacity"));
+    }
+    if cfg.workers == 0 {
+        return Err(ConfigError::ZeroPipelineParam("workers"));
+    }
+    if cfg.max_batch == 0 {
+        return Err(ConfigError::ZeroPipelineParam("max_batch"));
+    }
+    Ok(())
+}
+
+/// Builds a validated [`Session`]. Obtain one with [`CryptoDrop::builder`].
+#[derive(Default)]
+#[must_use = "a builder does nothing until `.build()` is called"]
+pub struct SessionBuilder {
+    config: Option<Config>,
+    protected: Vec<VPath>,
+    score: Option<ScoreConfig>,
+    telemetry: Option<Telemetry>,
+    pipeline: Option<PipelineConfig>,
+}
+
+impl SessionBuilder {
+    pub(crate) fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a protected directory. May be called repeatedly; directories
+    /// accumulate on top of any base [`config`](Self::config).
+    pub fn protecting(mut self, dir: impl Into<VPath>) -> Self {
+        self.protected.push(dir.into());
+        self
+    }
+
+    /// Starts from a complete [`Config`] instead of the defaults.
+    /// Directories added with [`protecting`](Self::protecting) and a score
+    /// set with [`score`](Self::score) still apply on top.
+    pub fn config(mut self, config: Config) -> Self {
+        self.config = Some(config);
+        self
+    }
+
+    /// Replaces the scoring parameters.
+    pub fn score(mut self, score: ScoreConfig) -> Self {
+        self.score = Some(score);
+        self
+    }
+
+    /// Wires the engine (and its pipeline, if enabled) to a [`Telemetry`]
+    /// sink. Share the same handle with
+    /// [`Vfs::set_telemetry`](cryptodrop_vfs::Vfs::set_telemetry) to merge
+    /// filter and engine events onto one timeline.
+    pub fn telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = Some(telemetry);
+        self
+    }
+
+    /// Runs analysis on the async batched pipeline with default sizing
+    /// (see [`PipelineConfig`]). Without this (or
+    /// [`pipeline_config`](Self::pipeline_config)), analysis runs inline
+    /// in the filter callbacks.
+    pub fn pipelined(self) -> Self {
+        self.pipeline_config(PipelineConfig::default())
+    }
+
+    /// Runs analysis on the async batched pipeline with explicit sizing
+    /// and backpressure policy.
+    pub fn pipeline_config(mut self, config: PipelineConfig) -> Self {
+        self.pipeline = Some(config);
+        self
+    }
+
+    /// Validates the configuration and starts the session (spawning the
+    /// pipeline worker pool when pipelined).
+    pub fn build(self) -> Result<Session, ConfigError> {
+        let mut config = match self.config {
+            Some(cfg) => cfg,
+            None => match self.protected.first() {
+                Some(first) => Config::protecting(first.clone()),
+                None => return Err(ConfigError::NoProtectedDirs),
+            },
+        };
+        for dir in self.protected {
+            if !config.protected_dirs.contains(&dir) {
+                config.protected_dirs.push(dir);
+            }
+        }
+        if let Some(score) = self.score {
+            config.score = score;
+        }
+        validate(&config)?;
+        if let Some(pcfg) = &self.pipeline {
+            validate_pipeline(pcfg)?;
+        }
+
+        let telemetry = self.telemetry.unwrap_or_else(Telemetry::disabled);
+        let (mut engine, monitor) = CryptoDrop::with_telemetry_inner(config, telemetry.clone());
+        let mut workers = Vec::new();
+        let pipeline = match self.pipeline {
+            Some(pcfg) => {
+                let shared = Arc::new(PipelineShared::new(pcfg, telemetry));
+                for idx in 0..pcfg.workers {
+                    let pipe = Arc::clone(&shared);
+                    // Workers hold a detached fork: processing a record
+                    // must never re-enter the queue.
+                    let worker_engine = engine.detached_fork();
+                    let handle = std::thread::Builder::new()
+                        .name(format!("cryptodrop-pipeline-{idx}"))
+                        .spawn(move || pipe.worker_loop(&worker_engine, idx, pcfg.workers))
+                        .expect("spawn pipeline worker");
+                    workers.push(handle);
+                }
+                engine.attach_pipeline(Arc::clone(&shared));
+                Some(shared)
+            }
+            None => None,
+        };
+        Ok(Session {
+            engine,
+            monitor,
+            pipeline,
+            workers,
+        })
+    }
+}
+
+impl fmt::Debug for SessionBuilder {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SessionBuilder")
+            .field("config", &self.config)
+            .field("protected", &self.protected)
+            .field("score", &self.score)
+            .field("pipelined", &self.pipeline.is_some())
+            .finish_non_exhaustive()
+    }
+}
+
+/// A running detector: the engine template, its [`Monitor`] view, and —
+/// when pipelined — the shard queues and worker pool. Dropping the session
+/// shuts the pipeline down drain-first: every queued record is analyzed
+/// before the workers exit.
+///
+/// `Session` dereferences to [`Monitor`], so every read
+/// (`score`, `detections`, `summaries`, `audit_trail`, ...) is available
+/// directly on the session.
+pub struct Session {
+    engine: CryptoDrop,
+    monitor: Monitor,
+    pipeline: Option<Arc<PipelineShared>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Session {
+    /// A filter driver over this session's engine, for
+    /// [`Vfs::register_filter`](cryptodrop_vfs::Vfs::register_filter).
+    /// Forks share the scoreboard, snapshot cache, and detection log, and
+    /// carry the pipeline attachment — register one per `Vfs` (one per
+    /// thread) to fan a single detector out across filesystems.
+    pub fn fork(&self) -> CryptoDrop {
+        self.engine.fork_inner()
+    }
+
+    /// A clonable read handle onto the engine state, for threads that only
+    /// observe (the session itself [derefs](Self#deref-methods) to the
+    /// same view).
+    pub fn monitor(&self) -> Monitor {
+        self.monitor.clone()
+    }
+
+    /// Whether analysis runs on the async pipeline (`false` = inline).
+    pub fn is_pipelined(&self) -> bool {
+        self.pipeline.is_some()
+    }
+
+    /// The pipeline sizing, when pipelined.
+    pub fn pipeline_config(&self) -> Option<PipelineConfig> {
+        self.pipeline.as_ref().map(|p| *p.config())
+    }
+
+    /// Blocks until every record enqueued so far has been analyzed. A
+    /// no-op for inline sessions. Call before reading scores or detections
+    /// under `Backpressure::DegradeToInline`; under `Sync` every verdict
+    /// is already complete when the operation returns.
+    pub fn drain(&self) {
+        if let Some(p) = &self.pipeline {
+            p.quiesce();
+        }
+    }
+
+    /// Point-in-time pipeline counters (all zero for inline sessions).
+    pub fn pipeline_stats(&self) -> PipelineStats {
+        self.pipeline
+            .as_ref()
+            .map(|p| p.stats())
+            .unwrap_or_default()
+    }
+
+    /// Drains the pipeline, then applies any detection that has not yet
+    /// reached `fs`'s process table as a suspension. Under
+    /// `Backpressure::DegradeToInline` a threshold crossing can land
+    /// *after* the triggering operation returned `Allow`; the family gate
+    /// suspends on the family's next operation, but a process that goes
+    /// quiet would otherwise never be suspended. Returns the number of
+    /// suspensions applied.
+    pub fn reconcile(&self, fs: &mut Vfs) -> usize {
+        self.drain();
+        let mut applied = 0;
+        for report in self.monitor.detections() {
+            if fs.suspend_process(report.pid, "cryptodrop", &report.reason()) {
+                applied += 1;
+            }
+        }
+        applied
+    }
+}
+
+impl Deref for Session {
+    type Target = Monitor;
+
+    fn deref(&self) -> &Monitor {
+        &self.monitor
+    }
+}
+
+impl Drop for Session {
+    fn drop(&mut self) {
+        if let Some(p) = &self.pipeline {
+            p.begin_shutdown();
+            for handle in self.workers.drain(..) {
+                let _ = handle.join();
+            }
+        }
+    }
+}
+
+impl fmt::Debug for Session {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Session")
+            .field("pipelined", &self.pipeline.is_some())
+            .field("workers", &self.workers.len())
+            .field("engine", &self.engine)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_rejects_empty_protection() {
+        assert_eq!(
+            CryptoDrop::builder().build().err(),
+            Some(ConfigError::NoProtectedDirs)
+        );
+    }
+
+    #[test]
+    fn builder_rejects_zero_thresholds() {
+        let score = ScoreConfig {
+            non_union_threshold: 0,
+            ..ScoreConfig::default()
+        };
+        assert_eq!(
+            CryptoDrop::builder()
+                .protecting("/d")
+                .score(score)
+                .build()
+                .err(),
+            Some(ConfigError::ZeroThreshold("non_union_threshold"))
+        );
+        let score = ScoreConfig {
+            union_threshold: 0,
+            ..ScoreConfig::default()
+        };
+        assert_eq!(
+            CryptoDrop::builder()
+                .protecting("/d")
+                .score(score)
+                .build()
+                .err(),
+            Some(ConfigError::ZeroThreshold("union_threshold"))
+        );
+    }
+
+    #[test]
+    fn builder_rejects_inverted_thresholds() {
+        let score = ScoreConfig {
+            union_threshold: 300,
+            non_union_threshold: 200,
+            ..ScoreConfig::default()
+        };
+        assert_eq!(
+            CryptoDrop::builder()
+                .protecting("/d")
+                .score(score)
+                .build()
+                .err(),
+            Some(ConfigError::UnionThresholdAboveBase {
+                union: 300,
+                non_union: 200
+            })
+        );
+    }
+
+    #[test]
+    fn builder_rejects_pin_budget_over_capacity() {
+        let mut cfg = Config::protecting("/d");
+        cfg.snapshot_cache_capacity = 100;
+        cfg.pinned_snapshot_budget = 200;
+        assert_eq!(
+            CryptoDrop::builder().config(cfg).build().err(),
+            Some(ConfigError::SnapshotCacheBelowPinnedBudget {
+                capacity: 100,
+                budget: 200
+            })
+        );
+    }
+
+    #[test]
+    fn builder_rejects_zero_digest_budget() {
+        let mut cfg = Config::protecting("/d");
+        cfg.max_digest_bytes = 0;
+        assert_eq!(
+            CryptoDrop::builder().config(cfg).build().err(),
+            Some(ConfigError::ZeroMaxDigestBytes)
+        );
+    }
+
+    #[test]
+    fn builder_rejects_zero_pipeline_params() {
+        for (which, pcfg) in [
+            (
+                "shards",
+                PipelineConfig {
+                    shards: 0,
+                    ..PipelineConfig::default()
+                },
+            ),
+            (
+                "capacity",
+                PipelineConfig {
+                    capacity: 0,
+                    ..PipelineConfig::default()
+                },
+            ),
+            (
+                "workers",
+                PipelineConfig {
+                    workers: 0,
+                    ..PipelineConfig::default()
+                },
+            ),
+            (
+                "max_batch",
+                PipelineConfig {
+                    max_batch: 0,
+                    ..PipelineConfig::default()
+                },
+            ),
+        ] {
+            assert_eq!(
+                CryptoDrop::builder()
+                    .protecting("/d")
+                    .pipeline_config(pcfg)
+                    .build()
+                    .err(),
+                Some(ConfigError::ZeroPipelineParam(which))
+            );
+        }
+    }
+
+    #[test]
+    fn builder_accumulates_protected_dirs() {
+        let session = CryptoDrop::builder()
+            .protecting("/docs")
+            .protecting("/desktop")
+            .protecting("/docs") // duplicate collapses
+            .build()
+            .unwrap();
+        assert_eq!(session.config().protected_dirs.len(), 2);
+        assert!(!session.is_pipelined());
+        assert_eq!(session.pipeline_stats(), PipelineStats::default());
+    }
+
+    #[test]
+    fn config_error_messages_name_the_field() {
+        let msgs = [
+            ConfigError::NoProtectedDirs.to_string(),
+            ConfigError::ZeroThreshold("union_threshold").to_string(),
+            ConfigError::UnionThresholdAboveBase {
+                union: 3,
+                non_union: 2,
+            }
+            .to_string(),
+            ConfigError::SnapshotCacheBelowPinnedBudget {
+                capacity: 1,
+                budget: 2,
+            }
+            .to_string(),
+            ConfigError::ZeroMaxDigestBytes.to_string(),
+            ConfigError::ZeroPipelineParam("workers").to_string(),
+        ];
+        for m in &msgs {
+            assert!(!m.is_empty());
+        }
+        assert!(msgs[1].contains("union_threshold"));
+        assert!(msgs[5].contains("workers"));
+    }
+
+    #[test]
+    fn pipelined_session_starts_and_drops_cleanly() {
+        let session = CryptoDrop::builder()
+            .protecting("/docs")
+            .pipelined()
+            .build()
+            .unwrap();
+        assert!(session.is_pipelined());
+        assert_eq!(session.pipeline_config().unwrap().shards, 8);
+        session.drain();
+        drop(session); // workers join without any work
+    }
+}

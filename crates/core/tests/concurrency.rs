@@ -101,12 +101,15 @@ fn run_family(i: usize, engine: CryptoDrop) -> (ProcessId, bool) {
 /// Runs all families — concurrently or serially — over one fresh engine
 /// and returns the monitor plus per-family (pid, suspended) outcomes.
 fn run_all(concurrent: bool) -> (Monitor, Vec<(ProcessId, bool)>) {
-    let (engine, monitor) = CryptoDrop::new(config());
+    let session = CryptoDrop::builder()
+        .config(config())
+        .build()
+        .expect("valid config");
     let outcomes = if concurrent {
-        let engine = &engine;
+        let session = &session;
         crossbeam::thread::scope(|scope| {
             let handles: Vec<_> = (0..FAMILIES)
-                .map(|i| scope.spawn(move |_| run_family(i, engine.fork())))
+                .map(|i| scope.spawn(move |_| run_family(i, session.fork())))
                 .collect();
             handles
                 .into_iter()
@@ -115,9 +118,9 @@ fn run_all(concurrent: bool) -> (Monitor, Vec<(ProcessId, bool)>) {
         })
         .expect("scope must not panic")
     } else {
-        (0..FAMILIES).map(|i| run_family(i, engine.fork())).collect()
+        (0..FAMILIES).map(|i| run_family(i, session.fork())).collect()
     };
-    (monitor, outcomes)
+    (session.monitor(), outcomes)
 }
 
 /// Detections sorted by pid with timestamps zeroed: the Vfs charges the

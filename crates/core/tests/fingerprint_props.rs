@@ -85,8 +85,11 @@ fn engine_cache_hit_never_skips_a_changed_file() {
             .take(4096)
             .collect();
         fs.admin_write_file(&path, &content).unwrap();
-        let (engine, monitor) = CryptoDrop::new(Config::protecting("/docs"));
-        fs.register_filter(Box::new(engine));
+        let monitor = CryptoDrop::builder()
+            .protecting("/docs")
+            .build()
+            .expect("valid config");
+        fs.register_filter(Box::new(monitor.fork()));
         let pid = fs.spawn_process("editor.exe");
 
         let h = fs.open(pid, &path, OpenOptions::modify()).unwrap();

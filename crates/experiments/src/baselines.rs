@@ -50,8 +50,11 @@ impl Detector {
         let root = config.protected_dirs[0].clone();
         match self {
             Detector::CryptoDrop => {
-                let (engine, _monitor) = CryptoDrop::new(config.clone());
-                fs.register_filter(Box::new(engine));
+                let session = CryptoDrop::builder()
+                    .config(config.clone())
+                    .build()
+                    .expect("experiment configs are valid");
+                fs.register_filter(Box::new(session.fork()));
             }
             Detector::IntegrityMonitor => {
                 let (mon, _handle) = IntegrityMonitor::new(root, Some(10));

@@ -70,8 +70,11 @@ pub fn run(corpus: &Corpus, config: &Config, families: &[Family]) -> Fig4 {
             .expect("every family has at least one sample");
         let mut fs = Vfs::new();
         corpus.stage_into(&mut fs).expect("fresh filesystem");
-        let (engine, monitor) = CryptoDrop::new(config.clone());
-        fs.register_filter(Box::new(engine));
+        let session = CryptoDrop::builder()
+            .config(config.clone())
+            .build()
+            .expect("experiment configs are valid");
+        fs.register_filter(Box::new(session.fork()));
         let pid = fs.spawn_process(sample.process_name());
         sample.run(&mut fs, pid, corpus.root());
 
@@ -109,7 +112,7 @@ pub fn run(corpus: &Corpus, config: &Config, families: &[Family]) -> Fig4 {
             class: sample.class,
             dirs_total: corpus.dir_count(),
             dirs_touched: touch_order.len(),
-            files_lost: monitor.files_lost(pid),
+            files_lost: session.files_lost(pid),
             detected: fs.is_suspended(pid),
             touch_order,
             touch_depths,

@@ -57,8 +57,11 @@ fn paper_value(kind: OpKind) -> Option<f64> {
 pub fn run(corpus: &Corpus, config: &Config) -> PerfTable {
     let mut fs = Vfs::new();
     corpus.stage_into(&mut fs).expect("fresh filesystem");
-    let (engine, _monitor) = CryptoDrop::new(config.clone());
-    fs.register_filter(Box::new(engine));
+    let session = CryptoDrop::builder()
+        .config(config.clone())
+        .build()
+        .expect("experiment configs are valid");
+    fs.register_filter(Box::new(session.fork()));
 
     // A benign process reads, modifies, and renames documents to exercise
     // every op kind under realistic conditions.

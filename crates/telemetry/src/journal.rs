@@ -71,6 +71,14 @@ pub enum JournalKind {
         /// What was inconsistent.
         context: String,
     },
+    /// An analysis-pipeline shard queue was full and the producer degraded
+    /// to inline processing (`Backpressure::DegradeToInline`).
+    Backpressure {
+        /// The saturated pipeline shard.
+        shard: u64,
+        /// The shard queue's bound at the moment of degradation.
+        queued: u64,
+    },
     /// A free-form marker (experiment phases, harness annotations).
     Note {
         /// Marker name.

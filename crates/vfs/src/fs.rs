@@ -141,6 +141,24 @@ impl Vfs {
         self.processes.resume(pid)
     }
 
+    /// Suspends a process out-of-band, exactly as a filter `Suspend`
+    /// verdict would: the suspension is journaled, recorded in the process
+    /// table, and appended to the event log. This is the reconciliation
+    /// hook for detections a deferred analysis pipeline produced *after*
+    /// the triggering operation had already returned
+    /// (`Backpressure::DegradeToInline`). Returns `false` if the pid is
+    /// unknown or the process is already suspended.
+    pub fn suspend_process(&mut self, pid: ProcessId, by: &str, reason: &str) -> bool {
+        match self.processes.get(pid) {
+            None => false,
+            Some(rec) if rec.is_suspended() => false,
+            Some(_) => {
+                self.apply_suspension(pid, by.to_string(), reason.to_string());
+                true
+            }
+        }
+    }
+
     /// Registers a filter driver at the end of the filter stack.
     pub fn register_filter(&mut self, filter: Box<dyn FilterDriver>) {
         self.filters.push(filter);

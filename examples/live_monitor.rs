@@ -4,7 +4,7 @@
 //!
 //! Run with: `cargo run --example live_monitor`
 
-use cryptodrop::{Config, CryptoDrop};
+use cryptodrop::CryptoDrop;
 use cryptodrop_corpus::{Corpus, CorpusSpec};
 use cryptodrop_malware::cipher::{ChaCha20, Cipher};
 use cryptodrop_vfs::{OpenOptions, Vfs};
@@ -13,8 +13,11 @@ fn main() {
     let corpus = Corpus::generate(&CorpusSpec::sized(400, 40));
     let mut fs = Vfs::new();
     corpus.stage_into(&mut fs).expect("fresh filesystem");
-    let (engine, monitor) = CryptoDrop::new(Config::protecting(corpus.root().as_str()));
-    fs.register_filter(Box::new(engine));
+    let monitor = CryptoDrop::builder()
+        .protecting(corpus.root().as_str())
+        .build()
+        .expect("valid config");
+    fs.register_filter(Box::new(monitor.fork()));
 
     let pid = fs.spawn_process("slowransom.exe");
     let cipher = ChaCha20::from_seed(2024);

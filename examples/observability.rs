@@ -4,7 +4,7 @@
 //!
 //! Run with: `cargo run --example observability`
 
-use cryptodrop::{Config, CryptoDrop, Telemetry};
+use cryptodrop::{CryptoDrop, Telemetry};
 use cryptodrop_corpus::{Corpus, CorpusSpec};
 use cryptodrop_malware::{paper_sample_set, Family};
 use cryptodrop_telemetry::JournalKind;
@@ -20,9 +20,12 @@ fn main() {
     fs.set_telemetry(telemetry.clone());
     corpus.stage_into(&mut fs).expect("fresh filesystem");
 
-    let (engine, monitor) =
-        CryptoDrop::new_with_telemetry(Config::protecting(corpus.root().as_str()), telemetry.clone());
-    fs.register_filter(Box::new(engine));
+    let monitor = CryptoDrop::builder()
+        .protecting(corpus.root().as_str())
+        .telemetry(telemetry.clone())
+        .build()
+        .expect("valid config");
+    fs.register_filter(Box::new(monitor.fork()));
 
     // 2. Run a TeslaCrypt sample until CryptoDrop suspends it.
     let sample = paper_sample_set()

@@ -1,0 +1,85 @@
+//! Async pipeline: build a pipelined `Session`, absorb a ransomware
+//! burst off the hot path, then drain and reconcile the lagged verdict
+//! back into the filesystem.
+//!
+//! Under `Backpressure::DegradeToInline` the VFS callback only runs the
+//! cheap verdict-critical family gate inline; full indicator analysis is
+//! batched onto worker threads. That means a detection can land *after*
+//! the operation that earned it returned — `Session::reconcile` closes
+//! the loop by applying any lagged detections as VFS suspensions.
+//!
+//! Run with: `cargo run --example pipeline`
+
+use cryptodrop::{Backpressure, CryptoDrop, PipelineConfig, Telemetry};
+use cryptodrop_corpus::{Corpus, CorpusSpec};
+use cryptodrop_malware::{paper_sample_set, Family};
+use cryptodrop_vfs::Vfs;
+
+fn main() {
+    // 1. A simulated machine with protected user documents.
+    let corpus = Corpus::generate(&CorpusSpec::sized(600, 60));
+    let telemetry = Telemetry::new(64 * 1024);
+    let mut fs = Vfs::new();
+    corpus.stage_into(&mut fs).expect("fresh filesystem");
+
+    // 2. A pipelined session: 4 queue shards, 2 analysis workers, and a
+    //    producer that never blocks — a full shard degrades that enqueue
+    //    to inline analysis instead of dropping it.
+    let session = CryptoDrop::builder()
+        .protecting(corpus.root().as_str())
+        .telemetry(telemetry.clone())
+        .pipeline_config(PipelineConfig {
+            shards: 4,
+            workers: 2,
+            backpressure: Backpressure::DegradeToInline,
+            ..PipelineConfig::default()
+        })
+        .build()
+        .expect("valid config");
+    fs.register_filter(Box::new(session.fork()));
+    println!(
+        "session pipelined: {} ({:?})\n",
+        session.is_pipelined(),
+        session.pipeline_config().expect("pipelined").backpressure
+    );
+
+    // 3. Run a CryptoWall sample. The callback path only pays the family
+    //    gate; scoring happens on the worker threads.
+    let sample = paper_sample_set()
+        .into_iter()
+        .find(|s| s.family == Family::CryptoWall)
+        .expect("sample set includes CryptoWall");
+    let pid = fs.spawn_process(sample.process_name());
+    println!("running {} ...", sample.describe());
+    let _ = sample.run(&mut fs, pid, corpus.root());
+
+    // 4. Drain the queues, then reconcile: any detection that landed
+    //    after its triggering operation is applied as a VFS suspension.
+    session.drain();
+    let applied = session.reconcile(&mut fs);
+    println!(
+        "drained; reconcile applied {applied} lagged suspension(s); \
+         pid suspended: {}",
+        fs.is_suspended(pid)
+    );
+
+    for report in session.detections() {
+        println!("  {}", report.reason());
+    }
+
+    // 5. The pipeline's own counters, plus the telemetry view.
+    let stats = session.pipeline_stats();
+    println!(
+        "\npipeline stats: {} enqueued, {} processed, {} degraded, {} batches",
+        stats.enqueued, stats.processed, stats.degraded, stats.batches
+    );
+    let snap = telemetry.metrics().snapshot();
+    for (name, value) in snap.counters.iter().filter(|(n, _)| n.starts_with("pipeline.")) {
+        println!("  {name} = {value}");
+    }
+    for (name, h) in &snap.histograms {
+        if name.starts_with("pipeline.") && h.count > 0 {
+            println!("  {name}: n={} mean={:.0} p99<={}", h.count, h.mean, h.quantile_le(0.99));
+        }
+    }
+}

@@ -3,7 +3,7 @@
 //!
 //! Run with: `cargo run --example quickstart`
 
-use cryptodrop::{Config, CryptoDrop};
+use cryptodrop::CryptoDrop;
 use cryptodrop_corpus::{Corpus, CorpusSpec};
 use cryptodrop_malware::{paper_sample_set, Family};
 use cryptodrop_vfs::Vfs;
@@ -21,8 +21,11 @@ fn main() {
     );
 
     // 2. Arm CryptoDrop on the documents directory.
-    let (engine, monitor) = CryptoDrop::new(Config::protecting(corpus.root().as_str()));
-    fs.register_filter(Box::new(engine));
+    let monitor = CryptoDrop::builder()
+        .protecting(corpus.root().as_str())
+        .build()
+        .expect("valid config");
+    fs.register_filter(Box::new(monitor.fork()));
 
     // 3. Run a TeslaCrypt-style sample.
     let sample = paper_sample_set()

@@ -4,7 +4,7 @@
 //! Run with: `cargo run --example ransomware_attack -- CTB-Locker`
 //! (default family: GPcode)
 
-use cryptodrop::{Config, CryptoDrop};
+use cryptodrop::CryptoDrop;
 use cryptodrop_corpus::{Corpus, CorpusSpec};
 use cryptodrop_malware::{paper_sample_set, Family};
 use cryptodrop_vfs::Vfs;
@@ -28,8 +28,11 @@ fn main() {
     let corpus = Corpus::generate(&CorpusSpec::sized(1200, 120));
     let mut fs = Vfs::new();
     corpus.stage_into(&mut fs).expect("fresh filesystem");
-    let (engine, monitor) = CryptoDrop::new(Config::protecting(corpus.root().as_str()));
-    fs.register_filter(Box::new(engine));
+    let monitor = CryptoDrop::builder()
+        .protecting(corpus.root().as_str())
+        .build()
+        .expect("valid config");
+    fs.register_filter(Box::new(monitor.fork()));
 
     let sample = paper_sample_set()
         .into_iter()

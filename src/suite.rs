@@ -16,7 +16,7 @@ pub use cryptodrop_simhash as simhash;
 pub use cryptodrop_sniff as sniff;
 pub use cryptodrop_vfs as vfs;
 
-use cryptodrop::{Config, CryptoDrop, DetectionReport};
+use cryptodrop::{CryptoDrop, DetectionReport};
 use cryptodrop_corpus::{Corpus, CorpusSpec};
 use cryptodrop_malware::RansomwareSample;
 use cryptodrop_vfs::Vfs;
@@ -30,11 +30,14 @@ pub fn demo_detection(files: usize, sample: &RansomwareSample) -> Option<Detecti
     let corpus = Corpus::generate(&CorpusSpec::sized(files, (files / 10).max(2)));
     let mut fs = Vfs::new();
     corpus.stage_into(&mut fs).expect("fresh filesystem");
-    let (engine, monitor) = CryptoDrop::new(Config::protecting(corpus.root().as_str()));
-    fs.register_filter(Box::new(engine));
+    let session = CryptoDrop::builder()
+        .protecting(corpus.root().as_str())
+        .build()
+        .expect("valid config");
+    fs.register_filter(Box::new(session.fork()));
     let pid = fs.spawn_process(sample.process_name());
     sample.run(&mut fs, pid, corpus.root());
-    monitor.detection_for(pid)
+    session.detection_for(pid)
 }
 
 #[cfg(test)]

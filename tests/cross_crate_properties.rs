@@ -30,8 +30,11 @@ proptest! {
 
         let mut fs = Vfs::new();
         corpus.stage_into(&mut fs).unwrap();
-        let (engine, monitor) = CryptoDrop::new(config);
-        fs.register_filter(Box::new(engine));
+        let monitor = CryptoDrop::builder()
+            .config(config)
+            .build()
+            .expect("valid config");
+        fs.register_filter(Box::new(monitor.fork()));
         let pid = fs.spawn_process(sample.process_name());
         let outcome = sample.run(&mut fs, pid, corpus.root());
 
@@ -56,8 +59,11 @@ proptest! {
         let config = Config::protecting(corpus.root().as_str());
         let mut fs = Vfs::new();
         corpus.stage_into(&mut fs).unwrap();
-        let (engine, monitor) = CryptoDrop::new(config);
-        fs.register_filter(Box::new(engine));
+        let monitor = CryptoDrop::builder()
+            .config(config)
+            .build()
+            .expect("valid config");
+        fs.register_filter(Box::new(monitor.fork()));
         let pid = fs.spawn_process("backup.exe");
         let backup_dir = corpus.root().join("backup");
         fs.create_dir_all(pid, &backup_dir).unwrap();

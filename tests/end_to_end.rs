@@ -48,8 +48,11 @@ fn surviving_files_are_bit_identical() {
 
     let mut fs = Vfs::new();
     corpus.stage_into(&mut fs).unwrap();
-    let (engine, monitor) = CryptoDrop::new(config);
-    fs.register_filter(Box::new(engine));
+    let monitor = CryptoDrop::builder()
+        .config(config)
+        .build()
+        .expect("valid config");
+    fs.register_filter(Box::new(monitor.fork()));
     let pid = fs.spawn_process(sample.process_name());
     sample.run(&mut fs, pid, corpus.root());
 
@@ -152,8 +155,11 @@ fn read_only_files_survive_the_weak_sample() {
         .unwrap();
     let mut fs = Vfs::new();
     corpus.stage_into(&mut fs).unwrap();
-    let (engine, _monitor) = CryptoDrop::new(config);
-    fs.register_filter(Box::new(engine));
+    let session = CryptoDrop::builder()
+        .config(config)
+        .build()
+        .expect("valid config");
+    fs.register_filter(Box::new(session.fork()));
     let pid = fs.spawn_process(gpcode_c.process_name());
     gpcode_c.run(&mut fs, pid, corpus.root());
 
@@ -198,8 +204,11 @@ fn detection_report_matches_monitor_state() {
     let sample = &paper_sample_set()[0];
     let mut fs = Vfs::new();
     corpus.stage_into(&mut fs).unwrap();
-    let (engine, monitor) = CryptoDrop::new(config);
-    fs.register_filter(Box::new(engine));
+    let monitor = CryptoDrop::builder()
+        .config(config)
+        .build()
+        .expect("valid config");
+    fs.register_filter(Box::new(monitor.fork()));
     let pid = fs.spawn_process(sample.process_name());
     sample.run(&mut fs, pid, corpus.root());
 

@@ -39,8 +39,11 @@ fn family_aggregation_stops_fanout_attacks() {
     let corpus = corpus();
     let mut fs = Vfs::new();
     corpus.stage_into(&mut fs).unwrap();
-    let (engine, monitor) = CryptoDrop::new(Config::protecting(corpus.root().as_str()));
-    fs.register_filter(Box::new(engine));
+    let monitor = CryptoDrop::builder()
+        .config(Config::protecting(corpus.root().as_str()))
+        .build()
+        .expect("valid config");
+    fs.register_filter(Box::new(monitor.fork()));
 
     let dropper = fs.spawn_process("dropper.exe");
     let kids: Vec<ProcessId> = (0..4)
@@ -92,8 +95,11 @@ fn per_process_mode_still_available() {
     corpus.stage_into(&mut fs).unwrap();
     let mut cfg = Config::protecting(corpus.root().as_str());
     cfg.aggregate_process_families = false;
-    let (engine, monitor) = CryptoDrop::new(cfg);
-    fs.register_filter(Box::new(engine));
+    let monitor = CryptoDrop::builder()
+        .config(cfg)
+        .build()
+        .expect("valid config");
+    fs.register_filter(Box::new(monitor.fork()));
 
     let evil = fs.spawn_process("evil.exe");
     let benign = fs.spawn_process("benign.exe");
@@ -114,8 +120,11 @@ fn permit_flow_round_trip() {
     let corpus = corpus();
     let mut fs = Vfs::new();
     corpus.stage_into(&mut fs).unwrap();
-    let (engine, monitor) = CryptoDrop::new(Config::protecting(corpus.root().as_str()));
-    fs.register_filter(Box::new(engine));
+    let monitor = CryptoDrop::builder()
+        .config(Config::protecting(corpus.root().as_str()))
+        .build()
+        .expect("valid config");
+    fs.register_filter(Box::new(monitor.fork()));
     let pid = fs.spawn_process("bulk-tool.exe");
 
     let before = encrypt_files(&mut fs, pid, &corpus, usize::MAX);
@@ -139,8 +148,11 @@ fn burst_indicator_is_off_by_default() {
     let corpus = corpus();
     let mut fs = Vfs::new();
     corpus.stage_into(&mut fs).unwrap();
-    let (engine, monitor) = CryptoDrop::new(Config::protecting(corpus.root().as_str()));
-    fs.register_filter(Box::new(engine));
+    let monitor = CryptoDrop::builder()
+        .config(Config::protecting(corpus.root().as_str()))
+        .build()
+        .expect("valid config");
+    fs.register_filter(Box::new(monitor.fork()));
     let pid = fs.spawn_process("rewriter.exe");
     // Benign-shaped rewrites of many files, flat out.
     for f in corpus.files().iter().take(40) {

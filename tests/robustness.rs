@@ -59,8 +59,11 @@ proptest! {
             ).unwrap();
         }
         fs.admin_create_dir_all(&VPath::new("/outside")).unwrap();
-        let (engine, monitor) = CryptoDrop::new(Config::protecting("/docs"));
-        fs.register_filter(Box::new(engine));
+        let monitor = CryptoDrop::builder()
+            .config(Config::protecting("/docs"))
+            .build()
+            .expect("valid config");
+        fs.register_filter(Box::new(monitor.fork()));
 
         let mut pids: Vec<ProcessId> = vec![fs.spawn_process("fuzz0.exe")];
         let mut turn = 0usize;

@@ -99,6 +99,14 @@ fn render_float(f: f64) -> String {
     if !f.is_finite() {
         return "null".to_string();
     }
+    // `Display` never produces exponent notation: 1e300 would expand to a
+    // 301-digit integer (and then wrongly gain a trailing `.0`). Very large
+    // or very small magnitudes render via `LowerExp` instead, which emits
+    // valid JSON numbers like `1e300` or `1.5e-9`.
+    let abs = f.abs();
+    if abs >= 1e16 || (abs > 0.0 && abs < 1e-5) {
+        return format!("{f:e}");
+    }
     let s = format!("{f}");
     if s.contains('.') || s.contains('e') || s.contains('E') {
         s
