@@ -11,7 +11,7 @@
 use std::time::Instant;
 
 use criterion::{criterion_group, Criterion};
-use cryptodrop::{CacheStats, Config, CryptoDrop};
+use cryptodrop::{CacheStats, CryptoDrop};
 use cryptodrop_bench::{bench_config, bench_corpus};
 use cryptodrop_corpus::Corpus;
 use cryptodrop_experiments::perf;

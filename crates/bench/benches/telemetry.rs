@@ -20,7 +20,7 @@
 use std::time::Instant;
 
 use criterion::{criterion_group, Criterion};
-use cryptodrop::{Config, CryptoDrop, Telemetry};
+use cryptodrop::{CryptoDrop, Telemetry};
 use cryptodrop_bench::bench_corpus;
 use cryptodrop_corpus::Corpus;
 use cryptodrop_telemetry::JournalKind;

@@ -126,11 +126,11 @@ impl BenignApp for Lightroom {
     fn stage(&self, fs: &mut Vfs, docs: &VPath, rng: &mut StdRng) -> VfsResult<()> {
         for i in 0..self.photo_count {
             let photo = { let size = rng.gen_range(12_000..40_000); gen::image::jpeg(rng, size) };
-            fs.admin_write_file(&docs.join(format!("Photos/IMG_{i:04}.jpg")), &photo)?;
+            fs.admin().write_file(&docs.join(format!("Photos/IMG_{i:04}.jpg")), &photo)?;
             // Every photo carries an XMP metadata sidecar (develop
             // settings, keywords, edit history) that the import parses.
             let xmp = { let size = rng.gen_range(10_000..14_000); gen::text::xml(rng, size) };
-            fs.admin_write_file(&docs.join(format!("Photos/IMG_{i:04}.xmp")), &xmp)?;
+            fs.admin().write_file(&docs.join(format!("Photos/IMG_{i:04}.xmp")), &xmp)?;
         }
         Ok(())
     }
@@ -198,7 +198,7 @@ impl BenignApp for ImageMagick {
     fn stage(&self, fs: &mut Vfs, docs: &VPath, rng: &mut StdRng) -> VfsResult<()> {
         for i in 0..self.photo_count {
             let photo = { let size = rng.gen_range(12_000..40_000); gen::image::jpeg(rng, size) };
-            fs.admin_write_file(&docs.join(format!("Photos/IMG_{i:04}.jpg")), &photo)?;
+            fs.admin().write_file(&docs.join(format!("Photos/IMG_{i:04}.jpg")), &photo)?;
         }
         Ok(())
     }
@@ -260,14 +260,14 @@ impl BenignApp for ITunes {
         let music = Self::music_dir(docs);
         for i in 0..self.track_count {
             let wav = { let size = rng.gen_range(30_000..80_000); gen::audio::wav(rng, size) };
-            fs.admin_write_file(&music.join(format!("track-{i:02}.wav")), &wav)?;
+            fs.admin().write_file(&music.join(format!("track-{i:02}.wav")), &wav)?;
         }
         for i in 0..self.docs_track_count {
             let wav = { let size = rng.gen_range(30_000..80_000); gen::audio::wav(rng, size) };
-            fs.admin_write_file(&docs.join(format!("audio-samples/sample-{i}.wav")), &wav)?;
+            fs.admin().write_file(&docs.join(format!("audio-samples/sample-{i}.wav")), &wav)?;
         }
         // The old library the test deletes first.
-        fs.admin_write_file(
+        fs.admin().write_file(
             &music.join("iTunes/iTunes Library.itl"),
             &gen::archive::gzip(rng, 4_000),
         )
@@ -330,7 +330,7 @@ impl BenignApp for Word {
     }
 
     fn stage(&self, fs: &mut Vfs, docs: &VPath, rng: &mut StdRng) -> VfsResult<()> {
-        fs.admin_write_file(&docs.join("Pictures/holiday.jpg"), &gen::image::jpeg(rng, 26_000))
+        fs.admin().write_file(&docs.join("Pictures/holiday.jpg"), &gen::image::jpeg(rng, 26_000))
     }
 
     fn run(&self, fs: &mut Vfs, pid: ProcessId, docs: &VPath, rng: &mut StdRng) -> VfsResult<()> {
@@ -375,7 +375,7 @@ impl BenignApp for Excel {
     }
 
     fn stage(&self, fs: &mut Vfs, docs: &VPath, rng: &mut StdRng) -> VfsResult<()> {
-        fs.admin_write_file(&docs.join("data/import.csv"), &gen::text::csv(rng, 22_000))
+        fs.admin().write_file(&docs.join("data/import.csv"), &gen::text::csv(rng, 22_000))
     }
 
     fn run(&self, fs: &mut Vfs, pid: ProcessId, docs: &VPath, rng: &mut StdRng) -> VfsResult<()> {
@@ -475,7 +475,7 @@ impl BenignApp for ProfileApp {
         if let Profile::PhotoEditor { opens, .. } = self.profile {
             for i in 0..opens {
                 let photo = { let size = rng.gen_range(10_000..30_000); gen::image::jpeg(rng, size) };
-                fs.admin_write_file(&docs.join(format!("Pictures/pic-{i:03}.jpg")), &photo)?;
+                fs.admin().write_file(&docs.join(format!("Pictures/pic-{i:03}.jpg")), &photo)?;
             }
         }
         Ok(())
@@ -781,7 +781,7 @@ mod tests {
                 3 => (format!("d{i}.docx"), gen::office::docx(&mut rng, 12_000)),
                 _ => (format!("d{i}.csv"), gen::text::csv(&mut rng, 4_000)),
             };
-            fs.admin_write_file(&docs.join(format!("folder{}/{name}", i % 4)), &data)
+            fs.admin().write_file(&docs.join(format!("folder{}/{name}", i % 4)), &data)
                 .unwrap();
         }
         (fs, docs)
@@ -815,7 +815,7 @@ mod tests {
         let app = SevenZip { file_limit: 30 };
         let pid = fs.spawn_process(app.executable());
         app.run(&mut fs, pid, &docs, &mut rng).unwrap();
-        let archive = fs.admin_read_file(&docs.join("documents-backup.7z")).unwrap();
+        let archive = fs.admin().read_file(&docs.join("documents-backup.7z")).unwrap();
         assert_eq!(cryptodrop_sniff::sniff(&archive), cryptodrop_sniff::FileType::SevenZip);
         let e = cryptodrop_entropy::shannon_entropy(&archive[300..]);
         assert!(e > 7.0, "archive body entropy {e}");
@@ -832,7 +832,7 @@ mod tests {
         app.run(&mut fs, pid, &docs, &mut rng).unwrap();
         assert_eq!(fs.file_count(), before, "in-place edits create nothing");
         let sample = fs
-            .admin_read_file(&docs.join("Photos/IMG_0000.jpg"))
+            .admin().read_file(&docs.join("Photos/IMG_0000.jpg"))
             .unwrap();
         assert_eq!(cryptodrop_sniff::sniff(&sample), cryptodrop_sniff::FileType::Jpeg);
     }
@@ -846,11 +846,11 @@ mod tests {
         let pid = fs.spawn_process(app.executable());
         app.run(&mut fs, pid, &docs, &mut rng).unwrap();
         let temps = fs
-            .admin_files()
+            .admin().files()
             .filter(|(p, _)| p.as_str().contains("~$budget"))
             .count();
         assert_eq!(temps, 0);
-        assert!(fs.admin_read_file(&docs.join("budget.xlsx")).is_ok());
+        assert!(fs.admin().read_file(&docs.join("budget.xlsx")).is_ok());
     }
 
     #[test]

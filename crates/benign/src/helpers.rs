@@ -143,9 +143,9 @@ mod tests {
         let mut fs = Vfs::new();
         let pid = fs.spawn_process("helper-test.exe");
         let root = VPath::new("/docs");
-        fs.admin_write_file(&root.join("a.txt"), b"alpha").unwrap();
-        fs.admin_write_file(&root.join("b.jpg"), b"\xFF\xD8\xFFjpeg").unwrap();
-        fs.admin_write_file(&root.join("sub/c.txt"), b"gamma").unwrap();
+        fs.admin().write_file(&root.join("a.txt"), b"alpha").unwrap();
+        fs.admin().write_file(&root.join("b.jpg"), b"\xFF\xD8\xFFjpeg").unwrap();
+        fs.admin().write_file(&root.join("sub/c.txt"), b"gamma").unwrap();
         (fs, pid, root)
     }
 
@@ -172,7 +172,7 @@ mod tests {
         let (mut fs, pid, root) = setup();
         let p = root.join("deep/nested/file.bin");
         write_new(&mut fs, pid, &p, &[1, 2, 3, 4, 5], 2).unwrap();
-        assert_eq!(fs.admin_read_file(&p).unwrap(), vec![1, 2, 3, 4, 5]);
+        assert_eq!(fs.admin().read_file(&p).unwrap(), vec![1, 2, 3, 4, 5]);
     }
 
     #[test]
@@ -180,6 +180,6 @@ mod tests {
         let (mut fs, pid, root) = setup();
         let p = root.join("a.txt");
         overwrite_in_place(&mut fs, pid, &p, b"xy", 1).unwrap();
-        assert_eq!(fs.admin_read_file(&p).unwrap(), b"xy");
+        assert_eq!(fs.admin().read_file(&p).unwrap(), b"xy");
     }
 }

@@ -161,9 +161,7 @@ impl FilterDriver for IntegrityMonitor {
                     .filter(|a| a.pid == ctx.pid)
                     .count() as u32;
                 if offender >= limit {
-                    return Verdict::Suspend {
-                        reason: format!("integrity-monitor: {offender} modified files"),
-                    };
+                    return Verdict::suspend(format!("integrity-monitor: {offender} modified files"));
                 }
             }
         }
@@ -266,9 +264,7 @@ impl FilterDriver for EntropyOnlyDetector {
                 reason: format!("{total} bytes of high-entropy writes"),
                 at_nanos: ctx.at_nanos,
             });
-            return Verdict::Suspend {
-                reason: "entropy-only: high-entropy write budget exceeded".to_string(),
-            };
+            return Verdict::suspend("entropy-only: high-entropy write budget exceeded");
         }
         Verdict::Allow
     }
@@ -286,7 +282,7 @@ mod tests {
             let body: Vec<u8> = (0..100u32)
                 .flat_map(|l| format!("doc {i} line {l} everyday words\n").into_bytes())
                 .collect();
-            fs.admin_write_file(&docs.join(format!("f{i}.txt")), &body).unwrap();
+            fs.admin().write_file(&docs.join(format!("f{i}.txt")), &body).unwrap();
         }
         (fs, docs)
     }

@@ -414,6 +414,9 @@ pub struct CryptoDrop {
     /// When attached, in-scope records are enqueued to the analysis
     /// pipeline instead of being processed inline.
     pipeline: Option<Arc<PipelineShared>>,
+    /// When attached, scoring feeds family reputation to the shadow store
+    /// so a brewing suspect's pre-images are pinned against eviction.
+    shadow: Option<Arc<cryptodrop_recovery::ShadowStore>>,
 }
 
 /// A shared read handle onto a [`CryptoDrop`] engine's state.
@@ -470,6 +473,7 @@ impl CryptoDrop {
                 cfg: Arc::clone(&cfg),
                 shared: Arc::clone(&shared),
                 pipeline: None,
+                shadow: None,
             },
             Monitor { cfg, shared },
         )
@@ -490,22 +494,30 @@ impl CryptoDrop {
             cfg: Arc::clone(&self.cfg),
             shared: Arc::clone(&self.shared),
             pipeline: self.pipeline.clone(),
+            shadow: self.shadow.clone(),
         }
     }
 
     /// A fork with no pipeline attachment: worker threads and
-    /// post-shutdown degradation process records directly.
+    /// post-shutdown degradation process records directly. The shadow
+    /// attachment is kept — deferred analysis must still pin pre-images.
     pub(crate) fn detached_fork(&self) -> CryptoDrop {
         CryptoDrop {
             cfg: Arc::clone(&self.cfg),
             shared: Arc::clone(&self.shared),
             pipeline: None,
+            shadow: self.shadow.clone(),
         }
     }
 
     /// Attaches the analysis pipeline this driver submits records to.
     pub(crate) fn attach_pipeline(&mut self, pipeline: Arc<PipelineShared>) {
         self.pipeline = Some(pipeline);
+    }
+
+    /// Attaches the shadow store this driver feeds reputation scores to.
+    pub(crate) fn attach_shadow(&mut self, shadow: Arc<cryptodrop_recovery::ShadowStore>) {
+        self.shadow = Some(shadow);
     }
 
     /// The per-shard snapshot capacity implied by
@@ -552,6 +564,7 @@ impl Monitor {
             cfg: Arc::clone(&self.cfg),
             shared: Arc::clone(&self.shared),
             pipeline: None,
+            shadow: None,
         }
     }
 
@@ -734,6 +747,12 @@ impl CryptoDrop {
                 });
         }
         st.award(&self.cfg.score, self.cfg.union_enabled, hit);
+        if let Some(shadow) = &self.shadow {
+            // `st.pid()` is the scoring key — the family root under
+            // family aggregation — which is exactly how the shadow store
+            // keys its pins.
+            shadow.set_reputation(st.pid(), st.score());
+        }
     }
 
     /// The evaluation-latency histogram for one indicator.
@@ -880,7 +899,7 @@ impl CryptoDrop {
         if self.shared.telemetry.is_enabled() {
             self.shared.metrics.detections.inc();
         }
-        Verdict::Suspend { reason }
+        Verdict::suspend(reason)
     }
 
     /// Refreshes the path-keyed snapshot of `path` from `data` (its
@@ -926,9 +945,7 @@ impl CryptoDrop {
             // Already detected: block any family member that is still
             // issuing operations (the issuer itself is normally already
             // suspended by the VFS; siblings are caught here).
-            Some(Verdict::Suspend {
-                reason: FAMILY_FLAGGED.to_string(),
-            })
+            Some(Verdict::suspend(FAMILY_FLAGGED))
         } else {
             None
         }
@@ -1509,9 +1526,7 @@ impl FilterDriver for CryptoDrop {
         let key = self.scoring_key(ctx);
         if let Some(p) = self.shared.family_shard(key).lock().processes.get(&key) {
             if p.is_detected() && !p.is_permitted() {
-                return Verdict::Suspend {
-                    reason: FAMILY_FLAGGED.to_string(),
-                };
+                return Verdict::suspend(FAMILY_FLAGGED);
             }
         }
         let refresh = match ctx.op {
@@ -1596,9 +1611,9 @@ mod tests {
         let docs = VPath::new(DOCS);
         for i in 0..files {
             let path = docs.join(format!("dir{}/file{i}.txt", i % 3));
-            fs.admin_write_file(&path, &text_content(i as u32, 4096)).unwrap();
+            fs.admin().write_file(&path, &text_content(i as u32, 4096)).unwrap();
         }
-        fs.admin_create_dir_all(&VPath::new("/tmp")).unwrap();
+        fs.admin().create_dir_all(&VPath::new("/tmp")).unwrap();
         let (engine, monitor) = CryptoDrop::new(Config::protecting(DOCS));
         fs.register_filter(Box::new(engine));
         (fs, monitor)
@@ -1610,7 +1625,7 @@ mod tests {
         let mut encrypted = 0;
         'outer: for i in 0..100 {
             let path = docs.join(format!("dir{}/file{i}.txt", i % 3));
-            if fs.admin_metadata(&path).is_err() {
+            if fs.admin().metadata(&path).is_err() {
                 continue;
             }
             let h = match fs.open(pid, &path, OpenOptions::modify()) {
@@ -1651,7 +1666,7 @@ mod tests {
         assert_eq!(report.threshold, monitor.config().score.union_threshold);
         // The vast majority of the corpus survived.
         let surviving = fs
-            .admin_files()
+            .admin().files()
             .filter(|(p, d)| p.as_str().ends_with(".txt") && d.starts_with(b"file"))
             .count();
         assert!(surviving >= 45, "only {surviving} files survived");
@@ -1688,7 +1703,7 @@ mod tests {
         let tmp = VPath::new("/tmp");
         for i in 0..40 {
             let src = docs.join(format!("dir{}/file{i}.txt", i % 3));
-            if fs.admin_metadata(&src).is_err() {
+            if fs.admin().metadata(&src).is_err() {
                 continue;
             }
             let staging = tmp.join(format!("work{i}.tmp"));
@@ -1857,7 +1872,7 @@ mod tests {
         'outer: for i in 0..60 {
             let pid = workers[i % workers.len()];
             let path = docs.join(format!("dir{}/file{i}.txt", i % 3));
-            if fs.admin_metadata(&path).is_err() {
+            if fs.admin().metadata(&path).is_err() {
                 continue;
             }
             let h = match fs.open(pid, &path, OpenOptions::modify()) {
@@ -1917,7 +1932,7 @@ mod tests {
             let docs = VPath::new(DOCS);
             for i in 0..80 {
                 // All tiny: below the sdhash minimum.
-                fs.admin_write_file(
+                fs.admin().write_file(
                     &docs.join(format!("notes/n{i}.txt")),
                     format!("tiny note {i} with a few words").as_bytes(),
                 )
@@ -1966,7 +1981,7 @@ mod tests {
             let docs = VPath::new(DOCS);
             for i in 0..30 {
                 let path = docs.join(format!("dir{}/file{i}.txt", i % 3));
-                if fs.admin_metadata(&path).is_err() {
+                if fs.admin().metadata(&path).is_err() {
                     continue;
                 }
                 // Benign-shaped writes: same text back (no entropy delta,
@@ -2055,7 +2070,7 @@ mod tests {
         let mut fs = Vfs::new();
         let docs = VPath::new(DOCS);
         for i in 0..64 {
-            fs.admin_write_file(&docs.join(format!("f{i}.txt")), &text_content(i, 2048))
+            fs.admin().write_file(&docs.join(format!("f{i}.txt")), &text_content(i, 2048))
                 .unwrap();
         }
         let mut cfg = Config::protecting(DOCS);
@@ -2161,7 +2176,7 @@ mod tests {
         let docs = VPath::new(DOCS);
         let target = docs.join("target.txt");
         let original = text_content(7, 4096);
-        fs.admin_write_file(&target, &original).unwrap();
+        fs.admin().write_file(&target, &original).unwrap();
         let mut cfg = Config::protecting(DOCS);
         cfg.snapshot_cache_capacity = 2; // per-shard cap of 1
         let (engine, monitor) = CryptoDrop::new(cfg);
@@ -2199,7 +2214,7 @@ mod tests {
         let mut fs = Vfs::new();
         let docs = VPath::new(DOCS);
         for i in 0..64 {
-            fs.admin_write_file(&docs.join(format!("f{i}.txt")), &text_content(i, 2048))
+            fs.admin().write_file(&docs.join(format!("f{i}.txt")), &text_content(i, 2048))
                 .unwrap();
         }
         let mut cfg = Config::protecting(DOCS);
@@ -2226,7 +2241,7 @@ mod tests {
         let mut fs = Vfs::new();
         let docs = VPath::new(DOCS);
         for i in 0..40 {
-            fs.admin_write_file(
+            fs.admin().write_file(
                 &docs.join(format!("dir{}/file{i}.txt", i % 3)),
                 &text_content(i, 4096),
             )
@@ -2270,13 +2285,13 @@ mod tests {
             let mut fs = Vfs::new();
             let docs = VPath::new(DOCS);
             for i in 0..24 {
-                fs.admin_write_file(
+                fs.admin().write_file(
                     &docs.join(format!("dir{}/file{i}.txt", i % 3)),
                     &text_content(i, 4096),
                 )
                 .unwrap();
             }
-            fs.admin_create_dir_all(&VPath::new("/tmp")).unwrap();
+            fs.admin().create_dir_all(&VPath::new("/tmp")).unwrap();
             let mut cfg = Config::protecting(DOCS);
             cfg.fingerprint_cache = fingerprint_cache;
             let (engine, monitor) = CryptoDrop::new(cfg);
@@ -2285,7 +2300,7 @@ mod tests {
             let tmp = VPath::new("/tmp");
             'outer: for i in 0..24 {
                 let src = docs.join(format!("dir{}/file{i}.txt", i % 3));
-                if fs.admin_metadata(&src).is_err() {
+                if fs.admin().metadata(&src).is_err() {
                     continue;
                 }
                 // Warm the caches: an unchanged rewrite at the original path.
@@ -2375,7 +2390,7 @@ mod tests {
         fs.set_telemetry(telemetry.clone());
         let docs = VPath::new(DOCS);
         for i in 0..60 {
-            fs.admin_write_file(
+            fs.admin().write_file(
                 &docs.join(format!("dir{}/file{i}.txt", i % 3)),
                 &text_content(i as u32, 4096),
             )

@@ -37,7 +37,7 @@
 //!     let body: Vec<u8> = (0..150u32)
 //!         .flat_map(|l| format!("file {i} line {l}: quarterly figures\n").into_bytes())
 //!         .collect();
-//!     fs.admin_write_file(&docs.join(format!("report-{i}.txt")), &body).unwrap();
+//!     fs.admin().write_file(&docs.join(format!("report-{i}.txt")), &body).unwrap();
 //! }
 //!
 //! // Arm CryptoDrop: build a validated Session, register a fork.
@@ -91,6 +91,10 @@ pub use baseline::{
     BaselineAlert, EntropyOnlyDetector, EntropyOnlyHandle, IntegrityHandle, IntegrityMonitor,
 };
 pub use config::{Config, ScoreConfig};
+pub use cryptodrop_recovery::{
+    RecoveryAction, RecoveryConflict, RecoveryPlan, RecoveryReport, ShadowConfig, ShadowStats,
+    ShadowStore,
+};
 pub use cryptodrop_telemetry::Telemetry;
 pub use engine::{CacheStats, CryptoDrop, DetectionReport, Monitor};
 pub use indicators::{Indicator, IndicatorHit};
@@ -105,5 +109,6 @@ pub mod prelude {
     pub use crate::engine::{CryptoDrop, DetectionReport, Monitor};
     pub use crate::pipeline::{Backpressure, PipelineConfig, PipelineStats};
     pub use crate::session::{ConfigError, Session, SessionBuilder};
+    pub use cryptodrop_recovery::{RecoveryReport, ShadowConfig, ShadowStore};
     pub use cryptodrop_telemetry::Telemetry;
 }

@@ -33,8 +33,9 @@ use std::ops::Deref;
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
+use cryptodrop_recovery::{RecoveryReport, ShadowConfig, ShadowStore};
 use cryptodrop_telemetry::Telemetry;
-use cryptodrop_vfs::{VPath, Vfs};
+use cryptodrop_vfs::{ProcessId, VPath, Vfs};
 
 use crate::config::{Config, ScoreConfig};
 use crate::engine::{CryptoDrop, Monitor};
@@ -70,6 +71,9 @@ pub enum ConfigError {
     ZeroMaxDigestBytes,
     /// A pipeline sizing parameter was zero. Carries the field name.
     ZeroPipelineParam(&'static str),
+    /// A recovery shadow store with a zero byte budget could never hold a
+    /// single pre-image: every capture would be evicted on arrival.
+    ZeroShadowBudget,
 }
 
 impl fmt::Display for ConfigError {
@@ -96,6 +100,13 @@ impl fmt::Display for ConfigError {
             }
             Self::ZeroPipelineParam(which) => {
                 write!(f, "pipeline {which} must be nonzero")
+            }
+            Self::ZeroShadowBudget => {
+                write!(
+                    f,
+                    "recovery byte_budget must be nonzero: a zero-budget shadow \
+                     store evicts every pre-image on arrival"
+                )
             }
         }
     }
@@ -162,6 +173,7 @@ pub struct SessionBuilder {
     score: Option<ScoreConfig>,
     telemetry: Option<Telemetry>,
     pipeline: Option<PipelineConfig>,
+    recovery: Option<ShadowConfig>,
 }
 
 impl SessionBuilder {
@@ -214,6 +226,17 @@ impl SessionBuilder {
         self
     }
 
+    /// Enables the shadow-copy recovery subsystem: the session owns a
+    /// [`ShadowStore`] that journals pre-images of destructive operations
+    /// (attach it to a filesystem with [`Session::attach`]), pins shadows
+    /// of families the engine is scoring, and rolls suspects back after
+    /// suspension ([`Session::restore`] /
+    /// [`Session::reconcile_and_restore`]).
+    pub fn recovery(mut self, config: ShadowConfig) -> Self {
+        self.recovery = Some(config);
+        self
+    }
+
     /// Validates the configuration and starts the session (spawning the
     /// pipeline worker pool when pipelined).
     pub fn build(self) -> Result<Session, ConfigError> {
@@ -236,9 +259,21 @@ impl SessionBuilder {
         if let Some(pcfg) = &self.pipeline {
             validate_pipeline(pcfg)?;
         }
+        if let Some(scfg) = &self.recovery {
+            if scfg.byte_budget == 0 {
+                return Err(ConfigError::ZeroShadowBudget);
+            }
+        }
 
         let telemetry = self.telemetry.unwrap_or_else(Telemetry::disabled);
         let (mut engine, monitor) = CryptoDrop::with_telemetry_inner(config, telemetry.clone());
+        // Attach the shadow store before any fork is taken: pipeline
+        // workers must carry the reputation feed from their first record.
+        let shadow = self.recovery.map(|scfg| {
+            let store = Arc::new(ShadowStore::with_telemetry(scfg, telemetry.clone()));
+            engine.attach_shadow(Arc::clone(&store));
+            store
+        });
         let mut workers = Vec::new();
         let pipeline = match self.pipeline {
             Some(pcfg) => {
@@ -263,6 +298,7 @@ impl SessionBuilder {
             engine,
             monitor,
             pipeline,
+            shadow,
             workers,
         })
     }
@@ -291,6 +327,7 @@ pub struct Session {
     engine: CryptoDrop,
     monitor: Monitor,
     pipeline: Option<Arc<PipelineShared>>,
+    shadow: Option<Arc<ShadowStore>>,
     workers: Vec<JoinHandle<()>>,
 }
 
@@ -337,6 +374,52 @@ impl Session {
             .as_ref()
             .map(|p| p.stats())
             .unwrap_or_default()
+    }
+
+    /// The session's shadow store, when recovery is enabled.
+    pub fn shadow_store(&self) -> Option<&Arc<ShadowStore>> {
+        self.shadow.as_ref()
+    }
+
+    /// Wires `fs` into this session in one call: registers a filter fork
+    /// and — when recovery is enabled — installs the shadow store as the
+    /// filesystem's pre-image sink. Equivalent to calling
+    /// [`Vfs::register_filter`] and
+    /// [`Vfs::set_shadow_sink`](cryptodrop_vfs::Vfs::set_shadow_sink)
+    /// yourself.
+    pub fn attach(&self, fs: &mut Vfs) {
+        if let Some(shadow) = &self.shadow {
+            fs.set_shadow_sink(Arc::clone(shadow) as _);
+        }
+        fs.register_filter(Box::new(self.fork()));
+    }
+
+    /// Rolls `family`'s destructive operations back against `fs` from the
+    /// shadow store (see [`ShadowStore::recover`] for the semantics).
+    /// Returns `None` when the session was built without
+    /// [`recovery`](SessionBuilder::recovery).
+    pub fn restore(&self, fs: &mut Vfs, family: ProcessId) -> Option<RecoveryReport> {
+        self.shadow.as_ref().map(|s| s.recover(family, fs))
+    }
+
+    /// [`reconcile`](Self::reconcile)s pending detections into
+    /// suspensions, then rolls back every detected family from the shadow
+    /// store. A rollback consumes the family's journal state, so families
+    /// already restored earlier (e.g. right after an inline suspension)
+    /// produce an empty report the second time — the call is idempotent.
+    /// Returns one report per detected family.
+    pub fn reconcile_and_restore(&self, fs: &mut Vfs) -> Vec<RecoveryReport> {
+        self.drain();
+        let Some(shadow) = &self.shadow else {
+            self.reconcile(fs);
+            return Vec::new();
+        };
+        let mut reports = Vec::new();
+        for report in self.monitor.detections() {
+            fs.suspend_process(report.pid, "cryptodrop", &report.reason());
+            reports.push(shadow.recover(report.pid, fs));
+        }
+        reports
     }
 
     /// Drains the pipeline, then applies any detection that has not yet

@@ -53,7 +53,7 @@ fn run_family(i: usize, engine: CryptoDrop) -> (ProcessId, bool) {
     let mut fs = Vfs::with_namespace(i as u32 + 1);
     let docs = docs_dir(i);
     for f in 0..FILES_PER_FAMILY {
-        fs.admin_write_file(
+        fs.admin().write_file(
             &docs.join(format!("file{f}.txt")),
             &text_content(i as u64, 4096),
         )

@@ -7,7 +7,7 @@
 //! the same fingerprint, and the engine recomputes whenever bytes
 //! actually changed.
 
-use cryptodrop::{Config, CryptoDrop, FileSnapshot};
+use cryptodrop::{CryptoDrop, FileSnapshot};
 use cryptodrop_entropy::ByteHistogram;
 use cryptodrop_simhash::content_fingerprint;
 use cryptodrop_vfs::{OpenOptions, VPath, Vfs};
@@ -84,7 +84,7 @@ fn engine_cache_hit_never_skips_a_changed_file() {
             .flat_map(|i| format!("paragraph {i} of a perfectly normal file\n").into_bytes())
             .take(4096)
             .collect();
-        fs.admin_write_file(&path, &content).unwrap();
+        fs.admin().write_file(&path, &content).unwrap();
         let monitor = CryptoDrop::builder()
             .protecting("/docs")
             .build()

@@ -65,7 +65,7 @@ fn run_stream(session: &Session, seed: u64) -> Replay {
     let mut fs = Vfs::new();
     let docs = VPath::new("/docs");
     for f in 0..24 {
-        fs.admin_write_file(&docs.join(format!("file{f}.txt")), &text_content(f, 4096))
+        fs.admin().write_file(&docs.join(format!("file{f}.txt")), &text_content(f, 4096))
             .unwrap();
     }
     fs.register_filter(Box::new(session.fork()));
@@ -239,7 +239,7 @@ fn degraded_pipeline_drops_nothing_and_counts_degradations() {
         let mut fs = Vfs::new();
         let docs = VPath::new("/docs");
         for f in 0..8 {
-            fs.admin_write_file(&docs.join(format!("file{f}.txt")), &text_content(f, 4096))
+            fs.admin().write_file(&docs.join(format!("file{f}.txt")), &text_content(f, 4096))
                 .unwrap();
         }
         fs.register_filter(Box::new(session.fork()));
@@ -338,7 +338,7 @@ fn degraded_detections_reconcile_into_the_vfs() {
     let mut fs = Vfs::new();
     let docs = VPath::new("/docs");
     for f in 0..40 {
-        fs.admin_write_file(&docs.join(format!("file{f}.txt")), &text_content(f, 4096))
+        fs.admin().write_file(&docs.join(format!("file{f}.txt")), &text_content(f, 4096))
             .unwrap();
     }
     fs.register_filter(Box::new(session.fork()));

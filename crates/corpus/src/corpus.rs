@@ -91,12 +91,12 @@ impl Corpus {
     /// existing content.
     pub fn stage_into(&self, fs: &mut Vfs) -> VfsResult<()> {
         for dir in &self.dirs {
-            fs.admin_create_dir_all(dir)?;
+            fs.admin().create_dir_all(dir)?;
         }
         for f in &self.files {
-            fs.admin_write_file(&f.path, &f.data)?;
+            fs.admin().write_file(&f.path, &f.data)?;
             if f.read_only {
-                fs.admin_set_read_only(&f.path, true)?;
+                fs.admin().set_read_only(&f.path, true)?;
             }
         }
         Ok(())
@@ -209,8 +209,8 @@ mod tests {
         c.stage_into(&mut fs).unwrap();
         assert_eq!(fs.file_count(), c.file_count());
         for f in c.files().iter().take(20) {
-            assert_eq!(fs.admin_read_file(&f.path).unwrap(), f.data);
-            assert_eq!(fs.admin_metadata(&f.path).unwrap().read_only, f.read_only);
+            assert_eq!(fs.admin().read_file(&f.path).unwrap(), f.data);
+            assert_eq!(fs.admin().metadata(&f.path).unwrap().read_only, f.read_only);
         }
     }
 

@@ -94,11 +94,11 @@ pub struct BaselineComparison {
 
 /// Ground truth: how many corpus files no longer hold their original
 /// content.
-fn ground_truth_loss(corpus: &Corpus, fs: &Vfs) -> u32 {
+fn ground_truth_loss(corpus: &Corpus, fs: &mut Vfs) -> u32 {
     corpus
         .files()
         .iter()
-        .filter(|f| !matches!(fs.admin_read_file(&f.path), Ok(ref d) if *d == f.data))
+        .filter(|f| !matches!(fs.admin().read_file(&f.path), Ok(ref d) if *d == f.data))
         .count() as u32
 }
 
@@ -123,7 +123,7 @@ pub fn run(
                 if !outcome.completed {
                     stopped += 1;
                 }
-                losses.push(ground_truth_loss(corpus, &fs));
+                losses.push(ground_truth_loss(corpus, &mut fs));
             }
             let mut benign_flagged = 0;
             for (i, app) in apps.iter().enumerate() {

@@ -1,0 +1,26 @@
+//! Sweeps the detection threshold with the shadow-copy recovery subsystem
+//! armed and tabulates data saved vs detection speed.
+//!
+//! Usage: `recovery [--quick]`
+
+use cryptodrop::ShadowConfig;
+use cryptodrop_experiments::recovery::run;
+use cryptodrop_experiments::{write_json, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    let corpus = scale.corpus();
+    let config = scale.config();
+    let samples: Vec<_> = scale.samples().into_iter().filter(|s| s.index == 0).collect();
+    let thresholds = [50, 100, 200, 400];
+    let study = run(
+        &corpus,
+        &config,
+        &ShadowConfig::default(),
+        &samples,
+        &thresholds,
+        scale.threads,
+    );
+    println!("{}", study.render());
+    write_json("recovery", &study);
+}

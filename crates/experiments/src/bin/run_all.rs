@@ -90,5 +90,16 @@ fn main() {
     println!("\n{}", roc.render());
     write_json("roc", &roc);
 
+    let rec = cryptodrop_experiments::recovery::run(
+        &corpus,
+        &config,
+        &cryptodrop::ShadowConfig::default(),
+        &reps,
+        &[50, 100, 200, 400],
+        scale.threads,
+    );
+    println!("\n{}", rec.render());
+    write_json("recovery", &rec);
+
     eprintln!("total wall time {:.1}s", t0.elapsed().as_secs_f64());
 }

@@ -13,6 +13,7 @@
 //! | [`baselines`] | CryptoDrop vs §II baselines (Tripwire-style integrity, entropy-only) |
 //! | [`isolation`] | §III indicators-in-isolation study |
 //! | [`roc`] | the threshold operating curve behind the paper's 200 (§V-A/§V-F) |
+//! | [`recovery`] | the "Drop It" study: data saved vs detection threshold |
 //! | [`telemetry`] | instrumented runs: metric/journal harvests + detection audit trails |
 //!
 //! Each experiment runs at a [`Scale`]: [`Scale::paper`] uses the full
@@ -30,6 +31,7 @@ pub mod fig5;
 pub mod fig6;
 pub mod isolation;
 pub mod perf;
+pub mod recovery;
 pub mod roc;
 pub mod report;
 pub mod runner;

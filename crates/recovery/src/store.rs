@@ -1,0 +1,583 @@
+//! The copy-on-write shadow store.
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::sync::Arc;
+
+use cryptodrop_simhash::content_fingerprint;
+use cryptodrop_telemetry::{JournalKind, Telemetry};
+use cryptodrop_vfs::shadow::{MutationKind, PreImage, ShadowSink};
+use cryptodrop_vfs::{FileId, ProcessId, VPath};
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+/// Shadow-store sizing knobs.
+///
+/// Validated by the core session builder (`ConfigError::ZeroShadowBudget`
+/// for a zero byte budget); bare construction is fine for tests.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShadowConfig {
+    /// Maximum bytes of *unique* pre-image content held (deduplicated
+    /// blobs count once). Exceeding the budget evicts the oldest
+    /// unpinned entries; pinned entries (families with nonzero
+    /// reputation) are never evicted, even if the budget is overrun.
+    pub byte_budget: u64,
+    /// Maximum number of journal entries held, enforced the same way.
+    /// `0` means unbounded.
+    pub max_entries: usize,
+}
+
+impl Default for ShadowConfig {
+    fn default() -> Self {
+        Self {
+            // Far above any simulated corpus (the paper-scale corpus is
+            // ~5.3 GB of simulated bytes, but a single attack's working
+            // set is bounded by the detection latency — a median of ~10
+            // files). 64 MiB comfortably shadows every experiment here.
+            byte_budget: 64 * 1024 * 1024,
+            max_entries: 1 << 16,
+        }
+    }
+}
+
+impl ShadowConfig {
+    /// A store bounded only by `byte_budget`.
+    pub fn with_budget(byte_budget: u64) -> Self {
+        Self {
+            byte_budget,
+            ..Self::default()
+        }
+    }
+}
+
+/// `CacheStats`-style counters describing the store's lifetime activity.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShadowStats {
+    /// Pre-images captured (after coalescing).
+    pub captures: u64,
+    /// Captures skipped because the file's most recent entry already
+    /// holds identical content for the same family.
+    pub coalesced: u64,
+    /// Captures whose content was already resident (fingerprint dedup) —
+    /// a new journal entry, but no new bytes.
+    pub dedup_hits: u64,
+    /// Entries evicted to honour the byte/entry budgets.
+    pub evictions: u64,
+    /// Times eviction wanted to free space but every remaining entry was
+    /// pinned (the budget is overrun rather than dropping pinned shadows).
+    pub pin_overflows: u64,
+    /// Journal entries currently held.
+    pub entries: u64,
+    /// Unique pre-image bytes currently held.
+    pub bytes_held: u64,
+    /// Entries currently pinned by nonzero-reputation families.
+    pub pinned_entries: u64,
+    /// Files restored to pre-attack bytes across all recoveries.
+    pub files_restored: u64,
+    /// Suspect-created files removed across all recoveries.
+    pub files_removed: u64,
+    /// Suspect renames moved back across all recoveries.
+    pub renames_undone: u64,
+    /// Recovery actions that could not be applied (evicted shadow,
+    /// occupied path).
+    pub restore_conflicts: u64,
+}
+
+/// One journaled pre-image (content lives in a shared blob).
+#[derive(Debug, Clone)]
+pub(crate) struct Entry {
+    pub(crate) seq: u64,
+    pub(crate) at_nanos: u64,
+    pub(crate) family: ProcessId,
+    pub(crate) kind: MutationKind,
+    pub(crate) path: VPath,
+    pub(crate) file: FileId,
+    pub(crate) fp: u64,
+    pub(crate) len: u64,
+    pub(crate) read_only: bool,
+}
+
+#[derive(Debug)]
+struct Blob {
+    bytes: Arc<Vec<u8>>,
+    refs: usize,
+}
+
+/// A suspect rename, remembered so recovery can undo it.
+#[derive(Debug, Clone)]
+pub(crate) struct RenameNote {
+    pub(crate) seq: u64,
+    pub(crate) family: ProcessId,
+    pub(crate) file: FileId,
+    pub(crate) from: VPath,
+    pub(crate) to: VPath,
+}
+
+#[derive(Debug, Default)]
+pub(crate) struct Inner {
+    /// seq → entry; BTreeMap iteration order *is* capture (LRU) order.
+    pub(crate) entries: BTreeMap<u64, Entry>,
+    /// file → its entries' seqs, in capture order (all families).
+    pub(crate) by_file: HashMap<FileId, Vec<u64>>,
+    /// (fingerprint, len) → deduplicated content.
+    blobs: HashMap<(u64, u64), Blob>,
+    /// Files created (no pre-image) by each family root.
+    pub(crate) created: HashMap<FileId, ProcessId>,
+    /// Renames in capture order.
+    pub(crate) renames: Vec<RenameNote>,
+    /// family root → latest reputation score (pin source).
+    reputation: HashMap<ProcessId, u32>,
+    /// `(file, family)` pairs that lost an entry to eviction. Once part
+    /// of a file's history for a family is gone, the trailing run
+    /// computed from the surviving entries may start too late (its
+    /// pre-image already corrupted), so recovery flags the file as a
+    /// conflict instead of restoring the wrong bytes.
+    evicted: HashSet<(FileId, ProcessId)>,
+    bytes_held: u64,
+    next_seq: u64,
+    stats: ShadowStats,
+}
+
+impl Inner {
+    fn pinned(&self, family: ProcessId) -> bool {
+        self.reputation.get(&family).copied().unwrap_or(0) > 0
+    }
+
+    pub(crate) fn blob(&self, fp: u64, len: u64) -> Option<Arc<Vec<u8>>> {
+        self.blobs.get(&(fp, len)).map(|b| Arc::clone(&b.bytes))
+    }
+
+    /// Whether eviction has destroyed part of `file`'s history as
+    /// authored by `family`.
+    pub(crate) fn was_evicted(&self, file: FileId, family: ProcessId) -> bool {
+        self.evicted.contains(&(file, family))
+    }
+
+    fn release_blob(&mut self, fp: u64, len: u64) -> u64 {
+        match self.blobs.get_mut(&(fp, len)) {
+            Some(blob) if blob.refs > 1 => {
+                blob.refs -= 1;
+                0
+            }
+            Some(_) => {
+                self.blobs.remove(&(fp, len));
+                self.bytes_held -= len;
+                len
+            }
+            None => 0,
+        }
+    }
+
+    /// Removes one entry from every index, returning it and the bytes the
+    /// removal released.
+    fn remove_entry(&mut self, seq: u64) -> Option<(Entry, u64)> {
+        let entry = self.entries.remove(&seq)?;
+        if let Some(seqs) = self.by_file.get_mut(&entry.file) {
+            seqs.retain(|s| *s != seq);
+            if seqs.is_empty() {
+                self.by_file.remove(&entry.file);
+            }
+        }
+        let released = self.release_blob(entry.fp, entry.len);
+        Some((entry, released))
+    }
+}
+
+/// The copy-on-write shadow store. See the [crate docs](crate) for the
+/// overall design and restore semantics.
+///
+/// The store is `Sync` and normally shared as an `Arc`: the same instance
+/// serves as the VFS's [`ShadowSink`] (capture side), the engine's
+/// reputation feed (pin side) and the recovery entry point (restore
+/// side).
+#[derive(Debug)]
+pub struct ShadowStore {
+    cfg: ShadowConfig,
+    pub(crate) inner: Mutex<Inner>,
+    telemetry: Telemetry,
+}
+
+impl ShadowStore {
+    /// An empty store with the given budgets and disabled telemetry.
+    pub fn new(cfg: ShadowConfig) -> Self {
+        Self::with_telemetry(cfg, Telemetry::disabled())
+    }
+
+    /// An empty store emitting `recovery.*` metrics and `ShadowEvict`
+    /// journal events through `telemetry`.
+    pub fn with_telemetry(cfg: ShadowConfig, telemetry: Telemetry) -> Self {
+        Self {
+            cfg,
+            inner: Mutex::new(Inner::default()),
+            telemetry,
+        }
+    }
+
+    /// The configured budgets.
+    pub fn config(&self) -> &ShadowConfig {
+        &self.cfg
+    }
+
+    /// The telemetry handle the store reports through.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
+    /// Updates a process family's reputation score. Entries belonging to
+    /// families with nonzero scores are pinned against eviction. The
+    /// engine calls this from its scoring path; scores only ever grow.
+    pub fn set_reputation(&self, family: ProcessId, score: u32) {
+        self.inner.lock().reputation.insert(family, score);
+    }
+
+    /// A consistent snapshot of the store's counters.
+    pub fn stats(&self) -> ShadowStats {
+        let inner = self.inner.lock();
+        let mut stats = inner.stats.clone();
+        stats.entries = inner.entries.len() as u64;
+        stats.bytes_held = inner.bytes_held;
+        stats.pinned_entries = inner
+            .entries
+            .values()
+            .filter(|e| inner.pinned(e.family))
+            .count() as u64;
+        stats
+    }
+
+    /// Unique pre-image bytes currently held.
+    pub fn bytes_held(&self) -> u64 {
+        self.inner.lock().bytes_held
+    }
+
+    /// Journal entries currently held.
+    pub fn len(&self) -> usize {
+        self.inner.lock().entries.len()
+    }
+
+    /// Whether the journal is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Evicts oldest-unpinned entries until both budgets are honoured (or
+    /// only pinned entries remain). Call with the lock held.
+    fn enforce_budget(&self, inner: &mut Inner) {
+        loop {
+            let over_bytes = inner.bytes_held > self.cfg.byte_budget;
+            let over_entries =
+                self.cfg.max_entries != 0 && inner.entries.len() > self.cfg.max_entries;
+            if !over_bytes && !over_entries {
+                return;
+            }
+            // Oldest entry whose family is unpinned.
+            let victim = inner
+                .entries
+                .values()
+                .find(|e| !inner.pinned(e.family))
+                .map(|e| e.seq);
+            let Some(seq) = victim else {
+                inner.stats.pin_overflows += 1;
+                if self.telemetry.is_enabled() {
+                    self.telemetry.counter("recovery.shadow.pin_overflow").inc();
+                }
+                return;
+            };
+            let (entry, released) = inner.remove_entry(seq).expect("victim exists");
+            inner.evicted.insert((entry.file, entry.family));
+            inner.stats.evictions += 1;
+            if self.telemetry.is_enabled() {
+                self.telemetry.counter("recovery.shadow.evictions").inc();
+                self.telemetry
+                    .gauge("recovery.shadow.bytes")
+                    .set(inner.bytes_held as i64);
+            }
+            self.telemetry
+                .journal_event(entry.at_nanos, entry.family.0, || JournalKind::ShadowEvict {
+                    path: entry.path.as_str().to_string(),
+                    bytes: released,
+                });
+        }
+    }
+}
+
+impl ShadowSink for ShadowStore {
+    fn capture(&self, pre: &PreImage<'_>) {
+        let fp = content_fingerprint(pre.data);
+        let len = pre.data.len() as u64;
+        let mut inner = self.inner.lock();
+
+        // Coalesce: the file's most recent shadow already journals this
+        // exact (operation, content) for this family — a repeat capture
+        // adds nothing.
+        if let Some(last_seq) = inner.by_file.get(&pre.file).and_then(|s| s.last()) {
+            let last = &inner.entries[last_seq];
+            if last.family == pre.family_root
+                && last.kind == pre.kind
+                && last.fp == fp
+                && last.len == len
+            {
+                inner.stats.coalesced += 1;
+                if self.telemetry.is_enabled() {
+                    self.telemetry.counter("recovery.shadow.coalesced").inc();
+                }
+                return;
+            }
+        }
+
+        match inner.blobs.get_mut(&(fp, len)) {
+            Some(blob) => {
+                blob.refs += 1;
+                inner.stats.dedup_hits += 1;
+                if self.telemetry.is_enabled() {
+                    self.telemetry.counter("recovery.shadow.dedup_hits").inc();
+                }
+            }
+            None => {
+                inner.blobs.insert(
+                    (fp, len),
+                    Blob {
+                        bytes: Arc::new(pre.data.to_vec()),
+                        refs: 1,
+                    },
+                );
+                inner.bytes_held += len;
+            }
+        }
+
+        let seq = inner.next_seq;
+        inner.next_seq += 1;
+        inner.entries.insert(
+            seq,
+            Entry {
+                seq,
+                at_nanos: pre.at_nanos,
+                family: pre.family_root,
+                kind: pre.kind,
+                path: pre.path.clone(),
+                file: pre.file,
+                fp,
+                len,
+                read_only: pre.read_only,
+            },
+        );
+        inner.by_file.entry(pre.file).or_default().push(seq);
+        inner.stats.captures += 1;
+        if self.telemetry.is_enabled() {
+            self.telemetry.counter("recovery.shadow.captures").inc();
+            self.telemetry
+                .gauge("recovery.shadow.bytes")
+                .set(inner.bytes_held as i64);
+            self.telemetry
+                .gauge("recovery.shadow.entries")
+                .set(inner.entries.len() as i64);
+        }
+        self.enforce_budget(&mut inner);
+    }
+
+    fn note_created(&self, _pid: ProcessId, family_root: ProcessId, file: FileId, _path: &VPath) {
+        // First creator wins: a file deleted and re-created keeps its
+        // original provenance only if the ids differ (they always do —
+        // FileIds are never reused).
+        self.inner.lock().created.entry(file).or_insert(family_root);
+    }
+
+    fn note_rename(
+        &self,
+        _pid: ProcessId,
+        family_root: ProcessId,
+        file: FileId,
+        from: &VPath,
+        to: &VPath,
+    ) {
+        let mut inner = self.inner.lock();
+        let seq = inner.next_seq;
+        inner.next_seq += 1;
+        inner.renames.push(RenameNote {
+            seq,
+            family: family_root,
+            file,
+            from: from.clone(),
+            to: to.clone(),
+        });
+    }
+}
+
+impl ShadowStore {
+    /// Folds a finished recovery's outcome into the lifetime counters and
+    /// drops the suspect family's journal state (its shadows are no
+    /// longer needed; blob bytes shared with other families survive via
+    /// refcounts). Called by [`ShadowStore::restore`].
+    pub(crate) fn finish_recovery(
+        &self,
+        family: ProcessId,
+        restored: u64,
+        removed: u64,
+        renamed: u64,
+        conflicts: u64,
+    ) {
+        let mut inner = self.inner.lock();
+        inner.stats.files_restored += restored;
+        inner.stats.files_removed += removed;
+        inner.stats.renames_undone += renamed;
+        inner.stats.restore_conflicts += conflicts;
+        let victims: Vec<u64> = inner
+            .entries
+            .values()
+            .filter(|e| e.family == family)
+            .map(|e| e.seq)
+            .collect();
+        for seq in victims {
+            inner.remove_entry(seq);
+        }
+        inner.renames.retain(|r| r.family != family);
+        inner.created.retain(|_, fam| *fam != family);
+        inner.evicted.retain(|(_, fam)| *fam != family);
+        if self.telemetry.is_enabled() {
+            self.telemetry
+                .gauge("recovery.shadow.bytes")
+                .set(inner.bytes_held as i64);
+            self.telemetry
+                .gauge("recovery.shadow.entries")
+                .set(inner.entries.len() as i64);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn img<'a>(
+        pid: u32,
+        kind: MutationKind,
+        path: &'a VPath,
+        file: u64,
+        data: &'a [u8],
+    ) -> PreImage<'a> {
+        PreImage {
+            pid: ProcessId(pid),
+            family_root: ProcessId(pid),
+            at_nanos: 0,
+            kind,
+            path,
+            file: FileId(file),
+            data,
+            read_only: false,
+        }
+    }
+
+    #[test]
+    fn capture_dedup_and_coalesce() {
+        let store = ShadowStore::new(ShadowConfig::default());
+        let a = VPath::new("/a");
+        let b = VPath::new("/b");
+        store.capture(&img(1, MutationKind::Write, &a, 1, b"same"));
+        // Identical content on a *different* file dedups bytes.
+        store.capture(&img(1, MutationKind::Write, &b, 2, b"same"));
+        // Identical content on the *same* file coalesces entirely.
+        store.capture(&img(1, MutationKind::Write, &a, 1, b"same"));
+        let stats = store.stats();
+        assert_eq!(stats.captures, 2);
+        assert_eq!(stats.dedup_hits, 1);
+        assert_eq!(stats.coalesced, 1);
+        assert_eq!(stats.bytes_held, 4);
+        assert_eq!(stats.entries, 2);
+    }
+
+    #[test]
+    fn byte_budget_evicts_oldest_unpinned_first() {
+        let store = ShadowStore::new(ShadowConfig {
+            byte_budget: 10,
+            max_entries: 0,
+        });
+        let p1 = VPath::new("/1");
+        let p2 = VPath::new("/2");
+        let p3 = VPath::new("/3");
+        store.capture(&img(1, MutationKind::Write, &p1, 1, b"aaaaa")); // 5 bytes
+        store.capture(&img(2, MutationKind::Write, &p2, 2, b"bbbbb")); // 10 bytes
+        store.capture(&img(3, MutationKind::Write, &p3, 3, b"ccccc")); // 15 -> evict oldest
+        let stats = store.stats();
+        assert_eq!(stats.evictions, 1);
+        assert_eq!(stats.bytes_held, 10);
+        let inner = store.inner.lock();
+        assert!(!inner.by_file.contains_key(&FileId(1)), "oldest evicted");
+        assert!(inner.by_file.contains_key(&FileId(3)));
+    }
+
+    #[test]
+    fn nonzero_reputation_pins_shadows() {
+        let store = ShadowStore::new(ShadowConfig {
+            byte_budget: 10,
+            max_entries: 0,
+        });
+        store.set_reputation(ProcessId(1), 42);
+        let p1 = VPath::new("/1");
+        let p2 = VPath::new("/2");
+        let p3 = VPath::new("/3");
+        store.capture(&img(1, MutationKind::Write, &p1, 1, b"aaaaa"));
+        store.capture(&img(2, MutationKind::Write, &p2, 2, b"bbbbb"));
+        store.capture(&img(1, MutationKind::Delete, &p3, 3, b"ccccc"));
+        // The unpinned family-2 entry goes; family-1 entries survive.
+        let stats = store.stats();
+        assert_eq!(stats.evictions, 1);
+        assert_eq!(stats.pinned_entries, 2);
+        let inner = store.inner.lock();
+        assert!(inner.by_file.contains_key(&FileId(1)));
+        assert!(!inner.by_file.contains_key(&FileId(2)));
+        assert!(inner.by_file.contains_key(&FileId(3)));
+    }
+
+    #[test]
+    fn all_pinned_overruns_budget_and_counts() {
+        let store = ShadowStore::new(ShadowConfig {
+            byte_budget: 4,
+            max_entries: 0,
+        });
+        store.set_reputation(ProcessId(1), 1);
+        let p1 = VPath::new("/1");
+        let p2 = VPath::new("/2");
+        store.capture(&img(1, MutationKind::Write, &p1, 1, b"xxxx"));
+        store.capture(&img(1, MutationKind::Write, &p2, 2, b"yyyy"));
+        let stats = store.stats();
+        assert_eq!(stats.evictions, 0);
+        assert!(stats.pin_overflows >= 1);
+        assert_eq!(stats.bytes_held, 8, "budget overrun rather than unpinning");
+    }
+
+    #[test]
+    fn entry_budget_enforced() {
+        let store = ShadowStore::new(ShadowConfig {
+            byte_budget: u64::MAX,
+            max_entries: 2,
+        });
+        for i in 0..5u64 {
+            let p = VPath::new(format!("/{i}"));
+            let data = vec![i as u8; 3];
+            store.capture(&img(9, MutationKind::Write, &p, i + 1, &data));
+        }
+        let stats = store.stats();
+        assert_eq!(stats.entries, 2);
+        assert_eq!(stats.evictions, 3);
+    }
+
+    #[test]
+    fn eviction_of_shared_blob_releases_no_bytes() {
+        let store = ShadowStore::new(ShadowConfig {
+            byte_budget: 6,
+            max_entries: 0,
+        });
+        let p1 = VPath::new("/1");
+        let p2 = VPath::new("/2");
+        let p3 = VPath::new("/3");
+        store.capture(&img(1, MutationKind::Write, &p1, 1, b"dup")); // 3
+        store.capture(&img(2, MutationKind::Write, &p2, 2, b"dup")); // dedup: still 3
+        store.capture(&img(3, MutationKind::Write, &p3, 3, b"unique")); // 9 > 6
+        // Evicting entry 1 frees nothing (blob shared with entry 2), so
+        // eviction continues to entry 2, which frees the dup blob.
+        let stats = store.stats();
+        assert_eq!(stats.bytes_held, 6);
+        assert_eq!(stats.evictions, 2);
+        let inner = store.inner.lock();
+        assert!(inner.by_file.contains_key(&FileId(3)));
+        assert_eq!(inner.entries.len(), 1);
+    }
+}

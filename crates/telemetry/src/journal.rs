@@ -79,6 +79,24 @@ pub enum JournalKind {
         /// The shard queue's bound at the moment of degradation.
         queued: u64,
     },
+    /// The shadow store evicted a pre-image to honour its byte budget.
+    ShadowEvict {
+        /// Path of the evicted pre-image.
+        path: String,
+        /// Bytes the eviction released (0 if the blob is still referenced
+        /// by another entry).
+        bytes: u64,
+    },
+    /// A recovery action was applied while rolling back a suspect.
+    Recovery {
+        /// What happened: `restore`, `remove`, `rename-back`, or a
+        /// conflict marker (`shadow-evicted`, `path-occupied`).
+        action: String,
+        /// Path the action concerned.
+        path: String,
+        /// Bytes written back (restores) or removed.
+        bytes: u64,
+    },
     /// A free-form marker (experiment phases, harness annotations).
     Note {
         /// Marker name.

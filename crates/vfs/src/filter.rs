@@ -15,6 +15,13 @@ use crate::path::VPath;
 use crate::{Vfs, VfsError};
 
 /// A filter driver's decision about an operation.
+///
+/// Construct verdicts through [`Verdict::allow`], [`Verdict::deny`] and
+/// [`Verdict::suspend`]; the `Suspend` variant is `#[non_exhaustive]` so
+/// downstream crates cannot build it field-by-field, keeping the
+/// constructor path sealed (room to grow suspension metadata without a
+/// breaking change). Matching still works — add `..` to `Suspend`
+/// patterns, or use [`Verdict::suspend_reason`].
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub enum Verdict {
     /// Let the operation proceed.
@@ -27,11 +34,46 @@ pub enum Verdict {
     /// the triggering operation is also blocked; in `post_op` the triggering
     /// operation has completed but all subsequent operations fail with
     /// [`VfsError::ProcessSuspended`].
+    #[non_exhaustive]
     Suspend {
         /// Human-readable reason recorded in the process table (e.g. the
         /// detection report summary).
         reason: String,
     },
+}
+
+impl Verdict {
+    /// Lets the operation proceed (the default verdict).
+    pub fn allow() -> Self {
+        Verdict::Allow
+    }
+
+    /// Blocks this single operation.
+    pub fn deny() -> Self {
+        Verdict::Deny
+    }
+
+    /// Suspends the requesting process (and its descendants) with a
+    /// human-readable reason. This is the only way to build a `Suspend`
+    /// verdict outside this crate.
+    pub fn suspend(reason: impl Into<String>) -> Self {
+        Verdict::Suspend {
+            reason: reason.into(),
+        }
+    }
+
+    /// Whether this verdict suspends the process.
+    pub fn is_suspend(&self) -> bool {
+        matches!(self, Verdict::Suspend { .. })
+    }
+
+    /// The suspension reason, if this is a `Suspend` verdict.
+    pub fn suspend_reason(&self) -> Option<&str> {
+        match self {
+            Verdict::Suspend { reason, .. } => Some(reason.as_str()),
+            _ => None,
+        }
+    }
 }
 
 /// A read-only, filter-privileged view of the filesystem.
@@ -57,7 +99,7 @@ impl<'a> FsView<'a> {
     /// Returns [`VfsError::NotFound`] if the path does not name a file, and
     /// [`VfsError::IsADirectory`] if it names a directory.
     pub fn read_file(&self, path: &VPath) -> Result<Vec<u8>, VfsError> {
-        self.vfs.admin_read_file(path)
+        self.vfs.read_file_impl(path)
     }
 
     /// Returns a file or directory's metadata.
@@ -66,18 +108,18 @@ impl<'a> FsView<'a> {
     ///
     /// Returns [`VfsError::NotFound`] if the path does not exist.
     pub fn metadata(&self, path: &VPath) -> Result<Metadata, VfsError> {
-        self.vfs.admin_metadata(path)
+        self.vfs.metadata_impl(path)
     }
 
     /// Returns `true` if the path names an existing file or directory.
     pub fn exists(&self, path: &VPath) -> bool {
-        self.vfs.admin_metadata(path).is_ok()
+        self.vfs.metadata_impl(path).is_ok()
     }
 
     /// The file's length in bytes, if it exists and is a file.
     pub fn file_len(&self, path: &VPath) -> Option<u64> {
         self.vfs
-            .admin_metadata(path)
+            .metadata_impl(path)
             .ok()
             .filter(Metadata::is_file)
             .map(|m| m.len)
@@ -141,6 +183,17 @@ mod tests {
     #[test]
     fn default_verdict_is_allow() {
         assert_eq!(Verdict::default(), Verdict::Allow);
+    }
+
+    #[test]
+    fn sealed_constructors_round_trip() {
+        assert_eq!(Verdict::allow(), Verdict::Allow);
+        assert_eq!(Verdict::deny(), Verdict::Deny);
+        let v = Verdict::suspend("score 212 >= 200");
+        assert!(v.is_suspend());
+        assert_eq!(v.suspend_reason(), Some("score 212 >= 200"));
+        assert!(!Verdict::allow().is_suspend());
+        assert_eq!(Verdict::deny().suspend_reason(), None);
     }
 
     #[test]

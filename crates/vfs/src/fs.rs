@@ -8,6 +8,7 @@
 //! generator, the ransomware simulator, and the benign workloads all run.
 
 use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
 use std::time::Instant;
 
 use cryptodrop_telemetry::{JournalKind, Telemetry};
@@ -20,6 +21,7 @@ use crate::node::{DirEntry, EntryKind, FileId, FileNode, Metadata};
 use crate::ops::{FsOp, OpContext, OpOutcome, OpenOptions};
 use crate::path::VPath;
 use crate::process::{ProcessId, ProcessTable, SuspensionRecord};
+use crate::shadow::{MutationKind, PreImage, ShadowSink};
 
 /// An open file handle.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -51,6 +53,7 @@ pub struct Vfs {
     ledger: LatencyLedger,
     log: EventLog,
     telemetry: Telemetry,
+    shadow: Option<Arc<dyn ShadowSink>>,
 }
 
 impl Default for Vfs {
@@ -89,6 +92,7 @@ impl Vfs {
             ledger: LatencyLedger::new(),
             log: EventLog::new(),
             telemetry: Telemetry::disabled(),
+            shadow: None,
         }
     }
 
@@ -183,6 +187,20 @@ impl Vfs {
         &self.telemetry
     }
 
+    /// Attaches a pre-image sink: every destructive, process-attributed
+    /// operation that passes the filter chain hands the sink the bytes it
+    /// is about to destroy, immediately before the mutation is applied
+    /// (see the [`shadow`](crate::shadow) module docs). Administrative
+    /// mutations (corpus staging, recovery writes) are never captured.
+    pub fn set_shadow_sink(&mut self, sink: Arc<dyn ShadowSink>) {
+        self.shadow = Some(sink);
+    }
+
+    /// Detaches the pre-image sink, returning it if one was attached.
+    pub fn take_shadow_sink(&mut self) -> Option<Arc<dyn ShadowSink>> {
+        self.shadow.take()
+    }
+
     /// The simulated clock.
     pub fn clock(&self) -> SimClock {
         self.clock
@@ -267,6 +285,11 @@ impl Vfs {
         self.finish_op(OpKind::Open, overhead);
         pre?;
 
+        // A truncating open destroys the current content: shadow it.
+        if exists && options.truncate && options.write {
+            self.shadow_capture(pid, MutationKind::Write, path);
+        }
+
         // Apply.
         let created = !exists;
         let now = self.clock.now_nanos();
@@ -289,6 +312,7 @@ impl Vfs {
                 },
             );
             self.file_paths.insert(id, path.clone());
+            self.shadow_note_created(pid, id, path);
         }
         let truncated = exists && options.truncate && options.write;
         let file_id = {
@@ -420,6 +444,7 @@ impl Vfs {
         self.finish_op(OpKind::Write, overhead);
         pre?;
 
+        self.shadow_capture(pid, MutationKind::Write, &path);
         let now = self.clock.now_nanos();
         {
             let node = self.files.get_mut(&path).expect("path resolved from live id");
@@ -474,6 +499,7 @@ impl Vfs {
         self.finish_op(OpKind::Write, overhead);
         pre?;
 
+        self.shadow_capture(pid, MutationKind::Truncate, &path);
         let now = self.clock.now_nanos();
         {
             let node = self.files.get_mut(&path).expect("path resolved from live id");
@@ -574,6 +600,7 @@ impl Vfs {
         self.finish_op(OpKind::Delete, overhead);
         pre?;
 
+        self.shadow_capture(pid, MutationKind::Delete, path);
         let node = self.files.remove(path).expect("checked above");
         self.file_paths.remove(&node.id);
         self.unlink_entry(path);
@@ -650,8 +677,9 @@ impl Vfs {
         self.finish_op(OpKind::Rename, overhead);
         pre?;
 
-        // Remove a replaced destination.
+        // Remove a replaced destination (shadowing its final bytes first).
         let replaced = if dest_kind == Some(EntryKind::File) {
+            self.shadow_capture(pid, MutationKind::RenameOverwrite, to);
             let old = self.files.remove(to).expect("checked above");
             self.file_paths.remove(&old.id);
             self.unlink_entry(to);
@@ -669,6 +697,7 @@ impl Vfs {
             .insert(to.file_name().unwrap().to_string(), EntryKind::File);
         self.files.insert(to.clone(), node);
         self.file_paths.insert(file_id, to.clone());
+        self.shadow_note_rename(pid, file_id, from, to);
 
         let outcome = OpOutcome::Rename {
             file: file_id,
@@ -751,7 +780,7 @@ impl Vfs {
     pub fn metadata(&mut self, pid: ProcessId, path: &VPath) -> VfsResult<Metadata> {
         self.check_process(pid)?;
         self.clock.charge(OpKind::Metadata);
-        self.admin_metadata(path)
+        self.metadata_impl(path)
     }
 
     /// Sets or clears a file's read-only attribute.
@@ -806,7 +835,7 @@ impl Vfs {
     pub fn create_dir(&mut self, pid: ProcessId, path: &VPath) -> VfsResult<()> {
         self.check_process(pid)?;
         self.clock.charge(OpKind::Metadata);
-        self.admin_create_dir(path)
+        self.create_dir_impl(path)
     }
 
     /// Creates a directory and any missing ancestors.
@@ -818,7 +847,7 @@ impl Vfs {
     pub fn create_dir_all(&mut self, pid: ProcessId, path: &VPath) -> VfsResult<()> {
         self.check_process(pid)?;
         self.clock.charge(OpKind::Metadata);
-        self.admin_create_dir_all(path)
+        self.create_dir_all_impl(path)
     }
 
     /// Removes an empty directory.
@@ -888,13 +917,38 @@ impl Vfs {
     // Administrative (unfiltered, unattributed) access
     // ------------------------------------------------------------------
 
-    /// Reads a file without filter interposition (used by filters
-    /// themselves via [`FsView`], and by test/corpus tooling).
+    /// Opens the administrative view: unfiltered, unattributed access to
+    /// the filesystem for staging, verification and recovery tooling.
+    /// This is the mutation-capable sibling of the filter-facing
+    /// [`FsView`] and the single entry point that replaces the individual
+    /// `admin_*` methods (now deprecated shims).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use cryptodrop_vfs::{Vfs, VPath};
+    ///
+    /// let mut fs = Vfs::new();
+    /// let mut admin = fs.admin();
+    /// admin.write_file(&VPath::new("/docs/a.txt"), b"staged").unwrap();
+    /// assert_eq!(admin.read_file(&VPath::new("/docs/a.txt")).unwrap(), b"staged");
+    /// assert_eq!(admin.file_count(), 1);
+    /// ```
+    pub fn admin(&mut self) -> AdminView<'_> {
+        AdminView { vfs: self }
+    }
+
+    /// Reads a file without filter interposition.
     ///
     /// # Errors
     ///
     /// [`VfsError::NotFound`] / [`VfsError::IsADirectory`].
+    #[deprecated(note = "use `vfs.admin().read_file(path)`")]
     pub fn admin_read_file(&self, path: &VPath) -> VfsResult<Vec<u8>> {
+        self.read_file_impl(path)
+    }
+
+    pub(crate) fn read_file_impl(&self, path: &VPath) -> VfsResult<Vec<u8>> {
         match self.node_kind(path) {
             Some(EntryKind::File) => Ok(self.files[path].data.clone()),
             Some(EntryKind::Directory) => Err(VfsError::IsADirectory(path.clone())),
@@ -902,20 +956,22 @@ impl Vfs {
         }
     }
 
-    /// Writes a file without filter interposition, creating parent
-    /// directories as needed. Used to stage the corpus before an
-    /// experiment.
+    /// Writes a file without filter interposition.
     ///
     /// # Errors
     ///
-    /// [`VfsError::IsADirectory`] if the path names a directory,
-    /// [`VfsError::NotADirectory`] if a file blocks the parent chain.
+    /// As for [`AdminView::write_file`].
+    #[deprecated(note = "use `vfs.admin().write_file(path, data)`")]
     pub fn admin_write_file(&mut self, path: &VPath, data: &[u8]) -> VfsResult<()> {
+        self.write_file_impl(path, data)
+    }
+
+    fn write_file_impl(&mut self, path: &VPath, data: &[u8]) -> VfsResult<()> {
         if self.dir_children.contains_key(path) {
             return Err(VfsError::IsADirectory(path.clone()));
         }
         let parent = path.parent().ok_or_else(|| VfsError::InvalidPath(path.clone()))?;
-        self.admin_create_dir_all(&parent)?;
+        self.create_dir_all_impl(&parent)?;
         let now = self.clock.now_nanos();
         match self.files.get_mut(path) {
             Some(node) => {
@@ -945,13 +1001,17 @@ impl Vfs {
         Ok(())
     }
 
-    /// Deletes a file without filter interposition, ignoring the read-only
-    /// attribute. Used by corpus staging.
+    /// Deletes a file without filter interposition.
     ///
     /// # Errors
     ///
     /// [`VfsError::NotFound`] / [`VfsError::IsADirectory`].
+    #[deprecated(note = "use `vfs.admin().delete_file(path)`")]
     pub fn admin_delete_file(&mut self, path: &VPath) -> VfsResult<()> {
+        self.delete_file_impl(path)
+    }
+
+    fn delete_file_impl(&mut self, path: &VPath) -> VfsResult<()> {
         match self.node_kind(path) {
             None => return Err(VfsError::NotFound(path.clone())),
             Some(EntryKind::Directory) => return Err(VfsError::IsADirectory(path.clone())),
@@ -968,7 +1028,12 @@ impl Vfs {
     /// # Errors
     ///
     /// As for [`Vfs::create_dir`].
+    #[deprecated(note = "use `vfs.admin().create_dir(path)`")]
     pub fn admin_create_dir(&mut self, path: &VPath) -> VfsResult<()> {
+        self.create_dir_impl(path)
+    }
+
+    fn create_dir_impl(&mut self, path: &VPath) -> VfsResult<()> {
         if self.node_kind(path).is_some() {
             return Err(VfsError::AlreadyExists(path.clone()));
         }
@@ -993,7 +1058,12 @@ impl Vfs {
     /// # Errors
     ///
     /// [`VfsError::NotADirectory`] if a file blocks the chain.
+    #[deprecated(note = "use `vfs.admin().create_dir_all(path)`")]
     pub fn admin_create_dir_all(&mut self, path: &VPath) -> VfsResult<()> {
+        self.create_dir_all_impl(path)
+    }
+
+    fn create_dir_all_impl(&mut self, path: &VPath) -> VfsResult<()> {
         if self.dir_children.contains_key(path) {
             return Ok(());
         }
@@ -1001,9 +1071,9 @@ impl Vfs {
             return Err(VfsError::NotADirectory(path.clone()));
         }
         if let Some(parent) = path.parent() {
-            self.admin_create_dir_all(&parent)?;
+            self.create_dir_all_impl(&parent)?;
         }
-        self.admin_create_dir(path)
+        self.create_dir_impl(path)
     }
 
     /// Sets a file's read-only attribute without filter interposition.
@@ -1011,7 +1081,12 @@ impl Vfs {
     /// # Errors
     ///
     /// [`VfsError::NotFound`] / [`VfsError::IsADirectory`].
+    #[deprecated(note = "use `vfs.admin().set_read_only(path, read_only)`")]
     pub fn admin_set_read_only(&mut self, path: &VPath, read_only: bool) -> VfsResult<()> {
+        self.set_read_only_impl(path, read_only)
+    }
+
+    fn set_read_only_impl(&mut self, path: &VPath, read_only: bool) -> VfsResult<()> {
         match self.node_kind(path) {
             Some(EntryKind::File) => {
                 self.files.get_mut(path).expect("checked").read_only = read_only;
@@ -1027,7 +1102,12 @@ impl Vfs {
     /// # Errors
     ///
     /// [`VfsError::NotFound`] for missing paths.
+    #[deprecated(note = "use `vfs.admin().metadata(path)`")]
     pub fn admin_metadata(&self, path: &VPath) -> VfsResult<Metadata> {
+        self.metadata_impl(path)
+    }
+
+    pub(crate) fn metadata_impl(&self, path: &VPath) -> VfsResult<Metadata> {
         if let Some(node) = self.files.get(path) {
             return Ok(Metadata {
                 kind: EntryKind::File,
@@ -1052,15 +1132,57 @@ impl Vfs {
     }
 
     /// Iterates over all files as `(path, content)` pairs, in arbitrary
-    /// order. Used by experiment verification ("we verified the SHA-256
-    /// hashes of the documents", paper §V-A analogue).
+    /// order.
+    #[deprecated(note = "use `vfs.admin().files()`")]
     pub fn admin_files(&self) -> impl Iterator<Item = (&VPath, &[u8])> {
+        self.files_impl()
+    }
+
+    fn files_impl(&self) -> impl Iterator<Item = (&VPath, &[u8])> {
         self.files.iter().map(|(p, n)| (p, n.data.as_slice()))
     }
 
     /// Iterates over all directory paths, in arbitrary order.
+    #[deprecated(note = "use `vfs.admin().dirs()`")]
     pub fn admin_dirs(&self) -> impl Iterator<Item = &VPath> {
+        self.dirs_impl()
+    }
+
+    fn dirs_impl(&self) -> impl Iterator<Item = &VPath> {
         self.dir_children.keys()
+    }
+
+    /// Moves a file without filter interposition, keeping its [`FileId`]
+    /// and creating destination parents as needed. Recovery uses this to
+    /// undo a suspect's renames.
+    ///
+    /// # Errors
+    ///
+    /// [`VfsError::NotFound`] / [`VfsError::IsADirectory`] for the source,
+    /// [`VfsError::AlreadyExists`] if the destination is occupied (by a
+    /// file or a directory), [`VfsError::NotADirectory`] if a file blocks
+    /// the destination's parent chain.
+    fn rename_impl(&mut self, from: &VPath, to: &VPath) -> VfsResult<()> {
+        match self.node_kind(from) {
+            None => return Err(VfsError::NotFound(from.clone())),
+            Some(EntryKind::Directory) => return Err(VfsError::IsADirectory(from.clone())),
+            Some(EntryKind::File) => {}
+        }
+        if self.node_kind(to).is_some() {
+            return Err(VfsError::AlreadyExists(to.clone()));
+        }
+        let to_parent = to.parent().ok_or_else(|| VfsError::InvalidPath(to.clone()))?;
+        self.create_dir_all_impl(&to_parent)?;
+        let node = self.files.remove(from).expect("checked above");
+        let id = node.id;
+        self.unlink_entry(from);
+        self.dir_children
+            .get_mut(&to_parent)
+            .expect("just created")
+            .insert(to.file_name().unwrap().to_string(), EntryKind::File);
+        self.files.insert(to.clone(), node);
+        self.file_paths.insert(id, to.clone());
+        Ok(())
     }
 
     /// The number of files in the filesystem.
@@ -1121,6 +1243,36 @@ impl Vfs {
             if let Some(children) = self.dir_children.get_mut(&parent) {
                 children.remove(name);
             }
+        }
+    }
+
+    /// Hands the shadow sink the named file's current bytes. Call sites
+    /// sit between a successful `run_pre` and the mutation itself, so the
+    /// sink sees exactly the pre-images of mutations that really happen.
+    fn shadow_capture(&self, pid: ProcessId, kind: MutationKind, path: &VPath) {
+        let Some(sink) = &self.shadow else { return };
+        let Some(node) = self.files.get(path) else { return };
+        sink.capture(&PreImage {
+            pid,
+            family_root: self.processes.root_of(pid),
+            at_nanos: self.clock.now_nanos(),
+            kind,
+            path,
+            file: node.id,
+            data: &node.data,
+            read_only: node.read_only,
+        });
+    }
+
+    fn shadow_note_created(&self, pid: ProcessId, file: FileId, path: &VPath) {
+        if let Some(sink) = &self.shadow {
+            sink.note_created(pid, self.processes.root_of(pid), file, path);
+        }
+    }
+
+    fn shadow_note_rename(&self, pid: ProcessId, file: FileId, from: &VPath, to: &VPath) {
+        if let Some(sink) = &self.shadow {
+            sink.note_rename(pid, self.processes.root_of(pid), file, from, to);
         }
     }
 
@@ -1275,6 +1427,135 @@ impl Vfs {
     }
 }
 
+/// The administrative view of a [`Vfs`]: unfiltered, unattributed access
+/// for staging, verification and recovery tooling.
+///
+/// This is the mutation-capable sibling of the read-only, filter-facing
+/// [`FsView`]. Operations through it bypass the filter stack, leave no
+/// events in the trace log, are invisible to any attached
+/// [`ShadowSink`], and are not charged simulated latency — exactly like
+/// the old `admin_*` methods it replaces. Obtain one with [`Vfs::admin`].
+#[derive(Debug)]
+pub struct AdminView<'a> {
+    vfs: &'a mut Vfs,
+}
+
+impl AdminView<'_> {
+    /// Reads a file's entire content.
+    ///
+    /// # Errors
+    ///
+    /// [`VfsError::NotFound`] / [`VfsError::IsADirectory`].
+    pub fn read_file(&self, path: &VPath) -> VfsResult<Vec<u8>> {
+        self.vfs.read_file_impl(path)
+    }
+
+    /// Writes a file (create-or-replace), creating parent directories as
+    /// needed. An existing file keeps its [`FileId`] — recovery depends on
+    /// this to restore content without invalidating open handles.
+    ///
+    /// # Errors
+    ///
+    /// [`VfsError::IsADirectory`] if the path names a directory,
+    /// [`VfsError::NotADirectory`] if a file blocks the parent chain.
+    pub fn write_file(&mut self, path: &VPath, data: &[u8]) -> VfsResult<()> {
+        self.vfs.write_file_impl(path, data)
+    }
+
+    /// Deletes a file, ignoring the read-only attribute.
+    ///
+    /// # Errors
+    ///
+    /// [`VfsError::NotFound`] / [`VfsError::IsADirectory`].
+    pub fn delete_file(&mut self, path: &VPath) -> VfsResult<()> {
+        self.vfs.delete_file_impl(path)
+    }
+
+    /// Creates one directory.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Vfs::create_dir`].
+    pub fn create_dir(&mut self, path: &VPath) -> VfsResult<()> {
+        self.vfs.create_dir_impl(path)
+    }
+
+    /// Creates a directory and any missing ancestors.
+    ///
+    /// # Errors
+    ///
+    /// [`VfsError::NotADirectory`] if a file blocks the chain.
+    pub fn create_dir_all(&mut self, path: &VPath) -> VfsResult<()> {
+        self.vfs.create_dir_all_impl(path)
+    }
+
+    /// Sets or clears a file's read-only attribute.
+    ///
+    /// # Errors
+    ///
+    /// [`VfsError::NotFound`] / [`VfsError::IsADirectory`].
+    pub fn set_read_only(&mut self, path: &VPath, read_only: bool) -> VfsResult<()> {
+        self.vfs.set_read_only_impl(path, read_only)
+    }
+
+    /// Moves a file, keeping its [`FileId`] and creating destination
+    /// parents as needed. Recovery uses this to undo a suspect's renames.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Vfs::rename`], except an occupied destination is always
+    /// [`VfsError::AlreadyExists`] (there is no overwrite mode).
+    pub fn rename(&mut self, from: &VPath, to: &VPath) -> VfsResult<()> {
+        self.vfs.rename_impl(from, to)
+    }
+
+    /// A file or directory's metadata.
+    ///
+    /// # Errors
+    ///
+    /// [`VfsError::NotFound`] for missing paths.
+    pub fn metadata(&self, path: &VPath) -> VfsResult<Metadata> {
+        self.vfs.metadata_impl(path)
+    }
+
+    /// Returns `true` if the path names an existing file or directory.
+    pub fn exists(&self, path: &VPath) -> bool {
+        self.vfs.node_kind(path).is_some()
+    }
+
+    /// The current path of a live file, by identity.
+    pub fn path_of(&self, file: FileId) -> Option<VPath> {
+        self.vfs.file_paths.get(&file).cloned()
+    }
+
+    /// Iterates over all files as `(path, content)` pairs, in arbitrary
+    /// order. Used by experiment verification ("we verified the SHA-256
+    /// hashes of the documents", paper §V-A analogue).
+    pub fn files(&self) -> impl Iterator<Item = (&VPath, &[u8])> {
+        self.vfs.files_impl()
+    }
+
+    /// Iterates over all directory paths, in arbitrary order.
+    pub fn dirs(&self) -> impl Iterator<Item = &VPath> {
+        self.vfs.dirs_impl()
+    }
+
+    /// The number of files in the filesystem.
+    pub fn file_count(&self) -> usize {
+        self.vfs.file_count()
+    }
+
+    /// The number of directories, including the root.
+    pub fn dir_count(&self) -> usize {
+        self.vfs.dir_count()
+    }
+
+    /// The total bytes stored across all files.
+    pub fn total_bytes(&self) -> u64 {
+        self.vfs.total_bytes()
+    }
+}
+
 /// The journal's stable lowercase label for a verdict.
 fn verdict_label(v: &Verdict) -> &'static str {
     match v {
@@ -1348,7 +1629,7 @@ mod tests {
         fs.write_file(pid, &p("/a.txt"), b"original").unwrap();
         let h = fs.open(pid, &p("/a.txt"), OpenOptions::create()).unwrap();
         fs.close(pid, h).unwrap();
-        assert_eq!(fs.admin_read_file(&p("/a.txt")).unwrap(), b"");
+        assert_eq!(fs.admin().read_file(&p("/a.txt")).unwrap(), b"");
         // The close event should carry modified=true (the truncation).
         let modified_close = fs.event_log().events().iter().any(|e| {
             matches!(&e.detail, EventDetail::Close { modified: true, path } if path == &p("/a.txt"))
@@ -1378,7 +1659,7 @@ mod tests {
         fs.seek(pid, h, 4).unwrap();
         fs.write(pid, h, b"BBBBBB").unwrap();
         fs.close(pid, h).unwrap();
-        assert_eq!(fs.admin_read_file(&p("/a.bin")).unwrap(), b"aaaaBBBBBB");
+        assert_eq!(fs.admin().read_file(&p("/a.bin")).unwrap(), b"aaaaBBBBBB");
     }
 
     #[test]
@@ -1388,7 +1669,7 @@ mod tests {
         fs.seek(pid, h, 4).unwrap();
         fs.write(pid, h, b"xy").unwrap();
         fs.close(pid, h).unwrap();
-        assert_eq!(fs.admin_read_file(&p("/a.bin")).unwrap(), b"\0\0\0\0xy");
+        assert_eq!(fs.admin().read_file(&p("/a.bin")).unwrap(), b"\0\0\0\0xy");
     }
 
     #[test]
@@ -1458,11 +1739,11 @@ mod tests {
         let (mut fs, pid) = fresh();
         fs.create_dir(pid, &p("/tmp")).unwrap();
         fs.write_file(pid, &p("/a.txt"), b"content").unwrap();
-        let id_before = fs.admin_metadata(&p("/a.txt")).unwrap().file;
+        let id_before = fs.admin().metadata(&p("/a.txt")).unwrap().file;
         let h = fs.open(pid, &p("/a.txt"), OpenOptions::read()).unwrap();
         fs.rename(pid, &p("/a.txt"), &p("/tmp/b.dat"), false).unwrap();
-        assert!(fs.admin_metadata(&p("/a.txt")).is_err());
-        assert_eq!(fs.admin_metadata(&p("/tmp/b.dat")).unwrap().file, id_before);
+        assert!(fs.admin().metadata(&p("/a.txt")).is_err());
+        assert_eq!(fs.admin().metadata(&p("/tmp/b.dat")).unwrap().file, id_before);
         // The open handle follows the file.
         assert_eq!(fs.read_to_end(pid, h).unwrap(), b"content");
         fs.close(pid, h).unwrap();
@@ -1473,16 +1754,16 @@ mod tests {
         let (mut fs, pid) = fresh();
         fs.write_file(pid, &p("/new.enc"), b"ciphertext").unwrap();
         fs.write_file(pid, &p("/orig.doc"), b"plaintext").unwrap();
-        let orig_id = fs.admin_metadata(&p("/orig.doc")).unwrap().file;
+        let orig_id = fs.admin().metadata(&p("/orig.doc")).unwrap().file;
         assert!(matches!(
             fs.rename(pid, &p("/new.enc"), &p("/orig.doc"), false),
             Err(VfsError::AlreadyExists(_))
         ));
         fs.rename(pid, &p("/new.enc"), &p("/orig.doc"), true).unwrap();
-        assert_eq!(fs.admin_read_file(&p("/orig.doc")).unwrap(), b"ciphertext");
+        assert_eq!(fs.admin().read_file(&p("/orig.doc")).unwrap(), b"ciphertext");
         assert_eq!(fs.file_count(), 1);
         // The replacing file's id is retained; the replaced file is gone.
-        let new_id = fs.admin_metadata(&p("/orig.doc")).unwrap().file;
+        let new_id = fs.admin().metadata(&p("/orig.doc")).unwrap().file;
         assert_ne!(new_id, orig_id);
         // The event records the replacement.
         let replaced = fs
@@ -1648,8 +1929,8 @@ mod tests {
         }
         fn pre_op(&mut self, ctx: &OpContext<'_>, _fs: &FsView<'_>) -> Verdict {
             match ctx.op {
-                FsOp::Write { path, .. } if path.as_str().contains("protected") => Verdict::Deny,
-                _ => Verdict::Allow,
+                FsOp::Write { path, .. } if path.as_str().contains("protected") => Verdict::deny(),
+                _ => Verdict::allow(),
             }
         }
     }
@@ -1663,7 +1944,7 @@ mod tests {
         let err = fs.write_file(pid, &p("/protected/x.txt"), b"no").unwrap_err();
         assert!(matches!(err, VfsError::AccessDenied { .. }));
         // The open created the file but the write was denied.
-        assert_eq!(fs.admin_read_file(&p("/protected/x.txt")).unwrap(), b"");
+        assert_eq!(fs.admin().read_file(&p("/protected/x.txt")).unwrap(), b"");
     }
 
     /// Suspends a process after observing `limit` completed writes.
@@ -1684,12 +1965,13 @@ mod tests {
             if let OpOutcome::Write { .. } = outcome {
                 self.seen += 1;
                 if self.seen >= self.limit {
-                    return Verdict::Suspend {
-                        reason: format!("write quota of {} exceeded", self.limit),
-                    };
+                    return Verdict::suspend(format!(
+                        "write quota of {} exceeded",
+                        self.limit
+                    ));
                 }
             }
-            Verdict::Allow
+            Verdict::allow()
         }
     }
 
@@ -1702,7 +1984,7 @@ mod tests {
         let h = fs.open(pid, &p("/b"), OpenOptions::create()).unwrap();
         fs.write(pid, h, b"2").unwrap();
         assert!(fs.is_suspended(pid));
-        assert_eq!(fs.admin_read_file(&p("/b")).unwrap(), b"2");
+        assert_eq!(fs.admin().read_file(&p("/b")).unwrap(), b"2");
         // All further data ops fail...
         assert_eq!(
             fs.write(pid, h, b"more").unwrap_err(),
@@ -1735,7 +2017,7 @@ mod tests {
                     self.snapshots.push((path.clone(), data));
                 }
             }
-            Verdict::Allow
+            Verdict::allow()
         }
     }
 
@@ -1753,7 +2035,7 @@ mod tests {
         // the ledger that the filter ran.)
         assert_eq!(filters.len(), 1);
         assert!(fs.latency_ledger().stat(OpKind::Write).is_some());
-        assert_eq!(fs.admin_read_file(&p("/doc.txt")).unwrap(), b"ENCRYPTED!");
+        assert_eq!(fs.admin().read_file(&p("/doc.txt")).unwrap(), b"ENCRYPTED!");
     }
 
     #[test]
@@ -1773,7 +2055,7 @@ mod tests {
                         self.captured = fs.read_file(path).ok();
                     }
                 }
-                Verdict::Allow
+                Verdict::allow()
             }
             fn post_op(
                 &mut self,
@@ -1787,7 +2069,7 @@ mod tests {
                     assert_eq!(fs.read_file(path).unwrap(), b"");
                     assert_eq!(self.captured.as_deref(), Some(b"SECRET".as_slice()));
                 }
-                Verdict::Allow
+                Verdict::allow()
             }
         }
         let (mut fs, pid) = fresh();
@@ -1820,25 +2102,25 @@ mod tests {
     fn admin_helpers_bypass_filters() {
         let (mut fs, _pid) = fresh();
         fs.register_filter(Box::new(DenyProtectedWrites));
-        fs.admin_write_file(&p("/protected/x.txt"), b"staged").unwrap();
-        assert_eq!(fs.admin_read_file(&p("/protected/x.txt")).unwrap(), b"staged");
+        fs.admin().write_file(&p("/protected/x.txt"), b"staged").unwrap();
+        assert_eq!(fs.admin().read_file(&p("/protected/x.txt")).unwrap(), b"staged");
         assert!(fs.event_log().is_empty(), "admin ops leave no events");
-        fs.admin_set_read_only(&p("/protected/x.txt"), true).unwrap();
-        assert!(fs.admin_metadata(&p("/protected/x.txt")).unwrap().read_only);
-        fs.admin_delete_file(&p("/protected/x.txt")).unwrap();
+        fs.admin().set_read_only(&p("/protected/x.txt"), true).unwrap();
+        assert!(fs.admin().metadata(&p("/protected/x.txt")).unwrap().read_only);
+        fs.admin().delete_file(&p("/protected/x.txt")).unwrap();
         assert_eq!(fs.file_count(), 0);
     }
 
     #[test]
     fn admin_iteration() {
         let (mut fs, _) = fresh();
-        fs.admin_write_file(&p("/a/1.txt"), b"one").unwrap();
-        fs.admin_write_file(&p("/a/b/2.txt"), b"two").unwrap();
+        fs.admin().write_file(&p("/a/1.txt"), b"one").unwrap();
+        fs.admin().write_file(&p("/a/b/2.txt"), b"two").unwrap();
         assert_eq!(fs.file_count(), 2);
         assert_eq!(fs.dir_count(), 3); // /, /a, /a/b
-        let total: u64 = fs.admin_files().map(|(_, d)| d.len() as u64).sum();
+        let total: u64 = fs.admin().files().map(|(_, d)| d.len() as u64).sum();
         assert_eq!(total, fs.total_bytes());
-        assert_eq!(fs.admin_dirs().count(), 3);
+        assert_eq!(fs.admin().dirs().count(), 3);
     }
 
     /// A `WriteQuota` with a name and an externally observable op count.
@@ -1863,12 +2145,10 @@ mod tests {
                     .fetch_add(1, std::sync::atomic::Ordering::Relaxed)
                     + 1;
                 if seen >= self.limit {
-                    return Verdict::Suspend {
-                        reason: format!("{}: write quota exceeded", self.name),
-                    };
+                    return Verdict::suspend(format!("{}: write quota exceeded", self.name));
                 }
             }
-            Verdict::Allow
+            Verdict::allow()
         }
     }
 
@@ -1949,5 +2229,156 @@ mod tests {
         s2.sort();
         assert_eq!(s1, vec!["quota-a".to_string(), "quota-b".to_string()]);
         assert_eq!(s1, s2);
+    }
+
+    #[test]
+    fn rename_over_read_only_target_fails() {
+        // NTFS-faithfulness regression: MoveFileEx fails with access denied
+        // when the replaced destination carries FILE_ATTRIBUTE_READONLY; the
+        // rename must not silently clobber the protected target.
+        let (mut fs, pid) = fresh();
+        fs.write_file(pid, &p("/locked.doc"), b"precious").unwrap();
+        fs.write_file(pid, &p("/new.enc"), b"ciphertext").unwrap();
+        fs.set_read_only(pid, &p("/locked.doc"), true).unwrap();
+        let err = fs
+            .rename(pid, &p("/new.enc"), &p("/locked.doc"), true)
+            .unwrap_err();
+        assert_eq!(err, VfsError::ReadOnly(p("/locked.doc")));
+        // Nothing moved, nothing was destroyed.
+        assert_eq!(fs.read_file(pid, &p("/locked.doc")).unwrap(), b"precious");
+        assert_eq!(fs.admin().read_file(&p("/new.enc")).unwrap(), b"ciphertext");
+        assert_eq!(fs.file_count(), 2);
+    }
+
+    // ------------------------------------------------------------------
+    // Shadow-sink capture points
+    // ------------------------------------------------------------------
+
+    /// Records every capture/created/rename notification it receives.
+    #[derive(Default)]
+    struct RecordingSink {
+        captures: std::sync::Mutex<Vec<(MutationKind, VPath, Vec<u8>)>>,
+        created: std::sync::Mutex<Vec<VPath>>,
+        renames: std::sync::Mutex<Vec<(VPath, VPath)>>,
+    }
+    impl ShadowSink for RecordingSink {
+        fn capture(&self, pre: &PreImage<'_>) {
+            self.captures
+                .lock().unwrap()
+                .push((pre.kind, pre.path.clone(), pre.data.to_vec()));
+        }
+        fn note_created(&self, _pid: ProcessId, _root: ProcessId, _file: FileId, path: &VPath) {
+            self.created.lock().unwrap().push(path.clone());
+        }
+        fn note_rename(
+            &self,
+            _pid: ProcessId,
+            _root: ProcessId,
+            _file: FileId,
+            from: &VPath,
+            to: &VPath,
+        ) {
+            self.renames.lock().unwrap().push((from.clone(), to.clone()));
+        }
+    }
+
+    #[test]
+    fn shadow_sink_sees_every_destructive_pre_image() {
+        let (mut fs, pid) = fresh();
+        fs.write_file(pid, &p("/a.txt"), b"version-1").unwrap();
+        fs.write_file(pid, &p("/victim.doc"), b"victim").unwrap();
+        let sink = Arc::new(RecordingSink::default());
+        fs.set_shadow_sink(Arc::clone(&sink) as Arc<dyn ShadowSink>);
+
+        // Truncating open + write: two Write captures (pre-truncate bytes,
+        // then the empty post-truncate file).
+        let h = fs.open(pid, &p("/a.txt"), OpenOptions::create()).unwrap();
+        fs.write(pid, h, b"version-2").unwrap();
+        fs.truncate(pid, h, 3).unwrap();
+        fs.close(pid, h).unwrap();
+        // Delete and rename-overwrite.
+        fs.write_file(pid, &p("/new.enc"), b"ciphertext").unwrap();
+        fs.rename(pid, &p("/new.enc"), &p("/victim.doc"), true).unwrap();
+        fs.delete(pid, &p("/a.txt")).unwrap();
+
+        let captures = sink.captures.lock().unwrap();
+        let kinds: Vec<(MutationKind, &[u8])> = captures
+            .iter()
+            .map(|(k, _, d)| (*k, d.as_slice()))
+            .collect();
+        assert_eq!(
+            kinds,
+            vec![
+                (MutationKind::Write, b"version-1".as_slice()), // truncating open
+                (MutationKind::Write, b"".as_slice()),          // write after truncate
+                (MutationKind::Truncate, b"version-2".as_slice()),
+                (MutationKind::Write, b"".as_slice()), // create of /new.enc truncates nothing; open created it
+                (MutationKind::RenameOverwrite, b"victim".as_slice()),
+                (MutationKind::Delete, b"ver".as_slice()),
+            ]
+        );
+        assert_eq!(sink.created.lock().unwrap().as_slice(), &[p("/new.enc")]);
+        assert_eq!(
+            sink.renames.lock().unwrap().as_slice(),
+            &[(p("/new.enc"), p("/victim.doc"))]
+        );
+    }
+
+    #[test]
+    fn blocked_and_admin_mutations_are_never_captured() {
+        let (mut fs, pid) = fresh();
+        fs.create_dir(pid, &p("/protected")).unwrap();
+        fs.write_file(pid, &p("/protected/x.txt"), b"keep").unwrap();
+        let sink = Arc::new(RecordingSink::default());
+        fs.set_shadow_sink(Arc::clone(&sink) as Arc<dyn ShadowSink>);
+        fs.register_filter(Box::new(DenyProtectedWrites));
+
+        // A denied write never reaches its capture point.
+        let h = fs
+            .open(pid, &p("/protected/x.txt"), OpenOptions::modify())
+            .unwrap();
+        assert!(fs.write(pid, h, b"clobber").is_err());
+        fs.close(pid, h).unwrap();
+        // Admin mutations are invisible to the sink.
+        fs.admin().write_file(&p("/protected/x.txt"), b"staged").unwrap();
+        fs.admin().delete_file(&p("/protected/x.txt")).unwrap();
+        assert!(sink.captures.lock().unwrap().is_empty());
+        assert!(sink.created.lock().unwrap().is_empty());
+
+        // A suspended process's mutations are rejected before capture.
+        fs.write_file(pid, &p("/y.txt"), b"data").unwrap();
+        assert_eq!(sink.captures.lock().unwrap().len(), 1); // the open-created write... write to empty file
+        fs.suspend_process(pid, "test", "suspended");
+        assert!(fs.write_file(pid, &p("/y.txt"), b"more").is_err());
+        assert_eq!(sink.captures.lock().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn admin_view_rename_and_path_of() {
+        let (mut fs, _pid) = fresh();
+        fs.admin().write_file(&p("/docs/a.txt"), b"content").unwrap();
+        let id = fs.admin().metadata(&p("/docs/a.txt")).unwrap().file.unwrap();
+        let mut admin = fs.admin();
+        assert_eq!(admin.path_of(id), Some(p("/docs/a.txt")));
+        // Rename keeps the id and creates missing destination parents.
+        admin.rename(&p("/docs/a.txt"), &p("/backup/deep/a.txt")).unwrap();
+        assert_eq!(admin.path_of(id), Some(p("/backup/deep/a.txt")));
+        assert_eq!(admin.read_file(&p("/backup/deep/a.txt")).unwrap(), b"content");
+        assert!(!admin.exists(&p("/docs/a.txt")));
+        // Occupied destinations are refused.
+        admin.write_file(&p("/other.txt"), b"x").unwrap();
+        assert!(matches!(
+            admin.rename(&p("/other.txt"), &p("/backup/deep/a.txt")),
+            Err(VfsError::AlreadyExists(_))
+        ));
+        // Directories cannot be renamed, missing sources error.
+        assert!(matches!(
+            admin.rename(&p("/backup"), &p("/b2")),
+            Err(VfsError::IsADirectory(_))
+        ));
+        assert!(matches!(
+            admin.rename(&p("/ghost"), &p("/g2")),
+            Err(VfsError::NotFound(_))
+        ));
     }
 }

@@ -55,13 +55,15 @@ mod node;
 mod ops;
 mod path;
 mod process;
+pub mod shadow;
 
 pub use clock::{LatencyLedger, LatencyStat, OpKind, SimClock};
 pub use error::{VfsError, VfsResult};
 pub use events::{Event, EventDetail, EventLog};
 pub use filter::{FilterDriver, FsView, Verdict};
-pub use fs::{Handle, Vfs};
+pub use fs::{AdminView, Handle, Vfs};
 pub use node::{DirEntry, EntryKind, FileId, Metadata};
 pub use ops::{FsOp, OpContext, OpOutcome, OpenOptions};
 pub use path::VPath;
 pub use process::{ProcessId, ProcessRecord, ProcessTable, SuspensionRecord};
+pub use shadow::{MutationKind, PreImage, ShadowSink};

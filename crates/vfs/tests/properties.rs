@@ -65,7 +65,7 @@ proptest! {
             fs.write(pid, h, c).unwrap();
         }
         fs.close(pid, h).unwrap();
-        prop_assert_eq!(fs.admin_read_file(&path).unwrap(), data);
+        prop_assert_eq!(fs.admin().read_file(&path).unwrap(), data);
     }
 
     /// Renames preserve content and identity over arbitrary move chains —
@@ -89,7 +89,7 @@ proptest! {
             cur = next;
         }
         prop_assert_eq!(fs.metadata(pid, &cur).unwrap().file, id);
-        prop_assert_eq!(fs.admin_read_file(&cur).unwrap(), data);
+        prop_assert_eq!(fs.admin().read_file(&cur).unwrap(), data);
         prop_assert_eq!(fs.file_count(), 1);
     }
 
@@ -119,14 +119,15 @@ proptest! {
                 }
             }
         }
-        let files: Vec<_> = fs.admin_files().collect();
-        prop_assert_eq!(files.len(), fs.file_count());
+        let admin = fs.admin();
+        let files: Vec<_> = admin.files().collect();
+        prop_assert_eq!(files.len(), admin.file_count());
         let sum: u64 = files.iter().map(|(_, d)| d.len() as u64).sum();
-        prop_assert_eq!(sum, fs.total_bytes());
+        prop_assert_eq!(sum, admin.total_bytes());
         // Every file's metadata resolves and ids are unique.
         let mut ids = std::collections::HashSet::new();
         for (p, _) in files {
-            let m = fs.admin_metadata(p).unwrap();
+            let m = admin.metadata(p).unwrap();
             prop_assert!(ids.insert(m.file.unwrap()));
         }
     }

@@ -60,7 +60,7 @@ fn surviving_files_are_bit_identical() {
     let mut intact = 0;
     let mut modified = 0;
     for f in corpus.files() {
-        match fs.admin_read_file(&f.path) {
+        match fs.admin().read_file(&f.path) {
             Ok(data) if data == f.data => intact += 1,
             _ => modified += 1,
         }
@@ -165,7 +165,7 @@ fn read_only_files_survive_the_weak_sample() {
 
     for f in &read_only {
         assert_eq!(
-            fs.admin_read_file(&f.path).unwrap(),
+            fs.admin().read_file(&f.path).unwrap(),
             f.data,
             "read-only file {} must survive",
             f.path
@@ -192,7 +192,7 @@ fn strong_samples_clear_read_only_when_undefended() {
     let intact = corpus
         .files()
         .iter()
-        .filter(|f| fs.admin_read_file(&f.path).map(|d| d == f.data).unwrap_or(false))
+        .filter(|f| fs.admin().read_file(&f.path).map(|d| d == f.data).unwrap_or(false))
         .count();
     assert_eq!(intact, 0, "undefended, the whole corpus is lost");
 }

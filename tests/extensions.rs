@@ -109,7 +109,7 @@ fn per_process_mode_still_available() {
     let readable = corpus
         .files()
         .iter()
-        .find(|f| fs.admin_metadata(&f.path).is_ok())
+        .find(|f| fs.admin().metadata(&f.path).is_ok())
         .unwrap();
     assert!(fs.read_file(benign, &readable.path).is_ok());
     assert!(monitor.detection_for(benign).is_none());

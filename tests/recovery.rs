@@ -1,0 +1,344 @@
+//! End-to-end recovery ("Drop It") tests: attack replay with rollback,
+//! shadow budget accounting, and the restore-after-suspension property
+//! under randomized attacker/benign interleavings in both backpressure
+//! modes.
+
+use std::collections::BTreeMap;
+
+use cryptodrop::{
+    Backpressure, CryptoDrop, PipelineConfig, Session, ShadowConfig,
+};
+use cryptodrop_corpus::{Corpus, CorpusSpec};
+use cryptodrop_malware::{paper_sample_set, Family};
+use cryptodrop_simhash::content_fingerprint;
+use cryptodrop_vfs::{VPath, Vfs};
+
+/// The full filesystem contents, for byte-for-byte comparisons.
+fn state_of(fs: &mut Vfs) -> BTreeMap<VPath, Vec<u8>> {
+    fs.admin()
+        .files()
+        .map(|(p, d)| (p.clone(), d.to_vec()))
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// E2E attack replay
+// ---------------------------------------------------------------------
+
+/// The acceptance scenario: a real sample encrypts part of the corpus, a
+/// benign process keeps writing throughout, the engine suspends the
+/// sample, and `restore` returns every file the suspect modified to its
+/// pre-attack bytes — verified by fingerprint AND content — while the
+/// benign process's writes are preserved.
+#[test]
+fn attack_replay_restores_pre_attack_bytes() {
+    let corpus = Corpus::generate(&CorpusSpec::sized(400, 40));
+    let mut fs = Vfs::new();
+    corpus.stage_into(&mut fs).unwrap();
+
+    // A benign process edits two corpus files before the attack: the
+    // edited bytes (not the originals) are the pre-attack truth.
+    let benign = fs.spawn_process("editor.exe");
+    let edited: Vec<VPath> = corpus.files().iter().take(2).map(|f| f.path.clone()).collect();
+    for path in &edited {
+        fs.admin().set_read_only(path, false).unwrap();
+        fs.write_file(benign, path, b"benign edit, pre-attack")
+            .unwrap();
+    }
+    let before = state_of(&mut fs);
+
+    let session = CryptoDrop::builder()
+        .protecting(corpus.root().as_str())
+        .recovery(ShadowConfig::default())
+        .build()
+        .unwrap();
+    session.attach(&mut fs);
+
+    let sample = paper_sample_set()
+        .into_iter()
+        .find(|s| s.family == Family::TeslaCrypt)
+        .unwrap();
+    let pid = fs.spawn_process(sample.process_name());
+    let outcome = sample.run(&mut fs, pid, corpus.root());
+    assert!(!outcome.completed, "sample must be suspended mid-attack");
+    let report = session.detection_for(pid).expect("sample detected");
+    assert!(report.files_lost > 0, "the attack destroyed something");
+
+    // Benign writes keep landing after the suspension, before recovery.
+    let benign_late = corpus.root().join("benign-late.txt");
+    fs.write_file(benign, &benign_late, b"written after suspension")
+        .unwrap();
+
+    let recovery = session
+        .restore(&mut fs, report.pid)
+        .expect("recovery enabled");
+    assert!(recovery.files_restored > 0);
+    assert!(recovery.conflicts.is_empty(), "{:?}", recovery.conflicts);
+
+    // Fingerprint verification of everything the rollback wrote.
+    {
+        let admin = fs.admin();
+        for (path, fp) in &recovery.restored_files {
+            let bytes = admin.read_file(path).expect("restored file exists");
+            assert_eq!(content_fingerprint(&bytes), *fp, "fingerprint of {path}");
+        }
+    }
+
+    // Content verification: pre-attack state plus the late benign write,
+    // nothing else (droppings removed, renames undone).
+    let mut expected = before;
+    expected.insert(benign_late, b"written after suspension".to_vec());
+    let after = state_of(&mut fs);
+    assert_eq!(after.len(), expected.len(), "file sets differ");
+    for (path, bytes) in &expected {
+        assert_eq!(
+            after.get(path).map(|b| b.as_slice()),
+            Some(bytes.as_slice()),
+            "content of {path}"
+        );
+    }
+}
+
+/// The byte budget is respected: captures beyond it are evicted (or pin
+/// overflows are counted when reputation pins everything), and the
+/// `CacheStats`-style counters expose both.
+#[test]
+fn shadow_budget_is_respected_with_visible_evictions() {
+    let corpus = Corpus::generate(&CorpusSpec::sized(200, 20));
+    let mut fs = Vfs::new();
+    corpus.stage_into(&mut fs).unwrap();
+
+    let budget = 16 * 1024; // far below the corpus working set
+    let session = CryptoDrop::builder()
+        .protecting(corpus.root().as_str())
+        .recovery(ShadowConfig::with_budget(budget as u64))
+        .build()
+        .unwrap();
+    session.attach(&mut fs);
+
+    let sample = paper_sample_set()
+        .into_iter()
+        .find(|s| s.family == Family::CryptoWall)
+        .unwrap();
+    let pid = fs.spawn_process(sample.process_name());
+    sample.run(&mut fs, pid, corpus.root());
+
+    let stats = session.shadow_store().unwrap().stats();
+    assert!(stats.captures > 0, "the attack was shadowed");
+    assert!(
+        stats.evictions > 0 || stats.pin_overflows > 0,
+        "a 16 KiB budget must either evict or overflow pins: {stats:?}"
+    );
+    assert!(
+        stats.bytes_held <= budget as u64 || stats.pin_overflows > 0,
+        "budget exceeded without a pin overflow: {stats:?}"
+    );
+}
+
+/// A session built with a zero shadow budget is rejected up front.
+#[test]
+fn zero_shadow_budget_is_a_config_error() {
+    let err = match CryptoDrop::builder()
+        .protecting("/docs")
+        .recovery(ShadowConfig::with_budget(0))
+        .build()
+    {
+        Err(e) => e,
+        Ok(_) => panic!("zero budget must be rejected"),
+    };
+    assert_eq!(err, cryptodrop::ConfigError::ZeroShadowBudget);
+}
+
+// ---------------------------------------------------------------------
+// Restore-after-suspension property
+// ---------------------------------------------------------------------
+
+struct XorShift(u64);
+
+impl XorShift {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n as u64) as usize
+    }
+}
+
+const SHARED: usize = 10; // attacker encrypts, benign edits
+const ATTACKER_ONLY: usize = 10; // attacker may also rename/delete
+const BENIGN_ONLY: usize = 5;
+
+fn seed_files(fs: &mut Vfs) -> Vec<VPath> {
+    let mut paths = Vec::new();
+    for i in 0..SHARED + ATTACKER_ONLY + BENIGN_ONLY {
+        let path = VPath::new(format!("/docs/f{i}.txt"));
+        let body: Vec<u8> = (0..40u32)
+            .flat_map(|l| format!("file {i} line {l}: ordinary prose\n").into_bytes())
+            .collect();
+        fs.admin().write_file(&path, &body).unwrap();
+        paths.push(path);
+    }
+    paths
+}
+
+fn high_entropy(rng: &mut XorShift, len: usize) -> Vec<u8> {
+    (0..len).map(|_| (rng.next() >> 32) as u8).collect()
+}
+
+/// A benign revision: the original content with a small edit stamped at
+/// the front, so the rewrite stays similar to the snapshot and never
+/// looks like a transformation to the engine.
+fn benign_body(original: &[u8], n: u64) -> Vec<u8> {
+    let mut body = original.to_vec();
+    let tag = format!("rev {:06} ", n % 1_000_000);
+    let end = tag.len().min(body.len());
+    body[..end].copy_from_slice(&tag.as_bytes()[..end]);
+    body
+}
+
+/// Runs one randomized interleaving under the given backpressure mode and
+/// returns the filesystem state after reconcile + restore.
+fn run_interleaving(seed: u64, backpressure: Backpressure) -> BTreeMap<VPath, Vec<u8>> {
+    let mut fs = Vfs::new();
+    let paths = seed_files(&mut fs);
+    let session: Session = CryptoDrop::builder()
+        .protecting("/docs")
+        .pipeline_config(PipelineConfig {
+            backpressure,
+            ..PipelineConfig::default()
+        })
+        .recovery(ShadowConfig::default())
+        .build()
+        .unwrap();
+    session.attach(&mut fs);
+
+    let originals = state_of(&mut fs);
+    let attacker = fs.spawn_process("locker.exe");
+    let benign = fs.spawn_process("writer.exe");
+    let mut rng = XorShift(seed | 1);
+    // Current location of each attacker-only file (renames move them).
+    let mut located: Vec<VPath> = paths[SHARED..SHARED + ATTACKER_ONLY].to_vec();
+    let mut droppings = 0u32;
+
+    for _ in 0..120 {
+        if rng.below(2) == 0 {
+            // Attacker move. Failures (post-suspension) are expected.
+            match rng.below(10) {
+                0..=5 => {
+                    // Encrypt-write a shared or attacker-only file.
+                    let k = rng.below(SHARED + ATTACKER_ONLY);
+                    let target = if k < SHARED {
+                        paths[k].clone()
+                    } else {
+                        located[k - SHARED].clone()
+                    };
+                    let body = high_entropy(&mut rng, 600);
+                    let _ = fs.write_file(attacker, &target, &body);
+                }
+                6..=7 => {
+                    let k = rng.below(ATTACKER_ONLY);
+                    let _ = fs.delete(attacker, &located[k]);
+                }
+                8 => {
+                    let k = rng.below(ATTACKER_ONLY);
+                    let from = located[k].clone();
+                    let to = VPath::new(format!("{from}.lock{}", rng.next() % 1000));
+                    if fs.rename(attacker, &from, &to, false).is_ok() {
+                        located[k] = to;
+                    }
+                }
+                _ => {
+                    droppings += 1;
+                    let note = VPath::new(format!("/docs/README-{droppings}.hta"));
+                    let _ = fs.write_file(attacker, &note, b"send bitcoin");
+                }
+            }
+        } else {
+            // Benign write to a shared or benign-only file, by its
+            // original path. Never fails.
+            let k = rng.below(SHARED + BENIGN_ONLY);
+            let target = if k < SHARED {
+                &paths[k]
+            } else {
+                &paths[SHARED + ATTACKER_ONLY + (k - SHARED)]
+            };
+            let body = benign_body(&originals[target], rng.next());
+            fs.write_file(benign, target, &body).unwrap();
+        }
+    }
+
+    session.reconcile(&mut fs);
+    session
+        .restore(&mut fs, attacker)
+        .expect("recovery enabled");
+    state_of(&mut fs)
+}
+
+/// Replays the same interleaving against a plain model: per path, the
+/// expected post-restore content is the last benign write to that path,
+/// or the original bytes when no benign process ever wrote it.
+fn model_expectation(seed: u64) -> BTreeMap<VPath, Vec<u8>> {
+    let mut fs = Vfs::new();
+    let paths = seed_files(&mut fs);
+    let originals = state_of(&mut fs);
+    let mut expected = originals.clone();
+    let mut rng = XorShift(seed | 1);
+    for _ in 0..120 {
+        if rng.below(2) == 0 {
+            // Attacker moves draw from the RNG but leave no trace in the
+            // model: everything they do is rolled back.
+            match rng.below(10) {
+                0..=5 => {
+                    rng.below(SHARED + ATTACKER_ONLY);
+                    high_entropy(&mut rng, 600);
+                }
+                6..=7 => {
+                    rng.below(ATTACKER_ONLY);
+                }
+                8 => {
+                    rng.below(ATTACKER_ONLY);
+                    rng.next();
+                }
+                _ => {}
+            }
+        } else {
+            let k = rng.below(SHARED + BENIGN_ONLY);
+            let target = if k < SHARED {
+                &paths[k]
+            } else {
+                &paths[SHARED + ATTACKER_ONLY + (k - SHARED)]
+            };
+            let body = benign_body(&originals[target], rng.next());
+            expected.insert(target.clone(), body);
+        }
+    }
+    expected
+}
+
+/// Satellite property: after suspension + restore, the filesystem is
+/// byte-identical to the model under BOTH backpressure modes, for
+/// randomized attacker/benign interleavings — detection latency (inline
+/// verdict vs deferred reconcile) must not change the recovered state.
+#[test]
+fn restore_after_suspension_is_byte_identical_across_modes() {
+    for seed in [3, 7, 0x5EED, 0xBEEF, 0xCAFE, 91, 2024, 0xD00D] {
+        let expected = model_expectation(seed);
+        let sync_state = run_interleaving(seed, Backpressure::Sync);
+        let degrade_state = run_interleaving(seed, Backpressure::DegradeToInline);
+
+        assert_eq!(
+            sync_state, expected,
+            "seed {seed:#x}: Sync state diverged from the model"
+        );
+        assert_eq!(
+            degrade_state, expected,
+            "seed {seed:#x}: DegradeToInline state diverged from the model"
+        );
+    }
+}

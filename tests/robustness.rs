@@ -53,12 +53,12 @@ proptest! {
         let mut fs = Vfs::new();
         let docs = VPath::new("/docs");
         for i in 0..12u8 {
-            fs.admin_write_file(
+            fs.admin().write_file(
                 &path_for(&docs, i),
                 format!("seed file {i} with some plain text content").as_bytes(),
             ).unwrap();
         }
-        fs.admin_create_dir_all(&VPath::new("/outside")).unwrap();
+        fs.admin().create_dir_all(&VPath::new("/outside")).unwrap();
         let monitor = CryptoDrop::builder()
             .config(Config::protecting("/docs"))
             .build()
@@ -110,10 +110,12 @@ proptest! {
 
         // Invariants after the storm:
         // 1. Accounting coherence.
-        let files: Vec<_> = fs.admin_files().collect();
-        prop_assert_eq!(files.len(), fs.file_count());
-        let sum: u64 = files.iter().map(|(_, d)| d.len() as u64).sum();
-        prop_assert_eq!(sum, fs.total_bytes());
+        let file_count = fs.file_count();
+        let total_bytes = fs.total_bytes();
+        let files: Vec<_> = fs.admin().files().map(|(p, d)| (p.clone(), d.len())).collect();
+        prop_assert_eq!(files.len(), file_count);
+        let sum: u64 = files.iter().map(|(_, len)| *len as u64).sum();
+        prop_assert_eq!(sum, total_bytes);
         // 2. Every detection the monitor reports corresponds to a
         //    suspended process (or family member), and scores are at or
         //    past their thresholds.
