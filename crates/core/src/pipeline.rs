@@ -17,19 +17,61 @@
 //! (`pipeline.*` metrics) and mirrored in the always-on
 //! [`PipelineStats`] counters.
 //!
+//! # Fault tolerance
+//!
+//! A detector must keep watching while an attack is actively destroying
+//! data, so every failure mode a worker can hit degrades instead of
+//! wedging a producer:
+//!
+//! * **Worker panics** (real bugs or injected via
+//!   [`FaultPlan::worker_panic_probability`](cryptodrop_vfs::FaultPlan))
+//!   unwind out of [`PipelineShared::worker_loop`]; a drop guard requeues
+//!   the interrupted batch at the front of its shard (FIFO preserved,
+//!   nothing lost) and the session's respawn wrapper restarts the worker,
+//!   counted in [`PipelineStats::worker_restarts`]. A record that keeps
+//!   panicking its worker is retried once, then completed with `Allow`
+//!   and counted in [`PipelineStats::abandoned`] — a poison pill must not
+//!   crash-loop the pool.
+//! * **Poisoned locks** never cascade: every mutex/condvar acquisition
+//!   recovers the guard via [`PoisonError::into_inner`]. The protected
+//!   state is a `VecDeque` plus counters, all valid at every await point,
+//!   so recovery is safe by construction.
+//! * **`Sync` verdict waits carry a deadline**
+//!   ([`PipelineConfig::sync_deadline`]): a producer whose worker died
+//!   re-claims its own record from the shard queue and processes it
+//!   inline ([`PipelineStats::sync_fallbacks`]) instead of blocking on
+//!   the condvar forever.
+//!
 //! The pipeline's blocking primitives are `std::sync` mutexes and condvars
 //! (the vendored `parking_lot` stand-in has no condvar).
 
+// Producers run inside filter callbacks on the caller's thread: a panic
+// here aborts the user-visible operation, so unwrap/expect are banned.
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::time::Duration;
 
 use cryptodrop_telemetry::{Counter, Gauge, Histogram, JournalKind, Telemetry};
-use cryptodrop_vfs::Verdict;
+use cryptodrop_vfs::{FaultInjector, Verdict};
 
 use crate::engine::CryptoDrop;
 use crate::record::OpRecord;
+
+/// Locks a mutex, recovering the guard from a poisoned lock. Workers can
+/// die mid-batch (panic injection, real bugs); the data under every
+/// pipeline lock is structurally valid at each await point, so producers
+/// must keep going rather than cascade the panic.
+fn lock_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// How many times a record is handed to a worker before the pipeline
+/// gives up on analyzing it (completing its slot with `Allow` and
+/// counting it in [`PipelineStats::abandoned`]).
+const MAX_PROCESS_ATTEMPTS: u32 = 2;
 
 /// What happens when a record arrives at a full shard queue.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -63,6 +105,11 @@ pub struct PipelineConfig {
     pub workers: usize,
     /// Most records a worker takes from one shard per drain. Default 32.
     pub max_batch: usize,
+    /// How long a `Sync` producer waits on its verdict slot (or a full
+    /// queue) before assuming the owning worker died and falling back to
+    /// processing inline. Purely a liveness bound — on a healthy pipeline
+    /// the condvar fires long before it. Must be nonzero. Default 50ms.
+    pub sync_deadline: Duration,
     /// Full-queue policy. Default [`Backpressure::Sync`].
     pub backpressure: Backpressure,
 }
@@ -74,6 +121,7 @@ impl Default for PipelineConfig {
             capacity: 256,
             workers: 2,
             max_batch: 32,
+            sync_deadline: Duration::from_millis(50),
             backpressure: Backpressure::Sync,
         }
     }
@@ -93,6 +141,14 @@ pub struct PipelineStats {
     pub degraded: u64,
     /// Batches drained (by workers or by degrading producers).
     pub batches: u64,
+    /// Workers respawned after a panic unwound their loop.
+    pub worker_restarts: u64,
+    /// `Sync` producers that hit [`PipelineConfig::sync_deadline`] and
+    /// completed their record inline (queue reclaim or full-queue drain).
+    pub sync_fallbacks: u64,
+    /// Records whose analysis was abandoned (slot completed with `Allow`)
+    /// after repeatedly panicking their worker.
+    pub abandoned: u64,
 }
 
 /// A record in flight, with the completion slot the `Sync`-mode producer
@@ -100,6 +156,9 @@ pub struct PipelineStats {
 struct Queued {
     rec: OpRecord<'static>,
     slot: Option<Arc<VerdictSlot>>,
+    /// Times a drain has picked this record up. Bumped before processing,
+    /// so a panic mid-analysis is charged to the record that caused it.
+    attempts: u32,
 }
 
 /// One-shot verdict hand-off from the worker to a waiting producer.
@@ -111,19 +170,25 @@ struct VerdictSlot {
 
 impl VerdictSlot {
     fn put(&self, v: Verdict) {
-        let mut g = self.verdict.lock().expect("verdict slot poisoned");
+        let mut g = lock_recover(&self.verdict);
         *g = Some(v);
+        drop(g);
         self.ready.notify_all();
     }
 
-    fn wait(&self) -> Verdict {
-        let mut g = self.verdict.lock().expect("verdict slot poisoned");
-        loop {
-            match g.take() {
-                Some(v) => return v,
-                None => g = self.ready.wait(g).expect("verdict slot poisoned"),
-            }
+    /// Waits up to `timeout` for the verdict. `None` means the deadline
+    /// (or a spurious wakeup) passed with the slot still empty — the
+    /// caller decides whether to reclaim the record or keep waiting.
+    fn wait_timeout(&self, timeout: Duration) -> Option<Verdict> {
+        let mut g = lock_recover(&self.verdict);
+        if let Some(v) = g.take() {
+            return Some(v);
         }
+        let (mut g, _timed_out) = self
+            .ready
+            .wait_timeout(g, timeout)
+            .unwrap_or_else(PoisonError::into_inner);
+        g.take()
     }
 }
 
@@ -150,6 +215,23 @@ impl ShardQueue {
             processed: AtomicU64::new(0),
         }
     }
+
+    /// Removes and returns the queued record owned by `slot`, if it is
+    /// still waiting on this shard (identity, not equality: the producer
+    /// reclaims exactly its own record). Used by the `Sync` deadline
+    /// fallback; under `Sync` every producer blocks per record, so a
+    /// family never has two records queued from one thread and the
+    /// out-of-queue completion cannot reorder a family's analysis.
+    fn take_by_slot(&self, slot: &Arc<VerdictSlot>) -> Option<Queued> {
+        let mut q = lock_recover(&self.q);
+        let pos = q
+            .iter()
+            .position(|item| item.slot.as_ref().is_some_and(|s| Arc::ptr_eq(s, slot)))?;
+        let item = q.remove(pos);
+        drop(q);
+        self.not_full.notify_all();
+        item
+    }
 }
 
 /// Telemetry handles resolved once at pipeline construction.
@@ -157,6 +239,9 @@ struct PipelineMetrics {
     enqueued: Counter,
     processed: Counter,
     degraded: Counter,
+    worker_restarts: Counter,
+    sync_fallbacks: Counter,
+    abandoned: Counter,
     depth: Gauge,
     batch_size: Histogram,
     drain_ns: Histogram,
@@ -168,6 +253,9 @@ impl PipelineMetrics {
             enqueued: t.counter("pipeline.enqueued"),
             processed: t.counter("pipeline.processed"),
             degraded: t.counter("pipeline.degraded"),
+            worker_restarts: t.counter("pipeline.worker_restarts"),
+            sync_fallbacks: t.counter("pipeline.sync_fallbacks"),
+            abandoned: t.counter("pipeline.abandoned"),
             depth: t.gauge("pipeline.queue.depth"),
             batch_size: t.histogram("pipeline.batch.size"),
             drain_ns: t.histogram("pipeline.drain.ns"),
@@ -187,12 +275,51 @@ pub(crate) struct PipelineShared {
     work_ready: Condvar,
     degraded: AtomicU64,
     batches: AtomicU64,
+    worker_restarts: AtomicU64,
+    sync_fallbacks: AtomicU64,
+    abandoned: AtomicU64,
     metrics: PipelineMetrics,
     telemetry: Telemetry,
+    /// Shared fault-decision engine (chaos testing). Consulted by workers
+    /// only — producer-side drains are never panicked, they are already
+    /// the degraded path.
+    injector: Option<FaultInjector>,
+}
+
+/// Drop guard around one drained batch: on a panic mid-processing the
+/// not-yet-completed remainder (including the record being processed) is
+/// pushed back onto the **front** of the shard queue in its original
+/// order, so nothing is lost, FIFO holds, and every waiting producer's
+/// slot is eventually completed by the respawned worker (or reclaimed by
+/// its producer at the sync deadline).
+struct BatchGuard<'a> {
+    pipeline: &'a PipelineShared,
+    shard: &'a ShardQueue,
+    pending: VecDeque<Queued>,
+}
+
+impl Drop for BatchGuard<'_> {
+    fn drop(&mut self) {
+        if self.pending.is_empty() {
+            return; // normal completion
+        }
+        let mut q = lock_recover(&self.shard.q);
+        while let Some(item) = self.pending.pop_back() {
+            q.push_front(item);
+        }
+        drop(q);
+        // Wake the respawned worker (and any deadline-waiting producers'
+        // eventual reclaim scans find the records back on the queue).
+        self.pipeline.signal_work();
+    }
 }
 
 impl PipelineShared {
-    pub(crate) fn new(cfg: PipelineConfig, telemetry: Telemetry) -> Self {
+    pub(crate) fn new(
+        cfg: PipelineConfig,
+        telemetry: Telemetry,
+        injector: Option<FaultInjector>,
+    ) -> Self {
         let metrics = PipelineMetrics::new(&telemetry);
         Self {
             shards: (0..cfg.shards.max(1)).map(|_| ShardQueue::new()).collect(),
@@ -202,8 +329,12 @@ impl PipelineShared {
             work_ready: Condvar::new(),
             degraded: AtomicU64::new(0),
             batches: AtomicU64::new(0),
+            worker_restarts: AtomicU64::new(0),
+            sync_fallbacks: AtomicU64::new(0),
+            abandoned: AtomicU64::new(0),
             metrics,
             telemetry,
+            injector,
         }
     }
 
@@ -218,7 +349,7 @@ impl PipelineShared {
     }
 
     fn signal_work(&self) {
-        let mut g = self.work_seq.lock().expect("work signal poisoned");
+        let mut g = lock_recover(&self.work_seq);
         *g = g.wrapping_add(1);
         drop(g);
         self.work_ready.notify_all();
@@ -229,6 +360,26 @@ impl PipelineShared {
         if self.telemetry.is_enabled() {
             self.metrics.enqueued.inc();
             self.metrics.depth.set(depth as i64);
+        }
+    }
+
+    /// Records that a worker was respawned after a panic. Called by the
+    /// session's worker wrapper, which owns the `catch_unwind`.
+    pub(crate) fn note_worker_restart(&self) {
+        self.worker_restarts.fetch_add(1, Ordering::Relaxed);
+        if self.telemetry.is_enabled() {
+            self.metrics.worker_restarts.inc();
+            self.telemetry.journal_event(0, 0, || JournalKind::Fault {
+                site: "pipeline.worker".to_string(),
+                detail: "worker respawned after panic".to_string(),
+            });
+        }
+    }
+
+    fn note_sync_fallback(&self) {
+        self.sync_fallbacks.fetch_add(1, Ordering::Relaxed);
+        if self.telemetry.is_enabled() {
+            self.metrics.sync_fallbacks.inc();
         }
     }
 
@@ -244,13 +395,29 @@ impl PipelineShared {
         let shard = &self.shards[self.shard_for(rec.key)];
         match self.cfg.backpressure {
             Backpressure::Sync => {
-                let mut q = shard.q.lock().expect("shard queue poisoned");
+                let mut q = lock_recover(&shard.q);
                 while q.len() >= self.cfg.capacity {
                     if self.shutdown.load(Ordering::Acquire) {
                         drop(q);
                         return engine.process_record(&rec);
                     }
-                    q = shard.not_full.wait(q).expect("shard queue poisoned");
+                    let (guard, timed_out) = shard
+                        .not_full
+                        .wait_timeout(q, self.cfg.sync_deadline)
+                        .unwrap_or_else(PoisonError::into_inner);
+                    q = guard;
+                    if timed_out.timed_out() && q.len() >= self.cfg.capacity {
+                        // The owning worker looks dead: drain the shard
+                        // ourselves (FIFO under the drain lock) so the
+                        // producer is never wedged on a full queue.
+                        drop(q);
+                        self.note_sync_fallback();
+                        {
+                            let _drain = lock_recover(&shard.drain);
+                            self.drain_shard(engine, shard, false);
+                        }
+                        q = lock_recover(&shard.q);
+                    }
                 }
                 let slot = if wait {
                     Some(Arc::new(VerdictSlot::default()))
@@ -260,23 +427,25 @@ impl PipelineShared {
                 q.push_back(Queued {
                     rec: rec.into_owned(),
                     slot: slot.clone(),
+                    attempts: 0,
                 });
                 let depth = q.len();
                 drop(q);
                 self.note_enqueued(shard, depth);
                 self.signal_work();
                 match slot {
-                    Some(slot) => slot.wait(),
+                    Some(slot) => self.await_verdict(engine, shard, &slot),
                     None => Verdict::Allow,
                 }
             }
             Backpressure::DegradeToInline => {
                 {
-                    let mut q = shard.q.lock().expect("shard queue poisoned");
+                    let mut q = lock_recover(&shard.q);
                     if q.len() < self.cfg.capacity {
                         q.push_back(Queued {
                             rec: rec.into_owned(),
                             slot: None,
+                            attempts: 0,
                         });
                         let depth = q.len();
                         drop(q);
@@ -300,21 +469,53 @@ impl PipelineShared {
                             queued: self.cfg.capacity as u64,
                         });
                 }
-                let _drain = shard.drain.lock().expect("drain lock poisoned");
-                self.drain_shard(engine, shard);
+                let _drain = lock_recover(&shard.drain);
+                self.drain_shard(engine, shard, false);
                 engine.process_record(&rec)
+            }
+        }
+    }
+
+    /// Blocks on `slot` with the configured deadline. Each expiry checks
+    /// whether the record is still sitting on the shard queue (its worker
+    /// died before picking it up, or a panic requeued it): if so, the
+    /// producer reclaims it and analyzes inline; if it is in a worker's
+    /// batch, the batch guard guarantees the slot completes or the record
+    /// returns to the queue, so waiting again always terminates.
+    fn await_verdict(
+        &self,
+        engine: &CryptoDrop,
+        shard: &ShardQueue,
+        slot: &Arc<VerdictSlot>,
+    ) -> Verdict {
+        loop {
+            if let Some(v) = slot.wait_timeout(self.cfg.sync_deadline) {
+                return v;
+            }
+            if let Some(item) = shard.take_by_slot(slot) {
+                let v = engine.process_record(&item.rec);
+                shard.processed.fetch_add(1, Ordering::Relaxed);
+                self.note_sync_fallback();
+                if self.telemetry.is_enabled() {
+                    self.metrics.processed.inc();
+                }
+                return v;
             }
         }
     }
 
     /// Empties one shard in max-batch chunks, processing every record and
     /// completing its slot. Caller must hold the shard's drain lock.
-    /// Returns the number of records processed.
-    fn drain_shard(&self, engine: &CryptoDrop, shard: &ShardQueue) -> usize {
+    /// `worker` marks worker-context drains (the only ones subject to
+    /// panic injection). Returns the number of records processed.
+    ///
+    /// Panic-safe: an unwind mid-batch (injected or real) requeues the
+    /// unfinished remainder at the shard front via [`BatchGuard`].
+    fn drain_shard(&self, engine: &CryptoDrop, shard: &ShardQueue, worker: bool) -> usize {
         let mut total = 0usize;
         loop {
-            let batch: Vec<Queued> = {
-                let mut q = shard.q.lock().expect("shard queue poisoned");
+            let batch: VecDeque<Queued> = {
+                let mut q = lock_recover(&shard.q);
                 let n = q.len().min(self.cfg.max_batch.max(1));
                 if n == 0 {
                     break;
@@ -323,21 +524,66 @@ impl PipelineShared {
             };
             shard.not_full.notify_all();
             let timer = self.telemetry.start_timer();
-            for item in &batch {
-                let v = engine.process_record(&item.rec);
-                if let Some(slot) = &item.slot {
-                    slot.put(v);
+            let batch_len = batch.len() as u64;
+            let mut guard = BatchGuard {
+                pipeline: self,
+                shard,
+                pending: batch,
+            };
+            while let Some(item) = guard.pending.front_mut() {
+                item.attempts += 1;
+                if item.attempts > MAX_PROCESS_ATTEMPTS {
+                    // This record has already taken a worker down with it
+                    // more than once: complete it un-analyzed rather than
+                    // crash-looping the pool.
+                    if let Some(item) = guard.pending.pop_front() {
+                        if let Some(slot) = &item.slot {
+                            slot.put(Verdict::Allow);
+                        }
+                        shard.processed.fetch_add(1, Ordering::Relaxed);
+                        self.abandoned.fetch_add(1, Ordering::Relaxed);
+                        if self.telemetry.is_enabled() {
+                            self.metrics.processed.inc();
+                            self.metrics.abandoned.inc();
+                            self.telemetry.journal_event(item.rec.at_nanos, item.rec.key.0, || {
+                                JournalKind::Fault {
+                                    site: "pipeline.worker".to_string(),
+                                    detail: "record abandoned after repeated panics".to_string(),
+                                }
+                            });
+                        }
+                        total += 1;
+                    }
+                    continue;
                 }
+                if worker {
+                    if let Some(injector) = &self.injector {
+                        if injector.worker_panic() {
+                            // The guard requeues `pending` (this record
+                            // included) and the session wrapper respawns
+                            // the worker.
+                            panic!("injected fault: pipeline worker panic");
+                        }
+                    }
+                }
+                let v = engine.process_record(&item.rec);
+                if let Some(done) = guard.pending.pop_front() {
+                    if let Some(slot) = &done.slot {
+                        slot.put(v);
+                    }
+                }
+                shard.processed.fetch_add(1, Ordering::Relaxed);
+                if self.telemetry.is_enabled() {
+                    self.metrics.processed.inc();
+                }
+                total += 1;
             }
-            let n = batch.len() as u64;
-            shard.processed.fetch_add(n, Ordering::Relaxed);
+            drop(guard); // empty: disarms without requeueing
             self.batches.fetch_add(1, Ordering::Relaxed);
             if self.telemetry.is_enabled() {
-                self.metrics.processed.add(n);
-                self.metrics.batch_size.record(n);
+                self.metrics.batch_size.record(batch_len);
                 self.metrics.drain_ns.record_elapsed(timer);
             }
-            total += n as usize;
         }
         total
     }
@@ -346,17 +592,22 @@ impl PipelineShared {
     /// on the work signal only when every owned shard is dry. Exits after
     /// shutdown once its shards are empty (drain-first shutdown: every
     /// queued record is processed, every waiting producer released).
+    ///
+    /// May panic (that is the point of worker-panic injection, and a
+    /// defensive posture toward real analysis bugs): callers wrap it in
+    /// `catch_unwind` and re-enter after
+    /// [`note_worker_restart`](Self::note_worker_restart).
     pub(crate) fn worker_loop(&self, engine: &CryptoDrop, worker_idx: usize, workers: usize) {
         let owns = |i: usize| i % workers.max(1) == worker_idx;
         loop {
-            let seen = *self.work_seq.lock().expect("work signal poisoned");
+            let seen = *lock_recover(&self.work_seq);
             let mut did = 0usize;
             for (i, shard) in self.shards.iter().enumerate() {
                 if !owns(i) {
                     continue;
                 }
-                let _drain = shard.drain.lock().expect("drain lock poisoned");
-                did += self.drain_shard(engine, shard);
+                let _drain = lock_recover(&shard.drain);
+                did += self.drain_shard(engine, shard, true);
             }
             if did > 0 {
                 continue;
@@ -367,13 +618,13 @@ impl PipelineShared {
                     .iter()
                     .enumerate()
                     .filter(|(i, _)| owns(*i))
-                    .all(|(_, s)| s.q.lock().expect("shard queue poisoned").is_empty());
+                    .all(|(_, s)| lock_recover(&s.q).is_empty());
                 if empty {
                     break;
                 }
                 continue;
             }
-            let g = self.work_seq.lock().expect("work signal poisoned");
+            let g = lock_recover(&self.work_seq);
             if *g == seen {
                 // Timeout is a missed-wakeup safety net only; producers
                 // bump the sequence before notifying, so a signal between
@@ -381,7 +632,7 @@ impl PipelineShared {
                 let _ = self
                     .work_ready
                     .wait_timeout(g, Duration::from_millis(5))
-                    .expect("work signal poisoned");
+                    .unwrap_or_else(PoisonError::into_inner);
             }
         }
     }
@@ -390,7 +641,7 @@ impl PipelineShared {
     pub(crate) fn quiesce(&self) {
         loop {
             let settled = self.shards.iter().all(|s| {
-                s.q.lock().expect("shard queue poisoned").is_empty()
+                lock_recover(&s.q).is_empty()
                     && s.enqueued.load(Ordering::Acquire) == s.processed.load(Ordering::Acquire)
             });
             if settled {
@@ -421,6 +672,203 @@ impl PipelineShared {
             processed,
             degraded: self.degraded.load(Ordering::Relaxed),
             batches: self.batches.load(Ordering::Relaxed),
+            worker_restarts: self.worker_restarts.load(Ordering::Relaxed),
+            sync_fallbacks: self.sync_fallbacks.load(Ordering::Relaxed),
+            abandoned: self.abandoned.load(Ordering::Relaxed),
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+
+    use std::borrow::Cow;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    use std::sync::Once;
+
+    use cryptodrop_vfs::{FaultPlan, FileId, ProcessId};
+
+    use super::*;
+    use crate::config::Config;
+    use crate::record::RecordBody;
+
+    /// Injected worker panics are expected here: silence the default
+    /// panic-hook stderr spam for threads this module kills on purpose,
+    /// delegating everything else to the previous hook.
+    fn quiet_expected_panics() {
+        static ONCE: Once = Once::new();
+        ONCE.call_once(|| {
+            let prev = std::panic::take_hook();
+            std::panic::set_hook(Box::new(move |info| {
+                let expected = std::thread::current()
+                    .name()
+                    .is_some_and(|n| n.starts_with("cryptodrop-pipeline"));
+                if !expected {
+                    prev(info);
+                }
+            }));
+        });
+    }
+
+    fn test_record(pid: u32, at_nanos: u64) -> OpRecord<'static> {
+        OpRecord {
+            key: ProcessId(pid),
+            issuer: ProcessId(pid),
+            process_name: Cow::Owned("chaos.exe".to_string()),
+            at_nanos,
+            body: RecordBody::Truncate { file: FileId(1) },
+        }
+    }
+
+    fn small_config() -> PipelineConfig {
+        PipelineConfig {
+            shards: 1,
+            capacity: 8,
+            workers: 1,
+            max_batch: 4,
+            sync_deadline: Duration::from_millis(10),
+            backpressure: Backpressure::Sync,
+        }
+    }
+
+    fn test_engine() -> CryptoDrop {
+        let (engine, _monitor) =
+            CryptoDrop::with_telemetry_inner(Config::protecting("/docs"), Telemetry::disabled());
+        engine
+    }
+
+    /// Regression (satellite 1): a `Sync` producer used to block forever
+    /// on `ready.wait` when the worker that owned its record died. The
+    /// deadline fallback must reclaim the record and return.
+    #[test]
+    fn sync_producer_survives_worker_death_mid_batch() {
+        quiet_expected_panics();
+        let engine = test_engine();
+        // The worker panics on the very first record it picks up — and
+        // there is no respawn wrapper here, so the worker stays dead.
+        let plan = FaultPlan::seeded(7).worker_panic_at(0);
+        let shared = Arc::new(PipelineShared::new(
+            small_config(),
+            Telemetry::disabled(),
+            Some(FaultInjector::new(plan)),
+        ));
+        let worker_engine = engine.detached_fork();
+        let pipe = Arc::clone(&shared);
+        let worker = std::thread::Builder::new()
+            .name("cryptodrop-pipeline-test".to_string())
+            .spawn(move || {
+                let _ = catch_unwind(AssertUnwindSafe(|| pipe.worker_loop(&worker_engine, 0, 1)));
+            })
+            .unwrap();
+
+        // Must return despite the dead worker (used to hang forever).
+        let v = shared.submit(&engine, test_record(3, 1), true);
+        assert_eq!(v, Verdict::Allow);
+        let stats = shared.stats();
+        assert!(
+            stats.sync_fallbacks >= 1,
+            "producer must have reclaimed its record: {stats:?}"
+        );
+        assert_eq!(stats.enqueued, stats.processed);
+
+        shared.begin_shutdown();
+        worker.join().unwrap();
+    }
+
+    /// The batch guard requeues an interrupted batch at the shard front:
+    /// nothing is lost and FIFO order holds for the records behind it.
+    #[test]
+    fn panicking_drain_requeues_pending_records_in_order() {
+        quiet_expected_panics();
+        let engine = test_engine();
+        let plan = FaultPlan::seeded(1).worker_panic_at(0);
+        let shared = PipelineShared::new(
+            small_config(),
+            Telemetry::disabled(),
+            Some(FaultInjector::new(plan)),
+        );
+        for i in 0..3 {
+            // wait=false so submission does not block on a slot.
+            assert_eq!(shared.submit(&engine, test_record(5, i), false), Verdict::Allow);
+        }
+        let shard = &shared.shards[0];
+        {
+            let _drain = lock_recover(&shard.drain);
+            let result = catch_unwind(AssertUnwindSafe(|| {
+                // Worker context: injection fires on the first record.
+                shared.drain_shard(&engine, shard, true)
+            }));
+            assert!(result.is_err(), "injected panic must unwind");
+        }
+        let q = lock_recover(&shard.q);
+        assert_eq!(q.len(), 3, "entire batch requeued, nothing lost");
+        let at: Vec<u64> = q.iter().map(|i| i.rec.at_nanos).collect();
+        assert_eq!(at, [0, 1, 2], "FIFO order preserved across the requeue");
+        assert_eq!(q[0].attempts, 1, "interrupted record keeps its attempt count");
+        drop(q);
+        // A second (non-worker) drain is not subject to injection and
+        // completes the whole batch.
+        let _drain = lock_recover(&shard.drain);
+        assert_eq!(shared.drain_shard(&engine, shard, false), 3);
+        assert_eq!(shared.stats().processed, 3);
+    }
+
+    /// A record that panics its worker on every attempt is completed with
+    /// `Allow` after `MAX_PROCESS_ATTEMPTS`, not retried forever.
+    #[test]
+    fn poison_pill_record_is_abandoned_after_retries() {
+        quiet_expected_panics();
+        let engine = test_engine();
+        // Panic on every worker decision: the record can never process.
+        let plan = FaultPlan::seeded(2).worker_panic_probability(1.0);
+        let shared = PipelineShared::new(
+            small_config(),
+            Telemetry::disabled(),
+            Some(FaultInjector::new(plan)),
+        );
+        assert_eq!(shared.submit(&engine, test_record(9, 0), false), Verdict::Allow);
+        let shard = &shared.shards[0];
+        let mut panics = 0;
+        // MAX_PROCESS_ATTEMPTS panicking drains, then one that abandons.
+        for _ in 0..=MAX_PROCESS_ATTEMPTS {
+            let _drain = lock_recover(&shard.drain);
+            if catch_unwind(AssertUnwindSafe(|| shared.drain_shard(&engine, shard, true))).is_err()
+            {
+                panics += 1;
+            }
+        }
+        assert_eq!(panics, MAX_PROCESS_ATTEMPTS);
+        let stats = shared.stats();
+        assert_eq!(stats.abandoned, 1, "poison pill completed un-analyzed");
+        assert_eq!(stats.processed, 1);
+        assert!(lock_recover(&shard.q).is_empty());
+    }
+
+    /// Poisoned pipeline locks must not cascade into producers.
+    #[test]
+    fn poisoned_shard_lock_recovers() {
+        quiet_expected_panics();
+        let shared = Arc::new(PipelineShared::new(
+            small_config(),
+            Telemetry::disabled(),
+            None,
+        ));
+        let poisoner = Arc::clone(&shared);
+        std::thread::Builder::new()
+            .name("cryptodrop-pipeline-poison".to_string())
+            .spawn(move || {
+                let _g = poisoner.shards[0].q.lock().unwrap();
+                panic!("poison the shard lock");
+            })
+            .unwrap()
+            .join()
+            .unwrap_err();
+        assert!(shared.shards[0].q.is_poisoned());
+        // Submission still works end to end through the recovered guard.
+        let engine = test_engine();
+        let v = shared.submit(&engine, test_record(4, 0), false);
+        assert_eq!(v, Verdict::Allow);
+        assert_eq!(shared.stats().enqueued, 1);
     }
 }

@@ -35,7 +35,7 @@ use std::thread::JoinHandle;
 
 use cryptodrop_recovery::{RecoveryReport, ShadowConfig, ShadowStore};
 use cryptodrop_telemetry::Telemetry;
-use cryptodrop_vfs::{ProcessId, VPath, Vfs};
+use cryptodrop_vfs::{FaultInjector, FaultPlan, FaultStats, ProcessId, VPath, Vfs};
 
 use crate::config::{Config, ScoreConfig};
 use crate::engine::{CryptoDrop, Monitor};
@@ -161,6 +161,11 @@ fn validate_pipeline(cfg: &PipelineConfig) -> Result<(), ConfigError> {
     if cfg.max_batch == 0 {
         return Err(ConfigError::ZeroPipelineParam("max_batch"));
     }
+    if cfg.sync_deadline.is_zero() {
+        // A zero deadline would spin producers through the reclaim path on
+        // every wait instead of ever letting a worker answer.
+        return Err(ConfigError::ZeroPipelineParam("sync_deadline"));
+    }
     Ok(())
 }
 
@@ -174,6 +179,7 @@ pub struct SessionBuilder {
     telemetry: Option<Telemetry>,
     pipeline: Option<PipelineConfig>,
     recovery: Option<ShadowConfig>,
+    faults: Option<FaultPlan>,
 }
 
 impl SessionBuilder {
@@ -237,6 +243,18 @@ impl SessionBuilder {
         self
     }
 
+    /// Arms deterministic fault injection (chaos testing): the session
+    /// builds a [`FaultInjector`] from `plan`, hands it to the pipeline
+    /// (worker-panic and latency sites) and — via [`Session::attach`] — to
+    /// every attached [`Vfs`] (I/O-error and shadow-capture sites). The
+    /// same seed always produces the same fault schedule. A
+    /// [`FaultPlan::default`] plan is inert, so wiring this in
+    /// unconditionally with an inactive plan costs nothing.
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
+        self
+    }
+
     /// Validates the configuration and starts the session (spawning the
     /// pipeline worker pool when pipelined).
     pub fn build(self) -> Result<Session, ConfigError> {
@@ -266,6 +284,9 @@ impl SessionBuilder {
         }
 
         let telemetry = self.telemetry.unwrap_or_else(Telemetry::disabled);
+        let faults = self
+            .faults
+            .map(|plan| FaultInjector::with_telemetry(plan, telemetry.clone()));
         let (mut engine, monitor) = CryptoDrop::with_telemetry_inner(config, telemetry.clone());
         // Attach the shadow store before any fork is taken: pipeline
         // workers must carry the reputation feed from their first record.
@@ -277,7 +298,7 @@ impl SessionBuilder {
         let mut workers = Vec::new();
         let pipeline = match self.pipeline {
             Some(pcfg) => {
-                let shared = Arc::new(PipelineShared::new(pcfg, telemetry));
+                let shared = Arc::new(PipelineShared::new(pcfg, telemetry, faults.clone()));
                 for idx in 0..pcfg.workers {
                     let pipe = Arc::clone(&shared);
                     // Workers hold a detached fork: processing a record
@@ -285,7 +306,24 @@ impl SessionBuilder {
                     let worker_engine = engine.detached_fork();
                     let handle = std::thread::Builder::new()
                         .name(format!("cryptodrop-pipeline-{idx}"))
-                        .spawn(move || pipe.worker_loop(&worker_engine, idx, pcfg.workers))
+                        .spawn(move || {
+                            // A panic (an analysis bug, or injected fault)
+                            // unwinds the loop; the batch guard has already
+                            // requeued the interrupted batch, so re-enter in
+                            // place — same thread, same shards — and count
+                            // the restart. A clean exit means shutdown.
+                            loop {
+                                let run = std::panic::catch_unwind(
+                                    std::panic::AssertUnwindSafe(|| {
+                                        pipe.worker_loop(&worker_engine, idx, pcfg.workers)
+                                    }),
+                                );
+                                match run {
+                                    Ok(()) => break,
+                                    Err(_) => pipe.note_worker_restart(),
+                                }
+                            }
+                        })
                         .expect("spawn pipeline worker");
                     workers.push(handle);
                 }
@@ -299,6 +337,7 @@ impl SessionBuilder {
             monitor,
             pipeline,
             shadow,
+            faults,
             workers,
         })
     }
@@ -328,6 +367,7 @@ pub struct Session {
     monitor: Monitor,
     pipeline: Option<Arc<PipelineShared>>,
     shadow: Option<Arc<ShadowStore>>,
+    faults: Option<FaultInjector>,
     workers: Vec<JoinHandle<()>>,
 }
 
@@ -381,6 +421,18 @@ impl Session {
         self.shadow.as_ref()
     }
 
+    /// The session's fault injector, when built with
+    /// [`faults`](SessionBuilder::faults).
+    pub fn fault_injector(&self) -> Option<&FaultInjector> {
+        self.faults.as_ref()
+    }
+
+    /// How many faults each injection site has fired so far (all zero when
+    /// the session was built without [`faults`](SessionBuilder::faults)).
+    pub fn fault_stats(&self) -> FaultStats {
+        self.faults.as_ref().map(|f| f.stats()).unwrap_or_default()
+    }
+
     /// Wires `fs` into this session in one call: registers a filter fork
     /// and — when recovery is enabled — installs the shadow store as the
     /// filesystem's pre-image sink. Equivalent to calling
@@ -390,6 +442,11 @@ impl Session {
     pub fn attach(&self, fs: &mut Vfs) {
         if let Some(shadow) = &self.shadow {
             fs.set_shadow_sink(Arc::clone(shadow) as _);
+        }
+        if let Some(faults) = &self.faults {
+            // One shared decision stream: every attached filesystem draws
+            // from the same deterministic fault schedule as the pipeline.
+            fs.set_fault_injector(faults.clone());
         }
         fs.register_filter(Box::new(self.fork()));
     }
@@ -585,6 +642,13 @@ mod tests {
                     ..PipelineConfig::default()
                 },
             ),
+            (
+                "sync_deadline",
+                PipelineConfig {
+                    sync_deadline: std::time::Duration::ZERO,
+                    ..PipelineConfig::default()
+                },
+            ),
         ] {
             assert_eq!(
                 CryptoDrop::builder()
@@ -627,12 +691,34 @@ mod tests {
             .to_string(),
             ConfigError::ZeroMaxDigestBytes.to_string(),
             ConfigError::ZeroPipelineParam("workers").to_string(),
+            ConfigError::ZeroPipelineParam("sync_deadline").to_string(),
         ];
         for m in &msgs {
             assert!(!m.is_empty());
         }
         assert!(msgs[1].contains("union_threshold"));
         assert!(msgs[5].contains("workers"));
+        assert!(msgs[6].contains("sync_deadline"));
+    }
+
+    #[test]
+    fn inert_fault_plan_changes_nothing() {
+        let session = CryptoDrop::builder()
+            .protecting("/docs")
+            .pipelined()
+            .faults(FaultPlan::default())
+            .build()
+            .unwrap();
+        assert!(session.fault_injector().is_some());
+        assert!(!session.fault_injector().unwrap().plan().is_active());
+        let mut fs = Vfs::new();
+        session.attach(&mut fs);
+        let pid = fs.spawn_process("app.exe");
+        fs.create_dir_all(pid, &VPath::new("/docs")).unwrap();
+        fs.write_file(pid, &VPath::new("/docs/a.txt"), b"hello")
+            .unwrap();
+        session.drain();
+        assert_eq!(session.fault_stats(), FaultStats::default());
     }
 
     #[test]

@@ -52,6 +52,7 @@ struct Replay {
     detections: Vec<cryptodrop::DetectionReport>,
     summaries: Vec<ProcessSummary>,
     /// Per-pid `(score, files_lost, suspended-in-vfs, stripped hits)`.
+    #[allow(clippy::type_complexity)]
     state: Vec<(u32, u32, bool, Vec<(cryptodrop::Indicator, u32, String)>)>,
     cache: (u64, u64),
 }
@@ -218,6 +219,7 @@ fn sync_pipeline_is_byte_identical_to_inline() {
                 workers: 2,
                 max_batch: 2,
                 backpressure: Backpressure::Sync,
+                ..PipelineConfig::default()
             },
         ] {
             let piped = run_stream(&sync_session(pcfg), seed);
@@ -276,6 +278,7 @@ fn degraded_pipeline_drops_nothing_and_counts_degradations() {
             workers: 1,
             max_batch: 4,
             backpressure: Backpressure::DegradeToInline,
+            ..PipelineConfig::default()
         })
         .build()
         .unwrap();

@@ -1,5 +1,10 @@
 //! The copy-on-write shadow store.
 
+// The store sits on the capture hot path of every destructive operation:
+// a panic here poisons nothing (parking_lot) but still kills the
+// operation that triggered it, so unwrap/expect are banned outright.
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+
 use std::collections::{BTreeMap, HashMap, HashSet};
 use std::sync::Arc;
 
@@ -80,6 +85,11 @@ pub struct ShadowStats {
     /// Recovery actions that could not be applied (evicted shadow,
     /// occupied path).
     pub restore_conflicts: u64,
+    /// Pre-image captures that failed (reported through
+    /// [`ShadowSink::capture_failed`]). Each poisons that file's restore
+    /// for the responsible family into an explicit conflict, exactly like
+    /// an eviction.
+    pub capture_failures: u64,
 }
 
 /// One journaled pre-image (content lives in a shared blob).
@@ -260,6 +270,16 @@ impl ShadowStore {
 
     /// Evicts oldest-unpinned entries until both budgets are honoured (or
     /// only pinned entries remain). Call with the lock held.
+    ///
+    /// Under *byte* pressure the victim is the oldest unpinned entry that
+    /// would actually release bytes — one holding the last reference to
+    /// its dedup'd blob. Evicting a shared-blob entry frees nothing, so
+    /// naively walking oldest-first lets one over-budget capture storm
+    /// through an unbounded run of zero-release evictions before reaching
+    /// an entry that helps; those shared entries are skipped (kept) when
+    /// a later unpinned entry can free real bytes. When no unpinned entry
+    /// releases anything — or the overage is entry-count only — the
+    /// oldest unpinned entry is evicted as before.
     fn enforce_budget(&self, inner: &mut Inner) {
         loop {
             let over_bytes = inner.bytes_held > self.cfg.byte_budget;
@@ -268,20 +288,42 @@ impl ShadowStore {
             if !over_bytes && !over_entries {
                 return;
             }
-            // Oldest entry whose family is unpinned.
-            let victim = inner
-                .entries
-                .values()
-                .find(|e| !inner.pinned(e.family))
-                .map(|e| e.seq);
-            let Some(seq) = victim else {
+            let mut oldest_unpinned = None;
+            let mut releasing = None;
+            for e in inner.entries.values() {
+                if inner.pinned(e.family) {
+                    continue;
+                }
+                if oldest_unpinned.is_none() {
+                    oldest_unpinned = Some(e.seq);
+                    if !over_bytes {
+                        // Entry-count pressure only: any eviction helps,
+                        // take the oldest.
+                        break;
+                    }
+                }
+                if over_bytes
+                    && inner
+                        .blobs
+                        .get(&(e.fp, e.len))
+                        .is_some_and(|b| b.refs == 1)
+                {
+                    releasing = Some(e.seq);
+                    break;
+                }
+            }
+            let Some(seq) = releasing.or(oldest_unpinned) else {
                 inner.stats.pin_overflows += 1;
                 if self.telemetry.is_enabled() {
                     self.telemetry.counter("recovery.shadow.pin_overflow").inc();
                 }
                 return;
             };
-            let (entry, released) = inner.remove_entry(seq).expect("victim exists");
+            let Some((entry, released)) = inner.remove_entry(seq) else {
+                // Unreachable (the seq came from the live entry map), but
+                // eviction must never panic the capture path.
+                return;
+            };
             inner.evicted.insert((entry.file, entry.family));
             inner.stats.evictions += 1;
             if self.telemetry.is_enabled() {
@@ -371,6 +413,33 @@ impl ShadowSink for ShadowStore {
                 .set(inner.entries.len() as i64);
         }
         self.enforce_budget(&mut inner);
+    }
+
+    fn capture_failed(
+        &self,
+        _pid: ProcessId,
+        family_root: ProcessId,
+        file: FileId,
+        path: &VPath,
+    ) {
+        // A lost pre-image leaves this file's journal (for this family)
+        // incomplete: restoring from the surviving entries could write
+        // back the wrong bytes. Poison the pair exactly like an eviction
+        // — recovery will surface an explicit `ShadowEvicted` conflict
+        // for the file instead of guessing.
+        let mut inner = self.inner.lock();
+        inner.evicted.insert((file, family_root));
+        inner.stats.capture_failures += 1;
+        if self.telemetry.is_enabled() {
+            self.telemetry
+                .counter("recovery.shadow.capture_failures")
+                .inc();
+            self.telemetry.journal_event(0, family_root.0, || JournalKind::Recovery {
+                action: "capture-failed".to_string(),
+                path: path.as_str().to_string(),
+                bytes: 0,
+            });
+        }
     }
 
     fn note_created(&self, _pid: ProcessId, family_root: ProcessId, file: FileId, _path: &VPath) {
@@ -560,7 +629,7 @@ mod tests {
     }
 
     #[test]
-    fn eviction_of_shared_blob_releases_no_bytes() {
+    fn shared_blob_eviction_prefers_a_releasing_victim() {
         let store = ShadowStore::new(ShadowConfig {
             byte_budget: 6,
             max_entries: 0,
@@ -571,13 +640,86 @@ mod tests {
         store.capture(&img(1, MutationKind::Write, &p1, 1, b"dup")); // 3
         store.capture(&img(2, MutationKind::Write, &p2, 2, b"dup")); // dedup: still 3
         store.capture(&img(3, MutationKind::Write, &p3, 3, b"unique")); // 9 > 6
-        // Evicting entry 1 frees nothing (blob shared with entry 2), so
-        // eviction continues to entry 2, which frees the dup blob.
+        // Entries 1 and 2 share one blob, so evicting either frees
+        // nothing. The victim loop skips them in favour of the one entry
+        // whose removal actually releases bytes: one eviction, not a
+        // cascade through the whole shared run.
         let stats = store.stats();
-        assert_eq!(stats.bytes_held, 6);
-        assert_eq!(stats.evictions, 2);
+        assert_eq!(stats.bytes_held, 3);
+        assert_eq!(stats.evictions, 1);
         let inner = store.inner.lock();
+        assert!(inner.by_file.contains_key(&FileId(1)));
+        assert!(inner.by_file.contains_key(&FileId(2)));
+        assert!(!inner.by_file.contains_key(&FileId(3)));
+        assert_eq!(inner.entries.len(), 2);
+    }
+
+    #[test]
+    fn shared_blob_overage_does_not_storm_evict() {
+        // Regression: one over-budget capture used to evict an unbounded
+        // run of shared-blob entries (each releasing 0 bytes) before
+        // reaching an entry that freed anything.
+        let store = ShadowStore::new(ShadowConfig {
+            byte_budget: 10,
+            max_entries: 0,
+        });
+        let shared = b"aaa"; // 3 bytes, shared across 4 files
+        for file in 1..=4u64 {
+            let p = VPath::new(format!("/shared/{file}"));
+            store.capture(&img(1, MutationKind::Write, &p, file, shared));
+        }
+        let p5 = VPath::new("/unique/5");
+        store.capture(&img(2, MutationKind::Write, &p5, 5, b"bbbbbb")); // 9 total
+        let p6 = VPath::new("/unique/6");
+        store.capture(&img(3, MutationKind::Write, &p6, 6, b"cccccc")); // 15 > 10
+        let stats = store.stats();
+        assert_eq!(
+            stats.evictions, 1,
+            "exactly one releasing victim, no zero-release cascade"
+        );
+        assert_eq!(stats.bytes_held, 9);
+        let inner = store.inner.lock();
+        for file in 1..=4u64 {
+            assert!(
+                inner.by_file.contains_key(&FileId(file)),
+                "shared entries survive"
+            );
+        }
+        assert!(!inner.by_file.contains_key(&FileId(5)), "oldest releasing entry evicted");
+        assert!(inner.by_file.contains_key(&FileId(6)));
+    }
+
+    #[test]
+    fn entry_overage_still_evicts_oldest_unpinned() {
+        // Entry-count pressure has no byte dimension: the victim stays
+        // the oldest unpinned entry even when its blob is shared.
+        let store = ShadowStore::new(ShadowConfig {
+            byte_budget: u64::MAX,
+            max_entries: 2,
+        });
+        let p1 = VPath::new("/1");
+        let p2 = VPath::new("/2");
+        let p3 = VPath::new("/3");
+        store.capture(&img(1, MutationKind::Write, &p1, 1, b"dup"));
+        store.capture(&img(2, MutationKind::Write, &p2, 2, b"dup"));
+        store.capture(&img(3, MutationKind::Write, &p3, 3, b"unique"));
+        let inner = store.inner.lock();
+        assert!(!inner.by_file.contains_key(&FileId(1)), "oldest evicted");
+        assert!(inner.by_file.contains_key(&FileId(2)));
         assert!(inner.by_file.contains_key(&FileId(3)));
-        assert_eq!(inner.entries.len(), 1);
+    }
+
+    #[test]
+    fn capture_failed_counts_and_poisons_the_file() {
+        let store = ShadowStore::new(ShadowConfig::default());
+        let p = VPath::new("/doc");
+        store.capture_failed(ProcessId(2), ProcessId(1), FileId(7), &p);
+        assert_eq!(store.stats().capture_failures, 1);
+        let inner = store.inner.lock();
+        assert!(inner.was_evicted(FileId(7), ProcessId(1)));
+        assert!(
+            !inner.was_evicted(FileId(7), ProcessId(2)),
+            "poisoned for the family root, not the child pid"
+        );
     }
 }

@@ -97,6 +97,15 @@ pub enum JournalKind {
         /// Bytes written back (restores) or removed.
         bytes: u64,
     },
+    /// A fault-injection subsystem decision fired, or a hardened layer
+    /// absorbed a failure (worker respawn, capture degradation).
+    Fault {
+        /// The injection or recovery site (`vfs.io`, `shadow.capture`,
+        /// `pipeline.worker`, `clock.latency`).
+        site: String,
+        /// What happened at the site.
+        detail: String,
+    },
     /// A free-form marker (experiment phases, harness annotations).
     Note {
         /// Marker name.
@@ -129,9 +138,19 @@ pub struct Journal {
 }
 
 impl Journal {
-    /// A journal retaining at most `capacity` events (rounded up to a
-    /// multiple of the shard count; 0 keeps nothing but still counts
-    /// drops).
+    /// A journal retaining at least `capacity` events.
+    ///
+    /// Capacity is distributed across the journal's 8 internal shard
+    /// rings, **rounding up**: each shard holds
+    /// `ceil(capacity / 8)` events, so the journal as a whole retains
+    /// between `capacity` and `capacity + 7` events — never fewer than
+    /// asked for. (`with_capacity(12)` keeps up to 16 events, so the 12
+    /// most recent are always retained.) A capacity of 0 keeps nothing
+    /// but still counts drops.
+    ///
+    /// Because events shard by sequence number round-robin, the retained
+    /// set under overflow is the newest tail of every shard — a uniform
+    /// sample of the most recent events, not an exact global suffix.
     pub fn with_capacity(capacity: usize) -> Self {
         Self {
             shards: std::array::from_fn(|_| Mutex::new(VecDeque::new())),
@@ -265,6 +284,42 @@ mod tests {
         assert_eq!(jsonl.lines().count(), 3);
         assert!(jsonl.lines().all(|l| l.starts_with('{') && l.ends_with('}')));
         assert!(jsonl.contains("\"Note\""));
+    }
+
+    #[test]
+    fn indivisible_capacity_rounds_up_not_down() {
+        // 12 does not divide by the 8 shards: per-shard capacity must
+        // round up to 2 (16 total), not down to 1 (8 total) — the journal
+        // holds at least as many events as asked for.
+        let j = Journal::with_capacity(12);
+        for i in 0..12 {
+            j.push(i, 1, note("x"));
+        }
+        assert_eq!(j.len(), 12, "with_capacity(12) must hold 12 events");
+        assert_eq!(j.dropped(), 0);
+        // A capacity below the shard count still retains that many.
+        let j = Journal::with_capacity(3);
+        for i in 0..3 {
+            j.push(i, 1, note("y"));
+        }
+        assert_eq!(j.len(), 3);
+        assert_eq!(j.dropped(), 0);
+    }
+
+    #[test]
+    fn fault_kind_round_trips_through_jsonl() {
+        let j = Journal::with_capacity(8);
+        j.push(
+            1,
+            4,
+            JournalKind::Fault {
+                site: "pipeline.worker".to_string(),
+                detail: "respawned after panic".to_string(),
+            },
+        );
+        let jsonl = j.to_jsonl();
+        assert!(jsonl.contains("\"Fault\""));
+        assert!(jsonl.contains("pipeline.worker"));
     }
 
     #[test]

@@ -41,6 +41,11 @@ pub enum VfsError {
     NotWritable,
     /// A path component was invalid (e.g. renaming the root).
     InvalidPath(VPath),
+    /// A transient I/O error aborted the operation before it reached the
+    /// filter chain (only produced by the deterministic
+    /// [fault-injection](crate::faults) subsystem; retrying the operation
+    /// is always legal).
+    Io(VPath),
 }
 
 impl fmt::Display for VfsError {
@@ -62,6 +67,7 @@ impl fmt::Display for VfsError {
             VfsError::InvalidHandle => write!(f, "invalid or closed file handle"),
             VfsError::NotWritable => write!(f, "handle was not opened for writing"),
             VfsError::InvalidPath(p) => write!(f, "invalid path for this operation: {p}"),
+            VfsError::Io(p) => write!(f, "transient i/o error (injected fault): {p}"),
         }
     }
 }
@@ -93,6 +99,7 @@ mod tests {
             VfsError::InvalidHandle,
             VfsError::NotWritable,
             VfsError::InvalidPath(VPath::root()),
+            VfsError::Io(VPath::new("/x")),
         ];
         for e in cases {
             let msg = e.to_string();

@@ -16,6 +16,7 @@ use cryptodrop_telemetry::{JournalKind, Telemetry};
 use crate::clock::{LatencyLedger, OpKind, SimClock};
 use crate::error::{VfsError, VfsResult};
 use crate::events::{Event, EventDetail, EventLog};
+use crate::faults::FaultInjector;
 use crate::filter::{FilterDriver, FsView, Verdict};
 use crate::node::{DirEntry, EntryKind, FileId, FileNode, Metadata};
 use crate::ops::{FsOp, OpContext, OpOutcome, OpenOptions};
@@ -54,6 +55,7 @@ pub struct Vfs {
     log: EventLog,
     telemetry: Telemetry,
     shadow: Option<Arc<dyn ShadowSink>>,
+    faults: Option<FaultInjector>,
 }
 
 impl Default for Vfs {
@@ -93,6 +95,7 @@ impl Vfs {
             log: EventLog::new(),
             telemetry: Telemetry::disabled(),
             shadow: None,
+            faults: None,
         }
     }
 
@@ -201,6 +204,25 @@ impl Vfs {
         self.shadow.take()
     }
 
+    /// Installs a deterministic fault injector (see the
+    /// [`faults`](crate::faults) module): every filtered operation then
+    /// passes a fault point that may abort it with [`VfsError::Io`] or
+    /// spike the simulated clock, and shadow captures may be failed.
+    /// Administrative operations are never faulted.
+    pub fn set_fault_injector(&mut self, injector: FaultInjector) {
+        self.faults = Some(injector);
+    }
+
+    /// Removes the fault injector, returning it if one was installed.
+    pub fn take_fault_injector(&mut self) -> Option<FaultInjector> {
+        self.faults.take()
+    }
+
+    /// The installed fault injector, if any.
+    pub fn fault_injector(&self) -> Option<&FaultInjector> {
+        self.faults.as_ref()
+    }
+
     /// The simulated clock.
     pub fn clock(&self) -> SimClock {
         self.clock
@@ -279,6 +301,7 @@ impl Vfs {
             return Err(VfsError::ReadOnly(path.clone()));
         }
 
+        self.fault_point(pid, path)?;
         let op = FsOp::Open { path, options };
         let mut overhead = 0u64;
         let pre = self.run_pre(pid, &op, &mut overhead);
@@ -372,6 +395,7 @@ impl Vfs {
         let (file_id, cursor) = self.handle_info(pid, handle)?;
         let path = self.path_of(file_id)?;
 
+        self.fault_point(pid, &path)?;
         let op = FsOp::Read {
             path: &path,
             offset: cursor,
@@ -434,6 +458,7 @@ impl Vfs {
         }
         let path = self.path_of(file_id)?;
 
+        self.fault_point(pid, &path)?;
         let op = FsOp::Write {
             path: &path,
             offset: cursor,
@@ -493,6 +518,7 @@ impl Vfs {
         }
         let path = self.path_of(file_id)?;
 
+        self.fault_point(pid, &path)?;
         let op = FsOp::Truncate { path: &path, len };
         let mut overhead = 0u64;
         let pre = self.run_pre(pid, &op, &mut overhead);
@@ -594,6 +620,7 @@ impl Vfs {
             return Err(VfsError::ReadOnly(path.clone()));
         }
 
+        self.fault_point(pid, path)?;
         let op = FsOp::Delete { path };
         let mut overhead = 0u64;
         let pre = self.run_pre(pid, &op, &mut overhead);
@@ -667,6 +694,7 @@ impl Vfs {
             return Err(VfsError::NotFound(to_parent));
         }
 
+        self.fault_point(pid, from)?;
         let op = FsOp::Rename {
             from,
             to,
@@ -733,6 +761,7 @@ impl Vfs {
             };
         }
 
+        self.fault_point(pid, path)?;
         let op = FsOp::ReadDir { path };
         let mut overhead = 0u64;
         let pre = self.run_pre(pid, &op, &mut overhead);
@@ -802,6 +831,7 @@ impl Vfs {
             Some(EntryKind::File) => {}
         }
 
+        self.fault_point(pid, path)?;
         let op = FsOp::SetAttr { path, read_only };
         let mut overhead = 0u64;
         let pre = self.run_pre(pid, &op, &mut overhead);
@@ -1246,15 +1276,46 @@ impl Vfs {
         }
     }
 
+    /// One fault-injection decision for a filtered operation: may spike
+    /// the simulated clock and may abort the operation with an injected
+    /// [`VfsError::Io`]. Call sites sit after the process check and the
+    /// operation's structural validation, *before* `run_pre` — an injected
+    /// error models a transient device failure below the filter stack, so
+    /// filters never observe the aborted operation.
+    fn fault_point(&mut self, pid: ProcessId, path: &VPath) -> VfsResult<()> {
+        let Some(injector) = self.faults.clone() else {
+            return Ok(());
+        };
+        if let Some(spike) = injector.latency_spike(self.clock.now_nanos(), pid) {
+            self.clock.advance(spike);
+        }
+        match injector.io_error(self.clock.now_nanos(), pid, path) {
+            Some(err) => Err(err),
+            None => Ok(()),
+        }
+    }
+
     /// Hands the shadow sink the named file's current bytes. Call sites
     /// sit between a successful `run_pre` and the mutation itself, so the
     /// sink sees exactly the pre-images of mutations that really happen.
+    ///
+    /// A capture the fault injector fails is reported to the sink through
+    /// [`ShadowSink::capture_failed`] instead — the mutation still
+    /// proceeds, and the sink degrades that one file's recovery rather
+    /// than blocking the filesystem.
     fn shadow_capture(&self, pid: ProcessId, kind: MutationKind, path: &VPath) {
         let Some(sink) = &self.shadow else { return };
         let Some(node) = self.files.get(path) else { return };
+        let family_root = self.processes.root_of(pid);
+        if let Some(injector) = &self.faults {
+            if injector.capture_failure(self.clock.now_nanos(), pid, path) {
+                sink.capture_failed(pid, family_root, node.id, path);
+                return;
+            }
+        }
         sink.capture(&PreImage {
             pid,
-            family_root: self.processes.root_of(pid),
+            family_root,
             at_nanos: self.clock.now_nanos(),
             kind,
             path,

@@ -49,6 +49,7 @@
 mod clock;
 mod error;
 mod events;
+pub mod faults;
 mod filter;
 mod fs;
 mod node;
@@ -59,6 +60,7 @@ pub mod shadow;
 
 pub use clock::{LatencyLedger, LatencyStat, OpKind, SimClock};
 pub use error::{VfsError, VfsResult};
+pub use faults::{FaultInjector, FaultPlan, FaultStats};
 pub use events::{Event, EventDetail, EventLog};
 pub use filter::{FilterDriver, FsView, Verdict};
 pub use fs::{AdminView, Handle, Vfs};

@@ -87,6 +87,23 @@ pub trait ShadowSink: Send + Sync {
         let _ = (pid, family_root, file, path);
     }
 
+    /// A destructive operation's pre-image could **not** be captured (the
+    /// VFS's fault-injection subsystem failed the capture, or a future
+    /// real sink hit an I/O error). The operation still proceeds — losing
+    /// a pre-image must degrade recovery, never block the filesystem —
+    /// but the sink is told which file's history is now incomplete so it
+    /// can poison that file's restore into an explicit conflict instead
+    /// of silently restoring the wrong bytes. Defaults to a no-op.
+    fn capture_failed(
+        &self,
+        pid: ProcessId,
+        family_root: ProcessId,
+        file: FileId,
+        path: &VPath,
+    ) {
+        let _ = (pid, family_root, file, path);
+    }
+
     /// A process renamed a file. Recovery uses this to move files back to
     /// their pre-attack paths.
     fn note_rename(
@@ -124,6 +141,7 @@ mod tests {
         }
         let sink = CaptureOnly(AtomicUsize::new(0));
         sink.note_created(ProcessId(1), ProcessId(1), FileId(9), &VPath::new("/a"));
+        sink.capture_failed(ProcessId(1), ProcessId(1), FileId(9), &VPath::new("/a"));
         sink.note_rename(
             ProcessId(1),
             ProcessId(1),

@@ -1,0 +1,266 @@
+//! The deprecated compatibility shims must keep routing to exactly the
+//! same implementations as their replacements until they are removed: one
+//! test per shim, each asserting state identical to the `AdminView` /
+//! `SessionBuilder` path.
+
+#![allow(deprecated)]
+
+use cryptodrop::{Config, CryptoDrop, Telemetry};
+use cryptodrop_vfs::{VPath, Vfs, VfsError};
+
+fn p(s: &str) -> VPath {
+    VPath::new(s)
+}
+
+/// Two filesystems staged identically, mutated via the shim on one side
+/// and the `AdminView` on the other, must agree file-for-file.
+fn assert_same_fs(a: &mut Vfs, b: &mut Vfs) {
+    // `files()`/`dirs()` iterate in arbitrary order: compare as sets.
+    let files = |fs: &mut Vfs| {
+        let mut v: Vec<(String, Vec<u8>)> = fs
+            .admin()
+            .files()
+            .map(|(p, d)| (p.to_string(), d.to_vec()))
+            .collect();
+        v.sort();
+        v
+    };
+    let dirs = |fs: &mut Vfs| {
+        let mut v: Vec<String> = fs.admin().dirs().map(|p| p.to_string()).collect();
+        v.sort();
+        v
+    };
+    assert_eq!(files(a), files(b));
+    assert_eq!(dirs(a), dirs(b));
+}
+
+#[test]
+fn admin_read_file_routes_to_admin_view() {
+    let mut fs = Vfs::new();
+    fs.admin().write_file(&p("/docs/a.txt"), b"payload").unwrap();
+    assert_eq!(
+        fs.admin_read_file(&p("/docs/a.txt")).unwrap(),
+        fs.admin().read_file(&p("/docs/a.txt")).unwrap()
+    );
+    // Errors route identically too.
+    assert_eq!(
+        fs.admin_read_file(&p("/missing")),
+        Err(VfsError::NotFound(p("/missing")))
+    );
+    assert_eq!(
+        fs.admin().read_file(&p("/missing")),
+        Err(VfsError::NotFound(p("/missing")))
+    );
+}
+
+#[test]
+fn admin_write_file_routes_to_admin_view() {
+    let (mut shim, mut view) = (Vfs::new(), Vfs::new());
+    shim.admin_write_file(&p("/docs/x/a.txt"), b"one").unwrap();
+    shim.admin_write_file(&p("/docs/x/a.txt"), b"two").unwrap(); // overwrite
+    view.admin().write_file(&p("/docs/x/a.txt"), b"one").unwrap();
+    view.admin().write_file(&p("/docs/x/a.txt"), b"two").unwrap();
+    assert_same_fs(&mut shim, &mut view);
+    // Writing over a directory is refused the same way.
+    assert_eq!(
+        shim.admin_write_file(&p("/docs/x"), b"no"),
+        view.admin().write_file(&p("/docs/x"), b"no")
+    );
+}
+
+#[test]
+fn admin_delete_file_routes_to_admin_view() {
+    let (mut shim, mut view) = (Vfs::new(), Vfs::new());
+    for fs in [&mut shim, &mut view] {
+        fs.admin().write_file(&p("/docs/a.txt"), b"gone soon").unwrap();
+    }
+    shim.admin_delete_file(&p("/docs/a.txt")).unwrap();
+    view.admin().delete_file(&p("/docs/a.txt")).unwrap();
+    assert_same_fs(&mut shim, &mut view);
+    assert_eq!(
+        shim.admin_delete_file(&p("/docs/a.txt")),
+        view.admin().delete_file(&p("/docs/a.txt"))
+    );
+}
+
+#[test]
+fn admin_create_dir_routes_to_admin_view() {
+    let (mut shim, mut view) = (Vfs::new(), Vfs::new());
+    shim.admin_create_dir(&p("/top")).unwrap();
+    view.admin().create_dir(&p("/top")).unwrap();
+    assert_same_fs(&mut shim, &mut view);
+    // Missing parent and already-exists refusals match.
+    assert_eq!(
+        shim.admin_create_dir(&p("/a/b/c")),
+        view.admin().create_dir(&p("/a/b/c"))
+    );
+    assert_eq!(shim.admin_create_dir(&p("/top")), view.admin().create_dir(&p("/top")));
+}
+
+#[test]
+fn admin_create_dir_all_routes_to_admin_view() {
+    let (mut shim, mut view) = (Vfs::new(), Vfs::new());
+    shim.admin_create_dir_all(&p("/a/b/c")).unwrap();
+    shim.admin_create_dir_all(&p("/a/b/c")).unwrap(); // idempotent
+    view.admin().create_dir_all(&p("/a/b/c")).unwrap();
+    view.admin().create_dir_all(&p("/a/b/c")).unwrap();
+    assert_same_fs(&mut shim, &mut view);
+    // A file blocking the chain is refused identically.
+    for fs in [&mut shim, &mut view] {
+        fs.admin().write_file(&p("/blocked"), b"file").unwrap();
+    }
+    assert_eq!(
+        shim.admin_create_dir_all(&p("/blocked/sub")),
+        view.admin().create_dir_all(&p("/blocked/sub"))
+    );
+}
+
+#[test]
+fn admin_set_read_only_routes_to_admin_view() {
+    let (mut shim, mut view) = (Vfs::new(), Vfs::new());
+    for fs in [&mut shim, &mut view] {
+        fs.admin().write_file(&p("/docs/a.txt"), b"lock me").unwrap();
+    }
+    shim.admin_set_read_only(&p("/docs/a.txt"), true).unwrap();
+    view.admin().set_read_only(&p("/docs/a.txt"), true).unwrap();
+    assert_eq!(
+        shim.admin_metadata(&p("/docs/a.txt")).unwrap().read_only,
+        view.admin().metadata(&p("/docs/a.txt")).unwrap().read_only
+    );
+    assert_eq!(
+        shim.admin_set_read_only(&p("/docs"), true),
+        view.admin().set_read_only(&p("/docs"), true)
+    );
+}
+
+#[test]
+fn admin_metadata_routes_to_admin_view() {
+    let mut fs = Vfs::new();
+    fs.admin().write_file(&p("/docs/a.txt"), b"meta").unwrap();
+    assert_eq!(
+        fs.admin_metadata(&p("/docs/a.txt")).unwrap(),
+        fs.admin().metadata(&p("/docs/a.txt")).unwrap()
+    );
+    assert_eq!(
+        fs.admin_metadata(&p("/docs")).unwrap(),
+        fs.admin().metadata(&p("/docs")).unwrap()
+    );
+    assert_eq!(fs.admin_metadata(&p("/nope")), fs.admin().metadata(&p("/nope")));
+}
+
+#[test]
+fn admin_files_routes_to_admin_view() {
+    let mut fs = Vfs::new();
+    fs.admin().write_file(&p("/docs/a.txt"), b"one").unwrap();
+    fs.admin().write_file(&p("/docs/b.txt"), b"two").unwrap();
+    let shim: Vec<(VPath, Vec<u8>)> =
+        fs.admin_files().map(|(p, d)| (p.clone(), d.to_vec())).collect();
+    let view: Vec<(VPath, Vec<u8>)> =
+        fs.admin().files().map(|(p, d)| (p.clone(), d.to_vec())).collect();
+    assert_eq!(shim, view);
+    assert_eq!(shim.len(), 2);
+}
+
+#[test]
+fn admin_dirs_routes_to_admin_view() {
+    let mut fs = Vfs::new();
+    fs.admin().create_dir_all(&p("/a/b")).unwrap();
+    let shim: Vec<VPath> = fs.admin_dirs().cloned().collect();
+    let view: Vec<VPath> = fs.admin().dirs().cloned().collect();
+    assert_eq!(shim, view);
+    assert!(shim.contains(&p("/a/b")));
+}
+
+/// Drives the same mildly destructive workload through a registered
+/// filter and returns the attacker's score as seen by `read`.
+fn run_workload(fs: &mut Vfs, read: &dyn Fn(cryptodrop_vfs::ProcessId) -> u32) -> u32 {
+    let pid = fs.spawn_process("shim-check.exe");
+    for i in 0..12u8 {
+        let path = p(&format!("/docs/f{i}.txt"));
+        fs.admin()
+            .write_file(&path, b"plain text document body, quite compressible")
+            .unwrap();
+        let noise: Vec<u8> = (0..256u32)
+            .map(|j| (j.wrapping_mul(167).wrapping_add(u32::from(i) * 7919) % 251) as u8)
+            .collect();
+        let _ = fs.write_file(pid, &path, &noise);
+    }
+    read(pid)
+}
+
+#[test]
+fn deprecated_new_matches_builder_session() {
+    let (engine, monitor) = CryptoDrop::new(Config::protecting("/docs"));
+    let mut fs = Vfs::new();
+    fs.register_filter(Box::new(engine));
+    let shim_score = run_workload(&mut fs, &|pid| monitor.score(pid));
+
+    let session = CryptoDrop::builder()
+        .config(Config::protecting("/docs"))
+        .build()
+        .unwrap();
+    let mut fs = Vfs::new();
+    session.attach(&mut fs);
+    let session_score = run_workload(&mut fs, &|pid| session.score(pid));
+
+    assert!(shim_score > 0, "workload must accrue score");
+    assert_eq!(shim_score, session_score, "shim and builder diverged");
+}
+
+#[test]
+fn deprecated_new_with_telemetry_matches_builder_session() {
+    let shim_t = Telemetry::new(4096);
+    let (engine, monitor) = CryptoDrop::new_with_telemetry(Config::protecting("/docs"), shim_t.clone());
+    let mut fs = Vfs::new();
+    fs.register_filter(Box::new(engine));
+    let shim_score = run_workload(&mut fs, &|pid| monitor.score(pid));
+
+    let builder_t = Telemetry::new(4096);
+    let session = CryptoDrop::builder()
+        .config(Config::protecting("/docs"))
+        .telemetry(builder_t.clone())
+        .build()
+        .unwrap();
+    let mut fs = Vfs::new();
+    session.attach(&mut fs);
+    let session_score = run_workload(&mut fs, &|pid| session.score(pid));
+
+    assert_eq!(shim_score, session_score);
+    // Both paths wire the same telemetry: identical engine counters.
+    let count = |t: &Telemetry| {
+        let snap = t.metrics().snapshot();
+        let mut counters: Vec<(String, u64)> = snap
+            .counters
+            .iter()
+            .filter(|(n, _)| n.starts_with("engine.") || n.starts_with("indicator."))
+            .map(|(n, v)| (n.clone(), *v))
+            .collect();
+        counters.sort();
+        counters
+    };
+    assert_eq!(count(&shim_t), count(&builder_t));
+    assert!(!count(&shim_t).is_empty(), "telemetry must observe the engine");
+}
+
+#[test]
+fn deprecated_engine_fork_shares_session_state() {
+    let session = CryptoDrop::builder().protecting("/docs").build().unwrap();
+    let first = session.fork();
+    // The deprecated `CryptoDrop::fork` must alias the same scoreboard as
+    // `Session::fork`: ops through it are visible to the session monitor.
+    let second = first.fork();
+    let mut fs = Vfs::new();
+    fs.register_filter(Box::new(second));
+    let score = run_workload(&mut fs, &|pid| session.score(pid));
+    assert!(score > 0, "deprecated fork must share the scoreboard");
+}
+
+#[test]
+fn deprecated_monitor_fork_engine_shares_session_state() {
+    let session = CryptoDrop::builder().protecting("/docs").build().unwrap();
+    let fork = session.monitor().fork_engine();
+    let mut fs = Vfs::new();
+    fs.register_filter(Box::new(fork));
+    let score = run_workload(&mut fs, &|pid| session.score(pid));
+    assert!(score > 0, "monitor fork must share the scoreboard");
+}
