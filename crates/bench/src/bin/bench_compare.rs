@@ -1,0 +1,440 @@
+//! Regression gate over the bench artifacts (`BENCH_*.json`).
+//!
+//! Compares a baseline artifact against a current one and exits non-zero
+//! when any throughput metric — a numeric field whose key contains
+//! `cycles_per_sec` — drops by more than the allowed fraction. Latency
+//! fields are deliberately not gated: nanosecond numbers are too noisy
+//! across machines to hold a hard threshold, while the cycles/s figures
+//! are what the performance work optimizes and what CI must protect.
+//!
+//! Usage:
+//!
+//! ```text
+//! bench_compare <baseline.json> <current.json> [max_regression]
+//! ```
+//!
+//! `max_regression` is a fraction (default `0.20`): a metric fails when
+//! `current < baseline * (1 - max_regression)`. Metrics present in only
+//! one file are reported but never fail the gate, so adding or removing
+//! bench sections does not break CI.
+//!
+//! The vendored `serde_json` stub only serializes, so this tool carries
+//! its own minimal JSON reader — sufficient for the machine-written
+//! artifacts it consumes.
+
+use std::process::ExitCode;
+
+/// A parsed JSON value (only what the bench artifacts need).
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(text: &'a str) -> Self {
+        Self {
+            bytes: text.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn error(&self, msg: &str) -> String {
+        format!("{msg} at byte {}", self.pos)
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(b) = self.bytes.get(self.pos) {
+            if b.is_ascii_whitespace() {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.error(&format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn eat_literal(&mut self, lit: &str, value: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(value)
+        } else {
+            Err(self.error(&format!("expected '{lit}'")))
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Json, String> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.parse_object(),
+            Some(b'[') => self.parse_array(),
+            Some(b'"') => Ok(Json::Str(self.parse_string()?)),
+            Some(b't') => self.eat_literal("true", Json::Bool(true)),
+            Some(b'f') => self.eat_literal("false", Json::Bool(false)),
+            Some(b'n') => self.eat_literal("null", Json::Null),
+            Some(b'-' | b'0'..=b'9') => self.parse_number(),
+            _ => Err(self.error("unexpected character")),
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut entries = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(entries));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            entries.push((key, self.parse_value()?));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(entries));
+                }
+                _ => return Err(self.error("expected ',' or '}'")),
+            }
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.error("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or_else(|| self.error("truncated escape"))?;
+                    self.pos += 1;
+                    out.push(match esc {
+                        b'n' => '\n',
+                        b't' => '\t',
+                        b'r' => '\r',
+                        b'u' => {
+                            // The artifacts are ASCII; skip the 4 hex
+                            // digits and substitute.
+                            self.pos += 4.min(self.bytes.len() - self.pos);
+                            '\u{FFFD}'
+                        }
+                        other => other as char,
+                    });
+                }
+                Some(_) => {
+                    let start = self.pos;
+                    while let Some(b) = self.peek() {
+                        if b == b'"' || b == b'\\' {
+                            break;
+                        }
+                        self.pos += 1;
+                    }
+                    out.push_str(
+                        std::str::from_utf8(&self.bytes[start..self.pos])
+                            .map_err(|_| self.error("invalid utf-8"))?,
+                    );
+                }
+                None => return Err(self.error("unterminated string")),
+            }
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            if matches!(b, b'-' | b'+' | b'.' | b'e' | b'E' | b'0'..=b'9') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .map(Json::Num)
+            .ok_or_else(|| self.error("invalid number"))
+    }
+}
+
+fn parse(text: &str) -> Result<Json, String> {
+    let mut p = Parser::new(text);
+    let v = p.parse_value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.error("trailing content"));
+    }
+    Ok(v)
+}
+
+/// Collects every `(path, value)` pair whose key contains
+/// `cycles_per_sec`, paths rendered like
+/// `multi_process_throughput[2].cycles_per_sec`.
+fn throughput_metrics(value: &Json, path: &str, out: &mut Vec<(String, f64)>) {
+    match value {
+        Json::Obj(entries) => {
+            for (key, val) in entries {
+                let child = if path.is_empty() {
+                    key.clone()
+                } else {
+                    format!("{path}.{key}")
+                };
+                if let Json::Num(n) = val {
+                    if key.contains("cycles_per_sec") {
+                        out.push((child, *n));
+                        continue;
+                    }
+                }
+                throughput_metrics(val, &child, out);
+            }
+        }
+        Json::Arr(items) => {
+            for (i, item) in items.iter().enumerate() {
+                throughput_metrics(item, &format!("{path}[{i}]"), out);
+            }
+        }
+        _ => {}
+    }
+}
+
+/// One metric's verdict after comparison.
+enum Outcome {
+    Ok(f64),
+    Regressed(f64),
+    OnlyBaseline,
+    OnlyCurrent,
+}
+
+fn compare(baseline: &Json, current: &Json, max_regression: f64) -> Vec<(String, Outcome)> {
+    let mut base = Vec::new();
+    throughput_metrics(baseline, "", &mut base);
+    let mut cur = Vec::new();
+    throughput_metrics(current, "", &mut cur);
+
+    let mut rows = Vec::new();
+    for (path, b) in &base {
+        match cur.iter().find(|(p, _)| p == path) {
+            Some((_, c)) => {
+                let change = if *b > 0.0 { c / b - 1.0 } else { 0.0 };
+                if change < -max_regression {
+                    rows.push((path.clone(), Outcome::Regressed(change)));
+                } else {
+                    rows.push((path.clone(), Outcome::Ok(change)));
+                }
+            }
+            None => rows.push((path.clone(), Outcome::OnlyBaseline)),
+        }
+    }
+    for (path, _) in &cur {
+        if !base.iter().any(|(p, _)| p == path) {
+            rows.push((path.clone(), Outcome::OnlyCurrent));
+        }
+    }
+    rows
+}
+
+fn run(baseline_path: &str, current_path: &str, max_regression: f64) -> Result<bool, String> {
+    let baseline_text = std::fs::read_to_string(baseline_path)
+        .map_err(|e| format!("read {baseline_path}: {e}"))?;
+    let current_text = std::fs::read_to_string(current_path)
+        .map_err(|e| format!("read {current_path}: {e}"))?;
+    let baseline = parse(&baseline_text).map_err(|e| format!("{baseline_path}: {e}"))?;
+    let current = parse(&current_text).map_err(|e| format!("{current_path}: {e}"))?;
+
+    let rows = compare(&baseline, &current, max_regression);
+    if rows.is_empty() {
+        println!("bench-compare: no throughput metrics found in {baseline_path}");
+        return Ok(true);
+    }
+    let mut ok = true;
+    for (path, outcome) in rows {
+        match outcome {
+            Outcome::Ok(change) => println!("  ok        {path}  {:+.1}%", change * 100.0),
+            Outcome::Regressed(change) => {
+                ok = false;
+                println!(
+                    "  REGRESSED {path}  {:+.1}% (limit -{:.0}%)",
+                    change * 100.0,
+                    max_regression * 100.0
+                );
+            }
+            Outcome::OnlyBaseline => println!("  missing   {path}  (baseline only, not gated)"),
+            Outcome::OnlyCurrent => println!("  new       {path}  (current only, not gated)"),
+        }
+    }
+    Ok(ok)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (baseline, current, max_regression) = match args.as_slice() {
+        [b, c] => (b.as_str(), c.as_str(), 0.20),
+        [b, c, m] => match m.parse::<f64>() {
+            Ok(f) if f >= 0.0 => (b.as_str(), c.as_str(), f),
+            _ => {
+                eprintln!("bench-compare: max_regression must be a non-negative fraction");
+                return ExitCode::from(2);
+            }
+        },
+        _ => {
+            eprintln!("usage: bench_compare <baseline.json> <current.json> [max_regression]");
+            return ExitCode::from(2);
+        }
+    };
+    match run(baseline, current, max_regression) {
+        Ok(true) => {
+            println!("bench-compare: within -{:.0}% limit", max_regression * 100.0);
+            ExitCode::SUCCESS
+        }
+        Ok(false) => {
+            eprintln!(
+                "bench-compare: throughput regressed beyond {:.0}%",
+                max_regression * 100.0
+            );
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("bench-compare: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const BASE: &str = r#"{
+      "bench": "engine_overhead",
+      "modify_cycle": { "filtered_ns_per_cycle": 700.0 },
+      "eviction_pressure": { "cycles_per_sec": 100.0 },
+      "multi_process_throughput": [
+        { "threads": 1, "cycles_per_sec": 200.0 },
+        { "threads": 2, "cycles_per_sec": 300.0 }
+      ]
+    }"#;
+
+    #[test]
+    fn parses_artifact_shapes() {
+        let v = parse(BASE).unwrap();
+        let mut metrics = Vec::new();
+        throughput_metrics(&v, "", &mut metrics);
+        let paths: Vec<&str> = metrics.iter().map(|(p, _)| p.as_str()).collect();
+        assert_eq!(
+            paths,
+            [
+                "eviction_pressure.cycles_per_sec",
+                "multi_process_throughput[0].cycles_per_sec",
+                "multi_process_throughput[1].cycles_per_sec",
+            ]
+        );
+    }
+
+    #[test]
+    fn identical_files_pass() {
+        let v = parse(BASE).unwrap();
+        let rows = compare(&v, &v, 0.20);
+        assert!(rows.iter().all(|(_, o)| matches!(o, Outcome::Ok(_))));
+    }
+
+    #[test]
+    fn regression_beyond_limit_fails() {
+        let base = parse(BASE).unwrap();
+        let cur = parse(&BASE.replace("300.0", "200.0")).unwrap();
+        let rows = compare(&base, &cur, 0.20);
+        let regressed: Vec<&str> = rows
+            .iter()
+            .filter(|(_, o)| matches!(o, Outcome::Regressed(_)))
+            .map(|(p, _)| p.as_str())
+            .collect();
+        assert_eq!(regressed, ["multi_process_throughput[1].cycles_per_sec"]);
+    }
+
+    #[test]
+    fn regression_within_limit_passes() {
+        let base = parse(BASE).unwrap();
+        let cur = parse(&BASE.replace("300.0", "250.0")).unwrap();
+        let rows = compare(&base, &cur, 0.20);
+        assert!(rows.iter().all(|(_, o)| matches!(o, Outcome::Ok(_))));
+    }
+
+    #[test]
+    fn latency_fields_are_not_gated() {
+        let base = parse(BASE).unwrap();
+        // A 10x latency increase alone must not trip the gate.
+        let cur = parse(&BASE.replace("700.0", "7000.0")).unwrap();
+        let rows = compare(&base, &cur, 0.20);
+        assert!(rows.iter().all(|(_, o)| matches!(o, Outcome::Ok(_))));
+    }
+
+    #[test]
+    fn missing_and_new_metrics_do_not_gate() {
+        let base = parse(BASE).unwrap();
+        let cur = parse(&BASE.replace("eviction_pressure", "renamed_sweep")).unwrap();
+        let rows = compare(&base, &cur, 0.20);
+        assert!(!rows.iter().any(|(_, o)| matches!(o, Outcome::Regressed(_))));
+        assert!(rows
+            .iter()
+            .any(|(p, o)| matches!(o, Outcome::OnlyBaseline) && p.starts_with("eviction")));
+        assert!(rows
+            .iter()
+            .any(|(p, o)| matches!(o, Outcome::OnlyCurrent) && p.starts_with("renamed")));
+    }
+
+    #[test]
+    fn rejects_malformed_json() {
+        assert!(parse("{ \"a\": ").is_err());
+        assert!(parse("{} trailing").is_err());
+        assert!(parse("[1, 2,]").is_err());
+    }
+}

@@ -152,6 +152,13 @@ pub struct Config {
     /// byte-for-byte the reference behavior, used by tests to prove the
     /// cache never changes a verdict.
     pub fingerprint_cache: bool,
+    /// Analyse closes from dirty extents when the VFS tracked them:
+    /// delta-update the cached byte histogram, splice unchanged sdhash
+    /// feature runs, and skip analysis entirely for stamp-unchanged
+    /// content. On by default; disabling forces the whole-file recompute
+    /// path on every close — the reference behavior, used by tests to
+    /// prove incremental analysis never changes a verdict.
+    pub incremental_analysis: bool,
 }
 
 impl Config {
@@ -168,6 +175,7 @@ impl Config {
             snapshot_cache_capacity: 1 << 16,
             pinned_snapshot_budget: 1 << 12,
             fingerprint_cache: true,
+            incremental_analysis: true,
         }
     }
 

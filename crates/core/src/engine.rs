@@ -28,11 +28,13 @@ use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use cryptodrop_simhash::{content_fingerprint, SdDigest};
+use cryptodrop_entropy::ByteHistogram;
+use cryptodrop_simhash::{content_fingerprint, FeatureCache, SdDigest};
 use cryptodrop_sniff::{sniff, FileType};
 use cryptodrop_telemetry::{Counter, Histogram, JournalKind, Telemetry};
 use cryptodrop_vfs::{
-    FileId, FilterDriver, FsOp, FsView, OpContext, OpOutcome, ProcessId, VPath, Verdict,
+    DirtyReport, FileId, FilterDriver, FsOp, FsView, OpContext, OpOutcome, ProcessId, VPath,
+    Verdict, MAX_DIRTY_EXTENTS,
 };
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
@@ -43,7 +45,7 @@ use crate::indicators::type_change::{self, TypeChangeOutcome};
 use crate::indicators::{Indicator, IndicatorHit};
 use crate::pipeline::PipelineShared;
 use crate::record::{OpRecord, RecordBody};
-use crate::state::{FileSnapshot, ProcessState, ProcessSummary};
+use crate::state::{FileSnapshot, IncrState, ProcessState, ProcessSummary};
 
 /// The suspension reason issued when a member of an already-flagged (and
 /// not user-permitted) process family keeps issuing operations.
@@ -284,6 +286,16 @@ struct EngineMetrics {
     fires: [Counter; Indicator::ALL.len()],
     /// Suspension verdicts issued.
     detections: Counter,
+    /// Modified closes resolved by the content stamp alone: no sniff, no
+    /// digest, no fingerprint pass (the incremental fast path's best case).
+    incr_stamp_skips: Counter,
+    /// Changed closes analysed from their dirty extents (histogram delta
+    /// plus sdhash feature splice) instead of a whole-content recompute.
+    incr_delta: Counter,
+    /// Changed closes that fell back to the whole-content recompute
+    /// (interference, truncation, scattered writes, oversized files, or no
+    /// retained intermediates).
+    incr_full: Counter,
 }
 
 impl EngineMetrics {
@@ -300,6 +312,9 @@ impl EngineMetrics {
                 t.counter(&format!("engine.indicator.{}.fires", Indicator::ALL[i].name()))
             }),
             detections: t.counter("engine.detections"),
+            incr_stamp_skips: t.counter("engine.incremental.stamp_skips"),
+            incr_delta: t.counter("engine.incremental.delta_applied"),
+            incr_full: t.counter("engine.incremental.full_recompute"),
         }
     }
 }
@@ -787,6 +802,25 @@ impl CryptoDrop {
             cfg.score.similarity_max_source_entropy,
         );
         self.eval_timer(Indicator::Similarity).record_elapsed(timer);
+        self.content_hits(st, snapshot, sim_outcome, post_type, path, at_nanos);
+        post_digest
+    }
+
+    /// Awards the type-change and similarity hits for one content
+    /// comparison whose similarity outcome is already known — shared
+    /// between [`evaluate_content`](Self::evaluate_content) and the
+    /// incremental close path, which computes the post-image digest from
+    /// dirty extents and evaluates similarity against it directly.
+    fn content_hits(
+        &self,
+        st: &mut ProcessState,
+        snapshot: &FileSnapshot,
+        sim_outcome: SimilarityOutcome,
+        post_type: FileType,
+        path: &VPath,
+        at_nanos: u64,
+    ) {
+        let cfg = &self.cfg;
         // Dynamic scoring (future work, §V-C): when the similarity
         // indicator is structurally unavailable for this file — no
         // pre-image digest exists (sub-512 B or featureless content) —
@@ -831,7 +865,6 @@ impl CryptoDrop {
                 },
             );
         }
-        post_digest
     }
 
     /// Resolves the post-close "previous version" snapshot.
@@ -875,6 +908,143 @@ impl CryptoDrop {
         )
     }
 
+    /// Computes the analysis products of a *changed* close's content under
+    /// incremental analysis: histogram, sdhash digest + feature cache, and
+    /// full-content fingerprint. Returns `true` in the last slot when the
+    /// dirty-extent delta path was taken (histogram updated by
+    /// subtract/add, unchanged sdhash feature runs spliced from the
+    /// cache); `false` when it fell back to the whole-content recompute.
+    ///
+    /// The delta path requires an unbroken chain of custody: the resident
+    /// snapshot retained its intermediates, its stamp equals the dirty
+    /// report's base stamp (the snapshot describes exactly the content the
+    /// handle started from), the close-time stamp equals the report's last
+    /// stamp (no other handle interfered after the last write), the file
+    /// did not shrink, and the whole content fits the digest window in
+    /// both states. Every product is bit-identical to a from-scratch
+    /// recompute — the histogram delta is exact integer arithmetic and the
+    /// sdhash splice is exact by construction (property-tested).
+    #[allow(clippy::type_complexity)]
+    fn close_products(
+        &self,
+        snapshot: Option<&FileSnapshot>,
+        current: &[u8],
+        stamp: u64,
+        dirty: Option<&DirtyReport>,
+    ) -> (ByteHistogram, Option<SdDigest>, Option<FeatureCache>, u64, bool) {
+        let window = &current[..current.len().min(self.cfg.max_digest_bytes)];
+        'delta: {
+            let (Some(snap), Some(d)) = (snapshot, dirty) else {
+                break 'delta;
+            };
+            let Some(incr) = snap.incr.as_deref() else {
+                break 'delta;
+            };
+            if d.full
+                || stamp == 0
+                || snap.stamp == 0
+                || d.base_stamp != snap.stamp
+                || d.last_stamp != stamp
+                || snap.len != d.base_len
+                || (current.len() as u64) < d.base_len
+                || current.len() > self.cfg.max_digest_bytes
+            {
+                break 'delta;
+            }
+            let mut histogram = incr.histogram.clone();
+            let mut spans = [(0usize, 0usize); MAX_DIRTY_EXTENTS];
+            for (i, e) in d.extents.iter().enumerate() {
+                let lo = e.start as usize;
+                let hi = (e.end as usize).min(current.len());
+                histogram.replace(&e.pre, &current[lo..hi]);
+                spans[i] = (lo, hi);
+            }
+            let recomputed = incr
+                .features
+                .as_ref()
+                .and_then(|c| SdDigest::recompute_dirty(c, current, &spans[..d.extents.len()]));
+            // A `None` splice (or an undigestible base) recomputes sdhash
+            // from scratch — the histogram delta above still stands.
+            let (digest, features) = match recomputed {
+                Some((dg, cache)) => (Some(dg), Some(cache)),
+                None => match SdDigest::compute_with_cache(window) {
+                    Some((dg, cache)) => (Some(dg), Some(cache)),
+                    None => (None, None),
+                },
+            };
+            return (histogram, digest, features, content_fingerprint(current), true);
+        }
+        let (histogram, fingerprint) = if window.len() == current.len() {
+            ByteHistogram::from_bytes_with_fingerprint(window)
+        } else {
+            (
+                ByteHistogram::from_bytes(window),
+                content_fingerprint(current),
+            )
+        };
+        let (digest, features) = match SdDigest::compute_with_cache(window) {
+            Some((dg, cache)) => (Some(dg), Some(cache)),
+            None => (None, None),
+        };
+        (histogram, digest, features, fingerprint, false)
+    }
+
+    /// The close path's common tail: the file's "previous version" is now
+    /// what was just written, so both snapshot indices are refreshed with
+    /// `fresh` (eviction-counted on the path side).
+    fn finish_close(&self, path: &VPath, file: FileId, fresh: FileSnapshot) {
+        self.shared
+            .file_shard(file)
+            .lock()
+            .snapshots
+            .insert(file, fresh.clone());
+        let tick = self.shared.next_tick();
+        let evicted = self.shared.path_shard(path).lock().insert_snapshot(
+            path.clone(),
+            fresh,
+            tick,
+            self.shard_cap(),
+        );
+        if evicted > 0 {
+            self.shared
+                .cache_evictions
+                .fetch_add(evicted, Ordering::Relaxed);
+        }
+    }
+
+    /// The file's content stamp, but only when an operation payload of
+    /// `len` bytes at `offset` is provably the file's **entire** content
+    /// right now — otherwise `0` (unknown). Record builders attach this
+    /// to read/write records so the analysis side can substitute a
+    /// stamp-matching snapshot's entropy for an O(n) recompute.
+    fn whole_content_stamp(&self, fs: &FsView<'_>, path: &VPath, offset: u64, len: usize) -> u64 {
+        if !self.cfg.incremental_analysis || offset != 0 {
+            return 0;
+        }
+        match fs.file_bytes(path) {
+            Some(content) if content.len() == len => fs.file_stamp(path).unwrap_or(0),
+            _ => 0,
+        }
+    }
+
+    /// The entropy of an operation payload, reused from the file's
+    /// resident snapshot when `stamp` (nonzero = the payload is the whole
+    /// file content, see [`Self::whole_content_stamp`]) matches the
+    /// snapshot's — i.e. the payload IS the bytes the snapshot already
+    /// measured. Bit-identical to recomputing: snapshot capture and the
+    /// entropy-delta tracker use the same table-driven fold. `None` means
+    /// the caller must compute. The snapshot's entropy only covers its
+    /// digest window, so payloads longer than `max_digest_bytes` never
+    /// reuse.
+    fn known_entropy(&self, file: FileId, stamp: u64, len: usize) -> Option<f64> {
+        if stamp == 0 || len > self.cfg.max_digest_bytes {
+            return None;
+        }
+        let shard = self.shared.file_shard(file).lock();
+        let snap = shard.snapshots.get(&file)?;
+        (snap.stamp == stamp && snap.len == len as u64).then_some(snap.entropy)
+    }
+
     /// After awarding hits, checks the threshold and issues the verdict.
     /// Lock order: the caller holds the family shard; the detection log
     /// is the only lock ever taken while a family shard is held.
@@ -903,23 +1073,44 @@ impl CryptoDrop {
     }
 
     /// Refreshes the path-keyed snapshot of `path` from `data` (its
-    /// content at capture time). An unchanged content fingerprint reuses
-    /// the resident snapshot (no sniff/digest/entropy recompute); the
-    /// expensive capture runs without any shard lock held.
-    fn apply_refresh(&self, path: &VPath, data: &[u8]) {
-        let fp = content_fingerprint(data);
+    /// content at capture time). A resident snapshot carrying the same
+    /// nonzero content stamp is reused in O(1); matching content
+    /// fingerprints (the O(n) pass, only consulted when a stamp is
+    /// unknown) also reuse it. The expensive capture runs without any
+    /// shard lock held.
+    fn apply_refresh(&self, path: &VPath, data: &[u8], stamp: u64) {
         let tick = self.shared.next_tick();
         let shard = self.shared.path_shard(path);
         if self.cfg.fingerprint_cache {
-            if let Some(entry) = shard.lock().snapshots.get_mut(path) {
-                if entry.snap.fingerprint == fp {
+            let mut guard = shard.lock();
+            if let Some(entry) = guard.snapshots.get_mut(path) {
+                if stamp != 0 && entry.snap.stamp == stamp {
                     entry.tick = tick;
+                    drop(guard);
+                    self.shared.cache_hits.fetch_add(1, Ordering::Relaxed);
+                    return;
+                }
+                // Two known, different stamps prove the content changed;
+                // only an unknown stamp needs the fingerprint pass.
+                if (stamp == 0 || entry.snap.stamp == 0)
+                    && entry.snap.fingerprint == content_fingerprint(data)
+                {
+                    entry.tick = tick;
+                    if self.cfg.incremental_analysis && stamp != 0 {
+                        // Adopt the stamp so the next refresh is O(1).
+                        entry.snap.stamp = stamp;
+                    }
+                    drop(guard);
                     self.shared.cache_hits.fetch_add(1, Ordering::Relaxed);
                     return;
                 }
             }
         }
-        let snap = FileSnapshot::capture(data, self.cfg.max_digest_bytes);
+        let snap = if self.cfg.incremental_analysis {
+            FileSnapshot::capture_incremental(data, self.cfg.max_digest_bytes, stamp, None)
+        } else {
+            FileSnapshot::capture(data, self.cfg.max_digest_bytes)
+        };
         self.shared.cache_misses.fetch_add(1, Ordering::Relaxed);
         let evicted = shard
             .lock()
@@ -961,22 +1152,22 @@ impl CryptoDrop {
         }
     }
 
-    /// Builds a pre-operation snapshot-refresh record, capturing the
-    /// path's current (pre-mutation) content. `None` when the path is
-    /// unreadable or empty — nothing to snapshot.
+    /// Builds a pre-operation snapshot-refresh record, borrowing the
+    /// path's current (pre-mutation) content and its incremental stamp
+    /// straight from the VFS — no copy on the inline path. `None` when the
+    /// path is unreadable or empty — nothing to snapshot.
     fn build_refresh<'a>(
         &self,
         key: ProcessId,
         ctx: &OpContext<'a>,
         path: &'a VPath,
-        fs: &FsView<'_>,
+        fs: &FsView<'a>,
     ) -> Option<OpRecord<'a>> {
-        let Ok(data) = fs.read_file(path) else {
-            return None;
-        };
+        let data = fs.file_bytes(path)?;
         if data.is_empty() {
             return None;
         }
+        let stamp = fs.file_stamp(path).unwrap_or(0);
         Some(OpRecord {
             key,
             issuer: ctx.pid,
@@ -984,7 +1175,8 @@ impl CryptoDrop {
             at_nanos: ctx.at_nanos,
             body: RecordBody::Refresh {
                 path: Cow::Borrowed(path),
-                data,
+                data: Cow::Borrowed(data),
+                stamp,
             },
         })
     }
@@ -999,7 +1191,7 @@ impl CryptoDrop {
         key: ProcessId,
         ctx: &OpContext<'a>,
         outcome: &OpOutcome<'a>,
-        fs: &FsView<'_>,
+        fs: &FsView<'a>,
     ) -> Option<OpRecord<'a>> {
         let cfg = &self.cfg;
         let body = match (ctx.op, outcome) {
@@ -1025,10 +1217,11 @@ impl CryptoDrop {
                     file: *file,
                     offset,
                     data: Cow::Borrowed(data),
+                    stamp: self.whole_content_stamp(fs, path, offset, data.len()),
                 }
             }
 
-            (FsOp::Write { path, data, .. }, OpOutcome::Write { file, .. }) => {
+            (FsOp::Write { path, offset, data }, OpOutcome::Write { file, .. }) => {
                 if !self.shared.in_scope(cfg, path) {
                     return None;
                 }
@@ -1036,6 +1229,9 @@ impl CryptoDrop {
                     path: Cow::Borrowed(path),
                     file: *file,
                     data: Cow::Borrowed(data),
+                    // Post-operation view: when the write covered the whole
+                    // file, the payload IS the current content.
+                    stamp: self.whole_content_stamp(fs, path, offset, data.len()),
                 }
             }
 
@@ -1046,17 +1242,19 @@ impl CryptoDrop {
                 RecordBody::Truncate { file: *file }
             }
 
-            (FsOp::Close { path, modified }, OpOutcome::Close { file, .. }) => {
+            (FsOp::Close { path, modified }, OpOutcome::Close { file, stamp, dirty, .. }) => {
                 if !modified || !self.shared.in_scope(cfg, path) {
                     return None;
                 }
-                let Ok(current) = fs.read_file(path) else {
+                let Some(current) = fs.file_bytes(path) else {
                     return None; // deleted before close
                 };
                 RecordBody::Close {
                     path: Cow::Borrowed(path),
                     file: *file,
-                    current,
+                    current: Cow::Borrowed(current),
+                    stamp: *stamp,
+                    dirty: dirty.map(Cow::Borrowed),
                 }
             }
 
@@ -1131,10 +1329,10 @@ impl CryptoDrop {
         let at = rec.at_nanos;
         let key = rec.key;
 
-        if let RecordBody::Refresh { path, data } = &rec.body {
+        if let RecordBody::Refresh { path, data, stamp } = &rec.body {
             // Refreshes are not gated: a permitted family keeps its
             // snapshots fresh for other processes' pre-images.
-            self.apply_refresh(path.as_ref(), data);
+            self.apply_refresh(path.as_ref(), data, *stamp);
             return Verdict::Allow;
         }
         // Re-run the family gate: a queued record may be processed after
@@ -1149,6 +1347,32 @@ impl CryptoDrop {
             RecordBody::Open { path, file } => {
                 let path = path.as_ref();
                 let tick = self.shared.next_tick();
+                // Touch the LRU tick and read the stamp without cloning:
+                // on a reopen the file shard usually still holds this
+                // snapshot, and a matching nonzero stamp proves it
+                // content-identical — the steady-state open then costs
+                // two map probes and zero allocations.
+                let stamp = {
+                    let mut shard = self.shared.path_shard(path).lock();
+                    shard.snapshots.get_mut(path).map(|e| {
+                        e.tick = tick;
+                        e.snap.stamp
+                    })
+                };
+                let Some(stamp) = stamp else {
+                    return Verdict::Allow;
+                };
+                if stamp != 0
+                    && self
+                        .shared
+                        .file_shard(*file)
+                        .lock()
+                        .snapshots
+                        .get(file)
+                        .is_some_and(|s| s.stamp == stamp)
+                {
+                    return Verdict::Allow;
+                }
                 let snap = self
                     .shared
                     .path_shard(path)
@@ -1169,12 +1393,27 @@ impl CryptoDrop {
                 file,
                 offset,
                 data,
+                stamp,
             } => {
                 let path = path.as_ref();
+                let known = self.known_entropy(*file, *stamp, data.len());
+                if known.is_some() && self.shared.telemetry.is_enabled() {
+                    self.shared.metrics.incr_stamp_skips.inc();
+                }
                 let mut fam = self.shared.family_shard(key).lock();
                 let st =
                     FamilyShard::process_mut(&mut fam.processes, cfg, key, &rec.process_name);
-                st.entropy_mut().observe_read(data);
+                match known {
+                    Some(entropy) => {
+                        debug_assert_eq!(
+                            entropy,
+                            cryptodrop_entropy::entropy_lut_of(data),
+                            "snapshot entropy drifted from the payload's"
+                        );
+                        st.entropy_mut().observe_read_known(entropy, data.len() as u64);
+                    }
+                    None => st.entropy_mut().observe_read(data),
+                }
                 // Sample the file's type from its leading bytes exactly once
                 // per file for the funneling indicator.
                 if *offset == 0 && !data.is_empty() && st.first_read(*file) {
@@ -1201,8 +1440,16 @@ impl CryptoDrop {
                 self.verdict_for(st, at)
             }
 
-            RecordBody::Write { path, file, data } => {
+            RecordBody::Write { path, file, data, stamp } => {
                 let path = path.as_ref();
+                let known = if cfg.score.points_entropy_delta > 0 {
+                    self.known_entropy(*file, *stamp, data.len())
+                } else {
+                    None
+                };
+                if known.is_some() && self.shared.telemetry.is_enabled() {
+                    self.shared.metrics.incr_stamp_skips.inc();
+                }
                 let created = self.shared.file_shard(*file).lock().created.contains(file);
                 let mut fam = self.shared.family_shard(key).lock();
                 let st =
@@ -1237,7 +1484,17 @@ impl CryptoDrop {
                 // the isolation study relies on this.)
                 if cfg.score.points_entropy_delta > 0 {
                     let timer = self.shared.telemetry.start_timer();
-                    let fired = st.entropy_mut().observe_write(data);
+                    let fired = match known {
+                        Some(entropy) => {
+                            debug_assert_eq!(
+                                entropy,
+                                cryptodrop_entropy::entropy_lut_of(data),
+                                "snapshot entropy drifted from the payload's"
+                            );
+                            st.entropy_mut().observe_write_known(entropy, data.len() as u64)
+                        }
+                        None => st.entropy_mut().observe_write(data),
+                    };
                     self.eval_timer(Indicator::EntropyDelta).record_elapsed(timer);
                     if fired {
                         let delta = st.entropy().delta().unwrap_or_default();
@@ -1282,8 +1539,93 @@ impl CryptoDrop {
                 path,
                 file,
                 current,
+                stamp,
+                dirty,
             } => {
                 let path = path.as_ref();
+                let current: &[u8] = current.as_ref();
+                let stamp = *stamp;
+                // The degenerate `similarity_match_max >= 100`
+                // configuration would count even self-similarity as
+                // dissimilar, so it disables every unchanged shortcut.
+                let shortcut_ok = cfg.fingerprint_cache && cfg.score.similarity_match_max < 100;
+
+                // Tier 1 — stamp-unchanged, O(1): the close-time content
+                // stamp equals the resident snapshot's, so the content is
+                // byte-identical to the pre-image. No content indicator
+                // can fire (same type; self-similarity is 100), the
+                // funneling indicator reuses the snapshot's sniffed type,
+                // and both snapshot indices are already current — only the
+                // path entry's LRU tick needs touching. No sniff, no
+                // fingerprint pass, no snapshot clone, no allocation.
+                if shortcut_ok && stamp != 0 {
+                    let resident_type = {
+                        let fsh = self.shared.file_shard(*file).lock();
+                        fsh.snapshots
+                            .get(file)
+                            .and_then(|s| (s.stamp == stamp).then_some(s.file_type))
+                    };
+                    if let Some(file_type) = resident_type {
+                        self.shared.cache_hits.fetch_add(1, Ordering::Relaxed);
+                        if self.shared.telemetry.is_enabled() {
+                            self.shared.metrics.incr_stamp_skips.inc();
+                        }
+                        let verdict = {
+                            let mut fam = self.shared.family_shard(key).lock();
+                            let st = FamilyShard::process_mut(
+                                &mut fam.processes,
+                                cfg,
+                                key,
+                                &rec.process_name,
+                            );
+                            if !current.is_empty() {
+                                let levels = st.funnel_mut().record_written(file_type);
+                                debug_assert_eq!(
+                                    levels, 0,
+                                    "writing types can only narrow the funnel"
+                                );
+                            }
+                            self.verdict_for(st, at)
+                        };
+                        let tick = self.shared.next_tick();
+                        let path_stale = {
+                            let mut shard = self.shared.path_shard(path).lock();
+                            match shard.snapshots.get_mut(path) {
+                                Some(e) if e.snap.stamp == stamp => {
+                                    e.tick = tick;
+                                    false
+                                }
+                                _ => true,
+                            }
+                        };
+                        if path_stale {
+                            // The path index lost (or never had) this
+                            // version: re-seed it from the id index.
+                            let snap = self
+                                .shared
+                                .file_shard(*file)
+                                .lock()
+                                .snapshots
+                                .get(file)
+                                .cloned();
+                            if let Some(snap) = snap {
+                                let evicted = self.shared.path_shard(path).lock().insert_snapshot(
+                                    path.clone(),
+                                    snap,
+                                    tick,
+                                    self.shard_cap(),
+                                );
+                                if evicted > 0 {
+                                    self.shared
+                                        .cache_evictions
+                                        .fetch_add(evicted, Ordering::Relaxed);
+                                }
+                            }
+                        }
+                        return verdict;
+                    }
+                }
+
                 let snapshot = self
                     .shared
                     .file_shard(*file)
@@ -1291,80 +1633,134 @@ impl CryptoDrop {
                     .snapshots
                     .get(file)
                     .cloned();
-                // One sniff of the final content, shared by the funneling
-                // indicator, the type-change indicator, and the refresh.
+                // Zero-recompute gate, fingerprint flavor: consulted only
+                // when a stamp is unknown (tier 1 already resolved the
+                // both-stamps-known case, and two known, different stamps
+                // prove the content changed).
+                let unchanged = shortcut_ok
+                    && snapshot.as_ref().is_some_and(|s| {
+                        (stamp == 0 || s.stamp == 0)
+                            && s.fingerprint == content_fingerprint(current)
+                    });
+
+                if unchanged || !cfg.incremental_analysis {
+                    // The reference path: one sniff of the final content,
+                    // shared by the funneling indicator, the type-change
+                    // indicator, and the refresh.
+                    let post_type = sniff(current);
+                    let mut reusable_digest = None;
+                    let verdict = {
+                        let mut fam = self.shared.family_shard(key).lock();
+                        let st = FamilyShard::process_mut(
+                            &mut fam.processes,
+                            cfg,
+                            key,
+                            &rec.process_name,
+                        );
+                        // The funneling indicator sees the type this
+                        // process wrote.
+                        if !current.is_empty() {
+                            let levels = st.funnel_mut().record_written(post_type);
+                            debug_assert_eq!(levels, 0, "writing types can only narrow the funnel");
+                        }
+                        if !unchanged {
+                            if let Some(snap) = &snapshot {
+                                reusable_digest = self
+                                    .evaluate_content(st, snap, current, post_type, path, at)
+                                    .into_reusable();
+                            }
+                        }
+                        self.verdict_for(st, at)
+                    };
+                    // The file's "previous version" is now what was just
+                    // written; refresh both snapshot indices. Unchanged
+                    // content reuses the existing snapshot outright;
+                    // changed content reuses the sniff and the similarity
+                    // pass's post-image digest instead of recomputing them.
+                    let cached = if unchanged {
+                        match snapshot {
+                            Some(snap) => CloseCache::Unchanged(snap),
+                            None => CloseCache::Torn,
+                        }
+                    } else {
+                        CloseCache::Changed
+                    };
+                    let mut fresh = self.resolve_close_snapshot(
+                        cached,
+                        current,
+                        post_type,
+                        reusable_digest,
+                        at,
+                        key,
+                    );
+                    if cfg.incremental_analysis && stamp != 0 {
+                        // Adopt the stamp so the next close takes tier 1.
+                        fresh.stamp = stamp;
+                    }
+                    self.finish_close(path, *file, fresh);
+                    return verdict;
+                }
+
+                // Tier 2/3 — changed close under incremental analysis:
+                // delta-update the retained intermediates from the dirty
+                // extents when the stamp chain holds, recompute from
+                // scratch otherwise. Either way the products are
+                // bit-identical to a full recompute, the similarity
+                // indicator is evaluated against the precomputed digest,
+                // and the refreshed snapshot retains its intermediates for
+                // the *next* close.
+                let (histogram, digest, features, fingerprint, delta) =
+                    self.close_products(snapshot.as_ref(), current, stamp, dirty.as_deref());
+                if self.shared.telemetry.is_enabled() {
+                    if delta {
+                        self.shared.metrics.incr_delta.inc();
+                    } else {
+                        self.shared.metrics.incr_full.inc();
+                    }
+                }
                 let post_type = sniff(current);
-                // Zero-recompute gate: a close that wrote back exactly the
-                // bytes the pre-image snapshot describes cannot fire the
-                // content indicators (same type; self-similarity is 100),
-                // so the comparison and the re-capture are both skipped
-                // and the resident snapshot is reused. The degenerate
-                // `similarity_match_max >= 100` configuration would count
-                // even self-similarity as dissimilar, so it disables the
-                // shortcut.
-                let unchanged = cfg.fingerprint_cache
-                    && cfg.score.similarity_match_max < 100
-                    && snapshot
-                        .as_ref()
-                        .is_some_and(|s| s.fingerprint == content_fingerprint(current));
-                let mut reusable_digest = None;
+                let entropy = histogram.entropy_lut();
                 let verdict = {
                     let mut fam = self.shared.family_shard(key).lock();
                     let st =
                         FamilyShard::process_mut(&mut fam.processes, cfg, key, &rec.process_name);
-                    // The funneling indicator sees the type this process
-                    // wrote.
                     if !current.is_empty() {
                         let levels = st.funnel_mut().record_written(post_type);
                         debug_assert_eq!(levels, 0, "writing types can only narrow the funnel");
                     }
-                    if !unchanged {
-                        if let Some(snap) = &snapshot {
-                            reusable_digest = self
-                                .evaluate_content(st, snap, current, post_type, path, at)
-                                .into_reusable();
-                        }
+                    if let Some(snap) = &snapshot {
+                        let timer = self.shared.telemetry.start_timer();
+                        let sim_outcome = similarity::evaluate_precomputed(
+                            snap.digest.as_ref(),
+                            snap.entropy,
+                            digest.as_ref(),
+                            cfg.score.similarity_match_max,
+                            cfg.score.similarity_max_source_entropy,
+                        );
+                        self.eval_timer(Indicator::Similarity).record_elapsed(timer);
+                        self.content_hits(st, snap, sim_outcome, post_type, path, at);
                     }
                     self.verdict_for(st, at)
                 };
-                // The file's "previous version" is now what was just
-                // written; refresh both snapshot indices. Unchanged
-                // content reuses the existing snapshot outright; changed
-                // content reuses the sniff and the similarity pass's
-                // post-image digest instead of recomputing them.
-                let cached = if unchanged {
-                    match snapshot {
-                        Some(snap) => CloseCache::Unchanged(snap),
-                        None => CloseCache::Torn,
-                    }
-                } else {
-                    CloseCache::Changed
+                self.shared.cache_misses.fetch_add(1, Ordering::Relaxed);
+                let fresh = FileSnapshot {
+                    file_type: post_type,
+                    digest,
+                    entropy,
+                    len: current.len() as u64,
+                    fingerprint,
+                    stamp,
+                    incr: Some(Arc::new(IncrState {
+                        histogram,
+                        features,
+                    })),
                 };
-                let fresh = self.resolve_close_snapshot(
-                    cached,
-                    current,
-                    post_type,
-                    reusable_digest,
-                    at,
-                    key,
-                );
-                self.shared
-                    .file_shard(*file)
-                    .lock()
-                    .snapshots
-                    .insert(*file, fresh.clone());
-                let tick = self.shared.next_tick();
-                let evicted = self.shared.path_shard(path).lock().insert_snapshot(
-                    path.clone(),
+                debug_assert_eq!(
                     fresh,
-                    tick,
-                    self.shard_cap(),
+                    FileSnapshot::capture(current, cfg.max_digest_bytes),
+                    "incremental close analysis drifted from the full recompute"
                 );
-                if evicted > 0 {
-                    self.shared
-                        .cache_evictions
-                        .fetch_add(evicted, Ordering::Relaxed);
-                }
+                self.finish_close(path, *file, fresh);
                 verdict
             }
 

@@ -7,7 +7,7 @@
 //! regard to the previous or future state of a file and occurs for every
 //! atomic read or write operation where the threshold is exceeded".
 
-use cryptodrop_entropy::{shannon_entropy, EntropyDelta};
+use cryptodrop_entropy::{entropy_lut_of, EntropyDelta};
 use serde::{Deserialize, Serialize};
 
 /// The per-process entropy-delta tracker.
@@ -41,17 +41,35 @@ impl EntropyDeltaTracker {
     }
 
     /// Folds in a read operation's payload.
+    ///
+    /// Entropy is computed with the table-driven stack fold
+    /// ([`entropy_lut_of`]) — bit-identical to the fold snapshot capture
+    /// uses, so a caller holding a snapshot whose stamp proves the
+    /// payload identical to the snapshotted content may substitute the
+    /// snapshot's entropy via [`observe_read_known`](Self::observe_read_known)
+    /// with bit-identical results.
     pub fn observe_read(&mut self, data: &[u8]) {
-        self.delta
-            .record_read(shannon_entropy(data), data.len() as u64);
+        self.observe_read_known(entropy_lut_of(data), data.len() as u64);
+    }
+
+    /// [`observe_read`](Self::observe_read) with the payload's entropy
+    /// already known (e.g. reused from a stamp-matching snapshot).
+    pub fn observe_read_known(&mut self, entropy: f64, len: u64) {
+        self.delta.record_read(entropy, len);
     }
 
     /// Folds in a write operation's payload and returns `true` when the
     /// post-update delta is at or above the threshold (the indicator
-    /// fires on this operation).
+    /// fires on this operation). Uses the same table-driven entropy fold
+    /// as [`observe_read`](Self::observe_read).
     pub fn observe_write(&mut self, data: &[u8]) -> bool {
-        self.delta
-            .record_write(shannon_entropy(data), data.len() as u64);
+        self.observe_write_known(entropy_lut_of(data), data.len() as u64)
+    }
+
+    /// [`observe_write`](Self::observe_write) with the payload's entropy
+    /// already known (e.g. reused from a stamp-matching snapshot).
+    pub fn observe_write_known(&mut self, entropy: f64, len: u64) -> bool {
+        self.delta.record_write(entropy, len);
         self.is_suspicious()
     }
 

@@ -130,6 +130,34 @@ pub fn evaluate_full(
     (outcome, PostImageDigest::Computed(Some(post_digest)))
 }
 
+/// [`evaluate`] against a post-image digest the caller already computed
+/// (e.g. incrementally from dirty extents). Produces exactly the outcome
+/// [`evaluate`] would if `post_digest` equals what `SdDigest::compute`
+/// yields over the post content — the abstain ladder is identical.
+pub fn evaluate_precomputed(
+    pre_digest: Option<&SdDigest>,
+    pre_entropy: f64,
+    post_digest: Option<&SdDigest>,
+    match_max: u32,
+    max_source_entropy: f64,
+) -> SimilarityOutcome {
+    let Some(pre) = pre_digest else {
+        return SimilarityOutcome::Abstain(AbstainReason::NoPreImageDigest);
+    };
+    if pre_entropy > max_source_entropy {
+        return SimilarityOutcome::Abstain(AbstainReason::HighEntropySource);
+    }
+    let Some(post) = post_digest else {
+        return SimilarityOutcome::Abstain(AbstainReason::NoPostImageDigest);
+    };
+    let score = pre.similarity(post);
+    if score <= match_max {
+        SimilarityOutcome::Dissimilar(score)
+    } else {
+        SimilarityOutcome::Similar(score)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -203,6 +203,14 @@ struct ShardQueue {
     drain: Mutex<()>,
     enqueued: AtomicU64,
     processed: AtomicU64,
+    /// Records enqueued on this shard and not yet completed — counts a
+    /// record from its `q.push_back` until its verdict is produced, so it
+    /// covers both queue residency *and* time inside a worker's batch
+    /// (a panic-requeued record simply stays counted). The `Sync`
+    /// producer fast path reads this single atomic to prove the shard
+    /// has no in-flight analysis to order against; fast-path records
+    /// themselves never touch it.
+    busy: AtomicU64,
 }
 
 impl ShardQueue {
@@ -213,6 +221,7 @@ impl ShardQueue {
             drain: Mutex::new(()),
             enqueued: AtomicU64::new(0),
             processed: AtomicU64::new(0),
+            busy: AtomicU64::new(0),
         }
     }
 
@@ -395,6 +404,46 @@ impl PipelineShared {
         let shard = &self.shards[self.shard_for(rec.key)];
         match self.cfg.backpressure {
             Backpressure::Sync => {
+                // Producer fast path: a waiting `Sync` submission needs its
+                // verdict before returning anyway, so the producer
+                // processes the record on the calling thread — skipping
+                // the whole own/enqueue/wake/condvar round-trip (and its
+                // allocations). Ordering is safe without holding any
+                // shard lock across the analysis, because the queue only
+                // exists to keep one *family's* records FIFO, and under
+                // `Sync` every production submission waits for its
+                // verdict (`Engine::dispatch` passes `wait = true` for
+                // refreshes and post-operation records alike): a family's
+                // previous record has fully settled before its producer
+                // can even construct the next one. The only same-family
+                // records that can exist concurrently come from
+                // `wait = false` callers (pipeline-internal tests), and
+                // those are exactly what `busy` counts — every record
+                // from enqueue to verdict, queue residency and worker
+                // batches alike — so one acquire load proves the shard
+                // has nothing in flight to order against (the release
+                // decrement at completion publishes that record's engine
+                // effects). On a nonzero count we conservatively fall
+                // through to the queue. No lock is held across the
+                // analysis, so concurrent producers in different
+                // families proceed in parallel exactly as the inline
+                // engine would. Accounting still records the record as
+                // enqueued + processed so the settlement invariant
+                // (`enqueued == processed` at quiesce) holds. Disabled
+                // while a fault injector is armed: chaos runs exist to
+                // exercise the worker path (panic injection, respawn,
+                // batch requeue), and the fast path would starve workers
+                // of records entirely.
+                if wait && self.injector.is_none() && shard.busy.load(Ordering::Acquire) == 0 {
+                    let v = engine.process_record(&rec);
+                    shard.enqueued.fetch_add(1, Ordering::Relaxed);
+                    shard.processed.fetch_add(1, Ordering::Relaxed);
+                    if self.telemetry.is_enabled() {
+                        self.metrics.enqueued.inc();
+                        self.metrics.processed.inc();
+                    }
+                    return v;
+                }
                 let mut q = lock_recover(&shard.q);
                 while q.len() >= self.cfg.capacity {
                     if self.shutdown.load(Ordering::Acquire) {
@@ -429,10 +478,18 @@ impl PipelineShared {
                     slot: slot.clone(),
                     attempts: 0,
                 });
+                shard.busy.fetch_add(1, Ordering::Release);
                 let depth = q.len();
                 drop(q);
                 self.note_enqueued(shard, depth);
-                self.signal_work();
+                // Wake coalescing: only the empty→non-empty transition
+                // needs a wake. A deeper queue means an earlier enqueue
+                // already bumped `work_seq` (or a worker is mid-drain and
+                // its drain loop will pick this record up); the worker's
+                // bounded wait re-scans regardless.
+                if depth == 1 {
+                    self.signal_work();
+                }
                 match slot {
                     Some(slot) => self.await_verdict(engine, shard, &slot),
                     None => Verdict::Allow,
@@ -447,10 +504,13 @@ impl PipelineShared {
                             slot: None,
                             attempts: 0,
                         });
+                        shard.busy.fetch_add(1, Ordering::Release);
                         let depth = q.len();
                         drop(q);
                         self.note_enqueued(shard, depth);
-                        self.signal_work();
+                        if depth == 1 {
+                            self.signal_work();
+                        }
                         return Verdict::Allow;
                     }
                 }
@@ -494,6 +554,7 @@ impl PipelineShared {
             }
             if let Some(item) = shard.take_by_slot(slot) {
                 let v = engine.process_record(&item.rec);
+                shard.busy.fetch_sub(1, Ordering::Release);
                 shard.processed.fetch_add(1, Ordering::Relaxed);
                 self.note_sync_fallback();
                 if self.telemetry.is_enabled() {
@@ -540,6 +601,7 @@ impl PipelineShared {
                         if let Some(slot) = &item.slot {
                             slot.put(Verdict::Allow);
                         }
+                        shard.busy.fetch_sub(1, Ordering::Release);
                         shard.processed.fetch_add(1, Ordering::Relaxed);
                         self.abandoned.fetch_add(1, Ordering::Relaxed);
                         if self.telemetry.is_enabled() {
@@ -572,6 +634,7 @@ impl PipelineShared {
                         slot.put(v);
                     }
                 }
+                shard.busy.fetch_sub(1, Ordering::Release);
                 shard.processed.fetch_add(1, Ordering::Relaxed);
                 if self.telemetry.is_enabled() {
                     self.metrics.processed.inc();
@@ -599,6 +662,16 @@ impl PipelineShared {
     /// [`note_worker_restart`](Self::note_worker_restart).
     pub(crate) fn worker_loop(&self, engine: &CryptoDrop, worker_idx: usize, workers: usize) {
         let owns = |i: usize| i % workers.max(1) == worker_idx;
+        // Idle backoff for the missed-wakeup safety net below: producers
+        // always bump `work_seq` and notify before a worker could sleep
+        // through an enqueue, so the timeout only guards against lost
+        // wakeups — an idle worker doubles it up to 50ms rather than
+        // re-scanning every few milliseconds and stealing timeslices
+        // from producers (the `Sync` fast path keeps queues empty, so
+        // idle is the steady state there).
+        const IDLE_MIN: Duration = Duration::from_millis(1);
+        const IDLE_MAX: Duration = Duration::from_millis(50);
+        let mut idle = IDLE_MIN;
         loop {
             let seen = *lock_recover(&self.work_seq);
             let mut did = 0usize;
@@ -610,6 +683,7 @@ impl PipelineShared {
                 did += self.drain_shard(engine, shard, true);
             }
             if did > 0 {
+                idle = IDLE_MIN;
                 continue;
             }
             if self.shutdown.load(Ordering::Acquire) {
@@ -631,8 +705,9 @@ impl PipelineShared {
                 // the scan and this check is never lost.
                 let _ = self
                     .work_ready
-                    .wait_timeout(g, Duration::from_millis(5))
+                    .wait_timeout(g, idle)
                     .unwrap_or_else(PoisonError::into_inner);
+                idle = (idle * 2).min(IDLE_MAX);
             }
         }
     }
@@ -762,6 +837,13 @@ mod tests {
             })
             .unwrap();
 
+        // Occupy the shard first: an idle shard would let the waiting
+        // submit below fast-path inline without ever touching the worker.
+        // This record wakes the worker, which panics on it (requeueing it
+        // under the batch guard) and stays dead — so the shard is
+        // non-empty and the next submit must take the queue path.
+        assert_eq!(shared.submit(&engine, test_record(3, 0), false), Verdict::Allow);
+
         // Must return despite the dead worker (used to hang forever).
         let v = shared.submit(&engine, test_record(3, 1), true);
         assert_eq!(v, Verdict::Allow);
@@ -770,6 +852,17 @@ mod tests {
             stats.sync_fallbacks >= 1,
             "producer must have reclaimed its record: {stats:?}"
         );
+
+        // The first record is still queued (the dead worker requeued it on
+        // unwind, and `take_by_slot` only reclaims the producer's own
+        // record). Settle it with a producer-context drain, then the
+        // shard's books must balance.
+        {
+            let shard = &shared.shards[0];
+            let _drain = lock_recover(&shard.drain);
+            shared.drain_shard(&engine, shard, false);
+        }
+        let stats = shared.stats();
         assert_eq!(stats.enqueued, stats.processed);
 
         shared.begin_shutdown();

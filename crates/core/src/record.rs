@@ -15,7 +15,7 @@
 
 use std::borrow::Cow;
 
-use cryptodrop_vfs::{FileId, ProcessId, VPath};
+use cryptodrop_vfs::{DirtyReport, FileId, ProcessId, VPath};
 
 /// One unit of deferred analysis work: the operation's identity plus every
 /// input the indicator evaluation needs, captured at operation time.
@@ -46,7 +46,11 @@ pub(crate) enum RecordBody<'a> {
         /// The path to refresh.
         path: Cow<'a, VPath>,
         /// The path's content at pre-operation time (never empty).
-        data: Vec<u8>,
+        data: Cow<'a, [u8]>,
+        /// The content's [stamp](cryptodrop_vfs::content_stamp) (`0` =
+        /// unknown): lets the refresh skip even the fingerprint pass when
+        /// the resident snapshot already carries this stamp.
+        stamp: u64,
     },
     /// An in-scope file was opened: propagate its path-keyed snapshot to
     /// the open file id.
@@ -66,6 +70,11 @@ pub(crate) enum RecordBody<'a> {
         offset: u64,
         /// The bytes actually read.
         data: Cow<'a, [u8]>,
+        /// The file content's [stamp](cryptodrop_vfs::content_stamp),
+        /// nonzero **only** when `data` is the file's entire content at
+        /// operation time — the proof that lets analysis reuse a
+        /// stamp-matching snapshot's entropy instead of recomputing.
+        stamp: u64,
     },
     /// Data was written to an in-scope file.
     Write {
@@ -75,6 +84,11 @@ pub(crate) enum RecordBody<'a> {
         file: FileId,
         /// The bytes written.
         data: Cow<'a, [u8]>,
+        /// The post-write content's
+        /// [stamp](cryptodrop_vfs::content_stamp), nonzero **only** when
+        /// `data` is the file's entire content after the write (see
+        /// [`RecordBody::Read::stamp`]).
+        stamp: u64,
     },
     /// An in-scope file was truncated or extended.
     Truncate {
@@ -89,7 +103,13 @@ pub(crate) enum RecordBody<'a> {
         /// The file's id.
         file: FileId,
         /// The file's content at close time.
-        current: Vec<u8>,
+        current: Cow<'a, [u8]>,
+        /// The content's [stamp](cryptodrop_vfs::content_stamp) at close
+        /// time (`0` = unknown).
+        stamp: u64,
+        /// The closing handle's dirty-extent report, when the VFS tracked
+        /// one (writable handles).
+        dirty: Option<Cow<'a, DirtyReport>>,
     },
     /// A protected file was deleted.
     Delete {
@@ -134,9 +154,10 @@ impl OpRecord<'_> {
             process_name: Cow::Owned(self.process_name.into_owned()),
             at_nanos: self.at_nanos,
             body: match self.body {
-                RecordBody::Refresh { path, data } => RecordBody::Refresh {
+                RecordBody::Refresh { path, data, stamp } => RecordBody::Refresh {
                     path: own_path(path),
-                    data,
+                    data: own_bytes(data),
+                    stamp,
                 },
                 RecordBody::Open { path, file } => RecordBody::Open {
                     path: own_path(path),
@@ -147,26 +168,33 @@ impl OpRecord<'_> {
                     file,
                     offset,
                     data,
+                    stamp,
                 } => RecordBody::Read {
                     path: own_path(path),
                     file,
                     offset,
                     data: own_bytes(data),
+                    stamp,
                 },
-                RecordBody::Write { path, file, data } => RecordBody::Write {
+                RecordBody::Write { path, file, data, stamp } => RecordBody::Write {
                     path: own_path(path),
                     file,
                     data: own_bytes(data),
+                    stamp,
                 },
                 RecordBody::Truncate { file } => RecordBody::Truncate { file },
                 RecordBody::Close {
                     path,
                     file,
                     current,
+                    stamp,
+                    dirty,
                 } => RecordBody::Close {
                     path: own_path(path),
                     file,
-                    current,
+                    current: own_bytes(current),
+                    stamp,
+                    dirty: dirty.map(|d| Cow::Owned(d.into_owned())),
                 },
                 RecordBody::Delete { path, file } => RecordBody::Delete {
                     path: own_path(path),

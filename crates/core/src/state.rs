@@ -7,9 +7,10 @@
 //! moved" (§III).
 
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::sync::Arc;
 
 use cryptodrop_entropy::ByteHistogram;
-use cryptodrop_simhash::{content_fingerprint, SdDigest};
+use cryptodrop_simhash::{content_fingerprint, FeatureCache, SdDigest};
 use cryptodrop_sniff::{sniff, FileType};
 use cryptodrop_vfs::{FileId, ProcessId};
 use serde::{Deserialize, Serialize};
@@ -20,9 +21,28 @@ use crate::indicators::entropy_delta::EntropyDeltaTracker;
 use crate::indicators::funneling::FunnelTracker;
 use crate::indicators::{Indicator, IndicatorHit};
 
+/// The analysis intermediates an incremental re-analysis needs: retained
+/// alongside a snapshot so the next close of the same file can subtract
+/// and re-add only the dirty extents instead of re-reading everything.
+/// Shared behind an [`Arc`] because snapshots are cloned between the
+/// path-keyed and id-keyed caches.
+#[derive(Debug, Clone)]
+pub struct IncrState {
+    /// Byte histogram of the digest window (the whole content whenever it
+    /// fits [`Config::max_digest_bytes`](crate::Config::max_digest_bytes)).
+    pub histogram: ByteHistogram,
+    /// The sdhash feature cache of the digest window, when digestible.
+    pub features: Option<FeatureCache>,
+}
+
 /// A snapshot of one file version: everything the indicators need to
 /// compare against a later version.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// Equality compares the five analysis fields only — `stamp` and `incr`
+/// are cache-acceleration metadata that two snapshots of identical
+/// content may legitimately disagree on (e.g. one captured with
+/// incremental analysis enabled and one without).
+#[derive(Debug, Clone)]
 pub struct FileSnapshot {
     /// The sniffed type of the content.
     pub file_type: FileType,
@@ -39,6 +59,41 @@ pub struct FileSnapshot {
     /// collision) and the snapshot can be reused without recomputing the
     /// digest, sniff, or entropy.
     pub fingerprint: u64,
+    /// The VFS [content stamp](cryptodrop_vfs::content_stamp) of the
+    /// content this snapshot describes, or `0` when unknown. A nonzero
+    /// stamp equal to a close outcome's stamp proves the content is
+    /// unchanged in O(1), without the fingerprint's O(n) pass.
+    pub stamp: u64,
+    /// Analysis intermediates for incremental re-analysis, when captured
+    /// with incremental analysis enabled.
+    pub incr: Option<Arc<IncrState>>,
+}
+
+// Hand-written (not derived) so that serialization covers the five
+// analysis fields only: `stamp` and `incr` are in-memory cache
+// acceleration, meaningless outside the process that captured them.
+impl Serialize for FileSnapshot {
+    fn to_value(&self) -> serde::ser::Value {
+        serde::ser::Value::Map(vec![
+            ("file_type".to_string(), self.file_type.to_value()),
+            ("digest".to_string(), self.digest.to_value()),
+            ("entropy".to_string(), self.entropy.to_value()),
+            ("len".to_string(), self.len.to_value()),
+            ("fingerprint".to_string(), self.fingerprint.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for FileSnapshot {}
+
+impl PartialEq for FileSnapshot {
+    fn eq(&self, other: &Self) -> bool {
+        self.file_type == other.file_type
+            && self.digest == other.digest
+            && self.entropy == other.entropy
+            && self.len == other.len
+            && self.fingerprint == other.fingerprint
+    }
 }
 
 impl FileSnapshot {
@@ -77,10 +132,10 @@ impl FileSnapshot {
         // fingerprint.
         let (entropy, fingerprint) = if window.len() == data.len() {
             let (hist, fp) = ByteHistogram::from_bytes_with_fingerprint(window);
-            (hist.entropy(), fp)
+            (hist.entropy_lut(), fp)
         } else {
             (
-                ByteHistogram::from_bytes(window).entropy(),
+                ByteHistogram::from_bytes(window).entropy_lut(),
                 content_fingerprint(data),
             )
         };
@@ -90,6 +145,46 @@ impl FileSnapshot {
             entropy,
             len: data.len() as u64,
             fingerprint,
+            stamp: 0,
+            incr: None,
+        }
+    }
+
+    /// Captures a snapshot *with* the incremental-analysis intermediates
+    /// ([`IncrState`]) retained, and the given content stamp recorded, so
+    /// a later close of the same file can be analysed from its dirty
+    /// extents alone. Analysis fields are identical to
+    /// [`FileSnapshot::capture`] over the same bytes.
+    pub fn capture_incremental(
+        data: &[u8],
+        max_digest_bytes: usize,
+        stamp: u64,
+        file_type: Option<FileType>,
+    ) -> Self {
+        let window = &data[..data.len().min(max_digest_bytes)];
+        let (histogram, fingerprint) = if window.len() == data.len() {
+            ByteHistogram::from_bytes_with_fingerprint(window)
+        } else {
+            (
+                ByteHistogram::from_bytes(window),
+                content_fingerprint(data),
+            )
+        };
+        let (digest, features) = match SdDigest::compute_with_cache(window) {
+            Some((d, c)) => (Some(d), Some(c)),
+            None => (None, None),
+        };
+        Self {
+            file_type: file_type.unwrap_or_else(|| sniff(data)),
+            digest,
+            entropy: histogram.entropy_lut(),
+            len: data.len() as u64,
+            fingerprint,
+            stamp,
+            incr: Some(Arc::new(IncrState {
+                histogram,
+                features,
+            })),
         }
     }
 }

@@ -41,7 +41,7 @@ pub mod stats;
 pub mod stream;
 pub mod weighted;
 
-pub use shannon::{shannon_entropy, ByteHistogram};
+pub use shannon::{clog2, entropy_lut_of, shannon_entropy, ByteHistogram};
 pub use stats::{chi_square_uniformity, serial_correlation, RandomnessReport};
 pub use stream::StreamEntropy;
 pub use weighted::{EntropyDelta, WeightedEntropyMean};

@@ -46,6 +46,25 @@ impl StreamEntropy {
         self.histogram.entropy()
     }
 
+    /// Delta-updates the stream: the bytes of `old` (previously pushed, e.g.
+    /// a dirty extent's pre-image) are replaced by `new` without re-reading
+    /// anything else. Counts as one chunk, like [`StreamEntropy::push`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `old` removes a byte more times than it was pushed.
+    pub fn replace(&mut self, old: &[u8], new: &[u8]) {
+        self.histogram.replace(old, new);
+        self.chunks += 1;
+    }
+
+    /// The entropy via the table-driven fold (see
+    /// [`ByteHistogram::entropy_lut`]); agrees with
+    /// [`StreamEntropy::entropy`] to within floating-point rounding.
+    pub fn entropy_lut(&self) -> f64 {
+        self.histogram.entropy_lut()
+    }
+
     /// Total bytes pushed so far.
     pub fn bytes_seen(&self) -> u64 {
         self.histogram.total()
@@ -111,6 +130,18 @@ mod tests {
         let h = s.into_histogram();
         assert_eq!(h.total(), 5);
         assert_eq!(h.count(b'z'), 2);
+    }
+
+    #[test]
+    fn replace_matches_rebuilt_stream() {
+        let mut s = StreamEntropy::new();
+        s.push(b"the quick brown fox");
+        s.replace(b"quick", b"rapid");
+        let mut rebuilt = StreamEntropy::new();
+        rebuilt.push(b"the rapid brown fox");
+        assert_eq!(s.entropy(), rebuilt.entropy());
+        assert_eq!(s.histogram(), rebuilt.histogram());
+        assert!((s.entropy_lut() - s.entropy()).abs() < 1e-9);
     }
 
     #[test]

@@ -55,7 +55,7 @@ pub mod sdhash;
 pub use bloom::BloomFilter;
 pub use ctph::CtphDigest;
 pub use fingerprint::content_fingerprint;
-pub use sdhash::{SdDigest, FEATURE_SIZE, MIN_FILE_SIZE};
+pub use sdhash::{FeatureCache, SdDigest, FEATURE_SIZE, MIN_FILE_SIZE};
 
 /// Convenience: the sdhash similarity of two buffers, or `None` when either
 /// side is too small (or too featureless) to digest — the exact condition

@@ -26,6 +26,7 @@
 //!    are averaged into a 0–100 confidence.
 
 use std::collections::VecDeque;
+use std::sync::OnceLock;
 
 use serde::{Deserialize, Serialize};
 
@@ -82,29 +83,139 @@ impl SdDigest {
     /// contains no selectable features (e.g. a constant buffer), matching
     /// sdhash's refusal to digest inputs it cannot characterize.
     pub fn compute(data: &[u8]) -> Option<SdDigest> {
+        Self::compute_with_cache(data).map(|(digest, _)| digest)
+    }
+
+    /// Computes the digest together with a [`FeatureCache`] enabling later
+    /// incremental recomputation via [`SdDigest::recompute_dirty`].
+    ///
+    /// Returns `None` under the same conditions as [`SdDigest::compute`].
+    pub fn compute_with_cache(data: &[u8]) -> Option<(SdDigest, FeatureCache)> {
         if data.len() < MIN_FILE_SIZE {
             return None;
         }
         let ranks = precedence_ranks(data);
-        let selected = select_popular(&ranks);
-        let mut filters = vec![BloomFilter::new()];
-        let mut features = 0usize;
-        for idx in selected {
-            let words = sha1_words(&data[idx..idx + FEATURE_SIZE]);
-            if filters.last().expect("non-empty").is_full() {
-                filters.push(BloomFilter::new());
-            }
-            filters.last_mut().expect("non-empty").insert(&words);
-            features += 1;
-        }
-        if features == 0 {
+        let features: Vec<CachedFeature> = select_popular(&ranks)
+            .into_iter()
+            .map(|idx| CachedFeature {
+                pos: idx as u32,
+                words: sha1_words(&data[idx..idx + FEATURE_SIZE]),
+            })
+            .collect();
+        let digest = build_digest(&features, data.len())?;
+        Some((
+            digest,
+            FeatureCache {
+                features,
+                input_len: data.len(),
+            },
+        ))
+    }
+
+    /// Recomputes the digest of `data` given a [`FeatureCache`] from a
+    /// previous content state and the byte extents that changed since.
+    ///
+    /// Features are re-selected only inside the dirty windows plus the
+    /// rolling horizon (`FEATURE_SIZE − 1` window positions back for ranks,
+    /// a further `POPULARITY_WINDOW − 1` each way for popularity); the
+    /// unchanged feature runs are spliced from the cache without re-hashing.
+    /// The result is **bit-identical** to a from-scratch
+    /// [`SdDigest::compute`] of `data` — precedence ranks use an exact
+    /// fixed-point accumulator, so a windowed recompute cannot drift from a
+    /// full pass.
+    ///
+    /// Caller contract: every byte of `data` that differs from the cached
+    /// content (at the same offset) lies inside some `(start, end)` extent,
+    /// `data` is no shorter than the cached input, and any tail growth is
+    /// covered by an extent. Returns `None` when `data` shrank (callers
+    /// should fall back to a full recompute), is shorter than
+    /// [`MIN_FILE_SIZE`], or no features remain after the splice.
+    pub fn recompute_dirty(
+        cache: &FeatureCache,
+        data: &[u8],
+        dirty: &[(usize, usize)],
+    ) -> Option<(SdDigest, FeatureCache)> {
+        let n = data.len();
+        if n < MIN_FILE_SIZE || n < cache.input_len {
             return None;
         }
-        Some(SdDigest {
-            filters,
-            features,
-            input_len: data.len(),
-        })
+        let windows = n - FEATURE_SIZE + 1;
+        let win = POPULARITY_WINDOW.min(windows);
+        debug_assert!(win == POPULARITY_WINDOW, "MIN_FILE_SIZE keeps windows >= 64");
+
+        // A changed byte range [s, e) alters ranks of window positions
+        // [s − (FEATURE_SIZE−1), e), and popularity a further win−1
+        // positions on each side of those.
+        let horizon = (FEATURE_SIZE - 1) + (win - 1);
+        let mut regions: Vec<(usize, usize)> = Vec::new();
+        for &(s, e) in dirty {
+            let e = e.min(n);
+            if s >= e {
+                continue;
+            }
+            let lo = s.saturating_sub(horizon);
+            let hi = (e + win - 1).min(windows);
+            if lo < hi {
+                regions.push((lo, hi));
+            }
+        }
+        regions.sort_unstable();
+        let mut merged: Vec<(usize, usize)> = Vec::with_capacity(regions.len());
+        for (lo, hi) in regions {
+            match merged.last_mut() {
+                Some((_, last_hi)) if lo <= *last_hi => *last_hi = (*last_hi).max(hi),
+                _ => merged.push((lo, hi)),
+            }
+        }
+
+        let mut fresh: Vec<CachedFeature> = Vec::new();
+        for &(lo, hi) in &merged {
+            region_features(data, windows, win, lo, hi, &mut fresh);
+        }
+
+        // Splice: cached features outside every recomputed region, merged in
+        // position order with the freshly selected ones.
+        let outside = |pos: usize| {
+            merged
+                .binary_search_by(|&(lo, hi)| {
+                    if pos < lo {
+                        std::cmp::Ordering::Greater
+                    } else if pos >= hi {
+                        std::cmp::Ordering::Less
+                    } else {
+                        std::cmp::Ordering::Equal
+                    }
+                })
+                .is_err()
+        };
+        let mut features = Vec::with_capacity(cache.features.len() + fresh.len());
+        let mut fresh_iter = fresh.into_iter().peekable();
+        for f in &cache.features {
+            let pos = f.pos as usize;
+            if pos >= windows || !outside(pos) {
+                continue;
+            }
+            while let Some(nf) = fresh_iter.peek() {
+                if (nf.pos as usize) < pos {
+                    let nf = *nf;
+                    fresh_iter.next();
+                    features.push(nf);
+                } else {
+                    break;
+                }
+            }
+            features.push(*f);
+        }
+        features.extend(fresh_iter);
+
+        let digest = build_digest(&features, n)?;
+        Some((
+            digest,
+            FeatureCache {
+                features,
+                input_len: n,
+            },
+        ))
     }
 
     /// The similarity confidence between two digests, 0–100.
@@ -148,30 +259,95 @@ impl SdDigest {
     }
 }
 
+/// One selected feature retained for incremental recomputation: its window
+/// position and its SHA-1 words (so splicing never re-hashes unchanged
+/// features).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+struct CachedFeature {
+    pos: u32,
+    words: [u32; 5],
+}
+
+/// The selected-feature list behind a digest, kept alongside the snapshot
+/// so [`SdDigest::recompute_dirty`] can splice unchanged feature runs.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FeatureCache {
+    features: Vec<CachedFeature>,
+    input_len: usize,
+}
+
+impl FeatureCache {
+    /// The length of the input the cache describes, in bytes.
+    pub fn input_len(&self) -> usize {
+        self.input_len
+    }
+
+    /// The number of cached features.
+    pub fn feature_count(&self) -> usize {
+        self.features.len()
+    }
+}
+
+/// Packs a sorted feature list into the Bloom-filter sequence (at most 160
+/// features per filter). Returns `None` for an empty list, matching
+/// [`SdDigest::compute`]'s refusal to emit empty digests.
+fn build_digest(features: &[CachedFeature], input_len: usize) -> Option<SdDigest> {
+    if features.is_empty() {
+        return None;
+    }
+    let mut filters = vec![BloomFilter::new()];
+    for f in features {
+        if filters.last().expect("non-empty").is_full() {
+            filters.push(BloomFilter::new());
+        }
+        filters.last_mut().expect("non-empty").insert(&f.words);
+    }
+    Some(SdDigest {
+        filters,
+        features: features.len(),
+        input_len,
+    })
+}
+
+/// 32.32 fixed-point scale for the window-entropy accumulator. Integer
+/// accumulation is exact, so a recompute that starts mid-file produces the
+/// same per-window sums — bit for bit — as a full left-to-right pass, which
+/// is what makes windowed re-selection safe to splice.
+const RANK_FX: f64 = (1u64 << 32) as f64;
+
+/// `round(c · log2(c) · 2^32)` for counts 0..=64.
+fn clog_fx() -> &'static [i64; FEATURE_SIZE + 1] {
+    static TABLE: OnceLock<[i64; FEATURE_SIZE + 1]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut t = [0i64; FEATURE_SIZE + 1];
+        for (c, slot) in t.iter_mut().enumerate().skip(2) {
+            *slot = (c as f64 * (c as f64).log2() * RANK_FX).round() as i64;
+        }
+        t
+    })
+}
+
 /// Computes each 64-byte window's precedence rank in O(n).
 ///
 /// Window entropy is maintained incrementally: with `S = Σ c·log2(c)` over
-/// the window's byte counts, `H = log2(W) − S/W`, and sliding the window
-/// adjusts `S` by two table lookups.
+/// the window's byte counts (in exact fixed point), `H = log2(W) − S/W`,
+/// and sliding the window adjusts `S` by two table lookups.
 fn precedence_ranks(data: &[u8]) -> Vec<u32> {
     let n = data.len();
     debug_assert!(n >= FEATURE_SIZE);
-    let windows = n - FEATURE_SIZE + 1;
+    ranks_in(data, 0, n - FEATURE_SIZE + 1)
+}
 
-    // clog[c] = c * log2(c), for counts 0..=64.
-    let clog: Vec<f64> = (0..=FEATURE_SIZE)
-        .map(|c| {
-            if c == 0 {
-                0.0
-            } else {
-                c as f64 * (c as f64).log2()
-            }
-        })
-        .collect();
-
+/// Precedence ranks for window positions `lo..hi` only (requires
+/// `hi + FEATURE_SIZE − 1 <= data.len()`). Exactly equal to the
+/// corresponding slice of [`precedence_ranks`] thanks to the fixed-point
+/// accumulator.
+fn ranks_in(data: &[u8], lo: usize, hi: usize) -> Vec<u32> {
+    debug_assert!(lo < hi && hi + FEATURE_SIZE - 1 <= data.len());
+    let clog = clog_fx();
     let mut counts = [0usize; 256];
-    let mut s = 0.0f64;
-    for &b in &data[..FEATURE_SIZE] {
+    let mut s = 0i64;
+    for &b in &data[lo..lo + FEATURE_SIZE] {
         let c = counts[b as usize];
         s += clog[c + 1] - clog[c];
         counts[b as usize] = c + 1;
@@ -179,27 +355,87 @@ fn precedence_ranks(data: &[u8]) -> Vec<u32> {
     let w = FEATURE_SIZE as f64;
     let max_h = w.log2(); // 6 bits
 
-    let mut ranks = Vec::with_capacity(windows);
-    let mut i = 0usize;
-    loop {
-        let h = (max_h - s / w).max(0.0);
+    let mut ranks = Vec::with_capacity(hi - lo);
+    for i in lo..hi {
+        if i > lo {
+            // Slide: remove data[i-1], add data[i + FEATURE_SIZE - 1].
+            let out = data[i - 1] as usize;
+            let c = counts[out];
+            s += clog[c - 1] - clog[c];
+            counts[out] = c - 1;
+            let inc = data[i + FEATURE_SIZE - 1] as usize;
+            let c = counts[inc];
+            s += clog[c + 1] - clog[c];
+            counts[inc] = c + 1;
+        }
+        let h = (max_h - (s as f64 / RANK_FX) / w).max(0.0);
         let scaled = ((h / max_h) * ENTROPY_SCALE as f64).round() as u32;
         ranks.push(rank_of(scaled.min(ENTROPY_SCALE)));
-        if i + FEATURE_SIZE >= n {
-            break;
-        }
-        // Slide: remove data[i], add data[i + FEATURE_SIZE].
-        let out = data[i] as usize;
-        let c = counts[out];
-        s += clog[c - 1] - clog[c];
-        counts[out] = c - 1;
-        let inc = data[i + FEATURE_SIZE] as usize;
-        let c = counts[inc];
-        s += clog[c + 1] - clog[c];
-        counts[inc] = c + 1;
-        i += 1;
     }
     ranks
+}
+
+/// Re-selects features for window positions `lo..hi` of `data`, appending
+/// them to `out` in position order.
+///
+/// Replicates [`select_popular`]'s window-counting rule exactly, restricted
+/// to the complete neighborhoods that can credit a position in the region:
+/// window starts in `[lo − (win−1), min(hi − 1, windows − win)]`.
+fn region_features(
+    data: &[u8],
+    windows: usize,
+    win: usize,
+    lo: usize,
+    hi: usize,
+    out: &mut Vec<CachedFeature>,
+) {
+    debug_assert!(lo < hi && hi <= windows && win <= windows);
+    let r_lo = lo.saturating_sub(win - 1);
+    let r_hi = (hi + win - 1).min(windows);
+    let ranks = ranks_in(data, r_lo, r_hi);
+    let q_hi = (hi - 1).min(windows - win);
+    let mut pop = vec![0u32; hi - lo];
+    let mut deque: VecDeque<usize> = VecDeque::new();
+    if q_hi + win > r_lo {
+        for i in r_lo..(q_hi + win) {
+            let ri = i - r_lo;
+            // Maintain decreasing ranks; equal ranks keep the earlier index
+            // at the front so the leftmost maximum wins (as in
+            // `select_popular`).
+            while let Some(&back) = deque.back() {
+                if ranks[back] < ranks[ri] {
+                    deque.pop_back();
+                } else {
+                    break;
+                }
+            }
+            deque.push_back(ri);
+            if i + 1 >= r_lo + win {
+                let q = i + 1 - win; // absolute start of the complete window
+                while let Some(&front) = deque.front() {
+                    if front + r_lo < q {
+                        deque.pop_front();
+                    } else {
+                        break;
+                    }
+                }
+                if let Some(&front) = deque.front() {
+                    let p = front + r_lo;
+                    if p >= lo && p < hi {
+                        pop[p - lo] += 1;
+                    }
+                }
+            }
+        }
+    }
+    for p in lo..hi {
+        if ranks[p - r_lo] > 0 && pop[p - lo] >= POPULARITY_THRESHOLD {
+            out.push(CachedFeature {
+                pos: p as u32,
+                words: sha1_words(&data[p..p + FEATURE_SIZE]),
+            });
+        }
+    }
 }
 
 /// Maps a scaled entropy value to a precedence rank; 0 means "never
@@ -412,6 +648,97 @@ mod tests {
         ranks[100] = 900;
         let sel = select_popular(&ranks);
         assert!(sel.contains(&100));
+    }
+
+    #[test]
+    fn compute_with_cache_matches_compute() {
+        for data in [text_bytes(2048), random_bytes(4096, 21)] {
+            let plain = SdDigest::compute(&data).unwrap();
+            let (cached, cache) = SdDigest::compute_with_cache(&data).unwrap();
+            assert_eq!(plain, cached);
+            assert_eq!(cache.feature_count(), cached.features());
+            assert_eq!(cache.input_len(), data.len());
+        }
+    }
+
+    #[test]
+    fn empty_dirty_set_rebuilds_identical_digest() {
+        let data = text_bytes(4096);
+        let (digest, cache) = SdDigest::compute_with_cache(&data).unwrap();
+        let (rebuilt, cache2) = SdDigest::recompute_dirty(&cache, &data, &[]).unwrap();
+        assert_eq!(digest, rebuilt);
+        assert_eq!(cache, cache2);
+    }
+
+    #[test]
+    fn shrunk_input_refuses_incremental() {
+        let data = text_bytes(4096);
+        let (_, cache) = SdDigest::compute_with_cache(&data).unwrap();
+        assert!(SdDigest::recompute_dirty(&cache, &data[..2048], &[(0, 2048)]).is_none());
+    }
+
+    /// Property test: for random dirty-extent patterns (overwrites and tail
+    /// growth), the spliced digest and feature cache are bit-identical to a
+    /// from-scratch recompute of the final bytes — the incremental-vs-full
+    /// equivalence the engine's close path relies on.
+    #[test]
+    fn dirty_recompute_matches_from_scratch() {
+        let mut seed = 0xD1537_u64;
+        let mut next = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            seed
+        };
+        for case in 0..40 {
+            // Mix structured and random content so both feature-rich and
+            // feature-poor neighborhoods get exercised.
+            let len = MIN_FILE_SIZE + (next() as usize % 8192);
+            let mut data = if case % 2 == 0 {
+                text_bytes(len)
+            } else {
+                let mut d = text_bytes(len);
+                let r = random_bytes(len / 3, next() | 1);
+                d[..r.len()].copy_from_slice(&r);
+                d
+            };
+            let (_, cache) = match SdDigest::compute_with_cache(&data) {
+                Some(v) => v,
+                None => continue,
+            };
+            let mut dirty: Vec<(usize, usize)> = Vec::new();
+            for _ in 0..1 + next() % 5 {
+                if next() % 5 == 0 {
+                    // Tail growth, recorded as a dirty extent.
+                    let old_len = data.len();
+                    let extra: Vec<u8> = (0..1 + next() as usize % 700).map(|_| next() as u8).collect();
+                    data.extend_from_slice(&extra);
+                    dirty.push((old_len, data.len()));
+                } else {
+                    let start = next() as usize % data.len();
+                    let end = (start + 1 + next() as usize % 300).min(data.len());
+                    for b in &mut data[start..end] {
+                        *b = next() as u8;
+                    }
+                    dirty.push((start, end));
+                }
+            }
+            let spliced = SdDigest::recompute_dirty(&cache, &data, &dirty);
+            let scratch = SdDigest::compute_with_cache(&data);
+            match (spliced, scratch) {
+                (Some((d, c)), Some((d2, c2))) => {
+                    assert_eq!(d, d2, "case {case}: spliced digest must equal from-scratch");
+                    assert_eq!(c, c2, "case {case}: spliced cache must equal from-scratch");
+                    assert_eq!(d.similarity(&d2), 100);
+                }
+                (None, None) => {}
+                (a, b) => panic!(
+                    "case {case}: incremental {:?} vs full {:?} disagree on digestibility",
+                    a.is_some(),
+                    b.is_some()
+                ),
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,346 @@
+//! Dirty-extent tracking and incremental content stamps.
+//!
+//! Re-digesting a whole file on every close is what makes the CryptoDrop
+//! filter's modify cycle ~57× more expensive than the raw operation (see
+//! `BENCH_engine.json`). This module provides the two pieces the engine
+//! needs to analyse only what actually changed:
+//!
+//! * a **content stamp** — a 64-bit polynomial hash of a file's bytes that
+//!   the VFS maintains *incrementally* on every write and truncate, so the
+//!   engine can decide "content unchanged since my snapshot" in O(1)
+//!   instead of re-fingerprinting the file. The stamp is a pure function
+//!   of the content: two files (even in different [`Vfs`](crate::Vfs)
+//!   namespaces) with identical bytes carry identical stamps.
+//! * a per-open-handle **dirty extent list** — the byte ranges a handle
+//!   modified, coalesced and carrying the pre-image bytes they replaced,
+//!   flushed to the filter stack in the close outcome as a
+//!   [`DirtyReport`]. The engine subtracts the pre-image bytes from its
+//!   cached histogram, adds the new bytes, and re-selects similarity
+//!   features only around the dirty windows.
+//!
+//! The stamp is `H(data) = Σᵢ (data[i]+1)·rⁱ (mod 2⁶⁴)` with `r` an odd
+//! multiplier. The `+1` makes the hash length-sensitive (appending a zero
+//! byte changes it), and the positional powers make point updates O(length
+//! of the change): overwriting `old` with `new` at offset `s` adds
+//! `Σᵢ (new[i]−old[i])·r^(s+i)`. The empty content stamps to `0`, which
+//! doubles as the "unknown" sentinel — consumers must treat a zero stamp
+//! as uncomparable (empty files always take the full-analysis path, which
+//! is cheap for them anyway).
+
+use serde::{Deserialize, Serialize};
+
+/// The positional multiplier of the stamp polynomial (odd, so it is
+/// invertible mod 2⁶⁴ and powers do not collapse).
+const STAMP_R: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// Beyond this many disjoint extents a handle's dirty state degrades to
+/// [`DirtyReport::full`]: scattered writes approach whole-file churn, where
+/// incremental analysis stops paying for itself.
+pub const MAX_DIRTY_EXTENTS: usize = 16;
+
+/// Adjacent extents closer than this many bytes are coalesced into one.
+/// The bridged gap bytes are unmodified (pre-image == current content), so
+/// including them is correct and keeps the extent list short under
+/// sequential-ish write patterns.
+const COALESCE_GAP: usize = 64;
+
+/// The content stamp of `data`: `Σᵢ (data[i]+1)·rⁱ (mod 2⁶⁴)`.
+///
+/// # Examples
+///
+/// ```
+/// use cryptodrop_vfs::content_stamp;
+///
+/// assert_eq!(content_stamp(b""), 0);
+/// assert_eq!(content_stamp(b"abc"), content_stamp(b"abc"));
+/// assert_ne!(content_stamp(b"abc"), content_stamp(b"abd"));
+/// assert_ne!(content_stamp(b"abc"), content_stamp(b"abc\0"), "length-sensitive");
+/// ```
+pub fn content_stamp(data: &[u8]) -> u64 {
+    let mut h = 0u64;
+    let mut p = 1u64;
+    for &b in data {
+        h = h.wrapping_add((u64::from(b) + 1).wrapping_mul(p));
+        p = p.wrapping_mul(STAMP_R);
+    }
+    h
+}
+
+/// `r^e (mod 2⁶⁴)` by binary exponentiation.
+fn pow_r(mut e: u64) -> u64 {
+    let mut base = STAMP_R;
+    let mut acc = 1u64;
+    while e > 0 {
+        if e & 1 == 1 {
+            acc = acc.wrapping_mul(base);
+        }
+        base = base.wrapping_mul(base);
+        e >>= 1;
+    }
+    acc
+}
+
+/// The stamp delta of overwriting `old` with `new` at byte offset `start`
+/// (both slices the same length — the overlapping part of a write).
+pub(crate) fn stamp_overwrite_delta(start: u64, old: &[u8], new: &[u8]) -> u64 {
+    debug_assert_eq!(old.len(), new.len());
+    let mut delta = 0u64;
+    let mut p = pow_r(start);
+    for (&o, &n) in old.iter().zip(new) {
+        delta = delta.wrapping_add(u64::from(n).wrapping_sub(u64::from(o)).wrapping_mul(p));
+        p = p.wrapping_mul(STAMP_R);
+    }
+    delta
+}
+
+/// The stamp delta of appending `new` at byte offset `start` (positions
+/// that did not previously exist).
+pub(crate) fn stamp_append_delta(start: u64, new: &[u8]) -> u64 {
+    let mut delta = 0u64;
+    let mut p = pow_r(start);
+    for &n in new {
+        delta = delta.wrapping_add((u64::from(n) + 1).wrapping_mul(p));
+        p = p.wrapping_mul(STAMP_R);
+    }
+    delta
+}
+
+/// The stamp delta of zero-filling positions `[start, end)` that did not
+/// previously exist (a seek-past-end gap, or a zero-extending truncate).
+pub(crate) fn stamp_zero_fill_delta(start: u64, end: u64) -> u64 {
+    // Each zero byte contributes (0+1)·rⁱ = rⁱ.
+    let mut delta = 0u64;
+    let mut p = pow_r(start);
+    for _ in start..end {
+        delta = delta.wrapping_add(p);
+        p = p.wrapping_mul(STAMP_R);
+    }
+    delta
+}
+
+/// The stamp delta of removing the trailing bytes `removed`, which
+/// previously occupied positions `[start, start+removed.len())` (a
+/// shrinking truncate).
+pub(crate) fn stamp_remove_delta(start: u64, removed: &[u8]) -> u64 {
+    stamp_append_delta(start, removed).wrapping_neg()
+}
+
+/// One modified byte range of an open handle, in *current* file
+/// coordinates, carrying the base-content bytes it replaced.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DirtyExtent {
+    /// First modified byte offset (inclusive).
+    pub start: u64,
+    /// One past the last modified byte offset.
+    pub end: u64,
+    /// The base-content bytes previously at `[start, min(end, base_len))`.
+    /// Shorter than the extent when the extent grew the file — positions
+    /// at or beyond the base length had no previous bytes.
+    pub pre: Vec<u8>,
+}
+
+/// Everything one open handle knows about how it changed a file, delivered
+/// to filter drivers in the close outcome
+/// ([`OpOutcome::Close`](crate::OpOutcome)).
+///
+/// Invariants when `full` is `false`:
+///
+/// * `extents` are sorted by `start`, disjoint, and non-adjacent;
+/// * every byte position outside the extents and below `base_len` holds
+///   the same byte it held in the base content (the content whose stamp is
+///   `base_stamp`);
+/// * every position at or beyond `base_len` is covered by an extent (the
+///   file only grows between truncates, and growth is always dirty);
+/// * the final content length is ≥ `base_len`.
+///
+/// A consumer holding analysis products of the base content can therefore
+/// reconstruct products of the final content by replaying only the
+/// extents — provided the file's current stamp still equals `last_stamp`
+/// (no other handle interfered) and its own products describe
+/// `base_stamp`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DirtyReport {
+    /// Stamp of the content this handle's tracking is based on (the
+    /// content at open time, or post-truncation for a truncating open).
+    pub base_stamp: u64,
+    /// Length of the base content in bytes.
+    pub base_len: u64,
+    /// Stamp of the content after this handle's last mutation.
+    pub last_stamp: u64,
+    /// Extent tracking was abandoned: another handle interfered, the file
+    /// was truncated, or the write pattern exceeded
+    /// [`MAX_DIRTY_EXTENTS`]. Consumers must fall back to full analysis.
+    pub full: bool,
+    /// The modified ranges (empty when `full`, or when nothing changed).
+    pub extents: Vec<DirtyExtent>,
+}
+
+impl DirtyReport {
+    /// Fresh tracking state based on content with the given stamp/length.
+    pub(crate) fn new(base_stamp: u64, base_len: u64) -> Self {
+        Self {
+            base_stamp,
+            base_len,
+            last_stamp: base_stamp,
+            full: false,
+            extents: Vec::new(),
+        }
+    }
+
+    /// Degrades to whole-file tracking, dropping the extents.
+    pub(crate) fn mark_full(&mut self) {
+        self.full = true;
+        self.extents.clear();
+    }
+
+    /// Total dirty bytes across all extents.
+    pub fn dirty_bytes(&self) -> u64 {
+        self.extents.iter().map(|e| e.end - e.start).sum()
+    }
+
+    /// Folds the modified range `[start, end)` into the extent list.
+    ///
+    /// `base` must be the file content *before* this mutation is applied:
+    /// by the struct invariants, positions outside existing extents still
+    /// hold base bytes there, so the merged pre-image is built from `base`
+    /// patched with the pre-images already stored for overlapping extents.
+    pub(crate) fn note_write(&mut self, start: u64, end: u64, base: &[u8]) {
+        if self.full || start >= end {
+            return;
+        }
+        // Coalesce with any extent overlapping or nearly adjacent.
+        let gap = COALESCE_GAP as u64;
+        let mut new_start = start;
+        let mut new_end = end;
+        let mut absorbed: Vec<DirtyExtent> = Vec::new();
+        self.extents.retain(|e| {
+            let touches = e.start <= new_end.saturating_add(gap) && new_start <= e.end.saturating_add(gap);
+            if touches {
+                new_start = new_start.min(e.start);
+                new_end = new_end.max(e.end);
+                absorbed.push(e.clone());
+                false
+            } else {
+                true
+            }
+        });
+        // Pre-image of the merged range: base bytes below base_len,
+        // overlaid with the pre-images the absorbed extents already saved
+        // (their covered positions no longer hold base bytes in `base`).
+        let pre_end = new_end.min(self.base_len);
+        let mut pre = if new_start < pre_end {
+            base[new_start as usize..pre_end as usize].to_vec()
+        } else {
+            Vec::new()
+        };
+        for a in &absorbed {
+            let a_pre_end = (a.start + a.pre.len() as u64).min(pre_end);
+            if a.start < a_pre_end {
+                let dst = (a.start - new_start) as usize;
+                let n = (a_pre_end - a.start) as usize;
+                pre[dst..dst + n].copy_from_slice(&a.pre[..n]);
+            }
+        }
+        let ext = DirtyExtent {
+            start: new_start,
+            end: new_end,
+            pre,
+        };
+        let pos = self
+            .extents
+            .partition_point(|e| e.start < ext.start);
+        self.extents.insert(pos, ext);
+        if self.extents.len() > MAX_DIRTY_EXTENTS {
+            self.mark_full();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stamp_matches_incremental_overwrite() {
+        let base = b"the quick brown fox jumps over the lazy dog".to_vec();
+        let mut cur = base.clone();
+        cur[4..9].copy_from_slice(b"QUICK");
+        let delta = stamp_overwrite_delta(4, &base[4..9], b"QUICK");
+        assert_eq!(
+            content_stamp(&base).wrapping_add(delta),
+            content_stamp(&cur)
+        );
+    }
+
+    #[test]
+    fn stamp_matches_incremental_append_and_gap() {
+        let base = b"header".to_vec();
+        let mut cur = base.clone();
+        cur.resize(10, 0); // gap [6,10)
+        cur.extend_from_slice(b"tail");
+        let delta = stamp_zero_fill_delta(6, 10).wrapping_add(stamp_append_delta(10, b"tail"));
+        assert_eq!(
+            content_stamp(&base).wrapping_add(delta),
+            content_stamp(&cur)
+        );
+    }
+
+    #[test]
+    fn stamp_matches_incremental_shrink() {
+        let full = b"keep this, drop that".to_vec();
+        let delta = stamp_remove_delta(9, &full[9..]);
+        assert_eq!(
+            content_stamp(&full).wrapping_add(delta),
+            content_stamp(&full[..9])
+        );
+    }
+
+    #[test]
+    fn stamp_is_length_and_position_sensitive() {
+        assert_ne!(content_stamp(b"ab"), content_stamp(b"ba"));
+        assert_ne!(content_stamp(b"a"), content_stamp(b"a\0"));
+        assert_ne!(content_stamp(b"\0"), content_stamp(b""));
+    }
+
+    #[test]
+    fn note_write_coalesces_and_keeps_pre_images() {
+        let base = b"0123456789abcdefghij".to_vec();
+        let mut d = DirtyReport::new(content_stamp(&base), base.len() as u64);
+        d.note_write(2, 5, &base);
+        assert_eq!(d.extents.len(), 1);
+        assert_eq!(d.extents[0].pre, b"234");
+        // Overlapping write: the stored pre-image must keep the *base*
+        // bytes even though the file now holds different bytes there.
+        let mut mutated = base.clone();
+        mutated[2..5].copy_from_slice(b"XXX");
+        d.note_write(4, 8, &mutated);
+        assert_eq!(d.extents.len(), 1);
+        assert_eq!(d.extents[0].start, 2);
+        assert_eq!(d.extents[0].end, 8);
+        assert_eq!(d.extents[0].pre, b"234567");
+    }
+
+    #[test]
+    fn note_write_tracks_growth_past_base_len() {
+        let base = b"short".to_vec();
+        let mut d = DirtyReport::new(content_stamp(&base), base.len() as u64);
+        // Overwrite the tail and grow: pre covers only the base part.
+        d.note_write(3, 12, &base);
+        assert_eq!(d.extents[0].pre, b"rt");
+        assert_eq!(d.dirty_bytes(), 9);
+    }
+
+    #[test]
+    fn distant_writes_stay_separate_then_cap_to_full() {
+        let base = vec![7u8; 100_000];
+        let mut d = DirtyReport::new(content_stamp(&base), base.len() as u64);
+        for i in 0..MAX_DIRTY_EXTENTS {
+            d.note_write((i * 5000) as u64, (i * 5000 + 10) as u64, &base);
+        }
+        assert_eq!(d.extents.len(), MAX_DIRTY_EXTENTS);
+        assert!(!d.full);
+        d.note_write(90_000, 90_010, &base);
+        assert!(d.full);
+        assert!(d.extents.is_empty());
+    }
+}

@@ -124,6 +124,21 @@ impl<'a> FsView<'a> {
             .filter(Metadata::is_file)
             .map(|m| m.len)
     }
+
+    /// Borrows a file's current content without copying, if the path names
+    /// a file. The borrow is tied to the view's lifetime, letting filters
+    /// analyse content in place instead of cloning it per operation.
+    pub fn file_bytes(&self, path: &VPath) -> Option<&'a [u8]> {
+        self.vfs.file_bytes_impl(path)
+    }
+
+    /// The file's current [content stamp](crate::content_stamp), if the
+    /// path names a file. Maintained incrementally by the VFS; equal
+    /// stamps mean equal content (modulo a 2⁻⁶⁴ collision), including
+    /// across [`Vfs`] instances.
+    pub fn file_stamp(&self, path: &VPath) -> Option<u64> {
+        self.vfs.file_stamp_impl(path)
+    }
 }
 
 /// A filesystem filter driver (Windows minifilter analogue).

@@ -14,6 +14,10 @@ use std::time::Instant;
 use cryptodrop_telemetry::{JournalKind, Telemetry};
 
 use crate::clock::{LatencyLedger, OpKind, SimClock};
+use crate::dirty::{
+    content_stamp, stamp_append_delta, stamp_overwrite_delta, stamp_remove_delta,
+    stamp_zero_fill_delta, DirtyReport,
+};
 use crate::error::{VfsError, VfsResult};
 use crate::events::{Event, EventDetail, EventLog};
 use crate::faults::FaultInjector;
@@ -36,7 +40,10 @@ struct OpenHandle {
     writable: bool,
     modified: bool,
     /// Path at open time, kept for close events if the file is deleted.
-    opened_path: VPath,
+    opened_path: Arc<VPath>,
+    /// Dirty-extent tracking for this handle, delivered to filters at
+    /// close time (see [`DirtyReport`]).
+    dirty: DirtyReport,
 }
 
 /// The in-memory virtual filesystem. See the [crate-level docs](crate) for
@@ -44,7 +51,7 @@ struct OpenHandle {
 pub struct Vfs {
     files: HashMap<VPath, FileNode>,
     dir_children: HashMap<VPath, BTreeMap<String, EntryKind>>,
-    file_paths: HashMap<FileId, VPath>,
+    file_paths: HashMap<FileId, Arc<VPath>>,
     handles: HashMap<u64, OpenHandle>,
     next_file_id: u64,
     next_handle_id: u64,
@@ -56,6 +63,10 @@ pub struct Vfs {
     telemetry: Telemetry,
     shadow: Option<Arc<dyn ShadowSink>>,
     faults: Option<FaultInjector>,
+    /// Reusable buffer for the process name passed to filter callbacks,
+    /// recycled across operations to keep the steady-state filter path
+    /// allocation-free.
+    name_scratch: String,
 }
 
 impl Default for Vfs {
@@ -96,6 +107,7 @@ impl Vfs {
             telemetry: Telemetry::disabled(),
             shadow: None,
             faults: None,
+            name_scratch: String::new(),
         }
     }
 
@@ -329,23 +341,32 @@ impl Vfs {
                 FileNode {
                     id,
                     data: Vec::new(),
+                    stamp: 0,
                     read_only: false,
                     created_at_nanos: now,
                     modified_at_nanos: now,
                 },
             );
-            self.file_paths.insert(id, path.clone());
+            self.file_paths.insert(id, Arc::new(path.clone()));
             self.shadow_note_created(pid, id, path);
         }
         let truncated = exists && options.truncate && options.write;
-        let file_id = {
+        let (file_id, base_stamp, base_len) = {
             let node = self.files.get_mut(path).expect("file exists by now");
             if truncated {
                 node.data.clear();
+                node.stamp = 0;
                 node.modified_at_nanos = now;
             }
-            node.id
+            // Dirty tracking bases on the post-truncation content: the
+            // truncation itself is already visible through `truncated`.
+            (node.id, node.stamp, node.data.len() as u64)
         };
+        let opened_path = self
+            .file_paths
+            .get(&file_id)
+            .cloned()
+            .unwrap_or_else(|| Arc::new(path.clone()));
         let handle_id = self.next_handle_id;
         self.next_handle_id += 1;
         self.handles.insert(
@@ -357,7 +378,8 @@ impl Vfs {
                 writable: options.write,
                 // A truncating open has already modified the file.
                 modified: truncated,
-                opened_path: path.clone(),
+                opened_path,
+                dirty: DirtyReport::new(base_stamp, base_len),
             },
         );
 
@@ -369,15 +391,12 @@ impl Vfs {
         let mut overhead = 0u64;
         self.run_post(pid, &op, &outcome, &mut overhead);
         self.ledger_add(OpKind::Open, overhead);
-        self.record(
-            pid,
-            EventDetail::Open {
-                path: path.clone(),
-                file: file_id,
-                created,
-                write: options.write,
-            },
-        );
+        self.record(pid, || EventDetail::Open {
+            path: path.clone(),
+            file: file_id,
+            created,
+            write: options.write,
+        });
         Ok(Handle(handle_id))
     }
 
@@ -406,7 +425,7 @@ impl Vfs {
         self.finish_op(OpKind::Read, overhead);
         pre?;
 
-        let node = self.files.get(&path).expect("path resolved from live id");
+        let node = self.files.get(path.as_ref()).expect("path resolved from live id");
         let start = (cursor as usize).min(node.data.len());
         let end = (start + len).min(node.data.len());
         let data = node.data[start..end].to_vec();
@@ -421,13 +440,10 @@ impl Vfs {
         let mut overhead = 0u64;
         self.run_post(pid, &op, &outcome, &mut overhead);
         self.ledger_add(OpKind::Read, overhead);
-        self.record(
-            pid,
-            EventDetail::Read {
-                path,
-                bytes: data.len() as u64,
-            },
-        );
+        self.record(pid, || EventDetail::Read {
+            path: (*path).clone(),
+            bytes: data.len() as u64,
+        });
         Ok(data)
     }
 
@@ -439,7 +455,7 @@ impl Vfs {
     pub fn read_to_end(&mut self, pid: ProcessId, handle: Handle) -> VfsResult<Vec<u8>> {
         let (file_id, cursor) = self.handle_info(pid, handle)?;
         let path = self.path_of(file_id)?;
-        let remaining = self.files[&path].data.len().saturating_sub(cursor as usize);
+        let remaining = self.files[path.as_ref()].data.len().saturating_sub(cursor as usize);
         self.read(pid, handle, remaining)
     }
 
@@ -472,8 +488,65 @@ impl Vfs {
         self.shadow_capture(pid, MutationKind::Write, &path);
         let now = self.clock.now_nanos();
         {
-            let node = self.files.get_mut(&path).expect("path resolved from live id");
+            let node = self.files.get_mut(path.as_ref()).expect("path resolved from live id");
+            let h = self.handles.get_mut(&handle.0).expect("validated");
             let start = cursor as usize;
+            let old_len = node.data.len();
+            let new_end = start + data.len();
+            let final_len = old_len.max(new_end);
+            let overlap = if start < old_len {
+                (old_len - start).min(data.len())
+            } else {
+                0
+            };
+            // Narrow the write to the bytes it actually changes: the
+            // changed sub-range of the overlap, plus any growth beyond the
+            // old end (a seek-past-end gap is zero-filled growth). A write
+            // that changes nothing — the common save-unchanged pattern —
+            // leaves both the stamp and the dirty extents untouched.
+            let old_slice = &node.data[start.min(old_len)..start.min(old_len) + overlap];
+            // Slice equality compiles to memcmp, which runs an order of
+            // magnitude faster than the byte-wise scan below — and the
+            // save-unchanged pattern is the steady state, so it is worth
+            // one extra pass in the rarer changed case.
+            let first_diff = if old_slice == &data[..overlap] {
+                None
+            } else {
+                old_slice.iter().zip(&data[..overlap]).position(|(a, b)| a != b)
+            };
+            if first_diff.is_some() || final_len > old_len {
+                if node.stamp != h.dirty.last_stamp {
+                    // Another handle mutated the file since our last look:
+                    // extent-level tracking is no longer sound.
+                    h.dirty.mark_full();
+                }
+                let mut delta = 0u64;
+                if let Some(f) = first_diff {
+                    let l = old_slice
+                        .iter()
+                        .zip(&data[..overlap])
+                        .rposition(|(a, b)| a != b)
+                        .expect("a first diff implies a last diff");
+                    delta = delta.wrapping_add(stamp_overwrite_delta(
+                        (start + f) as u64,
+                        &old_slice[f..=l],
+                        &data[f..=l],
+                    ));
+                    h.dirty
+                        .note_write((start + f) as u64, (start + l + 1) as u64, &node.data);
+                }
+                if final_len > old_len {
+                    if start > old_len {
+                        delta =
+                            delta.wrapping_add(stamp_zero_fill_delta(old_len as u64, start as u64));
+                    }
+                    delta = delta
+                        .wrapping_add(stamp_append_delta((start + overlap) as u64, &data[overlap..]));
+                    h.dirty.note_write(old_len as u64, final_len as u64, &node.data);
+                }
+                node.stamp = node.stamp.wrapping_add(delta);
+                h.dirty.last_stamp = node.stamp;
+            }
             if node.data.len() < start {
                 node.data.resize(start, 0);
             }
@@ -481,9 +554,11 @@ impl Vfs {
             node.data[start..start + overlap].copy_from_slice(&data[..overlap]);
             node.data.extend_from_slice(&data[overlap..]);
             node.modified_at_nanos = now;
-        }
-        {
-            let h = self.handles.get_mut(&handle.0).expect("validated");
+            debug_assert_eq!(
+                node.stamp,
+                content_stamp(&node.data),
+                "incremental stamp drifted from content"
+            );
             h.cursor = cursor + data.len() as u64;
             h.modified = true;
         }
@@ -495,13 +570,10 @@ impl Vfs {
         let mut overhead = 0u64;
         self.run_post(pid, &op, &outcome, &mut overhead);
         self.ledger_add(OpKind::Write, overhead);
-        self.record(
-            pid,
-            EventDetail::Write {
-                path,
-                bytes: data.len() as u64,
-            },
-        );
+        self.record(pid, || EventDetail::Write {
+            path: (*path).clone(),
+            bytes: data.len() as u64,
+        });
         Ok(data.len())
     }
 
@@ -528,11 +600,34 @@ impl Vfs {
         self.shadow_capture(pid, MutationKind::Truncate, &path);
         let now = self.clock.now_nanos();
         {
-            let node = self.files.get_mut(&path).expect("path resolved from live id");
-            node.data.resize(len as usize, 0);
+            let node = self.files.get_mut(path.as_ref()).expect("path resolved from live id");
+            let h = self.handles.get_mut(&handle.0).expect("validated");
+            let old_len = node.data.len();
+            let new_len = len as usize;
+            if new_len < old_len {
+                node.stamp = node
+                    .stamp
+                    .wrapping_add(stamp_remove_delta(new_len as u64, &node.data[new_len..]));
+            } else if new_len > old_len {
+                node.stamp = node
+                    .stamp
+                    .wrapping_add(stamp_zero_fill_delta(old_len as u64, new_len as u64));
+            }
+            if new_len != old_len {
+                // A resize invalidates extent coordinates (shrink) or is
+                // rare enough not to matter (zero-extend): degrade.
+                h.dirty.mark_full();
+                h.dirty.last_stamp = node.stamp;
+            }
+            node.data.resize(new_len, 0);
             node.modified_at_nanos = now;
+            debug_assert_eq!(
+                node.stamp,
+                content_stamp(&node.data),
+                "incremental stamp drifted from content"
+            );
+            h.modified = true;
         }
-        self.handles.get_mut(&handle.0).expect("validated").modified = true;
 
         let outcome = OpOutcome::Truncate { file: file_id };
         let mut overhead = 0u64;
@@ -586,16 +681,28 @@ impl Vfs {
         let _ = self.run_pre(pid, &op, &mut overhead);
         self.finish_op(OpKind::Close, overhead);
 
-        self.handles.remove(&handle.0);
+        let h = self.handles.remove(&handle.0).expect("validated above");
+        // The file may have been deleted (stamp 0 = unknown) or even
+        // replaced by a new file at the same path — match on id.
+        let stamp = self
+            .files
+            .get(path.as_ref())
+            .filter(|n| n.id == file_id)
+            .map_or(0, |n| n.stamp);
 
         let outcome = OpOutcome::Close {
             file: file_id,
             modified,
+            stamp,
+            dirty: h.writable.then_some(&h.dirty),
         };
         let mut overhead = 0u64;
         self.run_post(pid, &op, &outcome, &mut overhead);
         self.ledger_add(OpKind::Close, overhead);
-        self.record(pid, EventDetail::Close { path, modified });
+        self.record(pid, || EventDetail::Close {
+            path: (*path).clone(),
+            modified,
+        });
         Ok(())
     }
 
@@ -636,7 +743,7 @@ impl Vfs {
         let mut overhead = 0u64;
         self.run_post(pid, &op, &outcome, &mut overhead);
         self.ledger_add(OpKind::Delete, overhead);
-        self.record(pid, EventDetail::Delete { path: path.clone() });
+        self.record(pid, || EventDetail::Delete { path: path.clone() });
         Ok(())
     }
 
@@ -724,7 +831,7 @@ impl Vfs {
             .expect("checked above")
             .insert(to.file_name().unwrap().to_string(), EntryKind::File);
         self.files.insert(to.clone(), node);
-        self.file_paths.insert(file_id, to.clone());
+        self.file_paths.insert(file_id, Arc::new(to.clone()));
         self.shadow_note_rename(pid, file_id, from, to);
 
         let outcome = OpOutcome::Rename {
@@ -734,14 +841,11 @@ impl Vfs {
         let mut overhead = 0u64;
         self.run_post(pid, &op, &outcome, &mut overhead);
         self.ledger_add(OpKind::Rename, overhead);
-        self.record(
-            pid,
-            EventDetail::Rename {
-                from: from.clone(),
-                to: to.clone(),
-                replaced: replaced.is_some(),
-            },
-        );
+        self.record(pid, || EventDetail::Rename {
+            from: from.clone(),
+            to: to.clone(),
+            replaced: replaced.is_some(),
+        });
         Ok(())
     }
 
@@ -794,7 +898,7 @@ impl Vfs {
         let mut overhead = 0u64;
         self.run_post(pid, &op, &outcome, &mut overhead);
         self.ledger_add(OpKind::ReadDir, overhead);
-        self.record(pid, EventDetail::ReadDir { path: path.clone() });
+        self.record(pid, || EventDetail::ReadDir { path: path.clone() });
         Ok(entries)
     }
 
@@ -844,13 +948,10 @@ impl Vfs {
         let mut overhead = 0u64;
         self.run_post(pid, &op, &outcome, &mut overhead);
         self.ledger_add(OpKind::Metadata, overhead);
-        self.record(
-            pid,
-            EventDetail::SetAttr {
-                path: path.clone(),
-                read_only,
-            },
-        );
+        self.record(pid, || EventDetail::SetAttr {
+            path: path.clone(),
+            read_only,
+        });
         Ok(())
     }
 
@@ -1003,9 +1104,11 @@ impl Vfs {
         let parent = path.parent().ok_or_else(|| VfsError::InvalidPath(path.clone()))?;
         self.create_dir_all_impl(&parent)?;
         let now = self.clock.now_nanos();
+        let stamp = content_stamp(data);
         match self.files.get_mut(path) {
             Some(node) => {
                 node.data = data.to_vec();
+                node.stamp = stamp;
                 node.modified_at_nanos = now;
             }
             None => {
@@ -1020,12 +1123,13 @@ impl Vfs {
                     FileNode {
                         id,
                         data: data.to_vec(),
+                        stamp,
                         read_only: false,
                         created_at_nanos: now,
                         modified_at_nanos: now,
                     },
                 );
-                self.file_paths.insert(id, path.clone());
+                self.file_paths.insert(id, Arc::new(path.clone()));
             }
         }
         Ok(())
@@ -1211,7 +1315,7 @@ impl Vfs {
             .expect("just created")
             .insert(to.file_name().unwrap().to_string(), EntryKind::File);
         self.files.insert(to.clone(), node);
-        self.file_paths.insert(id, to.clone());
+        self.file_paths.insert(id, Arc::new(to.clone()));
         Ok(())
     }
 
@@ -1261,11 +1365,19 @@ impl Vfs {
         }
     }
 
-    fn path_of(&self, file: FileId) -> VfsResult<VPath> {
+    fn path_of(&self, file: FileId) -> VfsResult<Arc<VPath>> {
         self.file_paths
             .get(&file)
             .cloned()
             .ok_or(VfsError::InvalidHandle)
+    }
+
+    pub(crate) fn file_bytes_impl(&self, path: &VPath) -> Option<&[u8]> {
+        self.files.get(path).map(|n| n.data.as_slice())
+    }
+
+    pub(crate) fn file_stamp_impl(&self, path: &VPath) -> Option<u64> {
+        self.files.get(path).map(|n| n.stamp)
     }
 
     fn unlink_entry(&mut self, path: &VPath) {
@@ -1337,12 +1449,17 @@ impl Vfs {
         }
     }
 
-    fn record(&mut self, pid: ProcessId, detail: EventDetail) {
+    /// Appends to the event log, building the detail (and its path clones)
+    /// only when the log is actually enabled.
+    fn record(&mut self, pid: ProcessId, detail: impl FnOnce() -> EventDetail) {
+        if !self.log.is_enabled() {
+            return;
+        }
         let at_nanos = self.clock.now_nanos();
         self.log.push(Event {
             at_nanos,
             pid,
-            detail,
+            detail: detail(),
         });
     }
 
@@ -1360,11 +1477,11 @@ impl Vfs {
         if self.filters.is_empty() {
             return Ok(());
         }
-        let name = self
-            .processes
-            .get(pid)
-            .map(|r| r.name().to_string())
-            .unwrap_or_default();
+        let mut name = std::mem::take(&mut self.name_scratch);
+        name.clear();
+        if let Some(r) = self.processes.get(pid) {
+            name.push_str(r.name());
+        }
         let ctx = OpContext {
             pid,
             family_root: self.processes.root_of(pid),
@@ -1403,6 +1520,7 @@ impl Vfs {
         }
         *overhead += started.elapsed().as_nanos() as u64;
         self.filters = filters;
+        self.name_scratch = name;
         result
     }
 
@@ -1416,11 +1534,11 @@ impl Vfs {
         if self.filters.is_empty() {
             return;
         }
-        let name = self
-            .processes
-            .get(pid)
-            .map(|r| r.name().to_string())
-            .unwrap_or_default();
+        let mut name = std::mem::take(&mut self.name_scratch);
+        name.clear();
+        if let Some(r) = self.processes.get(pid) {
+            name.push_str(r.name());
+        }
         let ctx = OpContext {
             pid,
             family_root: self.processes.root_of(pid),
@@ -1458,6 +1576,7 @@ impl Vfs {
         }
         *overhead += started.elapsed().as_nanos() as u64;
         self.filters = filters;
+        self.name_scratch = name;
         if let Some((by, reason)) = suspend {
             self.apply_suspension(pid, by, reason);
         }
@@ -1586,7 +1705,7 @@ impl AdminView<'_> {
 
     /// The current path of a live file, by identity.
     pub fn path_of(&self, file: FileId) -> Option<VPath> {
-        self.vfs.file_paths.get(&file).cloned()
+        self.vfs.file_paths.get(&file).map(|p| (**p).clone())
     }
 
     /// Iterates over all files as `(path, content)` pairs, in arbitrary

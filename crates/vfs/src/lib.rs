@@ -47,6 +47,7 @@
 #![warn(missing_docs)]
 
 mod clock;
+pub mod dirty;
 mod error;
 mod events;
 pub mod faults;
@@ -59,6 +60,7 @@ mod process;
 pub mod shadow;
 
 pub use clock::{LatencyLedger, LatencyStat, OpKind, SimClock};
+pub use dirty::{content_stamp, DirtyExtent, DirtyReport, MAX_DIRTY_EXTENTS};
 pub use error::{VfsError, VfsResult};
 pub use faults::{FaultInjector, FaultPlan, FaultStats};
 pub use events::{Event, EventDetail, EventLog};

@@ -75,6 +75,9 @@ impl Metadata {
 pub(crate) struct FileNode {
     pub id: FileId,
     pub data: Vec<u8>,
+    /// Incrementally maintained [`content_stamp`](crate::content_stamp) of
+    /// `data`, kept in sync by every mutation path.
+    pub stamp: u64,
     pub read_only: bool,
     pub created_at_nanos: u64,
     pub modified_at_nanos: u64,

@@ -6,6 +6,7 @@
 //! the result.
 
 use crate::clock::OpKind;
+use crate::dirty::DirtyReport;
 use crate::node::FileId;
 use crate::path::VPath;
 use crate::process::ProcessId;
@@ -231,6 +232,13 @@ pub enum OpOutcome<'a> {
         file: FileId,
         /// Whether the handle modified the file.
         modified: bool,
+        /// The file's current [content stamp](crate::content_stamp), or
+        /// `0` if the file no longer exists.
+        stamp: u64,
+        /// The handle's dirty-extent report, present for handles that were
+        /// opened writable. See [`DirtyReport`] for the invariants an
+        /// incremental consumer may rely on.
+        dirty: Option<&'a DirtyReport>,
     },
     /// A file was deleted.
     Delete {

@@ -1,0 +1,111 @@
+//! Verdict equality for incremental analysis: replaying full attack
+//! families with `Config::incremental_analysis` on vs off must produce
+//! identical outcomes — same suspensions, same scores, same files lost.
+//!
+//! The incremental close path (stamp skip / dirty-extent delta / full
+//! recompute) and the stamp-based entropy reuse on reads and writes are
+//! pure optimizations; these replays are the end-to-end proof on top of
+//! the per-close `debug_assert` equivalence nets and the entropy/sdhash
+//! property tests.
+
+use cryptodrop::Config;
+use cryptodrop_corpus::{Corpus, CorpusSpec};
+use cryptodrop_experiments::runner::{run_app, run_sample, run_sample_with_telemetry};
+use cryptodrop_malware::paper_sample_set;
+use cryptodrop_telemetry::Telemetry;
+
+fn corpus() -> Corpus {
+    Corpus::generate(&CorpusSpec::sized(500, 50))
+}
+
+fn config(corpus: &Corpus, incremental: bool) -> Config {
+    let mut cfg = Config::protecting(corpus.root().as_str());
+    cfg.incremental_analysis = incremental;
+    cfg
+}
+
+/// One representative sample per (family, class): the whole Table I
+/// behaviour space replayed under both analysis modes.
+#[test]
+fn attack_replays_are_verdict_identical_with_incremental_analysis() {
+    let corpus = corpus();
+    let on = config(&corpus, true);
+    let off = config(&corpus, false);
+    for sample in paper_sample_set().into_iter().filter(|s| s.index == 0) {
+        let fast = run_sample(&corpus, &on, &sample);
+        let reference = run_sample(&corpus, &off, &sample);
+        assert_eq!(
+            fast, reference,
+            "{} #{}: incremental analysis changed the replay outcome",
+            sample.family.name(), sample.id
+        );
+        assert!(
+            reference.detected,
+            "{} #{}: reference replay must detect",
+            sample.family.name(), sample.id
+        );
+    }
+}
+
+/// Benign workloads must not change either: no new false positives, no
+/// score drift.
+#[test]
+fn benign_replays_are_verdict_identical_with_incremental_analysis() {
+    let corpus = corpus();
+    let on = config(&corpus, true);
+    let off = config(&corpus, false);
+    for app in cryptodrop_benign::paper_apps() {
+        let fast = run_app(&corpus, &on, app.as_ref(), 7);
+        let reference = run_app(&corpus, &off, app.as_ref(), 7);
+        assert_eq!(
+            fast, reference,
+            "{}: incremental analysis changed the benign outcome",
+            app.name()
+        );
+    }
+}
+
+/// The incremental counters are observable through telemetry, and an
+/// attack replay actually takes the incremental paths (a replay that
+/// never skipped or delta-updated would mean the optimization is dead
+/// code in exactly the workload it was built for).
+#[test]
+fn incremental_counters_are_observable() {
+    let corpus = corpus();
+    let cfg = config(&corpus, true);
+    let sample = &paper_sample_set()[0];
+    let telemetry = Telemetry::new(1 << 16);
+    let (result, _) = run_sample_with_telemetry(&corpus, &cfg, sample, telemetry.clone());
+    assert!(result.detected);
+
+    let snap = telemetry.metrics().snapshot();
+    let counter = |name: &str| snap.counters.get(name).copied().unwrap_or(0);
+    let skips = counter("engine.incremental.stamp_skips");
+    let delta = counter("engine.incremental.delta_applied");
+    let full = counter("engine.incremental.full_recompute");
+    assert!(
+        skips + delta + full > 0,
+        "incremental paths never engaged: skips {skips}, delta {delta}, full {full}"
+    );
+    assert!(
+        full > 0,
+        "an encrypting replay must force full recomputes somewhere"
+    );
+}
+
+/// Same replay with incremental analysis off: the incremental counters
+/// stay at zero (the knob genuinely selects the reference path).
+#[test]
+fn disabling_incremental_analysis_silences_the_counters() {
+    let corpus = corpus();
+    let cfg = config(&corpus, false);
+    let sample = &paper_sample_set()[0];
+    let telemetry = Telemetry::new(1 << 16);
+    let (result, _) = run_sample_with_telemetry(&corpus, &cfg, sample, telemetry.clone());
+    assert!(result.detected);
+
+    let snap = telemetry.metrics().snapshot();
+    let counter = |name: &str| snap.counters.get(name).copied().unwrap_or(0);
+    assert_eq!(counter("engine.incremental.stamp_skips"), 0);
+    assert_eq!(counter("engine.incremental.delta_applied"), 0);
+}
