@@ -125,6 +125,13 @@ fn measure_cycle_ns(corpus: &Corpus, filtered: bool, churn: bool, iters: u32) ->
 /// on every cycle. Exercises the eviction accounting under real pressure
 /// (the default-capacity runs never evict, which would leave the
 /// `cache_evictions` counter untested by the bench artifacts).
+///
+/// Expect evictions ≈ misses here: capacity 8 rounds up to one slot per
+/// engine shard, and a cyclic sweep over a working set larger than
+/// capacity revisits each path only after it was evicted to admit the
+/// others — the inherent LRU sweep pathology, not a victim-order bug.
+/// Victim selection (strict oldest-first within pin state) is covered by
+/// targeted tests in `cryptodrop-core`.
 fn measure_eviction_pressure(corpus: &Corpus, iters: u32) -> (f64, CacheStats) {
     let mut config = bench_config(corpus);
     config.snapshot_cache_capacity = 8;

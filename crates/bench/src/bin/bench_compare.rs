@@ -1,11 +1,22 @@
 //! Regression gate over the bench artifacts (`BENCH_*.json`).
 //!
 //! Compares a baseline artifact against a current one and exits non-zero
-//! when any throughput metric — a numeric field whose key contains
-//! `cycles_per_sec` — drops by more than the allowed fraction. Latency
-//! fields are deliberately not gated: nanosecond numbers are too noisy
-//! across machines to hold a hard threshold, while the cycles/s figures
-//! are what the performance work optimizes and what CI must protect.
+//! when any gated metric drops by more than the allowed fraction. Gated
+//! metrics are the higher-is-better figures the performance work
+//! optimizes:
+//!
+//! * numeric fields whose key contains `cycles_per_sec` or `ops_per_sec`
+//!   (absolute throughput);
+//! * numeric fields whose key contains `_speedup` (ratios like
+//!   `burst_absorption.producer_speedup` — the 0.09 collapse of PR 6
+//!   sailed through a cycles/s-only gate);
+//! * a derived `degrade_vs_inline` ratio for every object carrying both
+//!   `inline_cycles_per_sec` and `degrade_cycles_per_sec`, so degrade
+//!   collapsing *relative* to inline fails CI even when a faster engine
+//!   lifts both absolute numbers.
+//!
+//! Latency fields are deliberately not gated: nanosecond numbers are too
+//! noisy across machines to hold a hard threshold.
 //!
 //! Usage:
 //!
@@ -217,9 +228,15 @@ fn parse(text: &str) -> Result<Json, String> {
     Ok(v)
 }
 
-/// Collects every `(path, value)` pair whose key contains
-/// `cycles_per_sec`, paths rendered like
-/// `multi_process_throughput[2].cycles_per_sec`.
+/// Whether a numeric field is a gated higher-is-better metric.
+fn gated_key(key: &str) -> bool {
+    key.contains("cycles_per_sec") || key.contains("ops_per_sec") || key.contains("_speedup")
+}
+
+/// Collects every gated `(path, value)` pair (see [`gated_key`]), paths
+/// rendered like `multi_process_throughput[2].cycles_per_sec`, plus a
+/// derived `degrade_vs_inline` ratio wherever an object reports both
+/// inline and degrade throughput.
 fn throughput_metrics(value: &Json, path: &str, out: &mut Vec<(String, f64)>) {
     match value {
         Json::Obj(entries) => {
@@ -230,12 +247,31 @@ fn throughput_metrics(value: &Json, path: &str, out: &mut Vec<(String, f64)>) {
                     format!("{path}.{key}")
                 };
                 if let Json::Num(n) = val {
-                    if key.contains("cycles_per_sec") {
+                    if gated_key(key) {
                         out.push((child, *n));
                         continue;
                     }
                 }
                 throughput_metrics(val, &child, out);
+            }
+            let field = |name: &str| {
+                entries.iter().find_map(|(k, v)| match v {
+                    Json::Num(n) if k == name => Some(*n),
+                    _ => None,
+                })
+            };
+            if let (Some(inline), Some(degrade)) = (
+                field("inline_cycles_per_sec"),
+                field("degrade_cycles_per_sec"),
+            ) {
+                if inline > 0.0 {
+                    let child = if path.is_empty() {
+                        "degrade_vs_inline".to_string()
+                    } else {
+                        format!("{path}.degrade_vs_inline")
+                    };
+                    out.push((child, degrade / inline));
+                }
             }
         }
         Json::Arr(items) => {
@@ -429,6 +465,76 @@ mod tests {
         assert!(rows
             .iter()
             .any(|(p, o)| matches!(o, Outcome::OnlyCurrent) && p.starts_with("renamed")));
+    }
+
+    /// ISSUE 7: the 0.09 `producer_speedup` collapse must trip the gate.
+    #[test]
+    fn producer_speedup_is_gated() {
+        const BURST: &str = r#"{
+          "burst_absorption": {
+            "inline_ns_per_cycle": 83674.6,
+            "degrade_producer_ns_per_cycle": 20000.0,
+            "producer_speedup": 4.18,
+            "drain_ms": 12.0
+          }
+        }"#;
+        let base = parse(BURST).unwrap();
+        let mut metrics = Vec::new();
+        throughput_metrics(&base, "", &mut metrics);
+        assert_eq!(
+            metrics,
+            [("burst_absorption.producer_speedup".to_string(), 4.18)],
+            "only the speedup is gated, never the raw nanoseconds"
+        );
+        let cur = parse(&BURST.replace("4.18", "0.09")).unwrap();
+        let rows = compare(&base, &cur, 0.20);
+        assert!(
+            rows.iter()
+                .any(|(p, o)| p.ends_with("producer_speedup") && matches!(o, Outcome::Regressed(_))),
+            "a collapsed producer_speedup must fail the gate"
+        );
+    }
+
+    /// ISSUE 7: degrade falling from ~64% to ~26% of inline slipped past
+    /// the absolute cycles/s gate because inline got 30× faster in the
+    /// same PR. The derived ratio catches exactly that shape.
+    #[test]
+    fn degrade_relative_to_inline_is_gated() {
+        const POINT: &str = r#"{
+          "multi_process_throughput": [
+            { "threads": 4, "inline_cycles_per_sec": 100.0, "sync_cycles_per_sec": 98.0,
+              "degrade_cycles_per_sec": 64.0 }
+          ]
+        }"#;
+        // Inline quadruples, degrade still rises in absolute terms — but
+        // collapses relative to inline. The absolute gates pass; the
+        // ratio must fail.
+        let base = parse(POINT).unwrap();
+        let cur = parse(
+            &POINT
+                .replace("100.0", "400.0")
+                .replace("64.0", "100.0")
+                .replace("98.0", "390.0"),
+        )
+        .unwrap();
+        let rows = compare(&base, &cur, 0.20);
+        let failed: Vec<&str> = rows
+            .iter()
+            .filter(|(_, o)| matches!(o, Outcome::Regressed(_)))
+            .map(|(p, _)| p.as_str())
+            .collect();
+        assert_eq!(failed, ["multi_process_throughput[0].degrade_vs_inline"]);
+    }
+
+    #[test]
+    fn ops_per_sec_is_gated() {
+        const FLEET: &str = r#"{ "fleet_steady_state": { "ops_per_sec": 5000.0 } }"#;
+        let base = parse(FLEET).unwrap();
+        let cur = parse(&FLEET.replace("5000.0", "3000.0")).unwrap();
+        let rows = compare(&base, &cur, 0.20);
+        assert!(rows
+            .iter()
+            .any(|(p, o)| p.ends_with("ops_per_sec") && matches!(o, Outcome::Regressed(_))));
     }
 
     #[test]

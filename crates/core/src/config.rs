@@ -139,6 +139,14 @@ pub struct Config {
     /// unaffected unless deliberately lowered; an evicted path merely
     /// degrades to the no-pre-image abstain the paper already models for
     /// never-seen files. `0` means unbounded.
+    ///
+    /// The cap is spread over the engine's 16 path shards (rounding up
+    /// to at least one slot per shard), so values below 16 act as 16
+    /// single-entry caches. Sizing the cap below a workload's cyclic
+    /// working set triggers the classic LRU sweep pathology — each path
+    /// is revisited only after being evicted to admit the others, so
+    /// evictions track misses one-for-one. Keep the cap comfortably
+    /// above the hot path count (the default is 65,536).
     pub snapshot_cache_capacity: usize,
     /// Separate bound for **pinned** path snapshots: snapshots of deleted
     /// protected files are excluded from the LRU cap above (the Class C

@@ -537,6 +537,14 @@ impl CryptoDrop {
 
     /// The per-shard snapshot capacity implied by
     /// [`Config::snapshot_cache_capacity`] (0 = unbounded).
+    ///
+    /// Capacities below [`SHARDS`] round up to one slot per shard, so a
+    /// deliberately tiny cap (e.g. the bench `eviction_pressure` probe's
+    /// 8) behaves as 16 single-entry caches: any shard visited by two or
+    /// more paths of a cyclic sweep evicts one to admit the other on
+    /// every pass. That evictions ≈ misses shape is the inherent LRU
+    /// sweep pathology of capacity < working set, not a victim-order
+    /// bug — see `cyclic_sweep_thrash_is_capacity_pathology_not_victim_order`.
     fn shard_cap(&self) -> usize {
         match self.cfg.snapshot_cache_capacity {
             0 => usize::MAX,
@@ -1043,6 +1051,90 @@ impl CryptoDrop {
         let shard = self.shared.file_shard(file).lock();
         let snap = shard.snapshots.get(&file)?;
         (snap.stamp == stamp && snap.len == len as u64).then_some(snap.entropy)
+    }
+
+    /// Whether processing `rec` inline is provably cheap — every content
+    /// pass it could trigger resolves through a stamp-matching resident
+    /// snapshot (or the record carries no content at all), so the analysis
+    /// is O(1) in file size. The `DegradeToInline` producer fast path uses
+    /// this to decide between processing a record on the calling thread
+    /// (cheaper than cloning its content for the queue) and handing it to
+    /// a worker (which absorbs a genuinely heavy pass off the producer's
+    /// critical path). Purely a cost estimate: a stale answer under
+    /// concurrent snapshot churn only mis-routes a record, never changes
+    /// its verdict. Conservative on the heavy side — `false` just means
+    /// "enqueue it".
+    pub(crate) fn record_is_light(&self, rec: &OpRecord<'_>) -> bool {
+        let cfg = &self.cfg;
+        match &rec.body {
+            // O(1) when the resident path snapshot already carries this
+            // stamp (the `apply_refresh` fast branch); otherwise a full
+            // fingerprint pass or capture runs.
+            RecordBody::Refresh { path, stamp, .. } => {
+                cfg.fingerprint_cache
+                    && *stamp != 0
+                    && self
+                        .shared
+                        .path_shard(path.as_ref())
+                        .lock()
+                        .snapshots
+                        .get(path.as_ref())
+                        .is_some_and(|e| e.snap.stamp == *stamp)
+            }
+            // No content pass at all: map probes and score bookkeeping.
+            RecordBody::Open { .. } | RecordBody::Truncate { .. } | RecordBody::Delete { .. } => {
+                true
+            }
+            // Light exactly when the entropy tracker can substitute the
+            // snapshot's entropy for the O(n) fold over the payload.
+            RecordBody::Read {
+                file, data, stamp, ..
+            }
+            | RecordBody::Write {
+                file, data, stamp, ..
+            } => self.known_entropy(*file, *stamp, data.len()).is_some(),
+            // Light when the close path would take its tier-1 stamp skip
+            // (same guard, same stamp comparison) or the tier-2 dirty-
+            // extent delta (O(dirty bytes) splicing plus one cheap
+            // fingerprint pass — already cheaper than cloning the content
+            // for the queue). Only a broken stamp chain forces the tier-3
+            // full sniff/sdhash/entropy recompute, and that is the pass
+            // worth handing to a worker.
+            RecordBody::Close {
+                file,
+                current,
+                stamp,
+                dirty,
+                ..
+            } => {
+                if *stamp == 0 {
+                    return false;
+                }
+                let tier1_guard = cfg.fingerprint_cache && cfg.score.similarity_match_max < 100;
+                let delta_capable = |d: &cryptodrop_vfs::DirtyReport| {
+                    cfg.incremental_analysis
+                        && !d.full
+                        && d.last_stamp == *stamp
+                        && current.len() <= cfg.max_digest_bytes
+                        && (current.len() as u64) >= d.base_len
+                };
+                let shard = self.shared.file_shard(*file).lock();
+                let Some(snap) = shard.snapshots.get(file) else {
+                    return false;
+                };
+                (tier1_guard && snap.stamp == *stamp)
+                    || dirty.as_deref().is_some_and(|d| {
+                        delta_capable(d)
+                            && snap.stamp != 0
+                            && snap.stamp == d.base_stamp
+                            && snap.len == d.base_len
+                            && snap.incr.is_some()
+                    })
+            }
+            // A replaced protected destination drags in the Class C
+            // content evaluation; a plain move is bookkeeping.
+            RecordBody::Rename { dest_current, .. } => dest_current.is_none(),
+        }
     }
 
     /// After awarding hits, checks the threshold and issues the verdict.
@@ -2492,6 +2584,91 @@ mod tests {
         // process stays clean.
         assert!(!fs.is_suspended(pid));
         assert_eq!(monitor.detections().len(), 0);
+    }
+
+    #[test]
+    fn evict_oldest_removes_strictly_least_recently_touched() {
+        let mut shard = PathShard::default();
+        let snap = FileSnapshot::capture(b"payload", 1 << 16);
+        let path = |i: u32| VPath::new(format!("/d/f{i}"));
+        for (i, tick) in [(0u32, 5u64), (1, 2), (2, 9)] {
+            shard.insert_snapshot(path(i), snap.clone(), tick, usize::MAX);
+        }
+        // Touching f1 (tick 2 → 10) promotes it past f0, so the LRU
+        // victim order becomes f0 (5), then f2 (9), then f1 (10).
+        shard.get_snapshot(&path(1), 10);
+        assert!(shard.evict_oldest(false));
+        assert!(!shard.snapshots.contains_key(&path(0)), "f0 is oldest");
+        assert!(shard.evict_oldest(false));
+        assert!(!shard.snapshots.contains_key(&path(2)), "then f2");
+        assert!(shard.snapshots.contains_key(&path(1)), "touched f1 survives");
+        // Pinned entries are invisible to unpinned eviction and vice versa.
+        shard.insert_snapshot(path(3), snap.clone(), 1, usize::MAX);
+        shard.pin(&path(3), usize::MAX);
+        assert!(
+            shard.evict_oldest(false),
+            "f1 is the only unpinned entry left"
+        );
+        assert!(!shard.snapshots.contains_key(&path(1)));
+        assert!(!shard.evict_oldest(false), "no unpinned victims remain");
+        assert!(shard.snapshots.contains_key(&path(3)), "pinned f3 untouched");
+        assert!(shard.evict_oldest(true), "pinned eviction finds f3");
+        assert!(shard.snapshots.is_empty());
+    }
+
+    /// Reproduces the bench `eviction_pressure` probe's evictions ≈ misses
+    /// shape and proves it is the inherent LRU sweep pathology — a cyclic
+    /// working set larger than capacity revisits each path only after it
+    /// was evicted to admit the others — not a victim-selection bug:
+    /// the identical trace through a cache at least as large as the
+    /// working set stops evicting entirely.
+    #[test]
+    fn cyclic_sweep_thrash_is_capacity_pathology_not_victim_order() {
+        let paths = 20usize;
+        let run = |capacity: usize| -> CacheStats {
+            let mut fs = Vfs::new();
+            let docs = VPath::new(DOCS);
+            for i in 0..paths {
+                fs.admin()
+                    .write_file(&docs.join(format!("f{i}.txt")), &text_content(i as u32, 2048))
+                    .unwrap();
+            }
+            let mut cfg = Config::protecting(DOCS);
+            cfg.snapshot_cache_capacity = capacity;
+            let (engine, monitor) = CryptoDrop::new(cfg);
+            fs.register_filter(Box::new(engine));
+            let pid = fs.spawn_process("editor.exe");
+            for _round in 0..5 {
+                for i in 0..paths {
+                    let path = docs.join(format!("f{i}.txt"));
+                    let h = fs.open(pid, &path, OpenOptions::modify()).unwrap();
+                    let data = fs.read_to_end(pid, h).unwrap();
+                    fs.seek(pid, h, 0).unwrap();
+                    fs.write(pid, h, &data).unwrap();
+                    fs.close(pid, h).unwrap();
+                }
+            }
+            assert!(!fs.is_suspended(pid), "benign saves must stay clean");
+            monitor.cache_stats()
+        };
+
+        // Capacity 8 over 16 shards is 1 slot per shard: every shard
+        // holding two or more of the 20 paths evicts one to admit the
+        // other on each pass, so nearly every miss pairs with an
+        // eviction (first-touch misses are the only unpaired ones).
+        let squeezed = run(8);
+        assert!(squeezed.evictions > 0, "sweep must thrash: {squeezed:?}");
+        assert!(
+            squeezed.misses - squeezed.evictions <= 2 * paths as u64,
+            "thrash is one-for-one modulo first touches: {squeezed:?}"
+        );
+        // The same trace with capacity covering the working set: the 20
+        // first-touch misses are the only recomputes, everything after
+        // hits, and nothing is ever evicted.
+        let ample = run(64);
+        assert_eq!(ample.evictions, 0, "{ample:?}");
+        assert_eq!(ample.misses, paths as u64, "{ample:?}");
+        assert!(ample.hits > ample.misses, "{ample:?}");
     }
 
     #[test]

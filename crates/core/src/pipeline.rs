@@ -83,12 +83,16 @@ pub enum Backpressure {
     /// the operation stream. The default.
     #[default]
     Sync,
-    /// Never block and never drop: post-operation submissions return
-    /// `Allow` immediately (a crossing lands on the family's next
+    /// Never block and never drop: an enqueued post-operation submission
+    /// returns `Allow` immediately (a crossing lands on the family's next
     /// operation via the inline family gate), and a full shard queue makes
     /// the *producer* drain it and process its own record inline —
     /// graceful degradation under sustained overload, counted in
     /// [`PipelineStats::degraded`] and journaled when telemetry is on.
+    /// Records whose analysis is provably O(1) (stamp-matching
+    /// steady-state saves) are processed on the calling thread instead of
+    /// queued — cheaper than cloning their content — and return their
+    /// real verdict, exactly as the inline engine would.
     DegradeToInline,
 }
 
@@ -206,10 +210,10 @@ struct ShardQueue {
     /// Records enqueued on this shard and not yet completed — counts a
     /// record from its `q.push_back` until its verdict is produced, so it
     /// covers both queue residency *and* time inside a worker's batch
-    /// (a panic-requeued record simply stays counted). The `Sync`
-    /// producer fast path reads this single atomic to prove the shard
-    /// has no in-flight analysis to order against; fast-path records
-    /// themselves never touch it.
+    /// (a panic-requeued record simply stays counted). The producer fast
+    /// paths (`Sync` and the `DegradeToInline` light-record path) read
+    /// this single atomic to prove the shard has no in-flight analysis to
+    /// order against; fast-path records themselves never touch it.
     busy: AtomicU64,
 }
 
@@ -282,6 +286,13 @@ pub(crate) struct PipelineShared {
     /// enqueue; workers re-scan instead of sleeping whenever it moved.
     work_seq: Mutex<u64>,
     work_ready: Condvar,
+    /// Workers currently parked inside `work_ready.wait_timeout`. Producers
+    /// consult it on enqueue: with deep idle backoff (up to 50ms) a parked
+    /// worker must be notified of *any* enqueue, not just the
+    /// empty→non-empty transition, or a `DegradeToInline` producer — which
+    /// never waits and so never re-signals — leaves records stranded until
+    /// the backoff timer fires.
+    sleepers: AtomicU64,
     degraded: AtomicU64,
     batches: AtomicU64,
     worker_restarts: AtomicU64,
@@ -336,6 +347,7 @@ impl PipelineShared {
             shutdown: AtomicBool::new(false),
             work_seq: Mutex::new(0),
             work_ready: Condvar::new(),
+            sleepers: AtomicU64::new(0),
             degraded: AtomicU64::new(0),
             batches: AtomicU64::new(0),
             worker_restarts: AtomicU64::new(0),
@@ -362,6 +374,36 @@ impl PipelineShared {
         *g = g.wrapping_add(1);
         drop(g);
         self.work_ready.notify_all();
+    }
+
+    /// Wake policy after an enqueue, per backpressure mode.
+    ///
+    /// * `Sync`: the producer is (or is about to be) blocked on its
+    ///   verdict slot, so the worker must run *now* — the empty→non-empty
+    ///   transition always signals (a deeper queue means an earlier
+    ///   enqueue already bumped `work_seq`, or a worker is mid-drain and
+    ///   its loop picks the record up), and so does any enqueue made
+    ///   while a worker is parked, because the exponential idle backoff
+    ///   can otherwise hold a parked worker for up to 50ms.
+    /// * `DegradeToInline`: the producer never waits, so an eager wake
+    ///   buys nothing and costs a lot — waking a parked worker preempts
+    ///   the producer (the sleeper has all the scheduler credit), which
+    ///   hands the analysis right back to the producer-visible window the
+    ///   mode exists to protect. Wakes are therefore *batched*: nothing
+    ///   is signalled until the queue reaches half capacity (sustained
+    ///   overload — the worker must engage or the producer will hit the
+    ///   full-queue inline drain), and below that the worker's bounded
+    ///   idle timer (≤50ms) or an explicit [`Self::quiesce`] picks the
+    ///   records up. A lagged crossing still lands via the inline family
+    ///   gate, which is this mode's documented contract.
+    fn wake_for_enqueue(&self, depth: usize) {
+        let wake = match self.cfg.backpressure {
+            Backpressure::Sync => depth == 1 || self.sleepers.load(Ordering::Relaxed) > 0,
+            Backpressure::DegradeToInline => depth >= (self.cfg.capacity / 2).max(1),
+        };
+        if wake {
+            self.signal_work();
+        }
     }
 
     fn note_enqueued(&self, shard: &ShardQueue, depth: usize) {
@@ -482,20 +524,46 @@ impl PipelineShared {
                 let depth = q.len();
                 drop(q);
                 self.note_enqueued(shard, depth);
-                // Wake coalescing: only the empty→non-empty transition
-                // needs a wake. A deeper queue means an earlier enqueue
-                // already bumped `work_seq` (or a worker is mid-drain and
-                // its drain loop will pick this record up); the worker's
-                // bounded wait re-scans regardless.
-                if depth == 1 {
-                    self.signal_work();
-                }
+                self.wake_for_enqueue(depth);
                 match slot {
                     Some(slot) => self.await_verdict(engine, shard, &slot),
                     None => Verdict::Allow,
                 }
             }
             Backpressure::DegradeToInline => {
+                // Producer fast path, Degrade flavor. A Degrade producer
+                // never waits, so handing a record to a worker is a real
+                // win only when the analysis outweighs the hand-off —
+                // and the hand-off is not free: `into_owned` clones the
+                // record's full content (refresh/read/write/close records
+                // carry the whole file), and the enqueue+wake round-trip
+                // costs a lock and a notify. For a *light* record (every
+                // content pass resolves through a stamp-matching snapshot
+                // in O(1) — the steady-state save), the clone alone dwarfs
+                // the analysis, so the producer processes it borrowed on
+                // the calling thread. Heavy records (changed content, full
+                // sniff/sdhash/entropy) still enqueue: that is the burst
+                // the pipeline exists to absorb. Ordering mirrors the
+                // `Sync` fast path: one acquire load of `busy == 0`
+                // proves this shard has nothing queued or mid-batch to
+                // order against, and in production a family's records come
+                // from one `Vfs` thread, so no same-family record can be
+                // submitted concurrently. Counted as enqueued + processed
+                // so the settlement invariant holds; disabled under fault
+                // injection so chaos runs keep exercising the worker path.
+                if self.injector.is_none()
+                    && shard.busy.load(Ordering::Acquire) == 0
+                    && engine.record_is_light(&rec)
+                {
+                    let v = engine.process_record(&rec);
+                    shard.enqueued.fetch_add(1, Ordering::Relaxed);
+                    shard.processed.fetch_add(1, Ordering::Relaxed);
+                    if self.telemetry.is_enabled() {
+                        self.metrics.enqueued.inc();
+                        self.metrics.processed.inc();
+                    }
+                    return v;
+                }
                 {
                     let mut q = lock_recover(&shard.q);
                     if q.len() < self.cfg.capacity {
@@ -508,9 +576,7 @@ impl PipelineShared {
                         let depth = q.len();
                         drop(q);
                         self.note_enqueued(shard, depth);
-                        if depth == 1 {
-                            self.signal_work();
-                        }
+                        self.wake_for_enqueue(depth);
                         return Verdict::Allow;
                     }
                 }
@@ -702,17 +768,26 @@ impl PipelineShared {
             if *g == seen {
                 // Timeout is a missed-wakeup safety net only; producers
                 // bump the sequence before notifying, so a signal between
-                // the scan and this check is never lost.
+                // the scan and this check is never lost. The sleeper count
+                // is published while the sequence lock is still held:
+                // a producer that misses it (raced the park) bumps the
+                // sequence under the same lock, which this worker observes
+                // on the next `seen` read.
+                self.sleepers.fetch_add(1, Ordering::Release);
                 let _ = self
                     .work_ready
                     .wait_timeout(g, idle)
                     .unwrap_or_else(PoisonError::into_inner);
+                self.sleepers.fetch_sub(1, Ordering::Release);
                 idle = (idle * 2).min(IDLE_MAX);
             }
         }
     }
 
-    /// Blocks until every record enqueued so far has been processed.
+    /// Blocks until every record enqueued so far has been processed. Kicks
+    /// the workers on every poll: `DegradeToInline` batches its wakes, so
+    /// records may be sitting in a shallow queue with every worker parked
+    /// — quiesce must not wait out the idle timer.
     pub(crate) fn quiesce(&self) {
         loop {
             let settled = self.shards.iter().all(|s| {
@@ -722,6 +797,7 @@ impl PipelineShared {
             if settled {
                 return;
             }
+            self.signal_work();
             std::thread::sleep(Duration::from_micros(100));
         }
     }

@@ -479,6 +479,25 @@ impl Session {
         reports
     }
 
+    /// Shuts the session down deterministically and returns the final
+    /// pipeline counters: drains every queued record, captures the stats,
+    /// then stops and joins the worker pool. `Drop` performs the same
+    /// teardown, but fleet hosts despawning one tenant among thousands
+    /// want the terminal stats for their rollup — after `drop` they are
+    /// gone. Inline sessions return the default (all-zero) stats.
+    pub fn shutdown(mut self) -> PipelineStats {
+        let Some(p) = self.pipeline.take() else {
+            return PipelineStats::default();
+        };
+        p.quiesce();
+        let stats = p.stats();
+        p.begin_shutdown();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+        stats
+    }
+
     /// Drains the pipeline, then applies any detection that has not yet
     /// reached `fs`'s process table as a suspension. Under
     /// `Backpressure::DegradeToInline` a threshold crossing can land

@@ -323,6 +323,88 @@ fn degraded_pipeline_drops_nothing_and_counts_degradations() {
     );
 }
 
+/// Regression (ISSUE 7 headline): PR 6's idle-worker exponential backoff
+/// plus empty→non-empty-only wake coalescing collapsed `DegradeToInline`
+/// for a lone producer — every steady-state save paid a full content
+/// clone, an enqueue/wake round-trip, and worker hand-off latency for
+/// analysis the stamp cache resolves in O(1), leaving the never-block
+/// path ~11× slower per cycle than inline. Light records now process on
+/// the producer thread, so a lone producer under Degrade must stay
+/// within 2× of inline ns/cycle.
+#[test]
+fn lone_degrade_producer_stays_within_2x_of_inline() {
+    use std::time::Instant;
+
+    let stage = |session: &Session| {
+        let mut fs = Vfs::new();
+        let docs = VPath::new("/docs");
+        for f in 0..12 {
+            fs.admin()
+                .write_file(&docs.join(format!("file{f}.txt")), &text_content(f, 4096))
+                .unwrap();
+        }
+        fs.register_filter(Box::new(session.fork()));
+        let pid = fs.spawn_process("editor.exe");
+        (fs, pid)
+    };
+    // The steady-state editor-save cycle: read-modify-write-close with
+    // unchanged content, the workload the stamp cache makes O(1).
+    let cycle = |fs: &mut Vfs, pid: ProcessId| {
+        for f in 0..12 {
+            let path = VPath::new(format!("/docs/file{f}.txt"));
+            let h = fs.open(pid, &path, OpenOptions::modify()).unwrap();
+            let data = fs.read_to_end(pid, h).unwrap();
+            fs.seek(pid, h, 0).unwrap();
+            fs.write(pid, h, &data).unwrap();
+            fs.close(pid, h).unwrap();
+        }
+    };
+    let degrade_session = || {
+        CryptoDrop::builder()
+            .protecting("/docs")
+            .pipeline_config(PipelineConfig {
+                backpressure: Backpressure::DegradeToInline,
+                ..PipelineConfig::default()
+            })
+            .build()
+            .unwrap()
+    };
+
+    // Scheduler noise only ever slows a run down, so each mode's estimate
+    // is its fastest sample; the two modes run interleaved so they face
+    // the same machine epochs. Extra attempts only refine the minima, so
+    // retrying on a noisy miss never masks a real regression — an actual
+    // 11×-slow degrade path can never produce a sample under the bound.
+    let mut best = [f64::INFINITY; 2]; // [inline, degrade]
+    for _attempt in 0..3 {
+        let sessions = [inline_session(), degrade_session()];
+        let mut staged: Vec<_> = sessions.iter().map(stage).collect();
+        for (i, (fs, pid)) in staged.iter_mut().enumerate() {
+            cycle(fs, *pid); // warm-up: the first cycle captures snapshots
+            sessions[i].drain();
+        }
+        for _round in 0..5 {
+            for (i, (fs, pid)) in staged.iter_mut().enumerate() {
+                let started = Instant::now();
+                for _ in 0..3 {
+                    cycle(fs, *pid);
+                }
+                sessions[i].drain();
+                best[i] = best[i].min(started.elapsed().as_nanos() as f64);
+            }
+        }
+        if best[1] <= 2.0 * best[0] {
+            break;
+        }
+    }
+    assert!(
+        best[1] <= 2.0 * best[0],
+        "lone DegradeToInline producer regressed: degrade {:.0} ns/cycle vs inline {:.0} ns/cycle",
+        best[1],
+        best[0]
+    );
+}
+
 #[test]
 fn degraded_detections_reconcile_into_the_vfs() {
     // Under DegradeToInline a threshold crossing can land after the

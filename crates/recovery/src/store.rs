@@ -11,7 +11,7 @@ use std::sync::Arc;
 use cryptodrop_simhash::content_fingerprint;
 use cryptodrop_telemetry::{JournalKind, Telemetry};
 use cryptodrop_vfs::shadow::{MutationKind, PreImage, ShadowSink};
-use cryptodrop_vfs::{FileId, ProcessId, VPath};
+use cryptodrop_vfs::{BlobStore, FileId, ProcessId, VPath};
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 
@@ -106,12 +106,6 @@ pub(crate) struct Entry {
     pub(crate) read_only: bool,
 }
 
-#[derive(Debug)]
-struct Blob {
-    bytes: Arc<Vec<u8>>,
-    refs: usize,
-}
-
 /// A suspect rename, remembered so recovery can undo it.
 #[derive(Debug, Clone)]
 pub(crate) struct RenameNote {
@@ -128,8 +122,9 @@ pub(crate) struct Inner {
     pub(crate) entries: BTreeMap<u64, Entry>,
     /// file → its entries' seqs, in capture order (all families).
     pub(crate) by_file: HashMap<FileId, Vec<u64>>,
-    /// (fingerprint, len) → deduplicated content.
-    blobs: HashMap<(u64, u64), Blob>,
+    /// (fingerprint, len) → deduplicated content, in the refcounted
+    /// [`BlobStore`] shared with fleet corpus staging.
+    blobs: BlobStore,
     /// Files created (no pre-image) by each family root.
     pub(crate) created: HashMap<FileId, ProcessId>,
     /// Renames in capture order.
@@ -142,7 +137,6 @@ pub(crate) struct Inner {
     /// pre-image already corrupted), so recovery flags the file as a
     /// conflict instead of restoring the wrong bytes.
     evicted: HashSet<(FileId, ProcessId)>,
-    bytes_held: u64,
     next_seq: u64,
     stats: ShadowStats,
 }
@@ -153,28 +147,13 @@ impl Inner {
     }
 
     pub(crate) fn blob(&self, fp: u64, len: u64) -> Option<Arc<Vec<u8>>> {
-        self.blobs.get(&(fp, len)).map(|b| Arc::clone(&b.bytes))
+        self.blobs.get(fp, len)
     }
 
     /// Whether eviction has destroyed part of `file`'s history as
     /// authored by `family`.
     pub(crate) fn was_evicted(&self, file: FileId, family: ProcessId) -> bool {
         self.evicted.contains(&(file, family))
-    }
-
-    fn release_blob(&mut self, fp: u64, len: u64) -> u64 {
-        match self.blobs.get_mut(&(fp, len)) {
-            Some(blob) if blob.refs > 1 => {
-                blob.refs -= 1;
-                0
-            }
-            Some(_) => {
-                self.blobs.remove(&(fp, len));
-                self.bytes_held -= len;
-                len
-            }
-            None => 0,
-        }
     }
 
     /// Removes one entry from every index, returning it and the bytes the
@@ -187,7 +166,7 @@ impl Inner {
                 self.by_file.remove(&entry.file);
             }
         }
-        let released = self.release_blob(entry.fp, entry.len);
+        let released = self.blobs.release(entry.fp, entry.len);
         Some((entry, released))
     }
 }
@@ -244,7 +223,7 @@ impl ShadowStore {
         let inner = self.inner.lock();
         let mut stats = inner.stats.clone();
         stats.entries = inner.entries.len() as u64;
-        stats.bytes_held = inner.bytes_held;
+        stats.bytes_held = inner.blobs.bytes_held();
         stats.pinned_entries = inner
             .entries
             .values()
@@ -255,7 +234,7 @@ impl ShadowStore {
 
     /// Unique pre-image bytes currently held.
     pub fn bytes_held(&self) -> u64 {
-        self.inner.lock().bytes_held
+        self.inner.lock().blobs.bytes_held()
     }
 
     /// Journal entries currently held.
@@ -282,7 +261,7 @@ impl ShadowStore {
     /// oldest unpinned entry is evicted as before.
     fn enforce_budget(&self, inner: &mut Inner) {
         loop {
-            let over_bytes = inner.bytes_held > self.cfg.byte_budget;
+            let over_bytes = inner.blobs.bytes_held() > self.cfg.byte_budget;
             let over_entries =
                 self.cfg.max_entries != 0 && inner.entries.len() > self.cfg.max_entries;
             if !over_bytes && !over_entries {
@@ -302,12 +281,7 @@ impl ShadowStore {
                         break;
                     }
                 }
-                if over_bytes
-                    && inner
-                        .blobs
-                        .get(&(e.fp, e.len))
-                        .is_some_and(|b| b.refs == 1)
-                {
+                if over_bytes && inner.blobs.ref_count(e.fp, e.len) == 1 {
                     releasing = Some(e.seq);
                     break;
                 }
@@ -330,7 +304,7 @@ impl ShadowStore {
                 self.telemetry.counter("recovery.shadow.evictions").inc();
                 self.telemetry
                     .gauge("recovery.shadow.bytes")
-                    .set(inner.bytes_held as i64);
+                    .set(inner.blobs.bytes_held() as i64);
             }
             self.telemetry
                 .journal_event(entry.at_nanos, entry.family.0, || JournalKind::ShadowEvict {
@@ -365,23 +339,11 @@ impl ShadowSink for ShadowStore {
             }
         }
 
-        match inner.blobs.get_mut(&(fp, len)) {
-            Some(blob) => {
-                blob.refs += 1;
-                inner.stats.dedup_hits += 1;
-                if self.telemetry.is_enabled() {
-                    self.telemetry.counter("recovery.shadow.dedup_hits").inc();
-                }
-            }
-            None => {
-                inner.blobs.insert(
-                    (fp, len),
-                    Blob {
-                        bytes: Arc::new(pre.data.to_vec()),
-                        refs: 1,
-                    },
-                );
-                inner.bytes_held += len;
+        let (_blob, dedup_hit) = inner.blobs.acquire_with(fp, len, || pre.data.to_vec());
+        if dedup_hit {
+            inner.stats.dedup_hits += 1;
+            if self.telemetry.is_enabled() {
+                self.telemetry.counter("recovery.shadow.dedup_hits").inc();
             }
         }
 
@@ -407,7 +369,7 @@ impl ShadowSink for ShadowStore {
             self.telemetry.counter("recovery.shadow.captures").inc();
             self.telemetry
                 .gauge("recovery.shadow.bytes")
-                .set(inner.bytes_held as i64);
+                .set(inner.blobs.bytes_held() as i64);
             self.telemetry
                 .gauge("recovery.shadow.entries")
                 .set(inner.entries.len() as i64);
@@ -503,7 +465,7 @@ impl ShadowStore {
         if self.telemetry.is_enabled() {
             self.telemetry
                 .gauge("recovery.shadow.bytes")
-                .set(inner.bytes_held as i64);
+                .set(inner.blobs.bytes_held() as i64);
             self.telemetry
                 .gauge("recovery.shadow.entries")
                 .set(inner.entries.len() as i64);

@@ -156,7 +156,7 @@ pub struct HistogramBucket {
 }
 
 /// A point-in-time view of one histogram.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct HistogramSnapshot {
     /// Number of samples.
     pub count: u64,
@@ -169,6 +169,29 @@ pub struct HistogramSnapshot {
 }
 
 impl HistogramSnapshot {
+    /// Folds `other` into `self`: counts and sums add, buckets with the
+    /// same upper edge merge, and the mean is recomputed. Because both
+    /// sides use the same fixed log₂ bucket edges, merging loses no
+    /// precision beyond what each snapshot already gave up — quantiles of
+    /// the merged snapshot are exactly the quantiles of the pooled
+    /// samples at bucket resolution. This is the primitive behind
+    /// fleet-wide histogram rollups.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        self.count += other.count;
+        self.sum += other.sum;
+        self.mean = if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        };
+        for b in &other.buckets {
+            match self.buckets.binary_search_by_key(&b.le, |x| x.le) {
+                Ok(i) => self.buckets[i].count += b.count,
+                Err(i) => self.buckets.insert(i, b.clone()),
+            }
+        }
+    }
+
     /// An upper bound on the `q`-quantile (0.0 ..= 1.0), resolved to the
     /// containing log₂ bucket's upper edge. Returns 0 when empty.
     pub fn quantile_le(&self, q: f64) -> u64 {
@@ -256,6 +279,26 @@ pub struct MetricsSnapshot {
     pub histograms: BTreeMap<String, HistogramSnapshot>,
 }
 
+impl MetricsSnapshot {
+    /// Folds `other` into `self` name-by-name: counters and gauges sum,
+    /// histograms [`merge`](HistogramSnapshot::merge). Metrics present on
+    /// only one side carry over unchanged. A fleet rolls its per-tenant
+    /// registries into one snapshot by merging them in turn — per-tenant
+    /// detectors keep their own uncontended registries, and the rollup
+    /// happens off the hot path at export time.
+    pub fn merge(&mut self, other: &MetricsSnapshot) {
+        for (name, v) in &other.counters {
+            *self.counters.entry(name.clone()).or_insert(0) += v;
+        }
+        for (name, v) in &other.gauges {
+            *self.gauges.entry(name.clone()).or_insert(0) += v;
+        }
+        for (name, h) in &other.histograms {
+            self.histograms.entry(name.clone()).or_default().merge(h);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -314,6 +357,39 @@ mod tests {
         assert_eq!(snap.quantile_le(1.0), (1 << 20) - 1);
         let empty = Histogram::default().snapshot();
         assert_eq!(empty.quantile_le(0.5), 0);
+    }
+
+    #[test]
+    fn merged_snapshots_pool_samples() {
+        let a = Registry::default();
+        a.counter("ops").add(5);
+        a.gauge("resident").set(10);
+        for _ in 0..9 {
+            a.histogram("lat").record(100); // le 127
+        }
+        let b = Registry::default();
+        b.counter("ops").add(7);
+        b.counter("only_b").inc();
+        b.gauge("resident").set(4);
+        b.histogram("lat").record(1_000_000); // le 2^20 - 1
+
+        let mut rollup = a.snapshot();
+        rollup.merge(&b.snapshot());
+        assert_eq!(rollup.counters["ops"], 12);
+        assert_eq!(rollup.counters["only_b"], 1);
+        assert_eq!(rollup.gauges["resident"], 14, "gauges sum across tenants");
+        let lat = &rollup.histograms["lat"];
+        assert_eq!(lat.count, 10);
+        assert_eq!(lat.sum, 9 * 100 + 1_000_000);
+        assert_eq!(lat.quantile_le(0.5), 127);
+        assert_eq!(lat.quantile_le(1.0), (1 << 20) - 1);
+        // Merging equals recording everything into one histogram.
+        let pooled = Histogram::default();
+        for _ in 0..9 {
+            pooled.record(100);
+        }
+        pooled.record(1_000_000);
+        assert_eq!(lat.buckets, pooled.snapshot().buckets);
     }
 
     #[test]

@@ -22,7 +22,8 @@ use crate::error::{VfsError, VfsResult};
 use crate::events::{Event, EventDetail, EventLog};
 use crate::faults::FaultInjector;
 use crate::filter::{FilterDriver, FsView, Verdict};
-use crate::node::{DirEntry, EntryKind, FileId, FileNode, Metadata};
+use crate::content::SharedContent;
+use crate::node::{Content, DirEntry, EntryKind, FileId, FileNode, Metadata};
 use crate::ops::{FsOp, OpContext, OpOutcome, OpenOptions};
 use crate::path::VPath;
 use crate::process::{ProcessId, ProcessTable, SuspensionRecord};
@@ -340,7 +341,7 @@ impl Vfs {
                 path.clone(),
                 FileNode {
                     id,
-                    data: Vec::new(),
+                    data: Content::default(),
                     stamp: 0,
                     read_only: false,
                     created_at_nanos: now,
@@ -1081,7 +1082,7 @@ impl Vfs {
 
     pub(crate) fn read_file_impl(&self, path: &VPath) -> VfsResult<Vec<u8>> {
         match self.node_kind(path) {
-            Some(EntryKind::File) => Ok(self.files[path].data.clone()),
+            Some(EntryKind::File) => Ok(self.files[path].data.to_vec()),
             Some(EntryKind::Directory) => Err(VfsError::IsADirectory(path.clone())),
             None => Err(VfsError::NotFound(path.clone())),
         }
@@ -1107,7 +1108,7 @@ impl Vfs {
         let stamp = content_stamp(data);
         match self.files.get_mut(path) {
             Some(node) => {
-                node.data = data.to_vec();
+                node.data = data.to_vec().into();
                 node.stamp = stamp;
                 node.modified_at_nanos = now;
             }
@@ -1122,8 +1123,48 @@ impl Vfs {
                     path.clone(),
                     FileNode {
                         id,
-                        data: data.to_vec(),
+                        data: data.to_vec().into(),
                         stamp,
+                        read_only: false,
+                        created_at_nanos: now,
+                        modified_at_nanos: now,
+                    },
+                );
+                self.file_paths.insert(id, Arc::new(path.clone()));
+            }
+        }
+        Ok(())
+    }
+
+    /// [`AdminView::stage_shared`]'s implementation: create-or-replace a
+    /// file whose content *aliases* a shared buffer. O(1) in the content
+    /// size — no byte copy, no stamp recomputation.
+    fn stage_shared_impl(&mut self, path: &VPath, content: &SharedContent) -> VfsResult<()> {
+        if self.dir_children.contains_key(path) {
+            return Err(VfsError::IsADirectory(path.clone()));
+        }
+        let parent = path.parent().ok_or_else(|| VfsError::InvalidPath(path.clone()))?;
+        self.create_dir_all_impl(&parent)?;
+        let now = self.clock.now_nanos();
+        match self.files.get_mut(path) {
+            Some(node) => {
+                node.data = Content::from_shared(content.handle());
+                node.stamp = content.stamp();
+                node.modified_at_nanos = now;
+            }
+            None => {
+                let id = FileId(self.next_file_id);
+                self.next_file_id += 1;
+                self.dir_children
+                    .get_mut(&parent)
+                    .expect("just created")
+                    .insert(path.file_name().unwrap().to_string(), EntryKind::File);
+                self.files.insert(
+                    path.clone(),
+                    FileNode {
+                        id,
+                        data: Content::from_shared(content.handle()),
+                        stamp: content.stamp(),
                         read_only: false,
                         created_at_nanos: now,
                         modified_at_nanos: now,
@@ -1332,6 +1373,30 @@ impl Vfs {
     /// The total bytes stored across all files.
     pub fn total_bytes(&self) -> u64 {
         self.files.values().map(|n| n.data.len() as u64).sum()
+    }
+
+    /// Bytes held in buffers owned exclusively by this filesystem — the
+    /// copy-on-write resident cost of a namespace mounted over a shared
+    /// corpus (staged files still aliasing the corpus are excluded; see
+    /// [`shared_bytes`](Self::shared_bytes)).
+    pub fn private_bytes(&self) -> u64 {
+        self.files
+            .values()
+            .filter(|n| !n.data.is_shared())
+            .map(|n| n.data.len() as u64)
+            .sum()
+    }
+
+    /// Bytes this filesystem reads through buffers aliased elsewhere (a
+    /// shared corpus or another namespace). `private_bytes + shared_bytes
+    /// == total_bytes`, but only the private portion is attributable to
+    /// this namespace.
+    pub fn shared_bytes(&self) -> u64 {
+        self.files
+            .values()
+            .filter(|n| n.data.is_shared())
+            .map(|n| n.data.len() as u64)
+            .sum()
     }
 
     // ------------------------------------------------------------------
@@ -1642,6 +1707,20 @@ impl AdminView<'_> {
         self.vfs.write_file_impl(path, data)
     }
 
+    /// Stages a [`SharedContent`] buffer at `path` (create-or-replace),
+    /// creating parent directories as needed. The file *aliases* the
+    /// shared buffer — O(1) per mount, no byte copy, no stamp
+    /// recomputation — and materializes a private copy only when first
+    /// written. This is how a fleet mounts one corpus into thousands of
+    /// tenant namespaces.
+    ///
+    /// # Errors
+    ///
+    /// As for [`AdminView::write_file`].
+    pub fn stage_shared(&mut self, path: &VPath, content: &SharedContent) -> VfsResult<()> {
+        self.vfs.stage_shared_impl(path, content)
+    }
+
     /// Deletes a file, ignoring the read-only attribute.
     ///
     /// # Errors
@@ -1733,6 +1812,17 @@ impl AdminView<'_> {
     /// The total bytes stored across all files.
     pub fn total_bytes(&self) -> u64 {
         self.vfs.total_bytes()
+    }
+
+    /// Bytes owned exclusively by this filesystem (see
+    /// [`Vfs::private_bytes`]).
+    pub fn private_bytes(&self) -> u64 {
+        self.vfs.private_bytes()
+    }
+
+    /// Bytes aliased from shared buffers (see [`Vfs::shared_bytes`]).
+    pub fn shared_bytes(&self) -> u64 {
+        self.vfs.shared_bytes()
     }
 }
 
@@ -2560,5 +2650,54 @@ mod tests {
             admin.rename(&p("/ghost"), &p("/g2")),
             Err(VfsError::NotFound(_))
         ));
+    }
+
+    #[test]
+    fn staged_shared_content_is_copy_on_write() {
+        let body = b"quarterly figures, shared across every namespace".to_vec();
+        let shared = crate::SharedContent::new(body.clone());
+        let mut a = Vfs::with_namespace(1);
+        let mut b = Vfs::with_namespace(2);
+        a.admin().stage_shared(&p("/docs/r.txt"), &shared).unwrap();
+        b.admin().stage_shared(&p("/docs/r.txt"), &shared).unwrap();
+
+        // Both namespaces read the one buffer; neither owns it.
+        assert_eq!(a.admin().read_file(&p("/docs/r.txt")).unwrap(), body);
+        assert_eq!(a.admin().metadata(&p("/docs/r.txt")).unwrap().len, body.len() as u64);
+        assert_eq!(a.private_bytes(), 0);
+        assert_eq!(a.shared_bytes(), body.len() as u64);
+        assert_eq!(shared.ref_count(), 3, "corpus handle + two mounts");
+        // The stamp was staged, not recomputed — it matches the content.
+        let stamped = a.file_stamp_impl(&p("/docs/r.txt")).unwrap();
+        assert_eq!(stamped, content_stamp(&body));
+
+        // Writing in namespace A materializes a private copy there; B
+        // still aliases the corpus buffer and reads the original bytes.
+        let pid = a.spawn_process("editor.exe");
+        let h = a.open(pid, &p("/docs/r.txt"), OpenOptions::modify()).unwrap();
+        a.write(pid, h, b"REDACTED").unwrap();
+        a.close(pid, h).unwrap();
+        assert_eq!(a.private_bytes(), body.len() as u64);
+        assert_eq!(a.shared_bytes(), 0);
+        assert_eq!(b.admin().read_file(&p("/docs/r.txt")).unwrap(), body);
+        assert_eq!(shared.ref_count(), 2, "A dropped its alias on first write");
+        assert!(a.admin().read_file(&p("/docs/r.txt")).unwrap().starts_with(b"REDACTED"));
+    }
+
+    #[test]
+    fn stage_shared_rejects_directories_and_replaces_files() {
+        let mut fs = Vfs::new();
+        let shared = crate::SharedContent::new(b"v2".to_vec());
+        fs.admin().create_dir_all(&p("/docs")).unwrap();
+        assert!(matches!(
+            fs.admin().stage_shared(&p("/docs"), &shared),
+            Err(VfsError::IsADirectory(_))
+        ));
+        // Replacing keeps the FileId, like write_file.
+        fs.admin().write_file(&p("/docs/a.txt"), b"v1").unwrap();
+        let id = fs.admin().metadata(&p("/docs/a.txt")).unwrap().file;
+        fs.admin().stage_shared(&p("/docs/a.txt"), &shared).unwrap();
+        assert_eq!(fs.admin().metadata(&p("/docs/a.txt")).unwrap().file, id);
+        assert_eq!(fs.admin().read_file(&p("/docs/a.txt")).unwrap(), b"v2");
     }
 }

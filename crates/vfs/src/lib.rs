@@ -47,6 +47,7 @@
 #![warn(missing_docs)]
 
 mod clock;
+pub mod content;
 pub mod dirty;
 mod error;
 mod events;
@@ -60,6 +61,7 @@ mod process;
 pub mod shadow;
 
 pub use clock::{LatencyLedger, LatencyStat, OpKind, SimClock};
+pub use content::{BlobStore, SharedContent};
 pub use dirty::{content_stamp, DirtyExtent, DirtyReport, MAX_DIRTY_EXTENTS};
 pub use error::{VfsError, VfsResult};
 pub use faults::{FaultInjector, FaultPlan, FaultStats};

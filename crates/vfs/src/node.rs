@@ -1,6 +1,8 @@
 //! File nodes, identities, and metadata.
 
 use std::fmt;
+use std::ops::{Deref, DerefMut};
+use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
 
@@ -70,11 +72,56 @@ impl Metadata {
     }
 }
 
+/// Copy-on-write file bytes: a reference-counted buffer shared until
+/// written.
+///
+/// Aliasing a buffer — staging one [`SharedContent`](crate::SharedContent)
+/// into many namespaces, or cloning a node — is a refcount bump; the first
+/// mutation through `DerefMut` materializes a private copy
+/// (`Arc::make_mut`), so a namespace pays resident bytes only for the
+/// files it actually changes. On a uniquely-owned buffer `DerefMut` is a
+/// refcount check, so single-namespace workloads see no copy overhead.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub(crate) struct Content(Arc<Vec<u8>>);
+
+impl Content {
+    /// Wraps an already-shared buffer without copying it.
+    pub(crate) fn from_shared(bytes: Arc<Vec<u8>>) -> Self {
+        Self(bytes)
+    }
+
+    /// Whether the buffer is aliased by another handle (a shared corpus
+    /// entry or another namespace's node).
+    pub(crate) fn is_shared(&self) -> bool {
+        Arc::strong_count(&self.0) > 1
+    }
+}
+
+impl From<Vec<u8>> for Content {
+    fn from(data: Vec<u8>) -> Self {
+        Self(Arc::new(data))
+    }
+}
+
+impl Deref for Content {
+    type Target = Vec<u8>;
+
+    fn deref(&self) -> &Vec<u8> {
+        &self.0
+    }
+}
+
+impl DerefMut for Content {
+    fn deref_mut(&mut self) -> &mut Vec<u8> {
+        Arc::make_mut(&mut self.0)
+    }
+}
+
 /// The in-memory representation of one regular file.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub(crate) struct FileNode {
     pub id: FileId,
-    pub data: Vec<u8>,
+    pub data: Content,
     /// Incrementally maintained [`content_stamp`](crate::content_stamp) of
     /// `data`, kept in sync by every mutation path.
     pub stamp: u64,
