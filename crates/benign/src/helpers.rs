@@ -39,6 +39,8 @@ pub fn find_files(
                     }
                 }
                 EntryKind::Directory => queue.push_back(p),
+                // Benign apps don't chase symlinks during discovery.
+                EntryKind::Symlink => {}
             }
         }
     }

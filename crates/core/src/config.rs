@@ -167,6 +167,28 @@ pub struct Config {
     /// path on every close — the reference behavior, used by tests to
     /// prove incremental analysis never changes a verdict.
     pub incremental_analysis: bool,
+    /// Registered decoy (bait) files. No legitimate workflow touches a
+    /// decoy, so *any* destructive operation on one — a write-open,
+    /// write, truncate, delete, rename endpoint, or attribute change —
+    /// is an instant maximum-confidence detection: the issuing family is
+    /// suspended immediately, bypassing the reputation scoreboard
+    /// entirely. Reads are allowed (enumeration tools list decoys
+    /// without tripping them). Empty (no decoys) by default.
+    pub decoy_paths: Vec<VPath>,
+    /// Enable reputation-driven operation throttling: once a family's
+    /// score reaches [`Config::throttle_score`], each destructive
+    /// in-scope operation it issues is delayed on the simulated clock by
+    /// `score × throttle_nanos_per_point`, stretching the time budget an
+    /// attacker needs to do damage while the scoreboard converges.
+    /// Off by default.
+    pub throttle_enabled: bool,
+    /// Family score at which throttling engages. Set well below the
+    /// detection threshold so slowdown starts during the suspicion
+    /// window, not after suspension.
+    pub throttle_score: u32,
+    /// Simulated-clock delay per reputation point per throttled
+    /// operation, in nanoseconds.
+    pub throttle_nanos_per_point: u64,
 }
 
 impl Config {
@@ -184,6 +206,10 @@ impl Config {
             pinned_snapshot_budget: 1 << 12,
             fingerprint_cache: true,
             incremental_analysis: true,
+            decoy_paths: Vec::new(),
+            throttle_enabled: false,
+            throttle_score: 100,
+            throttle_nanos_per_point: 1_000_000,
         }
     }
 
@@ -192,9 +218,34 @@ impl Config {
         self.protected_dirs.iter().any(|d| path.starts_with(d))
     }
 
+    /// Returns `true` if `path` is a registered decoy file.
+    ///
+    /// Linear scan; the engine itself pre-hashes
+    /// [`Config::decoy_paths`] at construction and never calls this on
+    /// the hot path.
+    pub fn is_decoy(&self, path: &VPath) -> bool {
+        self.decoy_paths.iter().any(|d| d == path)
+    }
+
     /// Replaces the scoring parameters (builder-style).
     pub fn with_score(mut self, score: ScoreConfig) -> Self {
         self.score = score;
+        self
+    }
+
+    /// Registers decoy files (builder-style). See [`Config::decoy_paths`].
+    pub fn with_decoys(mut self, decoys: impl IntoIterator<Item = VPath>) -> Self {
+        self.decoy_paths.extend(decoys);
+        self
+    }
+
+    /// Enables reputation-driven throttling (builder-style) with the
+    /// given engage score and per-point delay. See
+    /// [`Config::throttle_enabled`].
+    pub fn with_throttling(mut self, score: u32, nanos_per_point: u64) -> Self {
+        self.throttle_enabled = true;
+        self.throttle_score = score;
+        self.throttle_nanos_per_point = nanos_per_point;
         self
     }
 }
@@ -227,6 +278,23 @@ mod tests {
         assert!(cfg.is_protected(&VPath::new("/desktop/note.txt")));
         assert!(cfg.is_protected(&VPath::new("/docs/x")));
         assert!(!cfg.is_protected(&VPath::new("/other")));
+    }
+
+    #[test]
+    fn decoys_and_throttle_defaults_off() {
+        let cfg = Config::protecting("/docs");
+        assert!(cfg.decoy_paths.is_empty());
+        assert!(!cfg.throttle_enabled);
+        assert!(!cfg.is_decoy(&VPath::new("/docs/passwords.xlsx")));
+
+        let cfg = cfg
+            .with_decoys([VPath::new("/docs/passwords.xlsx")])
+            .with_throttling(80, 2_000_000);
+        assert!(cfg.is_decoy(&VPath::new("/docs/passwords.xlsx")));
+        assert!(!cfg.is_decoy(&VPath::new("/docs/other.xlsx")));
+        assert!(cfg.throttle_enabled);
+        assert_eq!(cfg.throttle_score, 80);
+        assert_eq!(cfg.throttle_nanos_per_point, 2_000_000);
     }
 
     #[test]

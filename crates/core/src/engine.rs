@@ -296,6 +296,11 @@ struct EngineMetrics {
     /// (interference, truncation, scattered writes, oversized files, or no
     /// retained intermediates).
     incr_full: Counter,
+    /// Destructive operations that hit a registered decoy file (each an
+    /// instant maximum-confidence detection).
+    decoy_trips: Counter,
+    /// Operations delayed by reputation-driven throttling.
+    throttled_ops: Counter,
 }
 
 impl EngineMetrics {
@@ -315,6 +320,8 @@ impl EngineMetrics {
             incr_stamp_skips: t.counter("engine.incremental.stamp_skips"),
             incr_delta: t.counter("engine.incremental.delta_applied"),
             incr_full: t.counter("engine.incremental.full_recompute"),
+            decoy_trips: t.counter("engine.decoy.trips"),
+            throttled_ops: t.counter("engine.throttle.ops"),
         }
     }
 }
@@ -336,10 +343,14 @@ struct EngineShared {
     cache_anomalies: AtomicU64,
     telemetry: Telemetry,
     metrics: EngineMetrics,
+    /// Registered decoy files, pre-hashed once at construction from
+    /// [`Config::decoy_paths`] so the per-operation tripwire is a single
+    /// set probe (and free when no decoys are configured).
+    decoys: HashSet<VPath>,
 }
 
 impl EngineShared {
-    fn new(telemetry: Telemetry) -> Self {
+    fn new(telemetry: Telemetry, decoys: HashSet<VPath>) -> Self {
         let metrics = EngineMetrics::new(&telemetry);
         Self {
             families: std::array::from_fn(|_| Mutex::new(FamilyShard::default())),
@@ -353,6 +364,7 @@ impl EngineShared {
             cache_anomalies: AtomicU64::new(0),
             telemetry,
             metrics,
+            decoys,
         }
     }
 }
@@ -452,6 +464,7 @@ impl CryptoDrop {
 
     /// Creates an engine and its monitor handle, with telemetry disabled
     /// (the observability hooks cost one predicted-false branch each).
+    #[cfg(feature = "legacy-api")]
     #[deprecated(
         note = "use `CryptoDrop::builder()....build()` for a validated Session; \
                 register `Session::fork()` and read through the session's Monitor view"
@@ -468,6 +481,7 @@ impl CryptoDrop {
     /// Share the same handle with `cryptodrop_vfs::Vfs::set_telemetry` to
     /// interleave the filter's op/verdict events with the engine's on one
     /// timeline.
+    #[cfg(feature = "legacy-api")]
     #[deprecated(
         note = "use `CryptoDrop::builder().telemetry(..)....build()` for a validated Session"
     )]
@@ -481,8 +495,9 @@ impl CryptoDrop {
         config: Config,
         telemetry: Telemetry,
     ) -> (CryptoDrop, Monitor) {
+        let decoys: HashSet<VPath> = config.decoy_paths.iter().cloned().collect();
         let cfg = Arc::new(config);
-        let shared = Arc::new(EngineShared::new(telemetry));
+        let shared = Arc::new(EngineShared::new(telemetry, decoys));
         (
             CryptoDrop {
                 cfg: Arc::clone(&cfg),
@@ -499,6 +514,7 @@ impl CryptoDrop {
     /// [`Vfs`](cryptodrop_vfs::Vfs) instances — one per thread — to share
     /// one engine across concurrent filesystems; unrelated process
     /// families never contend on a lock (they hash to distinct shards).
+    #[cfg(feature = "legacy-api")]
     #[deprecated(note = "use `Session::fork()`; forks made there also carry the pipeline handle")]
     pub fn fork(&self) -> CryptoDrop {
         self.fork_inner()
@@ -581,8 +597,14 @@ impl Monitor {
     /// Forks made here never carry a pipeline attachment — they process
     /// inline even when the session is pipelined, which silently forfeits
     /// the pipeline's benefits. Prefer [`Session::fork`](crate::Session::fork).
+    #[cfg(feature = "legacy-api")]
     #[deprecated(note = "use `Session::fork()`; forks made there also carry the pipeline handle")]
     pub fn fork_engine(&self) -> CryptoDrop {
+        self.fork_engine_inner()
+    }
+
+    #[cfg(any(test, feature = "legacy-api"))]
+    pub(crate) fn fork_engine_inner(&self) -> CryptoDrop {
         CryptoDrop {
             cfg: Arc::clone(&self.cfg),
             shared: Arc::clone(&self.shared),
@@ -1162,6 +1184,100 @@ impl CryptoDrop {
             self.shared.metrics.detections.inc();
         }
         Verdict::suspend(reason)
+    }
+
+    /// The decoy endpoint a destructive operation touches, if any. Reads,
+    /// closes, and directory listings never trip a decoy — enumeration
+    /// tools may list and read bait files freely — but a write-open,
+    /// write, truncate, delete, either rename endpoint, or attribute
+    /// change on one is an instant detection (GuardFS-style bait, §V-F
+    /// "future work" territory: no legitimate workflow modifies a decoy).
+    fn decoy_hit<'a>(&self, op: &FsOp<'a>) -> Option<&'a VPath> {
+        let d = &self.shared.decoys;
+        match *op {
+            FsOp::Open { path, options } if options.write && d.contains(path) => Some(path),
+            FsOp::Write { path, .. } | FsOp::Truncate { path, .. } if d.contains(path) => {
+                Some(path)
+            }
+            FsOp::Delete { path } if d.contains(path) => Some(path),
+            FsOp::Rename { from, .. } if d.contains(from) => Some(from),
+            FsOp::Rename { to, .. } if d.contains(to) => Some(to),
+            FsOp::SetAttr { path, .. } if d.contains(path) => Some(path),
+            _ => None,
+        }
+    }
+
+    /// Issues the maximum-confidence decoy verdict: marks the family
+    /// detected (publishing a [`DetectionReport`] at its current — often
+    /// zero — score) and suspends it immediately. Same lock discipline as
+    /// [`Self::verdict_for`]: the detection log is the only lock taken
+    /// while the family shard is held.
+    fn decoy_verdict(&self, ctx: &OpContext<'_>, key: ProcessId, decoy: &VPath) -> Verdict {
+        let mut fam = self.shared.family_shard(key).lock();
+        let st = FamilyShard::process_mut(&mut fam.processes, &self.cfg, key, ctx.process_name);
+        if !st.is_detected() {
+            st.mark_detected();
+            let report = DetectionReport {
+                pid: st.pid(),
+                process_name: st.name().to_string(),
+                score: st.score(),
+                threshold: st.effective_threshold(&self.cfg.score),
+                union_triggered: st.union_triggered(),
+                files_lost: st.files_lost(),
+                at_nanos: ctx.at_nanos,
+                primaries_seen: st.primaries_seen().collect(),
+            };
+            self.shared.detections.lock().push(report);
+            if self.shared.telemetry.is_enabled() {
+                self.shared.metrics.detections.inc();
+                self.shared.metrics.decoy_trips.inc();
+            }
+        }
+        Verdict::suspend(format!(
+            "cryptodrop: decoy file {} modified",
+            decoy.as_str()
+        ))
+    }
+
+    /// Reputation-driven throttling (pre-operation): once a family's score
+    /// has reached [`Config::throttle_score`], each destructive in-scope
+    /// operation is delayed on the simulated clock proportionally to the
+    /// score. Returns `None` when the operation should proceed undelayed.
+    fn throttle_verdict(&self, ctx: &OpContext<'_>, key: ProcessId) -> Option<Verdict> {
+        let cfg = &self.cfg;
+        if !cfg.throttle_enabled {
+            return None;
+        }
+        let in_scope = match ctx.op {
+            FsOp::Open { path, options } if options.write => self.shared.in_scope(cfg, path),
+            FsOp::Write { path, .. }
+            | FsOp::Truncate { path, .. }
+            | FsOp::Delete { path }
+            | FsOp::SetAttr { path, .. } => self.shared.in_scope(cfg, path),
+            FsOp::Rename { from, to, .. } => {
+                self.shared.in_scope(cfg, from) || self.shared.in_scope(cfg, to)
+            }
+            _ => false,
+        };
+        if !in_scope {
+            return None;
+        }
+        let score = self
+            .shared
+            .family_shard(key)
+            .lock()
+            .processes
+            .get(&key)
+            .map_or(0, ProcessState::score);
+        if score < cfg.throttle_score {
+            return None;
+        }
+        if self.shared.telemetry.is_enabled() {
+            self.shared.metrics.throttled_ops.inc();
+        }
+        Some(Verdict::throttle(
+            u64::from(score) * cfg.throttle_nanos_per_point,
+        ))
     }
 
     /// Refreshes the path-keyed snapshot of `path` from `data` (its
@@ -2017,6 +2133,14 @@ impl FilterDriver for CryptoDrop {
                 return Verdict::suspend(FAMILY_FLAGGED);
             }
         }
+        // Decoy tripwire: any destructive touch of a registered bait file
+        // is an instant maximum-confidence detection, bypassing the
+        // scoreboard (no refresh needed — the decoy's content is noise).
+        if !self.shared.decoys.is_empty() {
+            if let Some(decoy) = self.decoy_hit(&ctx.op) {
+                return self.decoy_verdict(ctx, key, decoy);
+            }
+        }
         let refresh = match ctx.op {
             // Snapshot a file that is about to be opened for writing —
             // before any truncation destroys the original content.
@@ -2039,6 +2163,14 @@ impl FilterDriver for CryptoDrop {
                 let _ = self.dispatch(rec, true);
             }
         }
+        // Reputation-driven throttling: a suspect past the engage score
+        // pays a simulated-clock delay on every destructive in-scope
+        // operation, stretching its time-to-damage while the scoreboard
+        // converges. Issued after the refresh so a throttled operation is
+        // still fully analysed.
+        if let Some(v) = self.throttle_verdict(ctx, key) {
+            return v;
+        }
         Verdict::Allow
     }
 
@@ -2058,14 +2190,17 @@ impl FilterDriver for CryptoDrop {
 }
 
 #[cfg(test)]
-// The deprecated constructors stay exercised here until they are removed:
-// these tests double as the legacy-shim regression suite.
-#[allow(deprecated)]
 mod tests {
     use super::*;
     use cryptodrop_vfs::{OpenOptions, Vfs};
 
     const DOCS: &str = "/Users/victim/Documents";
+
+    /// Test-local stand-in for the legacy `CryptoDrop::new` (gated behind
+    /// the `legacy-api` feature): the same unvalidated construction path.
+    fn new_engine(cfg: Config) -> (CryptoDrop, Monitor) {
+        CryptoDrop::with_telemetry_inner(cfg, Telemetry::disabled())
+    }
 
     fn text_content(tag: u32, n: usize) -> Vec<u8> {
         (0..)
@@ -2102,7 +2237,7 @@ mod tests {
             fs.admin().write_file(&path, &text_content(i as u32, 4096)).unwrap();
         }
         fs.admin().create_dir_all(&VPath::new("/tmp")).unwrap();
-        let (engine, monitor) = CryptoDrop::new(Config::protecting(DOCS));
+        let (engine, monitor) = new_engine(Config::protecting(DOCS));
         fs.register_filter(Box::new(engine));
         (fs, monitor)
     }
@@ -2426,7 +2561,7 @@ mod tests {
                 )
                 .unwrap();
             }
-            let (engine, monitor) = CryptoDrop::new(cfg);
+            let (engine, monitor) = new_engine(cfg);
             fs.register_filter(Box::new(engine));
             let pid = fs.spawn_process("tinycrypt.exe");
             for i in 0..80 {
@@ -2462,7 +2597,7 @@ mod tests {
             cfg.score.burst_threshold = 5;
             // Swap in a burst-enabled engine.
             let _ = fs.take_filters();
-            let (engine, monitor2) = CryptoDrop::new(cfg);
+            let (engine, monitor2) = new_engine(cfg);
             fs.register_filter(Box::new(engine));
             drop(monitor);
             let pid = fs.spawn_process("writer.exe");
@@ -2563,7 +2698,7 @@ mod tests {
         }
         let mut cfg = Config::protecting(DOCS);
         cfg.snapshot_cache_capacity = 16; // per-shard cap of 1
-        let (engine, monitor) = CryptoDrop::new(cfg);
+        let (engine, monitor) = new_engine(cfg);
         fs.register_filter(Box::new(engine));
         let pid = fs.spawn_process("editor.exe");
         for i in 0..64 {
@@ -2635,7 +2770,7 @@ mod tests {
             }
             let mut cfg = Config::protecting(DOCS);
             cfg.snapshot_cache_capacity = capacity;
-            let (engine, monitor) = CryptoDrop::new(cfg);
+            let (engine, monitor) = new_engine(cfg);
             fs.register_filter(Box::new(engine));
             let pid = fs.spawn_process("editor.exe");
             for _round in 0..5 {
@@ -2676,7 +2811,7 @@ mod tests {
         let (mut fs, monitor) = setup(60);
         // Register a *fork* instead of a fresh engine elsewhere: same
         // shards, same detection log.
-        let second = monitor.fork_engine();
+        let second = monitor.fork_engine_inner();
         assert_eq!(
             Arc::as_ptr(&second.shared),
             Arc::as_ptr(&monitor.shared),
@@ -2704,7 +2839,7 @@ mod tests {
         // state (snapshot evicted between the gate and the resolve) would
         // panic inside the filter. The resolver must degrade to a
         // recompute and count the anomaly instead.
-        let (engine, monitor) = CryptoDrop::new(Config::protecting(DOCS));
+        let (engine, monitor) = new_engine(Config::protecting(DOCS));
         let current = text_content(1, 4096);
         let post_type = sniff(&current);
         let resolved = engine.resolve_close_snapshot(
@@ -2752,7 +2887,7 @@ mod tests {
         fs.admin().write_file(&target, &original).unwrap();
         let mut cfg = Config::protecting(DOCS);
         cfg.snapshot_cache_capacity = 2; // per-shard cap of 1
-        let (engine, monitor) = CryptoDrop::new(cfg);
+        let (engine, monitor) = new_engine(cfg);
         fs.register_filter(Box::new(engine));
 
         let pid = fs.spawn_process("classc-slow.exe");
@@ -2793,7 +2928,7 @@ mod tests {
         let mut cfg = Config::protecting(DOCS);
         cfg.snapshot_cache_capacity = 16;
         cfg.pinned_snapshot_budget = 16; // per-shard budget of 1
-        let (engine, monitor) = CryptoDrop::new(cfg);
+        let (engine, monitor) = new_engine(cfg);
         fs.register_filter(Box::new(engine));
         let pid = fs.spawn_process("wiper.exe");
         for i in 0..64 {
@@ -2822,7 +2957,7 @@ mod tests {
         }
         let mut cfg = Config::protecting(DOCS);
         cfg.snapshot_cache_capacity = 2;
-        let (engine, monitor) = CryptoDrop::new(cfg);
+        let (engine, monitor) = new_engine(cfg);
         fs.register_filter(Box::new(engine));
         let pid = fs.spawn_process("classc.exe");
         for i in 0..40 {
@@ -2867,7 +3002,7 @@ mod tests {
             fs.admin().create_dir_all(&VPath::new("/tmp")).unwrap();
             let mut cfg = Config::protecting(DOCS);
             cfg.fingerprint_cache = fingerprint_cache;
-            let (engine, monitor) = CryptoDrop::new(cfg);
+            let (engine, monitor) = new_engine(cfg);
             fs.register_filter(Box::new(engine));
             let pid = fs.spawn_process("outandback.exe");
             let tmp = VPath::new("/tmp");
@@ -2970,7 +3105,7 @@ mod tests {
             .unwrap();
         }
         let (engine, monitor) =
-            CryptoDrop::new_with_telemetry(Config::protecting(DOCS), telemetry.clone());
+            CryptoDrop::with_telemetry_inner(Config::protecting(DOCS), telemetry.clone());
         fs.register_filter(Box::new(engine));
         let pid = fs.spawn_process("locky.exe");
         run_class_a(&mut fs, pid);
@@ -3047,5 +3182,127 @@ mod tests {
         let trail = monitor.audit_trail(pid).expect("trail without telemetry");
         assert!(trail.detected);
         assert!(!trail.entries.is_empty());
+    }
+
+    /// Stages a corpus plus one decoy, registered with the engine.
+    fn setup_with_decoy(files: usize) -> (Vfs, Monitor, VPath) {
+        let mut fs = Vfs::new();
+        let docs = VPath::new(DOCS);
+        for i in 0..files {
+            let path = docs.join(format!("dir{}/file{i}.txt", i % 3));
+            fs.admin().write_file(&path, &text_content(i as u32, 4096)).unwrap();
+        }
+        let decoy = docs.join("dir0/backup_passwords.xlsx");
+        fs.admin().write_file(&decoy, &text_content(999, 2048)).unwrap();
+        let cfg = Config::protecting(DOCS).with_decoys([decoy.clone()]);
+        let (engine, monitor) = new_engine(cfg);
+        fs.register_filter(Box::new(engine));
+        (fs, monitor, decoy)
+    }
+
+    #[test]
+    fn decoy_modification_is_instant_detection() {
+        let (mut fs, monitor, decoy) = setup_with_decoy(10);
+        let pid = fs.spawn_process("evil.exe");
+        // Reading (enumerating) the decoy is harmless.
+        assert!(fs.read_file(pid, &decoy).is_ok());
+        assert!(!fs.is_suspended(pid));
+        assert_eq!(monitor.score(pid), 0);
+        // The first destructive touch suspends at score 0: no scoreboard
+        // convergence, no files lost first.
+        let err = fs.write_file(pid, &decoy, b"ENCRYPTED").unwrap_err();
+        assert!(matches!(err, cryptodrop_vfs::VfsError::ProcessSuspended(_)));
+        assert!(fs.is_suspended(pid));
+        let report = monitor.detection_for(pid).expect("decoy detection");
+        assert_eq!(report.files_lost, 0);
+        assert_eq!(report.score, 0);
+    }
+
+    #[test]
+    fn decoy_delete_and_rename_trip_too() {
+        for destructive in [
+            (&|fs: &mut Vfs, pid: ProcessId, d: &VPath| fs.delete(pid, d).map(|_| ()))
+                as &dyn Fn(&mut Vfs, ProcessId, &VPath) -> Result<(), cryptodrop_vfs::VfsError>,
+            &|fs, pid, d| fs.rename(pid, d, &VPath::new(DOCS).join("x.bin"), false),
+            &|fs, pid, d| {
+                fs.rename(pid, &VPath::new(DOCS).join("dir0/file0.txt"), d, true)
+            },
+            &|fs, pid, d| fs.set_read_only(pid, d, true),
+        ] {
+            let (mut fs, monitor, decoy) = setup_with_decoy(10);
+            let pid = fs.spawn_process("evil.exe");
+            assert!(destructive(&mut fs, pid, &decoy).is_err());
+            assert!(fs.is_suspended(pid), "destructive decoy touch must suspend");
+            assert_eq!(monitor.detections().len(), 1);
+        }
+    }
+
+    #[test]
+    fn benign_workload_never_trips_decoys() {
+        let (mut fs, monitor, decoy) = setup_with_decoy(20);
+        let pid = fs.spawn_process("backup.exe");
+        let docs = VPath::new(DOCS);
+        // A benign backup reads everything — decoy included — and writes
+        // copies elsewhere, never modifying the bait.
+        fs.create_dir_all(pid, &docs.join("backup")).unwrap();
+        let data = fs.read_file(pid, &decoy).unwrap();
+        fs.write_file(pid, &docs.join("backup/passwords.xlsx"), &data)
+            .unwrap();
+        for i in 0..20 {
+            let src = docs.join(format!("dir{}/file{i}.txt", i % 3));
+            let data = fs.read_file(pid, &src).unwrap();
+            fs.write_file(pid, &docs.join(format!("backup/file{i}.txt")), &data)
+                .unwrap();
+        }
+        assert!(!fs.is_suspended(pid));
+        assert!(monitor.detections().is_empty());
+    }
+
+    #[test]
+    fn throttling_stretches_the_suspects_clock() {
+        let run = |throttle: bool| -> (u64, bool) {
+            let mut fs = Vfs::new();
+            let docs = VPath::new(DOCS);
+            for i in 0..60 {
+                let path = docs.join(format!("dir{}/file{i}.txt", i % 3));
+                fs.admin().write_file(&path, &text_content(i as u32, 4096)).unwrap();
+            }
+            let mut cfg = Config::protecting(DOCS);
+            if throttle {
+                cfg = cfg.with_throttling(30, 1_000_000);
+            }
+            let (engine, _monitor) = new_engine(cfg);
+            fs.register_filter(Box::new(engine));
+            let pid = fs.spawn_process("cryptolocker.exe");
+            run_class_a(&mut fs, pid);
+            (fs.clock().now_nanos(), fs.is_suspended(pid))
+        };
+        let (base_nanos, base_caught) = run(false);
+        let (throttled_nanos, throttled_caught) = run(true);
+        assert!(base_caught && throttled_caught);
+        assert!(
+            throttled_nanos > base_nanos,
+            "throttling must cost the suspect simulated time: \
+             {throttled_nanos} vs {base_nanos}"
+        );
+    }
+
+    #[test]
+    fn throttling_never_delays_processes_below_the_engage_score() {
+        let mut fs = Vfs::new();
+        let docs = VPath::new(DOCS);
+        fs.admin().write_file(&docs.join("a.txt"), b"plain text body").unwrap();
+        let cfg = Config::protecting(DOCS).with_throttling(30, 1_000_000);
+        let (engine, monitor) = new_engine(cfg);
+        fs.register_filter(Box::new(engine));
+        let pid = fs.spawn_process("editor.exe");
+        let before = fs.clock().now_nanos();
+        fs.write_file(pid, &docs.join("a.txt"), b"plain text body, edited")
+            .unwrap();
+        let spent = fs.clock().now_nanos() - before;
+        assert_eq!(monitor.score(pid), 0);
+        // Only the ledger's per-op service times elapsed: no 30ms+
+        // throttle penalty was charged at score 0.
+        assert!(spent < 30_000_000, "benign op cost {spent}ns");
     }
 }

@@ -111,4 +111,8 @@ pub mod prelude {
     pub use crate::session::{ConfigError, Session, SessionBuilder};
     pub use cryptodrop_recovery::{RecoveryReport, ShadowConfig, ShadowStore};
     pub use cryptodrop_telemetry::Telemetry;
+    pub use cryptodrop_vfs::{
+        ErrorKind, FsProvider, MemProvider, MountOptions, ProcessId, VPath, Verdict, Vfs,
+        VfsError, VfsResult,
+    };
 }

@@ -74,6 +74,10 @@ pub enum ConfigError {
     /// A recovery shadow store with a zero byte budget could never hold a
     /// single pre-image: every capture would be evicted on arrival.
     ZeroShadowBudget,
+    /// Throttling enabled with an engage score of zero would delay every
+    /// process — including fully benign ones at score 0 — on every
+    /// destructive in-scope operation.
+    ZeroThrottleScore,
 }
 
 impl fmt::Display for ConfigError {
@@ -106,6 +110,13 @@ impl fmt::Display for ConfigError {
                     f,
                     "recovery byte_budget must be nonzero: a zero-budget shadow \
                      store evicts every pre-image on arrival"
+                )
+            }
+            Self::ZeroThrottleScore => {
+                write!(
+                    f,
+                    "throttle_score must be nonzero when throttling is enabled: \
+                     zero would delay every process from its first operation"
                 )
             }
         }
@@ -145,6 +156,9 @@ pub(crate) fn validate(config: &Config) -> Result<(), ConfigError> {
     if config.max_digest_bytes == 0 {
         return Err(ConfigError::ZeroMaxDigestBytes);
     }
+    if config.throttle_enabled && config.throttle_score == 0 {
+        return Err(ConfigError::ZeroThrottleScore);
+    }
     Ok(())
 }
 
@@ -180,6 +194,8 @@ pub struct SessionBuilder {
     pipeline: Option<PipelineConfig>,
     recovery: Option<ShadowConfig>,
     faults: Option<FaultPlan>,
+    decoys: Vec<VPath>,
+    throttle: Option<(u32, u64)>,
 }
 
 impl SessionBuilder {
@@ -243,6 +259,28 @@ impl SessionBuilder {
         self
     }
 
+    /// Registers decoy (bait) files on top of any base
+    /// [`config`](Self::config): any destructive operation on one is an
+    /// instant maximum-confidence detection (see
+    /// [`Config::decoy_paths`]). May be called repeatedly; decoys
+    /// accumulate. Pair with
+    /// [`Corpus::decoy_paths`](../cryptodrop_corpus/index.html) or any
+    /// other source of bait paths, and keep the files themselves staged
+    /// in the filesystem so enumeration finds them.
+    pub fn decoys(mut self, decoys: impl IntoIterator<Item = VPath>) -> Self {
+        self.decoys.extend(decoys);
+        self
+    }
+
+    /// Enables reputation-driven throttling: once a family's score
+    /// reaches `score`, each destructive in-scope operation it issues is
+    /// delayed on the simulated clock by `score × nanos_per_point` (see
+    /// [`Config::throttle_enabled`]).
+    pub fn throttling(mut self, score: u32, nanos_per_point: u64) -> Self {
+        self.throttle = Some((score, nanos_per_point));
+        self
+    }
+
     /// Arms deterministic fault injection (chaos testing): the session
     /// builds a [`FaultInjector`] from `plan`, hands it to the pipeline
     /// (worker-panic and latency sites) and — via [`Session::attach`] — to
@@ -272,6 +310,16 @@ impl SessionBuilder {
         }
         if let Some(score) = self.score {
             config.score = score;
+        }
+        for decoy in self.decoys {
+            if !config.decoy_paths.contains(&decoy) {
+                config.decoy_paths.push(decoy);
+            }
+        }
+        if let Some((score, nanos)) = self.throttle {
+            config.throttle_enabled = true;
+            config.throttle_score = score;
+            config.throttle_nanos_per_point = nanos;
         }
         validate(&config)?;
         if let Some(pcfg) = &self.pipeline {
@@ -628,6 +676,38 @@ mod tests {
             CryptoDrop::builder().config(cfg).build().err(),
             Some(ConfigError::ZeroMaxDigestBytes)
         );
+    }
+
+    #[test]
+    fn builder_rejects_zero_throttle_score() {
+        let mut cfg = Config::protecting("/d");
+        cfg.throttle_enabled = true;
+        cfg.throttle_score = 0;
+        let err = CryptoDrop::builder().config(cfg).build().err();
+        assert_eq!(err, Some(ConfigError::ZeroThrottleScore));
+        assert!(err.unwrap().to_string().contains("throttle_score"));
+        // Score 0 with throttling off is the inert default — fine.
+        let mut cfg = Config::protecting("/d");
+        cfg.throttle_score = 0;
+        assert!(CryptoDrop::builder().config(cfg).build().is_ok());
+    }
+
+    #[test]
+    fn builder_threads_decoys_and_throttling_into_the_config() {
+        use cryptodrop_vfs::VPath;
+        let bait = VPath::new("/d/_passwords.xlsx");
+        let session = CryptoDrop::builder()
+            .protecting("/d")
+            .decoys([bait.clone(), bait.clone()]) // duplicates collapse
+            .throttling(40, 2_000_000)
+            .build()
+            .expect("valid");
+        let cfg = session.config();
+        assert_eq!(cfg.decoy_paths, vec![bait.clone()]);
+        assert!(cfg.is_decoy(&bait));
+        assert!(cfg.throttle_enabled);
+        assert_eq!(cfg.throttle_score, 40);
+        assert_eq!(cfg.throttle_nanos_per_point, 2_000_000);
     }
 
     #[test]

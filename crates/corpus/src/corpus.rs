@@ -22,6 +22,11 @@ pub struct CorpusFile {
     pub read_only: bool,
     /// The extension used when naming the file.
     pub extension: String,
+    /// Whether this file is a decoy (bait): woven in by
+    /// [`Corpus::with_decoys`], never part of the real document set, and
+    /// meant to be registered with the detector so any modification is an
+    /// instant detection.
+    pub decoy: bool,
 }
 
 /// A generated document corpus: a reusable template that can be staged
@@ -73,6 +78,7 @@ impl Corpus {
                 data,
                 read_only,
                 extension: t.extension.clone(),
+                decoy: false,
             });
         }
         Corpus {
@@ -116,6 +122,102 @@ impl Corpus {
                 .collect(),
             dirs: self.dirs.clone(),
         }
+    }
+
+    /// A copy of this corpus with `count` decoy (bait) files woven in.
+    ///
+    /// Decoys look like real user documents — bait stems ("passwords",
+    /// "tax_return", ...) with content from the spec's own type mix, so
+    /// their magic numbers and entropy profiles are indistinguishable
+    /// from the surrounding corpus — and half of them carry a leading
+    /// underscore so an in-order directory walker meets bait before real
+    /// documents. Deterministic per spec seed; the real files are
+    /// untouched, so detector behavior on them is unchanged. Register
+    /// the woven paths with the engine via
+    /// [`decoy_paths`](Self::decoy_paths) (e.g.
+    /// `SessionBuilder::decoys`).
+    pub fn with_decoys(&self, spec: &CorpusSpec, count: usize) -> Corpus {
+        /// Stems no legitimate workflow would modify but every
+        /// data-hungry attacker wants.
+        const DECOY_STEMS: &[&str] = &[
+            "passwords",
+            "backup_codes",
+            "bank_statements",
+            "tax_return_final",
+            "bitcoin_wallet",
+            "recovery_keys",
+            "payroll_2016",
+            "insurance_scans",
+            "accounts",
+            "family_records",
+        ];
+        let mut rng = StdRng::seed_from_u64(spec.seed ^ 0xDEC0_17BA_17F1_1E55);
+        let mut files = self.files.clone();
+        let mut used: BTreeMap<VPath, ()> =
+            files.iter().map(|f| (f.path.clone(), ())).collect();
+        // Bait placement follows the attacker, not the user: a quarter of
+        // the decoys sit in the traversal root (hit first by pre-order and
+        // breadth-first walkers), a quarter in the deepest directory (hit
+        // first by deepest-first walkers), and the rest are scattered so
+        // shuffled and size-ordered sweeps meet bait mid-run too.
+        let deepest = self
+            .dirs
+            .iter()
+            .max_by_key(|d| (d.depth(), std::cmp::Reverse(d.as_str())))
+            .unwrap_or(&self.root);
+        for i in 0..count {
+            let t = spec.pick_type(&mut rng);
+            let dir = match i % 4 {
+                0 => &self.root,
+                1 => deepest,
+                _ => &self.dirs[rng.gen_range(0..self.dirs.len())],
+            };
+            let stem = DECOY_STEMS[i % DECOY_STEMS.len()];
+            // Half the decoys sort to the front of their directory.
+            let name = if i % 2 == 0 {
+                format!("_{stem}.{}", t.extension)
+            } else {
+                format!("{stem}.{}", t.extension)
+            };
+            let mut path = dir.join(&name);
+            let mut bump = 0u32;
+            while used.contains_key(&path) {
+                bump += 1;
+                path = dir.join(format!("{stem}_{bump}.{}", t.extension));
+            }
+            used.insert(path.clone(), ());
+            let size = t.sample_size(&mut rng);
+            let data = t.generator.generate(&mut rng, size);
+            files.push(CorpusFile {
+                path,
+                data,
+                read_only: false,
+                extension: t.extension.clone(),
+                decoy: true,
+            });
+        }
+        Corpus {
+            root: self.root.clone(),
+            files,
+            dirs: self.dirs.clone(),
+        }
+    }
+
+    /// The paths of the woven decoy files (empty unless
+    /// [`with_decoys`](Self::with_decoys) was used).
+    pub fn decoy_paths(&self) -> impl Iterator<Item = &VPath> {
+        self.files.iter().filter(|f| f.decoy).map(|f| &f.path)
+    }
+
+    /// Number of decoy files.
+    pub fn decoy_count(&self) -> usize {
+        self.files.iter().filter(|f| f.decoy).count()
+    }
+
+    /// Number of real (non-decoy) files — the denominator for
+    /// files-lost metrics, which must never count sacrificial bait.
+    pub fn real_file_count(&self) -> usize {
+        self.files.len() - self.decoy_count()
     }
 
     /// The corpus root (the protected documents directory).
@@ -261,6 +363,44 @@ mod tests {
                 other => panic!("unexpected extension {other}"),
             };
             assert!(ok, "{} sniffed as {t:?}", f.path);
+        }
+    }
+
+    #[test]
+    fn decoy_weaving_is_additive_and_deterministic() {
+        let spec = CorpusSpec::sized(200, 25);
+        let base = Corpus::generate(&spec);
+        let baited = base.with_decoys(&spec, 12);
+        // Additive: the real document set is byte-identical.
+        assert_eq!(base.decoy_count(), 0);
+        assert_eq!(baited.decoy_count(), 12);
+        assert_eq!(baited.real_file_count(), base.file_count());
+        assert_eq!(baited.file_count(), base.file_count() + 12);
+        assert_eq!(&baited.files()[..base.file_count()], base.files());
+        // Deterministic per seed.
+        assert_eq!(baited, base.with_decoys(&spec, 12));
+        // Unique paths under the root, realistic extensions from the mix.
+        let set: std::collections::HashSet<_> =
+            baited.files().iter().map(|f| &f.path).collect();
+        assert_eq!(set.len(), baited.file_count());
+        for p in baited.decoy_paths() {
+            assert!(p.starts_with(baited.root()));
+        }
+        // Decoy content sniffs as its declared type, like any real file.
+        for f in baited.files().iter().filter(|f| f.decoy) {
+            assert_ne!(sniff(&f.data), FileType::Data, "{}", f.path);
+        }
+    }
+
+    #[test]
+    fn decoys_stage_like_real_files() {
+        let spec = CorpusSpec::sized(100, 10);
+        let baited = Corpus::generate(&spec).with_decoys(&spec, 6);
+        let mut fs = Vfs::new();
+        baited.stage_into(&mut fs).unwrap();
+        assert_eq!(fs.file_count(), 106);
+        for p in baited.decoy_paths() {
+            assert!(fs.admin().metadata(p).is_ok());
         }
     }
 

@@ -1,0 +1,19 @@
+//! Runs the active-defense study: every sample replayed with no defense,
+//! decoys only, and decoys plus throttling, over the same baited corpus,
+//! plus a benign false-positive sweep.
+//!
+//! Usage: `deception [--quick]`
+
+use cryptodrop_benign::fig6_apps;
+use cryptodrop_experiments::deception::{bait_corpus, run};
+use cryptodrop_experiments::{write_json, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    let baited = bait_corpus(&scale.corpus(), &scale.corpus_spec);
+    let config = scale.config();
+    let samples: Vec<_> = scale.samples().into_iter().filter(|s| s.index == 0).collect();
+    let study = run(&baited, &config, &samples, &fig6_apps(), scale.threads);
+    println!("{}", study.render());
+    write_json("deception", &study);
+}

@@ -14,6 +14,7 @@
 //! | [`isolation`] | §III indicators-in-isolation study |
 //! | [`roc`] | the threshold operating curve behind the paper's 200 (§V-A/§V-F) |
 //! | [`recovery`] | the "Drop It" study: data saved vs detection threshold |
+//! | [`deception`] | the active-defense study: decoy tripwires + reputation throttling |
 //! | [`telemetry`] | instrumented runs: metric/journal harvests + detection audit trails |
 //!
 //! Each experiment runs at a [`Scale`]: [`Scale::paper`] uses the full
@@ -25,6 +26,7 @@
 
 pub mod ablation;
 pub mod baselines;
+pub mod deception;
 pub mod fig3;
 pub mod fig4;
 pub mod fig5;

@@ -14,7 +14,9 @@ use cryptodrop::{
     AuditTrail, CryptoDrop, DetectionReport, RecoveryReport, Session, ShadowConfig,
 };
 use cryptodrop_fleet::{Fleet, FleetConfig, TenantSpec};
-use cryptodrop_vfs::{FaultPlan, OpenOptions, VPath, Vfs};
+use cryptodrop_vfs::{
+    FaultPlan, MemProvider, MountOptions, OpenOptions, ProcessId, VPath, Vfs,
+};
 
 const FILES: usize = 24;
 const TENANTS: u32 = 12;
@@ -272,6 +274,56 @@ fn assert_fleet_matches_standalone(with_faults: bool) {
 #[test]
 fn fleet_tenants_are_observationally_standalone() {
     assert_fleet_matches_standalone(false);
+}
+
+/// `Vfs::with_namespace` is sugar over the public provider/mount API, not
+/// a special mode: building the same tenant from `MemProvider` +
+/// `with_root_provider` must yield byte-identical outcomes for the same
+/// trace. Process ids are the one legitimate difference (namespaces
+/// offset the pid table so tenant pids never collide across a fleet), so
+/// they are normalized before comparison.
+#[test]
+fn namespace_is_expressible_as_a_mount() {
+    fn normalize_pids(outcome: &mut Outcome) {
+        for d in &mut outcome.detections {
+            d.pid = ProcessId(0);
+        }
+        for trail in outcome.audits.iter_mut().flatten() {
+            trail.pid = ProcessId(0);
+        }
+        for r in &mut outcome.restores {
+            r.family = ProcessId(0);
+        }
+    }
+
+    // One attacker and one editor tenant: detection and no-detection paths.
+    for tenant in [1u32, 2u32] {
+        let run = |mut fs: Vfs| -> Outcome {
+            for (path, body) in corpus() {
+                fs.admin().write_file(&path, &body).unwrap();
+            }
+            let session = CryptoDrop::builder()
+                .protecting(docs().as_str())
+                .recovery(shadow_config())
+                .build()
+                .unwrap();
+            session.attach(&mut fs);
+            replay_trace(&mut fs, tenant);
+            capture_outcome(&session, &mut fs)
+        };
+
+        let mut via_namespace = run(Vfs::with_namespace(tenant));
+        let provider = MemProvider::with_ino_base((u64::from(tenant) << 32) | 1);
+        let mut via_mount =
+            run(Vfs::with_root_provider(Box::new(provider), MountOptions::default()));
+
+        normalize_pids(&mut via_namespace);
+        normalize_pids(&mut via_mount);
+        assert_eq!(
+            via_namespace, via_mount,
+            "tenant {tenant}: namespace and explicit mount must be byte-identical"
+        );
+    }
 }
 
 #[test]

@@ -27,6 +27,10 @@ pub enum JournalKind {
         op: String,
         /// Primary path the operation targeted.
         path: String,
+        /// The stable inode identity the operation acted on, or `0` when
+        /// the operation has none (directory listings, attribute changes,
+        /// records written before this field existed).
+        ino: u64,
     },
     /// One filter's pre-operation verdict.
     FilterPre {
@@ -34,7 +38,7 @@ pub enum JournalKind {
         filter: String,
         /// Operation name.
         op: String,
-        /// Verdict: `allow`, `deny`, or `suspend`.
+        /// Verdict: `allow`, `deny`, `throttle`, or `suspend`.
         verdict: String,
     },
     /// One filter's post-operation verdict.
@@ -43,7 +47,7 @@ pub enum JournalKind {
         filter: String,
         /// Operation name.
         op: String,
-        /// Verdict: `allow`, `deny`, or `suspend`.
+        /// Verdict: `allow`, `deny`, `throttle`, or `suspend`.
         verdict: String,
     },
     /// An indicator fired and contributed points.

@@ -9,7 +9,13 @@ use crate::path::VPath;
 use crate::process::ProcessId;
 
 /// The error type returned by all fallible [`Vfs`](crate::Vfs) operations.
+///
+/// The enum is `#[non_exhaustive]`: downstream code should match on the
+/// variants it cares about with a wildcard arm, or — for dispatch that must
+/// stay stable as variants grow — switch on [`VfsError::kind`], which maps
+/// every variant (present and future) to a stable [`ErrorKind`].
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[non_exhaustive]
 pub enum VfsError {
     /// The path does not exist.
     NotFound(VPath),
@@ -23,6 +29,24 @@ pub enum VfsError {
     DirectoryNotEmpty(VPath),
     /// The file is marked read-only and the operation would modify it.
     ReadOnly(VPath),
+    /// The whole mount holding the path is read-only and the operation
+    /// would modify it. Unlike [`VfsError::ReadOnly`] (a per-file
+    /// attribute a process may clear), this is a property of the mount
+    /// and cannot be cleared through the filtered API.
+    ReadOnlyFs(VPath),
+    /// A rename crossed a mount boundary. Real filesystems return `EXDEV`
+    /// here; callers are expected to fall back to copy + delete, which the
+    /// filter chain then observes as the individual operations they are.
+    CrossMountRename {
+        /// The rename source.
+        from: VPath,
+        /// The rename destination (on a different mount).
+        to: VPath,
+    },
+    /// Symbolic-link resolution exceeded the mount's depth limit — either a
+    /// genuine cycle or a chain longer than
+    /// [`MountOptions::max_link_depth`](crate::MountOptions::max_link_depth).
+    SymlinkLoop(VPath),
     /// A filter driver denied the operation.
     AccessDenied {
         /// The path the denied operation targeted.
@@ -48,6 +72,165 @@ pub enum VfsError {
     Io(VPath),
 }
 
+/// A stable, data-free classification of a [`VfsError`].
+///
+/// Fault injectors, filters, and the fleet RPC plane dispatch on kinds
+/// instead of matching display strings or full variants, so adding payload
+/// fields to an error variant is not a behavioural break for them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum ErrorKind {
+    /// See [`VfsError::NotFound`].
+    NotFound,
+    /// See [`VfsError::AlreadyExists`].
+    AlreadyExists,
+    /// See [`VfsError::NotADirectory`].
+    NotADirectory,
+    /// See [`VfsError::IsADirectory`].
+    IsADirectory,
+    /// See [`VfsError::DirectoryNotEmpty`].
+    DirectoryNotEmpty,
+    /// See [`VfsError::ReadOnly`].
+    ReadOnly,
+    /// See [`VfsError::ReadOnlyFs`].
+    ReadOnlyFs,
+    /// See [`VfsError::CrossMountRename`].
+    CrossMountRename,
+    /// See [`VfsError::SymlinkLoop`].
+    SymlinkLoop,
+    /// See [`VfsError::AccessDenied`].
+    AccessDenied,
+    /// See [`VfsError::ProcessSuspended`].
+    ProcessSuspended,
+    /// See [`VfsError::UnknownProcess`].
+    UnknownProcess,
+    /// See [`VfsError::InvalidHandle`].
+    InvalidHandle,
+    /// See [`VfsError::NotWritable`].
+    NotWritable,
+    /// See [`VfsError::InvalidPath`].
+    InvalidPath,
+    /// See [`VfsError::Io`].
+    Io,
+}
+
+impl ErrorKind {
+    /// A short stable lowercase label (telemetry, RPC payloads, logs).
+    pub fn label(&self) -> &'static str {
+        match self {
+            ErrorKind::NotFound => "not-found",
+            ErrorKind::AlreadyExists => "already-exists",
+            ErrorKind::NotADirectory => "not-a-directory",
+            ErrorKind::IsADirectory => "is-a-directory",
+            ErrorKind::DirectoryNotEmpty => "directory-not-empty",
+            ErrorKind::ReadOnly => "read-only",
+            ErrorKind::ReadOnlyFs => "read-only-fs",
+            ErrorKind::CrossMountRename => "cross-mount-rename",
+            ErrorKind::SymlinkLoop => "symlink-loop",
+            ErrorKind::AccessDenied => "access-denied",
+            ErrorKind::ProcessSuspended => "process-suspended",
+            ErrorKind::UnknownProcess => "unknown-process",
+            ErrorKind::InvalidHandle => "invalid-handle",
+            ErrorKind::NotWritable => "not-writable",
+            ErrorKind::InvalidPath => "invalid-path",
+            ErrorKind::Io => "io",
+        }
+    }
+}
+
+impl fmt::Display for ErrorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+impl VfsError {
+    /// The stable [`ErrorKind`] classification of this error.
+    pub fn kind(&self) -> ErrorKind {
+        match self {
+            VfsError::NotFound(_) => ErrorKind::NotFound,
+            VfsError::AlreadyExists(_) => ErrorKind::AlreadyExists,
+            VfsError::NotADirectory(_) => ErrorKind::NotADirectory,
+            VfsError::IsADirectory(_) => ErrorKind::IsADirectory,
+            VfsError::DirectoryNotEmpty(_) => ErrorKind::DirectoryNotEmpty,
+            VfsError::ReadOnly(_) => ErrorKind::ReadOnly,
+            VfsError::ReadOnlyFs(_) => ErrorKind::ReadOnlyFs,
+            VfsError::CrossMountRename { .. } => ErrorKind::CrossMountRename,
+            VfsError::SymlinkLoop(_) => ErrorKind::SymlinkLoop,
+            VfsError::AccessDenied { .. } => ErrorKind::AccessDenied,
+            VfsError::ProcessSuspended(_) => ErrorKind::ProcessSuspended,
+            VfsError::UnknownProcess(_) => ErrorKind::UnknownProcess,
+            VfsError::InvalidHandle => ErrorKind::InvalidHandle,
+            VfsError::NotWritable => ErrorKind::NotWritable,
+            VfsError::InvalidPath(_) => ErrorKind::InvalidPath,
+            VfsError::Io(_) => ErrorKind::Io,
+        }
+    }
+
+    /// Typed constructor for [`VfsError::NotFound`].
+    pub fn not_found(path: impl Into<VPath>) -> Self {
+        VfsError::NotFound(path.into())
+    }
+
+    /// Typed constructor for [`VfsError::AlreadyExists`].
+    pub fn already_exists(path: impl Into<VPath>) -> Self {
+        VfsError::AlreadyExists(path.into())
+    }
+
+    /// Typed constructor for [`VfsError::ReadOnlyFs`].
+    pub fn read_only_fs(path: impl Into<VPath>) -> Self {
+        VfsError::ReadOnlyFs(path.into())
+    }
+
+    /// Typed constructor for [`VfsError::CrossMountRename`].
+    pub fn cross_mount_rename(from: impl Into<VPath>, to: impl Into<VPath>) -> Self {
+        VfsError::CrossMountRename {
+            from: from.into(),
+            to: to.into(),
+        }
+    }
+
+    /// Typed constructor for [`VfsError::SymlinkLoop`].
+    pub fn symlink_loop(path: impl Into<VPath>) -> Self {
+        VfsError::SymlinkLoop(path.into())
+    }
+
+    /// Typed constructor for [`VfsError::AccessDenied`].
+    pub fn access_denied(path: impl Into<VPath>, filter: impl Into<String>) -> Self {
+        VfsError::AccessDenied {
+            path: path.into(),
+            filter: filter.into(),
+        }
+    }
+
+    /// Typed constructor for [`VfsError::Io`] (the injected-fault error).
+    pub fn io(path: impl Into<VPath>) -> Self {
+        VfsError::Io(path.into())
+    }
+
+    /// The primary path the error refers to, when it carries one.
+    pub fn path(&self) -> Option<&VPath> {
+        match self {
+            VfsError::NotFound(p)
+            | VfsError::AlreadyExists(p)
+            | VfsError::NotADirectory(p)
+            | VfsError::IsADirectory(p)
+            | VfsError::DirectoryNotEmpty(p)
+            | VfsError::ReadOnly(p)
+            | VfsError::ReadOnlyFs(p)
+            | VfsError::SymlinkLoop(p)
+            | VfsError::InvalidPath(p)
+            | VfsError::Io(p) => Some(p),
+            VfsError::CrossMountRename { from, .. } => Some(from),
+            VfsError::AccessDenied { path, .. } => Some(path),
+            VfsError::ProcessSuspended(_)
+            | VfsError::UnknownProcess(_)
+            | VfsError::InvalidHandle
+            | VfsError::NotWritable => None,
+        }
+    }
+}
+
 impl fmt::Display for VfsError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -57,6 +240,13 @@ impl fmt::Display for VfsError {
             VfsError::IsADirectory(p) => write!(f, "is a directory: {p}"),
             VfsError::DirectoryNotEmpty(p) => write!(f, "directory not empty: {p}"),
             VfsError::ReadOnly(p) => write!(f, "file is read-only: {p}"),
+            VfsError::ReadOnlyFs(p) => write!(f, "filesystem is mounted read-only: {p}"),
+            VfsError::CrossMountRename { from, to } => {
+                write!(f, "rename crosses a mount boundary: {from} -> {to}")
+            }
+            VfsError::SymlinkLoop(p) => {
+                write!(f, "too many levels of symbolic links: {p}")
+            }
             VfsError::AccessDenied { path, filter } => {
                 write!(f, "access to {path} denied by filter {filter:?}")
             }
@@ -81,15 +271,17 @@ pub type VfsResult<T> = Result<T, VfsError>;
 mod tests {
     use super::*;
 
-    #[test]
-    fn display_messages_are_lowercase_and_nonempty() {
-        let cases: Vec<VfsError> = vec![
+    fn all_cases() -> Vec<VfsError> {
+        vec![
             VfsError::NotFound(VPath::new("/x")),
             VfsError::AlreadyExists(VPath::new("/x")),
             VfsError::NotADirectory(VPath::new("/x")),
             VfsError::IsADirectory(VPath::new("/x")),
             VfsError::DirectoryNotEmpty(VPath::new("/x")),
             VfsError::ReadOnly(VPath::new("/x")),
+            VfsError::ReadOnlyFs(VPath::new("/x")),
+            VfsError::cross_mount_rename(VPath::new("/x"), VPath::new("/mnt/y")),
+            VfsError::SymlinkLoop(VPath::new("/x")),
             VfsError::AccessDenied {
                 path: VPath::new("/x"),
                 filter: "cryptodrop".into(),
@@ -100,8 +292,12 @@ mod tests {
             VfsError::NotWritable,
             VfsError::InvalidPath(VPath::root()),
             VfsError::Io(VPath::new("/x")),
-        ];
-        for e in cases {
+        ]
+    }
+
+    #[test]
+    fn display_messages_are_lowercase_and_nonempty() {
+        for e in all_cases() {
             let msg = e.to_string();
             assert!(!msg.is_empty());
             assert!(msg.chars().next().unwrap().is_lowercase(), "{msg}");
@@ -110,8 +306,57 @@ mod tests {
     }
 
     #[test]
+    fn kinds_are_distinct_and_labelled() {
+        let cases = all_cases();
+        let kinds: Vec<ErrorKind> = cases.iter().map(VfsError::kind).collect();
+        for (i, a) in kinds.iter().enumerate() {
+            for b in &kinds[i + 1..] {
+                assert_ne!(a, b, "each variant maps to its own kind");
+            }
+            let label = a.label();
+            assert!(!label.is_empty());
+            assert_eq!(label, a.to_string());
+            assert!(label.chars().all(|c| c.is_ascii_lowercase() || c == '-'));
+        }
+    }
+
+    #[test]
+    fn typed_constructors_round_trip() {
+        assert_eq!(
+            VfsError::not_found("/a").kind(),
+            ErrorKind::NotFound
+        );
+        assert_eq!(VfsError::already_exists("/a").kind(), ErrorKind::AlreadyExists);
+        assert_eq!(VfsError::read_only_fs("/a").kind(), ErrorKind::ReadOnlyFs);
+        assert_eq!(
+            VfsError::cross_mount_rename("/a", "/m/b").kind(),
+            ErrorKind::CrossMountRename
+        );
+        assert_eq!(VfsError::symlink_loop("/a").kind(), ErrorKind::SymlinkLoop);
+        assert_eq!(
+            VfsError::access_denied("/a", "f").kind(),
+            ErrorKind::AccessDenied
+        );
+        assert_eq!(VfsError::io("/a").kind(), ErrorKind::Io);
+    }
+
+    #[test]
+    fn error_paths_are_exposed() {
+        assert_eq!(
+            VfsError::cross_mount_rename("/a", "/m/b").path(),
+            Some(&VPath::new("/a"))
+        );
+        assert_eq!(VfsError::InvalidHandle.path(), None);
+        assert_eq!(
+            VfsError::not_found("/a").path(),
+            Some(&VPath::new("/a"))
+        );
+    }
+
+    #[test]
     fn error_is_send_sync() {
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<VfsError>();
+        assert_send_sync::<ErrorKind>();
     }
 }

@@ -40,6 +40,18 @@ pub enum Verdict {
         /// detection report summary).
         reason: String,
     },
+    /// Let the operation proceed, but charge the requesting process extra
+    /// simulated time first (GuardFS-style suspect throttling). The VFS
+    /// advances its [`SimClock`](crate::SimClock) by `nanos` and then
+    /// treats the verdict as [`Verdict::Allow`]; several filters may
+    /// throttle one operation and their penalties accumulate. Throttling
+    /// stretches a suspect's wall-clock budget so that even slow detection
+    /// bounds how much data the process can destroy per unit time.
+    #[non_exhaustive]
+    Throttle {
+        /// Additional simulated nanoseconds charged before the operation.
+        nanos: u64,
+    },
 }
 
 impl Verdict {
@@ -62,15 +74,36 @@ impl Verdict {
         }
     }
 
+    /// Slows the requesting process down by `nanos` simulated nanoseconds
+    /// while letting the operation proceed. This is the only way to build
+    /// a `Throttle` verdict outside this crate.
+    pub fn throttle(nanos: u64) -> Self {
+        Verdict::Throttle { nanos }
+    }
+
     /// Whether this verdict suspends the process.
     pub fn is_suspend(&self) -> bool {
         matches!(self, Verdict::Suspend { .. })
+    }
+
+    /// Whether this verdict throttles the process.
+    pub fn is_throttle(&self) -> bool {
+        matches!(self, Verdict::Throttle { .. })
     }
 
     /// The suspension reason, if this is a `Suspend` verdict.
     pub fn suspend_reason(&self) -> Option<&str> {
         match self {
             Verdict::Suspend { reason, .. } => Some(reason.as_str()),
+            _ => None,
+        }
+    }
+
+    /// The throttle penalty in simulated nanoseconds, if this is a
+    /// `Throttle` verdict.
+    pub fn throttle_nanos(&self) -> Option<u64> {
+        match self {
+            Verdict::Throttle { nanos, .. } => Some(*nanos),
             _ => None,
         }
     }
@@ -138,6 +171,13 @@ impl<'a> FsView<'a> {
     /// across [`Vfs`] instances.
     pub fn file_stamp(&self, path: &VPath) -> Option<u64> {
         self.vfs.file_stamp_impl(path)
+    }
+
+    /// The file's stable inode identity, if the path names a file. Lets
+    /// filters key caches by identity rather than path, so renames and
+    /// hard links do not fragment their state.
+    pub fn file_id(&self, path: &VPath) -> Option<crate::FileId> {
+        self.vfs.file_id_impl(path)
     }
 }
 
@@ -209,6 +249,10 @@ mod tests {
         assert_eq!(v.suspend_reason(), Some("score 212 >= 200"));
         assert!(!Verdict::allow().is_suspend());
         assert_eq!(Verdict::deny().suspend_reason(), None);
+        let t = Verdict::throttle(500_000);
+        assert!(t.is_throttle() && !t.is_suspend());
+        assert_eq!(t.throttle_nanos(), Some(500_000));
+        assert_eq!(v.throttle_nanos(), None);
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! applied. It is the substrate on which the CryptoDrop engine, the corpus
 //! generator, the ransomware simulator, and the benign workloads all run.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -27,6 +27,7 @@ use crate::node::{Content, DirEntry, EntryKind, FileId, FileNode, Metadata};
 use crate::ops::{FsOp, OpContext, OpOutcome, OpenOptions};
 use crate::path::VPath;
 use crate::process::{ProcessId, ProcessTable, SuspensionRecord};
+use crate::provider::{FsProvider, MemProvider, MountOptions, ProviderEntry};
 use crate::shadow::{MutationKind, PreImage, ShadowSink};
 
 /// An open file handle.
@@ -36,25 +37,56 @@ pub struct Handle(u64);
 #[derive(Debug)]
 struct OpenHandle {
     pid: ProcessId,
+    /// Index of the mount the file lives on.
+    mount: usize,
     file: FileId,
     cursor: u64,
     writable: bool,
     modified: bool,
-    /// Path at open time, kept for close events if the file is deleted.
+    /// Path at open time, kept for close events if the file is unlinked.
     opened_path: Arc<VPath>,
     /// Dirty-extent tracking for this handle, delivered to filters at
     /// close time (see [`DirtyReport`]).
     dirty: DirtyReport,
 }
 
+/// One entry of the mount table: a provider attached at a root path.
+struct Mount {
+    root: VPath,
+    /// `root.depth()`, cached for mount routing.
+    depth: usize,
+    options: MountOptions,
+    provider: Box<dyn FsProvider>,
+}
+
+/// A path resolved through the mount table's symlink machinery: borrowed
+/// unchanged when no symlink was involved, owned when splicing targets
+/// produced a new path.
+enum ResolvedPath<'p> {
+    Borrowed(&'p VPath),
+    Owned(VPath),
+}
+
+impl ResolvedPath<'_> {
+    fn as_path(&self) -> &VPath {
+        match self {
+            ResolvedPath::Borrowed(p) => p,
+            ResolvedPath::Owned(p) => p,
+        }
+    }
+}
+
 /// The in-memory virtual filesystem. See the [crate-level docs](crate) for
 /// an overview and a worked example.
 pub struct Vfs {
-    files: HashMap<VPath, FileNode>,
-    dir_children: HashMap<VPath, BTreeMap<String, EntryKind>>,
-    file_paths: HashMap<FileId, Arc<VPath>>,
+    /// The mount table. `mounts[0]` is always the root mount; paths route
+    /// to the deepest mount whose root prefixes them.
+    mounts: Vec<Mount>,
+    /// Open-handle counts per `(mount, inode)`, used to keep unlinked
+    /// nodes alive until their last handle closes (open-unlinked
+    /// lifetime) and to reap them afterwards.
+    open_counts: HashMap<(usize, FileId), u32>,
     handles: HashMap<u64, OpenHandle>,
-    next_file_id: u64,
     next_handle_id: u64,
     processes: ProcessTable,
     filters: Vec<Box<dyn FilterDriver>>,
@@ -79,8 +111,9 @@ impl Default for Vfs {
 impl std::fmt::Debug for Vfs {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Vfs")
-            .field("files", &self.files.len())
-            .field("dirs", &self.dir_children.len())
+            .field("mounts", &self.mounts.len())
+            .field("files", &self.file_count())
+            .field("dirs", &self.dir_count())
             .field("handles", &self.handles.len())
             .field("processes", &self.processes.len())
             .field("filters", &self.filters.len())
@@ -89,16 +122,28 @@ impl std::fmt::Debug for Vfs {
 }
 
 impl Vfs {
-    /// Creates an empty filesystem containing only the root directory.
+    /// Creates an empty filesystem containing only the root directory,
+    /// backed by a default [`MemProvider`] mounted at `/`.
     pub fn new() -> Self {
-        let mut dir_children = HashMap::new();
-        dir_children.insert(VPath::root(), BTreeMap::new());
+        Self::with_root_provider(Box::new(MemProvider::new()), MountOptions::default())
+    }
+
+    /// Creates a filesystem whose root mount is the given provider.
+    ///
+    /// The provider's [`prepare_mount`](FsProvider::prepare_mount) is
+    /// invoked for `/` before the first operation. Additional providers
+    /// can be attached below the root with [`Vfs::mount`].
+    pub fn with_root_provider(mut provider: Box<dyn FsProvider>, options: MountOptions) -> Self {
+        provider.prepare_mount(&VPath::root());
         Self {
-            files: HashMap::new(),
-            dir_children,
-            file_paths: HashMap::new(),
+            mounts: vec![Mount {
+                root: VPath::root(),
+                depth: 0,
+                options,
+                provider,
+            }],
+            open_counts: HashMap::new(),
             handles: HashMap::new(),
-            next_file_id: 1,
             next_handle_id: 1,
             processes: ProcessTable::new(),
             filters: Vec::new(),
@@ -117,14 +162,88 @@ impl Vfs {
     /// instances — one per thread — can drive one shared filter driver
     /// (e.g. a forked `CryptoDrop` engine) without id collisions.
     ///
-    /// Namespace 0 is identical to [`Vfs::new`].
+    /// This is sugar for mounting a
+    /// [`MemProvider::with_ino_base`]`((namespace << 32) | 1)` at the root
+    /// and offsetting the process table — tenancy is a mount, not a
+    /// special id-prefixing mode. Namespace 0 is identical to
+    /// [`Vfs::new`].
     pub fn with_namespace(namespace: u32) -> Self {
-        let mut fs = Self::new();
         // 2^32 file ids and 2^20 pids per namespace are far beyond any
         // simulated workload.
-        fs.next_file_id = (u64::from(namespace) << 32) | 1;
+        let provider = MemProvider::with_ino_base((u64::from(namespace) << 32) | 1);
+        let mut fs = Self::with_root_provider(Box::new(provider), MountOptions::default());
         fs.processes = ProcessTable::with_base(namespace << 20);
         fs
+    }
+
+    // ------------------------------------------------------------------
+    // Mount table
+    // ------------------------------------------------------------------
+
+    /// Attaches a provider at `root` with the given options.
+    ///
+    /// The mount target must be a missing or empty directory: a missing
+    /// target is created in the covering mount (so listings of the parent
+    /// show the mount point), and a non-empty one is refused rather than
+    /// silently shadowing its entries. Paths at or below `root` then route
+    /// to the new provider; the deepest matching mount root wins.
+    ///
+    /// # Errors
+    ///
+    /// * [`VfsError::AlreadyExists`] — `root` is `/` or an existing mount
+    ///   root, or is occupied by a file or symlink.
+    /// * [`VfsError::DirectoryNotEmpty`] — `root` is a non-empty directory.
+    /// * [`VfsError::NotFound`] / [`VfsError::NotADirectory`] — the parent
+    ///   of `root` is missing or not a directory.
+    pub fn mount(
+        &mut self,
+        root: impl Into<VPath>,
+        mut provider: Box<dyn FsProvider>,
+        options: MountOptions,
+    ) -> VfsResult<()> {
+        let root = root.into();
+        if root.is_root() || self.mounts.iter().any(|m| m.root == root) {
+            return Err(VfsError::already_exists(root));
+        }
+        let mi = self.mount_index(&root);
+        match self.mounts[mi].provider.entry(&root) {
+            None => {
+                let parent = root
+                    .parent()
+                    .ok_or_else(|| VfsError::InvalidPath(root.clone()))?;
+                match self.node_kind(mi, &parent) {
+                    Some(EntryKind::Directory) => {}
+                    Some(_) => return Err(VfsError::NotADirectory(parent)),
+                    None => return Err(VfsError::not_found(parent)),
+                }
+                self.mounts[mi].provider.create_dir(&root);
+            }
+            Some(ProviderEntry::Directory) => {
+                let occupied = self.mounts[mi]
+                    .provider
+                    .read_dir(&root)
+                    .is_some_and(|entries| !entries.is_empty());
+                if occupied {
+                    return Err(VfsError::DirectoryNotEmpty(root));
+                }
+            }
+            Some(_) => return Err(VfsError::already_exists(root)),
+        }
+        provider.prepare_mount(&root);
+        let depth = root.depth();
+        self.mounts.push(Mount {
+            root,
+            depth,
+            options,
+            provider,
+        });
+        Ok(())
+    }
+
+    /// Iterates over the mount table as `(root, options)` pairs, root
+    /// mount first, then in mount order.
+    pub fn mounts(&self) -> impl Iterator<Item = (&VPath, &MountOptions)> {
+        self.mounts.iter().map(|m| (&m.root, &m.options))
     }
 
     // ------------------------------------------------------------------
@@ -282,12 +401,20 @@ impl Vfs {
     ///   path exists.
     /// * [`VfsError::IsADirectory`] — the path names a directory.
     /// * [`VfsError::ReadOnly`] — write access to a read-only file.
+    /// * [`VfsError::ReadOnlyFs`] — write or create access on a read-only
+    ///   mount.
+    /// * [`VfsError::SymlinkLoop`] — symlink resolution exceeded the
+    ///   mount's depth limit, or the path names a symlink on a mount with
+    ///   resolution disabled.
     /// * [`VfsError::AccessDenied`] / [`VfsError::ProcessSuspended`] — a
     ///   filter denied the operation or the process is suspended.
     pub fn open(&mut self, pid: ProcessId, path: &VPath, options: OpenOptions) -> VfsResult<Handle> {
         self.check_process(pid)?;
-        let exists = match self.node_kind(path) {
+        let (mi, resolved) = self.resolve(path, true)?;
+        let path = resolved.as_path();
+        let exists = match self.node_kind(mi, path) {
             Some(EntryKind::Directory) => return Err(VfsError::IsADirectory(path.clone())),
+            Some(EntryKind::Symlink) => return Err(VfsError::symlink_loop(path.clone())),
             Some(EntryKind::File) => true,
             None => false,
         };
@@ -299,18 +426,19 @@ impl Vfs {
                 return Err(VfsError::NotFound(path.clone()));
             }
             let parent = path.parent().ok_or_else(|| VfsError::InvalidPath(path.clone()))?;
-            match self.dir_children.get(&parent) {
-                Some(_) => {}
-                None => {
-                    return if self.files.contains_key(&parent) {
-                        Err(VfsError::NotADirectory(parent))
-                    } else {
-                        Err(VfsError::NotFound(parent))
-                    }
-                }
+            match self.node_kind(mi, &parent) {
+                Some(EntryKind::Directory) => {}
+                Some(_) => return Err(VfsError::NotADirectory(parent)),
+                None => return Err(VfsError::NotFound(parent)),
             }
         }
-        if exists && options.write && self.files[path].read_only {
+        if (options.write || (!exists && options.create)) && self.mounts[mi].options.read_only {
+            return Err(VfsError::read_only_fs(path.clone()));
+        }
+        if exists
+            && options.write
+            && self.file_node_at(mi, path).expect("checked above").read_only
+        {
             return Err(VfsError::ReadOnly(path.clone()));
         }
 
@@ -323,37 +451,27 @@ impl Vfs {
 
         // A truncating open destroys the current content: shadow it.
         if exists && options.truncate && options.write {
-            self.shadow_capture(pid, MutationKind::Write, path);
+            self.shadow_capture(pid, MutationKind::Write, mi, path);
         }
 
         // Apply.
         let created = !exists;
         let now = self.clock.now_nanos();
         if created {
-            let id = FileId(self.next_file_id);
-            self.next_file_id += 1;
-            let parent = path.parent().expect("checked above");
-            self.dir_children
-                .get_mut(&parent)
-                .expect("checked above")
-                .insert(path.file_name().unwrap().to_string(), EntryKind::File);
-            self.files.insert(
-                path.clone(),
-                FileNode {
-                    id,
-                    data: Content::default(),
-                    stamp: 0,
-                    read_only: false,
-                    created_at_nanos: now,
-                    modified_at_nanos: now,
-                },
-            );
-            self.file_paths.insert(id, Arc::new(path.clone()));
+            let m = &mut self.mounts[mi];
+            let id = m.provider.alloc_ino();
+            m.provider
+                .insert_file(path, FileNode::new(id, Content::default(), 0, now));
             self.shadow_note_created(pid, id, path);
         }
         let truncated = exists && options.truncate && options.write;
         let (file_id, base_stamp, base_len) = {
-            let node = self.files.get_mut(path).expect("file exists by now");
+            let m = &mut self.mounts[mi];
+            let id = match m.provider.entry(path) {
+                Some(ProviderEntry::File(id)) => id,
+                _ => unreachable!("file exists by now"),
+            };
+            let node = m.provider.node_mut(id).expect("entry implies node");
             if truncated {
                 node.data.clear();
                 node.stamp = 0;
@@ -363,10 +481,9 @@ impl Vfs {
             // truncation itself is already visible through `truncated`.
             (node.id, node.stamp, node.data.len() as u64)
         };
-        let opened_path = self
-            .file_paths
-            .get(&file_id)
-            .cloned()
+        let opened_path = self.mounts[mi]
+            .provider
+            .path_of(file_id)
             .unwrap_or_else(|| Arc::new(path.clone()));
         let handle_id = self.next_handle_id;
         self.next_handle_id += 1;
@@ -374,6 +491,7 @@ impl Vfs {
             handle_id,
             OpenHandle {
                 pid,
+                mount: mi,
                 file: file_id,
                 cursor: 0,
                 writable: options.write,
@@ -383,6 +501,7 @@ impl Vfs {
                 dirty: DirtyReport::new(base_stamp, base_len),
             },
         );
+        *self.open_counts.entry((mi, file_id)).or_insert(0) += 1;
 
         let outcome = OpOutcome::Open {
             file: file_id,
@@ -407,13 +526,15 @@ impl Vfs {
     ///
     /// # Errors
     ///
-    /// Returns [`VfsError::InvalidHandle`] if the handle is closed, belongs
-    /// to another process, or its file has been deleted, plus the filter
-    /// and suspension errors described on [`Vfs::open`].
+    /// Returns [`VfsError::InvalidHandle`] if the handle is closed or
+    /// belongs to another process, plus the filter and suspension errors
+    /// described on [`Vfs::open`]. A handle whose file has been unlinked
+    /// keeps reading the node's bytes until it is closed (open-unlinked
+    /// lifetime).
     pub fn read(&mut self, pid: ProcessId, handle: Handle, len: usize) -> VfsResult<Vec<u8>> {
         self.check_process(pid)?;
-        let (file_id, cursor) = self.handle_info(pid, handle)?;
-        let path = self.path_of(file_id)?;
+        let (mi, file_id, cursor) = self.handle_view(pid, handle)?;
+        let path = self.handle_path(mi, file_id, handle);
 
         self.fault_point(pid, &path)?;
         let op = FsOp::Read {
@@ -426,7 +547,10 @@ impl Vfs {
         self.finish_op(OpKind::Read, overhead);
         pre?;
 
-        let node = self.files.get(path.as_ref()).expect("path resolved from live id");
+        let node = self.mounts[mi]
+            .provider
+            .node(file_id)
+            .expect("open handle pins node");
         let start = (cursor as usize).min(node.data.len());
         let end = (start + len).min(node.data.len());
         let data = node.data[start..end].to_vec();
@@ -454,9 +578,12 @@ impl Vfs {
     ///
     /// As for [`Vfs::read`].
     pub fn read_to_end(&mut self, pid: ProcessId, handle: Handle) -> VfsResult<Vec<u8>> {
-        let (file_id, cursor) = self.handle_info(pid, handle)?;
-        let path = self.path_of(file_id)?;
-        let remaining = self.files[path.as_ref()].data.len().saturating_sub(cursor as usize);
+        let (mi, file_id, cursor) = self.handle_view(pid, handle)?;
+        let remaining = self.mounts[mi]
+            .provider
+            .node(file_id)
+            .map_or(0, |n| n.data.len())
+            .saturating_sub(cursor as usize);
         self.read(pid, handle, remaining)
     }
 
@@ -469,11 +596,11 @@ impl Vfs {
     /// write access, plus the errors described on [`Vfs::read`].
     pub fn write(&mut self, pid: ProcessId, handle: Handle, data: &[u8]) -> VfsResult<usize> {
         self.check_process(pid)?;
-        let (file_id, cursor) = self.handle_info(pid, handle)?;
+        let (mi, file_id, cursor) = self.handle_view(pid, handle)?;
         if !self.handles[&handle.0].writable {
             return Err(VfsError::NotWritable);
         }
-        let path = self.path_of(file_id)?;
+        let path = self.handle_path(mi, file_id, handle);
 
         self.fault_point(pid, &path)?;
         let op = FsOp::Write {
@@ -486,10 +613,13 @@ impl Vfs {
         self.finish_op(OpKind::Write, overhead);
         pre?;
 
-        self.shadow_capture(pid, MutationKind::Write, &path);
+        self.shadow_capture_file(pid, MutationKind::Write, mi, file_id, &path);
         let now = self.clock.now_nanos();
         {
-            let node = self.files.get_mut(path.as_ref()).expect("path resolved from live id");
+            let node = self.mounts[mi]
+                .provider
+                .node_mut(file_id)
+                .expect("open handle pins node");
             let h = self.handles.get_mut(&handle.0).expect("validated");
             let start = cursor as usize;
             let old_len = node.data.len();
@@ -585,11 +715,11 @@ impl Vfs {
     /// As for [`Vfs::write`].
     pub fn truncate(&mut self, pid: ProcessId, handle: Handle, len: u64) -> VfsResult<()> {
         self.check_process(pid)?;
-        let (file_id, _) = self.handle_info(pid, handle)?;
+        let (mi, file_id, _) = self.handle_view(pid, handle)?;
         if !self.handles[&handle.0].writable {
             return Err(VfsError::NotWritable);
         }
-        let path = self.path_of(file_id)?;
+        let path = self.handle_path(mi, file_id, handle);
 
         self.fault_point(pid, &path)?;
         let op = FsOp::Truncate { path: &path, len };
@@ -598,10 +728,13 @@ impl Vfs {
         self.finish_op(OpKind::Write, overhead);
         pre?;
 
-        self.shadow_capture(pid, MutationKind::Truncate, &path);
+        self.shadow_capture_file(pid, MutationKind::Truncate, mi, file_id, &path);
         let now = self.clock.now_nanos();
         {
-            let node = self.files.get_mut(path.as_ref()).expect("path resolved from live id");
+            let node = self.mounts[mi]
+                .provider
+                .node_mut(file_id)
+                .expect("open handle pins node");
             let h = self.handles.get_mut(&handle.0).expect("validated");
             let old_len = node.data.len();
             let new_len = len as usize;
@@ -645,7 +778,7 @@ impl Vfs {
     /// Returns [`VfsError::InvalidHandle`] for closed/foreign handles.
     pub fn seek(&mut self, pid: ProcessId, handle: Handle, pos: u64) -> VfsResult<()> {
         self.check_process(pid)?;
-        self.handle_info(pid, handle)?;
+        self.handle_view(pid, handle)?;
         self.handles.get_mut(&handle.0).expect("validated").cursor = pos;
         Ok(())
     }
@@ -660,17 +793,11 @@ impl Vfs {
     ///
     /// Returns [`VfsError::InvalidHandle`] for closed/foreign handles.
     pub fn close(&mut self, pid: ProcessId, handle: Handle) -> VfsResult<()> {
-        let h = match self.handles.get(&handle.0) {
-            Some(h) if h.pid == pid => h,
+        let (mi, file_id, modified) = match self.handles.get(&handle.0) {
+            Some(h) if h.pid == pid => (h.mount, h.file, h.modified),
             _ => return Err(VfsError::InvalidHandle),
         };
-        let file_id = h.file;
-        let modified = h.modified;
-        let path = self
-            .file_paths
-            .get(&file_id)
-            .cloned()
-            .unwrap_or_else(|| h.opened_path.clone());
+        let path = self.handle_path(mi, file_id, handle);
 
         let op = FsOp::Close {
             path: &path,
@@ -683,13 +810,10 @@ impl Vfs {
         self.finish_op(OpKind::Close, overhead);
 
         let h = self.handles.remove(&handle.0).expect("validated above");
-        // The file may have been deleted (stamp 0 = unknown) or even
-        // replaced by a new file at the same path — match on id.
-        let stamp = self
-            .files
-            .get(path.as_ref())
-            .filter(|n| n.id == file_id)
-            .map_or(0, |n| n.stamp);
+        // The node is looked up by identity, so the stamp stays correct
+        // even after renames, or for an unlinked node kept alive by this
+        // very handle.
+        let stamp = self.mounts[mi].provider.node(file_id).map_or(0, |n| n.stamp);
 
         let outcome = OpOutcome::Close {
             file: file_id,
@@ -704,6 +828,8 @@ impl Vfs {
             path: (*path).clone(),
             modified,
         });
+        // Last close of an unlinked node reaps it.
+        self.release_open(mi, file_id);
         Ok(())
     }
 
@@ -719,12 +845,25 @@ impl Vfs {
     /// * Filter and suspension errors as on [`Vfs::open`].
     pub fn delete(&mut self, pid: ProcessId, path: &VPath) -> VfsResult<()> {
         self.check_process(pid)?;
-        match self.node_kind(path) {
+        let (mi, resolved) = self.resolve(path, false)?;
+        let path = resolved.as_path();
+        match self.node_kind(mi, path) {
             None => return Err(VfsError::NotFound(path.clone())),
             Some(EntryKind::Directory) => return Err(VfsError::IsADirectory(path.clone())),
+            Some(EntryKind::Symlink) => {
+                // Deleting a symlink removes the link itself: a cheap
+                // metadata-class operation that never destroys file data,
+                // so it bypasses the filter chain like directory ops do.
+                self.check_mount_writable(mi, path)?;
+                self.clock.charge(OpKind::Metadata);
+                self.mounts[mi].provider.unlink(path);
+                self.record(pid, || EventDetail::Delete { path: path.clone() });
+                return Ok(());
+            }
             Some(EntryKind::File) => {}
         }
-        if self.files[path].read_only {
+        self.check_mount_writable(mi, path)?;
+        if self.file_node_at(mi, path).expect("checked above").read_only {
             return Err(VfsError::ReadOnly(path.clone()));
         }
 
@@ -735,12 +874,16 @@ impl Vfs {
         self.finish_op(OpKind::Delete, overhead);
         pre?;
 
-        self.shadow_capture(pid, MutationKind::Delete, path);
-        let node = self.files.remove(path).expect("checked above");
-        self.file_paths.remove(&node.id);
-        self.unlink_entry(path);
+        self.shadow_capture(pid, MutationKind::Delete, mi, path);
+        let unlinked = self.mounts[mi].provider.unlink(path).expect("checked above");
+        let file = unlinked.file.expect("file entry");
+        // Open-unlinked lifetime: the node survives while handles hold it;
+        // otherwise reap it now.
+        if unlinked.links_remaining == 0 && !self.open_counts.contains_key(&(mi, file)) {
+            self.mounts[mi].provider.remove_node(file);
+        }
 
-        let outcome = OpOutcome::Delete { file: node.id };
+        let outcome = OpOutcome::Delete { file };
         let mut overhead = 0u64;
         self.run_post(pid, &op, &outcome, &mut overhead);
         self.ledger_add(OpKind::Delete, overhead);
@@ -765,6 +908,9 @@ impl Vfs {
     ///   is `false`.
     /// * [`VfsError::ReadOnly`] — source, or a destination that would be
     ///   replaced, is read-only.
+    /// * [`VfsError::ReadOnlyFs`] — the mount is read-only.
+    /// * [`VfsError::CrossMountRename`] — source and destination resolve
+    ///   to different mounts (rename never moves data across providers).
     /// * [`VfsError::InvalidPath`] — source and destination are equal.
     /// * Filter and suspension errors as on [`Vfs::open`].
     pub fn rename(
@@ -778,27 +924,67 @@ impl Vfs {
         if from == to {
             return Err(VfsError::InvalidPath(to.clone()));
         }
-        match self.node_kind(from) {
+        let (mi_from, rfrom) = self.resolve(from, false)?;
+        let (mi_to, rto) = self.resolve(to, false)?;
+        let from = rfrom.as_path();
+        let to = rto.as_path();
+        if from == to {
+            return Err(VfsError::InvalidPath(to.clone()));
+        }
+        match self.node_kind(mi_from, from) {
             None => return Err(VfsError::NotFound(from.clone())),
             Some(EntryKind::Directory) => return Err(VfsError::IsADirectory(from.clone())),
+            Some(EntryKind::Symlink) => {
+                // Renaming a symlink moves the link itself, not its target:
+                // a metadata-class operation bypassing the filter chain.
+                if mi_from != mi_to {
+                    return Err(VfsError::cross_mount_rename(from.clone(), to.clone()));
+                }
+                self.check_mount_writable(mi_from, from)?;
+                if self.node_kind(mi_to, to).is_some() {
+                    return Err(VfsError::already_exists(to.clone()));
+                }
+                let to_parent = to.parent().ok_or_else(|| VfsError::InvalidPath(to.clone()))?;
+                if self.node_kind(mi_to, &to_parent) != Some(EntryKind::Directory) {
+                    return Err(VfsError::NotFound(to_parent));
+                }
+                self.clock.charge(OpKind::Rename);
+                self.mounts[mi_from].provider.rename_entry(from, to);
+                self.record(pid, || EventDetail::Rename {
+                    from: from.clone(),
+                    to: to.clone(),
+                    replaced: false,
+                });
+                return Ok(());
+            }
             Some(EntryKind::File) => {}
         }
-        if self.files[from].read_only {
+        if mi_from != mi_to {
+            return Err(VfsError::cross_mount_rename(from.clone(), to.clone()));
+        }
+        let mi = mi_from;
+        self.check_mount_writable(mi, from)?;
+        if self.file_node_at(mi, from).expect("checked above").read_only {
             return Err(VfsError::ReadOnly(from.clone()));
         }
-        let dest_kind = self.node_kind(to);
+        let dest_kind = self.node_kind(mi, to);
         match dest_kind {
             Some(EntryKind::Directory) => return Err(VfsError::IsADirectory(to.clone())),
             Some(EntryKind::File) if !overwrite => {
                 return Err(VfsError::AlreadyExists(to.clone()))
             }
-            Some(EntryKind::File) if self.files[to].read_only => {
+            Some(EntryKind::File)
+                if self.file_node_at(mi, to).expect("checked above").read_only =>
+            {
                 return Err(VfsError::ReadOnly(to.clone()))
+            }
+            Some(EntryKind::Symlink) if !overwrite => {
+                return Err(VfsError::AlreadyExists(to.clone()))
             }
             _ => {}
         }
         let to_parent = to.parent().ok_or_else(|| VfsError::InvalidPath(to.clone()))?;
-        if !self.dir_children.contains_key(&to_parent) {
+        if self.node_kind(mi, &to_parent) != Some(EntryKind::Directory) {
             return Err(VfsError::NotFound(to_parent));
         }
 
@@ -814,25 +1000,30 @@ impl Vfs {
         pre?;
 
         // Remove a replaced destination (shadowing its final bytes first).
-        let replaced = if dest_kind == Some(EntryKind::File) {
-            self.shadow_capture(pid, MutationKind::RenameOverwrite, to);
-            let old = self.files.remove(to).expect("checked above");
-            self.file_paths.remove(&old.id);
-            self.unlink_entry(to);
-            Some(old.id)
-        } else {
-            None
+        // A replaced file with open handles stays alive as an orphan node
+        // until its last handle closes, so the victim's dirty-extent report
+        // and shadow copies remain coherent.
+        let replaced = match dest_kind {
+            Some(EntryKind::File) => {
+                self.shadow_capture(pid, MutationKind::RenameOverwrite, mi, to);
+                let unlinked = self.mounts[mi].provider.unlink(to).expect("checked above");
+                let victim = unlinked.file.expect("file entry");
+                if unlinked.links_remaining == 0
+                    && !self.open_counts.contains_key(&(mi, victim))
+                {
+                    self.mounts[mi].provider.remove_node(victim);
+                }
+                Some(victim)
+            }
+            Some(EntryKind::Symlink) => {
+                self.mounts[mi].provider.unlink(to);
+                None
+            }
+            _ => None,
         };
 
-        let node = self.files.remove(from).expect("checked above");
-        let file_id = node.id;
-        self.unlink_entry(from);
-        self.dir_children
-            .get_mut(&to_parent)
-            .expect("checked above")
-            .insert(to.file_name().unwrap().to_string(), EntryKind::File);
-        self.files.insert(to.clone(), node);
-        self.file_paths.insert(file_id, Arc::new(to.clone()));
+        let file_id = self.file_at(mi, from).expect("checked above");
+        self.mounts[mi].provider.rename_entry(from, to);
         self.shadow_note_rename(pid, file_id, from, to);
 
         let outcome = OpOutcome::Rename {
@@ -858,12 +1049,12 @@ impl Vfs {
     /// missing or non-directory paths, plus filter and suspension errors.
     pub fn list_dir(&mut self, pid: ProcessId, path: &VPath) -> VfsResult<Vec<DirEntry>> {
         self.check_process(pid)?;
-        if !self.dir_children.contains_key(path) {
-            return if self.files.contains_key(path) {
-                Err(VfsError::NotADirectory(path.clone()))
-            } else {
-                Err(VfsError::NotFound(path.clone()))
-            };
+        let (mi, resolved) = self.resolve(path, true)?;
+        let path = resolved.as_path();
+        match self.node_kind(mi, path) {
+            Some(EntryKind::Directory) => {}
+            Some(_) => return Err(VfsError::NotADirectory(path.clone())),
+            None => return Err(VfsError::NotFound(path.clone())),
         }
 
         self.fault_point(pid, path)?;
@@ -873,25 +1064,10 @@ impl Vfs {
         self.finish_op(OpKind::ReadDir, overhead);
         pre?;
 
-        let entries: Vec<DirEntry> = self.dir_children[path]
-            .iter()
-            .map(|(name, kind)| {
-                let child = path.join(name);
-                let (len, file) = match kind {
-                    EntryKind::File => {
-                        let node = &self.files[&child];
-                        (node.data.len() as u64, Some(node.id))
-                    }
-                    EntryKind::Directory => (0, None),
-                };
-                DirEntry {
-                    name: name.clone(),
-                    kind: *kind,
-                    len,
-                    file,
-                }
-            })
-            .collect();
+        let entries = self.mounts[mi]
+            .provider
+            .read_dir(path)
+            .expect("checked above");
 
         let outcome = OpOutcome::ReadDir {
             entries: entries.len(),
@@ -930,11 +1106,15 @@ impl Vfs {
         read_only: bool,
     ) -> VfsResult<()> {
         self.check_process(pid)?;
-        match self.node_kind(path) {
+        let (mi, resolved) = self.resolve(path, true)?;
+        let path = resolved.as_path();
+        match self.node_kind(mi, path) {
             None => return Err(VfsError::NotFound(path.clone())),
             Some(EntryKind::Directory) => return Err(VfsError::IsADirectory(path.clone())),
+            Some(EntryKind::Symlink) => return Err(VfsError::symlink_loop(path.clone())),
             Some(EntryKind::File) => {}
         }
+        self.check_mount_writable(mi, path)?;
 
         self.fault_point(pid, path)?;
         let op = FsOp::SetAttr { path, read_only };
@@ -943,7 +1123,12 @@ impl Vfs {
         self.finish_op(OpKind::Metadata, overhead);
         pre?;
 
-        self.files.get_mut(path).expect("checked above").read_only = read_only;
+        let file = self.file_at(mi, path).expect("checked above");
+        self.mounts[mi]
+            .provider
+            .node_mut(file)
+            .expect("checked above")
+            .read_only = read_only;
 
         let outcome = OpOutcome::SetAttr;
         let mut overhead = 0u64;
@@ -967,6 +1152,8 @@ impl Vfs {
     pub fn create_dir(&mut self, pid: ProcessId, path: &VPath) -> VfsResult<()> {
         self.check_process(pid)?;
         self.clock.charge(OpKind::Metadata);
+        let mi = self.mount_index(path);
+        self.check_mount_writable(mi, path)?;
         self.create_dir_impl(path)
     }
 
@@ -979,6 +1166,8 @@ impl Vfs {
     pub fn create_dir_all(&mut self, pid: ProcessId, path: &VPath) -> VfsResult<()> {
         self.check_process(pid)?;
         self.clock.charge(OpKind::Metadata);
+        let mi = self.mount_index(path);
+        self.check_mount_writable(mi, path)?;
         self.create_dir_all_impl(path)
     }
 
@@ -996,12 +1185,17 @@ impl Vfs {
         if path.is_root() {
             return Err(VfsError::InvalidPath(path.clone()));
         }
-        match self.dir_children.get(path) {
+        let (mi, resolved) = self.resolve(path, false)?;
+        let path = resolved.as_path();
+        if mi != 0 && *path == self.mounts[mi].root {
+            // A mount root is a routing anchor, not a removable directory.
+            return Err(VfsError::InvalidPath(path.clone()));
+        }
+        match self.mounts[mi].provider.read_dir(path) {
             None => {
-                return if self.files.contains_key(path) {
-                    Err(VfsError::NotADirectory(path.clone()))
-                } else {
-                    Err(VfsError::NotFound(path.clone()))
+                return match self.node_kind(mi, path) {
+                    Some(EntryKind::Directory) | None => Err(VfsError::NotFound(path.clone())),
+                    Some(_) => Err(VfsError::NotADirectory(path.clone())),
                 }
             }
             Some(children) if !children.is_empty() => {
@@ -1009,9 +1203,109 @@ impl Vfs {
             }
             Some(_) => {}
         }
-        self.dir_children.remove(path);
-        self.unlink_entry(path);
+        self.check_mount_writable(mi, path)?;
+        self.mounts[mi].provider.remove_dir(path);
         Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Links
+    // ------------------------------------------------------------------
+
+    /// Creates a hard link: a second directory entry (`new`) referring to
+    /// the same file node as `existing`. Both names observe the same bytes,
+    /// metadata and [`FileId`]; the node survives until its last link is
+    /// unlinked *and* its last open handle closes.
+    ///
+    /// Hard links never cross mounts, and only regular files can be
+    /// hard-linked. Link creation is a metadata-class operation and is not
+    /// filtered (no file data is at risk).
+    ///
+    /// # Errors
+    ///
+    /// * [`VfsError::NotFound`] — `existing` missing, or `new`'s parent
+    ///   directory missing.
+    /// * [`VfsError::IsADirectory`] — `existing` is a directory.
+    /// * [`VfsError::SymlinkLoop`] — `existing` is a symlink that cannot be
+    ///   followed to a file.
+    /// * [`VfsError::AlreadyExists`] — `new` already exists.
+    /// * [`VfsError::CrossMountRename`] — the two paths resolve to
+    ///   different mounts.
+    /// * [`VfsError::ReadOnlyFs`] — the mount is read-only.
+    pub fn link(&mut self, pid: ProcessId, existing: &VPath, new: &VPath) -> VfsResult<()> {
+        self.check_process(pid)?;
+        self.clock.charge(OpKind::Metadata);
+        let (mi_from, rfrom) = self.resolve(existing, true)?;
+        let (mi_to, rto) = self.resolve(new, false)?;
+        let existing = rfrom.as_path();
+        let new = rto.as_path();
+        let file = match self.node_kind(mi_from, existing) {
+            Some(EntryKind::File) => self.file_at(mi_from, existing).expect("checked above"),
+            Some(EntryKind::Directory) => return Err(VfsError::IsADirectory(existing.clone())),
+            Some(EntryKind::Symlink) => return Err(VfsError::symlink_loop(existing.clone())),
+            None => return Err(VfsError::not_found(existing.clone())),
+        };
+        if mi_from != mi_to {
+            return Err(VfsError::cross_mount_rename(existing.clone(), new.clone()));
+        }
+        self.check_mount_writable(mi_to, new)?;
+        if self.node_kind(mi_to, new).is_some() {
+            return Err(VfsError::already_exists(new.clone()));
+        }
+        let parent = new.parent().ok_or_else(|| VfsError::InvalidPath(new.clone()))?;
+        if self.node_kind(mi_to, &parent) != Some(EntryKind::Directory) {
+            return Err(VfsError::not_found(parent));
+        }
+        self.mounts[mi_to].provider.link(file, new);
+        Ok(())
+    }
+
+    /// Creates a symbolic link at `at` pointing to `target`.
+    ///
+    /// The target is stored verbatim and need not exist; it is resolved
+    /// lazily on each traversal (up to the mount's
+    /// [`max_link_depth`](MountOptions::max_link_depth) hops, after which
+    /// resolution fails with [`VfsError::SymlinkLoop`]). Symlink creation
+    /// is a metadata-class operation and is not filtered.
+    ///
+    /// # Errors
+    ///
+    /// * [`VfsError::AlreadyExists`] — `at` already exists.
+    /// * [`VfsError::NotFound`] — `at`'s parent directory missing.
+    /// * [`VfsError::ReadOnlyFs`] — the mount is read-only.
+    pub fn symlink(&mut self, pid: ProcessId, target: &VPath, at: &VPath) -> VfsResult<()> {
+        self.check_process(pid)?;
+        self.clock.charge(OpKind::Metadata);
+        let (mi, resolved) = self.resolve(at, false)?;
+        let at = resolved.as_path();
+        self.check_mount_writable(mi, at)?;
+        if self.node_kind(mi, at).is_some() {
+            return Err(VfsError::already_exists(at.clone()));
+        }
+        let parent = at.parent().ok_or_else(|| VfsError::InvalidPath(at.clone()))?;
+        if self.node_kind(mi, &parent) != Some(EntryKind::Directory) {
+            return Err(VfsError::not_found(parent));
+        }
+        self.mounts[mi].provider.symlink(at, target.clone());
+        Ok(())
+    }
+
+    /// Reads a symlink's target without following it.
+    ///
+    /// # Errors
+    ///
+    /// * [`VfsError::NotFound`] — `path` does not exist.
+    /// * [`VfsError::InvalidPath`] — `path` exists but is not a symlink.
+    pub fn read_link(&mut self, pid: ProcessId, path: &VPath) -> VfsResult<VPath> {
+        self.check_process(pid)?;
+        self.clock.charge(OpKind::Metadata);
+        let (mi, resolved) = self.resolve(path, false)?;
+        let path = resolved.as_path();
+        match self.mounts[mi].provider.entry(path) {
+            Some(ProviderEntry::Symlink(target)) => Ok(target.clone()),
+            Some(_) => Err(VfsError::InvalidPath(path.clone())),
+            None => Err(VfsError::not_found(path.clone())),
+        }
     }
 
     // ------------------------------------------------------------------
@@ -1075,15 +1369,22 @@ impl Vfs {
     /// # Errors
     ///
     /// [`VfsError::NotFound`] / [`VfsError::IsADirectory`].
+    #[cfg(feature = "legacy-api")]
     #[deprecated(note = "use `vfs.admin().read_file(path)`")]
     pub fn admin_read_file(&self, path: &VPath) -> VfsResult<Vec<u8>> {
         self.read_file_impl(path)
     }
 
     pub(crate) fn read_file_impl(&self, path: &VPath) -> VfsResult<Vec<u8>> {
-        match self.node_kind(path) {
-            Some(EntryKind::File) => Ok(self.files[path].data.to_vec()),
+        let (mi, resolved) = self.resolve(path, true)?;
+        let path = resolved.as_path();
+        match self.node_kind(mi, path) {
+            Some(EntryKind::File) => {
+                let file = self.file_at(mi, path).expect("checked above");
+                Ok(self.mounts[mi].provider.node(file).expect("linked").data.to_vec())
+            }
             Some(EntryKind::Directory) => Err(VfsError::IsADirectory(path.clone())),
+            Some(EntryKind::Symlink) => Err(VfsError::symlink_loop(path.clone())),
             None => Err(VfsError::NotFound(path.clone())),
         }
     }
@@ -1093,44 +1394,40 @@ impl Vfs {
     /// # Errors
     ///
     /// As for [`AdminView::write_file`].
+    #[cfg(feature = "legacy-api")]
     #[deprecated(note = "use `vfs.admin().write_file(path, data)`")]
     pub fn admin_write_file(&mut self, path: &VPath, data: &[u8]) -> VfsResult<()> {
         self.write_file_impl(path, data)
     }
 
     fn write_file_impl(&mut self, path: &VPath, data: &[u8]) -> VfsResult<()> {
-        if self.dir_children.contains_key(path) {
+        let (mi, resolved) = self.resolve(path, true)?;
+        let path = resolved.as_path();
+        if self.node_kind(mi, path) == Some(EntryKind::Directory) {
             return Err(VfsError::IsADirectory(path.clone()));
         }
         let parent = path.parent().ok_or_else(|| VfsError::InvalidPath(path.clone()))?;
         self.create_dir_all_impl(&parent)?;
         let now = self.clock.now_nanos();
         let stamp = content_stamp(data);
-        match self.files.get_mut(path) {
-            Some(node) => {
+        match self.file_at(mi, path) {
+            Some(file) => {
+                let node = self.mounts[mi].provider.node_mut(file).expect("linked");
                 node.data = data.to_vec().into();
                 node.stamp = stamp;
                 node.modified_at_nanos = now;
             }
             None => {
-                let id = FileId(self.next_file_id);
-                self.next_file_id += 1;
-                self.dir_children
-                    .get_mut(&parent)
-                    .expect("just created")
-                    .insert(path.file_name().unwrap().to_string(), EntryKind::File);
-                self.files.insert(
-                    path.clone(),
-                    FileNode {
-                        id,
-                        data: data.to_vec().into(),
-                        stamp,
-                        read_only: false,
-                        created_at_nanos: now,
-                        modified_at_nanos: now,
-                    },
-                );
-                self.file_paths.insert(id, Arc::new(path.clone()));
+                // An unresolvable (dangling / nofollow) symlink at the path
+                // is replaced by a fresh regular file, like `O_CREAT` after
+                // unlinking.
+                if self.node_kind(mi, path) == Some(EntryKind::Symlink) {
+                    self.mounts[mi].provider.unlink(path);
+                }
+                let m = &mut self.mounts[mi];
+                let id = m.provider.alloc_ino();
+                m.provider
+                    .insert_file(path, FileNode::new(id, data.to_vec().into(), stamp, now));
             }
         }
         Ok(())
@@ -1140,37 +1437,31 @@ impl Vfs {
     /// file whose content *aliases* a shared buffer. O(1) in the content
     /// size — no byte copy, no stamp recomputation.
     fn stage_shared_impl(&mut self, path: &VPath, content: &SharedContent) -> VfsResult<()> {
-        if self.dir_children.contains_key(path) {
+        let (mi, resolved) = self.resolve(path, true)?;
+        let path = resolved.as_path();
+        if self.node_kind(mi, path) == Some(EntryKind::Directory) {
             return Err(VfsError::IsADirectory(path.clone()));
         }
         let parent = path.parent().ok_or_else(|| VfsError::InvalidPath(path.clone()))?;
         self.create_dir_all_impl(&parent)?;
         let now = self.clock.now_nanos();
-        match self.files.get_mut(path) {
-            Some(node) => {
+        match self.file_at(mi, path) {
+            Some(file) => {
+                let node = self.mounts[mi].provider.node_mut(file).expect("linked");
                 node.data = Content::from_shared(content.handle());
                 node.stamp = content.stamp();
                 node.modified_at_nanos = now;
             }
             None => {
-                let id = FileId(self.next_file_id);
-                self.next_file_id += 1;
-                self.dir_children
-                    .get_mut(&parent)
-                    .expect("just created")
-                    .insert(path.file_name().unwrap().to_string(), EntryKind::File);
-                self.files.insert(
-                    path.clone(),
-                    FileNode {
-                        id,
-                        data: Content::from_shared(content.handle()),
-                        stamp: content.stamp(),
-                        read_only: false,
-                        created_at_nanos: now,
-                        modified_at_nanos: now,
-                    },
+                if self.node_kind(mi, path) == Some(EntryKind::Symlink) {
+                    self.mounts[mi].provider.unlink(path);
+                }
+                let m = &mut self.mounts[mi];
+                let id = m.provider.alloc_ino();
+                m.provider.insert_file(
+                    path,
+                    FileNode::new(id, Content::from_shared(content.handle()), content.stamp(), now),
                 );
-                self.file_paths.insert(id, Arc::new(path.clone()));
             }
         }
         Ok(())
@@ -1181,20 +1472,29 @@ impl Vfs {
     /// # Errors
     ///
     /// [`VfsError::NotFound`] / [`VfsError::IsADirectory`].
+    #[cfg(feature = "legacy-api")]
     #[deprecated(note = "use `vfs.admin().delete_file(path)`")]
     pub fn admin_delete_file(&mut self, path: &VPath) -> VfsResult<()> {
         self.delete_file_impl(path)
     }
 
     fn delete_file_impl(&mut self, path: &VPath) -> VfsResult<()> {
-        match self.node_kind(path) {
+        let (mi, resolved) = self.resolve(path, false)?;
+        let path = resolved.as_path();
+        match self.node_kind(mi, path) {
             None => return Err(VfsError::NotFound(path.clone())),
             Some(EntryKind::Directory) => return Err(VfsError::IsADirectory(path.clone())),
+            Some(EntryKind::Symlink) => {
+                self.mounts[mi].provider.unlink(path);
+                return Ok(());
+            }
             Some(EntryKind::File) => {}
         }
-        let node = self.files.remove(path).expect("checked above");
-        self.file_paths.remove(&node.id);
-        self.unlink_entry(path);
+        let unlinked = self.mounts[mi].provider.unlink(path).expect("checked above");
+        let file = unlinked.file.expect("file entry");
+        if unlinked.links_remaining == 0 && !self.open_counts.contains_key(&(mi, file)) {
+            self.mounts[mi].provider.remove_node(file);
+        }
         Ok(())
     }
 
@@ -1203,28 +1503,25 @@ impl Vfs {
     /// # Errors
     ///
     /// As for [`Vfs::create_dir`].
+    #[cfg(feature = "legacy-api")]
     #[deprecated(note = "use `vfs.admin().create_dir(path)`")]
     pub fn admin_create_dir(&mut self, path: &VPath) -> VfsResult<()> {
         self.create_dir_impl(path)
     }
 
     fn create_dir_impl(&mut self, path: &VPath) -> VfsResult<()> {
-        if self.node_kind(path).is_some() {
+        let (mi, resolved) = self.resolve(path, false)?;
+        let path = resolved.as_path();
+        if self.node_kind(mi, path).is_some() {
             return Err(VfsError::AlreadyExists(path.clone()));
         }
         let parent = path.parent().ok_or_else(|| VfsError::InvalidPath(path.clone()))?;
-        if !self.dir_children.contains_key(&parent) {
-            return if self.files.contains_key(&parent) {
-                Err(VfsError::NotADirectory(parent))
-            } else {
-                Err(VfsError::NotFound(parent))
-            };
+        match self.node_kind(mi, &parent) {
+            Some(EntryKind::Directory) => {}
+            Some(_) => return Err(VfsError::NotADirectory(parent)),
+            None => return Err(VfsError::NotFound(parent)),
         }
-        self.dir_children
-            .get_mut(&parent)
-            .expect("checked above")
-            .insert(path.file_name().unwrap().to_string(), EntryKind::Directory);
-        self.dir_children.insert(path.clone(), BTreeMap::new());
+        self.mounts[mi].provider.create_dir(path);
         Ok(())
     }
 
@@ -1233,17 +1530,19 @@ impl Vfs {
     /// # Errors
     ///
     /// [`VfsError::NotADirectory`] if a file blocks the chain.
+    #[cfg(feature = "legacy-api")]
     #[deprecated(note = "use `vfs.admin().create_dir_all(path)`")]
     pub fn admin_create_dir_all(&mut self, path: &VPath) -> VfsResult<()> {
         self.create_dir_all_impl(path)
     }
 
     fn create_dir_all_impl(&mut self, path: &VPath) -> VfsResult<()> {
-        if self.dir_children.contains_key(path) {
-            return Ok(());
-        }
-        if self.files.contains_key(path) {
-            return Err(VfsError::NotADirectory(path.clone()));
+        let (mi, resolved) = self.resolve(path, true)?;
+        let path = resolved.as_path();
+        match self.node_kind(mi, path) {
+            Some(EntryKind::Directory) => return Ok(()),
+            Some(_) => return Err(VfsError::NotADirectory(path.clone())),
+            None => {}
         }
         if let Some(parent) = path.parent() {
             self.create_dir_all_impl(&parent)?;
@@ -1256,18 +1555,27 @@ impl Vfs {
     /// # Errors
     ///
     /// [`VfsError::NotFound`] / [`VfsError::IsADirectory`].
+    #[cfg(feature = "legacy-api")]
     #[deprecated(note = "use `vfs.admin().set_read_only(path, read_only)`")]
     pub fn admin_set_read_only(&mut self, path: &VPath, read_only: bool) -> VfsResult<()> {
         self.set_read_only_impl(path, read_only)
     }
 
     fn set_read_only_impl(&mut self, path: &VPath, read_only: bool) -> VfsResult<()> {
-        match self.node_kind(path) {
+        let (mi, resolved) = self.resolve(path, true)?;
+        let path = resolved.as_path();
+        match self.node_kind(mi, path) {
             Some(EntryKind::File) => {
-                self.files.get_mut(path).expect("checked").read_only = read_only;
+                let file = self.file_at(mi, path).expect("checked");
+                self.mounts[mi]
+                    .provider
+                    .node_mut(file)
+                    .expect("linked")
+                    .read_only = read_only;
                 Ok(())
             }
             Some(EntryKind::Directory) => Err(VfsError::IsADirectory(path.clone())),
+            Some(EntryKind::Symlink) => Err(VfsError::symlink_loop(path.clone())),
             None => Err(VfsError::NotFound(path.clone())),
         }
     }
@@ -1277,54 +1585,86 @@ impl Vfs {
     /// # Errors
     ///
     /// [`VfsError::NotFound`] for missing paths.
+    #[cfg(feature = "legacy-api")]
     #[deprecated(note = "use `vfs.admin().metadata(path)`")]
     pub fn admin_metadata(&self, path: &VPath) -> VfsResult<Metadata> {
         self.metadata_impl(path)
     }
 
     pub(crate) fn metadata_impl(&self, path: &VPath) -> VfsResult<Metadata> {
-        if let Some(node) = self.files.get(path) {
-            return Ok(Metadata {
-                kind: EntryKind::File,
-                len: node.data.len() as u64,
-                read_only: node.read_only,
-                file: Some(node.id),
-                created_at_nanos: node.created_at_nanos,
-                modified_at_nanos: node.modified_at_nanos,
-            });
-        }
-        if self.dir_children.contains_key(path) {
-            return Ok(Metadata {
+        let (mi, resolved) = self.resolve(path, true)?;
+        let path = resolved.as_path();
+        match self.node_kind(mi, path) {
+            Some(EntryKind::File) => {
+                let file = self.file_at(mi, path).expect("checked");
+                let node = self.mounts[mi].provider.node(file).expect("linked");
+                Ok(Metadata {
+                    kind: EntryKind::File,
+                    len: node.data.len() as u64,
+                    read_only: node.read_only,
+                    file: Some(node.id),
+                    created_at_nanos: node.created_at_nanos,
+                    modified_at_nanos: node.modified_at_nanos,
+                    nlink: node.nlink,
+                })
+            }
+            Some(EntryKind::Directory) => Ok(Metadata {
                 kind: EntryKind::Directory,
                 len: 0,
                 read_only: false,
                 file: None,
                 created_at_nanos: 0,
                 modified_at_nanos: 0,
-            });
+                nlink: 1,
+            }),
+            Some(EntryKind::Symlink) => Ok(Metadata {
+                kind: EntryKind::Symlink,
+                len: 0,
+                read_only: false,
+                file: None,
+                created_at_nanos: 0,
+                modified_at_nanos: 0,
+                nlink: 1,
+            }),
+            None => Err(VfsError::NotFound(path.clone())),
         }
-        Err(VfsError::NotFound(path.clone()))
     }
 
     /// Iterates over all files as `(path, content)` pairs, in arbitrary
     /// order.
+    #[cfg(feature = "legacy-api")]
     #[deprecated(note = "use `vfs.admin().files()`")]
     pub fn admin_files(&self) -> impl Iterator<Item = (&VPath, &[u8])> {
         self.files_impl()
     }
 
     fn files_impl(&self) -> impl Iterator<Item = (&VPath, &[u8])> {
-        self.files.iter().map(|(p, n)| (p, n.data.as_slice()))
+        let mut out: Vec<(&VPath, &[u8])> = Vec::new();
+        for m in &self.mounts {
+            m.provider
+                .visit_files(&mut |p, n| out.push((p, n.data.as_slice())));
+        }
+        out.into_iter()
     }
 
     /// Iterates over all directory paths, in arbitrary order.
+    #[cfg(feature = "legacy-api")]
     #[deprecated(note = "use `vfs.admin().dirs()`")]
     pub fn admin_dirs(&self) -> impl Iterator<Item = &VPath> {
         self.dirs_impl()
     }
 
     fn dirs_impl(&self) -> impl Iterator<Item = &VPath> {
-        self.dir_children.keys()
+        // Each provider also holds its mount root's ancestor chain (created
+        // by `prepare_mount`), so dedupe across mounts. Sorting keeps the
+        // order deterministic across calls.
+        let mut out: Vec<&VPath> = Vec::new();
+        for m in &self.mounts {
+            m.provider.visit_dirs(&mut |p| out.push(p));
+        }
+        out.sort_unstable();
+        out.dedup();
+        out.into_iter()
     }
 
     /// Moves a file without filter interposition, keeping its [`FileId`]
@@ -1338,41 +1678,75 @@ impl Vfs {
     /// file or a directory), [`VfsError::NotADirectory`] if a file blocks
     /// the destination's parent chain.
     fn rename_impl(&mut self, from: &VPath, to: &VPath) -> VfsResult<()> {
-        match self.node_kind(from) {
+        let (mi_from, rfrom) = self.resolve(from, false)?;
+        let (mi_to, rto) = self.resolve(to, false)?;
+        let from = rfrom.as_path();
+        let to = rto.as_path();
+        match self.node_kind(mi_from, from) {
             None => return Err(VfsError::NotFound(from.clone())),
             Some(EntryKind::Directory) => return Err(VfsError::IsADirectory(from.clone())),
-            Some(EntryKind::File) => {}
+            Some(EntryKind::File | EntryKind::Symlink) => {}
         }
-        if self.node_kind(to).is_some() {
+        if mi_from != mi_to {
+            return Err(VfsError::cross_mount_rename(from.clone(), to.clone()));
+        }
+        if self.node_kind(mi_to, to).is_some() {
             return Err(VfsError::AlreadyExists(to.clone()));
         }
         let to_parent = to.parent().ok_or_else(|| VfsError::InvalidPath(to.clone()))?;
         self.create_dir_all_impl(&to_parent)?;
-        let node = self.files.remove(from).expect("checked above");
-        let id = node.id;
-        self.unlink_entry(from);
-        self.dir_children
-            .get_mut(&to_parent)
-            .expect("just created")
-            .insert(to.file_name().unwrap().to_string(), EntryKind::File);
-        self.files.insert(to.clone(), node);
-        self.file_paths.insert(id, Arc::new(to.clone()));
+        self.mounts[mi_from].provider.rename_entry(from, to);
         Ok(())
     }
 
-    /// The number of files in the filesystem.
+    /// The number of file names in the filesystem (each hard link counts
+    /// once; unlinked-but-open nodes count zero).
     pub fn file_count(&self) -> usize {
-        self.files.len()
+        self.mounts.iter().map(|m| m.provider.file_count()).sum()
     }
 
     /// The number of directories, including the root.
     pub fn dir_count(&self) -> usize {
-        self.dir_children.len()
+        if self.mounts.len() == 1 {
+            return self.mounts[0].provider.dir_count();
+        }
+        // Each provider holds its mount root's ancestor chain, so the same
+        // directory path may appear in several providers.
+        let mut seen: std::collections::HashSet<&VPath> = std::collections::HashSet::new();
+        for m in &self.mounts {
+            m.provider.visit_dirs(&mut |p| {
+                seen.insert(p);
+            });
+        }
+        seen.len()
+    }
+
+    /// Sums `data.len()` over every distinct file node matching `pred`.
+    /// Multiply-linked nodes are counted once.
+    fn sum_bytes(&self, pred: impl Fn(&FileNode) -> bool) -> u64 {
+        let mut total = 0u64;
+        let mut seen: Option<std::collections::HashSet<FileId>> = None;
+        for m in &self.mounts {
+            m.provider.visit_files(&mut |_, n| {
+                if n.nlink > 1 {
+                    // Lazily allocate the dedupe set: single-link nodes (the
+                    // overwhelmingly common case) never pay for it.
+                    let seen = seen.get_or_insert_with(Default::default);
+                    if !seen.insert(n.id) {
+                        return;
+                    }
+                }
+                if pred(n) {
+                    total += n.data.len() as u64;
+                }
+            });
+        }
+        total
     }
 
     /// The total bytes stored across all files.
     pub fn total_bytes(&self) -> u64 {
-        self.files.values().map(|n| n.data.len() as u64).sum()
+        self.sum_bytes(|_| true)
     }
 
     /// Bytes held in buffers owned exclusively by this filesystem — the
@@ -1380,11 +1754,7 @@ impl Vfs {
     /// corpus (staged files still aliasing the corpus are excluded; see
     /// [`shared_bytes`](Self::shared_bytes)).
     pub fn private_bytes(&self) -> u64 {
-        self.files
-            .values()
-            .filter(|n| !n.data.is_shared())
-            .map(|n| n.data.len() as u64)
-            .sum()
+        self.sum_bytes(|n| !n.data.is_shared())
     }
 
     /// Bytes this filesystem reads through buffers aliased elsewhere (a
@@ -1392,11 +1762,7 @@ impl Vfs {
     /// == total_bytes`, but only the private portion is attributable to
     /// this namespace.
     pub fn shared_bytes(&self) -> u64 {
-        self.files
-            .values()
-            .filter(|n| n.data.is_shared())
-            .map(|n| n.data.len() as u64)
-            .sum()
+        self.sum_bytes(|n| n.data.is_shared())
     }
 
     // ------------------------------------------------------------------
@@ -1413,44 +1779,168 @@ impl Vfs {
         Ok(())
     }
 
-    fn node_kind(&self, path: &VPath) -> Option<EntryKind> {
-        if self.files.contains_key(path) {
-            Some(EntryKind::File)
-        } else if self.dir_children.contains_key(path) {
-            Some(EntryKind::Directory)
-        } else {
-            None
+    /// The mount whose root is the deepest prefix of `path`. Single-mount
+    /// filesystems (the common case) short-circuit to the root mount.
+    fn mount_index(&self, path: &VPath) -> usize {
+        if self.mounts.len() == 1 {
+            return 0;
+        }
+        let mut best = 0usize;
+        let mut best_depth = 0usize;
+        for (i, m) in self.mounts.iter().enumerate().skip(1) {
+            if m.depth > best_depth && path.starts_with(&m.root) {
+                best = i;
+                best_depth = m.depth;
+            }
+        }
+        best
+    }
+
+    /// Routes `path` to its mount and resolves symlinks in every non-final
+    /// component (and in the final component too when `follow_final`).
+    ///
+    /// The fast path — no symlinks in the mount, or following disabled —
+    /// borrows the input path and allocates nothing. Resolution restarts
+    /// from the mount root after each hop (a target may cross into another
+    /// mount) and fails with [`VfsError::SymlinkLoop`] after the mount's
+    /// `max_link_depth` hops.
+    fn resolve<'p>(
+        &self,
+        path: &'p VPath,
+        follow_final: bool,
+    ) -> VfsResult<(usize, ResolvedPath<'p>)> {
+        let mi = self.mount_index(path);
+        let m = &self.mounts[mi];
+        if !m.options.follow_symlinks || !m.provider.has_symlinks() {
+            return Ok((mi, ResolvedPath::Borrowed(path)));
+        }
+        let mut current = path.clone();
+        let mut mi = mi;
+        let mut hops = 0u32;
+        'outer: loop {
+            let m = &self.mounts[mi];
+            if !m.options.follow_symlinks || !m.provider.has_symlinks() {
+                break;
+            }
+            let s = current.as_str();
+            let root_len = if m.root.is_root() { 0 } else { m.root.as_str().len() };
+            let mut idx = root_len;
+            if idx >= s.len() {
+                break;
+            }
+            loop {
+                let rest = &s[idx + 1..];
+                let end = match rest.find('/') {
+                    Some(off) => idx + 1 + off,
+                    None => s.len(),
+                };
+                let is_final = end == s.len();
+                if is_final && !follow_final {
+                    break 'outer;
+                }
+                let prefix = VPath::new(&s[..end]);
+                if let Some(ProviderEntry::Symlink(target)) = m.provider.entry(&prefix) {
+                    hops += 1;
+                    if hops > m.options.max_link_depth {
+                        return Err(VfsError::symlink_loop(path.clone()));
+                    }
+                    let suffix = &s[end..];
+                    current = if suffix.is_empty() {
+                        target.clone()
+                    } else {
+                        target.join(&suffix[1..])
+                    };
+                    mi = self.mount_index(&current);
+                    continue 'outer;
+                }
+                if is_final {
+                    break 'outer;
+                }
+                idx = end;
+            }
+        }
+        Ok((mi, ResolvedPath::Owned(current)))
+    }
+
+    /// The entry kind at an already-resolved path within mount `mi`.
+    fn node_kind(&self, mi: usize, path: &VPath) -> Option<EntryKind> {
+        match self.mounts[mi].provider.entry(path)? {
+            ProviderEntry::File(_) => Some(EntryKind::File),
+            ProviderEntry::Directory => Some(EntryKind::Directory),
+            ProviderEntry::Symlink(_) => Some(EntryKind::Symlink),
         }
     }
 
-    fn handle_info(&self, pid: ProcessId, handle: Handle) -> VfsResult<(FileId, u64)> {
+    /// The file id linked at an already-resolved path, if it names a file.
+    fn file_at(&self, mi: usize, path: &VPath) -> Option<FileId> {
+        match self.mounts[mi].provider.entry(path)? {
+            ProviderEntry::File(id) => Some(id),
+            _ => None,
+        }
+    }
+
+    /// The file node linked at an already-resolved path, if it names a file.
+    fn file_node_at(&self, mi: usize, path: &VPath) -> Option<&FileNode> {
+        let id = self.file_at(mi, path)?;
+        self.mounts[mi].provider.node(id)
+    }
+
+    /// Rejects destructive operations on read-only mounts. Sits in each
+    /// operation's structural validation, before `fault_point`/`run_pre`,
+    /// so filters and the journal never observe the rejected operation.
+    fn check_mount_writable(&self, mi: usize, path: &VPath) -> VfsResult<()> {
+        if self.mounts[mi].options.read_only {
+            return Err(VfsError::read_only_fs(path.clone()));
+        }
+        Ok(())
+    }
+
+    /// Validates a handle and returns its `(mount, file, cursor)` triple.
+    fn handle_view(&self, pid: ProcessId, handle: Handle) -> VfsResult<(usize, FileId, u64)> {
         match self.handles.get(&handle.0) {
-            Some(h) if h.pid == pid => Ok((h.file, h.cursor)),
+            Some(h) if h.pid == pid => Ok((h.mount, h.file, h.cursor)),
             _ => Err(VfsError::InvalidHandle),
         }
     }
 
-    fn path_of(&self, file: FileId) -> VfsResult<Arc<VPath>> {
-        self.file_paths
-            .get(&file)
-            .cloned()
-            .ok_or(VfsError::InvalidHandle)
+    /// The current canonical path of an open handle's node — follows
+    /// renames while the node stays linked, and falls back to the path the
+    /// handle was opened at once the node is unlinked.
+    fn handle_path(&self, mi: usize, file: FileId, handle: Handle) -> Arc<VPath> {
+        self.mounts[mi]
+            .provider
+            .path_of(file)
+            .unwrap_or_else(|| self.handles[&handle.0].opened_path.clone())
+    }
+
+    /// Drops one open reference to `(mi, file)`; the last close of an
+    /// unlinked node reaps it.
+    fn release_open(&mut self, mi: usize, file: FileId) {
+        if let Some(count) = self.open_counts.get_mut(&(mi, file)) {
+            *count -= 1;
+            if *count == 0 {
+                self.open_counts.remove(&(mi, file));
+                if self.mounts[mi].provider.node(file).is_some_and(|n| n.nlink == 0) {
+                    self.mounts[mi].provider.remove_node(file);
+                }
+            }
+        }
     }
 
     pub(crate) fn file_bytes_impl(&self, path: &VPath) -> Option<&[u8]> {
-        self.files.get(path).map(|n| n.data.as_slice())
+        let (mi, resolved) = self.resolve(path, true).ok()?;
+        let node = self.file_node_at(mi, resolved.as_path())?;
+        Some(node.data.as_slice())
     }
 
     pub(crate) fn file_stamp_impl(&self, path: &VPath) -> Option<u64> {
-        self.files.get(path).map(|n| n.stamp)
+        let (mi, resolved) = self.resolve(path, true).ok()?;
+        self.file_node_at(mi, resolved.as_path()).map(|n| n.stamp)
     }
 
-    fn unlink_entry(&mut self, path: &VPath) {
-        if let (Some(parent), Some(name)) = (path.parent(), path.file_name()) {
-            if let Some(children) = self.dir_children.get_mut(&parent) {
-                children.remove(name);
-            }
-        }
+    pub(crate) fn file_id_impl(&self, path: &VPath) -> Option<FileId> {
+        let (mi, resolved) = self.resolve(path, true).ok()?;
+        self.file_at(mi, resolved.as_path())
     }
 
     /// One fault-injection decision for a filtered operation: may spike
@@ -1480,9 +1970,24 @@ impl Vfs {
     /// [`ShadowSink::capture_failed`] instead — the mutation still
     /// proceeds, and the sink degrades that one file's recovery rather
     /// than blocking the filesystem.
-    fn shadow_capture(&self, pid: ProcessId, kind: MutationKind, path: &VPath) {
+    fn shadow_capture(&self, pid: ProcessId, kind: MutationKind, mi: usize, path: &VPath) {
+        let Some(file) = self.file_at(mi, path) else { return };
+        self.shadow_capture_file(pid, kind, mi, file, path);
+    }
+
+    /// Identity-keyed shadow capture: used by handle-based mutations, where
+    /// the handle may reference an unlinked (orphaned) node whose path now
+    /// names a different file.
+    fn shadow_capture_file(
+        &self,
+        pid: ProcessId,
+        kind: MutationKind,
+        mi: usize,
+        file: FileId,
+        path: &VPath,
+    ) {
         let Some(sink) = &self.shadow else { return };
-        let Some(node) = self.files.get(path) else { return };
+        let Some(node) = self.mounts[mi].provider.node(file) else { return };
         let family_root = self.processes.root_of(pid);
         if let Some(injector) = &self.faults {
             if injector.capture_failure(self.clock.now_nanos(), pid, path) {
@@ -1581,6 +2086,8 @@ impl Vfs {
                     result = Err(VfsError::ProcessSuspended(pid));
                     break;
                 }
+                // Throttle = allow, after stretching the suspect's clock.
+                Verdict::Throttle { nanos } => self.clock.advance(nanos),
             }
         }
         *overhead += started.elapsed().as_nanos() as u64;
@@ -1614,6 +2121,7 @@ impl Vfs {
         self.telemetry.journal_event(ctx.at_nanos, pid.0, || JournalKind::Op {
             op: op.name().to_string(),
             path: op.path().as_str().to_string(),
+            ino: outcome.file_id().map_or(0, |f| f.0),
         });
         let mut filters = std::mem::take(&mut self.filters);
         let started = Instant::now();
@@ -1633,10 +2141,12 @@ impl Vfs {
                     verdict: verdict_label(&verdict).to_string(),
                 }
             });
-            if let Verdict::Suspend { reason } = verdict {
-                if suspend.is_none() {
+            match verdict {
+                Verdict::Suspend { reason } if suspend.is_none() => {
                     suspend = Some((f.name().to_string(), reason));
                 }
+                Verdict::Throttle { nanos } => self.clock.advance(nanos),
+                _ => {}
             }
         }
         *overhead += started.elapsed().as_nanos() as u64;
@@ -1777,14 +2287,21 @@ impl AdminView<'_> {
         self.vfs.metadata_impl(path)
     }
 
-    /// Returns `true` if the path names an existing file or directory.
+    /// Returns `true` if the path names an existing file, directory or
+    /// symlink.
     pub fn exists(&self, path: &VPath) -> bool {
-        self.vfs.node_kind(path).is_some()
+        self.vfs
+            .resolve(path, true)
+            .is_ok_and(|(mi, resolved)| self.vfs.node_kind(mi, resolved.as_path()).is_some())
     }
 
-    /// The current path of a live file, by identity.
+    /// The current canonical path of a live, linked file, by identity.
     pub fn path_of(&self, file: FileId) -> Option<VPath> {
-        self.vfs.file_paths.get(&file).map(|p| (**p).clone())
+        self.vfs
+            .mounts
+            .iter()
+            .find_map(|m| m.provider.path_of(file))
+            .map(|p| (*p).clone())
     }
 
     /// Iterates over all files as `(path, content)` pairs, in arbitrary
@@ -1832,6 +2349,7 @@ fn verdict_label(v: &Verdict) -> &'static str {
         Verdict::Allow => "allow",
         Verdict::Deny => "deny",
         Verdict::Suspend { .. } => "suspend",
+        Verdict::Throttle { .. } => "throttle",
     }
 }
 
@@ -1990,10 +2508,14 @@ mod tests {
         fs.write_file(pid, &p("/a.txt"), b"x").unwrap();
         let h = fs.open(pid, &p("/a.txt"), OpenOptions::read()).unwrap();
         fs.delete(pid, &p("/a.txt")).unwrap();
+        // The name is gone, but the open handle pins the node (POSIX
+        // open-unlinked lifetime): reads keep seeing the bytes.
         assert_eq!(fs.file_count(), 0);
-        assert_eq!(fs.read(pid, h, 1).unwrap_err(), VfsError::InvalidHandle);
-        // Close of a handle to a deleted file still succeeds.
+        assert!(fs.admin().metadata(&p("/a.txt")).is_err());
+        assert_eq!(fs.read(pid, h, 1).unwrap(), b"x");
+        // The last close reaps the orphaned node.
         fs.close(pid, h).unwrap();
+        assert_eq!(fs.file_count(), 0);
     }
 
     #[test]
@@ -2042,6 +2564,38 @@ mod tests {
             .iter()
             .any(|e| matches!(e.detail, EventDetail::Rename { replaced: true, .. }));
         assert!(replaced);
+    }
+
+    /// Regression: renaming over a file that still has open handles must
+    /// keep the victim node alive as an orphan until the last handle
+    /// closes. It used to be removed eagerly, orphaning the victim's
+    /// in-flight dirty-extent state and failing subsequent handle I/O.
+    #[test]
+    fn rename_overwrite_keeps_victims_open_handles_alive() {
+        let (mut fs, pid) = fresh();
+        fs.write_file(pid, &p("/orig.doc"), b"plaintext").unwrap();
+        fs.write_file(pid, &p("/new.enc"), b"ciphertext").unwrap();
+        let victim_id = fs.admin().metadata(&p("/orig.doc")).unwrap().file;
+        let h = fs.open(pid, &p("/orig.doc"), OpenOptions::modify()).unwrap();
+        fs.write(pid, h, b"dirty").unwrap();
+
+        fs.rename(pid, &p("/new.enc"), &p("/orig.doc"), true).unwrap();
+
+        // The name resolves to the replacing file...
+        assert_eq!(fs.admin().read_file(&p("/orig.doc")).unwrap(), b"ciphertext");
+        assert_ne!(fs.admin().metadata(&p("/orig.doc")).unwrap().file, victim_id);
+        // ...while the victim survives anonymously behind its open handle:
+        // reads and writes through it still land on the orphan node.
+        fs.seek(pid, h, 0).unwrap();
+        assert_eq!(fs.read_to_end(pid, h).unwrap(), b"dirtytext");
+        fs.write(pid, h, b"!").unwrap();
+        assert_eq!(fs.file_count(), 1, "orphan is invisible to the name space");
+
+        // The last close releases the orphan; the name keeps resolving to
+        // the replacing file.
+        fs.close(pid, h).unwrap();
+        assert_eq!(fs.admin().read_file(&p("/orig.doc")).unwrap(), b"ciphertext");
+        assert_eq!(fs.file_count(), 1);
     }
 
     #[test]

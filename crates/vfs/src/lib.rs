@@ -4,9 +4,13 @@
 //! It stands in for the Windows NTFS volume plus the kernel filesystem
 //! filter driver that the paper instruments (paper §IV-C, Fig. 2):
 //!
-//! * [`Vfs`] — an NTFS-flavoured in-memory filesystem: stable [`FileId`]
-//!   identities across renames, read-only attributes, open handles with
-//!   cursors, and per-process attribution of every operation.
+//! * [`Vfs`] — a mount table routing paths to [`FsProvider`] backends, with
+//!   NTFS/POSIX-flavoured semantics: stable [`FileId`] inode identities
+//!   across renames and hard links, symlinks with loop detection,
+//!   open-unlinked lifetime, read-only attributes and mounts, open handles
+//!   with cursors, and per-process attribution of every operation.
+//!   [`MemProvider`] is the reference in-memory backend; mount others with
+//!   [`Vfs::mount`] and [`MountOptions`].
 //! * [`FilterDriver`] — the interposition trait. Registered filters observe
 //!   every operation before ([`FilterDriver::pre_op`]) and after
 //!   ([`FilterDriver::post_op`]) it is applied, may read file data
@@ -58,18 +62,20 @@ mod node;
 mod ops;
 mod path;
 mod process;
+pub mod provider;
 pub mod shadow;
 
 pub use clock::{LatencyLedger, LatencyStat, OpKind, SimClock};
 pub use content::{BlobStore, SharedContent};
 pub use dirty::{content_stamp, DirtyExtent, DirtyReport, MAX_DIRTY_EXTENTS};
-pub use error::{VfsError, VfsResult};
+pub use error::{ErrorKind, VfsError, VfsResult};
 pub use faults::{FaultInjector, FaultPlan, FaultStats};
 pub use events::{Event, EventDetail, EventLog};
 pub use filter::{FilterDriver, FsView, Verdict};
 pub use fs::{AdminView, Handle, Vfs};
-pub use node::{DirEntry, EntryKind, FileId, Metadata};
+pub use node::{Content, DirEntry, EntryKind, FileId, FileNode, Metadata};
 pub use ops::{FsOp, OpContext, OpOutcome, OpenOptions};
 pub use path::VPath;
 pub use process::{ProcessId, ProcessRecord, ProcessTable, SuspensionRecord};
+pub use provider::{FsProvider, MemProvider, MountOptions, ProviderEntry, Unlinked};
 pub use shadow::{MutationKind, PreImage, ShadowSink};

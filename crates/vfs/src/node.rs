@@ -28,6 +28,8 @@ pub enum EntryKind {
     File,
     /// A directory.
     Directory,
+    /// A symbolic link to another path.
+    Symlink,
 }
 
 /// A single directory entry as returned by directory listings.
@@ -58,6 +60,9 @@ pub struct Metadata {
     pub created_at_nanos: u64,
     /// Simulated last-modification time, nanoseconds.
     pub modified_at_nanos: u64,
+    /// Number of directory entries (hard links) referring to the file.
+    /// Always `1` for directories.
+    pub nlink: u32,
 }
 
 impl Metadata {
@@ -82,17 +87,17 @@ impl Metadata {
 /// files it actually changes. On a uniquely-owned buffer `DerefMut` is a
 /// refcount check, so single-namespace workloads see no copy overhead.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
-pub(crate) struct Content(Arc<Vec<u8>>);
+pub struct Content(Arc<Vec<u8>>);
 
 impl Content {
     /// Wraps an already-shared buffer without copying it.
-    pub(crate) fn from_shared(bytes: Arc<Vec<u8>>) -> Self {
+    pub fn from_shared(bytes: Arc<Vec<u8>>) -> Self {
         Self(bytes)
     }
 
     /// Whether the buffer is aliased by another handle (a shared corpus
     /// entry or another namespace's node).
-    pub(crate) fn is_shared(&self) -> bool {
+    pub fn is_shared(&self) -> bool {
         Arc::strong_count(&self.0) > 1
     }
 }
@@ -117,17 +122,45 @@ impl DerefMut for Content {
     }
 }
 
-/// The in-memory representation of one regular file.
+/// The in-memory representation of one regular file (an inode).
+///
+/// Nodes are owned by an [`FsProvider`](crate::FsProvider) and identified by
+/// a stable [`FileId`] that is independent of the path(s) linking to them: a
+/// node may be reachable through several hard links, or through no path at
+/// all while open handles keep it alive (open-unlinked lifetime).
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub(crate) struct FileNode {
+pub struct FileNode {
+    /// The stable inode identity, allocated by the owning provider.
     pub id: FileId,
+    /// The file's bytes (copy-on-write).
     pub data: Content,
     /// Incrementally maintained [`content_stamp`](crate::content_stamp) of
     /// `data`, kept in sync by every mutation path.
     pub stamp: u64,
+    /// The read-only attribute.
     pub read_only: bool,
+    /// Simulated creation time, nanoseconds.
     pub created_at_nanos: u64,
+    /// Simulated last-modification time, nanoseconds.
     pub modified_at_nanos: u64,
+    /// Number of directory entries referring to this node. Zero means the
+    /// node is unlinked and survives only while handles keep it open.
+    pub nlink: u32,
+}
+
+impl FileNode {
+    /// Creates a fresh node with a single link and the given identity.
+    pub fn new(id: FileId, data: Content, stamp: u64, now: u64) -> Self {
+        Self {
+            id,
+            data,
+            stamp,
+            read_only: false,
+            created_at_nanos: now,
+            modified_at_nanos: now,
+            nlink: 1,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -148,6 +181,7 @@ mod tests {
             file: Some(FileId(1)),
             created_at_nanos: 0,
             modified_at_nanos: 0,
+            nlink: 1,
         };
         assert!(m.is_file());
         assert!(!m.is_dir());
@@ -158,6 +192,7 @@ mod tests {
             file: None,
             created_at_nanos: 0,
             modified_at_nanos: 0,
+            nlink: 1,
         };
         assert!(d.is_dir());
         assert!(!d.is_file());

@@ -261,6 +261,25 @@ pub enum OpOutcome<'a> {
     SetAttr,
 }
 
+impl OpOutcome<'_> {
+    /// The stable inode identity the outcome refers to, when it has one
+    /// (directory listings and attribute changes do not). Telemetry keys
+    /// journal records by this id so consumers can correlate operations
+    /// across renames and hard links.
+    pub fn file_id(&self) -> Option<FileId> {
+        match self {
+            OpOutcome::Open { file, .. }
+            | OpOutcome::Read { file, .. }
+            | OpOutcome::Write { file, .. }
+            | OpOutcome::Truncate { file }
+            | OpOutcome::Close { file, .. }
+            | OpOutcome::Delete { file }
+            | OpOutcome::Rename { file, .. } => Some(*file),
+            OpOutcome::ReadDir { .. } | OpOutcome::SetAttr => None,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

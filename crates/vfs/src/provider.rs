@@ -1,0 +1,611 @@
+//! Filesystem providers and mount options.
+//!
+//! The [`Vfs`](crate::Vfs) is split into two layers, following the shape of
+//! the wasmer `vfs-mem` design: a thin orchestration layer that owns
+//! processes, filters, the simulated clock, shadow capture, and fault
+//! injection; and a set of [`FsProvider`]s that own the actual namespace —
+//! directory entries, inodes, and bytes. Providers are attached to the VFS
+//! through a mount table ([`Vfs::mount`](crate::Vfs::mount)), each with its
+//! own [`MountOptions`]; paths route to the deepest mount whose root
+//! prefixes them.
+//!
+//! The contract between the layers is deliberately asymmetric: the VFS does
+//! **all** validation (existence, kind, permission, read-only state, filter
+//! verdicts) and providers only execute pre-validated storage mutations.
+//! This keeps the provider trait small enough that alternative backends
+//! (overlay views, content-addressed stores) can implement it without
+//! re-implementing filesystem semantics.
+//!
+//! Providers key every entry by its **absolute** virtual path — the mount
+//! root acts purely as a routing prefix — so a single hash probe resolves a
+//! path even through a mount, preserving the zero-allocation steady state
+//! of the hot write path.
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
+
+use crate::node::{DirEntry, EntryKind, FileId, FileNode};
+use crate::path::VPath;
+
+/// Options applied to one mount.
+///
+/// The struct is `#[non_exhaustive]`; build it with
+/// [`MountOptions::default`] and override fields, e.g.
+/// `MountOptions { read_only: true, ..MountOptions::default() }` does not
+/// compile downstream — use the builder-style setters instead.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct MountOptions {
+    /// Reject every destructive operation on this mount with
+    /// [`VfsError::ReadOnlyFs`](crate::VfsError::ReadOnlyFs) before the
+    /// filter chain runs (filters and the journal never observe rejected
+    /// operations). Administrative mutations through
+    /// [`AdminView`](crate::AdminView) bypass this, mirroring how staging
+    /// and recovery bypass per-file read-only attributes.
+    pub read_only: bool,
+    /// Resolve symbolic links encountered during path lookup. When `false`,
+    /// symlinks behave as opaque leaf entries.
+    pub follow_symlinks: bool,
+    /// Maximum number of symlink hops tolerated while resolving one path
+    /// before the lookup fails with
+    /// [`VfsError::SymlinkLoop`](crate::VfsError::SymlinkLoop).
+    pub max_link_depth: u32,
+}
+
+impl Default for MountOptions {
+    fn default() -> Self {
+        Self {
+            read_only: false,
+            follow_symlinks: true,
+            max_link_depth: 16,
+        }
+    }
+}
+
+impl MountOptions {
+    /// Marks the mount read-only.
+    pub fn read_only(mut self, read_only: bool) -> Self {
+        self.read_only = read_only;
+        self
+    }
+
+    /// Enables or disables symlink resolution on the mount.
+    pub fn follow_symlinks(mut self, follow: bool) -> Self {
+        self.follow_symlinks = follow;
+        self
+    }
+
+    /// Sets the symlink resolution depth limit.
+    pub fn max_link_depth(mut self, depth: u32) -> Self {
+        self.max_link_depth = depth;
+        self
+    }
+}
+
+/// What one absolute path resolves to inside a provider, borrowed from the
+/// provider's own tables.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProviderEntry<'a> {
+    /// A hard link to the regular file with this inode identity.
+    File(FileId),
+    /// A directory.
+    Directory,
+    /// A symbolic link whose target is the given absolute path.
+    Symlink(&'a VPath),
+}
+
+/// The result of unlinking one path entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Unlinked {
+    /// The inode the removed entry linked to (`None` for symlinks).
+    pub file: Option<FileId>,
+    /// How many hard links to that inode remain after the unlink. When this
+    /// reaches zero the caller decides whether to reap the node immediately
+    /// or keep it alive for open handles (open-unlinked lifetime).
+    pub links_remaining: u32,
+    /// Whether the removed entry was a symbolic link.
+    pub was_symlink: bool,
+}
+
+/// A storage backend holding one mounted namespace: directory entries,
+/// inodes ([`FileNode`]s), and symlinks.
+///
+/// # Contract
+///
+/// The [`Vfs`](crate::Vfs) validates every call before issuing it: parents
+/// exist and are directories, sources exist, destinations do not (unless
+/// the operation semantically replaces them, in which case the VFS unlinks
+/// first). Implementations may `debug_assert!` these preconditions but must
+/// not re-check them on release hot paths.
+///
+/// All paths are **absolute** — a provider mounted at `/mnt/usb` sees
+/// `/mnt/usb/file.txt`, not `/file.txt`. [`FsProvider::prepare_mount`] is
+/// called once when the provider is attached so it can create its own root
+/// directory entry.
+pub trait FsProvider: Send {
+    /// A short stable name for diagnostics (e.g. `"mem"`).
+    fn name(&self) -> &str;
+
+    /// Called once when the provider is attached at `root`; the provider
+    /// must ensure `root` exists as a directory afterwards.
+    fn prepare_mount(&mut self, root: &VPath);
+
+    /// Resolves one absolute path to an entry, without following symlinks.
+    fn entry(&self, path: &VPath) -> Option<ProviderEntry<'_>>;
+
+    /// Borrows the node with the given inode identity, linked or orphaned.
+    fn node(&self, file: FileId) -> Option<&FileNode>;
+
+    /// Mutably borrows the node with the given inode identity.
+    fn node_mut(&mut self, file: FileId) -> Option<&mut FileNode>;
+
+    /// The node's current canonical path (its first surviving hard link),
+    /// or `None` once every link is gone.
+    fn path_of(&self, file: FileId) -> Option<Arc<VPath>>;
+
+    /// Allocates a fresh inode identity. Identities are never reused.
+    fn alloc_ino(&mut self) -> FileId;
+
+    /// Inserts a brand-new file node and links it at `path`. The node's id
+    /// must come from [`FsProvider::alloc_ino`] and its `nlink` must be 1.
+    fn insert_file(&mut self, path: &VPath, node: FileNode);
+
+    /// Adds a hard link to an existing node at `at`, incrementing its link
+    /// count. Returns `false` if the node does not exist.
+    fn link(&mut self, file: FileId, at: &VPath) -> bool;
+
+    /// Removes the entry at `path` (a file link or a symlink), returning
+    /// what was removed. Nodes whose last link disappears are **not**
+    /// dropped — the caller reaps them via [`FsProvider::remove_node`] once
+    /// no open handle needs them.
+    fn unlink(&mut self, path: &VPath) -> Option<Unlinked>;
+
+    /// Drops an inode outright (after its last link and last open handle
+    /// are gone), returning the node.
+    fn remove_node(&mut self, file: FileId) -> Option<FileNode>;
+
+    /// Moves the entry at `from` to `to`, keeping its identity. `to` must
+    /// not exist (the VFS unlinks a replaced destination first).
+    fn rename_entry(&mut self, from: &VPath, to: &VPath);
+
+    /// Creates a symlink at `at` pointing to the absolute path `target`
+    /// (which may dangle).
+    fn symlink(&mut self, at: &VPath, target: VPath);
+
+    /// Creates an (empty) directory at `path`.
+    fn create_dir(&mut self, path: &VPath);
+
+    /// Removes the (empty) directory at `path`.
+    fn remove_dir(&mut self, path: &VPath);
+
+    /// Lists the directory at `path` in name order, or `None` if `path` is
+    /// not a directory.
+    fn read_dir(&self, path: &VPath) -> Option<Vec<DirEntry>>;
+
+    /// Visits every linked file as `(path, node)`, in unspecified order.
+    /// Nodes reachable through several hard links are visited once per
+    /// link; orphaned (open-unlinked) nodes are not visited.
+    fn visit_files<'a>(&'a self, f: &mut dyn FnMut(&'a VPath, &'a FileNode));
+
+    /// Visits every directory path, in unspecified order.
+    fn visit_dirs<'a>(&'a self, f: &mut dyn FnMut(&'a VPath));
+
+    /// Number of file links (directory entries naming a regular file).
+    fn file_count(&self) -> usize;
+
+    /// Number of directories, including the mount root.
+    fn dir_count(&self) -> usize;
+
+    /// Number of symlinks currently present.
+    fn symlink_count(&self) -> usize;
+
+    /// Whether any symlink exists — the fast-path gate that lets symlink-
+    /// free mounts skip component-wise resolution entirely.
+    fn has_symlinks(&self) -> bool {
+        self.symlink_count() > 0
+    }
+}
+
+/// One path slot in a [`MemProvider`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum PathSlot {
+    File(FileId),
+    Symlink(VPath),
+}
+
+/// The reference in-memory provider: hash-mapped entries and inodes,
+/// `BTreeMap` child listings (directory order), and an inode allocator
+/// whose base can be offset per namespace/tenant.
+#[derive(Debug, Default)]
+pub struct MemProvider {
+    /// path → what lives there (file link or symlink).
+    entries: HashMap<VPath, PathSlot>,
+    /// dir path → ordered children.
+    dirs: HashMap<VPath, BTreeMap<String, EntryKind>>,
+    /// ino → node, including orphaned (open-unlinked) nodes.
+    nodes: HashMap<FileId, FileNode>,
+    /// ino → canonical path, dropped when the last link goes.
+    paths: HashMap<FileId, Arc<VPath>>,
+    next_ino: u64,
+    symlinks: usize,
+}
+
+impl MemProvider {
+    /// An empty provider whose inode numbers start at 1.
+    pub fn new() -> Self {
+        Self::with_ino_base(1)
+    }
+
+    /// An empty provider whose inode numbers start at `base`.
+    ///
+    /// Namespaced VFS instances ([`Vfs::with_namespace`](crate::Vfs::with_namespace))
+    /// use `(namespace << 32) | 1` so that tenant inode spaces never
+    /// collide while staying deterministic per tenant.
+    pub fn with_ino_base(base: u64) -> Self {
+        let mut dirs = HashMap::new();
+        dirs.insert(VPath::root(), BTreeMap::new());
+        Self {
+            entries: HashMap::new(),
+            dirs,
+            nodes: HashMap::new(),
+            paths: HashMap::new(),
+            next_ino: base,
+            symlinks: 0,
+        }
+    }
+
+    fn add_child(&mut self, path: &VPath, kind: EntryKind) {
+        if let (Some(parent), Some(name)) = (path.parent(), path.file_name()) {
+            if let Some(children) = self.dirs.get_mut(&parent) {
+                children.insert(name.to_string(), kind);
+            }
+        }
+    }
+
+    fn remove_child(&mut self, path: &VPath) {
+        if let (Some(parent), Some(name)) = (path.parent(), path.file_name()) {
+            if let Some(children) = self.dirs.get_mut(&parent) {
+                children.remove(name);
+            }
+        }
+    }
+
+    /// Rescans the entry table for any surviving link to `file` and makes
+    /// it the canonical path. O(entries), but only runs when the canonical
+    /// link of a multiply-linked node is removed — a rare operation.
+    fn recanonicalize(&mut self, file: FileId) {
+        let survivor = self
+            .entries
+            .iter()
+            .find(|(_, slot)| matches!(slot, PathSlot::File(id) if *id == file))
+            .map(|(p, _)| Arc::new(p.clone()));
+        match survivor {
+            Some(p) => {
+                self.paths.insert(file, p);
+            }
+            None => {
+                self.paths.remove(&file);
+            }
+        }
+    }
+}
+
+impl FsProvider for MemProvider {
+    fn name(&self) -> &str {
+        "mem"
+    }
+
+    fn prepare_mount(&mut self, root: &VPath) {
+        // Create the directory chain down to the mount root so that the
+        // root itself (and metadata probes on it) resolve locally.
+        let mut chain: Vec<VPath> = Vec::new();
+        let mut cur = root.clone();
+        while !self.dirs.contains_key(&cur) {
+            chain.push(cur.clone());
+            match cur.parent() {
+                Some(p) => cur = p,
+                None => break,
+            }
+        }
+        self.dirs.entry(VPath::root()).or_default();
+        for dir in chain.into_iter().rev() {
+            self.dirs.insert(dir.clone(), BTreeMap::new());
+            self.add_child(&dir, EntryKind::Directory);
+        }
+    }
+
+    fn entry(&self, path: &VPath) -> Option<ProviderEntry<'_>> {
+        match self.entries.get(path) {
+            Some(PathSlot::File(id)) => Some(ProviderEntry::File(*id)),
+            Some(PathSlot::Symlink(target)) => Some(ProviderEntry::Symlink(target)),
+            None => {
+                if self.dirs.contains_key(path) {
+                    Some(ProviderEntry::Directory)
+                } else {
+                    None
+                }
+            }
+        }
+    }
+
+    fn node(&self, file: FileId) -> Option<&FileNode> {
+        self.nodes.get(&file)
+    }
+
+    fn node_mut(&mut self, file: FileId) -> Option<&mut FileNode> {
+        self.nodes.get_mut(&file)
+    }
+
+    fn path_of(&self, file: FileId) -> Option<Arc<VPath>> {
+        self.paths.get(&file).cloned()
+    }
+
+    fn alloc_ino(&mut self) -> FileId {
+        let id = FileId(self.next_ino);
+        self.next_ino += 1;
+        id
+    }
+
+    fn insert_file(&mut self, path: &VPath, node: FileNode) {
+        debug_assert!(!self.entries.contains_key(path), "insert over live entry");
+        debug_assert_eq!(node.nlink, 1, "fresh nodes carry exactly one link");
+        let id = node.id;
+        self.paths.insert(id, Arc::new(path.clone()));
+        self.nodes.insert(id, node);
+        self.entries.insert(path.clone(), PathSlot::File(id));
+        self.add_child(path, EntryKind::File);
+    }
+
+    fn link(&mut self, file: FileId, at: &VPath) -> bool {
+        let Some(node) = self.nodes.get_mut(&file) else {
+            return false;
+        };
+        debug_assert!(!self.entries.contains_key(at), "link over live entry");
+        node.nlink += 1;
+        self.entries.insert(at.clone(), PathSlot::File(file));
+        self.add_child(at, EntryKind::File);
+        true
+    }
+
+    fn unlink(&mut self, path: &VPath) -> Option<Unlinked> {
+        let slot = self.entries.remove(path)?;
+        self.remove_child(path);
+        match slot {
+            PathSlot::File(file) => {
+                let links_remaining = match self.nodes.get_mut(&file) {
+                    Some(node) => {
+                        node.nlink = node.nlink.saturating_sub(1);
+                        node.nlink
+                    }
+                    None => 0,
+                };
+                let canonical_removed =
+                    self.paths.get(&file).is_some_and(|p| p.as_ref() == path);
+                if canonical_removed {
+                    if links_remaining > 0 {
+                        self.recanonicalize(file);
+                    } else {
+                        self.paths.remove(&file);
+                    }
+                }
+                Some(Unlinked {
+                    file: Some(file),
+                    links_remaining,
+                    was_symlink: false,
+                })
+            }
+            PathSlot::Symlink(_) => {
+                self.symlinks -= 1;
+                Some(Unlinked {
+                    file: None,
+                    links_remaining: 0,
+                    was_symlink: true,
+                })
+            }
+        }
+    }
+
+    fn remove_node(&mut self, file: FileId) -> Option<FileNode> {
+        self.paths.remove(&file);
+        self.nodes.remove(&file)
+    }
+
+    fn rename_entry(&mut self, from: &VPath, to: &VPath) {
+        let Some(slot) = self.entries.remove(from) else {
+            debug_assert!(false, "rename_entry on missing source");
+            return;
+        };
+        self.remove_child(from);
+        let kind = match &slot {
+            PathSlot::File(file) => {
+                if self.paths.get(file).is_some_and(|p| p.as_ref() == from) {
+                    self.paths.insert(*file, Arc::new(to.clone()));
+                }
+                EntryKind::File
+            }
+            PathSlot::Symlink(_) => EntryKind::Symlink,
+        };
+        self.entries.insert(to.clone(), slot);
+        self.add_child(to, kind);
+    }
+
+    fn symlink(&mut self, at: &VPath, target: VPath) {
+        debug_assert!(!self.entries.contains_key(at), "symlink over live entry");
+        self.entries.insert(at.clone(), PathSlot::Symlink(target));
+        self.add_child(at, EntryKind::Symlink);
+        self.symlinks += 1;
+    }
+
+    fn create_dir(&mut self, path: &VPath) {
+        self.dirs.insert(path.clone(), BTreeMap::new());
+        self.add_child(path, EntryKind::Directory);
+    }
+
+    fn remove_dir(&mut self, path: &VPath) {
+        self.dirs.remove(path);
+        self.remove_child(path);
+    }
+
+    fn read_dir(&self, path: &VPath) -> Option<Vec<DirEntry>> {
+        let children = self.dirs.get(path)?;
+        let mut out = Vec::with_capacity(children.len());
+        for (name, kind) in children {
+            let (len, file) = match kind {
+                EntryKind::File => {
+                    let child = path.join(name);
+                    match self.entries.get(&child) {
+                        Some(PathSlot::File(id)) => (
+                            self.nodes.get(id).map_or(0, |n| n.data.len() as u64),
+                            Some(*id),
+                        ),
+                        _ => (0, None),
+                    }
+                }
+                EntryKind::Directory | EntryKind::Symlink => (0, None),
+            };
+            out.push(DirEntry {
+                name: name.clone(),
+                kind: *kind,
+                len,
+                file,
+            });
+        }
+        Some(out)
+    }
+
+    fn visit_files<'a>(&'a self, f: &mut dyn FnMut(&'a VPath, &'a FileNode)) {
+        for (path, slot) in &self.entries {
+            if let PathSlot::File(id) = slot {
+                if let Some(node) = self.nodes.get(id) {
+                    f(path, node);
+                }
+            }
+        }
+    }
+
+    fn visit_dirs<'a>(&'a self, f: &mut dyn FnMut(&'a VPath)) {
+        for path in self.dirs.keys() {
+            f(path);
+        }
+    }
+
+    fn file_count(&self) -> usize {
+        self.entries.len() - self.symlinks
+    }
+
+    fn dir_count(&self) -> usize {
+        self.dirs.len()
+    }
+
+    fn symlink_count(&self) -> usize {
+        self.symlinks
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::Content;
+
+    fn file_node(p: &mut MemProvider, at: &str, bytes: &[u8]) -> FileId {
+        let id = p.alloc_ino();
+        let node = FileNode::new(id, Content::from(bytes.to_vec()), 7, 0);
+        p.insert_file(&VPath::new(at), node);
+        id
+    }
+
+    #[test]
+    fn ino_base_is_respected() {
+        let mut p = MemProvider::with_ino_base((5u64 << 32) | 1);
+        assert_eq!(p.alloc_ino(), FileId((5 << 32) | 1));
+        assert_eq!(p.alloc_ino(), FileId((5 << 32) | 2));
+    }
+
+    #[test]
+    fn link_unlink_and_canonical_path() {
+        let mut p = MemProvider::new();
+        p.create_dir(&VPath::new("/d"));
+        let id = file_node(&mut p, "/d/a", b"hi");
+        assert!(p.link(id, &VPath::new("/d/b")));
+        assert_eq!(p.node(id).unwrap().nlink, 2);
+        assert_eq!(p.path_of(id).unwrap().as_ref(), &VPath::new("/d/a"));
+
+        // Removing the canonical link promotes the survivor.
+        let u = p.unlink(&VPath::new("/d/a")).unwrap();
+        assert_eq!(u.links_remaining, 1);
+        assert_eq!(p.path_of(id).unwrap().as_ref(), &VPath::new("/d/b"));
+
+        // Last link: node survives until reaped.
+        let u = p.unlink(&VPath::new("/d/b")).unwrap();
+        assert_eq!(u.links_remaining, 0);
+        assert!(p.path_of(id).is_none());
+        assert!(p.node(id).is_some(), "orphan kept for open handles");
+        assert_eq!(p.file_count(), 0);
+        let node = p.remove_node(id).unwrap();
+        assert_eq!(&node.data[..], b"hi");
+        assert!(p.node(id).is_none());
+    }
+
+    #[test]
+    fn symlinks_are_counted_and_listed() {
+        let mut p = MemProvider::new();
+        p.create_dir(&VPath::new("/d"));
+        file_node(&mut p, "/d/real", b"x");
+        assert!(!p.has_symlinks());
+        p.symlink(&VPath::new("/d/alias"), VPath::new("/d/real"));
+        assert!(p.has_symlinks());
+        assert_eq!(p.symlink_count(), 1);
+        assert_eq!(p.file_count(), 1);
+        let listing = p.read_dir(&VPath::new("/d")).unwrap();
+        let kinds: Vec<(String, EntryKind)> =
+            listing.iter().map(|e| (e.name.clone(), e.kind)).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                ("alias".to_string(), EntryKind::Symlink),
+                ("real".to_string(), EntryKind::File),
+            ]
+        );
+        match p.entry(&VPath::new("/d/alias")) {
+            Some(ProviderEntry::Symlink(t)) => assert_eq!(t, &VPath::new("/d/real")),
+            other => panic!("expected symlink, got {other:?}"),
+        }
+        let u = p.unlink(&VPath::new("/d/alias")).unwrap();
+        assert!(u.was_symlink);
+        assert!(!p.has_symlinks());
+    }
+
+    #[test]
+    fn prepare_mount_creates_root_chain() {
+        let mut p = MemProvider::new();
+        p.prepare_mount(&VPath::new("/mnt/usb"));
+        assert_eq!(p.entry(&VPath::new("/mnt/usb")), Some(ProviderEntry::Directory));
+        assert_eq!(p.entry(&VPath::new("/mnt")), Some(ProviderEntry::Directory));
+        assert_eq!(p.dir_count(), 3);
+    }
+
+    #[test]
+    fn rename_entry_keeps_identity_and_canonical() {
+        let mut p = MemProvider::new();
+        p.create_dir(&VPath::new("/d"));
+        let id = file_node(&mut p, "/d/a", b"z");
+        p.rename_entry(&VPath::new("/d/a"), &VPath::new("/d/b"));
+        assert_eq!(p.entry(&VPath::new("/d/b")), Some(ProviderEntry::File(id)));
+        assert_eq!(p.entry(&VPath::new("/d/a")), None);
+        assert_eq!(p.path_of(id).unwrap().as_ref(), &VPath::new("/d/b"));
+        assert_eq!(p.node(id).unwrap().nlink, 1);
+    }
+
+    #[test]
+    fn default_mount_options() {
+        let o = MountOptions::default();
+        assert!(!o.read_only);
+        assert!(o.follow_symlinks);
+        assert_eq!(o.max_link_depth, 16);
+        let o = MountOptions::default()
+            .read_only(true)
+            .follow_symlinks(false)
+            .max_link_depth(4);
+        assert!(o.read_only && !o.follow_symlinks && o.max_link_depth == 4);
+    }
+}

@@ -1,0 +1,120 @@
+//! Public-API surface snapshot for the mount-era redesign.
+//!
+//! Two guards: a compile-time one (the `use` block below names every item
+//! the redesign promises — deleting or renaming any of them stops this
+//! suite from building), and runtime pins for the stable string surfaces
+//! embedders wire into telemetry, RPC payloads, and dashboards.
+//!
+//! When a change here is *intentional*, update the snapshot in the same
+//! commit and call it out in the CHANGELOG.
+
+// The promised surface, by name. Each import is the contract.
+#[allow(unused_imports)]
+use cryptodrop::prelude::{
+    Backpressure, Config, ConfigError, CryptoDrop, DetectionReport, ErrorKind, FsProvider,
+    MemProvider, Monitor, MountOptions, PipelineConfig, PipelineStats, ProcessId,
+    RecoveryReport, ScoreConfig, Session, SessionBuilder, ShadowConfig, ShadowStore,
+    Telemetry, VPath, Verdict, Vfs, VfsError, VfsResult,
+};
+#[allow(unused_imports)]
+use cryptodrop_vfs::{
+    AdminView, DirEntry, EntryKind, EventDetail, EventLog, FaultPlan, FileId, FilterDriver,
+    FsView, Metadata, OpContext, OpKind, OpOutcome, OpenOptions, SimClock,
+};
+
+/// Every `ErrorKind` and its wire label, pinned. Adding a variant is
+/// backward-compatible (the enum is `#[non_exhaustive]`); renaming or
+/// removing one is a break this snapshot surfaces.
+#[test]
+fn error_kind_labels_are_stable() {
+    let pinned = [
+        (ErrorKind::NotFound, "not-found"),
+        (ErrorKind::AlreadyExists, "already-exists"),
+        (ErrorKind::NotADirectory, "not-a-directory"),
+        (ErrorKind::IsADirectory, "is-a-directory"),
+        (ErrorKind::DirectoryNotEmpty, "directory-not-empty"),
+        (ErrorKind::ReadOnly, "read-only"),
+        (ErrorKind::ReadOnlyFs, "read-only-fs"),
+        (ErrorKind::CrossMountRename, "cross-mount-rename"),
+        (ErrorKind::SymlinkLoop, "symlink-loop"),
+        (ErrorKind::AccessDenied, "access-denied"),
+        (ErrorKind::ProcessSuspended, "process-suspended"),
+        (ErrorKind::UnknownProcess, "unknown-process"),
+        (ErrorKind::InvalidHandle, "invalid-handle"),
+        (ErrorKind::NotWritable, "not-writable"),
+        (ErrorKind::InvalidPath, "invalid-path"),
+        (ErrorKind::Io, "io"),
+    ];
+    for (kind, label) in pinned {
+        assert_eq!(kind.label(), label);
+        assert_eq!(kind.to_string(), label, "Display mirrors the label");
+    }
+}
+
+/// The typed error constructors exist and map onto their kinds — the
+/// error-unification contract embedders match on.
+#[test]
+fn typed_error_constructors_map_to_kinds() {
+    let p = VPath::new("/x");
+    let cases = [
+        (VfsError::not_found(p.clone()), ErrorKind::NotFound),
+        (VfsError::already_exists(p.clone()), ErrorKind::AlreadyExists),
+        (
+            VfsError::cross_mount_rename(p.clone(), VPath::new("/y")),
+            ErrorKind::CrossMountRename,
+        ),
+    ];
+    for (err, kind) in cases {
+        assert_eq!(err.kind(), kind);
+    }
+    assert_eq!(VfsError::ReadOnlyFs(p.clone()).kind(), ErrorKind::ReadOnlyFs);
+    assert_eq!(VfsError::SymlinkLoop(p).kind(), ErrorKind::SymlinkLoop);
+}
+
+/// Verdict constructors and the mount-era defaults embedders rely on.
+#[test]
+fn verdict_and_mount_option_defaults_are_stable() {
+    assert!(matches!(Verdict::default(), Verdict::Allow));
+    assert!(matches!(
+        Verdict::suspend("why"),
+        Verdict::Suspend { .. }
+    ));
+    assert!(matches!(
+        Verdict::throttle(1_000),
+        Verdict::Throttle { nanos: 1_000, .. }
+    ));
+
+    let opts = MountOptions::default();
+    assert!(!opts.read_only);
+    assert!(opts.follow_symlinks);
+    assert_eq!(opts.max_link_depth, 16);
+}
+
+/// The active-defense config surface: decoy registration and throttling
+/// knobs, off by default.
+#[test]
+fn defense_config_surface_is_stable() {
+    let cfg = Config::protecting("/docs");
+    assert!(cfg.decoy_paths.is_empty());
+    assert!(!cfg.throttle_enabled);
+
+    let bait = VPath::new("/docs/_passwords.xlsx");
+    let cfg = cfg.with_decoys([bait.clone()]).with_throttling(40, 1_000_000);
+    assert!(cfg.is_decoy(&bait));
+    assert!(cfg.throttle_enabled);
+    assert_eq!((cfg.throttle_score, cfg.throttle_nanos_per_point), (40, 1_000_000));
+}
+
+/// The mount table is enumerable, root mount first — the introspection
+/// surface fleet admin panes read.
+#[test]
+fn mount_table_is_enumerable() {
+    let mut fs = Vfs::new();
+    fs.mount("/ro", Box::new(MemProvider::new()), MountOptions::default().read_only(true))
+        .unwrap();
+    let mounts: Vec<(String, bool)> = fs
+        .mounts()
+        .map(|(root, o)| (root.as_str().to_string(), o.read_only))
+        .collect();
+    assert_eq!(mounts, vec![("/".to_string(), false), ("/ro".to_string(), true)]);
+}

@@ -2,7 +2,11 @@
 //! same implementations as their replacements until they are removed: one
 //! test per shim, each asserting state identical to the `AdminView` /
 //! `SessionBuilder` path.
+//!
+//! The shims only exist behind the off-by-default `legacy-api` feature;
+//! run with `cargo test --features legacy-api` to exercise this suite.
 
+#![cfg(feature = "legacy-api")]
 #![allow(deprecated)]
 
 use cryptodrop::{Config, CryptoDrop, Telemetry};
