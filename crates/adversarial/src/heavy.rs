@@ -1,0 +1,412 @@
+//! Benign heavy-writers: honest applications whose I/O profile brushes
+//! against one CryptoDrop indicator each.
+//!
+//! The Figure 6 applications exercise ordinary desktop behaviour; these
+//! four stress the *worst plausible* benign cases — whole-tree readers,
+//! bulk high-entropy writers, in-place rewriters, and delete-and-rename
+//! churners — and the adversarial study asserts all of them finish with
+//! zero suspensions at the default thresholds.
+
+use cryptodrop_benign::compress;
+use cryptodrop_benign::helpers::{find_files, overwrite_in_place, read_whole, write_new};
+use cryptodrop_vfs::{
+    OpenOptions, VfsError, VPath, Workload, WorkloadCtx, WorkloadOutcome,
+};
+
+/// I/O chunk size shared by the heavy-writers.
+const CHUNK: usize = 16 * 1024;
+
+/// Maps any error to a finished-early outcome, flagging suspension.
+fn fold_err(out: &mut WorkloadOutcome, e: &VfsError) {
+    if matches!(e, VfsError::ProcessSuspended(_)) {
+        out.suspended = true;
+    }
+}
+
+/// A nightly backup tool: reads every file under the protected tree and
+/// mirrors it into an archive directory *outside* the tree.
+///
+/// From the filter's perspective this process only ever reads protected
+/// data — the heaviest possible funneling pressure (every file type read,
+/// none written) with nothing else.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BackupMirror {
+    /// Where the mirror lands (outside the protected tree).
+    pub archive_root: VPath,
+    /// At most this many files are mirrored.
+    pub limit: usize,
+}
+
+impl Default for BackupMirror {
+    fn default() -> Self {
+        Self {
+            archive_root: VPath::new("/Backups/nightly"),
+            limit: 500,
+        }
+    }
+}
+
+impl Workload for BackupMirror {
+    fn name(&self) -> String {
+        "backup-mirror".into()
+    }
+
+    fn pid_plan(&self) -> Vec<String> {
+        vec!["backup-mirror.exe".into()]
+    }
+
+    fn drive(&self, fs: &mut cryptodrop_vfs::Vfs, ctx: &WorkloadCtx) -> WorkloadOutcome {
+        let pid = ctx.pid();
+        let mut out = WorkloadOutcome::default();
+        let files = match find_files(fs, pid, &ctx.root, None, self.limit) {
+            Ok(f) => f,
+            Err(e) => {
+                fold_err(&mut out, &e);
+                return out;
+            }
+        };
+        for path in &files {
+            let rel = path
+                .strip_prefix(&ctx.root)
+                .unwrap_or(path.as_str())
+                .to_string();
+            let dest = self.archive_root.join(&rel);
+            let result = read_whole(fs, pid, path, CHUNK)
+                .and_then(|data| write_new(fs, pid, &dest, &data, CHUNK));
+            match result {
+                Ok(()) => {
+                    out.files_touched += 1;
+                    out.artifacts_written += 1;
+                }
+                Err(e) => {
+                    fold_err(&mut out, &e);
+                    if out.suspended {
+                        return out;
+                    }
+                }
+            }
+        }
+        out.completed = true;
+        out
+    }
+}
+
+/// A `logrotate`-style nightly compression job: compresses documents into
+/// sibling `.gz` files, keeps the originals, and stops at a per-run byte
+/// budget.
+///
+/// This is the paper's 7-zip case pushed harder — disparate reads and
+/// high-entropy writes *inside* the protected tree — but no original is
+/// ever modified or deleted, so similarity and type change never fire on
+/// user data. The byte budget is what makes the job *plausibly* benign:
+/// every entropy-delta award is a write of ciphertext-looking bytes, so a
+/// compressor's score scales with bytes written, and an unbounded sweep
+/// of the whole tree is exactly the §V-F 7-zip false positive the paper
+/// concedes. A bounded nightly batch stays under the threshold by
+/// construction, at any corpus scale.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompressorSweep {
+    /// At most this many files are compressed.
+    pub limit: usize,
+    /// Compressed output bytes written before the run stops.
+    pub byte_budget: usize,
+}
+
+impl Default for CompressorSweep {
+    fn default() -> Self {
+        Self {
+            limit: 24,
+            byte_budget: 512 * 1024,
+        }
+    }
+}
+
+impl Workload for CompressorSweep {
+    fn name(&self) -> String {
+        "compressor-sweep".into()
+    }
+
+    fn pid_plan(&self) -> Vec<String> {
+        vec!["compressor-sweep.exe".into()]
+    }
+
+    fn drive(&self, fs: &mut cryptodrop_vfs::Vfs, ctx: &WorkloadCtx) -> WorkloadOutcome {
+        let pid = ctx.pid();
+        let mut out = WorkloadOutcome::default();
+        let files = match find_files(fs, pid, &ctx.root, None, self.limit) {
+            Ok(f) => f,
+            Err(e) => {
+                fold_err(&mut out, &e);
+                return out;
+            }
+        };
+        let mut written = 0usize;
+        for path in &files {
+            if written >= self.byte_budget {
+                break;
+            }
+            if path.extension().as_deref() == Some("gz") {
+                continue;
+            }
+            let dest = path.with_appended_suffix(".gz");
+            let result = read_whole(fs, pid, path, CHUNK).and_then(|data| {
+                let packed = compress(&data);
+                written += packed.len();
+                write_new(fs, pid, &dest, &packed, CHUNK)
+            });
+            match result {
+                Ok(()) => {
+                    out.files_touched += 1;
+                    out.artifacts_written += 1;
+                }
+                Err(e) => {
+                    fold_err(&mut out, &e);
+                    if out.suspended {
+                        return out;
+                    }
+                }
+            }
+        }
+        out.completed = true;
+        out
+    }
+}
+
+/// An updater applying small delta patches, in place, to its own install
+/// tree under the protected root.
+///
+/// Real updaters patch program files they own, never the user's
+/// documents — so [`stage`](Workload::stage) plants an application
+/// directory of resource blobs inside the protected tree and
+/// [`drive`](Workload::drive) rewrites each one with a short patched
+/// window. Each rewrite preserves everything but that window: sniffed
+/// type unchanged, similarity near-identical, entropy delta ~0. The
+/// heaviest *in-place-write* workload that should still score zero.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SoftwareUpdater {
+    /// Number of install-tree files staged and patched.
+    pub limit: usize,
+    /// Patch window size in bytes.
+    pub window: usize,
+}
+
+impl Default for SoftwareUpdater {
+    fn default() -> Self {
+        Self {
+            limit: 40,
+            window: 32,
+        }
+    }
+}
+
+impl SoftwareUpdater {
+    fn install_dir(&self, root: &VPath) -> VPath {
+        root.join("apps/acme-suite")
+    }
+
+    fn asset(&self, dir: &VPath, i: usize) -> VPath {
+        dir.join(format!("resource_{i:03}.dat"))
+    }
+
+    /// A deterministic pseudo-binary resource blob: mixed text headers
+    /// and xorshifted payload, so reads/writes look like real program
+    /// assets rather than constant filler.
+    fn blob(&self, seed: u64, i: usize) -> Vec<u8> {
+        let mut data = format!("ACME-RES v1.0 asset={i:03} build={seed:08x}\n").into_bytes();
+        let mut x = seed ^ (0x9E37_79B9 + i as u64);
+        let len = 6 * 1024 + (i % 7) * 4 * 1024;
+        while data.len() < len {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            // Keep the payload byte range printable-ish: moderate entropy,
+            // nothing an entropy indicator would read as ciphertext.
+            data.push(b' ' + (x % 64) as u8);
+        }
+        data
+    }
+}
+
+impl Workload for SoftwareUpdater {
+    fn name(&self) -> String {
+        "software-updater".into()
+    }
+
+    fn pid_plan(&self) -> Vec<String> {
+        vec!["software-updater.exe".into()]
+    }
+
+    fn stage(
+        &self,
+        fs: &mut cryptodrop_vfs::Vfs,
+        ctx: &WorkloadCtx,
+    ) -> cryptodrop_vfs::VfsResult<()> {
+        let dir = self.install_dir(&ctx.root);
+        for i in 0..self.limit {
+            fs.admin()
+                .write_file(&self.asset(&dir, i), &self.blob(ctx.seed, i))?;
+        }
+        Ok(())
+    }
+
+    fn drive(&self, fs: &mut cryptodrop_vfs::Vfs, ctx: &WorkloadCtx) -> WorkloadOutcome {
+        let pid = ctx.pid();
+        let mut out = WorkloadOutcome::default();
+        let dir = self.install_dir(&ctx.root);
+        let files: Vec<VPath> = (0..self.limit).map(|i| self.asset(&dir, i)).collect();
+        for (i, path) in files.iter().enumerate() {
+            let result = read_whole(fs, pid, path, CHUNK).and_then(|mut data| {
+                if data.len() < self.window * 3 {
+                    return Ok(()); // too small to carry a patch window
+                }
+                let offset = data.len() / 2;
+                let stamp = format!("patch-{:08x}-{i:04}", ctx.seed as u32);
+                for (dst, src) in data[offset..offset + self.window]
+                    .iter_mut()
+                    .zip(stamp.bytes().cycle())
+                {
+                    *dst = src;
+                }
+                overwrite_in_place(fs, pid, path, &data, CHUNK)
+            });
+            match result {
+                Ok(()) => out.files_touched += 1,
+                Err(e) => {
+                    fold_err(&mut out, &e);
+                    if out.suspended {
+                        return out;
+                    }
+                }
+            }
+        }
+        out.completed = true;
+        out
+    }
+}
+
+/// A log rotator living inside the protected tree: appends low-entropy
+/// lines, then rotates `app.log → app.log.1 → …`, deleting the oldest
+/// generation.
+///
+/// Deletion and rename churn on protected paths is exactly what the
+/// deletion indicator watches; staying within the deletion allowance is
+/// what keeps this honest workload at zero points.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LogRotator {
+    /// Rotated generations kept on disk (`app.log.1 ..`).
+    pub keep: usize,
+    /// Log lines appended before the rotation.
+    pub appends: usize,
+}
+
+impl Default for LogRotator {
+    fn default() -> Self {
+        Self {
+            keep: 3,
+            appends: 40,
+        }
+    }
+}
+
+impl LogRotator {
+    fn log_dir(&self, root: &VPath) -> VPath {
+        root.join("logs")
+    }
+
+    fn generation(&self, dir: &VPath, n: usize) -> VPath {
+        if n == 0 {
+            dir.join("app.log")
+        } else {
+            dir.join(format!("app.log.{n}"))
+        }
+    }
+
+    fn line(&self, seed: u64, n: usize) -> String {
+        format!(
+            "2016-02-29T12:{:02}:{:02}Z INFO  svc[{seed:04x}] request served in {} ms\n",
+            n / 60 % 60,
+            n % 60,
+            (seed as usize + n * 7) % 90 + 3
+        )
+    }
+}
+
+impl Workload for LogRotator {
+    fn name(&self) -> String {
+        "log-rotator".into()
+    }
+
+    fn pid_plan(&self) -> Vec<String> {
+        vec!["log-rotator.exe".into()]
+    }
+
+    fn stage(&self, fs: &mut cryptodrop_vfs::Vfs, ctx: &WorkloadCtx) -> cryptodrop_vfs::VfsResult<()> {
+        let dir = self.log_dir(&ctx.root);
+        for n in 0..=self.keep {
+            let mut content = String::new();
+            for i in 0..30 {
+                content.push_str(&self.line(ctx.seed + n as u64, i));
+            }
+            fs.admin()
+                .write_file(&self.generation(&dir, n), content.as_bytes())?;
+        }
+        Ok(())
+    }
+
+    fn drive(&self, fs: &mut cryptodrop_vfs::Vfs, ctx: &WorkloadCtx) -> WorkloadOutcome {
+        let pid = ctx.pid();
+        let dir = self.log_dir(&ctx.root);
+        let active = self.generation(&dir, 0);
+        let mut out = WorkloadOutcome::default();
+
+        // Append a burst of lines to the active log.
+        let append = (|| {
+            let len = fs.metadata(pid, &active)?.len;
+            let h = fs.open(pid, &active, OpenOptions::modify())?;
+            let result = (|| {
+                fs.seek(pid, h, len)?;
+                for i in 0..self.appends {
+                    fs.write(pid, h, self.line(ctx.seed, 1000 + i).as_bytes())?;
+                }
+                Ok(())
+            })();
+            let close = fs.close(pid, h);
+            result?;
+            close
+        })();
+        if let Err(e) = append {
+            fold_err(&mut out, &e);
+            if out.suspended {
+                return out;
+            }
+        } else {
+            out.files_touched += 1;
+        }
+
+        // Rotate: drop the oldest generation, shift the rest up, start a
+        // fresh active log.
+        let rotate = (|| {
+            fs.delete(pid, &self.generation(&dir, self.keep))?;
+            for n in (0..self.keep).rev() {
+                fs.rename(
+                    pid,
+                    &self.generation(&dir, n),
+                    &self.generation(&dir, n + 1),
+                    false,
+                )?;
+            }
+            write_new(fs, pid, &active, self.line(ctx.seed, 2000).as_bytes(), CHUNK)
+        })();
+        match rotate {
+            Ok(()) => out.artifacts_written += 1,
+            Err(e) => {
+                fold_err(&mut out, &e);
+                if out.suspended {
+                    return out;
+                }
+            }
+        }
+        out.completed = true;
+        out
+    }
+}

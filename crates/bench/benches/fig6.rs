@@ -5,7 +5,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use cryptodrop_bench::{bench_config, bench_corpus};
 use cryptodrop_benign::{fig6_apps, BenignApp, Word};
 use cryptodrop_experiments::fig6::run;
-use cryptodrop_experiments::runner::run_app;
+use cryptodrop_experiments::runner::run_workload;
 
 fn bench(c: &mut Criterion) {
     let corpus = bench_corpus();
@@ -17,7 +17,8 @@ fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig6");
     group.sample_size(10);
     group.bench_function("benign/word", |b| {
-        b.iter(|| run_app(&corpus, &config, &Word as &dyn BenignApp, 1))
+        let word: Box<dyn BenignApp> = Box::new(Word);
+        b.iter(|| run_workload(&corpus, &config, &word, 1))
     });
     group.finish();
 }

@@ -110,8 +110,9 @@ fn measure_restore(corpus: &Corpus, family: Family) -> (f64, u64, u64, ShadowSta
         .into_iter()
         .find(|s| s.family == family && s.index == 0)
         .expect("family present in the paper set");
-    let pid = fs.spawn_process(sample.process_name());
-    sample.run(&mut fs, pid, corpus.root());
+    let ctx = cryptodrop_vfs::WorkloadCtx::spawn(&mut fs, &sample, corpus.root(), sample.seed());
+    cryptodrop_vfs::Workload::drive(&sample, &mut fs, &ctx);
+    let pid = ctx.pid();
     assert!(fs.is_suspended(pid), "{family:?} must be suspended");
     let stats = session.shadow_store().expect("recovery armed").stats();
 

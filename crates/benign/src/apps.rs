@@ -48,6 +48,39 @@ pub trait BenignApp: Send {
     fn run(&self, fs: &mut Vfs, pid: ProcessId, docs: &VPath, rng: &mut StdRng) -> VfsResult<()>;
 }
 
+/// Every benign application is a [`Workload`]: staging and the run share
+/// one RNG stream seeded from the context (byte-identical to the historic
+/// `stage`-then-`run` harness path — staging uses unfiltered admin writes,
+/// so running it inside `drive` never scores).
+impl cryptodrop_vfs::Workload for Box<dyn BenignApp> {
+    fn name(&self) -> String {
+        BenignApp::name(self.as_ref()).to_string()
+    }
+
+    fn pid_plan(&self) -> Vec<String> {
+        vec![self.executable().to_string()]
+    }
+
+    fn drive(
+        &self,
+        fs: &mut Vfs,
+        ctx: &cryptodrop_vfs::WorkloadCtx,
+    ) -> cryptodrop_vfs::WorkloadOutcome {
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(ctx.seed);
+        if BenignApp::stage(self.as_ref(), fs, &ctx.root, &mut rng).is_err() {
+            return cryptodrop_vfs::WorkloadOutcome::default();
+        }
+        match BenignApp::run(self.as_ref(), fs, ctx.pid(), &ctx.root, &mut rng) {
+            Ok(()) => cryptodrop_vfs::WorkloadOutcome::completed(),
+            Err(e) => cryptodrop_vfs::WorkloadOutcome {
+                suspended: matches!(e, cryptodrop_vfs::VfsError::ProcessSuspended(_)),
+                ..cryptodrop_vfs::WorkloadOutcome::default()
+            },
+        }
+    }
+}
+
 // ---------------------------------------------------------------------
 // The five Fig. 6 applications + 7-zip
 // ---------------------------------------------------------------------

@@ -867,33 +867,45 @@ impl CryptoDrop {
         let timer = self.shared.telemetry.start_timer();
         let type_outcome = type_change::evaluate(snapshot.file_type, post_type);
         self.eval_timer(Indicator::TypeChange).record_elapsed(timer);
-        if let TypeChangeOutcome::Changed { before, after } = type_outcome {
-            self.award(
-                st,
-                path,
-                IndicatorHit {
-                    indicator: Indicator::TypeChange,
-                    points: type_points,
-                    value: 1.0,
-                    threshold: 1.0,
-                    detail: format!("{} -> {} at {path}", before.description(), after.description()),
-                    at_nanos,
-                },
-            );
+        // As with the entropy indicator, a zeroed point value disables
+        // the indicator entirely — it neither scores nor counts toward
+        // union indication (the adversarial study's ablation configs
+        // rely on this).
+        if type_points > 0 {
+            if let TypeChangeOutcome::Changed { before, after } = type_outcome {
+                self.award(
+                    st,
+                    path,
+                    IndicatorHit {
+                        indicator: Indicator::TypeChange,
+                        points: type_points,
+                        value: 1.0,
+                        threshold: 1.0,
+                        detail: format!(
+                            "{} -> {} at {path}",
+                            before.description(),
+                            after.description()
+                        ),
+                        at_nanos,
+                    },
+                );
+            }
         }
-        if let SimilarityOutcome::Dissimilar(score) = sim_outcome {
-            self.award(
-                st,
-                path,
-                IndicatorHit {
-                    indicator: Indicator::Similarity,
-                    points: cfg.score.points_similarity,
-                    value: f64::from(score),
-                    threshold: f64::from(cfg.score.similarity_match_max),
-                    detail: format!("similarity {score}/100 at {path}"),
-                    at_nanos,
-                },
-            );
+        if cfg.score.points_similarity > 0 {
+            if let SimilarityOutcome::Dissimilar(score) = sim_outcome {
+                self.award(
+                    st,
+                    path,
+                    IndicatorHit {
+                        indicator: Indicator::Similarity,
+                        points: cfg.score.points_similarity,
+                        value: f64::from(score),
+                        threshold: f64::from(cfg.score.similarity_match_max),
+                        detail: format!("similarity {score}/100 at {path}"),
+                        at_nanos,
+                    },
+                );
+            }
         }
     }
 

@@ -196,6 +196,7 @@ pub struct SessionBuilder {
     faults: Option<FaultPlan>,
     decoys: Vec<VPath>,
     throttle: Option<(u32, u64)>,
+    deterministic_clock: bool,
 }
 
 impl SessionBuilder {
@@ -293,6 +294,18 @@ impl SessionBuilder {
         self
     }
 
+    /// Makes every filesystem attached to this session keep deterministic
+    /// timestamps: [`Session::attach`] sets
+    /// [`ClockPolicy::Deterministic`](cryptodrop_vfs::ClockPolicy) on the
+    /// [`Vfs`], so measured filter overhead is still recorded in the
+    /// latency ledger but never advanced into the simulated clock. Two
+    /// runs issuing the same operations then report identical `at_nanos`
+    /// values in detection reports and audit trails.
+    pub fn deterministic_clock(mut self) -> Self {
+        self.deterministic_clock = true;
+        self
+    }
+
     /// Validates the configuration and starts the session (spawning the
     /// pipeline worker pool when pipelined).
     pub fn build(self) -> Result<Session, ConfigError> {
@@ -386,6 +399,7 @@ impl SessionBuilder {
             pipeline,
             shadow,
             faults,
+            deterministic_clock: self.deterministic_clock,
             workers,
         })
     }
@@ -416,6 +430,7 @@ pub struct Session {
     pipeline: Option<Arc<PipelineShared>>,
     shadow: Option<Arc<ShadowStore>>,
     faults: Option<FaultInjector>,
+    deterministic_clock: bool,
     workers: Vec<JoinHandle<()>>,
 }
 
@@ -486,8 +501,16 @@ impl Session {
     /// filesystem's pre-image sink. Equivalent to calling
     /// [`Vfs::register_filter`] and
     /// [`Vfs::set_shadow_sink`](cryptodrop_vfs::Vfs::set_shadow_sink)
-    /// yourself.
-    pub fn attach(&self, fs: &mut Vfs) {
+    /// yourself. A session built with
+    /// [`deterministic_clock`](SessionBuilder::deterministic_clock) also
+    /// switches the filesystem's clock policy here.
+    ///
+    /// Returns a typed [`ClockHandle`](cryptodrop_vfs::ClockHandle) onto
+    /// the attached filesystem's simulated clock, so callers pacing a
+    /// workload (or reading detection timestamps) get the clock through
+    /// the session wiring instead of raw nanosecond plumbing. Ignoring it
+    /// is fine.
+    pub fn attach(&self, fs: &mut Vfs) -> cryptodrop_vfs::ClockHandle {
         if let Some(shadow) = &self.shadow {
             fs.set_shadow_sink(Arc::clone(shadow) as _);
         }
@@ -496,7 +519,17 @@ impl Session {
             // from the same deterministic fault schedule as the pipeline.
             fs.set_fault_injector(faults.clone());
         }
+        if self.deterministic_clock {
+            fs.set_clock_policy(cryptodrop_vfs::ClockPolicy::Deterministic);
+        }
         fs.register_filter(Box::new(self.fork()));
+        fs.clock_handle()
+    }
+
+    /// Whether this session pins attached filesystems to the
+    /// deterministic clock policy.
+    pub fn is_deterministic_clock(&self) -> bool {
+        self.deterministic_clock
     }
 
     /// Rolls `family`'s destructive operations back against `fs` from the

@@ -1,0 +1,476 @@
+//! The adversarial study: evasive strategies × indicator configurations.
+//!
+//! The paper's evaluation asks "does CryptoDrop catch ransomware that
+//! behaves like ransomware?" This study asks the attacker's follow-up:
+//! *which indicator can I starve, and what does the defender lose when
+//! one is gone?* Five strategies — a Class A paper reference plus the
+//! four evasive strategies of `cryptodrop-adversarial` — run against
+//! five engine configurations:
+//!
+//! * **full** — the paper's defaults;
+//! * **minus-entropy** / **minus-similarity** / **minus-type-change** —
+//!   one primary indicator disabled (zeroed points disable scoring *and*
+//!   union participation);
+//! * **decoys-on** — the full config with the baited corpus's decoys
+//!   registered as tripwires.
+//!
+//! Every cell reports the detection rate over the seed set, the median
+//! *real* (non-decoy) files lost before suspension, and the benign
+//! false-positive count of the heavy-writer suite under that same
+//! configuration. The per-family gate at the bottom re-runs one
+//! representative of every paper family at the full config — CI fails if
+//! any family stops being detected.
+
+use cryptodrop::{Config, CryptoDrop};
+use cryptodrop_adversarial::{evasive_suite, heavy_writer_suite};
+use cryptodrop_corpus::Corpus;
+use cryptodrop_malware::paper_sample_set;
+use cryptodrop_simhash::content_fingerprint;
+use cryptodrop_vfs::{Vfs, Workload, WorkloadCtx};
+use serde::{Deserialize, Serialize};
+
+use crate::deception::real_fingerprints;
+use crate::report::{median, StudyReport, TextTable};
+
+/// One engine configuration of the ablation matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum IndicatorMode {
+    /// The paper's default configuration.
+    Full,
+    /// Entropy-delta indicator disabled.
+    MinusEntropy,
+    /// Similarity indicator disabled.
+    MinusSimilarity,
+    /// Type-change indicator disabled.
+    MinusTypeChange,
+    /// Defaults plus decoy tripwires over the baited corpus.
+    DecoysOn,
+}
+
+impl IndicatorMode {
+    /// All modes, in report order.
+    pub const ALL: [IndicatorMode; 5] = [
+        IndicatorMode::Full,
+        IndicatorMode::MinusEntropy,
+        IndicatorMode::MinusSimilarity,
+        IndicatorMode::MinusTypeChange,
+        IndicatorMode::DecoysOn,
+    ];
+
+    /// A short stable label for tables and JSON.
+    pub fn label(self) -> &'static str {
+        match self {
+            IndicatorMode::Full => "full",
+            IndicatorMode::MinusEntropy => "minus-entropy",
+            IndicatorMode::MinusSimilarity => "minus-similarity",
+            IndicatorMode::MinusTypeChange => "minus-type-change",
+            IndicatorMode::DecoysOn => "decoys-on",
+        }
+    }
+}
+
+/// Derives the engine configuration for one mode. Zeroed point values
+/// disable an indicator entirely — no score contribution and no union
+/// participation.
+fn indicator_config(base: &Config, baited: &Corpus, mode: IndicatorMode) -> Config {
+    let mut cfg = base.clone();
+    match mode {
+        IndicatorMode::Full => {}
+        IndicatorMode::MinusEntropy => cfg.score.points_entropy_delta = 0,
+        IndicatorMode::MinusSimilarity => cfg.score.points_similarity = 0,
+        IndicatorMode::MinusTypeChange => cfg.score.points_type_change = 0,
+        IndicatorMode::DecoysOn => {
+            cfg.decoy_paths = baited.decoy_paths().cloned().collect();
+        }
+    }
+    cfg
+}
+
+/// One strategy replay under one configuration and seed.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AdversarialRun {
+    /// Strategy name (from [`Workload::name`]).
+    pub strategy: String,
+    /// Engine configuration the replay ran under.
+    pub mode: IndicatorMode,
+    /// The workload seed.
+    pub seed: u64,
+    /// Any pid of the workload's plan was suspended.
+    pub detected: bool,
+    /// Union indication occurred on some pid.
+    pub union_triggered: bool,
+    /// Highest score over the pid plan.
+    pub score: u32,
+    /// Real (non-decoy) files destroyed or altered before the run ended.
+    pub real_files_lost: u32,
+    /// The strategy finished its whole plan.
+    pub completed: bool,
+}
+
+/// Aggregates of one strategy × mode cell.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StrategyCell {
+    /// Strategy name.
+    pub strategy: String,
+    /// Engine configuration.
+    pub mode: IndicatorMode,
+    /// Detected replays / total replays.
+    pub detection_rate: f64,
+    /// Median real files lost across the seed set.
+    pub median_real_files_lost: f64,
+    /// Heavy-writer suspensions under this same configuration (must be
+    /// zero everywhere).
+    pub benign_false_positives: usize,
+}
+
+/// One heavy-writer replay under one configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BenignAdversarialResult {
+    /// Application name.
+    pub name: String,
+    /// Engine configuration.
+    pub mode: IndicatorMode,
+    /// Whether any pid was suspended (a false positive).
+    pub detected: bool,
+    /// Whether the workload finished.
+    pub completed: bool,
+}
+
+/// One paper family's detection verdict at the full configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FamilyGate {
+    /// Family name.
+    pub family: String,
+    /// Whether the representative sample was suspended.
+    pub detected: bool,
+    /// Files it lost before suspension.
+    pub files_lost: u32,
+}
+
+/// The full adversarial study.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AdversarialStudy {
+    /// Per-(strategy, mode) aggregates, strategy-major in mode order.
+    pub cells: Vec<StrategyCell>,
+    /// Per-replay rows behind the aggregates.
+    pub runs: Vec<AdversarialRun>,
+    /// The heavy-writer sweep per configuration.
+    pub benign: Vec<BenignAdversarialResult>,
+    /// The per-family detection gate at the full configuration.
+    pub families: Vec<FamilyGate>,
+}
+
+/// The strategy line-up: one Class A paper reference plus the four
+/// evasive strategies.
+pub fn strategy_suite() -> Vec<Box<dyn Workload + Send + Sync>> {
+    let reference = paper_sample_set()
+        .into_iter()
+        .find(|s| s.index == 0)
+        .expect("the paper sample set is non-empty");
+    let mut suite: Vec<Box<dyn Workload + Send + Sync>> = vec![Box::new(reference)];
+    suite.extend(evasive_suite());
+    suite
+}
+
+/// Replays one workload under one configuration and audits the surviving
+/// real files.
+pub fn run_strategy(
+    baited: &Corpus,
+    base: &Config,
+    workload: &dyn Workload,
+    mode: IndicatorMode,
+    seed: u64,
+) -> AdversarialRun {
+    let mut fs = Vfs::new();
+    baited
+        .stage_into(&mut fs)
+        .expect("staging a generated corpus into an empty filesystem cannot fail");
+    let session = CryptoDrop::builder()
+        .config(indicator_config(base, baited, mode))
+        .build()
+        .expect("experiment configs are valid");
+    session.attach(&mut fs);
+    let ctx = WorkloadCtx::spawn(&mut fs, workload, baited.root(), seed);
+    workload
+        .stage(&mut fs, &ctx)
+        .expect("workload staging must succeed");
+    let outcome = workload.drive(&mut fs, &ctx);
+    session.drain();
+
+    let mut detected = false;
+    let mut union_triggered = false;
+    let mut score = 0;
+    for &pid in &ctx.pids {
+        detected |= fs.is_suspended(pid);
+        if let Some(s) = session.summary(pid) {
+            score = score.max(s.score);
+            union_triggered |= s.union_triggered;
+        }
+    }
+    let real_files_lost = real_fingerprints(baited)
+        .iter()
+        .filter(|(path, fp)| {
+            fs.admin()
+                .read_file(path)
+                .map_or(true, |data| content_fingerprint(&data) != *fp)
+        })
+        .count() as u32;
+
+    AdversarialRun {
+        strategy: workload.name(),
+        mode,
+        seed,
+        detected,
+        union_triggered,
+        score,
+        real_files_lost,
+        completed: outcome.completed,
+    }
+}
+
+/// Runs the heavy-writer suite under every configuration.
+fn run_benign_matrix(baited: &Corpus, base: &Config) -> Vec<BenignAdversarialResult> {
+    let suite = heavy_writer_suite();
+    let mut out = Vec::new();
+    for mode in IndicatorMode::ALL {
+        for (i, app) in suite.iter().enumerate() {
+            let r = run_strategy(baited, base, app.as_ref(), mode, 0xBE9 + i as u64);
+            out.push(BenignAdversarialResult {
+                name: r.strategy,
+                mode,
+                detected: r.detected,
+                completed: r.completed,
+            });
+        }
+    }
+    out
+}
+
+/// Runs one representative of every paper family at the full
+/// configuration — the detection floor CI gates on.
+fn run_family_gate(baited: &Corpus, base: &Config) -> Vec<FamilyGate> {
+    paper_sample_set()
+        .into_iter()
+        .filter(|s| s.index == 0)
+        .map(|s| {
+            let r = run_strategy(baited, base, &s, IndicatorMode::Full, s.seed());
+            FamilyGate {
+                family: s.family.name().to_string(),
+                detected: r.detected,
+                files_lost: r.real_files_lost,
+            }
+        })
+        .collect()
+}
+
+/// Runs the full matrix: every strategy × mode × seed, the benign sweep
+/// per mode, and the family gate.
+pub fn run(baited: &Corpus, base: &Config, seeds: &[u64], threads: usize) -> AdversarialStudy {
+    let strategies = strategy_suite();
+    let jobs: Vec<(usize, IndicatorMode, u64)> = (0..strategies.len())
+        .flat_map(|i| {
+            IndicatorMode::ALL
+                .into_iter()
+                .flat_map(move |m| seeds.iter().map(move |&s| (i, m, s)))
+        })
+        .collect();
+    let runs = run_matrix_parallel(baited, base, &strategies, &jobs, threads);
+    let benign = run_benign_matrix(baited, base);
+
+    let mut cells = Vec::new();
+    for strategy in strategies.iter().map(|w| w.name()) {
+        for mode in IndicatorMode::ALL {
+            let of_cell: Vec<&AdversarialRun> = runs
+                .iter()
+                .filter(|r| r.strategy == strategy && r.mode == mode)
+                .collect();
+            if of_cell.is_empty() {
+                continue;
+            }
+            let losses: Vec<u32> = of_cell.iter().map(|r| r.real_files_lost).collect();
+            let detected = of_cell.iter().filter(|r| r.detected).count();
+            let fps = benign
+                .iter()
+                .filter(|b| b.mode == mode && b.detected)
+                .count();
+            cells.push(StrategyCell {
+                strategy: strategy.clone(),
+                mode,
+                detection_rate: detected as f64 / of_cell.len() as f64,
+                median_real_files_lost: median(&losses).unwrap_or(0.0),
+                benign_false_positives: fps,
+            });
+        }
+    }
+
+    let families = run_family_gate(baited, base);
+    AdversarialStudy {
+        cells,
+        runs,
+        benign,
+        families,
+    }
+}
+
+/// Runs (strategy, mode, seed) jobs across worker threads, preserving
+/// job order.
+fn run_matrix_parallel(
+    baited: &Corpus,
+    base: &Config,
+    strategies: &[Box<dyn Workload + Send + Sync>],
+    jobs: &[(usize, IndicatorMode, u64)],
+    threads: usize,
+) -> Vec<AdversarialRun> {
+    let threads = threads.max(1);
+    if threads == 1 || jobs.len() <= 1 {
+        return jobs
+            .iter()
+            .map(|&(i, mode, seed)| run_strategy(baited, base, strategies[i].as_ref(), mode, seed))
+            .collect();
+    }
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let slots: Vec<std::sync::Mutex<Option<AdversarialRun>>> =
+        jobs.iter().map(|_| std::sync::Mutex::new(None)).collect();
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|_| loop {
+                let j = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if j >= jobs.len() {
+                    break;
+                }
+                let (i, mode, seed) = jobs[j];
+                let r = run_strategy(baited, base, strategies[i].as_ref(), mode, seed);
+                *slots[j].lock().expect("no poisoning: workers do not panic") = Some(r);
+            });
+        }
+    })
+    .expect("worker threads do not panic");
+    slots
+        .into_iter()
+        .map(|m| m.into_inner().expect("not poisoned").expect("all slots filled"))
+        .collect()
+}
+
+impl AdversarialStudy {
+    /// Whether every paper family is still detected at the full
+    /// configuration — the CI detection floor.
+    pub fn all_families_detected(&self) -> bool {
+        !self.families.is_empty() && self.families.iter().all(|f| f.detected)
+    }
+
+    /// Heavy-writer suspensions across every configuration (must be 0).
+    pub fn benign_false_positives(&self) -> usize {
+        self.benign.iter().filter(|b| b.detected).count()
+    }
+
+    /// Wraps the study in the shared schema-versioned envelope
+    /// (`results/adversarial.json`).
+    pub fn report(&self) -> StudyReport {
+        StudyReport::new("adversarial", 1)
+            .param("strategies", self.cells.len() / IndicatorMode::ALL.len().max(1))
+            .param("modes", IndicatorMode::ALL.len())
+            .param("families", self.families.len())
+            .body(self)
+    }
+
+    /// Renders the matrix, the benign verdict, and the family gate.
+    pub fn render(&self) -> String {
+        let mut t = TextTable::new([
+            "Strategy",
+            "Config",
+            "Detection",
+            "Median real files lost",
+            "Benign FPs",
+        ]);
+        for c in &self.cells {
+            t.row([
+                c.strategy.clone(),
+                c.mode.label().to_string(),
+                format!("{:.0}%", 100.0 * c.detection_rate),
+                format!("{:.1}", c.median_real_files_lost),
+                c.benign_false_positives.to_string(),
+            ]);
+        }
+        let undetected: Vec<&str> = self
+            .families
+            .iter()
+            .filter(|f| !f.detected)
+            .map(|f| f.family.as_str())
+            .collect();
+        let mut out = String::from("Adversarial study — evasive strategies vs indicator ablations\n\n");
+        out.push_str(&t.render());
+        out.push_str(&format!(
+            "\nBenign heavy-writers: {} false positives across {} runs\n",
+            self.benign_false_positives(),
+            self.benign.len()
+        ));
+        out.push_str(&format!(
+            "Family gate (full config): {}/{} detected{}\n",
+            self.families.iter().filter(|f| f.detected).count(),
+            self.families.len(),
+            if undetected.is_empty() {
+                String::new()
+            } else {
+                format!(" — MISSING: {}", undetected.join(", "))
+            }
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::deception::bait_corpus;
+    use cryptodrop_corpus::CorpusSpec;
+
+    fn small() -> (Corpus, Config) {
+        let spec = CorpusSpec::sized(200, 30);
+        let corpus = Corpus::generate(&spec);
+        let baited = bait_corpus(&corpus, &spec);
+        let config = Config::protecting(baited.root().as_str());
+        (baited, config)
+    }
+
+    #[test]
+    fn matrix_covers_every_cell_and_gates_hold() {
+        let (baited, config) = small();
+        let study = run(&baited, &config, &[1], 2);
+        let strategies = strategy_suite().len();
+        assert_eq!(study.cells.len(), strategies * IndicatorMode::ALL.len());
+        assert!(study.all_families_detected(), "{}", study.render());
+        assert_eq!(study.benign_false_positives(), 0, "{}", study.render());
+        // The Class A reference is caught under every configuration:
+        // dropping a single indicator must not blind the detector.
+        let reference = strategy_suite()[0].name();
+        for c in study.cells.iter().filter(|c| c.strategy == reference) {
+            assert!(
+                c.detection_rate > 0.99,
+                "reference evaded {} cell",
+                c.mode.label()
+            );
+        }
+        let report = study.report();
+        assert_eq!(report.study(), "adversarial");
+    }
+
+    #[test]
+    fn decoys_cut_losses_for_whole_tree_strategies() {
+        let (baited, config) = small();
+        let study = run(&baited, &config, &[7], 2);
+        // For the reference sample, decoy tripwires stop the attack no
+        // later than the scoreboard does.
+        let reference = strategy_suite()[0].name();
+        let full = study
+            .cells
+            .iter()
+            .find(|c| c.strategy == reference && c.mode == IndicatorMode::Full)
+            .unwrap();
+        let decoys = study
+            .cells
+            .iter()
+            .find(|c| c.strategy == reference && c.mode == IndicatorMode::DecoysOn)
+            .unwrap();
+        assert!(decoys.median_real_files_lost <= full.median_real_files_lost);
+    }
+}

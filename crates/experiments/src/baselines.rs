@@ -10,9 +10,7 @@ use cryptodrop::{Config, CryptoDrop, EntropyOnlyDetector, IntegrityMonitor};
 use cryptodrop_benign::BenignApp;
 use cryptodrop_corpus::Corpus;
 use cryptodrop_malware::RansomwareSample;
-use cryptodrop_vfs::Vfs;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use cryptodrop_vfs::{Vfs, Workload, WorkloadCtx};
 use serde::{Deserialize, Serialize};
 
 use crate::report::{median, TextTable};
@@ -118,8 +116,8 @@ pub fn run(
                 let mut fs = Vfs::new();
                 corpus.stage_into(&mut fs).expect("fresh filesystem");
                 detector.arm(&mut fs, config);
-                let pid = fs.spawn_process(sample.process_name());
-                let outcome = sample.run(&mut fs, pid, corpus.root());
+                let outcome =
+                    cryptodrop_vfs::drive_workload(&mut fs, sample, corpus.root(), sample.seed());
                 if !outcome.completed {
                     stopped += 1;
                 }
@@ -129,12 +127,10 @@ pub fn run(
             for (i, app) in apps.iter().enumerate() {
                 let mut fs = Vfs::new();
                 corpus.stage_into(&mut fs).expect("fresh filesystem");
-                let mut rng = StdRng::seed_from_u64(0xBA5E + i as u64);
-                app.stage(&mut fs, corpus.root(), &mut rng).expect("staging");
                 detector.arm(&mut fs, config);
-                let pid = fs.spawn_process(app.executable());
-                let _ = app.run(&mut fs, pid, corpus.root(), &mut rng);
-                if fs.is_suspended(pid) {
+                let ctx = WorkloadCtx::spawn(&mut fs, app, corpus.root(), 0xBA5E + i as u64);
+                let _ = app.drive(&mut fs, &ctx);
+                if fs.is_suspended(ctx.pid()) {
                     benign_flagged += 1;
                 }
             }

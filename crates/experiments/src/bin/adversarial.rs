@@ -1,0 +1,40 @@
+//! Runs the adversarial study: the evasive strategy suite against the
+//! indicator-ablation matrix, the benign heavy-writer sweep, and the
+//! per-family detection gate.
+//!
+//! Exits nonzero if any paper family goes undetected at the full
+//! configuration or any heavy-writer is suspended — CI uses this as the
+//! detection-floor gate.
+//!
+//! Usage: `adversarial [--quick]`
+
+use cryptodrop_experiments::adversarial::run;
+use cryptodrop_experiments::deception::bait_corpus;
+use cryptodrop_experiments::Scale;
+
+fn main() {
+    let scale = Scale::from_args();
+    let quick = scale.sample_cap.is_some();
+    let baited = bait_corpus(&scale.corpus(), &scale.corpus_spec);
+    let config = scale.config();
+    let seeds: &[u64] = if quick { &[1, 2, 3] } else { &[1, 2, 3, 4, 5] };
+    let study = run(&baited, &config, seeds, scale.threads);
+    println!("{}", study.render());
+    study.report().param("seeds", seeds.len()).write();
+
+    let mut failed = false;
+    if !study.all_families_detected() {
+        eprintln!("GATE FAILED: a paper family went undetected at the full config");
+        failed = true;
+    }
+    if study.benign_false_positives() != 0 {
+        eprintln!(
+            "GATE FAILED: {} benign heavy-writer suspension(s) at default thresholds",
+            study.benign_false_positives()
+        );
+        failed = true;
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

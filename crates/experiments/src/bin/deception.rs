@@ -6,7 +6,7 @@
 
 use cryptodrop_benign::fig6_apps;
 use cryptodrop_experiments::deception::{bait_corpus, run};
-use cryptodrop_experiments::{write_json, Scale};
+use cryptodrop_experiments::Scale;
 
 fn main() {
     let scale = Scale::from_args();
@@ -15,5 +15,5 @@ fn main() {
     let samples: Vec<_> = scale.samples().into_iter().filter(|s| s.index == 0).collect();
     let study = run(&baited, &config, &samples, &fig6_apps(), scale.threads);
     println!("{}", study.render());
-    write_json("deception", &study);
+    study.report().param("samples", samples.len()).write();
 }

@@ -5,7 +5,7 @@
 
 use cryptodrop::ShadowConfig;
 use cryptodrop_experiments::recovery::run;
-use cryptodrop_experiments::{write_json, Scale};
+use cryptodrop_experiments::Scale;
 
 fn main() {
     let scale = Scale::from_args();
@@ -22,5 +22,5 @@ fn main() {
         scale.threads,
     );
     println!("{}", study.render());
-    write_json("recovery", &study);
+    study.report().param("samples", samples.len()).write();
 }

@@ -88,7 +88,7 @@ fn main() {
         scale.threads,
     );
     println!("\n{}", roc.render());
-    write_json("roc", &roc);
+    roc.report().write();
 
     let rec = cryptodrop_experiments::recovery::run(
         &corpus,
@@ -99,7 +99,12 @@ fn main() {
         scale.threads,
     );
     println!("\n{}", rec.render());
-    write_json("recovery", &rec);
+    rec.report().write();
+
+    let baited = cryptodrop_experiments::deception::bait_corpus(&corpus, &scale.corpus_spec);
+    let adv = cryptodrop_experiments::adversarial::run(&baited, &config, &[1, 2, 3], scale.threads);
+    println!("\n{}", adv.render());
+    adv.report().param("seeds", 3u32).write();
 
     eprintln!("total wall time {:.1}s", t0.elapsed().as_secs_f64());
 }

@@ -23,12 +23,10 @@ use cryptodrop_benign::BenignApp;
 use cryptodrop_corpus::{Corpus, CorpusSpec};
 use cryptodrop_malware::RansomwareSample;
 use cryptodrop_simhash::content_fingerprint;
-use cryptodrop_vfs::{VPath, Vfs};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use cryptodrop_vfs::{VPath, Vfs, Workload, WorkloadCtx};
 use serde::{Deserialize, Serialize};
 
-use crate::report::{median, TextTable};
+use crate::report::{median, StudyReport, TextTable};
 
 /// Which layers of the active defense are armed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -131,7 +129,7 @@ pub struct DeceptionStudy {
 }
 
 /// Fingerprints of the real (non-decoy) corpus files as staged.
-fn real_fingerprints(baited: &Corpus) -> Vec<(&VPath, u64)> {
+pub(crate) fn real_fingerprints(baited: &Corpus) -> Vec<(&VPath, u64)> {
     baited
         .files()
         .iter()
@@ -178,8 +176,9 @@ pub fn run_sample_defended(
         .build()
         .expect("experiment configs are valid");
     session.attach(&mut fs);
-    let pid = fs.spawn_process(sample.process_name());
-    sample.run(&mut fs, pid, baited.root());
+    let ctx = WorkloadCtx::spawn(&mut fs, sample, baited.root(), sample.seed());
+    let pid = ctx.pid();
+    sample.drive(&mut fs, &ctx);
 
     let detected = fs.is_suspended(pid);
     let report = session.detection_for(pid);
@@ -220,20 +219,17 @@ fn run_benign_sweep(
             baited
                 .stage_into(&mut fs)
                 .expect("staging a generated corpus into an empty filesystem cannot fail");
-            let mut rng = StdRng::seed_from_u64(0xDEC0 + i as u64);
-            app.stage(&mut fs, baited.root(), &mut rng)
-                .expect("benign staging cannot collide with the corpus");
             let session = CryptoDrop::builder()
                 .config(mode_config(base, baited, DefenseMode::DecoysThrottle))
                 .build()
                 .expect("experiment configs are valid");
             session.attach(&mut fs);
-            let pid = fs.spawn_process(app.executable());
-            let run = app.run(&mut fs, pid, baited.root(), &mut rng);
+            let ctx = WorkloadCtx::spawn(&mut fs, app, baited.root(), 0xDEC0 + i as u64);
+            let out = app.drive(&mut fs, &ctx);
             BenignDecoyResult {
-                name: app.name().to_string(),
-                detected: fs.is_suspended(pid),
-                completed: run.is_ok(),
+                name: Workload::name(app),
+                detected: fs.is_suspended(ctx.pid()),
+                completed: out.completed,
             }
         })
         .collect()
@@ -356,6 +352,15 @@ impl DeceptionStudy {
         self.mode_losses(DefenseMode::DecoysThrottle)
             .iter()
             .all(|(family, loss)| base.get(family).is_none_or(|b| loss <= b))
+    }
+
+    /// Wraps the study in the shared schema-versioned envelope
+    /// (`results/deception.json`).
+    pub fn report(&self) -> StudyReport {
+        StudyReport::new("deception", 1)
+            .param("decoy_count", self.decoy_count)
+            .param("samples", self.runs.len() / DefenseMode::ALL.len().max(1))
+            .body(self)
     }
 
     /// Renders the per-family table and the benign verdict.

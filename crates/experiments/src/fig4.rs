@@ -75,8 +75,10 @@ pub fn run(corpus: &Corpus, config: &Config, families: &[Family]) -> Fig4 {
             .build()
             .expect("experiment configs are valid");
         fs.register_filter(Box::new(session.fork()));
-        let pid = fs.spawn_process(sample.process_name());
-        sample.run(&mut fs, pid, corpus.root());
+        let ctx =
+            cryptodrop_vfs::WorkloadCtx::spawn(&mut fs, sample, corpus.root(), sample.seed());
+        let pid = ctx.pid();
+        cryptodrop_vfs::Workload::drive(sample, &mut fs, &ctx);
 
         let root = corpus.root();
         let mut touch_order: Vec<String> = Vec::new();

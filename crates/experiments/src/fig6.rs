@@ -13,7 +13,7 @@ use cryptodrop_corpus::Corpus;
 use serde::{Deserialize, Serialize};
 
 use crate::report::TextTable;
-use crate::runner::{run_app, AppResult};
+use crate::runner::{run_workload, AppResult};
 
 /// The paper's final scores for the five Fig. 6 applications.
 pub const PAPER_SCORES: [(&str, u32); 5] = [
@@ -63,7 +63,7 @@ pub fn run(corpus: &Corpus, base: &Config, apps: &[Box<dyn BenignApp>]) -> Fig6 
     let scores: Vec<AppResult> = apps
         .iter()
         .enumerate()
-        .map(|(i, app)| run_app(corpus, &unbounded, app.as_ref(), 0xF16 + i as u64))
+        .map(|(i, app)| AppResult::from(run_workload(corpus, &unbounded, app, 0xF16 + i as u64)))
         .collect();
 
     let sweep: Vec<SweepPoint> = (0..=400)

@@ -16,7 +16,7 @@ use cryptodrop_malware::RansomwareSample;
 use serde::{Deserialize, Serialize};
 
 use crate::report::{median, TextTable};
-use crate::runner::{run_app, run_samples_parallel};
+use crate::runner::{run_samples_parallel, run_workload};
 
 /// One isolated-indicator configuration.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -102,7 +102,7 @@ pub fn run(
         let losses: Vec<u32> = detected.iter().map(|r| r.files_lost).collect();
         let mut benign_flagged = 0;
         for (i, app) in apps.iter().enumerate() {
-            let r = run_app(corpus, &config, app.as_ref(), 0x150 + i as u64);
+            let r = run_workload(corpus, &config, app, 0x150 + i as u64);
             if r.detected {
                 benign_flagged += 1;
             }

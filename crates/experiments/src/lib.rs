@@ -15,6 +15,7 @@
 //! | [`roc`] | the threshold operating curve behind the paper's 200 (§V-A/§V-F) |
 //! | [`recovery`] | the "Drop It" study: data saved vs detection threshold |
 //! | [`deception`] | the active-defense study: decoy tripwires + reputation throttling |
+//! | [`adversarial`] | evasive strategies × indicator ablations + benign heavy-writer FP sweep |
 //! | [`telemetry`] | instrumented runs: metric/journal harvests + detection audit trails |
 //!
 //! Each experiment runs at a [`Scale`]: [`Scale::paper`] uses the full
@@ -25,6 +26,7 @@
 #![warn(missing_docs)]
 
 pub mod ablation;
+pub mod adversarial;
 pub mod baselines;
 pub mod deception;
 pub mod fig3;

@@ -98,8 +98,7 @@ pub fn run(corpus: &Corpus, config: &Config) -> PerfTable {
         .into_iter()
         .find(|s| s.family == Family::TeslaCrypt)
         .expect("TeslaCrypt exists");
-    let mal = fs.spawn_process(sample.process_name());
-    sample.run(&mut fs, mal, &root);
+    cryptodrop_vfs::drive_workload(&mut fs, &sample, &root, sample.seed());
 
     let rows = OpKind::ALL
         .iter()

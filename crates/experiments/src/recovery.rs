@@ -17,10 +17,10 @@ use cryptodrop::{Config, CryptoDrop, ScoreConfig, ShadowConfig};
 use cryptodrop_corpus::Corpus;
 use cryptodrop_malware::RansomwareSample;
 use cryptodrop_simhash::content_fingerprint;
-use cryptodrop_vfs::{VPath, Vfs};
+use cryptodrop_vfs::{VPath, Vfs, Workload, WorkloadCtx};
 use serde::{Deserialize, Serialize};
 
-use crate::report::{median, TextTable};
+use crate::report::{median, StudyReport, TextTable};
 
 /// One sample replayed with recovery armed.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -104,8 +104,9 @@ pub fn run_sample_recovered(
         .build()
         .expect("experiment configs are valid");
     session.attach(&mut fs);
-    let pid = fs.spawn_process(sample.process_name());
-    sample.run(&mut fs, pid, corpus.root());
+    let ctx = WorkloadCtx::spawn(&mut fs, sample, corpus.root(), sample.seed());
+    let pid = ctx.pid();
+    sample.drive(&mut fs, &ctx);
 
     let detected = fs.is_suspended(pid);
     let report = session.detection_for(pid);
@@ -224,6 +225,15 @@ fn run_recovered_parallel(
 }
 
 impl RecoveryStudy {
+    /// Wraps the study in the shared schema-versioned envelope
+    /// (`results/recovery.json`).
+    pub fn report(&self) -> StudyReport {
+        StudyReport::new("recovery", 1)
+            .param("thresholds", self.points.len())
+            .param("byte_budget", self.byte_budget)
+            .body(self)
+    }
+
     /// Renders the curve: what the threshold costs in exposure, and what
     /// the shadow store buys back.
     pub fn render(&self) -> String {

@@ -1,5 +1,101 @@
-//! Plain-text table rendering and small statistics helpers shared by the
-//! experiment reports.
+//! Plain-text table rendering, small statistics helpers, and the
+//! schema-versioned [`StudyReport`] envelope shared by the experiment
+//! reports.
+
+use serde::ser::Value;
+use serde::Serialize;
+
+/// The schema-versioned envelope every study artifact under `results/`
+/// shares.
+///
+/// Every JSON artifact carries the same three top-level fields:
+///
+/// * `schema` — `{ "study": <name>, "version": <u32> }`, so downstream
+///   readers (the CI gates, plotting scripts) can dispatch without
+///   guessing from file names and detect breaking field changes;
+/// * `params` — the inputs that shaped the run (corpus size, sample
+///   count, threads), in insertion order;
+/// * `body` — the study's own result structure, unchanged.
+///
+/// Bump the version whenever a field in the body changes meaning or
+/// disappears; adding fields is compatible.
+///
+/// # Examples
+///
+/// ```
+/// use cryptodrop_experiments::report::StudyReport;
+///
+/// let report = StudyReport::new("demo", 1)
+///     .param("samples", 492u32)
+///     .body(&vec![1u32, 2, 3]);
+/// let json = serde_json::to_string(&report).unwrap();
+/// assert!(json.starts_with("{\"schema\":{\"study\":\"demo\",\"version\":1}"));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct StudyReport {
+    study: String,
+    version: u32,
+    params: Vec<(String, Value)>,
+    body: Value,
+}
+
+impl StudyReport {
+    /// Starts an envelope for the named study at the given schema
+    /// version. The name doubles as the artifact file name
+    /// (`results/<study>.json`).
+    pub fn new(study: impl Into<String>, version: u32) -> Self {
+        Self {
+            study: study.into(),
+            version,
+            params: Vec::new(),
+            body: Value::Null,
+        }
+    }
+
+    /// Records one run parameter (kept in insertion order).
+    pub fn param(mut self, key: impl Into<String>, value: impl Serialize) -> Self {
+        self.params.push((key.into(), value.to_value()));
+        self
+    }
+
+    /// Sets the study's result structure.
+    pub fn body(mut self, body: &impl Serialize) -> Self {
+        self.body = body.to_value();
+        self
+    }
+
+    /// The study name (and artifact base name).
+    pub fn study(&self) -> &str {
+        &self.study
+    }
+
+    /// The schema version.
+    pub fn version(&self) -> u32 {
+        self.version
+    }
+
+    /// Writes the envelope to `results/<study>.json` (best effort, like
+    /// [`write_json`](crate::write_json)).
+    pub fn write(&self) {
+        crate::write_json(&self.study, self);
+    }
+}
+
+impl Serialize for StudyReport {
+    fn to_value(&self) -> Value {
+        Value::Map(vec![
+            (
+                "schema".into(),
+                Value::Map(vec![
+                    ("study".into(), Value::String(self.study.clone())),
+                    ("version".into(), Value::UInt(u64::from(self.version))),
+                ]),
+            ),
+            ("params".into(), Value::Map(self.params.clone())),
+            ("body".into(), self.body.clone()),
+        ])
+    }
+}
 
 /// An aligned plain-text table.
 #[derive(Debug, Clone, Default)]
@@ -126,6 +222,23 @@ mod tests {
         assert_eq!(median(&[1, 2, 3, 4]), Some(2.5));
         assert_eq!(median(&[]), None);
         assert_eq!(median(&[10, 0, 10, 0]), Some(5.0));
+    }
+
+    #[test]
+    fn study_report_envelope_shape() {
+        let report = StudyReport::new("unit", 3)
+            .param("files", 800u32)
+            .param("quick", true)
+            .body(&"payload");
+        assert_eq!(report.study(), "unit");
+        assert_eq!(report.version(), 3);
+        let json = serde_json::to_string(&report).unwrap();
+        assert_eq!(
+            json,
+            "{\"schema\":{\"study\":\"unit\",\"version\":3},\
+             \"params\":{\"files\":800,\"quick\":true},\
+             \"body\":\"payload\"}"
+        );
     }
 
     #[test]

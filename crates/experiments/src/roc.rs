@@ -15,8 +15,8 @@ use cryptodrop_corpus::Corpus;
 use cryptodrop_malware::RansomwareSample;
 use serde::{Deserialize, Serialize};
 
-use crate::report::{median, TextTable};
-use crate::runner::{run_app, run_samples_parallel};
+use crate::report::{median, StudyReport, TextTable};
+use crate::runner::{run_samples_parallel, run_workload};
 
 /// One operating point of the sweep.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -66,7 +66,7 @@ pub fn run(
     let benign_scores: Vec<u32> = apps
         .iter()
         .enumerate()
-        .map(|(i, app)| run_app(corpus, &unbounded, app.as_ref(), 0x40C + i as u64).score)
+        .map(|(i, app)| run_workload(corpus, &unbounded, app, 0x40C + i as u64).score)
         .collect();
 
     let points = thresholds
@@ -104,6 +104,15 @@ pub fn run(
 }
 
 impl RocStudy {
+    /// Wraps the study in the shared schema-versioned envelope
+    /// (`results/roc.json`).
+    pub fn report(&self) -> StudyReport {
+        StudyReport::new("roc", 1)
+            .param("thresholds", self.points.len())
+            .param("paper_threshold", self.paper_threshold)
+            .body(self)
+    }
+
     /// Renders the curve as a table with the paper's operating point
     /// marked.
     pub fn render(&self) -> String {

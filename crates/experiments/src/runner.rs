@@ -4,12 +4,9 @@
 use std::collections::BTreeSet;
 
 use cryptodrop::{Config, CryptoDrop, PipelineConfig, Telemetry};
-use cryptodrop_benign::BenignApp;
 use cryptodrop_corpus::Corpus;
 use cryptodrop_malware::{BehaviorClass, RansomwareSample};
-use cryptodrop_vfs::{EventDetail, FileId, Vfs, VPath};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use cryptodrop_vfs::{EventDetail, FileId, Vfs, VPath, Workload, WorkloadCtx, WorkloadOutcome};
 use serde::{Deserialize, Serialize};
 
 /// The result of running one ransomware sample against a fresh corpus.
@@ -103,9 +100,10 @@ fn run_sample_inner(
     let session = builder.build().expect("experiment configs are valid");
     let monitor = session.monitor();
     fs.register_filter(Box::new(session.fork()));
-    let pid = fs.spawn_process(sample.process_name());
+    let ctx = WorkloadCtx::spawn(&mut fs, sample, corpus.root(), sample.seed());
+    let pid = ctx.pid();
 
-    let outcome = sample.run(&mut fs, pid, corpus.root());
+    let outcome = sample.drive(&mut fs, &ctx);
     // Settle any still-queued analysis before reading results. `detected`
     // deliberately stays "did the VFS suspend the sample mid-run" in every
     // mode — reconciliation of lagged detections is the embedder's call
@@ -131,7 +129,7 @@ fn run_sample_inner(
         union_triggered: summary.as_ref().map(|s| s.union_triggered).unwrap_or(false),
         read_only_skipped: outcome.read_only_skipped,
         completed: outcome.completed,
-        files_attacked: outcome.files_attacked,
+        files_attacked: outcome.files_touched,
         extensions_accessed,
         dirs_touched,
     };
@@ -194,12 +192,23 @@ pub struct AppResult {
 /// armed, returning its final score.
 ///
 /// `seed` drives the app's content generation deterministically.
-pub fn run_app(corpus: &Corpus, config: &Config, app: &dyn BenignApp, seed: u64) -> AppResult {
+#[cfg(feature = "legacy-api")]
+#[deprecated(
+    note = "drive the app through the `Workload` trait instead: \
+            `run_workload(corpus, config, &boxed_app, seed)`"
+)]
+pub fn run_app(
+    corpus: &Corpus,
+    config: &Config,
+    app: &dyn cryptodrop_benign::BenignApp,
+    seed: u64,
+) -> AppResult {
+    use rand::SeedableRng;
     let mut fs = Vfs::new();
     corpus
         .stage_into(&mut fs)
         .expect("staging a generated corpus into an empty filesystem cannot fail");
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
     app.stage(&mut fs, corpus.root(), &mut rng)
         .expect("benign staging cannot collide with the corpus");
     let session = CryptoDrop::builder()
@@ -219,6 +228,103 @@ pub fn run_app(corpus: &Corpus, config: &Config, app: &dyn BenignApp, seed: u64)
         detected,
         union_triggered: summary.as_ref().map(|s| s.union_triggered).unwrap_or(false),
         completed: run.is_ok(),
+    }
+}
+
+/// The result of driving one [`Workload`] — attacker or benign — on a fresh
+/// corpus with CryptoDrop armed. This is the actor-agnostic counterpart of
+/// [`SampleResult`]/[`AppResult`]: every metric aggregates over the
+/// workload's whole pid plan, so multi-process actors (collusion attacks)
+/// report honestly.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WorkloadRunResult {
+    /// The workload's display name.
+    pub name: String,
+    /// Whether *any* of the workload's processes was suspended.
+    pub detected: bool,
+    /// How many of the workload's processes were suspended.
+    pub suspended_pids: u32,
+    /// The highest reputation score across the workload's processes.
+    pub score: u32,
+    /// Whether union indication occurred for any of its processes.
+    pub union_triggered: bool,
+    /// Files lost before detection, per the engine's own accounting
+    /// (maximum over the workload's processes; the adversarial study
+    /// re-audits ground truth by fingerprint instead).
+    pub files_lost: u32,
+    /// What the workload reported about its own run.
+    pub outcome: WorkloadOutcome,
+}
+
+/// Drives one [`Workload`] against a freshly staged corpus with CryptoDrop
+/// armed — the uniform entry point for samples, evasive strategies, and
+/// benign applications alike.
+pub fn run_workload(
+    corpus: &Corpus,
+    config: &Config,
+    workload: &dyn Workload,
+    seed: u64,
+) -> WorkloadRunResult {
+    let mut fs = Vfs::new();
+    corpus
+        .stage_into(&mut fs)
+        .expect("staging a generated corpus into an empty filesystem cannot fail");
+    let session = CryptoDrop::builder()
+        .config(config.clone())
+        .build()
+        .expect("experiment configs are valid");
+    session.attach(&mut fs);
+    let ctx = WorkloadCtx::spawn(&mut fs, workload, corpus.root(), seed);
+    workload.stage(&mut fs, &ctx).expect("workload staging must succeed");
+    let outcome = workload.drive(&mut fs, &ctx);
+    session.drain();
+    summarize_workload(&fs, &session, workload.name(), &ctx.pids, outcome)
+}
+
+/// Aggregates per-pid engine verdicts into a [`WorkloadRunResult`] so
+/// multi-process workloads report over their whole pid plan.
+pub(crate) fn summarize_workload(
+    fs: &Vfs,
+    session: &cryptodrop::Session,
+    name: String,
+    pids: &[cryptodrop_vfs::ProcessId],
+    outcome: WorkloadOutcome,
+) -> WorkloadRunResult {
+    let mut result = WorkloadRunResult {
+        name,
+        detected: false,
+        suspended_pids: 0,
+        score: 0,
+        union_triggered: false,
+        files_lost: 0,
+        outcome,
+    };
+    for &pid in pids {
+        if fs.is_suspended(pid) {
+            result.detected = true;
+            result.suspended_pids += 1;
+        }
+        if let Some(s) = session.summary(pid) {
+            result.score = result.score.max(s.score);
+            result.union_triggered |= s.union_triggered;
+            result.files_lost = result.files_lost.max(s.files_lost);
+        }
+        if let Some(r) = session.detection_for(pid) {
+            result.files_lost = result.files_lost.max(r.files_lost);
+        }
+    }
+    result
+}
+
+impl From<WorkloadRunResult> for AppResult {
+    fn from(r: WorkloadRunResult) -> Self {
+        AppResult {
+            name: r.name,
+            score: r.score,
+            detected: r.detected,
+            union_triggered: r.union_triggered,
+            completed: r.outcome.completed,
+        }
     }
 }
 
@@ -287,12 +393,30 @@ mod tests {
     fn benign_run_reports_score() {
         let corpus = quick_corpus();
         let config = Config::protecting(corpus.root().as_str());
-        let app = cryptodrop_benign::Word;
-        let r = run_app(&corpus, &config, &app, 5);
+        let app: Box<dyn cryptodrop_benign::BenignApp> = Box::new(cryptodrop_benign::Word);
+        let r = run_workload(&corpus, &config, &app, 5);
         assert!(!r.detected, "{r:?}");
-        assert!(r.completed);
+        assert!(r.outcome.completed);
         assert!(r.score < 50, "Word scored {}", r.score);
         assert!(!r.union_triggered);
+    }
+
+    #[test]
+    fn workload_run_matches_sample_run() {
+        let corpus = quick_corpus();
+        let config = Config::protecting(corpus.root().as_str());
+        let sample = paper_sample_set()
+            .into_iter()
+            .find(|s| s.family == cryptodrop_malware::Family::TeslaCrypt)
+            .unwrap();
+        let s = run_sample(&corpus, &config, &sample);
+        let w = run_workload(&corpus, &config, &sample, sample.seed());
+        assert_eq!(w.detected, s.detected);
+        assert_eq!(w.score, s.score);
+        assert_eq!(w.union_triggered, s.union_triggered);
+        assert_eq!(w.files_lost, s.files_lost);
+        assert_eq!(w.outcome.completed, s.completed);
+        assert_eq!(w.outcome.files_touched, s.files_attacked);
     }
 
     /// The acceptance gate for the async pipeline: Table I replayed

@@ -158,6 +158,11 @@ pub struct TenantSpec {
     /// Disables this tenant's telemetry sink (probes become no-ops and
     /// the tenant contributes nothing to rollups).
     pub quiet: bool,
+    /// Pins the tenant's simulated clock to the deterministic policy:
+    /// measured filter overhead is ledgered but never folded into
+    /// `at_nanos`, so timestamps become a pure function of the op
+    /// sequence (reproducible across machines and runs).
+    pub deterministic_clock: bool,
 }
 
 impl TenantSpec {
@@ -184,6 +189,12 @@ impl TenantSpec {
     /// Arms a deterministic fault plan.
     pub fn faults(mut self, plan: FaultPlan) -> Self {
         self.faults = Some(plan);
+        self
+    }
+
+    /// Pins this tenant's simulated clock to the deterministic policy.
+    pub fn deterministic_clock(mut self) -> Self {
+        self.deterministic_clock = true;
         self
     }
 }
@@ -272,6 +283,19 @@ impl Tenant {
     /// Whether the fleet has administratively suspended this tenant.
     pub fn is_suspended(&self) -> bool {
         self.suspended
+    }
+
+    /// Drives a [`Workload`](cryptodrop_vfs::Workload) — an attack
+    /// sample, an evasive strategy, or a benign application — inside this
+    /// tenant's namespace, spawning its pid plan and returning what the
+    /// workload reported.
+    pub fn drive_workload(
+        &mut self,
+        workload: &dyn cryptodrop_vfs::Workload,
+        root: &VPath,
+        seed: u64,
+    ) -> cryptodrop_vfs::WorkloadOutcome {
+        cryptodrop_vfs::drive_workload(&mut self.fs, workload, root, seed)
     }
 }
 
@@ -436,6 +460,9 @@ impl Fleet {
         }
         if let Some(plan) = spec.faults {
             builder = builder.faults(plan);
+        }
+        if spec.deterministic_clock {
+            builder = builder.deterministic_clock();
         }
         let session = builder.build()?;
 

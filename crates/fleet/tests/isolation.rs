@@ -126,11 +126,14 @@ fn replay_trace(fs: &mut Vfs, tenant: u32) {
 /// Everything observable about one tenant after trace + restore, in a
 /// directly comparable shape.
 ///
-/// Timestamps are zeroed before comparison: the VFS charges *measured*
-/// filter overhead into its simulated clock (paper §V-H accounting), so
-/// `at_nanos`-family fields legitimately vary run to run. Everything
-/// else — scores, indicators, order of entries, files lost, restore
-/// actions, final bytes — must match exactly.
+/// Both sides run under the deterministic clock policy
+/// ([`TenantSpec::deterministic_clock`] /
+/// [`SessionBuilder::deterministic_clock`](cryptodrop::SessionBuilder)),
+/// which ledgers measured filter overhead without folding it into the
+/// simulated clock — so every `at_nanos`-family timestamp is a pure
+/// function of the op sequence and is compared *exactly*, timestamps
+/// included. Only `restore_nanos` is zeroed: it measures genuine
+/// wall-clock restore latency, not simulated time.
 #[derive(Debug, PartialEq)]
 struct Outcome {
     detections: Vec<DetectionReport>,
@@ -142,23 +145,15 @@ struct Outcome {
 fn capture_outcome(session: &Session, fs: &mut Vfs) -> Outcome {
     let mut restores = session.reconcile_and_restore(fs);
     for r in &mut restores {
+        // Genuine wall-clock restore latency — the one legitimately
+        // nondeterministic field.
         r.restore_nanos = 0;
     }
-    let mut detections = session.detections();
-    let mut audits: Vec<Option<AuditTrail>> = detections
+    let detections = session.detections();
+    let audits: Vec<Option<AuditTrail>> = detections
         .iter()
         .map(|d| session.audit_trail(d.pid))
         .collect();
-    for d in &mut detections {
-        d.at_nanos = 0;
-    }
-    for trail in audits.iter_mut().flatten() {
-        trail.union_at_nanos = trail.union_at_nanos.map(|_| 0);
-        trail.suspended_at_nanos = trail.suspended_at_nanos.map(|_| 0);
-        for e in &mut trail.entries {
-            e.at_nanos = 0;
-        }
-    }
     let mut files: Vec<(VPath, Vec<u8>)> = fs
         .admin()
         .files()
@@ -197,7 +192,7 @@ fn run_fleet(with_faults: bool) -> Vec<(u32, Outcome)> {
     }
     let mut ids = Vec::new();
     for n in 0..TENANTS {
-        let mut spec = TenantSpec::named(format!("tenant-{n}"));
+        let mut spec = TenantSpec::named(format!("tenant-{n}")).deterministic_clock();
         if with_faults {
             // The id is assigned before the spec is consumed: ids are
             // sequential from 1.
@@ -227,7 +222,8 @@ fn run_standalone(tenant: u32, with_faults: bool) -> Outcome {
     }
     let mut builder = CryptoDrop::builder()
         .protecting(docs().as_str())
-        .recovery(shadow_config());
+        .recovery(shadow_config())
+        .deterministic_clock();
     if with_faults {
         builder = builder.faults(fault_plan(tenant));
     }
@@ -305,6 +301,7 @@ fn namespace_is_expressible_as_a_mount() {
             let session = CryptoDrop::builder()
                 .protecting(docs().as_str())
                 .recovery(shadow_config())
+                .deterministic_clock()
                 .build()
                 .unwrap();
             session.attach(&mut fs);

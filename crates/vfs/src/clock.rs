@@ -9,6 +9,8 @@
 //! filter callbacks) per operation kind.
 
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
 
@@ -114,6 +116,83 @@ impl SimClock {
 
     /// Advances the clock by the base cost of one operation of `kind`.
     pub fn charge(&mut self, kind: OpKind) {
+        self.advance(kind.base_cost_nanos());
+    }
+}
+
+/// How the [`Vfs`](crate::Vfs) folds *measured* filter overhead into its
+/// simulated clock.
+///
+/// Base operation costs, explicit [`ClockHandle::advance`] calls, throttle
+/// verdicts, and seeded fault latency spikes always advance the clock; the
+/// policy only governs the wall-clock nanoseconds measured around filter
+/// callbacks.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ClockPolicy {
+    /// Measured filter overhead is added to the simulated clock, so
+    /// timestamps reflect the detector's real per-operation cost (the
+    /// historical behavior, right for §V-H-style latency studies).
+    #[default]
+    Measured,
+    /// Measured filter overhead is recorded in the
+    /// [`LatencyLedger`] but **not** advanced into the simulated clock:
+    /// timestamps become a pure function of the operation sequence, so two
+    /// runs issuing the same operations see identical `at_nanos` values.
+    Deterministic,
+}
+
+/// A shared, thread-safe handle onto a [`Vfs`](crate::Vfs) clock.
+///
+/// Obtained from [`Vfs::clock_handle`](crate::Vfs::clock_handle), the
+/// handle aliases the filesystem's own clock, so a workload holding
+/// `&mut Vfs` can still advance simulated time between operations —
+/// modeling think time, cron gaps, or a slow-roll attacker's pacing —
+/// through a typed surface instead of raw nanosecond plumbing.
+///
+/// # Examples
+///
+/// ```
+/// use cryptodrop_vfs::Vfs;
+///
+/// let fs = Vfs::new();
+/// let clock = fs.clock_handle();
+/// clock.advance(1_000_000_000); // one simulated second passes
+/// assert_eq!(fs.clock().now_nanos(), 1_000_000_000);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ClockHandle {
+    nanos: Arc<AtomicU64>,
+}
+
+impl ClockHandle {
+    /// A fresh handle at time zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The current simulated time in nanoseconds.
+    pub fn now_nanos(&self) -> u64 {
+        self.nanos.load(Ordering::Relaxed)
+    }
+
+    /// A point-in-time [`SimClock`] snapshot of the current simulated time.
+    pub fn snapshot(&self) -> SimClock {
+        let mut c = SimClock::new();
+        c.advance(self.now_nanos());
+        c
+    }
+
+    /// Advances the clock by an arbitrary amount (saturating).
+    pub fn advance(&self, nanos: u64) {
+        let _ = self
+            .nanos
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |n| {
+                Some(n.saturating_add(nanos))
+            });
+    }
+
+    /// Advances the clock by the base cost of one operation of `kind`.
+    pub fn charge(&self, kind: OpKind) {
         self.advance(kind.base_cost_nanos());
     }
 }
@@ -237,6 +316,29 @@ mod tests {
     #[test]
     fn empty_stat_mean_is_zero() {
         assert_eq!(LatencyStat::default().mean_nanos(), 0);
+    }
+
+    #[test]
+    fn handle_clones_alias_one_clock() {
+        let h = ClockHandle::new();
+        let alias = h.clone();
+        h.charge(OpKind::Write);
+        alias.advance(7);
+        assert_eq!(h.now_nanos(), OpKind::Write.base_cost_nanos() + 7);
+        assert_eq!(h.snapshot().now_nanos(), h.now_nanos());
+    }
+
+    #[test]
+    fn handle_saturates_instead_of_overflowing() {
+        let h = ClockHandle::new();
+        h.advance(u64::MAX);
+        h.advance(100);
+        assert_eq!(h.now_nanos(), u64::MAX);
+    }
+
+    #[test]
+    fn clock_policy_defaults_to_measured() {
+        assert_eq!(ClockPolicy::default(), ClockPolicy::Measured);
     }
 
     #[test]

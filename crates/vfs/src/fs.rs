@@ -13,7 +13,7 @@ use std::time::Instant;
 
 use cryptodrop_telemetry::{JournalKind, Telemetry};
 
-use crate::clock::{LatencyLedger, OpKind, SimClock};
+use crate::clock::{ClockHandle, ClockPolicy, LatencyLedger, OpKind, SimClock};
 use crate::dirty::{
     content_stamp, stamp_append_delta, stamp_overwrite_delta, stamp_remove_delta,
     stamp_zero_fill_delta, DirtyReport,
@@ -90,7 +90,8 @@ pub struct Vfs {
     next_handle_id: u64,
     processes: ProcessTable,
     filters: Vec<Box<dyn FilterDriver>>,
-    clock: SimClock,
+    clock: ClockHandle,
+    clock_policy: ClockPolicy,
     ledger: LatencyLedger,
     log: EventLog,
     telemetry: Telemetry,
@@ -147,7 +148,8 @@ impl Vfs {
             next_handle_id: 1,
             processes: ProcessTable::new(),
             filters: Vec::new(),
-            clock: SimClock::new(),
+            clock: ClockHandle::new(),
+            clock_policy: ClockPolicy::default(),
             ledger: LatencyLedger::new(),
             log: EventLog::new(),
             telemetry: Telemetry::disabled(),
@@ -355,9 +357,27 @@ impl Vfs {
         self.faults.as_ref()
     }
 
-    /// The simulated clock.
+    /// A point-in-time snapshot of the simulated clock.
     pub fn clock(&self) -> SimClock {
-        self.clock
+        self.clock.snapshot()
+    }
+
+    /// A shared handle onto this filesystem's simulated clock. The handle
+    /// aliases the live clock, so workloads holding `&mut Vfs` can still
+    /// advance simulated time between operations through it.
+    pub fn clock_handle(&self) -> ClockHandle {
+        self.clock.clone()
+    }
+
+    /// Sets how measured filter overhead folds into the simulated clock.
+    /// See [`ClockPolicy`].
+    pub fn set_clock_policy(&mut self, policy: ClockPolicy) {
+        self.clock_policy = policy;
+    }
+
+    /// The active [`ClockPolicy`].
+    pub fn clock_policy(&self) -> ClockPolicy {
+        self.clock_policy
     }
 
     /// Advances the simulated clock, modeling wall-clock time passing
@@ -2035,11 +2055,15 @@ impl Vfs {
 
     fn finish_op(&mut self, kind: OpKind, pre_overhead: u64) {
         self.clock.charge(kind);
-        self.clock.advance(pre_overhead);
+        if self.clock_policy == ClockPolicy::Measured {
+            self.clock.advance(pre_overhead);
+        }
     }
 
     fn ledger_add(&mut self, kind: OpKind, post_overhead: u64) {
-        self.clock.advance(post_overhead);
+        if self.clock_policy == ClockPolicy::Measured {
+            self.clock.advance(post_overhead);
+        }
         self.ledger.record(kind, post_overhead);
     }
 

@@ -64,8 +64,9 @@ mod path;
 mod process;
 pub mod provider;
 pub mod shadow;
+mod workload;
 
-pub use clock::{LatencyLedger, LatencyStat, OpKind, SimClock};
+pub use clock::{ClockHandle, ClockPolicy, LatencyLedger, LatencyStat, OpKind, SimClock};
 pub use content::{BlobStore, SharedContent};
 pub use dirty::{content_stamp, DirtyExtent, DirtyReport, MAX_DIRTY_EXTENTS};
 pub use error::{ErrorKind, VfsError, VfsResult};
@@ -79,3 +80,4 @@ pub use path::VPath;
 pub use process::{ProcessId, ProcessRecord, ProcessTable, SuspensionRecord};
 pub use provider::{FsProvider, MemProvider, MountOptions, ProviderEntry, Unlinked};
 pub use shadow::{MutationKind, PreImage, ShadowSink};
+pub use workload::{drive_workload, Workload, WorkloadCtx, WorkloadOutcome};

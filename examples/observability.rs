@@ -8,7 +8,7 @@ use cryptodrop::{CryptoDrop, Telemetry};
 use cryptodrop_corpus::{Corpus, CorpusSpec};
 use cryptodrop_malware::{paper_sample_set, Family};
 use cryptodrop_telemetry::JournalKind;
-use cryptodrop_vfs::Vfs;
+use cryptodrop_vfs::{Vfs, Workload, WorkloadCtx};
 
 fn main() {
     // 1. A simulated machine, plus one telemetry sink shared by the VFS
@@ -32,9 +32,10 @@ fn main() {
         .into_iter()
         .find(|s| s.family == Family::TeslaCrypt)
         .expect("sample set includes TeslaCrypt");
-    let pid = fs.spawn_process(sample.process_name());
+    let ctx = WorkloadCtx::spawn(&mut fs, &sample, corpus.root(), sample.seed());
+    let pid = ctx.pid();
     println!("running {} ...\n", sample.describe());
-    let _ = sample.run(&mut fs, pid, corpus.root());
+    let _ = sample.drive(&mut fs, &ctx);
 
     // 3. The explanation: every indicator that fired, when, with what
     //    measured value against what threshold, and the running score.

@@ -13,7 +13,7 @@
 use cryptodrop::{Backpressure, CryptoDrop, PipelineConfig, Telemetry};
 use cryptodrop_corpus::{Corpus, CorpusSpec};
 use cryptodrop_malware::{paper_sample_set, Family};
-use cryptodrop_vfs::Vfs;
+use cryptodrop_vfs::{Vfs, Workload, WorkloadCtx};
 
 fn main() {
     // 1. A simulated machine with protected user documents.
@@ -49,9 +49,10 @@ fn main() {
         .into_iter()
         .find(|s| s.family == Family::CryptoWall)
         .expect("sample set includes CryptoWall");
-    let pid = fs.spawn_process(sample.process_name());
+    let ctx = WorkloadCtx::spawn(&mut fs, &sample, corpus.root(), sample.seed());
+    let pid = ctx.pid();
     println!("running {} ...", sample.describe());
-    let _ = sample.run(&mut fs, pid, corpus.root());
+    let _ = sample.drive(&mut fs, &ctx);
 
     // 4. Drain the queues, then reconcile: any detection that landed
     //    after its triggering operation is applied as a VFS suspension.

@@ -6,7 +6,7 @@
 use cryptodrop::CryptoDrop;
 use cryptodrop_corpus::{Corpus, CorpusSpec};
 use cryptodrop_malware::{paper_sample_set, Family};
-use cryptodrop_vfs::Vfs;
+use cryptodrop_vfs::{Vfs, Workload, WorkloadCtx};
 
 fn main() {
     // 1. A simulated machine with a user-documents corpus.
@@ -32,9 +32,10 @@ fn main() {
         .into_iter()
         .find(|s| s.family == Family::TeslaCrypt)
         .expect("sample set includes TeslaCrypt");
-    let pid = fs.spawn_process(sample.process_name());
+    let ctx = WorkloadCtx::spawn(&mut fs, &sample, corpus.root(), sample.seed());
+    let pid = ctx.pid();
     println!("running {} ...", sample.describe());
-    let outcome = sample.run(&mut fs, pid, corpus.root());
+    let outcome = sample.drive(&mut fs, &ctx);
 
     // 4. The verdict.
     let report = monitor

@@ -7,7 +7,7 @@
 use cryptodrop::CryptoDrop;
 use cryptodrop_corpus::{Corpus, CorpusSpec};
 use cryptodrop_malware::{paper_sample_set, Family};
-use cryptodrop_vfs::Vfs;
+use cryptodrop_vfs::{Vfs, Workload, WorkloadCtx};
 
 /// The pid the engine keyed this process's state under (the family root
 /// when aggregation is on — here the process has no parent, so itself).
@@ -44,8 +44,9 @@ fn main() {
         family.paper_median_files_lost()
     );
 
-    let pid = fs.spawn_process(sample.process_name());
-    let outcome = sample.run(&mut fs, pid, corpus.root());
+    let ctx = WorkloadCtx::spawn(&mut fs, &sample, corpus.root(), sample.seed());
+    let pid = ctx.pid();
+    let outcome = sample.drive(&mut fs, &ctx);
 
     let summary = monitor.summary(pid).expect("the sample touched documents");
     println!("\nfinal score: {} / threshold {}", summary.score, summary.threshold);

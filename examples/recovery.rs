@@ -8,7 +8,7 @@ use cryptodrop::{CryptoDrop, ShadowConfig};
 use cryptodrop_malware::{paper_sample_set, Family};
 use cryptodrop_corpus::{Corpus, CorpusSpec};
 use cryptodrop_simhash::content_fingerprint;
-use cryptodrop_vfs::Vfs;
+use cryptodrop_vfs::{Vfs, Workload, WorkloadCtx};
 use std::collections::BTreeMap;
 
 fn main() {
@@ -43,9 +43,10 @@ fn main() {
         .into_iter()
         .find(|s| s.family == Family::CryptoWall)
         .expect("sample set includes CryptoWall");
-    let pid = fs.spawn_process(sample.process_name());
+    let ctx = WorkloadCtx::spawn(&mut fs, &sample, corpus.root(), sample.seed());
+    let pid = ctx.pid();
     println!("running {} ...", sample.describe());
-    sample.run(&mut fs, pid, corpus.root());
+    sample.drive(&mut fs, &ctx);
     let report = session.detection_for(pid).expect("sample detected");
     println!(
         "\ndetected {} at score {} — {} file(s) already lost",

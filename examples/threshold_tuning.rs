@@ -8,7 +8,7 @@ use cryptodrop::{Config, ScoreConfig};
 use cryptodrop_benign::fig6_apps;
 use cryptodrop_corpus::{Corpus, CorpusSpec};
 use cryptodrop_experiments::report::median;
-use cryptodrop_experiments::runner::{run_app, run_samples_parallel};
+use cryptodrop_experiments::runner::{run_samples_parallel, run_workload};
 use cryptodrop_malware::paper_sample_set;
 
 fn main() {
@@ -31,7 +31,7 @@ fn main() {
         .iter()
         .enumerate()
         .map(|(i, app)| {
-            let r = run_app(&corpus, &unbounded, app.as_ref(), 42 + i as u64);
+            let r = run_workload(&corpus, &unbounded, app, 42 + i as u64);
             (r.name, r.score)
         })
         .collect();

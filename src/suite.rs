@@ -19,7 +19,7 @@ pub use cryptodrop_vfs as vfs;
 use cryptodrop::{CryptoDrop, DetectionReport};
 use cryptodrop_corpus::{Corpus, CorpusSpec};
 use cryptodrop_malware::RansomwareSample;
-use cryptodrop_vfs::Vfs;
+use cryptodrop_vfs::{Vfs, Workload, WorkloadCtx};
 
 /// Stages a corpus of `files` documents, arms CryptoDrop, runs `sample`,
 /// and returns the detection report (or `None` if the sample finished
@@ -35,9 +35,9 @@ pub fn demo_detection(files: usize, sample: &RansomwareSample) -> Option<Detecti
         .build()
         .expect("valid config");
     fs.register_filter(Box::new(session.fork()));
-    let pid = fs.spawn_process(sample.process_name());
-    sample.run(&mut fs, pid, corpus.root());
-    session.detection_for(pid)
+    let ctx = WorkloadCtx::spawn(&mut fs, sample, corpus.root(), sample.seed());
+    sample.drive(&mut fs, &ctx);
+    session.detection_for(ctx.pid())
 }
 
 #[cfg(test)]

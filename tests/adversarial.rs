@@ -1,0 +1,94 @@
+//! Cross-crate regression tests for the adversarial suite, driven through
+//! the unified `Workload` runner exactly as the experiments harness drives
+//! the 492 paper samples.
+//!
+//! Two contracts are pinned here:
+//!
+//! * **Collusion regression** — the same encryption plan is caught when one
+//!   process both reads and writes, and evades the scoreboard when split
+//!   across a reader pid and a writer pid. If either side of that pair
+//!   flips, the per-process reputation model changed and the adversarial
+//!   study's headline finding needs re-deriving.
+//! * **Benign heavy-writer sweep** — the four worst-plausible honest
+//!   workloads finish with zero suspensions at the paper's default
+//!   thresholds (the false-positive floor the thresholds were chosen for).
+
+use cryptodrop::Config;
+use cryptodrop_adversarial::{heavy_writer_suite, Collusion};
+use cryptodrop_corpus::{Corpus, CorpusSpec};
+use cryptodrop_experiments::runner::run_workload;
+
+fn setup() -> (Corpus, Config) {
+    let corpus = Corpus::generate(&CorpusSpec::sized(240, 30));
+    let config = Config::protecting(corpus.root().as_str());
+    (corpus, config)
+}
+
+/// A bounded plan, single-pid: caught. The identical plan split across a
+/// reader pid and a writer pid: completes untouched by the scoreboard.
+#[test]
+fn collusion_splits_the_reputation_the_scoreboard_cannot_join() {
+    let (corpus, config) = setup();
+    let files = 12;
+
+    let solo = run_workload(&corpus, &config, &Collusion::solo(files), 0xC0);
+    assert!(
+        solo.detected,
+        "one pid reading and writing the same plan must be suspended: {solo:?}"
+    );
+
+    let split = run_workload(&corpus, &config, &Collusion::bounded(files), 0xC0);
+    assert!(
+        !split.detected,
+        "split across two pids, the same plan evades: {split:?}"
+    );
+    assert!(split.outcome.completed, "{split:?}");
+    assert_eq!(split.outcome.files_touched, files as u32, "{split:?}");
+    assert_eq!(split.suspended_pids, 0);
+    // Neither colluding pid ever completes the union: the writer has no
+    // read baseline, the reader writes nothing.
+    assert!(!split.union_triggered, "{split:?}");
+}
+
+/// An *unbounded* colluding pair is eventually caught by the writer's
+/// type-change accrual alone — slowly. Decoy tripwires close most of that
+/// gap: the first bait overwrite suspends the writer outright.
+#[test]
+fn decoys_catch_the_colluding_writer_before_the_scoreboard_does() {
+    let (corpus, config) = setup();
+    let spec = CorpusSpec::sized(240, 30);
+    let baited = corpus.with_decoys(&spec, 8);
+    let armed = config.clone().with_decoys(baited.decoy_paths().cloned());
+
+    let undefended = run_workload(&baited, &config, &Collusion::default(), 0xC1);
+    let defended = run_workload(&baited, &armed, &Collusion::default(), 0xC1);
+    assert!(undefended.detected, "{undefended:?}");
+    assert!(defended.detected, "{defended:?}");
+    assert!(
+        defended.outcome.files_touched < undefended.outcome.files_touched,
+        "decoys must stop the pair earlier: {} vs {} files",
+        defended.outcome.files_touched,
+        undefended.outcome.files_touched
+    );
+}
+
+/// Every heavy-writer finishes its whole plan, unsuspended, at the default
+/// thresholds — the zero-false-positive floor of the adversarial study.
+#[test]
+fn heavy_writers_run_clean_at_default_thresholds() {
+    let (corpus, config) = setup();
+    for (i, app) in heavy_writer_suite().iter().enumerate() {
+        let r = run_workload(&corpus, &config, app.as_ref(), 0x4EA0 + i as u64);
+        assert!(!r.detected, "false positive: {r:?}");
+        assert_eq!(r.suspended_pids, 0, "{r:?}");
+        assert!(r.outcome.completed, "{r:?}");
+        assert!(r.outcome.files_touched > 0, "{r:?}");
+        assert!(
+            r.score < config.score.non_union_threshold,
+            "{} finished at score {}, threshold {}",
+            r.name,
+            r.score,
+            config.score.non_union_threshold
+        );
+    }
+}

@@ -18,8 +18,20 @@ use cryptodrop::prelude::{
 };
 #[allow(unused_imports)]
 use cryptodrop_vfs::{
-    AdminView, DirEntry, EntryKind, EventDetail, EventLog, FaultPlan, FileId, FilterDriver,
-    FsView, Metadata, OpContext, OpKind, OpOutcome, OpenOptions, SimClock,
+    drive_workload, AdminView, ClockHandle, ClockPolicy, DirEntry, EntryKind, EventDetail,
+    EventLog, FaultPlan, FileId, FilterDriver, FsView, Metadata, OpContext, OpKind, OpOutcome,
+    OpenOptions, SimClock, Workload, WorkloadCtx, WorkloadOutcome,
+};
+#[allow(unused_imports)]
+use cryptodrop_adversarial::{
+    evasive_suite, heavy_writer_suite, BackupMirror, Collusion, CompressorSweep,
+    LogRotator, LowEntropyEncoder, PartialEncryptor, SlowRoll, SoftwareUpdater,
+};
+#[allow(unused_imports)]
+use cryptodrop_experiments::{
+    adversarial::{AdversarialRun, AdversarialStudy, IndicatorMode, StrategyCell},
+    report::StudyReport,
+    runner::{run_workload, WorkloadRunResult},
 };
 
 /// Every `ErrorKind` and its wire label, pinned. Adding a variant is
@@ -103,6 +115,85 @@ fn defense_config_surface_is_stable() {
     assert!(cfg.is_decoy(&bait));
     assert!(cfg.throttle_enabled);
     assert_eq!((cfg.throttle_score, cfg.throttle_nanos_per_point), (40, 1_000_000));
+}
+
+/// The Workload actor surface: the default hooks, the outcome's zero
+/// value, and the one-call driver — the contract every actor (paper
+/// samples, benign apps, evasive strategies) now runs behind.
+#[test]
+fn workload_surface_is_stable() {
+    struct Probe;
+    impl Workload for Probe {
+        fn name(&self) -> String {
+            "probe".into()
+        }
+        fn pid_plan(&self) -> Vec<String> {
+            vec!["probe.exe".into()]
+        }
+        // `stage` defaults to Ok(()) — only the names and `drive` are
+        // required.
+        fn drive(&self, _: &mut Vfs, _: &WorkloadCtx) -> WorkloadOutcome {
+            WorkloadOutcome::default()
+        }
+    }
+
+    let out = WorkloadOutcome::default();
+    assert_eq!(
+        (out.files_touched, out.artifacts_written, out.read_only_skipped),
+        (0, 0, 0)
+    );
+    assert!(!out.suspended && !out.completed);
+
+    let mut fs = Vfs::new();
+    let outcome = drive_workload(&mut fs, &Probe, &VPath::new("/docs"), 7);
+    assert_eq!(outcome, WorkloadOutcome::default());
+
+    // The ctx carries one pid per pid_plan entry plus the typed clock.
+    let ctx = WorkloadCtx::spawn(&mut fs, &Probe, &VPath::new("/docs"), 7);
+    assert_eq!(ctx.pids.len(), 1);
+    assert_eq!(ctx.seed, 7);
+    let before = ctx.clock.now_nanos();
+    ctx.clock.advance(250);
+    assert_eq!(ctx.clock.now_nanos(), before + 250);
+}
+
+/// The adversarial suites and their report-stable names: dashboards and
+/// the `results/adversarial.json` schema key on these strings.
+#[test]
+fn adversarial_suite_names_are_stable() {
+    let names: Vec<String> = evasive_suite().iter().map(|w| w.name()).collect();
+    assert_eq!(
+        names,
+        [
+            "partial-encryptor (first 4 KiB)",
+            "slow-roll (90 s/file)",
+            "collusion (reader pid + writer pid)",
+            "low-entropy encoder (hex-armored)",
+        ]
+    );
+    let names: Vec<String> = heavy_writer_suite().iter().map(|w| w.name()).collect();
+    assert_eq!(
+        names,
+        ["backup-mirror", "compressor-sweep", "software-updater", "log-rotator"]
+    );
+    let labels: Vec<&str> = IndicatorMode::ALL.iter().map(|m| m.label()).collect();
+    assert_eq!(
+        labels,
+        ["full", "minus-entropy", "minus-similarity", "minus-type-change", "decoys-on"]
+    );
+}
+
+/// The schema-versioned study envelope every experiment artifact is
+/// wrapped in.
+#[test]
+fn study_report_envelope_is_stable() {
+    let report = StudyReport::new("pin", 2).param("files", 5u32).body(&"payload");
+    assert_eq!((report.study(), report.version()), ("pin", 2));
+    let json = serde_json::to_string(&report).unwrap();
+    assert_eq!(
+        json,
+        r#"{"schema":{"study":"pin","version":2},"params":{"files":5},"body":"payload"}"#
+    );
 }
 
 /// The mount table is enumerable, root mount first — the introspection

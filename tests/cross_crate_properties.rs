@@ -5,7 +5,7 @@
 use cryptodrop::{Config, CryptoDrop};
 use cryptodrop_corpus::{Corpus, CorpusSpec};
 use cryptodrop_malware::paper_sample_set;
-use cryptodrop_vfs::Vfs;
+use cryptodrop_vfs::{Vfs, Workload, WorkloadCtx};
 use proptest::prelude::*;
 
 fn corpus_with_seed(seed: u64) -> Corpus {
@@ -35,12 +35,13 @@ proptest! {
             .build()
             .expect("valid config");
         fs.register_filter(Box::new(monitor.fork()));
-        let pid = fs.spawn_process(sample.process_name());
-        let outcome = sample.run(&mut fs, pid, corpus.root());
+        let ctx = WorkloadCtx::spawn(&mut fs, sample, corpus.root(), sample.seed());
+        let pid = ctx.pid();
+        let outcome = sample.drive(&mut fs, &ctx);
 
         // Samples that target extensions absent from a small corpus may
         // legitimately finish without touching anything.
-        if outcome.files_attacked > 0 || outcome.suspended {
+        if outcome.files_touched > 0 || outcome.suspended {
             prop_assert!(fs.is_suspended(pid), "{} evaded detection", sample.describe());
             let report = monitor.detection_for(pid).expect("report exists");
             prop_assert!(

@@ -10,7 +10,9 @@
 #![allow(deprecated)]
 
 use cryptodrop::{Config, CryptoDrop, Telemetry};
-use cryptodrop_vfs::{VPath, Vfs, VfsError};
+use cryptodrop_corpus::{Corpus, CorpusSpec};
+use cryptodrop_malware::{paper_sample_set, Family};
+use cryptodrop_vfs::{drive_workload, VPath, Vfs, VfsError, WorkloadOutcome};
 
 fn p(s: &str) -> VPath {
     VPath::new(s)
@@ -190,6 +192,64 @@ fn run_workload(fs: &mut Vfs, read: &dyn Fn(cryptodrop_vfs::ProcessId) -> u32) -
         let _ = fs.write_file(pid, &path, &noise);
     }
     read(pid)
+}
+
+/// `RansomwareSample::run` (pid-plumbing shim) and the `Workload` path
+/// must leave byte-identical filesystems, accrue the same score, and
+/// report the same outcome.
+#[test]
+fn deprecated_sample_run_matches_workload_drive() {
+    let corpus = Corpus::generate(&CorpusSpec::sized(120, 15));
+    let sample = paper_sample_set()
+        .into_iter()
+        .find(|s| s.index == 0 && s.family == Family::TeslaCrypt)
+        .unwrap();
+    let config = Config::protecting(corpus.root().as_str());
+
+    let mut shim_fs = Vfs::new();
+    corpus.stage_into(&mut shim_fs).unwrap();
+    let shim_session = CryptoDrop::builder().config(config.clone()).build().unwrap();
+    shim_session.attach(&mut shim_fs);
+    let shim_pid = shim_fs.spawn_process(sample.process_name());
+    let shim_outcome: WorkloadOutcome =
+        sample.run(&mut shim_fs, shim_pid, corpus.root()).into();
+
+    let mut wl_fs = Vfs::new();
+    corpus.stage_into(&mut wl_fs).unwrap();
+    let wl_session = CryptoDrop::builder().config(config).build().unwrap();
+    wl_session.attach(&mut wl_fs);
+    let wl_outcome = drive_workload(&mut wl_fs, &sample, corpus.root(), sample.seed());
+
+    assert_eq!(shim_outcome, wl_outcome, "shim and Workload outcomes diverged");
+    assert!(shim_outcome.suspended, "a Class A sample must be caught");
+    assert_eq!(
+        shim_session.score(shim_pid),
+        wl_session.score(cryptodrop_vfs::ProcessId(shim_pid.0)),
+        "same score through either entry point"
+    );
+    assert_same_fs(&mut shim_fs, &mut wl_fs);
+}
+
+/// `runner::run_app` (pre-Workload benign entry point) and
+/// `runner::run_workload` must agree on every reported metric.
+#[test]
+fn deprecated_run_app_matches_run_workload() {
+    let corpus = Corpus::generate(&CorpusSpec::sized(150, 15));
+    let config = Config::protecting(corpus.root().as_str());
+    let apps: Vec<Box<dyn cryptodrop_benign::BenignApp>> = vec![
+        Box::new(cryptodrop_benign::Excel { save_cycles: 8 }),
+        Box::new(cryptodrop_benign::SevenZip::default()),
+    ];
+    for (i, app) in apps.iter().enumerate() {
+        let seed = 0x51_1B + i as u64;
+        let legacy = cryptodrop_experiments::runner::run_app(&corpus, &config, app.as_ref(), seed);
+        let unified = cryptodrop_experiments::runner::run_workload(&corpus, &config, app, seed);
+        assert_eq!(legacy.name, unified.name);
+        assert_eq!(legacy.score, unified.score, "{}", legacy.name);
+        assert_eq!(legacy.detected, unified.detected);
+        assert_eq!(legacy.union_triggered, unified.union_triggered);
+        assert_eq!(legacy.completed, unified.outcome.completed);
+    }
 }
 
 #[test]

@@ -3,9 +3,9 @@
 
 use cryptodrop::{Config, CryptoDrop};
 use cryptodrop_corpus::{Corpus, CorpusSpec};
-use cryptodrop_experiments::runner::{run_app, run_sample};
+use cryptodrop_experiments::runner::{run_sample, run_workload};
 use cryptodrop_malware::{paper_sample_set, BehaviorClass, Family};
-use cryptodrop_vfs::Vfs;
+use cryptodrop_vfs::{Vfs, Workload, WorkloadCtx};
 
 fn corpus() -> Corpus {
     Corpus::generate(&CorpusSpec::sized(500, 50))
@@ -53,10 +53,10 @@ fn surviving_files_are_bit_identical() {
         .build()
         .expect("valid config");
     fs.register_filter(Box::new(monitor.fork()));
-    let pid = fs.spawn_process(sample.process_name());
-    sample.run(&mut fs, pid, corpus.root());
+    let ctx = WorkloadCtx::spawn(&mut fs, &sample, corpus.root(), sample.seed());
+    sample.drive(&mut fs, &ctx);
 
-    let report = monitor.detection_for(pid).expect("detected");
+    let report = monitor.detection_for(ctx.pid()).expect("detected");
     let mut intact = 0;
     let mut modified = 0;
     for f in corpus.files() {
@@ -81,7 +81,7 @@ fn benign_apps_do_not_false_positive_except_seven_zip() {
     let corpus = corpus();
     let config = Config::protecting(corpus.root().as_str());
     for (i, app) in cryptodrop_benign::paper_apps().iter().enumerate() {
-        let r = run_app(&corpus, &config, app.as_ref(), 1000 + i as u64);
+        let r = run_workload(&corpus, &config, app, 1000 + i as u64);
         if r.name == "7-zip" {
             assert!(
                 r.detected,
@@ -94,7 +94,7 @@ fn benign_apps_do_not_false_positive_except_seven_zip() {
                 "{} false-positived with score {}",
                 r.name, r.score
             );
-            assert!(r.completed, "{} did not finish", r.name);
+            assert!(r.outcome.completed, "{} did not finish", r.name);
         }
         assert!(!r.union_triggered, "{} tripped union indication", r.name);
     }
@@ -160,8 +160,7 @@ fn read_only_files_survive_the_weak_sample() {
         .build()
         .expect("valid config");
     fs.register_filter(Box::new(session.fork()));
-    let pid = fs.spawn_process(gpcode_c.process_name());
-    gpcode_c.run(&mut fs, pid, corpus.root());
+    cryptodrop_vfs::drive_workload(&mut fs, &gpcode_c, corpus.root(), gpcode_c.seed());
 
     for f in &read_only {
         assert_eq!(
@@ -184,8 +183,7 @@ fn strong_samples_clear_read_only_when_undefended() {
         .unwrap();
     let mut fs = Vfs::new();
     corpus.stage_into(&mut fs).unwrap();
-    let pid = fs.spawn_process(sample.process_name());
-    let outcome = sample.run(&mut fs, pid, corpus.root());
+    let outcome = cryptodrop_vfs::drive_workload(&mut fs, &sample, corpus.root(), sample.seed());
     assert!(outcome.completed);
     assert_eq!(outcome.read_only_skipped, 0);
     // Everything was encrypted.
@@ -209,8 +207,9 @@ fn detection_report_matches_monitor_state() {
         .build()
         .expect("valid config");
     fs.register_filter(Box::new(monitor.fork()));
-    let pid = fs.spawn_process(sample.process_name());
-    sample.run(&mut fs, pid, corpus.root());
+    let ctx = WorkloadCtx::spawn(&mut fs, sample, corpus.root(), sample.seed());
+    let pid = ctx.pid();
+    sample.drive(&mut fs, &ctx);
 
     let report = monitor.detection_for(pid).expect("detected");
     let summary = monitor.summary(pid).expect("summarized");

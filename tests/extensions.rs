@@ -181,7 +181,7 @@ fn benign_apps_survive_burst_indicator_thanks_to_think_time() {
     let mut cfg = Config::protecting(corpus.root().as_str());
     cfg.score.burst_enabled = true;
     for app_box in cryptodrop_benign::fig6_apps() {
-        let r = cryptodrop_experiments::runner::run_app(&corpus, &cfg, app_box.as_ref(), 9);
+        let r = cryptodrop_experiments::runner::run_workload(&corpus, &cfg, &app_box, 9);
         assert!(
             !r.detected,
             "{} false-positived with burst enabled (score {})",

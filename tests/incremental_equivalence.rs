@@ -10,7 +10,7 @@
 
 use cryptodrop::Config;
 use cryptodrop_corpus::{Corpus, CorpusSpec};
-use cryptodrop_experiments::runner::{run_app, run_sample, run_sample_with_telemetry};
+use cryptodrop_experiments::runner::{run_sample, run_sample_with_telemetry, run_workload};
 use cryptodrop_malware::paper_sample_set;
 use cryptodrop_telemetry::Telemetry;
 
@@ -55,8 +55,8 @@ fn benign_replays_are_verdict_identical_with_incremental_analysis() {
     let on = config(&corpus, true);
     let off = config(&corpus, false);
     for app in cryptodrop_benign::paper_apps() {
-        let fast = run_app(&corpus, &on, app.as_ref(), 7);
-        let reference = run_app(&corpus, &off, app.as_ref(), 7);
+        let fast = run_workload(&corpus, &on, &app, 7);
+        let reference = run_workload(&corpus, &off, &app, 7);
         assert_eq!(
             fast, reference,
             "{}: incremental analysis changed the benign outcome",

@@ -11,7 +11,7 @@ use cryptodrop::{
 use cryptodrop_corpus::{Corpus, CorpusSpec};
 use cryptodrop_malware::{paper_sample_set, Family};
 use cryptodrop_simhash::content_fingerprint;
-use cryptodrop_vfs::{VPath, Vfs};
+use cryptodrop_vfs::{VPath, Vfs, Workload, WorkloadCtx};
 
 /// The full filesystem contents, for byte-for-byte comparisons.
 fn state_of(fs: &mut Vfs) -> BTreeMap<VPath, Vec<u8>> {
@@ -58,10 +58,10 @@ fn attack_replay_restores_pre_attack_bytes() {
         .into_iter()
         .find(|s| s.family == Family::TeslaCrypt)
         .unwrap();
-    let pid = fs.spawn_process(sample.process_name());
-    let outcome = sample.run(&mut fs, pid, corpus.root());
+    let ctx = WorkloadCtx::spawn(&mut fs, &sample, corpus.root(), sample.seed());
+    let outcome = sample.drive(&mut fs, &ctx);
     assert!(!outcome.completed, "sample must be suspended mid-attack");
-    let report = session.detection_for(pid).expect("sample detected");
+    let report = session.detection_for(ctx.pid()).expect("sample detected");
     assert!(report.files_lost > 0, "the attack destroyed something");
 
     // Benign writes keep landing after the suspension, before recovery.
@@ -120,8 +120,7 @@ fn shadow_budget_is_respected_with_visible_evictions() {
         .into_iter()
         .find(|s| s.family == Family::CryptoWall)
         .unwrap();
-    let pid = fs.spawn_process(sample.process_name());
-    sample.run(&mut fs, pid, corpus.root());
+    cryptodrop_vfs::drive_workload(&mut fs, &sample, corpus.root(), sample.seed());
 
     let stats = session.shadow_store().unwrap().stats();
     assert!(stats.captures > 0, "the attack was shadowed");
