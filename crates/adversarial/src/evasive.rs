@@ -147,12 +147,15 @@ impl Workload for PartialEncryptor {
 /// Full in-place encryption spread over hours of simulated clock: the
 /// strategy pauses [`pause_nanos`](Self::pause_nanos) between victims.
 ///
-/// The reputation score is cumulative and time-blind, so CryptoDrop's
-/// detection is unmoved — but any defense reasoning about *rates*
-/// (bursts, I/O throttling budgets) sees a process writing less than one
-/// file a minute. The pause advances the shared
-/// [`ClockHandle`](cryptodrop_vfs::ClockHandle), which is why the
-/// `Workload` context carries a typed clock instead of raw nanos.
+/// Under the default (permanent) scoreboard the reputation score is
+/// cumulative and time-blind, so CryptoDrop's detection is unmoved — but
+/// any defense reasoning about *rates* (bursts, I/O throttling budgets,
+/// score decay policies) sees a process writing less than one file a
+/// minute; the adversarial study's pause × decay-policy sweep measures
+/// exactly what each policy trades away against this strategy. The pause
+/// advances the shared [`ClockHandle`](cryptodrop_vfs::ClockHandle),
+/// which is why the `Workload` context carries a typed clock instead of
+/// raw nanos.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SlowRoll {
     /// Simulated pause between victims (default 90 s — an 800-file corpus
@@ -208,18 +211,18 @@ impl Workload for SlowRoll {
 }
 
 /// Multi-process collusion: a reader pid and a writer pid split the
-/// attack so neither accumulates a complete indicator set.
+/// attack so neither accumulates a complete indicator set on its own.
 ///
-/// The writer never reads, so its per-process entropy-delta tracker never
-/// has a read-side mean and can never fire; without all three primaries
-/// the union indication is off the table. The reader never writes, so it
-/// caps out at funneling points. Per-process reputation was the paper's
-/// design choice (§IV-B) — this strategy is the cost of that choice.
+/// The writer never reads, so its *per-process* entropy-delta tracker has
+/// no read-side mean; the reader never writes, so it caps out at
+/// funneling points. Per-process reputation was the paper's design choice
+/// (§IV-B) and this strategy originally exploited it — until per-file
+/// read baselines started following the file from the reader's family to
+/// the writer's, restoring the entropy leg of the union
+/// (`tests/adversarial.rs` pins the detection).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Collusion {
-    /// Stop after this many files (`None` = the whole tree). A bounded
-    /// run that keeps the writer under the non-union threshold completes
-    /// undetected — the regression case `tests/adversarial.rs` pins.
+    /// Stop after this many files (`None` = the whole tree).
     pub max_files: Option<usize>,
     /// When `false`, the same plan runs under a single pid — the control
     /// arm showing the split is what defeats the union indication.

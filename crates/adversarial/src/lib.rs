@@ -19,8 +19,10 @@
 //!   clock, pausing between victims. Score accumulation is time-blind,
 //!   but rate- or window-based defenses are not.
 //! * [`Collusion`] — a reader process and a writer process split the
-//!   attack. The writer never reads, starving its per-process entropy
-//!   baseline; the reader never writes, capping it at funneling points.
+//!   attack. The writer never reads and the reader never writes, so
+//!   neither accumulates a complete indicator set on its own; per-file
+//!   read-baseline inheritance is the engine defense that rejoins the
+//!   split evidence.
 //! * [`LowEntropyEncoder`] — encrypt-then-hex-armor. Ciphertext leaves
 //!   the process at 4.0 bits/byte, below most document entropies, so the
 //!   entropy-delta indicator never fires.

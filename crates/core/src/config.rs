@@ -11,6 +11,84 @@
 use cryptodrop_vfs::VPath;
 use serde::{Deserialize, Serialize};
 
+/// How reputation points age out of the scoreboard over simulated time.
+///
+/// The paper's scoreboard is time-blind: a point awarded at t=0 weighs as
+/// much as one awarded a nanosecond ago, which is what makes a slow-roll
+/// attacker (§V-F: "monitoring any time window presents an evasion
+/// opportunity") indistinguishable from a fast one. A decay policy ages
+/// each award by the simulated time elapsed since its `at_nanos`, so the
+/// *effective* score a threshold check sees is the sum of the decayed
+/// award values — raw per-hit points are never mutated, which keeps the
+/// audit trail exact and lets [`Monitor::audit_trail`](crate::Monitor)
+/// replay the decayed arithmetic faithfully.
+///
+/// Every policy is monotonically non-increasing in age and exact at age
+/// zero (`value(p, 0) == p`); `DecayPolicy::None` reproduces the paper's
+/// scoring bit-for-bit and is the default.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum DecayPolicy {
+    /// No decay: points are permanent (the paper's behavior, default).
+    None,
+    /// Hard cutoff: an award keeps full value inside the window and
+    /// contributes nothing once older than `window_nanos`.
+    Window {
+        /// Age in simulated nanoseconds beyond which an award is worth 0.
+        window_nanos: u64,
+    },
+    /// Linear ramp: an award loses value proportionally with age,
+    /// reaching 0 at `window_nanos`.
+    Linear {
+        /// Age in simulated nanoseconds at which an award reaches 0.
+        window_nanos: u64,
+    },
+    /// Exponential decay by integer halvings: an award is worth
+    /// `points >> (age / half_life_nanos)`. Never reaches exactly zero
+    /// until the shift exhausts the points, so long-memory deployments
+    /// keep a residue of old evidence.
+    HalfLife {
+        /// Age in simulated nanoseconds per halving of an award's value.
+        half_life_nanos: u64,
+    },
+}
+
+impl DecayPolicy {
+    /// The decayed value of an award of `points` that is `age_nanos` old.
+    #[inline]
+    pub fn value(&self, points: u32, age_nanos: u64) -> u32 {
+        match *self {
+            DecayPolicy::None => points,
+            DecayPolicy::Window { window_nanos } => {
+                if age_nanos <= window_nanos {
+                    points
+                } else {
+                    0
+                }
+            }
+            DecayPolicy::Linear { window_nanos } => {
+                if age_nanos >= window_nanos {
+                    0
+                } else {
+                    // points × (window − age) / window, in u64 to avoid
+                    // overflow; result fits u32 since the ratio is ≤ 1.
+                    (u64::from(points) * (window_nanos - age_nanos) / window_nanos) as u32
+                }
+            }
+            DecayPolicy::HalfLife { half_life_nanos } => {
+                let halvings = (age_nanos / half_life_nanos.max(1)).min(31);
+                points >> halvings
+            }
+        }
+    }
+
+    /// `true` for [`DecayPolicy::None`] — the engine skips the decayed
+    /// re-summation entirely on this (default) path.
+    #[inline]
+    pub fn is_none(&self) -> bool {
+        matches!(self, DecayPolicy::None)
+    }
+}
+
 /// Reputation points and thresholds for the scoreboard (paper §IV-A/B).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ScoreConfig {
@@ -63,8 +141,14 @@ pub struct ScoreConfig {
     pub burst_window_nanos: u64,
     /// Files modified within the window tolerated before burst scoring.
     pub burst_threshold: u32,
-    /// Points per modified file beyond the burst threshold.
+    /// Points per modified file beyond the burst threshold. Zero
+    /// disables the burst indicator entirely (no window bookkeeping, no
+    /// 0-point audit hits), matching the other indicators' semantics.
     pub points_burst: u32,
+    /// How awarded points age out of threshold checks over simulated
+    /// time. [`DecayPolicy::None`] (the default) reproduces the paper's
+    /// permanent-score arithmetic exactly.
+    pub decay: DecayPolicy,
 }
 
 impl Default for ScoreConfig {
@@ -88,6 +172,7 @@ impl Default for ScoreConfig {
             burst_window_nanos: 10_000_000_000, // 10 simulated seconds
             burst_threshold: 30,
             points_burst: 5,
+            decay: DecayPolicy::None,
         }
     }
 }
@@ -189,6 +274,25 @@ pub struct Config {
     /// Simulated-clock delay per reputation point per throttled
     /// operation, in nanoseconds.
     pub throttle_nanos_per_point: u64,
+    /// Enable per-family first-modification rate budgets: each family
+    /// holds a token bucket of [`Config::rate_budget_capacity`] tokens
+    /// that refills one token per
+    /// [`Config::rate_refill_nanos_per_token`] simulated nanoseconds.
+    /// Every *first* modification of a distinct file draws a token; once
+    /// the bucket runs dry, each destructive in-scope operation the
+    /// family issues is additionally delayed by
+    /// [`Config::rate_throttle_nanos`] on the simulated clock, composing
+    /// with reputation throttling above. Unlike the fixed burst window,
+    /// a budget punishes *sustained* rate: an attacker pacing just under
+    /// the window threshold still drains the bucket. Off by default.
+    pub rate_budget_enabled: bool,
+    /// Tokens a family's bucket holds when full (and starts with).
+    pub rate_budget_capacity: u32,
+    /// Simulated nanoseconds to refill one token.
+    pub rate_refill_nanos_per_token: u64,
+    /// Simulated-clock delay per destructive in-scope operation while a
+    /// family's bucket is dry, in nanoseconds.
+    pub rate_throttle_nanos: u64,
 }
 
 impl Config {
@@ -210,6 +314,10 @@ impl Config {
             throttle_enabled: false,
             throttle_score: 100,
             throttle_nanos_per_point: 1_000_000,
+            rate_budget_enabled: false,
+            rate_budget_capacity: 24,
+            rate_refill_nanos_per_token: 2_000_000_000, // 2 simulated seconds
+            rate_throttle_nanos: 250_000_000,           // 250 simulated ms
         }
     }
 
@@ -246,6 +354,29 @@ impl Config {
         self.throttle_enabled = true;
         self.throttle_score = score;
         self.throttle_nanos_per_point = nanos_per_point;
+        self
+    }
+
+    /// Enables per-family first-modification rate budgets (builder-style)
+    /// with the given bucket capacity, refill interval, and dry-bucket
+    /// per-operation delay. See [`Config::rate_budget_enabled`].
+    pub fn with_rate_budget(
+        mut self,
+        capacity: u32,
+        refill_nanos_per_token: u64,
+        throttle_nanos: u64,
+    ) -> Self {
+        self.rate_budget_enabled = true;
+        self.rate_budget_capacity = capacity;
+        self.rate_refill_nanos_per_token = refill_nanos_per_token;
+        self.rate_throttle_nanos = throttle_nanos;
+        self
+    }
+
+    /// Replaces the score-decay policy (builder-style). See
+    /// [`ScoreConfig::decay`].
+    pub fn with_decay(mut self, decay: DecayPolicy) -> Self {
+        self.score.decay = decay;
         self
     }
 }
@@ -295,6 +426,113 @@ mod tests {
         assert!(cfg.throttle_enabled);
         assert_eq!(cfg.throttle_score, 80);
         assert_eq!(cfg.throttle_nanos_per_point, 2_000_000);
+    }
+
+    #[test]
+    fn decay_and_rate_budget_default_off() {
+        let cfg = Config::protecting("/docs");
+        assert!(cfg.score.decay.is_none());
+        assert!(!cfg.rate_budget_enabled);
+
+        let cfg = cfg
+            .with_decay(DecayPolicy::HalfLife {
+                half_life_nanos: 3_600_000_000_000,
+            })
+            .with_rate_budget(10, 1_000_000_000, 100_000_000);
+        assert!(!cfg.score.decay.is_none());
+        assert!(cfg.rate_budget_enabled);
+        assert_eq!(cfg.rate_budget_capacity, 10);
+        assert_eq!(cfg.rate_refill_nanos_per_token, 1_000_000_000);
+        assert_eq!(cfg.rate_throttle_nanos, 100_000_000);
+    }
+
+    #[test]
+    fn decay_value_exact_at_age_zero() {
+        let policies = [
+            DecayPolicy::None,
+            DecayPolicy::Window { window_nanos: 100 },
+            DecayPolicy::Linear { window_nanos: 100 },
+            DecayPolicy::HalfLife {
+                half_life_nanos: 100,
+            },
+        ];
+        for p in policies {
+            for points in [0u32, 1, 3, 6, 15, 40, 200, u32::MAX] {
+                assert_eq!(p.value(points, 0), points, "{p:?} must be exact at age 0");
+            }
+        }
+    }
+
+    #[test]
+    fn decay_value_monotone_in_age() {
+        let policies = [
+            DecayPolicy::None,
+            DecayPolicy::Window { window_nanos: 977 },
+            DecayPolicy::Linear { window_nanos: 977 },
+            DecayPolicy::HalfLife {
+                half_life_nanos: 977,
+            },
+        ];
+        for p in policies {
+            for points in [1u32, 6, 40, 255] {
+                let mut prev = p.value(points, 0);
+                // Exhaustive small ages plus a geometric tail: catches
+                // off-by-ones at window edges and shift saturation.
+                let ages = (0u64..4000).chain((2u64..40).map(|k| 977 * k * k));
+                for age in ages {
+                    let v = p.value(points, age);
+                    assert!(
+                        v <= prev,
+                        "{p:?}: value({points}, {age}) = {v} rose above {prev}"
+                    );
+                    prev = v;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn decay_window_and_linear_reach_zero() {
+        let w = DecayPolicy::Window { window_nanos: 100 };
+        assert_eq!(w.value(40, 100), 40);
+        assert_eq!(w.value(40, 101), 0);
+        let l = DecayPolicy::Linear { window_nanos: 100 };
+        assert_eq!(l.value(40, 50), 20);
+        assert_eq!(l.value(40, 100), 0);
+        assert_eq!(l.value(40, u64::MAX), 0);
+    }
+
+    #[test]
+    fn decay_half_life_halves_and_saturates() {
+        let h = DecayPolicy::HalfLife {
+            half_life_nanos: 100,
+        };
+        assert_eq!(h.value(40, 100), 20);
+        assert_eq!(h.value(40, 200), 10);
+        assert_eq!(h.value(40, 999), 0); // 9 halvings of 40 → 0
+        assert_eq!(h.value(u32::MAX, u64::MAX), u32::MAX >> 31);
+    }
+
+    #[test]
+    fn infinite_support_policies_match_none() {
+        // A window (or half-life) wider than any simulated run cannot
+        // age anything out — the decayed sum equals the raw sum. The
+        // cross-crate equivalence suite leans on this identity.
+        let policies = [
+            DecayPolicy::Window {
+                window_nanos: u64::MAX,
+            },
+            DecayPolicy::HalfLife {
+                half_life_nanos: u64::MAX,
+            },
+        ];
+        for p in policies {
+            for points in [1u32, 6, 40, 200] {
+                for age in [0u64, 1, 1 << 40, 1 << 62] {
+                    assert_eq!(p.value(points, age), points, "{p:?}");
+                }
+            }
+        }
     }
 
     #[test]

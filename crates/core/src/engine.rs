@@ -266,12 +266,52 @@ impl PathShard {
     }
 }
 
-/// One shard of the open-file indices: file-id-keyed snapshots and the
-/// set of files created (not pre-existing) during the engine's watch.
+/// One shard of the open-file indices: file-id-keyed snapshots, the set
+/// of files created (not pre-existing) during the engine's watch, and
+/// per-file read baselines for the collusion defense.
 #[derive(Debug, Default)]
 struct FileShard {
     snapshots: HashMap<FileId, FileSnapshot>,
     created: HashSet<FileId>,
+    /// What the most recent reading family observed of each file's
+    /// content. Keyed by **file**, not by process: a colluding pair that
+    /// splits the plan across a reader pid and a writer pid leaves the
+    /// writer's per-family entropy tracker without a read side, which is
+    /// exactly the evidence split PR 9's study proved evades the
+    /// scoreboard. When a *different* family first modifies the file, it
+    /// inherits this baseline (see `RecordBody::Write` handling). A
+    /// write or truncate retires the entry — the content it described is
+    /// gone.
+    read_baselines: HashMap<FileId, ReadBaseline>,
+}
+
+/// The accumulated read-side evidence for one file: a length-weighted
+/// entropy mean over the reading family's read payloads (matching
+/// [`EntropyDeltaTracker`](crate::indicators::entropy_delta::EntropyDeltaTracker)'s
+/// own weighting, so inheriting the baseline as a single observation is
+/// equivalent to having observed every chunk). The issuing pid rides
+/// along for the audit journal.
+#[derive(Debug, Clone, Copy)]
+struct ReadBaseline {
+    /// Σ entropy·len over the reads folded into this baseline.
+    weighted: f64,
+    /// Σ len over the same reads.
+    len: u64,
+    /// The scoring key (family root) whose reads built the baseline.
+    reader_key: ProcessId,
+    /// The concrete pid that issued the most recent read (audit trail).
+    reader_pid: ProcessId,
+}
+
+impl ReadBaseline {
+    /// The length-weighted mean entropy of the folded reads.
+    fn entropy(&self) -> f64 {
+        if self.len == 0 {
+            0.0
+        } else {
+            self.weighted / self.len as f64
+        }
+    }
 }
 
 /// Telemetry handles the engine resolves once at construction, so the
@@ -301,6 +341,22 @@ struct EngineMetrics {
     decoy_trips: Counter,
     /// Operations delayed by reputation-driven throttling.
     throttled_ops: Counter,
+    /// Threshold checks evaluated under a non-`None` decay policy.
+    decay_checks: Counter,
+    /// Threshold checks where the raw score had reached the threshold
+    /// but the decayed score held below it (a suspension the decay
+    /// policy suppressed — the cost side of forgetting old evidence).
+    decay_suppressed: Counter,
+    /// First-modification tokens drawn from family rate buckets.
+    rate_consumed: Counter,
+    /// First modifications that found their family's bucket dry.
+    rate_exhausted: Counter,
+    /// Destructive operations delayed because the family's rate budget
+    /// was exhausted.
+    rate_throttled: Counter,
+    /// Cross-family read baselines folded into a writing family's
+    /// entropy tracker (the collusion defense firing).
+    baselines_inherited: Counter,
 }
 
 impl EngineMetrics {
@@ -322,6 +378,12 @@ impl EngineMetrics {
             incr_full: t.counter("engine.incremental.full_recompute"),
             decoy_trips: t.counter("engine.decoy.trips"),
             throttled_ops: t.counter("engine.throttle.ops"),
+            decay_checks: t.counter("engine.decay.checks"),
+            decay_suppressed: t.counter("engine.decay.suppressed"),
+            rate_consumed: t.counter("engine.rate.tokens_consumed"),
+            rate_exhausted: t.counter("engine.rate.exhausted"),
+            rate_throttled: t.counter("engine.rate.throttled_ops"),
+            baselines_inherited: t.counter("engine.entropy.baselines_inherited"),
         }
     }
 }
@@ -1171,20 +1233,45 @@ impl CryptoDrop {
         }
     }
 
-    /// After awarding hits, checks the threshold and issues the verdict.
-    /// Lock order: the caller holds the family shard; the detection log
-    /// is the only lock ever taken while a family shard is held.
+    /// After awarding hits, checks the threshold — against the score
+    /// *decayed to the record's simulated time* when a
+    /// [`DecayPolicy`](crate::DecayPolicy) is configured — and issues the
+    /// verdict. Lock order: the caller holds the family shard; the
+    /// detection log is the only lock ever taken while a family shard is
+    /// held.
     fn verdict_for(&self, st: &mut ProcessState, at_nanos: u64) -> Verdict {
         let cfg = &self.cfg;
-        if st.is_detected() || !st.over_threshold(&cfg.score) {
+        if st.is_detected() {
+            return Verdict::Allow;
+        }
+        let decaying = !cfg.score.decay.is_none();
+        let score = st.decayed_score(&cfg.score, at_nanos);
+        let threshold = st.effective_threshold(&cfg.score);
+        if decaying && self.shared.telemetry.is_enabled() {
+            self.shared.metrics.decay_checks.inc();
+        }
+        if score < threshold {
+            // A raw score over the line that decayed below it is the
+            // decay policy actively suppressing a suspension — make
+            // every such check visible, it is the policy's cost side.
+            if decaying && st.score() >= threshold && self.shared.telemetry.is_enabled() {
+                self.shared.metrics.decay_suppressed.inc();
+                self.shared
+                    .telemetry
+                    .journal_event(at_nanos, st.pid().0, || JournalKind::ScoreDecay {
+                        raw: st.score(),
+                        decayed: score,
+                        threshold,
+                    });
+            }
             return Verdict::Allow;
         }
         st.mark_detected();
         let report = DetectionReport {
             pid: st.pid(),
             process_name: st.name().to_string(),
-            score: st.score(),
-            threshold: st.effective_threshold(&cfg.score),
+            score,
+            threshold,
             union_triggered: st.union_triggered(),
             files_lost: st.files_lost(),
             at_nanos,
@@ -1232,7 +1319,7 @@ impl CryptoDrop {
             let report = DetectionReport {
                 pid: st.pid(),
                 process_name: st.name().to_string(),
-                score: st.score(),
+                score: st.decayed_score(&self.cfg.score, ctx.at_nanos),
                 threshold: st.effective_threshold(&self.cfg.score),
                 union_triggered: st.union_triggered(),
                 files_lost: st.files_lost(),
@@ -1251,13 +1338,26 @@ impl CryptoDrop {
         ))
     }
 
-    /// Reputation-driven throttling (pre-operation): once a family's score
-    /// has reached [`Config::throttle_score`], each destructive in-scope
-    /// operation is delayed on the simulated clock proportionally to the
-    /// score. Returns `None` when the operation should proceed undelayed.
+    /// Time-axis throttling (pre-operation), two composable components:
+    ///
+    /// * **Reputation throttling** — once a family's (decayed) score has
+    ///   reached [`Config::throttle_score`], each destructive in-scope
+    ///   operation is delayed proportionally to the score.
+    /// * **Rate-budget throttling** — while the family's
+    ///   first-modification token bucket is dry
+    ///   ([`Config::rate_budget_enabled`]), each destructive in-scope
+    ///   operation is additionally delayed by
+    ///   [`Config::rate_throttle_nanos`]. Unlike reputation throttling
+    ///   this engages on *behavioral rate* alone, before any indicator
+    ///   has scored — the budget is drawn down by the Write analysis
+    ///   path (see `RecordBody::Write`) and refilled here against the
+    ///   operation's simulated time.
+    ///
+    /// The delays add; returns `None` when the operation should proceed
+    /// undelayed.
     fn throttle_verdict(&self, ctx: &OpContext<'_>, key: ProcessId) -> Option<Verdict> {
         let cfg = &self.cfg;
-        if !cfg.throttle_enabled {
+        if !cfg.throttle_enabled && !cfg.rate_budget_enabled {
             return None;
         }
         let in_scope = match ctx.op {
@@ -1274,22 +1374,46 @@ impl CryptoDrop {
         if !in_scope {
             return None;
         }
-        let score = self
-            .shared
-            .family_shard(key)
-            .lock()
-            .processes
-            .get(&key)
-            .map_or(0, ProcessState::score);
-        if score < cfg.throttle_score {
-            return None;
+        let (score, rate_dry) = {
+            let mut fam = self.shared.family_shard(key).lock();
+            match fam.processes.get_mut(&key) {
+                Some(st) => (
+                    st.decayed_score(&cfg.score, ctx.at_nanos),
+                    cfg.rate_budget_enabled
+                        && st.rate_refill(
+                            ctx.at_nanos,
+                            cfg.rate_budget_capacity,
+                            cfg.rate_refill_nanos_per_token,
+                        ) == 0,
+                ),
+                // A never-seen family has a full bucket and no score.
+                None => (0, false),
+            }
+        };
+        let mut delay = 0u64;
+        if cfg.throttle_enabled && score >= cfg.throttle_score {
+            delay = u64::from(score) * cfg.throttle_nanos_per_point;
+            if self.shared.telemetry.is_enabled() {
+                self.shared.metrics.throttled_ops.inc();
+            }
         }
-        if self.shared.telemetry.is_enabled() {
-            self.shared.metrics.throttled_ops.inc();
+        if rate_dry {
+            delay = delay.saturating_add(cfg.rate_throttle_nanos);
+            if self.shared.telemetry.is_enabled() {
+                self.shared.metrics.rate_throttled.inc();
+                self.shared
+                    .telemetry
+                    .journal_event(ctx.at_nanos, key.0, || JournalKind::RateBudget {
+                        tokens: 0,
+                        delay_nanos: cfg.rate_throttle_nanos,
+                    });
+            }
         }
-        Some(Verdict::throttle(
-            u64::from(score) * cfg.throttle_nanos_per_point,
-        ))
+        if delay == 0 {
+            None
+        } else {
+            Some(Verdict::throttle(delay))
+        }
     }
 
     /// Refreshes the path-keyed snapshot of `path` from `data` (its
@@ -1620,20 +1744,49 @@ impl CryptoDrop {
                 if known.is_some() && self.shared.telemetry.is_enabled() {
                     self.shared.metrics.incr_stamp_skips.inc();
                 }
-                let mut fam = self.shared.family_shard(key).lock();
-                let st =
-                    FamilyShard::process_mut(&mut fam.processes, cfg, key, &rec.process_name);
-                match known {
+                // Resolve the payload's entropy once: folded into this
+                // family's tracker below, and recorded as the file's read
+                // baseline for the collusion defense. `entropy_lut_of` is
+                // the exact fold `observe_read` delegates to, so routing
+                // both paths through `observe_read_known` is bit-identical
+                // to the split the pre-baseline engine used.
+                let entropy = match known {
                     Some(entropy) => {
                         debug_assert_eq!(
                             entropy,
                             cryptodrop_entropy::entropy_lut_of(data),
                             "snapshot entropy drifted from the payload's"
                         );
-                        st.entropy_mut().observe_read_known(entropy, data.len() as u64);
+                        entropy
                     }
-                    None => st.entropy_mut().observe_read(data),
+                    None => cryptodrop_entropy::entropy_lut_of(data),
+                };
+                if cfg.score.points_entropy_delta > 0 && !data.is_empty() {
+                    let mut shard = self.shared.file_shard(*file).lock();
+                    let b = shard.read_baselines.entry(*file).or_insert(ReadBaseline {
+                        weighted: 0.0,
+                        len: 0,
+                        reader_key: key,
+                        reader_pid: rec.issuer,
+                    });
+                    if b.reader_key != key {
+                        // A new family took over reading this file: its
+                        // observations supersede the stale baseline.
+                        *b = ReadBaseline {
+                            weighted: 0.0,
+                            len: 0,
+                            reader_key: key,
+                            reader_pid: rec.issuer,
+                        };
+                    }
+                    b.weighted += entropy * data.len() as f64;
+                    b.len += data.len() as u64;
+                    b.reader_pid = rec.issuer;
                 }
+                let mut fam = self.shared.family_shard(key).lock();
+                let st =
+                    FamilyShard::process_mut(&mut fam.processes, cfg, key, &rec.process_name);
+                st.entropy_mut().observe_read_known(entropy, data.len() as u64);
                 // Sample the file's type from its leading bytes exactly once
                 // per file for the funneling indicator.
                 if *offset == 0 && !data.is_empty() && st.first_read(*file) {
@@ -1670,39 +1823,93 @@ impl CryptoDrop {
                 if known.is_some() && self.shared.telemetry.is_enabled() {
                     self.shared.metrics.incr_stamp_skips.inc();
                 }
-                let created = self.shared.file_shard(*file).lock().created.contains(file);
+                // One file-shard probe fetches the creation state and
+                // retires the read baseline: this write replaces the
+                // content the baseline described.
+                let (created, baseline) = {
+                    let mut shard = self.shared.file_shard(*file).lock();
+                    (
+                        shard.created.contains(file),
+                        shard.read_baselines.remove(file),
+                    )
+                };
                 let mut fam = self.shared.family_shard(key).lock();
                 let st =
                     FamilyShard::process_mut(&mut fam.processes, cfg, key, &rec.process_name);
                 if !created {
                     st.record_loss(*file);
                 }
-                // The write-burst indicator (future work, §V-F): first
-                // modifications of distinct files within a sliding window.
-                if cfg.score.burst_enabled && st.first_modification(*file) {
-                    let timer = self.shared.telemetry.start_timer();
-                    let burst =
-                        st.record_burst(at, cfg.score.burst_window_nanos, cfg.score.burst_threshold);
-                    self.eval_timer(Indicator::WriteBurst).record_elapsed(timer);
-                    if burst {
-                        let in_window = st.burst_window_len();
-                        self.award(
-                            st,
-                            path,
-                            IndicatorHit {
-                                indicator: Indicator::WriteBurst,
-                                points: cfg.score.points_burst,
-                                value: in_window as f64,
-                                threshold: f64::from(cfg.score.burst_threshold),
-                                detail: format!("modification burst at {path}"),
-                                at_nanos: at,
-                            },
+                // First modifications of distinct files are the unit of
+                // account for both time-axis defenses: the write-burst
+                // indicator (future work, §V-F) and the family rate
+                // budget. A zeroed `points_burst` disables the burst
+                // indicator entirely — no window bookkeeping, no 0-point
+                // hits — matching the other indicators' zeroed-points
+                // semantics.
+                let burst_on = cfg.score.burst_enabled && cfg.score.points_burst > 0;
+                if (burst_on || cfg.rate_budget_enabled) && st.first_modification(*file) {
+                    if cfg.rate_budget_enabled {
+                        let drawn = st.rate_consume(
+                            at,
+                            cfg.rate_budget_capacity,
+                            cfg.rate_refill_nanos_per_token,
                         );
+                        if self.shared.telemetry.is_enabled() {
+                            if drawn {
+                                self.shared.metrics.rate_consumed.inc();
+                            } else {
+                                self.shared.metrics.rate_exhausted.inc();
+                            }
+                        }
+                    }
+                    if burst_on {
+                        let timer = self.shared.telemetry.start_timer();
+                        let burst = st.record_burst(
+                            at,
+                            cfg.score.burst_window_nanos,
+                            cfg.score.burst_threshold,
+                        );
+                        self.eval_timer(Indicator::WriteBurst).record_elapsed(timer);
+                        if burst {
+                            let in_window = st.burst_window_len();
+                            self.award(
+                                st,
+                                path,
+                                IndicatorHit {
+                                    indicator: Indicator::WriteBurst,
+                                    points: cfg.score.points_burst,
+                                    value: in_window as f64,
+                                    threshold: f64::from(cfg.score.burst_threshold),
+                                    detail: format!("modification burst at {path}"),
+                                    at_nanos: at,
+                                },
+                            );
+                        }
                     }
                 }
                 // (A zeroed point value disables the indicator entirely —
                 // the isolation study relies on this.)
                 if cfg.score.points_entropy_delta > 0 {
+                    // Collusion defense: a file whose read baseline was
+                    // built by a *different* family hands that baseline to
+                    // the writer before the write is folded in — the
+                    // reader/writer split no longer severs the read side
+                    // of the entropy delta (each file inherits at most
+                    // once per writing family).
+                    if let Some(b) = baseline {
+                        if b.reader_key != key && b.len > 0 && st.inherit_read_baseline(*file) {
+                            st.entropy_mut().observe_read_known(b.entropy(), b.len);
+                            if self.shared.telemetry.is_enabled() {
+                                self.shared.metrics.baselines_inherited.inc();
+                                self.shared.telemetry.journal_event(at, key.0, || {
+                                    JournalKind::BaselineInherited {
+                                        path: path.as_str().to_string(),
+                                        reader_pid: b.reader_pid.0,
+                                    }
+                                });
+                            }
+                        }
+                    }
                     let timer = self.shared.telemetry.start_timer();
                     let fired = match known {
                         Some(entropy) => {
@@ -1745,7 +1952,13 @@ impl CryptoDrop {
             }
 
             RecordBody::Truncate { file } => {
-                let created = self.shared.file_shard(*file).lock().created.contains(file);
+                let created = {
+                    let mut shard = self.shared.file_shard(*file).lock();
+                    // Truncation destroys the content the read baseline
+                    // described.
+                    shard.read_baselines.remove(file);
+                    shard.created.contains(file)
+                };
                 let mut fam = self.shared.family_shard(key).lock();
                 let st =
                     FamilyShard::process_mut(&mut fam.processes, cfg, key, &rec.process_name);
@@ -2204,6 +2417,7 @@ impl FilterDriver for CryptoDrop {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::config::DecayPolicy;
     use cryptodrop_vfs::{OpenOptions, Vfs};
 
     const DOCS: &str = "/Users/victim/Documents";
@@ -2637,6 +2851,227 @@ mod tests {
         let (burst_slow, slow_score) = run(true);
         assert!(burst_fast, "flat-out modification bursts must score");
         assert!(!burst_slow, "think-time paced edits must not (score {slow_score})");
+    }
+
+    #[test]
+    fn zeroed_burst_points_disable_the_indicator_entirely() {
+        // `burst_enabled` with `points_burst == 0` used to run the whole
+        // window bookkeeping and award 0-point hits, polluting audits and
+        // eval timers; zeroed points must disable the indicator outright,
+        // matching the entropy/type-change/similarity semantics.
+        let (mut fs, monitor) = setup(40);
+        let mut cfg = Config::protecting(DOCS);
+        cfg.score.burst_enabled = true;
+        cfg.score.burst_threshold = 2;
+        cfg.score.points_burst = 0;
+        let _ = fs.take_filters();
+        let telemetry = Telemetry::new(4096);
+        let (engine, monitor2) =
+            CryptoDrop::with_telemetry_inner(cfg, telemetry.clone());
+        fs.register_filter(Box::new(engine));
+        drop(monitor);
+        let pid = fs.spawn_process("writer.exe");
+        let docs = VPath::new(DOCS);
+        for i in 0..30 {
+            let path = docs.join(format!("dir{}/file{i}.txt", i % 3));
+            if fs.admin().metadata(&path).is_err() {
+                continue;
+            }
+            let Ok(data) = fs.read_file(pid, &path) else { break };
+            if fs.write_file(pid, &path, &data).is_err() {
+                break;
+            }
+        }
+        let summary = monitor2.summary(pid).expect("seen");
+        assert!(
+            !summary.hit_counts.contains_key(&Indicator::WriteBurst),
+            "no burst hits — not even 0-point ones: {summary:?}"
+        );
+        let counters = telemetry.metrics().snapshot().counters;
+        assert_eq!(
+            counters
+                .get("engine.indicator.write-burst.fires")
+                .copied()
+                .unwrap_or(0),
+            0,
+            "the fire counter must never be bumped"
+        );
+    }
+
+    #[test]
+    fn two_pid_collusion_inherits_the_read_baseline() {
+        // A reader pid streams the plaintext; a separate writer pid (a
+        // separate family) overwrites each file with ciphertext. Pre-fix
+        // the writer's entropy tracker had no read side, so the evidence
+        // split severed the entropy-delta indicator and the union; with
+        // per-file read baselines the writer inherits the reader's
+        // observations and the pair is caught.
+        let (mut fs, monitor) = setup(60);
+        let reader = fs.spawn_process("reader.exe");
+        let writer = fs.spawn_process("writer.exe");
+        let docs = VPath::new(DOCS);
+        let mut touched = 0u32;
+        for i in 0..60 {
+            let path = docs.join(format!("dir{}/file{i}.txt", i % 3));
+            if fs.admin().metadata(&path).is_err() {
+                continue;
+            }
+            let Ok(data) = fs.read_file(reader, &path) else { break };
+            let ct = encrypt(&data, i as u64 + 7);
+            if fs.write_file(writer, &path, &ct).is_err() {
+                break;
+            }
+            touched += 1;
+        }
+        assert!(
+            fs.is_suspended(writer),
+            "the colluding writer must be suspended (touched {touched} files, \
+             writer score {})",
+            monitor.score(writer)
+        );
+        let report = monitor.detection_for(writer).expect("writer detection");
+        assert!(
+            report.union_triggered,
+            "the inherited baseline restores the entropy leg of the union: {report:?}"
+        );
+        let writer_hits = monitor.summary(writer).expect("writer summary").hit_counts;
+        assert!(
+            writer_hits.contains_key(&Indicator::EntropyDelta),
+            "entropy delta must fire on the writer: {writer_hits:?}"
+        );
+        assert!(!fs.is_suspended(reader), "reading alone stays clean");
+    }
+
+    #[test]
+    fn solo_reader_never_inherits_its_own_baseline() {
+        // The baseline only crosses *family* boundaries: a single pid
+        // reading and writing builds its own tracker, and inheriting its
+        // own observations would double-weight the read side. The
+        // inherited-baseline counter must stay silent on solo runs.
+        let mut fs = Vfs::new();
+        let docs = VPath::new(DOCS);
+        for i in 0..10 {
+            let path = docs.join(format!("f{i}.txt"));
+            fs.admin().write_file(&path, &text_content(i, 4096)).unwrap();
+        }
+        let telemetry = Telemetry::new(4096);
+        let (engine, _monitor) =
+            CryptoDrop::with_telemetry_inner(Config::protecting(DOCS), telemetry.clone());
+        fs.register_filter(Box::new(engine));
+        let pid = fs.spawn_process("solo.exe");
+        for i in 0..10 {
+            let path = docs.join(format!("f{i}.txt"));
+            let Ok(data) = fs.read_file(pid, &path) else { break };
+            let _ = fs.write_file(pid, &path, &encrypt(&data, 3));
+        }
+        let counters = telemetry.metrics().snapshot().counters;
+        assert_eq!(
+            counters
+                .get("engine.entropy.baselines_inherited")
+                .copied()
+                .unwrap_or(0),
+            0
+        );
+    }
+
+    #[test]
+    fn rate_budget_stretches_a_sustained_writers_clock() {
+        // A family hammering first modifications drains its token bucket;
+        // once dry, destructive operations are delayed on the simulated
+        // clock even though no indicator has scored (benign-shaped
+        // rewrites). A paced writer never runs dry.
+        let run = |budget: bool, files: usize| -> (u64, u64, u64) {
+            let mut fs = Vfs::new();
+            let docs = VPath::new(DOCS);
+            for i in 0..files {
+                let path = docs.join(format!("f{i}.txt"));
+                fs.admin().write_file(&path, &text_content(i as u32, 2048)).unwrap();
+            }
+            let mut cfg = Config::protecting(DOCS);
+            if budget {
+                // 4 tokens, one per 10 simulated seconds, 50ms per dry op.
+                cfg = cfg.with_rate_budget(4, 10_000_000_000, 50_000_000);
+            }
+            let telemetry = Telemetry::new(4096);
+            let (engine, _monitor) = CryptoDrop::with_telemetry_inner(cfg, telemetry.clone());
+            fs.register_filter(Box::new(engine));
+            let pid = fs.spawn_process("churn.exe");
+            for i in 0..files {
+                let path = docs.join(format!("f{i}.txt"));
+                let Ok(data) = fs.read_file(pid, &path) else { break };
+                let _ = fs.write_file(pid, &path, &data);
+            }
+            let counters = telemetry.metrics().snapshot().counters;
+            (
+                fs.clock().now_nanos(),
+                counters.get("engine.rate.exhausted").copied().unwrap_or(0),
+                counters
+                    .get("engine.rate.throttled_ops")
+                    .copied()
+                    .unwrap_or(0),
+            )
+        };
+        let (base_nanos, _, _) = run(false, 20);
+        let (budget_nanos, exhausted, throttled) = run(true, 20);
+        assert!(exhausted > 0, "20 first-mods must outrun 4 tokens");
+        assert!(throttled > 0, "dry-bucket ops must be delayed");
+        assert!(
+            budget_nanos > base_nanos,
+            "rate budget must cost the churner simulated time: \
+             {budget_nanos} vs {base_nanos}"
+        );
+    }
+
+    #[test]
+    fn decay_window_suppresses_stale_scores() {
+        // Awards spread far apart age out of a windowed policy before
+        // they can accumulate: a low threshold that a permanent
+        // scoreboard crosses is never crossed by the decayed one, and
+        // every suppressed check is visible in telemetry.
+        let run = |decay: DecayPolicy| -> (bool, u64, u64) {
+            let mut fs = Vfs::new();
+            let docs = VPath::new(DOCS);
+            for i in 0..12 {
+                let path = docs.join(format!("f{i}.txt"));
+                fs.admin().write_file(&path, &text_content(i, 4096)).unwrap();
+            }
+            // Default thresholds (200 / 160-with-union): twelve encrypted
+            // files accumulate well past them raw, while no single file's
+            // fresh awards plus a fresh union bonus come anywhere close.
+            let cfg = Config::protecting(DOCS).with_decay(decay);
+            let telemetry = Telemetry::new(4096);
+            let (engine, _monitor) = CryptoDrop::with_telemetry_inner(cfg, telemetry.clone());
+            fs.register_filter(Box::new(engine));
+            let pid = fs.spawn_process("slowroll.exe");
+            for i in 0..12 {
+                let path = docs.join(format!("f{i}.txt"));
+                let Ok(data) = fs.read_file(pid, &path) else { break };
+                let _ = fs.write_file(pid, &path, &encrypt(&data, i as u64 + 1));
+                // 60 s of think time between victims.
+                fs.advance_clock(60_000_000_000);
+            }
+            let counters = telemetry.metrics().snapshot().counters;
+            (
+                fs.is_suspended(pid),
+                counters.get("engine.decay.checks").copied().unwrap_or(0),
+                counters.get("engine.decay.suppressed").copied().unwrap_or(0),
+            )
+        };
+        let (caught_none, checks_none, _) = run(DecayPolicy::None);
+        assert!(caught_none, "the permanent scoreboard crosses 60 points");
+        assert_eq!(checks_none, 0, "no decay arithmetic under DecayPolicy::None");
+        let (caught_window, checks, suppressed) = run(DecayPolicy::Window {
+            window_nanos: 30_000_000_000, // half the pacing gap
+        });
+        assert!(
+            !caught_window,
+            "per-file awards age out before the next victim"
+        );
+        assert!(checks > 0);
+        assert!(
+            suppressed > 0,
+            "raw score crossed while decayed held below: must be counted"
+        );
     }
 
     #[test]

@@ -37,7 +37,7 @@ use cryptodrop_recovery::{RecoveryReport, ShadowConfig, ShadowStore};
 use cryptodrop_telemetry::Telemetry;
 use cryptodrop_vfs::{FaultInjector, FaultPlan, FaultStats, ProcessId, VPath, Vfs};
 
-use crate::config::{Config, ScoreConfig};
+use crate::config::{Config, DecayPolicy, ScoreConfig};
 use crate::engine::{CryptoDrop, Monitor};
 use crate::pipeline::{PipelineConfig, PipelineShared, PipelineStats};
 
@@ -78,6 +78,15 @@ pub enum ConfigError {
     /// process — including fully benign ones at score 0 — on every
     /// destructive in-scope operation.
     ZeroThrottleScore,
+    /// A decay policy with a zero time parameter would age every award
+    /// out instantly: the scoreboard could never accumulate anything.
+    /// Carries the offending field name.
+    ZeroDecayParam(&'static str),
+    /// A rate-budget parameter of zero would either throttle every
+    /// family from its first modification (zero capacity) or make the
+    /// budget meaningless (zero refill interval or zero delay). Carries
+    /// the offending field name.
+    ZeroRateBudgetParam(&'static str),
 }
 
 impl fmt::Display for ConfigError {
@@ -117,6 +126,20 @@ impl fmt::Display for ConfigError {
                     f,
                     "throttle_score must be nonzero when throttling is enabled: \
                      zero would delay every process from its first operation"
+                )
+            }
+            Self::ZeroDecayParam(which) => {
+                write!(
+                    f,
+                    "decay {which} must be nonzero: a zero-width policy ages every \
+                     award out instantly and the scoreboard never accumulates"
+                )
+            }
+            Self::ZeroRateBudgetParam(which) => {
+                write!(
+                    f,
+                    "rate budget {which} must be nonzero when the rate budget is \
+                     enabled"
                 )
             }
         }
@@ -159,6 +182,32 @@ pub(crate) fn validate(config: &Config) -> Result<(), ConfigError> {
     if config.throttle_enabled && config.throttle_score == 0 {
         return Err(ConfigError::ZeroThrottleScore);
     }
+    match s.decay {
+        DecayPolicy::None => {}
+        DecayPolicy::Window { window_nanos } | DecayPolicy::Linear { window_nanos } => {
+            if window_nanos == 0 {
+                return Err(ConfigError::ZeroDecayParam("window_nanos"));
+            }
+        }
+        DecayPolicy::HalfLife { half_life_nanos } => {
+            if half_life_nanos == 0 {
+                return Err(ConfigError::ZeroDecayParam("half_life_nanos"));
+            }
+        }
+    }
+    if config.rate_budget_enabled {
+        if config.rate_budget_capacity == 0 {
+            return Err(ConfigError::ZeroRateBudgetParam("rate_budget_capacity"));
+        }
+        if config.rate_refill_nanos_per_token == 0 {
+            return Err(ConfigError::ZeroRateBudgetParam(
+                "rate_refill_nanos_per_token",
+            ));
+        }
+        if config.rate_throttle_nanos == 0 {
+            return Err(ConfigError::ZeroRateBudgetParam("rate_throttle_nanos"));
+        }
+    }
     Ok(())
 }
 
@@ -196,6 +245,8 @@ pub struct SessionBuilder {
     faults: Option<FaultPlan>,
     decoys: Vec<VPath>,
     throttle: Option<(u32, u64)>,
+    rate_budget: Option<(u32, u64, u64)>,
+    decay: Option<DecayPolicy>,
     deterministic_clock: bool,
 }
 
@@ -282,6 +333,30 @@ impl SessionBuilder {
         self
     }
 
+    /// Enables per-family first-modification rate budgets: a token
+    /// bucket of `capacity` tokens per family, refilling one token per
+    /// `refill_nanos_per_token` of simulated time; while a family's
+    /// bucket is dry, each destructive in-scope operation it issues is
+    /// delayed by `throttle_nanos` on the simulated clock (composing
+    /// with [`throttling`](Self::throttling)). See
+    /// [`Config::rate_budget_enabled`].
+    pub fn rate_budget(
+        mut self,
+        capacity: u32,
+        refill_nanos_per_token: u64,
+        throttle_nanos: u64,
+    ) -> Self {
+        self.rate_budget = Some((capacity, refill_nanos_per_token, throttle_nanos));
+        self
+    }
+
+    /// Replaces the score-decay policy: reputation points age out of
+    /// threshold checks over simulated time. See [`ScoreConfig::decay`].
+    pub fn decay(mut self, policy: DecayPolicy) -> Self {
+        self.decay = Some(policy);
+        self
+    }
+
     /// Arms deterministic fault injection (chaos testing): the session
     /// builds a [`FaultInjector`] from `plan`, hands it to the pipeline
     /// (worker-panic and latency sites) and — via [`Session::attach`] — to
@@ -333,6 +408,15 @@ impl SessionBuilder {
             config.throttle_enabled = true;
             config.throttle_score = score;
             config.throttle_nanos_per_point = nanos;
+        }
+        if let Some((capacity, refill, delay)) = self.rate_budget {
+            config.rate_budget_enabled = true;
+            config.rate_budget_capacity = capacity;
+            config.rate_refill_nanos_per_token = refill;
+            config.rate_throttle_nanos = delay;
+        }
+        if let Some(policy) = self.decay {
+            config.score.decay = policy;
         }
         validate(&config)?;
         if let Some(pcfg) = &self.pipeline {

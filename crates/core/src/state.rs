@@ -16,6 +16,8 @@ use cryptodrop_vfs::{FileId, ProcessId};
 use serde::{Deserialize, Serialize};
 
 use crate::config::ScoreConfig;
+#[cfg(test)]
+use crate::config::DecayPolicy;
 use crate::indicators::deletion::DeletionTracker;
 use crate::indicators::entropy_delta::EntropyDeltaTracker;
 use crate::indicators::funneling::FunnelTracker;
@@ -206,6 +208,21 @@ pub struct ProcessState {
     first_reads_seen: BTreeSet<FileId>,
     modified_files: BTreeSet<FileId>,
     burst_times: VecDeque<u64>,
+    // High-water mark of burst timestamps: eviction measures window age
+    // against this, not the (possibly out-of-order) latest arrival, so a
+    // clock.latency fault delivering a stale `at_nanos` cannot stall the
+    // window (see `record_burst`).
+    burst_watermark: u64,
+    // Files whose cross-family read baseline was already folded into this
+    // family's entropy tracker (collusion defense; distinct from
+    // `first_reads_seen` so funneling sampling is unperturbed).
+    inherited_reads: BTreeSet<FileId>,
+    // First-modification rate budget (token bucket). `rate_primed` lazily
+    // fills the bucket to capacity on first use, so constructing state
+    // never needs the engine `Config`.
+    rate_tokens: u32,
+    rate_last_nanos: u64,
+    rate_primed: bool,
     detected: bool,
     permitted: bool,
 }
@@ -228,6 +245,11 @@ impl ProcessState {
             first_reads_seen: BTreeSet::new(),
             modified_files: BTreeSet::new(),
             burst_times: VecDeque::new(),
+            burst_watermark: 0,
+            inherited_reads: BTreeSet::new(),
+            rate_tokens: 0,
+            rate_last_nanos: 0,
+            rate_primed: false,
             detected: false,
             permitted: false,
         }
@@ -263,9 +285,41 @@ impl ProcessState {
         }
     }
 
-    /// Whether the score has reached the effective threshold.
-    pub fn over_threshold(&self, cfg: &ScoreConfig) -> bool {
-        self.score >= self.effective_threshold(cfg)
+    /// Whether the score — decayed to `now_nanos` under the configured
+    /// [`DecayPolicy`] — has reached the effective threshold. With
+    /// [`DecayPolicy::None`] this is the raw-score comparison the paper
+    /// specifies.
+    pub fn over_threshold(&self, cfg: &ScoreConfig, now_nanos: u64) -> bool {
+        self.decayed_score(cfg, now_nanos) >= self.effective_threshold(cfg)
+    }
+
+    /// The reputation score with every award aged to `now_nanos` under
+    /// `cfg.decay`: the sum of each hit's decayed value plus the decayed
+    /// union bonus. Raw per-hit points are never mutated — this is a pure
+    /// re-summation, so the audit trail can replay it exactly.
+    ///
+    /// Awards carry timestamps from the simulated clock, which fault
+    /// injection can deliver out of order; an award "from the future"
+    /// (`at_nanos > now_nanos`) is simply not aged yet (age saturates
+    /// to 0).
+    ///
+    /// With [`DecayPolicy::None`] (the default) this returns the raw
+    /// score without touching the hit list.
+    pub fn decayed_score(&self, cfg: &ScoreConfig, now_nanos: u64) -> u32 {
+        let policy = &cfg.decay;
+        if policy.is_none() {
+            return self.score;
+        }
+        let mut total: u64 = self
+            .hits
+            .iter()
+            .map(|h| u64::from(policy.value(h.points, now_nanos.saturating_sub(h.at_nanos))))
+            .sum();
+        if self.union_triggered {
+            let at = self.union_at_nanos.unwrap_or(0);
+            total += u64::from(policy.value(cfg.union_bonus, now_nanos.saturating_sub(at)));
+        }
+        u32::try_from(total).unwrap_or(u32::MAX)
     }
 
     /// Records that a pre-existing protected file's content was destroyed
@@ -285,16 +339,84 @@ impl ProcessState {
     /// Slides a first-modification timestamp into the burst window and
     /// returns `true` when the modification count within the window
     /// exceeds `threshold` (this modification scores).
+    ///
+    /// Eviction ages entries against the *high-water mark* of all
+    /// timestamps seen, not the latest arrival: a `clock.latency` fault
+    /// (or any reordering between pipeline hand-off and analysis) can
+    /// deliver `at_nanos` values out of order, and measuring the window
+    /// from a stale arrival would stop evicting — the window would only
+    /// ever grow, inflating burst counts forever after one reordered
+    /// record. Under a monotonic clock the watermark *is* the latest
+    /// arrival, so behavior is unchanged. Out-of-order arrivals that are
+    /// already older than the window are dropped rather than admitted; a
+    /// retained deque is no longer timestamp-sorted, so eviction scans
+    /// the whole (window-bounded) deque instead of popping a sorted
+    /// front.
     pub fn record_burst(&mut self, at_nanos: u64, window_nanos: u64, threshold: u32) -> bool {
-        self.burst_times.push_back(at_nanos);
-        while let Some(&front) = self.burst_times.front() {
-            if at_nanos.saturating_sub(front) > window_nanos {
-                self.burst_times.pop_front();
-            } else {
-                break;
-            }
+        self.burst_watermark = self.burst_watermark.max(at_nanos);
+        let horizon = self.burst_watermark.saturating_sub(window_nanos);
+        if at_nanos >= horizon {
+            self.burst_times.push_back(at_nanos);
         }
+        self.burst_times.retain(|&t| t >= horizon);
         self.burst_times.len() as u32 > threshold
+    }
+
+    /// Refills this family's first-modification token bucket to
+    /// `now_nanos` (one token per `refill_nanos` of simulated time, up to
+    /// `capacity`) and returns the token count. The bucket starts full on
+    /// first use. Refill measures only *forward* progress of the clock —
+    /// a non-monotonic `now_nanos` (fault-injected latency reordering)
+    /// neither refills nor drains.
+    pub fn rate_refill(&mut self, now_nanos: u64, capacity: u32, refill_nanos: u64) -> u32 {
+        let refill_nanos = refill_nanos.max(1);
+        if !self.rate_primed {
+            self.rate_primed = true;
+            self.rate_tokens = capacity;
+            self.rate_last_nanos = now_nanos;
+            return self.rate_tokens;
+        }
+        let elapsed = now_nanos.saturating_sub(self.rate_last_nanos);
+        let earned = elapsed / refill_nanos;
+        let missing = u64::from(capacity.saturating_sub(self.rate_tokens));
+        if earned >= missing {
+            self.rate_tokens = capacity;
+            // A full bucket cannot bank surplus time.
+            self.rate_last_nanos = now_nanos;
+        } else {
+            self.rate_tokens += earned as u32;
+            // Keep the remainder: partial progress toward the next token
+            // carries over.
+            self.rate_last_nanos += earned * refill_nanos;
+        }
+        self.rate_tokens
+    }
+
+    /// Draws one token from the bucket (after refilling to `now_nanos`),
+    /// returning `true` if a token was available. A `false` return means
+    /// the family's sustained first-modification rate has outrun the
+    /// budget — the caller delays its destructive operations until the
+    /// bucket refills.
+    pub fn rate_consume(&mut self, now_nanos: u64, capacity: u32, refill_nanos: u64) -> bool {
+        if self.rate_refill(now_nanos, capacity, refill_nanos) > 0 {
+            self.rate_tokens -= 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Tokens currently in the bucket (no refill; telemetry/tests).
+    pub fn rate_tokens(&self) -> u32 {
+        self.rate_tokens
+    }
+
+    /// Marks a cross-family read baseline for `file` as folded into this
+    /// family's entropy tracker, returning `true` exactly once per file
+    /// (the collusion defense must not double-count a baseline across the
+    /// writer's chunked writes).
+    pub fn inherit_read_baseline(&mut self, file: FileId) -> bool {
+        self.inherited_reads.insert(file)
     }
 
     /// Marks the process as user-permitted: the user reviewed a detection
@@ -560,6 +682,178 @@ mod tests {
         assert_eq!(sum.files_lost, 1);
         assert_eq!(sum.primaries_seen, vec![Indicator::TypeChange]);
         assert!(!sum.detected);
+    }
+
+    fn hit_at(indicator: Indicator, points: u32, at_nanos: u64) -> IndicatorHit {
+        IndicatorHit {
+            at_nanos,
+            ..hit(indicator, points)
+        }
+    }
+
+    #[test]
+    fn decayed_score_none_is_raw() {
+        let cfg = ScoreConfig::default();
+        let mut s = state(&cfg);
+        s.award(&cfg, true, hit_at(Indicator::TypeChange, 10, 0));
+        s.award(&cfg, true, hit_at(Indicator::TypeChange, 10, 500));
+        assert_eq!(s.decayed_score(&cfg, u64::MAX), s.score());
+        assert!(s.over_threshold(
+            &ScoreConfig {
+                non_union_threshold: 20,
+                ..cfg.clone()
+            },
+            u64::MAX
+        ));
+    }
+
+    #[test]
+    fn decayed_score_ages_awards_independently() {
+        let cfg = ScoreConfig {
+            decay: DecayPolicy::Window { window_nanos: 100 },
+            ..ScoreConfig::default()
+        };
+        let mut s = state(&cfg);
+        s.award(&cfg, true, hit_at(Indicator::TypeChange, 10, 0));
+        s.award(&cfg, true, hit_at(Indicator::TypeChange, 10, 150));
+        assert_eq!(s.score(), 20, "raw score never decays");
+        assert_eq!(s.decayed_score(&cfg, 150), 10, "first award aged out");
+        assert_eq!(s.decayed_score(&cfg, 100), 20, "both inside the window");
+        assert_eq!(s.decayed_score(&cfg, 251), 0, "both aged out");
+    }
+
+    #[test]
+    fn decayed_score_includes_union_bonus_from_union_time() {
+        let cfg = ScoreConfig {
+            decay: DecayPolicy::Window { window_nanos: 100 },
+            ..ScoreConfig::default()
+        };
+        let mut s = state(&cfg);
+        s.award(&cfg, true, hit_at(Indicator::TypeChange, 6, 0));
+        s.award(&cfg, true, hit_at(Indicator::Similarity, 6, 10));
+        s.award(&cfg, true, hit_at(Indicator::EntropyDelta, 3, 200));
+        assert!(s.union_triggered());
+        // At t=200 the first two awards are stale; the entropy hit and
+        // the union bonus (stamped at the union time, 200) are fresh.
+        assert_eq!(s.decayed_score(&cfg, 200), 3 + cfg.union_bonus);
+        assert_eq!(s.decayed_score(&cfg, 301), 0);
+    }
+
+    #[test]
+    fn decayed_score_tolerates_future_awards() {
+        let cfg = ScoreConfig {
+            decay: DecayPolicy::Linear { window_nanos: 100 },
+            ..ScoreConfig::default()
+        };
+        let mut s = state(&cfg);
+        s.award(&cfg, true, hit_at(Indicator::TypeChange, 10, 1_000));
+        // Reordered clock: "now" precedes the award. Age saturates to 0.
+        assert_eq!(s.decayed_score(&cfg, 500), 10);
+    }
+
+    #[test]
+    fn burst_window_slides() {
+        let cfg = ScoreConfig::default();
+        let mut s = state(&cfg);
+        let w = 100;
+        assert!(!s.record_burst(0, w, 2));
+        assert!(!s.record_burst(50, w, 2));
+        assert!(s.record_burst(100, w, 2), "three inside the window");
+        // 250 evicts everything at or before 149.
+        assert!(!s.record_burst(250, w, 2));
+        assert_eq!(s.burst_window_len(), 1);
+    }
+
+    #[test]
+    fn burst_window_evicts_under_non_monotonic_clock() {
+        let cfg = ScoreConfig::default();
+        let mut s = state(&cfg);
+        let w = 100;
+        assert!(!s.record_burst(1_000, w, 1));
+        // A latency fault delivers a stale timestamp *older than the
+        // window*: it must not be admitted, and must not stall eviction.
+        assert!(!s.record_burst(10, w, 1));
+        assert_eq!(s.burst_window_len(), 1, "stale arrival dropped");
+        // A stale-but-in-window arrival still counts.
+        assert!(s.record_burst(950, w, 1));
+        assert_eq!(s.burst_window_len(), 2);
+        // Fresh arrivals keep evicting against the watermark even though
+        // the previous arrival was out of order.
+        assert!(!s.record_burst(2_000, w, 1));
+        assert_eq!(s.burst_window_len(), 1);
+    }
+
+    #[test]
+    fn burst_window_out_of_order_mid_deque_eviction() {
+        let cfg = ScoreConfig::default();
+        let mut s = state(&cfg);
+        let w = 100;
+        // Arrival order 500, 450, 520: the deque is not timestamp-sorted,
+        // so the stale entry (450) sits in the middle. Advancing the
+        // watermark to 551 (horizon 451) must evict it even though the
+        // arrival-order front (500) survives.
+        s.record_burst(500, w, 99);
+        s.record_burst(450, w, 99);
+        s.record_burst(520, w, 99);
+        assert_eq!(s.burst_window_len(), 3);
+        s.record_burst(551, w, 99);
+        assert_eq!(s.burst_window_len(), 3, "450 evicted, 551 admitted");
+    }
+
+    #[test]
+    fn rate_bucket_starts_full_and_drains() {
+        let cfg = ScoreConfig::default();
+        let mut s = state(&cfg);
+        let (cap, refill) = (3u32, 100u64);
+        assert!(s.rate_consume(0, cap, refill));
+        assert!(s.rate_consume(0, cap, refill));
+        assert!(s.rate_consume(0, cap, refill));
+        assert!(!s.rate_consume(0, cap, refill), "bucket dry");
+        assert_eq!(s.rate_tokens(), 0);
+    }
+
+    #[test]
+    fn rate_bucket_refills_with_simulated_time() {
+        let cfg = ScoreConfig::default();
+        let mut s = state(&cfg);
+        let (cap, refill) = (3u32, 100u64);
+        for _ in 0..3 {
+            assert!(s.rate_consume(0, cap, refill));
+        }
+        assert_eq!(s.rate_refill(99, cap, refill), 0, "not a full interval");
+        assert_eq!(s.rate_refill(100, cap, refill), 1);
+        // The remainder carries: 50 more nanos is still only one token.
+        assert_eq!(s.rate_refill(150, cap, refill), 1);
+        assert_eq!(s.rate_refill(250, cap, refill), 2);
+        // Refill caps at capacity and stops banking time.
+        assert_eq!(s.rate_refill(1_000_000, cap, refill), cap);
+        assert!(s.rate_consume(1_000_000, cap, refill));
+        assert_eq!(s.rate_tokens(), cap - 1);
+    }
+
+    #[test]
+    fn rate_bucket_ignores_clock_regression() {
+        let cfg = ScoreConfig::default();
+        let mut s = state(&cfg);
+        let (cap, refill) = (2u32, 100u64);
+        assert!(s.rate_consume(1_000, cap, refill));
+        assert!(s.rate_consume(1_000, cap, refill));
+        // The clock runs backwards (fault injection): no refill, no panic.
+        assert_eq!(s.rate_refill(500, cap, refill), 0);
+        assert!(!s.rate_consume(500, cap, refill));
+        // Forward progress from the original watermark refills normally.
+        assert_eq!(s.rate_refill(1_100, cap, refill), 1);
+    }
+
+    #[test]
+    fn inherit_read_baseline_fires_once_per_file() {
+        let cfg = ScoreConfig::default();
+        let mut s = state(&cfg);
+        assert!(s.inherit_read_baseline(FileId(3)));
+        assert!(!s.inherit_read_baseline(FileId(3)));
+        assert!(s.inherit_read_baseline(FileId(4)));
+        // Distinct from first-read sampling.
+        assert!(s.first_read(FileId(3)));
     }
 
     #[test]

@@ -21,8 +21,8 @@
 //! representative of every paper family at the full config — CI fails if
 //! any family stops being detected.
 
-use cryptodrop::{Config, CryptoDrop};
-use cryptodrop_adversarial::{evasive_suite, heavy_writer_suite};
+use cryptodrop::{Config, CryptoDrop, DecayPolicy};
+use cryptodrop_adversarial::{evasive_suite, heavy_writer_suite, SlowRoll};
 use cryptodrop_corpus::Corpus;
 use cryptodrop_malware::paper_sample_set;
 use cryptodrop_simhash::content_fingerprint;
@@ -97,6 +97,9 @@ pub struct AdversarialRun {
     pub seed: u64,
     /// Any pid of the workload's plan was suspended.
     pub detected: bool,
+    /// Earliest simulated suspension time across the pid plan, when
+    /// detected — the detection-latency axis of the slow-roll sweep.
+    pub detected_at_nanos: Option<u64>,
     /// Union indication occurred on some pid.
     pub union_triggered: bool,
     /// Highest score over the pid plan.
@@ -136,6 +139,66 @@ pub struct BenignAdversarialResult {
     pub completed: bool,
 }
 
+/// One cell of the slow-roll pause × decay-policy sweep.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SlowRollCell {
+    /// Decay policy label (see [`swept_decay_policies`]).
+    pub policy: String,
+    /// The strategy's simulated pause between victims.
+    pub pause_nanos: u64,
+    /// Whether the slow-roll pid was suspended.
+    pub detected: bool,
+    /// Simulated time of suspension, when detected — grows with the
+    /// pause, and diverges (None) where a policy lets the attack finish.
+    pub detection_latency_nanos: Option<u64>,
+    /// Real (non-decoy) files destroyed or altered before the run ended.
+    pub real_files_lost: u32,
+    /// Highest (decayed) score the scoreboard reported.
+    pub score: u32,
+}
+
+/// One heavy-writer replay under one decay policy (the sweep's
+/// false-positive control arm).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DecayBenignResult {
+    /// Decay policy label.
+    pub policy: String,
+    /// Application name.
+    pub name: String,
+    /// Whether any pid was suspended (a false positive).
+    pub detected: bool,
+}
+
+/// The decay policies the slow-roll sweep studies. `none` is the
+/// engine's default (the paper's permanent scoreboard); the others trade
+/// stale-score retention for time-bounded memory.
+pub fn swept_decay_policies() -> [(&'static str, DecayPolicy); 4] {
+    [
+        ("none", DecayPolicy::None),
+        (
+            "half-life-1h",
+            DecayPolicy::HalfLife {
+                half_life_nanos: 3_600_000_000_000,
+            },
+        ),
+        (
+            "linear-2h",
+            DecayPolicy::Linear {
+                window_nanos: 7_200_000_000_000,
+            },
+        ),
+        (
+            "window-30min",
+            DecayPolicy::Window {
+                window_nanos: 1_800_000_000_000,
+            },
+        ),
+    ]
+}
+
+/// Pause lengths swept (simulated seconds between victims), 0 → 10 min.
+pub const SLOWROLL_PAUSES_SECS: [u64; 6] = [0, 1, 10, 60, 300, 600];
+
 /// One paper family's detection verdict at the full configuration.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct FamilyGate {
@@ -158,6 +221,11 @@ pub struct AdversarialStudy {
     pub benign: Vec<BenignAdversarialResult>,
     /// The per-family detection gate at the full configuration.
     pub families: Vec<FamilyGate>,
+    /// The slow-roll pause × decay-policy sweep, policy-major in pause
+    /// order.
+    pub slowroll_sweep: Vec<SlowRollCell>,
+    /// The heavy-writer control arm per decay policy.
+    pub decay_benign: Vec<DecayBenignResult>,
 }
 
 /// The strategy line-up: one Class A paper reference plus the four
@@ -181,12 +249,26 @@ pub fn run_strategy(
     mode: IndicatorMode,
     seed: u64,
 ) -> AdversarialRun {
+    run_workload(baited, indicator_config(base, baited, mode), workload, mode, seed)
+}
+
+/// The shared replay core: stages the baited corpus, attaches a session
+/// built from an explicit config, drives the workload, and audits the
+/// surviving real files. `mode` is only a row label here — the config is
+/// taken as-is, which is what the decay-policy sweep needs.
+fn run_workload(
+    baited: &Corpus,
+    config: Config,
+    workload: &dyn Workload,
+    mode: IndicatorMode,
+    seed: u64,
+) -> AdversarialRun {
     let mut fs = Vfs::new();
     baited
         .stage_into(&mut fs)
         .expect("staging a generated corpus into an empty filesystem cannot fail");
     let session = CryptoDrop::builder()
-        .config(indicator_config(base, baited, mode))
+        .config(config)
         .build()
         .expect("experiment configs are valid");
     session.attach(&mut fs);
@@ -198,10 +280,17 @@ pub fn run_strategy(
     session.drain();
 
     let mut detected = false;
+    let mut detected_at_nanos: Option<u64> = None;
     let mut union_triggered = false;
     let mut score = 0;
     for &pid in &ctx.pids {
         detected |= fs.is_suspended(pid);
+        if let Some(report) = session.detection_for(pid) {
+            detected_at_nanos = Some(match detected_at_nanos {
+                Some(at) => at.min(report.at_nanos),
+                None => report.at_nanos,
+            });
+        }
         if let Some(s) = session.summary(pid) {
             score = score.max(s.score);
             union_triggered |= s.union_triggered;
@@ -221,6 +310,7 @@ pub fn run_strategy(
         mode,
         seed,
         detected,
+        detected_at_nanos,
         union_triggered,
         score,
         real_files_lost,
@@ -244,6 +334,63 @@ fn run_benign_matrix(baited: &Corpus, base: &Config) -> Vec<BenignAdversarialRes
         }
     }
     out
+}
+
+/// Runs the slow-roll strategy over every pause × decay-policy cell.
+/// Every run uses the full indicator configuration — the sweep isolates
+/// the time axis, not the indicator set.
+fn run_slowroll_sweep(baited: &Corpus, base: &Config, threads: usize) -> Vec<SlowRollCell> {
+    let policies = swept_decay_policies();
+    let jobs: Vec<(usize, u64)> = (0..policies.len())
+        .flat_map(|p| SLOWROLL_PAUSES_SECS.iter().map(move |&s| (p, s)))
+        .collect();
+    parallel_map(jobs.len(), threads, |j| {
+        let (p, pause_secs) = jobs[j];
+        let (label, policy) = policies[p];
+        let pause_nanos = pause_secs * 1_000_000_000;
+        let workload = SlowRoll {
+            pause_nanos,
+            max_files: None,
+        };
+        let cfg = base.clone().with_decay(policy);
+        let r = run_workload(baited, cfg, &workload, IndicatorMode::Full, 0x510);
+        SlowRollCell {
+            policy: label.to_string(),
+            pause_nanos,
+            detected: r.detected,
+            detection_latency_nanos: r.detected_at_nanos,
+            real_files_lost: r.real_files_lost,
+            score: r.score,
+        }
+    })
+}
+
+/// Runs the heavy-writer suite under every swept decay policy (full
+/// indicator configuration) — decayed scores only ever shrink, so any
+/// suspension here is a regression.
+fn run_decay_benign(baited: &Corpus, base: &Config, threads: usize) -> Vec<DecayBenignResult> {
+    let policies = swept_decay_policies();
+    let suite = heavy_writer_suite();
+    let jobs: Vec<(usize, usize)> = (0..policies.len())
+        .flat_map(|p| (0..suite.len()).map(move |a| (p, a)))
+        .collect();
+    parallel_map(jobs.len(), threads, |j| {
+        let (p, a) = jobs[j];
+        let (label, policy) = policies[p];
+        let cfg = base.clone().with_decay(policy);
+        let r = run_workload(
+            baited,
+            cfg,
+            suite[a].as_ref(),
+            IndicatorMode::Full,
+            0xBE9 + a as u64,
+        );
+        DecayBenignResult {
+            policy: label.to_string(),
+            name: r.strategy,
+            detected: r.detected,
+        }
+    })
 }
 
 /// Runs one representative of every paper family at the full
@@ -304,11 +451,15 @@ pub fn run(baited: &Corpus, base: &Config, seeds: &[u64], threads: usize) -> Adv
     }
 
     let families = run_family_gate(baited, base);
+    let slowroll_sweep = run_slowroll_sweep(baited, base, threads);
+    let decay_benign = run_decay_benign(baited, base, threads);
     AdversarialStudy {
         cells,
         runs,
         benign,
         families,
+        slowroll_sweep,
+        decay_benign,
     }
 }
 
@@ -321,25 +472,34 @@ fn run_matrix_parallel(
     jobs: &[(usize, IndicatorMode, u64)],
     threads: usize,
 ) -> Vec<AdversarialRun> {
+    parallel_map(jobs.len(), threads, |j| {
+        let (i, mode, seed) = jobs[j];
+        run_strategy(baited, base, strategies[i].as_ref(), mode, seed)
+    })
+}
+
+/// Evaluates `f(0..n)` across worker threads, preserving index order.
+/// Falls back to a sequential map for one thread or one job.
+fn parallel_map<T, F>(n: usize, threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
     let threads = threads.max(1);
-    if threads == 1 || jobs.len() <= 1 {
-        return jobs
-            .iter()
-            .map(|&(i, mode, seed)| run_strategy(baited, base, strategies[i].as_ref(), mode, seed))
-            .collect();
+    if threads == 1 || n <= 1 {
+        return (0..n).map(f).collect();
     }
     let next = std::sync::atomic::AtomicUsize::new(0);
-    let slots: Vec<std::sync::Mutex<Option<AdversarialRun>>> =
-        jobs.iter().map(|_| std::sync::Mutex::new(None)).collect();
+    let slots: Vec<std::sync::Mutex<Option<T>>> =
+        (0..n).map(|_| std::sync::Mutex::new(None)).collect();
     crossbeam::thread::scope(|scope| {
         for _ in 0..threads {
             scope.spawn(|_| loop {
                 let j = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if j >= jobs.len() {
+                if j >= n {
                     break;
                 }
-                let (i, mode, seed) = jobs[j];
-                let r = run_strategy(baited, base, strategies[i].as_ref(), mode, seed);
+                let r = f(j);
                 *slots[j].lock().expect("no poisoning: workers do not panic") = Some(r);
             });
         }
@@ -363,13 +523,47 @@ impl AdversarialStudy {
         self.benign.iter().filter(|b| b.detected).count()
     }
 
+    /// Whether the slow-roll strategy is detected at *every* swept pause
+    /// length under the default (`none`) decay policy — the time-axis CI
+    /// gate: pacing alone must never buy evasion from the stock engine.
+    pub fn slowroll_detected_under_default_decay(&self) -> bool {
+        let default_cells: Vec<&SlowRollCell> = self
+            .slowroll_sweep
+            .iter()
+            .filter(|c| c.policy == "none")
+            .collect();
+        default_cells.len() == SLOWROLL_PAUSES_SECS.len()
+            && default_cells.iter().all(|c| c.detected)
+    }
+
+    /// Heavy-writer suspensions across every swept decay policy (must be
+    /// 0: decayed scores are bounded above by raw scores).
+    pub fn decay_benign_false_positives(&self) -> usize {
+        self.decay_benign.iter().filter(|b| b.detected).count()
+    }
+
+    /// Whether the colluding reader/writer pair is detected at the full
+    /// configuration across every seed — the read-baseline-inheritance
+    /// gate (pre-fix, the evidence split evaded the scoreboard).
+    pub fn collusion_detected_at_full(&self) -> bool {
+        let of_cell: Vec<&AdversarialRun> = self
+            .runs
+            .iter()
+            .filter(|r| r.strategy.starts_with("collusion") && r.mode == IndicatorMode::Full)
+            .collect();
+        !of_cell.is_empty() && of_cell.iter().all(|r| r.detected)
+    }
+
     /// Wraps the study in the shared schema-versioned envelope
-    /// (`results/adversarial.json`).
+    /// (`results/adversarial.json`). Version 2 added the slow-roll
+    /// pause × decay-policy sweep and per-run detection times.
     pub fn report(&self) -> StudyReport {
-        StudyReport::new("adversarial", 1)
+        StudyReport::new("adversarial", 2)
             .param("strategies", self.cells.len() / IndicatorMode::ALL.len().max(1))
             .param("modes", IndicatorMode::ALL.len())
             .param("families", self.families.len())
+            .param("decay_policies", swept_decay_policies().len())
+            .param("slowroll_pauses", SLOWROLL_PAUSES_SECS.len())
             .body(self)
     }
 
@@ -414,6 +608,35 @@ impl AdversarialStudy {
                 format!(" — MISSING: {}", undetected.join(", "))
             }
         ));
+
+        let mut sweep = TextTable::new([
+            "Decay policy",
+            "Pause",
+            "Detected",
+            "Latency",
+            "Real files lost",
+            "Score",
+        ]);
+        for c in &self.slowroll_sweep {
+            sweep.row([
+                c.policy.clone(),
+                format!("{} s", c.pause_nanos / 1_000_000_000),
+                if c.detected { "yes" } else { "NO" }.to_string(),
+                match c.detection_latency_nanos {
+                    Some(at) => format!("{:.1} s", at as f64 / 1e9),
+                    None => "—".to_string(),
+                },
+                c.real_files_lost.to_string(),
+                c.score.to_string(),
+            ]);
+        }
+        out.push_str("\nSlow-roll pause × decay-policy sweep (full config)\n\n");
+        out.push_str(&sweep.render());
+        out.push_str(&format!(
+            "\nDecay benign control: {} false positives across {} runs\n",
+            self.decay_benign_false_positives(),
+            self.decay_benign.len()
+        ));
         out
     }
 }
@@ -440,6 +663,31 @@ mod tests {
         assert_eq!(study.cells.len(), strategies * IndicatorMode::ALL.len());
         assert!(study.all_families_detected(), "{}", study.render());
         assert_eq!(study.benign_false_positives(), 0, "{}", study.render());
+        assert!(
+            study.slowroll_detected_under_default_decay(),
+            "{}",
+            study.render()
+        );
+        assert_eq!(study.decay_benign_false_positives(), 0, "{}", study.render());
+        assert!(study.collusion_detected_at_full(), "{}", study.render());
+        assert_eq!(
+            study.slowroll_sweep.len(),
+            swept_decay_policies().len() * SLOWROLL_PAUSES_SECS.len()
+        );
+        // Detection times are recorded and grow with the pause under the
+        // default policy — the latency curve is real, not a constant.
+        let none_cells: Vec<&SlowRollCell> = study
+            .slowroll_sweep
+            .iter()
+            .filter(|c| c.policy == "none")
+            .collect();
+        assert!(none_cells.iter().all(|c| c.detection_latency_nanos.is_some()));
+        let first = none_cells.first().unwrap().detection_latency_nanos.unwrap();
+        let last = none_cells.last().unwrap().detection_latency_nanos.unwrap();
+        assert!(
+            last > first,
+            "a 10-minute pause must cost detection latency: {first} vs {last}"
+        );
         // The Class A reference is caught under every configuration:
         // dropping a single indicator must not blind the detector.
         let reference = strategy_suite()[0].name();

@@ -1,9 +1,13 @@
 //! Runs the adversarial study: the evasive strategy suite against the
-//! indicator-ablation matrix, the benign heavy-writer sweep, and the
-//! per-family detection gate.
+//! indicator-ablation matrix, the benign heavy-writer sweep, the
+//! slow-roll pause × decay-policy sweep, and the per-family detection
+//! gate.
 //!
 //! Exits nonzero if any paper family goes undetected at the full
-//! configuration or any heavy-writer is suspended — CI uses this as the
+//! configuration, any heavy-writer is suspended (under any indicator
+//! mode or swept decay policy), the slow-roll strategy evades any pause
+//! length under the default decay policy, or the colluding reader/writer
+//! pair evades the full configuration — CI uses this as the
 //! detection-floor gate.
 //!
 //! Usage: `adversarial [--quick]`
@@ -31,6 +35,25 @@ fn main() {
         eprintln!(
             "GATE FAILED: {} benign heavy-writer suspension(s) at default thresholds",
             study.benign_false_positives()
+        );
+        failed = true;
+    }
+    if !study.slowroll_detected_under_default_decay() {
+        eprintln!(
+            "GATE FAILED: slow-roll evaded a swept pause length under the default decay policy"
+        );
+        failed = true;
+    }
+    if study.decay_benign_false_positives() != 0 {
+        eprintln!(
+            "GATE FAILED: {} benign heavy-writer suspension(s) under a swept decay policy",
+            study.decay_benign_false_positives()
+        );
+        failed = true;
+    }
+    if !study.collusion_detected_at_full() {
+        eprintln!(
+            "GATE FAILED: the colluding reader/writer pair evaded the full configuration"
         );
         failed = true;
     }

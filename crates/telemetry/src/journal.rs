@@ -110,6 +110,34 @@ pub enum JournalKind {
         /// What happened at the site.
         detail: String,
     },
+    /// A score-decay policy held a would-be suspension below the line:
+    /// the family's raw score had reached its threshold, but the score
+    /// decayed to the operation's simulated time had not.
+    ScoreDecay {
+        /// The undecayed (permanent) reputation score.
+        raw: u32,
+        /// The score with every award aged to the operation's time.
+        decayed: u32,
+        /// The effective detection threshold at the check.
+        threshold: u32,
+    },
+    /// A family's first-modification rate budget ran dry and a
+    /// destructive operation was delayed on the simulated clock.
+    RateBudget {
+        /// Tokens remaining in the bucket (0 at emission).
+        tokens: u32,
+        /// The delay applied to this operation, nanoseconds.
+        delay_nanos: u64,
+    },
+    /// A writing family inherited another family's read baseline for a
+    /// file (the collusion defense: the reader pid's evidence follows
+    /// the file to the writer).
+    BaselineInherited {
+        /// The file whose baseline was inherited.
+        path: String,
+        /// The pid that issued the reads the baseline was built from.
+        reader_pid: u32,
+    },
     /// A free-form marker (experiment phases, harness annotations).
     Note {
         /// Marker name.

@@ -5,10 +5,12 @@
 //! Two contracts are pinned here:
 //!
 //! * **Collusion regression** — the same encryption plan is caught when one
-//!   process both reads and writes, and evades the scoreboard when split
-//!   across a reader pid and a writer pid. If either side of that pair
-//!   flips, the per-process reputation model changed and the adversarial
-//!   study's headline finding needs re-deriving.
+//!   process both reads and writes, *and* when it is split across a reader
+//!   pid and a writer pid: per-file read baselines follow the file from the
+//!   reader's family to the writer's, so the evidence split no longer
+//!   severs the entropy-delta indicator or the union. (Before baseline
+//!   inheritance the split evaded the scoreboard outright — the adversarial
+//!   study's original headline finding.)
 //! * **Benign heavy-writer sweep** — the four worst-plausible honest
 //!   workloads finish with zero suspensions at the paper's default
 //!   thresholds (the false-positive floor the thresholds were chosen for).
@@ -25,9 +27,10 @@ fn setup() -> (Corpus, Config) {
 }
 
 /// A bounded plan, single-pid: caught. The identical plan split across a
-/// reader pid and a writer pid: completes untouched by the scoreboard.
+/// reader pid and a writer pid: *also* caught — the writer inherits the
+/// reader's per-file baselines, restoring the entropy leg of the union.
 #[test]
-fn collusion_splits_the_reputation_the_scoreboard_cannot_join() {
+fn collusion_split_no_longer_evades_the_scoreboard() {
     let (corpus, config) = setup();
     let files = 12;
 
@@ -39,22 +42,26 @@ fn collusion_splits_the_reputation_the_scoreboard_cannot_join() {
 
     let split = run_workload(&corpus, &config, &Collusion::bounded(files), 0xC0);
     assert!(
-        !split.detected,
-        "split across two pids, the same plan evades: {split:?}"
+        split.detected,
+        "split across two pids, the same plan must still be caught: {split:?}"
     );
-    assert!(split.outcome.completed, "{split:?}");
-    assert_eq!(split.outcome.files_touched, files as u32, "{split:?}");
-    assert_eq!(split.suspended_pids, 0);
-    // Neither colluding pid ever completes the union: the writer has no
-    // read baseline, the reader writes nothing.
-    assert!(!split.union_triggered, "{split:?}");
+    // Only the writer is destructive; the reader alone stays clean.
+    assert_eq!(split.suspended_pids, 1, "{split:?}");
+    // The inherited baselines complete the union on the writer — the
+    // pair is caught at the lowered threshold, not by slow accrual.
+    assert!(split.union_triggered, "{split:?}");
+    assert!(
+        !split.outcome.completed || split.outcome.files_touched < files as u32,
+        "suspension must interrupt the bounded plan: {split:?}"
+    );
 }
 
-/// An *unbounded* colluding pair is eventually caught by the writer's
-/// type-change accrual alone — slowly. Decoy tripwires close most of that
-/// gap: the first bait overwrite suspends the writer outright.
+/// Decoy tripwires still stop the colluding pair no later than the
+/// scoreboard does: the first bait overwrite suspends the writer outright,
+/// while the scoreboard needs enough real victims to cross the union
+/// threshold.
 #[test]
-fn decoys_catch_the_colluding_writer_before_the_scoreboard_does() {
+fn decoys_catch_the_colluding_writer_no_later_than_the_scoreboard() {
     let (corpus, config) = setup();
     let spec = CorpusSpec::sized(240, 30);
     let baited = corpus.with_decoys(&spec, 8);
@@ -65,8 +72,8 @@ fn decoys_catch_the_colluding_writer_before_the_scoreboard_does() {
     assert!(undefended.detected, "{undefended:?}");
     assert!(defended.detected, "{defended:?}");
     assert!(
-        defended.outcome.files_touched < undefended.outcome.files_touched,
-        "decoys must stop the pair earlier: {} vs {} files",
+        defended.outcome.files_touched <= undefended.outcome.files_touched,
+        "decoys must not lose ground to the scoreboard: {} vs {} files",
         defended.outcome.files_touched,
         undefended.outcome.files_touched
     );

@@ -11,8 +11,8 @@
 // The promised surface, by name. Each import is the contract.
 #[allow(unused_imports)]
 use cryptodrop::prelude::{
-    Backpressure, Config, ConfigError, CryptoDrop, DetectionReport, ErrorKind, FsProvider,
-    MemProvider, Monitor, MountOptions, PipelineConfig, PipelineStats, ProcessId,
+    Backpressure, Config, ConfigError, CryptoDrop, DecayPolicy, DetectionReport, ErrorKind,
+    FsProvider, MemProvider, Monitor, MountOptions, PipelineConfig, PipelineStats, ProcessId,
     RecoveryReport, ScoreConfig, Session, SessionBuilder, ShadowConfig, ShadowStore,
     Telemetry, VPath, Verdict, Vfs, VfsError, VfsResult,
 };
@@ -29,7 +29,10 @@ use cryptodrop_adversarial::{
 };
 #[allow(unused_imports)]
 use cryptodrop_experiments::{
-    adversarial::{AdversarialRun, AdversarialStudy, IndicatorMode, StrategyCell},
+    adversarial::{
+        swept_decay_policies, AdversarialRun, AdversarialStudy, DecayBenignResult,
+        IndicatorMode, SlowRollCell, StrategyCell, SLOWROLL_PAUSES_SECS,
+    },
     report::StudyReport,
     runner::{run_workload, WorkloadRunResult},
 };
@@ -115,6 +118,55 @@ fn defense_config_surface_is_stable() {
     assert!(cfg.is_decoy(&bait));
     assert!(cfg.throttle_enabled);
     assert_eq!((cfg.throttle_score, cfg.throttle_nanos_per_point), (40, 1_000_000));
+}
+
+/// The time-axis defense surface: score decay and per-family rate
+/// budgets, both off by default (the paper's permanent scoreboard), both
+/// reachable through `Config` builders and the `SessionBuilder`.
+#[test]
+fn time_axis_defense_surface_is_stable() {
+    let cfg = Config::protecting("/docs");
+    assert_eq!(cfg.score.decay, DecayPolicy::None);
+    assert!(!cfg.rate_budget_enabled);
+
+    let cfg = cfg
+        .with_decay(DecayPolicy::HalfLife {
+            half_life_nanos: 3_600_000_000_000,
+        })
+        .with_rate_budget(24, 2_000_000_000, 250_000_000);
+    assert!(!cfg.score.decay.is_none());
+    assert!(cfg.rate_budget_enabled);
+    assert_eq!(
+        (
+            cfg.rate_budget_capacity,
+            cfg.rate_refill_nanos_per_token,
+            cfg.rate_throttle_nanos
+        ),
+        (24, 2_000_000_000, 250_000_000)
+    );
+
+    // The same knobs exist on the session builder and validate.
+    let session = CryptoDrop::builder()
+        .protecting("/docs")
+        .decay(DecayPolicy::Window {
+            window_nanos: 1_800_000_000_000,
+        })
+        .rate_budget(8, 1_000_000_000, 100_000_000)
+        .build();
+    assert!(session.is_ok());
+
+    // Degenerate parameters are construction-time errors, not silent
+    // no-ops.
+    let zeroed = CryptoDrop::builder()
+        .protecting("/docs")
+        .decay(DecayPolicy::Window { window_nanos: 0 })
+        .build();
+    assert!(zeroed.is_err());
+
+    // The sweep's published axes: dashboards key on these labels.
+    let labels: Vec<&str> = swept_decay_policies().iter().map(|(l, _)| *l).collect();
+    assert_eq!(labels, ["none", "half-life-1h", "linear-2h", "window-30min"]);
+    assert_eq!(SLOWROLL_PAUSES_SECS, [0, 1, 10, 60, 300, 600]);
 }
 
 /// The Workload actor surface: the default hooks, the outcome's zero

@@ -290,6 +290,53 @@ fn chaos_is_deterministic_per_seed() {
     assert_eq!(run(77), run(77));
 }
 
+/// The write-burst window under clock chaos: latency-spike faults jolt
+/// the simulated clock, so per-family burst timestamps can arrive
+/// out of order. The hardened window (high-watermark eviction) must stay
+/// deterministic per seed, keep catching the attacker, and never turn
+/// clock jitter into a bystander suspension.
+#[test]
+fn burst_window_stays_deterministic_under_clock_chaos() {
+    quiet_expected_panics();
+    let run = |seed: u64| {
+        let mut cfg = cryptodrop::Config::protecting("/docs");
+        cfg.score.burst_enabled = true;
+        let plan = FaultPlan::seeded(seed)
+            .latency_spike_probability(0.25)
+            .latency_spike_at(0);
+        let mut fs = staged_fs();
+        let session = CryptoDrop::builder()
+            .config(cfg)
+            .faults(plan)
+            .build()
+            .unwrap();
+        session.attach(&mut fs);
+        let (attacker, benign) = run_attack(&mut fs, seed);
+        session.drain();
+        let stats = session.fault_stats();
+        assert!(
+            stats.latency_spikes >= 1,
+            "seed {seed}: no injected clock spikes"
+        );
+        assert!(
+            fs.is_suspended(attacker),
+            "seed {seed}: attacker escaped under clock chaos"
+        );
+        assert!(
+            !fs.is_suspended(benign),
+            "seed {seed}: clock jitter suspended the bystander"
+        );
+        (
+            suspended_set(&fs, &[attacker, benign]),
+            session.score(attacker),
+            stats.latency_spikes,
+        )
+    };
+    for seed in [13, 101, 982451653] {
+        assert_eq!(run(seed), run(seed), "seed {seed}: burst chaos diverged");
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig {
         cases: 6,

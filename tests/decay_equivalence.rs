@@ -1,0 +1,144 @@
+//! Verdict equality for score decay: `DecayPolicy::None` is the engine
+//! default and must be byte-identical to the pre-decay scoreboard, and
+//! infinite-support policies (`Window`/`HalfLife` at `u64::MAX`) must be
+//! indistinguishable from `None` — they keep every award at full value at
+//! any reachable age, so the decayed sum collapses to the raw score.
+//!
+//! These replays are the end-to-end net over the per-policy unit tests in
+//! `config.rs` (exactness at age zero, monotonicity in age) and the
+//! audit-replay tests in `audit.rs`: all 25 paper families and the
+//! benign Figure 6 applications run under every equivalence policy and
+//! must produce identical outcomes — same suspensions, same scores, same
+//! files lost.
+
+use cryptodrop::{Config, CryptoDrop, DecayPolicy};
+use cryptodrop_adversarial::SlowRoll;
+use cryptodrop_corpus::{Corpus, CorpusSpec};
+use cryptodrop_experiments::runner::{run_sample, run_workload};
+use cryptodrop_malware::paper_sample_set;
+use cryptodrop_vfs::{Vfs, Workload, WorkloadCtx};
+
+fn corpus() -> Corpus {
+    Corpus::generate(&CorpusSpec::sized(400, 40))
+}
+
+/// The policies that must be observationally identical to `None`: every
+/// award is younger than `u64::MAX` nanoseconds, so full value survives.
+fn equivalence_policies() -> [DecayPolicy; 2] {
+    [
+        DecayPolicy::Window {
+            window_nanos: u64::MAX,
+        },
+        DecayPolicy::HalfLife {
+            half_life_nanos: u64::MAX,
+        },
+    ]
+}
+
+/// One representative sample per paper family, replayed under `None` and
+/// each infinite-support policy: identical outcomes everywhere.
+#[test]
+fn attack_replays_are_verdict_identical_under_infinite_support_decay() {
+    let corpus = corpus();
+    let none = Config::protecting(corpus.root().as_str());
+    assert_eq!(none.score.decay, DecayPolicy::None, "None is the default");
+    for sample in paper_sample_set().into_iter().filter(|s| s.index == 0) {
+        let reference = run_sample(&corpus, &none, &sample);
+        assert!(
+            reference.detected,
+            "{} #{}: reference replay must detect",
+            sample.family.name(),
+            sample.id
+        );
+        for policy in equivalence_policies() {
+            let decayed = run_sample(&corpus, &none.clone().with_decay(policy), &sample);
+            assert_eq!(
+                decayed,
+                reference,
+                "{} #{}: {policy:?} changed the replay outcome",
+                sample.family.name(),
+                sample.id
+            );
+        }
+    }
+}
+
+/// The benign Figure 6 applications must not change either: no new false
+/// positives, no score drift.
+#[test]
+fn benign_replays_are_verdict_identical_under_infinite_support_decay() {
+    let corpus = corpus();
+    let none = Config::protecting(corpus.root().as_str());
+    for app in cryptodrop_benign::paper_apps() {
+        let reference = run_workload(&corpus, &none, &app, 7);
+        for policy in equivalence_policies() {
+            let decayed = run_workload(&corpus, &none.clone().with_decay(policy), &app, 7);
+            assert_eq!(
+                decayed,
+                reference,
+                "{}: {policy:?} changed the benign outcome",
+                app.name()
+            );
+        }
+    }
+}
+
+/// End-to-end audit replay under a finite decay policy: a paced attack
+/// detected under the permanent scoreboard leaves an audit trail whose
+/// decayed columns replay every award against the policy — decayed
+/// values never exceed raw values, and the trail's decayed headline score
+/// matches the per-entry replay at suspension time.
+#[test]
+fn audit_trail_replays_decayed_awards_end_to_end() {
+    let corpus = corpus();
+    let config = Config::protecting(corpus.root().as_str()).with_decay(DecayPolicy::HalfLife {
+        half_life_nanos: 120_000_000_000, // 2 simulated minutes
+    });
+    let mut fs = Vfs::new();
+    corpus.stage_into(&mut fs).expect("staging cannot fail");
+    let session = CryptoDrop::builder()
+        .config(config)
+        .build()
+        .expect("valid config");
+    session.attach(&mut fs);
+    // 30 s pauses: half-life decay bites (awards age measurably between
+    // victims) but the scoreboard still accumulates fast enough to catch.
+    let workload = SlowRoll {
+        pause_nanos: 30_000_000_000,
+        max_files: None,
+    };
+    let ctx = WorkloadCtx::spawn(&mut fs, &workload, corpus.root(), 0xDECA);
+    workload.stage(&mut fs, &ctx).expect("staging succeeds");
+    let outcome = workload.drive(&mut fs, &ctx);
+    session.drain();
+    assert!(outcome.suspended, "the paced attack must still be caught");
+
+    let pid = ctx.pids[0];
+    let trail = session.audit_trail(pid).expect("suspended pid has a trail");
+    assert!(!trail.entries.is_empty());
+    let decayed_headline = trail
+        .decayed_score
+        .expect("a finite policy must stamp the decayed headline score");
+    for entry in &trail.entries {
+        let decayed = entry
+            .decayed_after
+            .expect("a finite policy must stamp every entry");
+        assert!(
+            decayed <= entry.score_after,
+            "decay never raises a score: {decayed} > {} at t={}",
+            entry.score_after,
+            entry.at_nanos
+        );
+    }
+    let raw_headline = trail.entries.last().expect("non-empty").score_after;
+    assert!(
+        decayed_headline <= raw_headline,
+        "headline decayed score is bounded by the raw score"
+    );
+    // The rendered trail carries the decayed annotations for the analyst.
+    let rendered = trail.render();
+    assert!(
+        rendered.contains("decayed"),
+        "rendered audit trail must show decay: {rendered}"
+    );
+}
